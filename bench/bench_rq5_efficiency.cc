@@ -1,0 +1,185 @@
+// Reproduces §V-F (RQ5): memory footprint, inference time / real-time
+// response (google-benchmark micro-timings of per-request scoring), and the
+// cold-start comparison (users with <3 interactions) on Home & Kitchen.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <memory>
+
+#include "baselines/paradigm3.h"
+#include "baselines/zero_shot.h"
+#include "bench/harness.h"
+#include "data/dataset.h"
+#include "util/memory.h"
+#include "util/string_util.h"
+#include "util/table.h"
+
+namespace delrec::bench {
+namespace {
+
+struct Rq5State {
+  std::unique_ptr<DatasetHarness> harness;
+  std::unique_ptr<llm::TinyLm> raw_llm;
+  DatasetHarness::TrainedDelRec delrec;
+  std::unique_ptr<baselines::KdaLrd> kda_lrd;
+  std::unique_ptr<llm::TinyLm> kda_llm;
+  std::vector<data::Example> cold_examples;
+};
+
+Rq5State* g_state = nullptr;
+
+void BenchDelRecInference(benchmark::State& state) {
+  util::Rng rng(1);
+  const auto& test = g_state->harness->workbench().splits().test;
+  int64_t i = 0;
+  for (auto _ : state) {
+    const data::Example& example = test[i++ % test.size()];
+    auto candidates = data::SampleCandidates(
+        g_state->harness->num_items(), example.target, 15, rng);
+    benchmark::DoNotOptimize(
+        g_state->delrec.model->ScoreCandidates(example, candidates));
+  }
+}
+BENCHMARK(BenchDelRecInference)->Unit(benchmark::kMillisecond);
+
+void BenchRawLlmInference(benchmark::State& state) {
+  // The LLM backbone alone (paper: Flan-T5-XL is only ~21ms faster than
+  // DELRec per request — soft prompts add little latency).
+  util::Rng rng(1);
+  baselines::ZeroShotLlm raw("raw", g_state->raw_llm.get(),
+                             &g_state->harness->workbench().dataset().catalog,
+                             &g_state->harness->workbench().vocab(), 10);
+  const auto& test = g_state->harness->workbench().splits().test;
+  int64_t i = 0;
+  for (auto _ : state) {
+    const data::Example& example = test[i++ % test.size()];
+    auto candidates = data::SampleCandidates(
+        g_state->harness->num_items(), example.target, 15, rng);
+    benchmark::DoNotOptimize(raw.ScoreCandidates(example, candidates));
+  }
+}
+BENCHMARK(BenchRawLlmInference)->Unit(benchmark::kMillisecond);
+
+void BenchSasRecInference(benchmark::State& state) {
+  util::Rng rng(1);
+  auto* sasrec = g_state->harness->Backbone(srmodels::Backbone::kSasRec);
+  const auto& test = g_state->harness->workbench().splits().test;
+  int64_t i = 0;
+  for (auto _ : state) {
+    const data::Example& example = test[i++ % test.size()];
+    auto candidates = data::SampleCandidates(
+        g_state->harness->num_items(), example.target, 15, rng);
+    benchmark::DoNotOptimize(
+        sasrec->ScoreCandidates(example.history, candidates));
+  }
+}
+BENCHMARK(BenchSasRecInference)->Unit(benchmark::kMillisecond);
+
+eval::MetricsAccumulator EvaluateCold(
+    const eval::CandidateScorer& scorer) {
+  eval::EvalConfig config;
+  return eval::EvaluateCandidates(g_state->cold_examples,
+                                  g_state->harness->num_items(), scorer,
+                                  config);
+}
+
+}  // namespace
+}  // namespace delrec::bench
+
+int main(int argc, char** argv) {
+  using namespace delrec;
+  bench::HarnessOptions options = bench::OptionsFromEnv();
+  std::printf("== RQ5: efficiency, real-time response, cold start ==\n");
+  std::printf("(dataset: Home & Kitchen — the paper's scalability probe)\n\n");
+
+  bench::Rq5State state;
+  bench::g_state = &state;
+  state.harness = std::make_unique<bench::DatasetHarness>(
+      data::HomeKitchenConfig(), options);
+
+  // Train once; record the training-phase peak RSS afterwards.
+  state.raw_llm = state.harness->Llm(core::LlmSize::kXL);
+  state.delrec = state.harness->TrainDelRec(srmodels::Backbone::kSasRec,
+                                            state.harness->DelRecDefaults());
+  state.kda_llm = state.harness->Llm(core::LlmSize::kXL);
+  state.kda_lrd = std::make_unique<baselines::KdaLrd>(
+      state.kda_llm.get(), &state.harness->workbench().dataset().catalog,
+      &state.harness->workbench().vocab(), state.harness->BaselineDefaults());
+  state.kda_lrd->Train(state.harness->workbench().splits().train);
+  const int64_t peak_training_rss = util::PeakRssBytes();
+
+  // Memory-footprint table.
+  {
+    util::TablePrinter table({"Component", "Value"});
+    table.AddRow({"LLM backbone (TinyLM-XL) parameters",
+                  std::to_string(state.raw_llm->ParameterCount())});
+    table.AddRow({"Soft prompt parameters",
+                  std::to_string(
+                      state.delrec.model->SoftPromptParameterCount())});
+    table.AddRow({"AdaLoRA adapter parameters",
+                  std::to_string(
+                      state.delrec.model->AdapterParameterCount())});
+    table.AddRow(
+        {"SASRec backbone parameters",
+         std::to_string(state.harness->Backbone(srmodels::Backbone::kSasRec)
+                            ->ParameterCount())});
+    table.AddRow({"Peak RSS through training",
+                  util::FormatFixed(peak_training_rss / (1024.0 * 1024.0), 1) +
+                      " MiB"});
+    table.AddRow({"Current RSS (inference-ready)",
+                  util::FormatFixed(
+                      util::CurrentRssBytes() / (1024.0 * 1024.0), 1) +
+                      " MiB"});
+    std::printf("-- Memory footprint --\n");
+    table.Print();
+  }
+
+  // Inference-latency micro-benchmarks.
+  std::printf("\n-- Inference time (per request, 15 candidates) --\n");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+
+  // Cold-start comparison (users with < 3 interactions).
+  {
+    data::Dataset cold_dataset = state.harness->workbench().dataset();
+    auto ids = data::AppendColdStartUsers(cold_dataset, 120, 555);
+    for (const data::UserSequence& sequence : cold_dataset.sequences) {
+      if (std::find(ids.begin(), ids.end(), sequence.user) == ids.end()) {
+        continue;
+      }
+      data::Example example;
+      example.user = sequence.user;
+      example.history.assign(sequence.items.begin(),
+                             sequence.items.end() - 1);
+      example.target = sequence.items.back();
+      state.cold_examples.push_back(std::move(example));
+    }
+    std::printf("\n-- Cold start (users with <3 interactions, n=%zu) --\n",
+                state.cold_examples.size());
+    util::TablePrinter table(
+        {"Model", "HR@1", "HR@5", "NDCG@5", "HR@10", "NDCG@10"});
+    table.AddMetricRow(
+        "SASRec",
+        bench::EvaluateCold([&](const data::Example& e,
+                                const std::vector<int64_t>& c) {
+          return state.harness->Backbone(srmodels::Backbone::kSasRec)
+              ->ScoreCandidates(e.history, c);
+        }).Result().ToRow());
+    table.AddMetricRow(
+        "KDA_LRD",
+        bench::EvaluateCold([&](const data::Example& e,
+                                const std::vector<int64_t>& c) {
+          return state.kda_lrd->ScoreCandidates(e, c);
+        }).Result().ToRow());
+    table.AddMetricRow(
+        "DELRec",
+        bench::EvaluateCold([&](const data::Example& e,
+                                const std::vector<int64_t>& c) {
+          return state.delrec.model->ScoreCandidates(e, c);
+        }).Result().ToRow());
+    table.Print();
+  }
+  benchmark::Shutdown();
+  bench::g_state = nullptr;
+  return 0;
+}

@@ -1,0 +1,142 @@
+#include "bench/harness.h"
+
+#include <cstdlib>
+
+#include "eval/stats.h"
+#include "util/check.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace delrec::bench {
+
+HarnessOptions OptionsFromEnv() {
+  HarnessOptions options;
+  const char* fast = std::getenv("DELREC_FAST");
+  if (fast != nullptr && std::string(fast) != "0") {
+    options.fast = true;
+    options.eval_examples = 100;
+    options.pretrain_epochs = 2;
+    options.stage1_examples = 80;
+    options.stage1_epochs = 1;
+    options.stage2_examples = 150;
+    options.stage2_epochs = 2;
+    options.baseline_examples = 120;
+    options.baseline_epochs = 1;
+    options.sr_epochs = 3;
+  }
+  return options;
+}
+
+DatasetHarness::DatasetHarness(const data::GeneratorConfig& config,
+                               const HarnessOptions& options)
+    : config_(config), options_(options) {
+  core::Workbench::Options workbench_options;
+  workbench_options.pretrain_epochs = options.pretrain_epochs;
+  workbench_ = std::make_unique<core::Workbench>(config, workbench_options);
+}
+
+srmodels::SequentialRecommender* DatasetHarness::Backbone(
+    srmodels::Backbone backbone) {
+  auto it = backbones_.find(backbone);
+  if (it != backbones_.end()) return it->second.get();
+  auto model = srmodels::MakeBackbone(backbone, num_items(),
+                                      /*history_length=*/10, /*seed=*/5);
+  model->Train(workbench_->splits().train, SrTrainConfig(backbone));
+  return backbones_.emplace(backbone, std::move(model))
+      .first->second.get();
+}
+
+std::unique_ptr<llm::TinyLm> DatasetHarness::Llm(core::LlmSize size) {
+  return workbench_->MakePretrainedLlm(size);
+}
+
+eval::MetricsAccumulator DatasetHarness::Evaluate(
+    const eval::CandidateScorer& scorer) const {
+  eval::EvalConfig config;
+  config.max_examples = options_.eval_examples;
+  return eval::EvaluateCandidates(workbench_->splits().test, num_items(),
+                                  scorer, config);
+}
+
+eval::MetricsAccumulator DatasetHarness::EvaluateRecommender(
+    const srmodels::SequentialRecommender& model) const {
+  return Evaluate([&](const data::Example& example,
+                      const std::vector<int64_t>& candidates) {
+    return model.ScoreCandidates(example.history, candidates);
+  });
+}
+
+eval::MetricsAccumulator DatasetHarness::EvaluateLlmBaseline(
+    const baselines::LlmRecommender& model) const {
+  return Evaluate([&](const data::Example& example,
+                      const std::vector<int64_t>& candidates) {
+    return model.ScoreCandidates(example, candidates);
+  });
+}
+
+eval::MetricsAccumulator DatasetHarness::EvaluateDelRec(
+    const core::DelRec& model) const {
+  return Evaluate([&](const data::Example& example,
+                      const std::vector<int64_t>& candidates) {
+    return model.ScoreCandidates(example, candidates);
+  });
+}
+
+core::DelRecConfig DatasetHarness::DelRecDefaults() const {
+  core::DelRecConfig config;
+  // α = 4 for MovieLens-100K and Beauty, 6 for Steam and Home & Kitchen
+  // (paper §V-A3); other datasets default to 4.
+  config.icl_alpha =
+      (config_.name == "Steam" || config_.name == "Home & Kitchen") ? 6 : 4;
+  config.stage1_max_examples = options_.stage1_examples;
+  config.stage1_epochs = options_.stage1_epochs;
+  config.stage2_max_examples = options_.stage2_examples;
+  config.stage2_epochs = options_.stage2_epochs;
+  return config;
+}
+
+baselines::LlmRecConfig DatasetHarness::BaselineDefaults() const {
+  baselines::LlmRecConfig config;
+  config.max_examples = options_.baseline_examples;
+  config.epochs = options_.baseline_epochs;
+  return config;
+}
+
+srmodels::TrainConfig DatasetHarness::SrTrainConfig(
+    srmodels::Backbone backbone) const {
+  srmodels::TrainConfig config = srmodels::BackboneTrainConfig(backbone);
+  config.epochs = options_.sr_epochs;
+  return config;
+}
+
+DatasetHarness::TrainedDelRec DatasetHarness::TrainDelRec(
+    srmodels::Backbone backbone, const core::DelRecConfig& config) {
+  TrainedDelRec result;
+  result.llm = Llm(core::LlmSize::kXL);
+  result.model = std::make_unique<core::DelRec>(
+      &workbench_->dataset().catalog, &workbench_->vocab(), result.llm.get(),
+      Backbone(backbone), config);
+  result.model->Train(workbench_->splits().train);
+  return result;
+}
+
+std::vector<std::string> SignificanceSuffixes(
+    const eval::MetricsAccumulator& method,
+    const eval::MetricsAccumulator& reference) {
+  // Paired t-test over per-example HR@1 and NDCG@10 samples; the paper
+  // attaches stars per column, we derive HR columns from the HR@1 pairing
+  // and NDCG columns from the NDCG@10 pairing.
+  const auto hr = eval::PairedTTest(method.hit_at_1_samples(),
+                                    reference.hit_at_1_samples());
+  const auto ndcg = eval::PairedTTest(method.ndcg_at_10_samples(),
+                                      reference.ndcg_at_10_samples());
+  // Stars mark significant *improvements* only (positive mean difference).
+  const std::string hr_stars =
+      hr.t_statistic > 0 ? eval::SignificanceStars(hr.p_value) : "";
+  const std::string ndcg_stars =
+      ndcg.t_statistic > 0 ? eval::SignificanceStars(ndcg.p_value) : "";
+  // Column order: HR@1, HR@5, NDCG@5, HR@10, NDCG@10.
+  return {hr_stars, hr_stars, ndcg_stars, hr_stars, ndcg_stars};
+}
+
+}  // namespace delrec::bench

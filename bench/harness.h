@@ -1,0 +1,101 @@
+#ifndef DELREC_BENCH_HARNESS_H_
+#define DELREC_BENCH_HARNESS_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/common.h"
+#include "core/delrec.h"
+#include "core/workbench.h"
+#include "data/dataset.h"
+#include "eval/metrics.h"
+#include "eval/protocol.h"
+#include "srmodels/factory.h"
+
+namespace delrec::bench {
+
+/// Global bench scaling. DELREC_FAST=1 in the environment cuts training and
+/// evaluation budgets ~4× for quick smoke runs; default reproduces the
+/// paper-shaped tables.
+struct HarnessOptions {
+  bool fast = false;
+  int64_t eval_examples = 250;
+  int pretrain_epochs = 3;
+  // DELRec budgets.
+  int64_t stage1_examples = 200;
+  int stage1_epochs = 2;
+  int64_t stage2_examples = 1200;
+  int stage2_epochs = 8;
+  // Baseline fine-tuning budgets.
+  int64_t baseline_examples = 600;
+  int baseline_epochs = 4;
+  // Conventional SR model budget.
+  int sr_epochs = 6;
+};
+
+/// Reads DELREC_FAST from the environment and scales budgets.
+HarnessOptions OptionsFromEnv();
+
+/// One dataset's full experimental context: generated data, splits, cached
+/// pretrained LLM weights and lazily trained conventional backbones. Every
+/// method evaluated on this harness sees identical candidate sets.
+class DatasetHarness {
+ public:
+  DatasetHarness(const data::GeneratorConfig& config,
+                 const HarnessOptions& options);
+
+  core::Workbench& workbench() { return *workbench_; }
+  const data::GeneratorConfig& config() const { return config_; }
+  const HarnessOptions& options() const { return options_; }
+  int64_t num_items() const { return workbench_->num_items(); }
+
+  /// Trained conventional backbone (trained once, cached).
+  srmodels::SequentialRecommender* Backbone(srmodels::Backbone backbone);
+
+  /// Fresh pretrained LLM copy.
+  std::unique_ptr<llm::TinyLm> Llm(core::LlmSize size);
+
+  /// Candidate-set evaluation on the test split (fixed seed: all methods
+  /// rank the same sets).
+  eval::MetricsAccumulator Evaluate(const eval::CandidateScorer& scorer) const;
+  eval::MetricsAccumulator EvaluateRecommender(
+      const srmodels::SequentialRecommender& model) const;
+  eval::MetricsAccumulator EvaluateLlmBaseline(
+      const baselines::LlmRecommender& model) const;
+  eval::MetricsAccumulator EvaluateDelRec(const core::DelRec& model) const;
+
+  /// Paper-matched default configs, scaled by the harness options. α is 4
+  /// for MovieLens-100K/Beauty and 6 for Steam/Home & Kitchen (§V-A3).
+  core::DelRecConfig DelRecDefaults() const;
+  baselines::LlmRecConfig BaselineDefaults() const;
+  srmodels::TrainConfig SrTrainConfig(srmodels::Backbone backbone) const;
+
+  /// Trains a DELRec instance end-to-end on a fresh LLM and returns it
+  /// (with the LLM it owns via the returned pair).
+  struct TrainedDelRec {
+    std::unique_ptr<llm::TinyLm> llm;
+    std::unique_ptr<core::DelRec> model;
+  };
+  TrainedDelRec TrainDelRec(srmodels::Backbone backbone,
+                            const core::DelRecConfig& config);
+
+ private:
+  data::GeneratorConfig config_;
+  HarnessOptions options_;
+  std::unique_ptr<core::Workbench> workbench_;
+  std::map<srmodels::Backbone,
+           std::unique_ptr<srmodels::SequentialRecommender>>
+      backbones_;
+};
+
+/// "0.3701*" style cell: metric plus significance stars from a paired t-test
+/// of per-example HR@1 between `method` and `reference`.
+std::vector<std::string> SignificanceSuffixes(
+    const eval::MetricsAccumulator& method,
+    const eval::MetricsAccumulator& reference);
+
+}  // namespace delrec::bench
+
+#endif  // DELREC_BENCH_HARNESS_H_

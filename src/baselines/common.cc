@@ -1,0 +1,111 @@
+#include "baselines/common.h"
+
+#include <algorithm>
+
+#include "nn/module.h"
+#include "nn/ops.h"
+#include "util/check.h"
+#include "util/logging.h"
+
+namespace delrec::baselines {
+
+std::vector<nn::Tensor> CollectPeftParameters(
+    llm::TinyLm& model, int64_t rank, float scale,
+    std::vector<nn::LoraLinear*>* adapters_out) {
+  model.SetRequiresGrad(false);
+  std::vector<nn::LoraLinear*> adapters = model.EnableAdapters(rank, scale);
+  std::vector<nn::Tensor> parameters;
+  for (nn::LoraLinear* adapter : adapters) {
+    adapter->SetTraining(true);
+    for (const nn::Tensor& p : adapter->Parameters()) parameters.push_back(p);
+  }
+  for (nn::Tensor p : model.BitFitParameters()) {
+    p.set_requires_grad(true);
+    parameters.push_back(p);
+  }
+  for (nn::Tensor p : model.EmbeddingAdapterParameters()) {
+    p.set_requires_grad(true);
+    parameters.push_back(p);
+  }
+  nn::Tensor table = model.token_table();
+  table.set_requires_grad(true);
+  parameters.push_back(table);
+  if (adapters_out != nullptr) *adapters_out = adapters;
+  return parameters;
+}
+
+void FineTunePromptModel(
+    llm::TinyLm& model, const llm::Verbalizer& verbalizer,
+    const std::vector<data::Example>& examples, const LlmRecConfig& config,
+    const std::function<PromptExample(const data::Example&, util::Rng&)>&
+        make_example,
+    const char* name, const std::vector<nn::Tensor>& extra_parameters) {
+  DELREC_CHECK(!examples.empty()) << name << ": no training examples";
+  util::Rng rng(config.seed);
+  std::vector<data::Example> subset =
+      data::Subsample(examples, config.max_examples, rng);
+  std::vector<nn::LoraLinear*> adapters;
+  std::vector<nn::Tensor> parameters = CollectPeftParameters(
+      model, config.lora_rank, config.lora_scale, &adapters);
+  for (const nn::Tensor& p : extra_parameters) parameters.push_back(p);
+  nn::AdaLoraAllocator allocator(
+      (2 * config.lora_rank * static_cast<int64_t>(adapters.size())) / 3);
+  for (nn::LoraLinear* adapter : adapters) allocator.Register(adapter);
+  nn::Adam optimizer(parameters, config.learning_rate);
+  model.SetTraining(true);
+  std::vector<int64_t> order(subset.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  int64_t batch_counter = 0;
+  for (int epoch = 0; epoch < config.epochs; ++epoch) {
+    rng.Shuffle(order);
+    float epoch_loss = 0.0f;
+    int64_t batches = 0;
+    for (size_t start = 0; start < order.size();
+         start += config.batch_size) {
+      const size_t end =
+          std::min(order.size(), start + static_cast<size_t>(config.batch_size));
+      std::vector<nn::Tensor> losses;
+      for (size_t i = start; i < end; ++i) {
+        PromptExample unit = make_example(subset[order[i]], rng);
+        nn::Tensor hidden =
+            model.Encode(unit.prompt.pieces, config.dropout, rng);
+        nn::Tensor mask_logits =
+            model.LogitsAt(hidden, unit.prompt.mask_position);
+        if (unit.candidates.empty()) {
+          losses.push_back(nn::CrossEntropyWithLogits(
+              verbalizer.AllItemLogits(mask_logits), {unit.target_item}));
+        } else {
+          losses.push_back(nn::CrossEntropyWithLogits(
+              verbalizer.CandidateLogits(mask_logits, unit.candidates),
+              {unit.target_index}));
+        }
+      }
+      if (losses.empty()) continue;
+      nn::Tensor loss = nn::MulScalar(
+          nn::AddN(losses), 1.0f / static_cast<float>(losses.size()));
+      optimizer.ZeroGrad();
+      loss.Backward();
+      allocator.AccumulateSensitivity();
+      nn::ClipGradNorm(parameters, 5.0f);
+      optimizer.Step();
+      if (++batch_counter % 8 == 0) allocator.Reallocate();
+      epoch_loss += loss.item();
+      ++batches;
+    }
+    if (config.verbose) {
+      DELREC_LOG(Info) << name << " epoch " << epoch + 1 << "/"
+                       << config.epochs
+                       << " loss=" << (batches ? epoch_loss / batches : 0);
+    }
+  }
+  model.SetTraining(false);
+  model.SetRequiresGrad(true);
+}
+
+std::vector<int64_t> WindowHistory(const std::vector<int64_t>& history,
+                                   int64_t limit) {
+  if (static_cast<int64_t>(history.size()) <= limit) return history;
+  return std::vector<int64_t>(history.end() - limit, history.end());
+}
+
+}  // namespace delrec::baselines

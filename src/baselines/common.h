@@ -1,0 +1,89 @@
+#ifndef DELREC_BASELINES_COMMON_H_
+#define DELREC_BASELINES_COMMON_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+#include "data/split.h"
+#include "llm/prompt.h"
+#include "llm/tiny_lm.h"
+#include "llm/verbalizer.h"
+#include "llm/vocab.h"
+#include "nn/lora.h"
+#include "nn/optimizer.h"
+#include "util/rng.h"
+
+namespace delrec::baselines {
+
+/// Shared fine-tuning knobs for the LLM-based baselines. Matched to
+/// DELRec's stage-2 budget so comparisons are fair.
+struct LlmRecConfig {
+  int64_t history_length = 10;
+  int64_t candidate_count = 15;
+  int epochs = 5;
+  float learning_rate = 1e-3f;
+  int64_t max_examples = 700;
+  /// See DelRecConfig::candidates_in_prompt.
+  bool candidates_in_prompt = false;
+  int batch_size = 16;
+  float dropout = 0.1f;
+  int64_t lora_rank = 8;
+  float lora_scale = 2.0f;
+  uint64_t seed = 41;
+  bool verbose = false;
+};
+
+/// Interface shared by every LLM-based recommender baseline.
+class LlmRecommender {
+ public:
+  virtual ~LlmRecommender() = default;
+  virtual std::string name() const = 0;
+  virtual void Train(const std::vector<data::Example>& examples) = 0;
+  virtual std::vector<float> ScoreCandidates(
+      const data::Example& example,
+      const std::vector<int64_t>& candidates) const = 0;
+};
+
+/// Assembles the PEFT parameter group used by every fine-tuned baseline and
+/// by DELRec stage 2: AdaLoRA adapters, BitFit biases/LN, embedding-LoRA
+/// factors, and the fully-tuned token table (modules_to_save analog).
+/// Base dense weights are frozen as a side effect.
+std::vector<nn::Tensor> CollectPeftParameters(
+    llm::TinyLm& model, int64_t rank, float scale,
+    std::vector<nn::LoraLinear*>* adapters_out);
+
+/// One fine-tuning unit of work: the composed prompt, the candidate list it
+/// scores, and the index of the supervised target within the candidates.
+struct PromptExample {
+  llm::Prompt prompt;
+  /// Non-empty: supervise with candidate cross-entropy over this list using
+  /// target_index (LlamaRec's shortlist ranking). Empty: supervise with the
+  /// full-catalog softmax head on target_item (the default — the same
+  /// full-ranking supervision conventional SR models get).
+  std::vector<int64_t> candidates;
+  int64_t target_index = 0;
+  int64_t target_item = -1;
+};
+
+/// Shared fine-tuning loop: Adam over the PEFT group, batch-mean candidate
+/// cross-entropy through the verbalizer. `make_example` rebuilds the prompt
+/// each epoch (so candidate sampling and dropout re-randomize).
+void FineTunePromptModel(
+    llm::TinyLm& model, const llm::Verbalizer& verbalizer,
+    const std::vector<data::Example>& examples, const LlmRecConfig& config,
+    const std::function<PromptExample(const data::Example&, util::Rng&)>&
+        make_example,
+    const char* name,
+    const std::vector<nn::Tensor>& extra_parameters = {});
+
+/// Truncates a history to its most recent `limit` items.
+std::vector<int64_t> WindowHistory(const std::vector<int64_t>& history,
+                                   int64_t limit);
+
+}  // namespace delrec::baselines
+
+#endif  // DELREC_BASELINES_COMMON_H_

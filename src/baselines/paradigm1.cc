@@ -1,0 +1,181 @@
+#include "baselines/paradigm1.h"
+
+#include <algorithm>
+
+#include "nn/ops.h"
+#include "util/check.h"
+#include "util/string_util.h"
+
+namespace delrec::baselines {
+
+// ---------------------------------------------------------------- RecRanker
+
+RecRanker::RecRanker(llm::TinyLm* model,
+                     srmodels::SequentialRecommender* sr_model,
+                     const data::Catalog* catalog, const llm::Vocab* vocab,
+                     const LlmRecConfig& config)
+    : model_(model),
+      sr_model_(sr_model),
+      catalog_(catalog),
+      prompt_builder_(catalog, vocab),
+      verbalizer_(*catalog, *vocab),
+      config_(config),
+      scratch_rng_(config.seed ^ 0xabcd) {}
+
+std::vector<int64_t> RecRanker::HintTokens(
+    const std::vector<int64_t>& history) const {
+  // Textual SR output: "the <model> model recommends top <t1> <t2> <t3>".
+  const std::vector<int64_t> top = sr_model_->TopK(history, 3);
+  std::vector<int64_t> tokens = prompt_builder_.vocab().Encode(
+      "the " + util::ToLower(sr_model_->name()) + " model recommends top");
+  for (int64_t item : top) {
+    for (int64_t token : prompt_builder_.TitleTokens(item)) {
+      tokens.push_back(token);
+    }
+  }
+  return tokens;
+}
+
+void RecRanker::Train(const std::vector<data::Example>& examples) {
+  // Importance-aware sampling: longer histories carry more signal, so weight
+  // examples by history length when drawing the training subset.
+  std::vector<data::Example> weighted;
+  util::Rng sample_rng(config_.seed + 3);
+  std::vector<double> weights;
+  weights.reserve(examples.size());
+  for (const data::Example& example : examples) {
+    weights.push_back(static_cast<double>(example.history.size()));
+  }
+  const int64_t want = std::min<int64_t>(
+      config_.max_examples, static_cast<int64_t>(examples.size()));
+  for (int64_t i = 0; i < want; ++i) {
+    weighted.push_back(examples[sample_rng.Discrete(weights)]);
+  }
+  LlmRecConfig config = config_;
+  config.max_examples = want;  // Already sampled.
+  FineTunePromptModel(
+      *model_, verbalizer_, weighted, config,
+      [&](const data::Example& example, util::Rng& rng) {
+        PromptExample unit;
+        const std::vector<int64_t> history =
+            WindowHistory(example.history, config_.history_length);
+        unit.prompt = prompt_builder_.BuildRecommendation(
+            history, {}, nn::Tensor(), HintTokens(history), nn::Tensor());
+        unit.target_item = example.target;
+        return unit;
+      },
+      "RecRanker");
+}
+
+std::vector<float> RecRanker::ScoreCandidates(
+    const data::Example& example,
+    const std::vector<int64_t>& candidates) const {
+  nn::NoGradGuard no_grad;
+  const std::vector<int64_t> history =
+      WindowHistory(example.history, config_.history_length);
+  llm::Prompt prompt = prompt_builder_.BuildRecommendation(
+      history,
+      config_.candidates_in_prompt ? candidates : std::vector<int64_t>{}, nn::Tensor(), HintTokens(history), nn::Tensor());
+  nn::Tensor hidden = model_->Encode(prompt.pieces, 0.0f, scratch_rng_);
+  return verbalizer_.Scores(
+      model_->LogitsAt(hidden, prompt.mask_position).data(), candidates);
+}
+
+// ------------------------------------------------------------- LlmSeqPrompt
+
+LlmSeqPrompt::LlmSeqPrompt(llm::TinyLm* model, const data::Catalog* catalog,
+                           const llm::Vocab* vocab,
+                           const LlmRecConfig& config)
+    : model_(model),
+      catalog_(catalog),
+      prompt_builder_(catalog, vocab),
+      verbalizer_(*catalog, *vocab),
+      config_(config),
+      scratch_rng_(config.seed ^ 0xbcde) {}
+
+void LlmSeqPrompt::Train(const std::vector<data::Example>& examples) {
+  FineTunePromptModel(
+      *model_, verbalizer_, examples, config_,
+      [&](const data::Example& example, util::Rng& rng) {
+        PromptExample unit;
+        unit.prompt = prompt_builder_.BuildRecommendation(
+            WindowHistory(example.history, config_.history_length), {},
+            nn::Tensor(), {}, nn::Tensor());
+        unit.target_item = example.target;
+        return unit;
+      },
+      "LLMSEQPROMPT");
+}
+
+std::vector<float> LlmSeqPrompt::ScoreCandidates(
+    const data::Example& example,
+    const std::vector<int64_t>& candidates) const {
+  nn::NoGradGuard no_grad;
+  llm::Prompt prompt = prompt_builder_.BuildRecommendation(
+      WindowHistory(example.history, config_.history_length),
+      config_.candidates_in_prompt ? candidates : std::vector<int64_t>{},
+      nn::Tensor(), {}, nn::Tensor());
+  nn::Tensor hidden = model_->Encode(prompt.pieces, 0.0f, scratch_rng_);
+  return verbalizer_.Scores(
+      model_->LogitsAt(hidden, prompt.mask_position).data(), candidates);
+}
+
+// ------------------------------------------------------------------ LlmTrsr
+
+LlmTrsr::LlmTrsr(llm::TinyLm* model, const data::Catalog* catalog,
+                 const llm::Vocab* vocab, const LlmRecConfig& config)
+    : model_(model),
+      catalog_(catalog),
+      vocab_(vocab),
+      prompt_builder_(catalog, vocab),
+      verbalizer_(*catalog, *vocab),
+      config_(config),
+      scratch_rng_(config.seed ^ 0xcdef) {}
+
+std::vector<int64_t> LlmTrsr::SummaryTokens(
+    const std::vector<int64_t>& history) const {
+  // Recurrent summarization, condensed: recency-weighted genre histogram;
+  // the dominant genre becomes the textual preference summary.
+  std::vector<double> mass(catalog_->num_genres, 0.0);
+  double weight = 1.0;
+  for (auto it = history.rbegin(); it != history.rend(); ++it) {
+    mass[catalog_->items[*it].genre] += weight;
+    weight *= 0.8;  // Older interactions matter less.
+  }
+  const int64_t dominant =
+      std::max_element(mass.begin(), mass.end()) - mass.begin();
+  return vocab_->Encode("the user prefers mostly " +
+                        catalog_->genre_names[dominant] + " items recently");
+}
+
+void LlmTrsr::Train(const std::vector<data::Example>& examples) {
+  FineTunePromptModel(
+      *model_, verbalizer_, examples, config_,
+      [&](const data::Example& example, util::Rng& rng) {
+        PromptExample unit;
+        const std::vector<int64_t> history =
+            WindowHistory(example.history, config_.history_length);
+        unit.prompt = prompt_builder_.BuildRecommendation(
+            history, {}, nn::Tensor(), SummaryTokens(history), nn::Tensor());
+        unit.target_item = example.target;
+        return unit;
+      },
+      "LLM-TRSR");
+}
+
+std::vector<float> LlmTrsr::ScoreCandidates(
+    const data::Example& example,
+    const std::vector<int64_t>& candidates) const {
+  nn::NoGradGuard no_grad;
+  const std::vector<int64_t> history =
+      WindowHistory(example.history, config_.history_length);
+  llm::Prompt prompt = prompt_builder_.BuildRecommendation(
+      history,
+      config_.candidates_in_prompt ? candidates : std::vector<int64_t>{}, nn::Tensor(), SummaryTokens(history),
+      nn::Tensor());
+  nn::Tensor hidden = model_->Encode(prompt.pieces, 0.0f, scratch_rng_);
+  return verbalizer_.Scores(
+      model_->LogitsAt(hidden, prompt.mask_position).data(), candidates);
+}
+
+}  // namespace delrec::baselines

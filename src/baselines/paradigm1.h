@@ -1,0 +1,98 @@
+#ifndef DELREC_BASELINES_PARADIGM1_H_
+#define DELREC_BASELINES_PARADIGM1_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/common.h"
+#include "srmodels/recommender.h"
+
+namespace delrec::baselines {
+
+/// Paradigm 1 — *textual information from conventional SR models in the
+/// prompt*. All three methods fine-tune the LLM with the shared PEFT budget;
+/// they differ in what text they add.
+
+/// RecRanker (Luo et al. 2023): importance-aware sampling of training users
+/// (longer histories weigh more) and the conventional model's top-3
+/// recommendations written into the prompt as text.
+class RecRanker : public LlmRecommender {
+ public:
+  RecRanker(llm::TinyLm* model, srmodels::SequentialRecommender* sr_model,
+            const data::Catalog* catalog, const llm::Vocab* vocab,
+            const LlmRecConfig& config);
+
+  std::string name() const override { return "RecRanker"; }
+  void Train(const std::vector<data::Example>& examples) override;
+  std::vector<float> ScoreCandidates(
+      const data::Example& example,
+      const std::vector<int64_t>& candidates) const override;
+
+ private:
+  std::vector<int64_t> HintTokens(const std::vector<int64_t>& history) const;
+
+  llm::TinyLm* model_;
+  srmodels::SequentialRecommender* sr_model_;
+  const data::Catalog* catalog_;
+  llm::PromptBuilder prompt_builder_;
+  llm::Verbalizer verbalizer_;
+  LlmRecConfig config_;
+  mutable util::Rng scratch_rng_;
+};
+
+/// LLMSEQPROMPT (Harte et al., RecSys 2023): injects domain knowledge by
+/// fine-tuning the LLM on session → next-item prompts (no conventional-SR
+/// information at all).
+class LlmSeqPrompt : public LlmRecommender {
+ public:
+  LlmSeqPrompt(llm::TinyLm* model, const data::Catalog* catalog,
+               const llm::Vocab* vocab, const LlmRecConfig& config);
+
+  std::string name() const override { return "LLMSEQPROMPT"; }
+  void Train(const std::vector<data::Example>& examples) override;
+  std::vector<float> ScoreCandidates(
+      const data::Example& example,
+      const std::vector<int64_t>& candidates) const override;
+
+ private:
+  llm::TinyLm* model_;
+  const data::Catalog* catalog_;
+  llm::PromptBuilder prompt_builder_;
+  llm::Verbalizer verbalizer_;
+  LlmRecConfig config_;
+  mutable util::Rng scratch_rng_;
+};
+
+/// LLM-TRSR (Zheng et al., WWW 2024): builds a textual *preference summary*
+/// of the user's history (dominant genres, recency-weighted) and prompts
+/// with summary + recent interactions + candidates, then fine-tunes.
+class LlmTrsr : public LlmRecommender {
+ public:
+  LlmTrsr(llm::TinyLm* model, const data::Catalog* catalog,
+          const llm::Vocab* vocab, const LlmRecConfig& config);
+
+  std::string name() const override { return "LLM-TRSR"; }
+  void Train(const std::vector<data::Example>& examples) override;
+  std::vector<float> ScoreCandidates(
+      const data::Example& example,
+      const std::vector<int64_t>& candidates) const override;
+
+  /// Recurrent preference summary as tokens (exposed for tests): genre with
+  /// the highest recency-weighted mass in the history.
+  std::vector<int64_t> SummaryTokens(
+      const std::vector<int64_t>& history) const;
+
+ private:
+  llm::TinyLm* model_;
+  const data::Catalog* catalog_;
+  const llm::Vocab* vocab_;
+  llm::PromptBuilder prompt_builder_;
+  llm::Verbalizer verbalizer_;
+  LlmRecConfig config_;
+  mutable util::Rng scratch_rng_;
+};
+
+}  // namespace delrec::baselines
+
+#endif  // DELREC_BASELINES_PARADIGM1_H_

@@ -1,0 +1,130 @@
+#include "baselines/paradigm2.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "eval/stats.h"
+#include "nn/ops.h"
+#include "util/check.h"
+
+namespace delrec::baselines {
+
+// --------------------------------------------------------------------- LLaRA
+
+Llara::Llara(llm::TinyLm* model, srmodels::SequentialRecommender* sr_model,
+             const data::Catalog* catalog, const llm::Vocab* vocab,
+             const LlmRecConfig& config)
+    : model_(model),
+      sr_model_(sr_model),
+      catalog_(catalog),
+      prompt_builder_(catalog, vocab),
+      verbalizer_(*catalog, *vocab),
+      config_(config),
+      scratch_rng_(config.seed ^ 0x1a2a) {
+  DELREC_CHECK_GT(sr_model->representation_dim(), 0)
+      << "LLaRA needs an SR model that exposes embeddings";
+  util::Rng init_rng(config.seed + 9);
+  projector_ = std::make_unique<nn::Linear>(sr_model->representation_dim(),
+                                            model->model_dim(), init_rng);
+}
+
+nn::Tensor Llara::InjectedRows(const std::vector<int64_t>& history) const {
+  // Two injected rows: the SR model's history encoding and its embedding of
+  // the most recent item, both through the (trainable) projector.
+  const std::vector<float> encoded = sr_model_->EncodeHistory(history);
+  const std::vector<float> last_item =
+      sr_model_->ItemEmbedding(history.back());
+  const int64_t sr_dim = sr_model_->representation_dim();
+  std::vector<float> raw;
+  raw.insert(raw.end(), encoded.begin(), encoded.end());
+  raw.insert(raw.end(), last_item.begin(), last_item.end());
+  nn::Tensor source = nn::Tensor::FromData({2, sr_dim}, std::move(raw));
+  return projector_->Forward(source);  // (2, model_dim)
+}
+
+void Llara::Train(const std::vector<data::Example>& examples) {
+  FineTunePromptModel(
+      *model_, verbalizer_, examples, config_,
+      [&](const data::Example& example, util::Rng& rng) {
+        PromptExample unit;
+        const std::vector<int64_t> history =
+            WindowHistory(example.history, config_.history_length);
+        unit.prompt = prompt_builder_.BuildRecommendation(
+            history, {}, nn::Tensor(), {}, InjectedRows(history));
+        unit.target_item = example.target;
+        return unit;
+      },
+      "LLaRA", projector_->Parameters());
+}
+
+std::vector<float> Llara::ScoreCandidates(
+    const data::Example& example,
+    const std::vector<int64_t>& candidates) const {
+  nn::NoGradGuard no_grad;
+  const std::vector<int64_t> history =
+      WindowHistory(example.history, config_.history_length);
+  llm::Prompt prompt = prompt_builder_.BuildRecommendation(
+      history,
+      config_.candidates_in_prompt ? candidates : std::vector<int64_t>{}, nn::Tensor(), {}, InjectedRows(history));
+  nn::Tensor hidden = model_->Encode(prompt.pieces, 0.0f, scratch_rng_);
+  return verbalizer_.Scores(
+      model_->LogitsAt(hidden, prompt.mask_position).data(), candidates);
+}
+
+// -------------------------------------------------------------- LLM2BERT4Rec
+
+Llm2Bert4Rec::Llm2Bert4Rec(llm::TinyLm* llm_for_embeddings,
+                           const data::Catalog* catalog,
+                           const llm::Vocab* vocab,
+                           const LlmRecConfig& config)
+    : config_(config) {
+  // LLM title embeddings → PCA to the BERT4Rec width → scaled init.
+  const int64_t bert_dim =
+      std::max<int64_t>(8, llm_for_embeddings->model_dim() / 2);
+  std::vector<std::vector<float>> llm_embeddings;
+  llm_embeddings.reserve(catalog->items.size());
+  for (const data::Item& item : catalog->items) {
+    llm_embeddings.push_back(
+        llm_for_embeddings->EmbedTokens(vocab->Encode(item.title)));
+  }
+  std::vector<std::vector<float>> reduced =
+      eval::PcaReduce(llm_embeddings, static_cast<int>(bert_dim));
+  // Rescale to a healthy init std so downstream training is stable.
+  double sq = 0.0;
+  int64_t count = 0;
+  for (const auto& row : reduced) {
+    for (float v : row) {
+      sq += static_cast<double>(v) * v;
+      ++count;
+    }
+  }
+  const float std_now =
+      static_cast<float>(std::sqrt(sq / std::max<int64_t>(1, count)));
+  const float scale = std_now > 1e-12f ? 0.05f / std_now : 1.0f;
+  for (auto& row : reduced) {
+    for (float& v : row) v *= scale;
+  }
+  bert_ = std::make_unique<srmodels::Bert4Rec>(
+      catalog->size(), bert_dim, config.history_length, /*num_blocks=*/2,
+      /*num_heads=*/2, config.seed + 17);
+  bert_->InitializeItemEmbeddings(reduced);
+}
+
+void Llm2Bert4Rec::Train(const std::vector<data::Example>& examples) {
+  srmodels::TrainConfig train;
+  train.epochs = std::max(4, config_.epochs);
+  train.learning_rate = 2e-3f;
+  train.dropout = 0.2f;
+  train.history_length = config_.history_length;
+  train.seed = config_.seed;
+  train.verbose = config_.verbose;
+  bert_->Train(examples, train);
+}
+
+std::vector<float> Llm2Bert4Rec::ScoreCandidates(
+    const data::Example& example,
+    const std::vector<int64_t>& candidates) const {
+  return bert_->ScoreCandidates(example.history, candidates);
+}
+
+}  // namespace delrec::baselines

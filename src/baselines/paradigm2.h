@@ -1,0 +1,70 @@
+#ifndef DELREC_BASELINES_PARADIGM2_H_
+#define DELREC_BASELINES_PARADIGM2_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/common.h"
+#include "nn/layers.h"
+#include "srmodels/bert4rec.h"
+#include "srmodels/recommender.h"
+
+namespace delrec::baselines {
+
+/// Paradigm 2 — *embeddings from conventional SR models fed to the LLM*.
+
+/// LLaRA (Liao et al. 2023): the conventional model's history encoding and
+/// item embeddings are mapped through a learned linear projector into the
+/// LLM's embedding space and spliced into the prompt; the projector and the
+/// LLM's PEFT group are trained jointly. The projector is exactly the
+/// information bottleneck the DELRec paper criticizes.
+class Llara : public LlmRecommender {
+ public:
+  Llara(llm::TinyLm* model, srmodels::SequentialRecommender* sr_model,
+        const data::Catalog* catalog, const llm::Vocab* vocab,
+        const LlmRecConfig& config);
+
+  std::string name() const override { return "LLaRA"; }
+  void Train(const std::vector<data::Example>& examples) override;
+  std::vector<float> ScoreCandidates(
+      const data::Example& example,
+      const std::vector<int64_t>& candidates) const override;
+
+ private:
+  /// Projects the SR history encoding into one LLM-space embedding row.
+  nn::Tensor InjectedRows(const std::vector<int64_t>& history) const;
+
+  llm::TinyLm* model_;
+  srmodels::SequentialRecommender* sr_model_;
+  const data::Catalog* catalog_;
+  llm::PromptBuilder prompt_builder_;
+  llm::Verbalizer verbalizer_;
+  LlmRecConfig config_;
+  std::unique_ptr<nn::Linear> projector_;
+  mutable util::Rng scratch_rng_;
+};
+
+/// LLM2BERT4Rec (Harte et al., RecSys 2023): initializes BERT4Rec's item
+/// embedding table from PCA-reduced LLM title embeddings, then trains
+/// BERT4Rec with its usual masked protocol. The LLM is used only as an
+/// embedding source.
+class Llm2Bert4Rec : public LlmRecommender {
+ public:
+  Llm2Bert4Rec(llm::TinyLm* llm_for_embeddings, const data::Catalog* catalog,
+               const llm::Vocab* vocab, const LlmRecConfig& config);
+
+  std::string name() const override { return "LLM2BERT4Rec"; }
+  void Train(const std::vector<data::Example>& examples) override;
+  std::vector<float> ScoreCandidates(
+      const data::Example& example,
+      const std::vector<int64_t>& candidates) const override;
+
+ private:
+  LlmRecConfig config_;
+  std::unique_ptr<srmodels::Bert4Rec> bert_;
+};
+
+}  // namespace delrec::baselines
+
+#endif  // DELREC_BASELINES_PARADIGM2_H_

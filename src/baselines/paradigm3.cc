@@ -1,0 +1,197 @@
+#include "baselines/paradigm3.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "eval/stats.h"
+#include "nn/ops.h"
+#include "util/check.h"
+
+namespace delrec::baselines {
+namespace {
+
+int64_t FindIndex(const std::vector<int64_t>& candidates, int64_t target) {
+  const auto it = std::find(candidates.begin(), candidates.end(), target);
+  DELREC_CHECK(it != candidates.end());
+  return std::distance(candidates.begin(), it);
+}
+
+}  // namespace
+
+// ------------------------------------------------------------------ LlamaRec
+
+LlamaRec::LlamaRec(llm::TinyLm* model,
+                   srmodels::SequentialRecommender* sr_model,
+                   const data::Catalog* catalog, const llm::Vocab* vocab,
+                   const LlmRecConfig& config, int64_t shortlist_size)
+    : model_(model),
+      sr_model_(sr_model),
+      catalog_(catalog),
+      prompt_builder_(catalog, vocab),
+      verbalizer_(*catalog, *vocab),
+      config_(config),
+      shortlist_size_(shortlist_size),
+      scratch_rng_(config.seed ^ 0x3c3c) {}
+
+void LlamaRec::Train(const std::vector<data::Example>& examples) {
+  // Fine-tune the ranker on shortlists recalled by the conventional model
+  // (only examples whose target survives recall supervise the ranker, as in
+  // the original's two-stage setup).
+  FineTunePromptModel(
+      *model_, verbalizer_, examples, config_,
+      [&](const data::Example& example, util::Rng& rng) {
+        PromptExample unit;
+        const std::vector<int64_t> history =
+            WindowHistory(example.history, config_.history_length);
+        std::vector<int64_t> pool = data::SampleCandidates(
+            catalog_->size(), example.target, config_.candidate_count, rng);
+        // Recall stage: conventional-model top shortlist within the pool.
+        const std::vector<float> sr_scores =
+            sr_model_->ScoreCandidates(history, pool);
+        std::vector<int64_t> order = srmodels::TopKFromScores(
+            sr_scores, static_cast<int64_t>(pool.size()));
+        std::vector<int64_t> shortlist;
+        for (int64_t index : order) {
+          if (static_cast<int64_t>(shortlist.size()) >= shortlist_size_) break;
+          shortlist.push_back(pool[index]);
+        }
+        // Ensure the target is present so the loss is defined (standard
+        // teacher-forcing in retrieve-then-rank training).
+        if (std::find(shortlist.begin(), shortlist.end(), example.target) ==
+            shortlist.end()) {
+          shortlist.back() = example.target;
+        }
+        unit.candidates = shortlist;
+        unit.prompt = prompt_builder_.BuildRecommendation(
+            history, shortlist, nn::Tensor(), {}, nn::Tensor());
+        unit.target_index = FindIndex(shortlist, example.target);
+        return unit;
+      },
+      "LlamaRec");
+}
+
+std::vector<float> LlamaRec::ScoreCandidates(
+    const data::Example& example,
+    const std::vector<int64_t>& candidates) const {
+  nn::NoGradGuard no_grad;
+  const std::vector<int64_t> history =
+      WindowHistory(example.history, config_.history_length);
+  const std::vector<float> sr_scores =
+      sr_model_->ScoreCandidates(history, candidates);
+  // Recall: indices of the conventional model's shortlist.
+  std::vector<int64_t> order = srmodels::TopKFromScores(
+      sr_scores, std::min<int64_t>(shortlist_size_,
+                                   static_cast<int64_t>(candidates.size())));
+  std::vector<int64_t> shortlist;
+  for (int64_t index : order) shortlist.push_back(candidates[index]);
+  llm::Prompt prompt = prompt_builder_.BuildRecommendation(
+      history, shortlist, nn::Tensor(), {}, nn::Tensor());
+  nn::Tensor hidden = model_->Encode(prompt.pieces, 0.0f, scratch_rng_);
+  const std::vector<float> llm_scores = verbalizer_.Scores(
+      model_->LogitsAt(hidden, prompt.mask_position).data(), shortlist);
+  // Shortlisted candidates are ranked by the LLM above everything else;
+  // the rest keep conventional scores shifted below the shortlist range.
+  float min_llm = llm_scores.empty() ? 0.0f : llm_scores[0];
+  for (float s : llm_scores) min_llm = std::min(min_llm, s);
+  float max_sr = sr_scores[0];
+  for (float s : sr_scores) max_sr = std::max(max_sr, s);
+  std::vector<float> final_scores(candidates.size());
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    final_scores[i] = sr_scores[i] - max_sr + min_llm - 1.0f;
+  }
+  for (size_t s = 0; s < shortlist.size(); ++s) {
+    final_scores[order[s]] = llm_scores[s];
+  }
+  return final_scores;
+}
+
+// ----------------------------------------------------------------- LlmSeqSim
+
+LlmSeqSim::LlmSeqSim(llm::TinyLm* model, const data::Catalog* catalog,
+                     const llm::Vocab* vocab, int64_t history_length,
+                     float recency_decay)
+    : history_length_(history_length), recency_decay_(recency_decay) {
+  item_embeddings_.reserve(catalog->items.size());
+  for (const data::Item& item : catalog->items) {
+    item_embeddings_.push_back(
+        model->EmbedTokens(vocab->Encode(item.title)));
+  }
+}
+
+std::vector<float> LlmSeqSim::ScoreCandidates(
+    const data::Example& example,
+    const std::vector<int64_t>& candidates) const {
+  const std::vector<int64_t> history =
+      WindowHistory(example.history, history_length_);
+  DELREC_CHECK(!history.empty());
+  // Session embedding: recency-weighted mean of item embeddings.
+  std::vector<float> session(item_embeddings_[0].size(), 0.0f);
+  float weight = 1.0f;
+  float total = 0.0f;
+  for (auto it = history.rbegin(); it != history.rend(); ++it) {
+    const auto& embedding = item_embeddings_[*it];
+    for (size_t d = 0; d < session.size(); ++d) {
+      session[d] += weight * embedding[d];
+    }
+    total += weight;
+    weight *= recency_decay_;
+  }
+  for (float& v : session) v /= total;
+  std::vector<float> scores;
+  scores.reserve(candidates.size());
+  for (int64_t candidate : candidates) {
+    scores.push_back(
+        eval::CosineSimilarity(session, item_embeddings_[candidate]));
+  }
+  return scores;
+}
+
+// ------------------------------------------------------------------- KdaLrd
+
+KdaLrd::KdaLrd(llm::TinyLm* model, const data::Catalog* catalog,
+               const llm::Vocab* vocab, const LlmRecConfig& config,
+               float latent_weight)
+    : config_(config) {
+  const int64_t relation_dim = 12;
+  kda_ = std::make_unique<srmodels::Kda>(
+      catalog->size(), /*embedding_dim=*/32, relation_dim,
+      config.history_length, /*num_frequencies=*/4, config.seed + 23);
+  // Latent Relation Discovery: LLM title embeddings, PCA-reduced to the
+  // relation width, become fixed latent-relation factors blended into KDA.
+  std::vector<std::vector<float>> llm_embeddings;
+  llm_embeddings.reserve(catalog->items.size());
+  for (const data::Item& item : catalog->items) {
+    llm_embeddings.push_back(model->EmbedTokens(vocab->Encode(item.title)));
+  }
+  std::vector<std::vector<float>> reduced =
+      eval::PcaReduce(llm_embeddings, static_cast<int>(relation_dim));
+  // Row-normalize so relation dot products stay bounded.
+  for (auto& row : reduced) {
+    double norm = 0.0;
+    for (float v : row) norm += static_cast<double>(v) * v;
+    norm = std::sqrt(norm);
+    if (norm > 1e-9) {
+      for (float& v : row) v = static_cast<float>(v / norm) * 0.3f;
+    }
+  }
+  kda_->InjectLatentRelations(reduced, latent_weight);
+}
+
+void KdaLrd::Train(const std::vector<data::Example>& examples) {
+  srmodels::TrainConfig train;
+  train.epochs = std::max(4, config_.epochs);
+  train.learning_rate = 2e-3f;
+  train.dropout = 0.2f;
+  train.history_length = config_.history_length;
+  train.seed = config_.seed;
+  train.verbose = config_.verbose;
+  kda_->Train(examples, train);
+}
+
+std::vector<float> KdaLrd::ScoreCandidates(
+    const data::Example& example,
+    const std::vector<int64_t>& candidates) const {
+  return kda_->ScoreCandidates(example.history, candidates);
+}
+
+}  // namespace delrec::baselines

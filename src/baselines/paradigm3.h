@@ -1,0 +1,87 @@
+#ifndef DELREC_BASELINES_PARADIGM3_H_
+#define DELREC_BASELINES_PARADIGM3_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/common.h"
+#include "srmodels/kda.h"
+#include "srmodels/recommender.h"
+
+namespace delrec::baselines {
+
+/// Paradigm 3 — *combining embeddings/outputs of LLMs and conventional SR
+/// models* (the LLM is not the final recommender, or works in tandem).
+
+/// LlamaRec (Yue et al. 2023): two-stage retrieve-then-rank. The
+/// conventional model recalls a shortlist from the candidate set; the LLM
+/// re-ranks the shortlist through its verbalizer. Candidates outside the
+/// shortlist keep (offset) conventional scores.
+class LlamaRec : public LlmRecommender {
+ public:
+  LlamaRec(llm::TinyLm* model, srmodels::SequentialRecommender* sr_model,
+           const data::Catalog* catalog, const llm::Vocab* vocab,
+           const LlmRecConfig& config, int64_t shortlist_size = 8);
+
+  std::string name() const override { return "LlamaRec"; }
+  void Train(const std::vector<data::Example>& examples) override;
+  std::vector<float> ScoreCandidates(
+      const data::Example& example,
+      const std::vector<int64_t>& candidates) const override;
+
+ private:
+  llm::TinyLm* model_;
+  srmodels::SequentialRecommender* sr_model_;
+  const data::Catalog* catalog_;
+  llm::PromptBuilder prompt_builder_;
+  llm::Verbalizer verbalizer_;
+  LlmRecConfig config_;
+  int64_t shortlist_size_;
+  mutable util::Rng scratch_rng_;
+};
+
+/// LLMSEQSIM (Harte et al., RecSys 2023): training-free. Items get LLM
+/// title embeddings; a session embedding is the recency-weighted mean of the
+/// history's item embeddings; candidates are ranked by cosine similarity.
+class LlmSeqSim : public LlmRecommender {
+ public:
+  LlmSeqSim(llm::TinyLm* model, const data::Catalog* catalog,
+            const llm::Vocab* vocab, int64_t history_length,
+            float recency_decay = 0.8f);
+
+  std::string name() const override { return "LLMSEQSIM"; }
+  void Train(const std::vector<data::Example>& examples) override {}
+  std::vector<float> ScoreCandidates(
+      const data::Example& example,
+      const std::vector<int64_t>& candidates) const override;
+
+ private:
+  int64_t history_length_;
+  float recency_decay_;
+  std::vector<std::vector<float>> item_embeddings_;
+};
+
+/// KDA_LRD (Yang et al. 2024): the KDA backbone augmented with Latent
+/// Relation Discovery — latent item relations derived from LLM title
+/// embeddings are blended into KDA's relation factors before training.
+class KdaLrd : public LlmRecommender {
+ public:
+  KdaLrd(llm::TinyLm* model, const data::Catalog* catalog,
+         const llm::Vocab* vocab, const LlmRecConfig& config,
+         float latent_weight = 0.4f);
+
+  std::string name() const override { return "KDA_LRD"; }
+  void Train(const std::vector<data::Example>& examples) override;
+  std::vector<float> ScoreCandidates(
+      const data::Example& example,
+      const std::vector<int64_t>& candidates) const override;
+
+ private:
+  LlmRecConfig config_;
+  std::unique_ptr<srmodels::Kda> kda_;
+};
+
+}  // namespace delrec::baselines
+
+#endif  // DELREC_BASELINES_PARADIGM3_H_

@@ -1,0 +1,29 @@
+#include "baselines/zero_shot.h"
+
+#include "nn/ops.h"
+
+namespace delrec::baselines {
+
+ZeroShotLlm::ZeroShotLlm(std::string display_name, llm::TinyLm* model,
+                         const data::Catalog* catalog,
+                         const llm::Vocab* vocab, int64_t history_length)
+    : display_name_(std::move(display_name)),
+      model_(model),
+      prompt_builder_(catalog, vocab),
+      verbalizer_(*catalog, *vocab),
+      history_length_(history_length),
+      scratch_rng_(17) {}
+
+std::vector<float> ZeroShotLlm::ScoreCandidates(
+    const data::Example& example,
+    const std::vector<int64_t>& candidates) const {
+  nn::NoGradGuard no_grad;
+  llm::Prompt prompt = prompt_builder_.BuildRecommendation(
+      WindowHistory(example.history, history_length_), candidates,
+      nn::Tensor(), {}, nn::Tensor());
+  nn::Tensor hidden = model_->Encode(prompt.pieces, 0.0f, scratch_rng_);
+  return verbalizer_.Scores(
+      model_->LogitsAt(hidden, prompt.mask_position).data(), candidates);
+}
+
+}  // namespace delrec::baselines

@@ -1,0 +1,39 @@
+#ifndef DELREC_BASELINES_ZERO_SHOT_H_
+#define DELREC_BASELINES_ZERO_SHOT_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/common.h"
+
+namespace delrec::baselines {
+
+/// Raw open-source LLM baseline (the paper's Bert-Large / Flan-T5-Large /
+/// Flan-T5-XL rows): the pretrained TinyLM scores the recommendation prompt
+/// zero-shot, with no recommendation-task training at all.
+class ZeroShotLlm : public LlmRecommender {
+ public:
+  /// `model`, `catalog`, `vocab` must outlive this object.
+  ZeroShotLlm(std::string display_name, llm::TinyLm* model,
+              const data::Catalog* catalog, const llm::Vocab* vocab,
+              int64_t history_length);
+
+  std::string name() const override { return display_name_; }
+  void Train(const std::vector<data::Example>& examples) override {}
+  std::vector<float> ScoreCandidates(
+      const data::Example& example,
+      const std::vector<int64_t>& candidates) const override;
+
+ private:
+  std::string display_name_;
+  llm::TinyLm* model_;
+  llm::PromptBuilder prompt_builder_;
+  llm::Verbalizer verbalizer_;
+  int64_t history_length_;
+  mutable util::Rng scratch_rng_;
+};
+
+}  // namespace delrec::baselines
+
+#endif  // DELREC_BASELINES_ZERO_SHOT_H_

@@ -1,0 +1,105 @@
+#include "core/checkpoint.h"
+
+#include "util/serialize.h"
+
+namespace delrec::core {
+namespace {
+
+constexpr char kLlmBlob[] = "llm_state";
+constexpr char kSoftBlob[] = "soft_prompts";
+constexpr char kEmbeddingABlob[] = "embedding_lora_a";
+constexpr char kEmbeddingBBlob[] = "embedding_lora_b";
+
+std::string AdapterBlobName(size_t index) {
+  return "adapter_" + std::to_string(index);
+}
+
+std::string AdapterMaskBlobName(size_t index) {
+  return "adapter_mask_" + std::to_string(index);
+}
+
+}  // namespace
+
+util::Status SaveDelRecCheckpoint(const DelRec& model, const llm::TinyLm& llm,
+                                  const std::string& path) {
+  util::BlobFile file;
+  file.Put(kLlmBlob, llm.StateDump());
+  file.Put(kSoftBlob, model.soft_prompts().data());
+  const std::vector<nn::LoraLinear*>& adapters = model.adapters();
+  for (size_t i = 0; i < adapters.size(); ++i) {
+    file.Put(AdapterBlobName(i), adapters[i]->StateDump());
+    std::vector<float> mask(adapters[i]->rank());
+    for (int64_t d = 0; d < adapters[i]->rank(); ++d) {
+      mask[d] = adapters[i]->direction_active(d) ? 1.0f : 0.0f;
+    }
+    file.Put(AdapterMaskBlobName(i), std::move(mask));
+  }
+  std::vector<nn::Tensor> embedding = llm.EmbeddingAdapterParameters();
+  if (embedding.size() == 2) {
+    file.Put(kEmbeddingABlob, embedding[0].data());
+    file.Put(kEmbeddingBBlob, embedding[1].data());
+  }
+  return file.WriteTo(path);
+}
+
+util::Status LoadDelRecCheckpoint(DelRec& model, llm::TinyLm& llm,
+                                  const std::string& path) {
+  auto file_or = util::BlobFile::ReadFrom(path);
+  if (!file_or.ok()) return file_or.status();
+  const util::BlobFile& file = file_or.value();
+
+  auto llm_state = file.Get(kLlmBlob);
+  if (!llm_state.ok()) return llm_state.status();
+  if (static_cast<int64_t>(llm_state.value().size()) !=
+      llm.ParameterCount()) {
+    return util::Status::InvalidArgument("LLM architecture mismatch");
+  }
+  llm.LoadState(llm_state.value());
+
+  auto soft = file.Get(kSoftBlob);
+  if (!soft.ok()) return soft.status();
+  nn::Tensor soft_prompts = model.soft_prompts();  // Shares storage.
+  if (soft.value().size() != soft_prompts.data().size()) {
+    return util::Status::InvalidArgument("soft-prompt size mismatch");
+  }
+  soft_prompts.data() = soft.value();
+
+  if (file.Contains(AdapterBlobName(0))) {
+    std::vector<nn::LoraLinear*> adapters = llm.EnableAdapters(
+        model.config().lora_rank, model.config().lora_scale);
+    for (size_t i = 0; i < adapters.size(); ++i) {
+      auto state = file.Get(AdapterBlobName(i));
+      if (!state.ok()) return state.status();
+      if (static_cast<int64_t>(state.value().size()) !=
+          adapters[i]->ParameterCount()) {
+        return util::Status::InvalidArgument("adapter size mismatch");
+      }
+      adapters[i]->LoadState(state.value());
+      auto mask = file.Get(AdapterMaskBlobName(i));
+      if (!mask.ok()) return mask.status();
+      for (int64_t d = 0;
+           d < std::min<int64_t>(adapters[i]->rank(),
+                                 static_cast<int64_t>(mask.value().size()));
+           ++d) {
+        adapters[i]->SetDirectionActive(d, mask.value()[d] > 0.5f);
+      }
+    }
+    model.AttachAdapters(std::move(adapters));
+    std::vector<nn::Tensor> embedding = llm.EmbeddingAdapterParameters();
+    if (embedding.size() == 2 && file.Contains(kEmbeddingABlob)) {
+      auto a = file.Get(kEmbeddingABlob);
+      auto b = file.Get(kEmbeddingBBlob);
+      if (!a.ok()) return a.status();
+      if (!b.ok()) return b.status();
+      if (a.value().size() != embedding[0].data().size() ||
+          b.value().size() != embedding[1].data().size()) {
+        return util::Status::InvalidArgument("embedding adapter mismatch");
+      }
+      embedding[0].data() = a.value();
+      embedding[1].data() = b.value();
+    }
+  }
+  return util::Status::Ok();
+}
+
+}  // namespace delrec::core

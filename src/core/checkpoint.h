@@ -1,0 +1,27 @@
+#ifndef DELREC_CORE_CHECKPOINT_H_
+#define DELREC_CORE_CHECKPOINT_H_
+
+#include <string>
+
+#include "core/delrec.h"
+#include "llm/tiny_lm.h"
+#include "util/status.h"
+
+namespace delrec::core {
+
+/// Persists a trained DELRec system: the LLM base weights, the distilled
+/// soft prompts, the AdaLoRA adapter factors with their rank masks, and the
+/// embedding-LoRA factors. Architecture is NOT stored — loading requires a
+/// DelRec/TinyLm pair constructed with the same configuration.
+util::Status SaveDelRecCheckpoint(const DelRec& model, const llm::TinyLm& llm,
+                                  const std::string& path);
+
+/// Restores a checkpoint written by SaveDelRecCheckpoint. Enables adapters
+/// on the LLM if they are not present yet. Returns InvalidArgument on
+/// architecture mismatch (blob size checks).
+util::Status LoadDelRecCheckpoint(DelRec& model, llm::TinyLm& llm,
+                                  const std::string& path);
+
+}  // namespace delrec::core
+
+#endif  // DELREC_CORE_CHECKPOINT_H_

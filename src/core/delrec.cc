@@ -1,0 +1,367 @@
+#include "core/delrec.h"
+
+#include <algorithm>
+
+#include "nn/module.h"
+#include "nn/ops.h"
+#include "nn/optimizer.h"
+#include "util/check.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace delrec::core {
+
+DelRec::DelRec(const data::Catalog* catalog, const llm::Vocab* vocab,
+               llm::TinyLm* llm, srmodels::SequentialRecommender* sr_model,
+               const DelRecConfig& config)
+    : catalog_(catalog),
+      llm_(llm),
+      sr_model_(sr_model),
+      config_(config),
+      prompt_builder_(catalog, vocab),
+      verbalizer_(*catalog, *vocab),
+      scratch_rng_(config.seed ^ 0xd1b54a32d192ed03ULL) {
+  DELREC_CHECK(catalog != nullptr);
+  DELREC_CHECK(llm != nullptr);
+  DELREC_CHECK(sr_model != nullptr);
+  util::Rng init_rng(config.seed);
+  // Soft prompts are randomly initialized embeddings in the LLM's language
+  // space (Eq. 2); stage 1 moves them toward the SR model's patterns.
+  soft_prompts_ = nn::Tensor::Randn(
+      {config.soft_prompt_count, llm->model_dim()}, init_rng, 0.02f,
+      /*requires_grad=*/true);
+}
+
+std::string DelRec::name() const {
+  return "DELRec (" + sr_model_->name() + ")";
+}
+
+std::vector<int64_t> DelRec::PromptCandidates(
+    const std::vector<int64_t>& candidates) const {
+  if (config_.candidates_in_prompt) return candidates;
+  return {};
+}
+
+std::vector<int64_t> DelRec::Window(
+    const std::vector<int64_t>& history) const {
+  if (static_cast<int64_t>(history.size()) <= config_.history_length) {
+    return history;
+  }
+  return std::vector<int64_t>(history.end() - config_.history_length,
+                              history.end());
+}
+
+nn::Tensor DelRec::ActiveSoftPrompts() const {
+  if (!config_.use_soft_prompts || config_.manual_prompts) return nn::Tensor();
+  return soft_prompts_;
+}
+
+std::vector<int64_t> DelRec::ActiveHintTokens(
+    const std::vector<int64_t>& history) const {
+  std::vector<int64_t> tokens;
+  if (config_.manual_prompts) {
+    tokens = prompt_builder_.ManualConstructionTokens(
+        util::ToLower(sr_model_->name()));
+  }
+  if (config_.sr_hints_in_stage2) {
+    const std::vector<int64_t> top_h =
+        sr_model_->TopK(history, config_.top_h);
+    for (int64_t id : prompt_builder_.vocab().Encode(
+             "the " + util::ToLower(sr_model_->name()) +
+             " model recommends top items")) {
+      tokens.push_back(id);
+    }
+    for (int64_t item : top_h) {
+      for (int64_t id : prompt_builder_.TitleTokens(item)) {
+        tokens.push_back(id);
+      }
+      tokens.push_back(llm::Vocab::kSep);
+    }
+  }
+  return tokens;
+}
+
+void DelRec::DistillPattern(const std::vector<data::Example>& train_examples) {
+  if (!config_.use_soft_prompts || config_.manual_prompts ||
+      config_.skip_stage1) {
+    stage1_done_ = true;
+    return;
+  }
+  DELREC_CHECK(!config_.disable_temporal_analysis ||
+               !config_.disable_pattern_simulating)
+      << "stage 1 needs at least one distillation task";
+  util::Rng rng(config_.seed + 1);
+  std::vector<data::Example> examples =
+      data::Subsample(train_examples, config_.stage1_max_examples, rng);
+  DELREC_CHECK(!examples.empty());
+
+  // Stage-1 parameter group: soft prompts only (Eq. 4/5: Φ0 frozen) unless
+  // the w UDPSM ablation also updates the LLM.
+  std::vector<nn::Tensor> parameters = {soft_prompts_};
+  const bool llm_was_trainable = true;
+  if (config_.update_llm_in_stage1) {
+    for (const nn::Tensor& p : llm_->Parameters()) parameters.push_back(p);
+  } else {
+    llm_->SetRequiresGrad(false);
+  }
+  nn::Lion optimizer(parameters, config_.stage1_learning_rate, 0.9f, 0.99f,
+                     config_.stage1_weight_decay);
+  llm_->SetTraining(true);
+
+  // Dynamic λ (Eq. 6): renormalized each batch from running task losses so
+  // the harder task receives more weight.
+  float ta_ema = 1.0f;
+  float rps_ema = 1.0f;
+  const std::string sr_name = util::ToLower(sr_model_->name());
+  std::vector<int64_t> order(examples.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+
+  for (int epoch = 0; epoch < config_.stage1_epochs; ++epoch) {
+    rng.Shuffle(order);
+    float epoch_ta = 0.0f, epoch_rps = 0.0f, epoch_lambda = 0.0f;
+    int64_t batches = 0;
+    for (size_t start = 0; start < order.size();
+         start += config_.batch_size) {
+      const size_t end =
+          std::min(order.size(), start + static_cast<size_t>(config_.batch_size));
+      std::vector<nn::Tensor> ta_losses;
+      std::vector<nn::Tensor> rps_losses;
+      for (size_t i = start; i < end; ++i) {
+        const data::Example& example = examples[order[i]];
+        const std::vector<int64_t> history = Window(example.history);
+        // Temporal Analysis: PMRI on histories long enough for ICL + mask.
+        if (!config_.disable_temporal_analysis &&
+            static_cast<int64_t>(history.size()) >= 4) {
+          const int64_t label = history[history.size() - 2];
+          llm::Prompt prompt = prompt_builder_.BuildTemporalAnalysis(
+              history, config_.icl_alpha, {}, soft_prompts_);
+          nn::Tensor hidden =
+              llm_->Encode(prompt.pieces, config_.dropout, rng);
+          nn::Tensor logits = verbalizer_.AllItemLogits(
+              llm_->LogitsAt(hidden, prompt.mask_position));
+          ta_losses.push_back(nn::CrossEntropyWithLogits(logits, {label}));
+        }
+        // Recommendation Pattern Simulating: predict the SR model's top-1
+        // (not the ground truth) given its top-h list.
+        if (!config_.disable_pattern_simulating) {
+          const std::vector<int64_t> top_h =
+              sr_model_->TopK(history, config_.top_h);
+          const int64_t label = top_h[0];
+          llm::Prompt prompt = prompt_builder_.BuildPatternSimulating(
+              history, top_h, {}, soft_prompts_, sr_name);
+          nn::Tensor hidden =
+              llm_->Encode(prompt.pieces, config_.dropout, rng);
+          nn::Tensor logits = verbalizer_.AllItemLogits(
+              llm_->LogitsAt(hidden, prompt.mask_position));
+          rps_losses.push_back(nn::CrossEntropyWithLogits(logits, {label}));
+        }
+      }
+      if (ta_losses.empty() && rps_losses.empty()) continue;
+      // λ from running losses; tasks that are ablated get weight 0.
+      float lambda = 0.5f;
+      if (config_.disable_temporal_analysis) {
+        lambda = 0.0f;
+      } else if (config_.disable_pattern_simulating) {
+        lambda = 1.0f;
+      } else {
+        lambda = ta_ema / (ta_ema + rps_ema + 1e-8f);
+      }
+      std::vector<nn::Tensor> weighted;
+      if (!ta_losses.empty() && lambda > 0.0f) {
+        nn::Tensor ta = nn::MulScalar(
+            nn::AddN(ta_losses), 1.0f / static_cast<float>(ta_losses.size()));
+        ta_ema = 0.9f * ta_ema + 0.1f * ta.item();
+        epoch_ta += ta.item();
+        weighted.push_back(nn::MulScalar(ta, lambda));
+      }
+      if (!rps_losses.empty() && lambda < 1.0f) {
+        nn::Tensor rps = nn::MulScalar(
+            nn::AddN(rps_losses),
+            1.0f / static_cast<float>(rps_losses.size()));
+        rps_ema = 0.9f * rps_ema + 0.1f * rps.item();
+        epoch_rps += rps.item();
+        weighted.push_back(nn::MulScalar(rps, 1.0f - lambda));
+      }
+      nn::Tensor loss = nn::AddN(weighted);
+      soft_prompts_.ZeroGrad();
+      llm_->ZeroGrad();
+      loss.Backward();
+      nn::ClipGradNorm(parameters, 5.0f);
+      optimizer.Step();
+      epoch_lambda += lambda;
+      ++batches;
+    }
+    if (batches > 0) {
+      diagnostics_.lambda_per_epoch.push_back(epoch_lambda / batches);
+      diagnostics_.ta_loss_per_epoch.push_back(epoch_ta / batches);
+      diagnostics_.rps_loss_per_epoch.push_back(epoch_rps / batches);
+    }
+    if (config_.verbose) {
+      DELREC_LOG(Info) << name() << " stage1 epoch " << epoch + 1
+                       << " TA=" << (batches ? epoch_ta / batches : 0)
+                       << " RPS=" << (batches ? epoch_rps / batches : 0);
+    }
+  }
+  llm_->SetTraining(false);
+  if (!config_.update_llm_in_stage1 && llm_was_trainable) {
+    llm_->SetRequiresGrad(true);  // Restore for stage 2 / other users.
+  }
+  stage1_done_ = true;
+}
+
+void DelRec::FineTune(const std::vector<data::Example>& train_examples) {
+  if (config_.skip_stage2) return;
+  DELREC_CHECK(stage1_done_ || config_.skip_stage1 ||
+               !config_.use_soft_prompts || config_.manual_prompts)
+      << "run DistillPattern() first";
+  util::Rng rng(config_.seed + 2);
+  std::vector<data::Example> examples =
+      data::Subsample(train_examples, config_.stage2_max_examples, rng);
+  DELREC_CHECK(!examples.empty());
+
+  // Freeze soft prompts (Eq. 8: Φ fixed) unless the w ULSR ablation updates
+  // them; trainable parameters are the AdaLoRA adapters.
+  soft_prompts_.set_requires_grad(config_.update_soft_in_stage2);
+  llm_->SetRequiresGrad(false);
+  adapters_ = llm_->EnableAdapters(config_.lora_rank, config_.lora_scale);
+  std::vector<nn::Tensor> parameters;
+  nn::AdaLoraAllocator allocator(
+      config_.adalora_budget > 0
+          ? config_.adalora_budget
+          : (2 * config_.lora_rank * static_cast<int64_t>(adapters_.size())) /
+                3);
+  for (nn::LoraLinear* adapter : adapters_) {
+    allocator.Register(adapter);
+    for (const nn::Tensor& p : adapter->Parameters()) {
+      parameters.push_back(p);
+    }
+    adapter->SetTraining(true);
+  }
+  if (config_.update_soft_in_stage2) parameters.push_back(soft_prompts_);
+  // BitFit-style bias/LayerNorm tuning rides along with the adapters
+  // (standard PEFT companion; dense weights stay frozen).
+  for (nn::Tensor p : llm_->BitFitParameters()) {
+    p.set_requires_grad(true);
+    parameters.push_back(p);
+  }
+  // Embedding-LoRA factors (tied table delta) are part of the PEFT group.
+  for (nn::Tensor p : llm_->EmbeddingAdapterParameters()) {
+    p.set_requires_grad(true);
+    parameters.push_back(p);
+  }
+  // modules_to_save analog: the token table (tied with the LM head) is
+  // fine-tuned fully — the standard PEFT choice when the vocabulary is the
+  // task's output space.
+  {
+    nn::Tensor table = llm_->token_table();
+    table.set_requires_grad(true);
+    parameters.push_back(table);
+  }
+  std::unique_ptr<nn::Optimizer> optimizer;
+  if (config_.stage2_use_lion) {
+    optimizer = std::make_unique<nn::Lion>(
+        parameters, config_.stage2_learning_rate, 0.9f, 0.99f,
+        config_.stage2_weight_decay);
+  } else {
+    optimizer = std::make_unique<nn::Adam>(
+        parameters, config_.stage2_learning_rate, 0.9f, 0.999f, 1e-8f,
+        config_.stage2_weight_decay);
+  }
+  llm_->SetTraining(true);
+
+  std::vector<int64_t> order(examples.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  int64_t batch_counter = 0;
+  for (int epoch = 0; epoch < config_.stage2_epochs; ++epoch) {
+    rng.Shuffle(order);
+    float epoch_loss = 0.0f;
+    int64_t batches = 0;
+    for (size_t start = 0; start < order.size();
+         start += config_.batch_size) {
+      const size_t end =
+          std::min(order.size(), start + static_cast<size_t>(config_.batch_size));
+      std::vector<nn::Tensor> losses;
+      for (size_t i = start; i < end; ++i) {
+        const data::Example& example = examples[order[i]];
+        const std::vector<int64_t> history = Window(example.history);
+        llm::Prompt prompt = prompt_builder_.BuildRecommendation(
+            history, {}, ActiveSoftPrompts(), ActiveHintTokens(history),
+            nn::Tensor());
+        nn::Tensor hidden = llm_->Encode(prompt.pieces, config_.dropout, rng);
+        // Full-catalog softmax supervision through the verbalizer — the
+        // same full-ranking signal conventional SR models train with.
+        nn::Tensor logits = verbalizer_.AllItemLogits(
+            llm_->LogitsAt(hidden, prompt.mask_position));
+        losses.push_back(
+            nn::CrossEntropyWithLogits(logits, {example.target}));
+      }
+      if (losses.empty()) continue;
+      nn::Tensor loss = nn::MulScalar(
+          nn::AddN(losses), 1.0f / static_cast<float>(losses.size()));
+      optimizer->ZeroGrad();
+      loss.Backward();
+      allocator.AccumulateSensitivity();
+      nn::ClipGradNorm(parameters, 5.0f);
+      optimizer->Step();
+      if (++batch_counter % config_.adalora_interval == 0) {
+        allocator.Reallocate();
+      }
+      epoch_loss += loss.item();
+      ++batches;
+    }
+    if (config_.verbose) {
+      DELREC_LOG(Info) << name() << " stage2 epoch " << epoch + 1
+                       << " loss=" << (batches ? epoch_loss / batches : 0);
+    }
+  }
+  llm_->SetTraining(false);
+  llm_->SetRequiresGrad(true);
+  soft_prompts_.set_requires_grad(true);
+}
+
+void DelRec::Train(const std::vector<data::Example>& train_examples) {
+  DistillPattern(train_examples);
+  FineTune(train_examples);
+}
+
+std::vector<float> DelRec::ScoreCandidates(
+    const data::Example& example,
+    const std::vector<int64_t>& candidates) const {
+  nn::NoGradGuard no_grad;
+  const std::vector<int64_t> history = Window(example.history);
+  llm::Prompt prompt = prompt_builder_.BuildRecommendation(
+      history, PromptCandidates(candidates), ActiveSoftPrompts(),
+      ActiveHintTokens(history), nn::Tensor());
+  nn::Tensor hidden = llm_->Encode(prompt.pieces, 0.0f, scratch_rng_);
+  nn::Tensor token_logits = llm_->LogitsAt(hidden, prompt.mask_position);
+  return verbalizer_.Scores(token_logits.data(), candidates);
+}
+
+std::vector<int64_t> DelRec::Recommend(
+    const std::vector<int64_t>& history,
+    const std::vector<int64_t>& candidate_pool, int64_t k) const {
+  data::Example example;
+  example.history = history;
+  example.target = candidate_pool.empty() ? 0 : candidate_pool[0];
+  const std::vector<float> scores = ScoreCandidates(example, candidate_pool);
+  const std::vector<int64_t> order =
+      srmodels::TopKFromScores(scores, std::min<int64_t>(k, scores.size()));
+  std::vector<int64_t> items;
+  items.reserve(order.size());
+  for (int64_t index : order) items.push_back(candidate_pool[index]);
+  return items;
+}
+
+int64_t DelRec::SoftPromptParameterCount() const {
+  return soft_prompts_.size();
+}
+
+int64_t DelRec::AdapterParameterCount() const {
+  int64_t total = 0;
+  for (const nn::LoraLinear* adapter : adapters_) {
+    total += adapter->ParameterCount();
+  }
+  return total;
+}
+
+}  // namespace delrec::core

@@ -1,0 +1,163 @@
+#ifndef DELREC_CORE_DELREC_H_
+#define DELREC_CORE_DELREC_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+#include "data/split.h"
+#include "llm/prompt.h"
+#include "llm/tiny_lm.h"
+#include "llm/verbalizer.h"
+#include "llm/vocab.h"
+#include "nn/lora.h"
+#include "nn/tensor.h"
+#include "srmodels/recommender.h"
+#include "util/rng.h"
+
+namespace delrec::core {
+
+/// DELRec hyperparameters (paper §V-A3, scaled per DESIGN.md §6) plus the
+/// ablation switches of Tables III & IV.
+struct DelRecConfig {
+  // Task shape.
+  int64_t history_length = 10;   // n: most recent interactions kept.
+  int64_t candidate_count = 15;  // m: 1 positive + 14 random.
+  int64_t soft_prompt_count = 16;  // k (paper: 80 at full scale).
+  int64_t top_h = 5;               // h: SR items shown in RPS.
+  /// Whether to spell the candidate set out in the prompt text. The paper
+  /// includes it so the LLM cannot hallucinate items; this repo's verbalizer
+  /// restricts outputs to the candidate set structurally, so the default
+  /// omits the block (3× shorter prompts — see DESIGN.md §6).
+  bool candidates_in_prompt = false;
+  /// Include the conventional model's top-h titles in the stage-2 prompt as
+  /// the auxiliary-information channel next to the soft prompts. At paper
+  /// scale the 3B LLM absorbs the SR model's behaviour through soft prompts
+  /// alone; at this repo's scale k·d floats cannot encode a full transition
+  /// table, so the textual channel carries the per-history part while the
+  /// soft prompts carry the behavioural prior (and stage-1 RPS training
+  /// transfers directly, its prompt being structurally identical).
+  bool sr_hints_in_stage2 = true;
+  int64_t icl_alpha = 4;           // α: ICL split in Temporal Analysis.
+
+  // Stage 1 — Distill Pattern from Conventional SR Models (Lion optimizer).
+  int stage1_epochs = 2;
+  float stage1_learning_rate = 5e-3f;
+  float stage1_weight_decay = 1e-5f;
+  int64_t stage1_max_examples = 250;
+
+  // Stage 2 — LLMs-based Sequential Recommendation (AdaLoRA + Lion).
+  int stage2_epochs = 8;
+  float stage2_learning_rate = 3e-3f;
+  float stage2_weight_decay = 1e-6f;
+  /// The paper uses Lion in stage 2 (1e-4 on a 3B model). At this repo's
+  /// scale Lion's uniform sign steps are too coarse for the embedding-LoRA
+  /// factors, so Adam is the default; set true to match the paper exactly.
+  bool stage2_use_lion = false;
+  int64_t stage2_max_examples = 1200;
+  int64_t lora_rank = 8;
+  float lora_scale = 2.0f;
+  int64_t adalora_budget = 0;  // 0 ⇒ ⅔ of the total rank pool.
+  int64_t adalora_interval = 8;  // Batches between budget reallocations.
+
+  int batch_size = 16;
+  float dropout = 0.1f;
+  uint64_t seed = 21;
+  bool verbose = false;
+
+  // Ablation switches.
+  bool use_soft_prompts = true;        // false = "w/o SP" / "w/o DPSM".
+  bool manual_prompts = false;         // true  = "w MCP".
+  bool skip_stage1 = false;            // true  = "w USP" (random soft).
+  bool skip_stage2 = false;            // true  = "w/o LSR".
+  bool disable_temporal_analysis = false;   // "w/o TA".
+  bool disable_pattern_simulating = false;  // "w/o RPS".
+  bool update_llm_in_stage1 = false;   // "w UDPSM".
+  bool update_soft_in_stage2 = false;  // "w ULSR".
+};
+
+/// Per-epoch stage-1 diagnostics (λ trace answers RQ2-style questions).
+struct Stage1Diagnostics {
+  std::vector<float> lambda_per_epoch;
+  std::vector<float> ta_loss_per_epoch;
+  std::vector<float> rps_loss_per_epoch;
+};
+
+/// The DELRec framework: distills a conventional SR model's behaviour into
+/// soft prompts (stage 1), then AdaLoRA-fine-tunes the LLM to exploit them
+/// (stage 2). The LLM and SR model are borrowed, not owned; DELRec mutates
+/// the LLM's adapters but never its base weights.
+class DelRec {
+ public:
+  /// All pointers must outlive this object. `llm` should be pretrained;
+  /// `sr_model` should be trained.
+  DelRec(const data::Catalog* catalog, const llm::Vocab* vocab,
+         llm::TinyLm* llm, srmodels::SequentialRecommender* sr_model,
+         const DelRecConfig& config);
+
+  /// Stage 1: multi-task soft-prompt distillation (TA + RPS, dynamic λ).
+  void DistillPattern(const std::vector<data::Example>& train_examples);
+
+  /// Stage 2: freeze soft prompts, fine-tune the LLM with AdaLoRA + Lion.
+  void FineTune(const std::vector<data::Example>& train_examples);
+
+  /// Runs both stages (honouring the ablation switches).
+  void Train(const std::vector<data::Example>& train_examples);
+
+  /// Scores a candidate list for evaluation (higher = better).
+  std::vector<float> ScoreCandidates(
+      const data::Example& example,
+      const std::vector<int64_t>& candidates) const;
+
+  /// Top-k recommendation over an arbitrary candidate pool.
+  std::vector<int64_t> Recommend(const std::vector<int64_t>& history,
+                                 const std::vector<int64_t>& candidate_pool,
+                                 int64_t k) const;
+
+  const nn::Tensor& soft_prompts() const { return soft_prompts_; }
+  const Stage1Diagnostics& stage1_diagnostics() const { return diagnostics_; }
+  const DelRecConfig& config() const { return config_; }
+  std::string name() const;
+
+  int64_t SoftPromptParameterCount() const;
+  int64_t AdapterParameterCount() const;
+
+  /// The AdaLoRA adapters (empty before stage 2 / checkpoint load).
+  const std::vector<nn::LoraLinear*>& adapters() const { return adapters_; }
+  /// Checkpoint-restore hook: records externally enabled adapters.
+  void AttachAdapters(std::vector<nn::LoraLinear*> adapters) {
+    adapters_ = std::move(adapters);
+  }
+
+ private:
+  /// Soft-prompt tensor to insert for the current configuration (undefined
+  /// tensor when soft prompts are ablated away).
+  nn::Tensor ActiveSoftPrompts() const;
+  /// Auxiliary textual channel for the stage-2 prompt: the conventional
+  /// model's top-h (when sr_hints_in_stage2) and/or the "w MCP" description.
+  std::vector<int64_t> ActiveHintTokens(
+      const std::vector<int64_t>& history) const;
+  /// Candidate ids to render into the prompt (empty unless configured).
+  std::vector<int64_t> PromptCandidates(
+      const std::vector<int64_t>& candidates) const;
+  /// Truncates a history to the configured length.
+  std::vector<int64_t> Window(const std::vector<int64_t>& history) const;
+
+  const data::Catalog* catalog_;
+  llm::TinyLm* llm_;
+  srmodels::SequentialRecommender* sr_model_;
+  DelRecConfig config_;
+  llm::PromptBuilder prompt_builder_;
+  llm::Verbalizer verbalizer_;
+  nn::Tensor soft_prompts_;  // (k, model_dim)
+  Stage1Diagnostics diagnostics_;
+  std::vector<nn::LoraLinear*> adapters_;
+  mutable util::Rng scratch_rng_;
+  bool stage1_done_ = false;
+};
+
+}  // namespace delrec::core
+
+#endif  // DELREC_CORE_DELREC_H_

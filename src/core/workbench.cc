@@ -1,0 +1,82 @@
+#include "core/workbench.h"
+
+#include "llm/corpus.h"
+#include "util/check.h"
+#include "util/logging.h"
+#include "util/rng.h"
+#include "util/timer.h"
+
+namespace delrec::core {
+
+const char* LlmSizeName(LlmSize size) {
+  switch (size) {
+    case LlmSize::kBase:
+      return "TinyLM-Base";
+    case LlmSize::kLarge:
+      return "TinyLM-Large";
+    case LlmSize::kXL:
+      return "TinyLM-XL";
+  }
+  return "?";
+}
+
+Workbench::Workbench(const data::GeneratorConfig& config,
+                     const Options& options)
+    : options_(options) {
+  dataset_ = data::FilterMinInteractions(data::GenerateDataset(config),
+                                         options.min_interactions);
+  DELREC_CHECK(!dataset_.sequences.empty())
+      << "dataset empty after filtering: " << config.name;
+  splits_ = data::MakeSplits(dataset_, options.history_length);
+  vocab_ = llm::Vocab::BuildFromCatalog(dataset_.catalog);
+  util::Rng corpus_rng(options.seed);
+  corpus_ = llm::BuildWorldKnowledgeCorpus(
+      dataset_.catalog, vocab_, options.corpus_sentences_per_item, corpus_rng);
+  const std::vector<std::vector<int64_t>> interaction_sentences =
+      llm::BuildInteractionFormatCorpus(
+          dataset_.catalog, vocab_, splits_.train, options.history_length,
+          options.corpus_interaction_sentences, corpus_rng);
+  corpus_.insert(corpus_.end(), interaction_sentences.begin(),
+                 interaction_sentences.end());
+}
+
+llm::TinyLmConfig Workbench::LlmConfigFor(LlmSize size) const {
+  switch (size) {
+    case LlmSize::kBase:
+      return llm::TinyLmConfig::Base(vocab_.size());
+    case LlmSize::kLarge:
+      return llm::TinyLmConfig::Large(vocab_.size());
+    case LlmSize::kXL:
+      return llm::TinyLmConfig::XL(vocab_.size());
+  }
+  DELREC_CHECK(false);
+}
+
+const std::vector<float>& Workbench::PretrainedState(LlmSize size) {
+  auto it = pretrained_cache_.find(size);
+  if (it != pretrained_cache_.end()) return it->second;
+  llm::TinyLm model(LlmConfigFor(size), options_.seed + 7);
+  llm::PretrainConfig pretrain;
+  pretrain.epochs = options_.pretrain_epochs;
+  pretrain.tail_mask_probability = 0.35f;
+  pretrain.seed = options_.seed + 13;
+  pretrain.verbose = options_.verbose;
+  util::WallTimer timer;
+  const float loss = llm::PretrainMlm(model, corpus_, pretrain);
+  if (options_.verbose) {
+    DELREC_LOG(Info) << "pretrained " << LlmSizeName(size) << " on "
+                     << corpus_.size() << " sentences, final loss " << loss
+                     << " (" << timer.ElapsedSeconds() << "s)";
+  }
+  return pretrained_cache_.emplace(size, model.StateDump()).first->second;
+}
+
+std::unique_ptr<llm::TinyLm> Workbench::MakePretrainedLlm(LlmSize size) {
+  auto model =
+      std::make_unique<llm::TinyLm>(LlmConfigFor(size), options_.seed + 7);
+  model->LoadState(PretrainedState(size));
+  model->SetTraining(false);
+  return model;
+}
+
+}  // namespace delrec::core

@@ -1,0 +1,69 @@
+#ifndef DELREC_CORE_WORKBENCH_H_
+#define DELREC_CORE_WORKBENCH_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "data/dataset.h"
+#include "data/split.h"
+#include "llm/pretrain.h"
+#include "llm/tiny_lm.h"
+#include "llm/vocab.h"
+
+namespace delrec::core {
+
+/// TinyLM size presets in their paper-analog roles.
+enum class LlmSize { kBase, kLarge, kXL };
+
+const char* LlmSizeName(LlmSize size);
+
+/// Everything a bench or example needs for one dataset: the generated +
+/// filtered dataset, chronological splits, vocabulary, world-knowledge
+/// corpus, and a cache of pretrained TinyLM weights per size so each
+/// baseline gets an identical fresh copy of the "pretrained LLM" without
+/// re-running pretraining.
+class Workbench {
+ public:
+  struct Options {
+    int64_t history_length = 10;
+    int64_t min_interactions = 5;        // 5-core filtering.
+    int64_t corpus_sentences_per_item = 3;
+    /// Instruction-format sentences from the train split mixed into the
+    /// pretraining corpus (the Flan-T5 "instruction tuned" analog).
+    int64_t corpus_interaction_sentences = 250;
+    int pretrain_epochs = 3;
+    uint64_t seed = 33;
+    bool verbose = false;
+  };
+
+  Workbench(const data::GeneratorConfig& config, const Options& options);
+
+  const data::Dataset& dataset() const { return dataset_; }
+  const data::Splits& splits() const { return splits_; }
+  const llm::Vocab& vocab() const { return vocab_; }
+  const Options& options() const { return options_; }
+  int64_t num_items() const { return dataset_.catalog.size(); }
+
+  /// A fresh TinyLM of the given size loaded with cached pretrained weights
+  /// (pretraining runs once per size, lazily).
+  std::unique_ptr<llm::TinyLm> MakePretrainedLlm(LlmSize size);
+
+  /// Architecture config for a size (vocab already applied).
+  llm::TinyLmConfig LlmConfigFor(LlmSize size) const;
+
+ private:
+  const std::vector<float>& PretrainedState(LlmSize size);
+
+  Options options_;
+  data::Dataset dataset_;
+  data::Splits splits_;
+  llm::Vocab vocab_;
+  std::vector<std::vector<int64_t>> corpus_;
+  std::map<LlmSize, std::vector<float>> pretrained_cache_;
+};
+
+}  // namespace delrec::core
+
+#endif  // DELREC_CORE_WORKBENCH_H_

@@ -1,0 +1,110 @@
+#ifndef DELREC_DATA_DATASET_H_
+#define DELREC_DATA_DATASET_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace delrec::data {
+
+/// One catalog item. Items carry textual titles (the paper's key point:
+/// prompts use titles, not IDs, so LLMs can exploit semantics) and a latent
+/// genre that title words correlate with.
+struct Item {
+  int64_t id = 0;
+  std::string title;
+  int genre = 0;
+  float popularity = 1.0f;  // Base sampling weight (Zipf-distributed).
+};
+
+/// The item universe of a dataset.
+struct Catalog {
+  std::vector<Item> items;
+  int num_genres = 0;
+  std::vector<std::string> genre_names;
+  /// Primary "sequel" link per item (the franchise successor — also what
+  /// the world-knowledge corpus teaches the LLM).
+  std::vector<int64_t> sequel;
+  /// Full successor distribution per item: real transitions are multimodal,
+  /// so the Markov step samples among 3 same-genre successors with weights
+  /// kSuccessorWeights (successors[i][0] == sequel[i]).
+  std::vector<std::vector<int64_t>> successors;
+
+  static constexpr double kSuccessorWeights[3] = {0.55, 0.25, 0.20};
+
+  int64_t size() const { return static_cast<int64_t>(items.size()); }
+};
+
+/// One user's chronological interaction history.
+struct UserSequence {
+  int64_t user = 0;
+  std::vector<int64_t> items;  // Item ids, oldest first.
+};
+
+/// A full dataset: catalog + user histories.
+struct Dataset {
+  std::string name;
+  Catalog catalog;
+  std::vector<UserSequence> sequences;
+};
+
+/// Table-I style statistics.
+struct DatasetStats {
+  int64_t num_sequences = 0;
+  int64_t num_items = 0;
+  int64_t num_interactions = 0;
+  double sparsity = 0.0;  // 1 - interactions / (sequences · items).
+};
+
+DatasetStats ComputeStats(const Dataset& dataset);
+
+/// Generator knobs. The defaults plant BOTH signals DELRec needs:
+///  * a sequential signal (item→sequel transitions) learnable from IDs, and
+///  * a semantic signal (genre drift visible through title words) learnable
+///    only by a model that understands titles.
+struct GeneratorConfig {
+  std::string name = "synthetic";
+  int64_t num_users = 200;
+  int64_t num_items = 400;
+  int num_genres = 8;
+  int64_t min_sequence_length = 5;
+  int64_t max_sequence_length = 40;
+  double mean_sequence_length = 20.0;
+  double popularity_exponent = 0.7;   // Zipf skew of item popularity.
+  double markov_strength = 0.35;      // P(next = sequel of last item).
+  double semantic_strength = 0.45;    // P(next ~ current preferred genre).
+  double genre_drift_probability = 0.12;  // Preferred-genre Markov drift.
+  uint64_t seed = 1;
+};
+
+/// Synthesizes a dataset from the latent user/item process described in
+/// DESIGN.md §2. Deterministic given config.seed.
+Dataset GenerateDataset(const GeneratorConfig& config);
+
+/// Paper-preset configs (scaled to CPU budget; relative size and sparsity
+/// ordering of Table I preserved: H&K > Beauty > Steam > ML-100K; KuaiRec
+/// densest).
+GeneratorConfig MovieLens100KConfig();
+GeneratorConfig SteamConfig();
+GeneratorConfig BeautyConfig();
+GeneratorConfig HomeKitchenConfig();
+GeneratorConfig KuaiRecConfig();
+
+/// All five presets in paper order.
+std::vector<GeneratorConfig> AllPresetConfigs();
+
+/// 5-core filtering: drops users and items with < min_count interactions,
+/// iterating until stable (the paper filters both at 5).
+Dataset FilterMinInteractions(const Dataset& dataset, int64_t min_count = 5);
+
+/// Appends `count` cold-start users (1–2 interactions each) drawn from the
+/// same latent process; used by the RQ5 cold-start experiment. Returns their
+/// user ids.
+std::vector<int64_t> AppendColdStartUsers(Dataset& dataset, int64_t count,
+                                          uint64_t seed);
+
+}  // namespace delrec::data
+
+#endif  // DELREC_DATA_DATASET_H_

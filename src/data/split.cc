@@ -1,0 +1,66 @@
+#include "data/split.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace delrec::data {
+
+Splits MakeSplits(const Dataset& dataset, int64_t history_length,
+                  double train_fraction, double validation_fraction) {
+  DELREC_CHECK_GT(history_length, 0);
+  DELREC_CHECK_GT(train_fraction, 0.0);
+  DELREC_CHECK_LE(train_fraction + validation_fraction, 1.0);
+  Splits splits;
+  for (const UserSequence& sequence : dataset.sequences) {
+    const int64_t length = static_cast<int64_t>(sequence.items.size());
+    for (int64_t t = 1; t < length; ++t) {
+      Example example;
+      example.user = sequence.user;
+      const int64_t start = std::max<int64_t>(0, t - history_length);
+      example.history.assign(sequence.items.begin() + start,
+                             sequence.items.begin() + t);
+      example.target = sequence.items[t];
+      const double fraction =
+          static_cast<double>(t + 1) / static_cast<double>(length);
+      if (fraction <= train_fraction) {
+        splits.train.push_back(std::move(example));
+      } else if (fraction <= train_fraction + validation_fraction) {
+        splits.validation.push_back(std::move(example));
+      } else {
+        splits.test.push_back(std::move(example));
+      }
+    }
+  }
+  return splits;
+}
+
+std::vector<int64_t> SampleCandidates(int64_t num_items, int64_t target,
+                                      int64_t m, util::Rng& rng) {
+  DELREC_CHECK_GE(target, 0);
+  DELREC_CHECK_LT(target, num_items);
+  DELREC_CHECK_GE(m, 1);
+  std::vector<int64_t> candidates =
+      rng.SampleDistinct(num_items, static_cast<std::size_t>(m - 1), {target});
+  candidates.push_back(target);
+  rng.Shuffle(candidates);
+  return candidates;
+}
+
+std::vector<Example> Subsample(const std::vector<Example>& examples,
+                               int64_t max_count, util::Rng& rng) {
+  if (static_cast<int64_t>(examples.size()) <= max_count) return examples;
+  // Reservoir-free approach: shuffle index set, keep first max_count, restore
+  // chronological-ish order by sorting indices.
+  std::vector<int64_t> indices(examples.size());
+  for (size_t i = 0; i < indices.size(); ++i) indices[i] = i;
+  rng.Shuffle(indices);
+  indices.resize(max_count);
+  std::sort(indices.begin(), indices.end());
+  std::vector<Example> out;
+  out.reserve(max_count);
+  for (int64_t index : indices) out.push_back(examples[index]);
+  return out;
+}
+
+}  // namespace delrec::data

@@ -1,0 +1,46 @@
+#ifndef DELREC_DATA_SPLIT_H_
+#define DELREC_DATA_SPLIT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "data/dataset.h"
+#include "util/rng.h"
+
+namespace delrec::data {
+
+/// One supervised SR example: predict `target` from the (≤ history_length)
+/// most recent preceding interactions.
+struct Example {
+  int64_t user = 0;
+  std::vector<int64_t> history;  // Oldest first, most recent last.
+  int64_t target = 0;
+};
+
+/// Train/validation/test example sets.
+struct Splits {
+  std::vector<Example> train;
+  std::vector<Example> validation;
+  std::vector<Example> test;
+};
+
+/// Builds sliding-window examples and assigns them chronologically 8:1:1
+/// (by target position within each user's timeline), matching the paper's
+/// leakage-free chronological protocol: every training target precedes every
+/// validation target, which precedes every test target, per user.
+Splits MakeSplits(const Dataset& dataset, int64_t history_length,
+                  double train_fraction = 0.8, double validation_fraction = 0.1);
+
+/// Samples the paper's candidate set: the target plus (m-1) distinct random
+/// negatives, shuffled. Deterministic given rng state.
+std::vector<int64_t> SampleCandidates(int64_t num_items, int64_t target,
+                                      int64_t m, util::Rng& rng);
+
+/// Uniformly subsamples `examples` down to at most `max_count` (stable order
+/// otherwise). Used to cap LLM training/eval cost.
+std::vector<Example> Subsample(const std::vector<Example>& examples,
+                               int64_t max_count, util::Rng& rng);
+
+}  // namespace delrec::data
+
+#endif  // DELREC_DATA_SPLIT_H_

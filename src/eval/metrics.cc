@@ -1,0 +1,59 @@
+#include "eval/metrics.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace delrec::eval {
+namespace {
+
+double MeanOf(const std::vector<double>& values) {
+  if (values.empty()) return 0.0;
+  double total = 0.0;
+  for (double v : values) total += v;
+  return total / static_cast<double>(values.size());
+}
+
+double NdcgAt(int64_t rank, int64_t k) {
+  // Single relevant item ⇒ ideal DCG = 1; DCG = 1/log2(rank+2) if within k.
+  if (rank >= k) return 0.0;
+  return 1.0 / std::log2(static_cast<double>(rank) + 2.0);
+}
+
+}  // namespace
+
+int64_t RankOfTarget(const std::vector<float>& scores, int64_t target_index) {
+  DELREC_CHECK_GE(target_index, 0);
+  DELREC_CHECK_LT(target_index, static_cast<int64_t>(scores.size()));
+  const float target_score = scores[target_index];
+  int64_t rank = 0;
+  for (int64_t i = 0; i < static_cast<int64_t>(scores.size()); ++i) {
+    if (i == target_index) continue;
+    if (scores[i] > target_score || (scores[i] == target_score && i < target_index)) {
+      ++rank;
+    }
+  }
+  return rank;
+}
+
+void MetricsAccumulator::Add(int64_t rank) {
+  DELREC_CHECK_GE(rank, 0);
+  hits_at_1_.push_back(rank < 1 ? 1.0 : 0.0);
+  hits_at_5_.push_back(rank < 5 ? 1.0 : 0.0);
+  hits_at_10_.push_back(rank < 10 ? 1.0 : 0.0);
+  ndcg_5_.push_back(NdcgAt(rank, 5));
+  ndcg_10_.push_back(NdcgAt(rank, 10));
+}
+
+RankedMetrics MetricsAccumulator::Result() const {
+  RankedMetrics metrics;
+  metrics.hr_at_1 = MeanOf(hits_at_1_);
+  metrics.hr_at_5 = MeanOf(hits_at_5_);
+  metrics.ndcg_at_5 = MeanOf(ndcg_5_);
+  metrics.hr_at_10 = MeanOf(hits_at_10_);
+  metrics.ndcg_at_10 = MeanOf(ndcg_10_);
+  metrics.count = static_cast<int64_t>(hits_at_1_.size());
+  return metrics;
+}
+
+}  // namespace delrec::eval

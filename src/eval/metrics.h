@@ -1,0 +1,52 @@
+#ifndef DELREC_EVAL_METRICS_H_
+#define DELREC_EVAL_METRICS_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace delrec::eval {
+
+/// The paper's five ranking metrics over candidate-set evaluation.
+struct RankedMetrics {
+  double hr_at_1 = 0.0;
+  double hr_at_5 = 0.0;
+  double ndcg_at_5 = 0.0;
+  double hr_at_10 = 0.0;
+  double ndcg_at_10 = 0.0;
+  int64_t count = 0;
+
+  /// Values in Table II column order: HR@1, HR@5, NDCG@5, HR@10, NDCG@10.
+  std::vector<double> ToRow() const {
+    return {hr_at_1, hr_at_5, ndcg_at_5, hr_at_10, ndcg_at_10};
+  }
+};
+
+/// 0-based rank of `target_index` when candidates are sorted by descending
+/// score (ties broken toward earlier indices, i.e. pessimistic for later
+/// duplicates).
+int64_t RankOfTarget(const std::vector<float>& scores, int64_t target_index);
+
+/// Streams per-example target ranks and aggregates the paper's metrics.
+class MetricsAccumulator {
+ public:
+  /// `rank` is 0-based (0 = target scored highest).
+  void Add(int64_t rank);
+
+  RankedMetrics Result() const;
+
+  /// Per-example HR@1 indicators in insertion order (paired t-test input).
+  const std::vector<double>& hit_at_1_samples() const { return hits_at_1_; }
+  /// Per-example NDCG@10 values in insertion order.
+  const std::vector<double>& ndcg_at_10_samples() const { return ndcg_10_; }
+
+ private:
+  std::vector<double> hits_at_1_;
+  std::vector<double> hits_at_5_;
+  std::vector<double> hits_at_10_;
+  std::vector<double> ndcg_5_;
+  std::vector<double> ndcg_10_;
+};
+
+}  // namespace delrec::eval
+
+#endif  // DELREC_EVAL_METRICS_H_

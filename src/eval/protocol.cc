@@ -1,0 +1,37 @@
+#include "eval/protocol.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace delrec::eval {
+
+MetricsAccumulator EvaluateCandidates(
+    const std::vector<data::Example>& examples, int64_t num_items,
+    const CandidateScorer& scorer, const EvalConfig& config) {
+  DELREC_CHECK(scorer != nullptr);
+  util::Rng rng(config.seed);
+  std::vector<data::Example> subset = examples;
+  if (config.max_examples > 0 &&
+      static_cast<int64_t>(subset.size()) > config.max_examples) {
+    util::Rng subsample_rng(config.seed ^ 0x5bd1e995u);
+    subset = data::Subsample(subset, config.max_examples, subsample_rng);
+  }
+  MetricsAccumulator accumulator;
+  for (const data::Example& example : subset) {
+    const std::vector<int64_t> candidates = data::SampleCandidates(
+        num_items, example.target, config.candidate_count, rng);
+    const std::vector<float> scores = scorer(example, candidates);
+    DELREC_CHECK_EQ(scores.size(), candidates.size());
+    const auto target_it =
+        std::find(candidates.begin(), candidates.end(), example.target);
+    DELREC_CHECK(target_it != candidates.end());
+    const int64_t target_index =
+        std::distance(candidates.begin(), target_it);
+    accumulator.Add(RankOfTarget(scores, target_index));
+  }
+  return accumulator;
+}
+
+}  // namespace delrec::eval

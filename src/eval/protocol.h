@@ -1,0 +1,35 @@
+#ifndef DELREC_EVAL_PROTOCOL_H_
+#define DELREC_EVAL_PROTOCOL_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "data/split.h"
+#include "eval/metrics.h"
+
+namespace delrec::eval {
+
+/// Scores a candidate list for one example; must return one score per
+/// candidate (higher = better).
+using CandidateScorer = std::function<std::vector<float>(
+    const data::Example& example, const std::vector<int64_t>& candidates)>;
+
+/// The paper's evaluation protocol knobs: candidate sets of m items
+/// (1 positive + m-1 random negatives).
+struct EvalConfig {
+  int64_t candidate_count = 15;  // Paper's m.
+  int64_t max_examples = 0;      // 0 = evaluate everything.
+  uint64_t seed = 99;            // Candidate sampling seed: fixed so every
+                                 // model ranks identical candidate sets.
+};
+
+/// Runs candidate-set evaluation and returns the per-example accumulator
+/// (call .Result() for the metric row, keep the accumulator for t-tests).
+MetricsAccumulator EvaluateCandidates(
+    const std::vector<data::Example>& examples, int64_t num_items,
+    const CandidateScorer& scorer, const EvalConfig& config);
+
+}  // namespace delrec::eval
+
+#endif  // DELREC_EVAL_PROTOCOL_H_

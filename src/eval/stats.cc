@@ -1,0 +1,170 @@
+#include "eval/stats.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace delrec::eval {
+namespace {
+
+// Regularized incomplete beta I_x(a, b) by Lentz's continued fraction.
+double IncompleteBeta(double a, double b, double x) {
+  if (x <= 0.0) return 0.0;
+  if (x >= 1.0) return 1.0;
+  const double log_beta =
+      std::lgamma(a + b) - std::lgamma(a) - std::lgamma(b) +
+      a * std::log(x) + b * std::log(1.0 - x);
+  // Use the symmetry that converges fastest.
+  if (x > (a + 1.0) / (a + b + 2.0)) {
+    return 1.0 - IncompleteBeta(b, a, 1.0 - x);
+  }
+  const double kTiny = 1e-30;
+  double c = 1.0;
+  double d = 1.0 - (a + b) * x / (a + 1.0);
+  if (std::fabs(d) < kTiny) d = kTiny;
+  d = 1.0 / d;
+  double result = d;
+  for (int m = 1; m <= 300; ++m) {
+    const double m_d = static_cast<double>(m);
+    // Even step.
+    double numerator = m_d * (b - m_d) * x / ((a + 2 * m_d - 1) * (a + 2 * m_d));
+    d = 1.0 + numerator * d;
+    if (std::fabs(d) < kTiny) d = kTiny;
+    c = 1.0 + numerator / c;
+    if (std::fabs(c) < kTiny) c = kTiny;
+    d = 1.0 / d;
+    result *= d * c;
+    // Odd step.
+    numerator = -(a + m_d) * (a + b + m_d) * x /
+                ((a + 2 * m_d) * (a + 2 * m_d + 1));
+    d = 1.0 + numerator * d;
+    if (std::fabs(d) < kTiny) d = kTiny;
+    c = 1.0 + numerator / c;
+    if (std::fabs(c) < kTiny) c = kTiny;
+    d = 1.0 / d;
+    const double delta = d * c;
+    result *= delta;
+    if (std::fabs(delta - 1.0) < 1e-12) break;
+  }
+  return std::exp(log_beta) * result / a;
+}
+
+}  // namespace
+
+double StudentTCdf(double t, double degrees_of_freedom) {
+  DELREC_CHECK_GT(degrees_of_freedom, 0.0);
+  const double x =
+      degrees_of_freedom / (degrees_of_freedom + t * t);
+  const double tail = 0.5 * IncompleteBeta(degrees_of_freedom / 2.0, 0.5, x);
+  return t > 0 ? 1.0 - tail : tail;
+}
+
+TTestResult PairedTTest(const std::vector<double>& a,
+                        const std::vector<double>& b) {
+  DELREC_CHECK_EQ(a.size(), b.size());
+  DELREC_CHECK_GE(a.size(), 2u);
+  const size_t n = a.size();
+  double mean = 0.0;
+  for (size_t i = 0; i < n; ++i) mean += a[i] - b[i];
+  mean /= static_cast<double>(n);
+  double variance = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    const double d = (a[i] - b[i]) - mean;
+    variance += d * d;
+  }
+  variance /= static_cast<double>(n - 1);
+  TTestResult result;
+  result.degrees_of_freedom = static_cast<double>(n - 1);
+  if (variance <= 0.0) {
+    // All pairwise differences identical; degenerate but well defined.
+    result.t_statistic = mean == 0.0 ? 0.0 : (mean > 0 ? 1e9 : -1e9);
+    result.p_value = mean == 0.0 ? 1.0 : 0.0;
+    return result;
+  }
+  result.t_statistic =
+      mean / std::sqrt(variance / static_cast<double>(n));
+  const double cdf =
+      StudentTCdf(std::fabs(result.t_statistic), result.degrees_of_freedom);
+  result.p_value = 2.0 * (1.0 - cdf);
+  return result;
+}
+
+std::string SignificanceStars(double p_value) {
+  if (p_value <= 0.01) return "*";
+  if (p_value <= 0.05) return "**";
+  return "";
+}
+
+std::vector<std::vector<float>> PcaReduce(
+    const std::vector<std::vector<float>>& rows, int out_dim,
+    int power_iterations) {
+  DELREC_CHECK(!rows.empty());
+  const size_t dim = rows[0].size();
+  DELREC_CHECK_LE(static_cast<size_t>(out_dim), dim);
+  const size_t n = rows.size();
+  // Center.
+  std::vector<double> mean(dim, 0.0);
+  for (const auto& row : rows) {
+    DELREC_CHECK_EQ(row.size(), dim);
+    for (size_t j = 0; j < dim; ++j) mean[j] += row[j];
+  }
+  for (double& m : mean) m /= static_cast<double>(n);
+  std::vector<std::vector<double>> centered(n, std::vector<double>(dim));
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < dim; ++j) centered[i][j] = rows[i][j] - mean[j];
+  }
+  // Power iteration with deflation on X (covariance applied implicitly).
+  std::vector<std::vector<double>> components;
+  for (int c = 0; c < out_dim; ++c) {
+    std::vector<double> v(dim, 0.0);
+    v[c % dim] = 1.0;  // Deterministic start.
+    for (int it = 0; it < power_iterations; ++it) {
+      // w = Xᵀ (X v).
+      std::vector<double> xv(n, 0.0);
+      for (size_t i = 0; i < n; ++i) {
+        for (size_t j = 0; j < dim; ++j) xv[i] += centered[i][j] * v[j];
+      }
+      std::vector<double> w(dim, 0.0);
+      for (size_t i = 0; i < n; ++i) {
+        for (size_t j = 0; j < dim; ++j) w[j] += centered[i][j] * xv[i];
+      }
+      // Deflate previously found components.
+      for (const auto& prev : components) {
+        double dot = 0.0;
+        for (size_t j = 0; j < dim; ++j) dot += w[j] * prev[j];
+        for (size_t j = 0; j < dim; ++j) w[j] -= dot * prev[j];
+      }
+      double norm = 0.0;
+      for (double value : w) norm += value * value;
+      norm = std::sqrt(norm);
+      if (norm < 1e-12) break;  // Rank-deficient; keep current v.
+      for (size_t j = 0; j < dim; ++j) v[j] = w[j] / norm;
+    }
+    components.push_back(v);
+  }
+  // Project.
+  std::vector<std::vector<float>> projected(n, std::vector<float>(out_dim));
+  for (size_t i = 0; i < n; ++i) {
+    for (int c = 0; c < out_dim; ++c) {
+      double dot = 0.0;
+      for (size_t j = 0; j < dim; ++j) dot += centered[i][j] * components[c][j];
+      projected[i][c] = static_cast<float>(dot);
+    }
+  }
+  return projected;
+}
+
+float CosineSimilarity(const std::vector<float>& a,
+                       const std::vector<float>& b) {
+  DELREC_CHECK_EQ(a.size(), b.size());
+  double dot = 0.0, na = 0.0, nb = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    dot += static_cast<double>(a[i]) * b[i];
+    na += static_cast<double>(a[i]) * a[i];
+    nb += static_cast<double>(b[i]) * b[i];
+  }
+  if (na <= 0.0 || nb <= 0.0) return 0.0;
+  return static_cast<float>(dot / (std::sqrt(na) * std::sqrt(nb)));
+}
+
+}  // namespace delrec::eval

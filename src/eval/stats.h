@@ -1,0 +1,42 @@
+#ifndef DELREC_EVAL_STATS_H_
+#define DELREC_EVAL_STATS_H_
+
+#include <string>
+#include <vector>
+
+namespace delrec::eval {
+
+/// Paired t-test result (two-sided).
+struct TTestResult {
+  double t_statistic = 0.0;
+  double degrees_of_freedom = 0.0;
+  double p_value = 1.0;
+};
+
+/// Two-sided paired t-test on equally sized samples (a_i, b_i). Tests the
+/// hypothesis mean(a - b) == 0. Used for the Table-II significance stars
+/// (DELRec vs. its conventional SR backbone).
+TTestResult PairedTTest(const std::vector<double>& a,
+                        const std::vector<double>& b);
+
+/// Paper convention: "*" for p ≤ 0.01, "**" for p ≤ 0.05, "" otherwise.
+std::string SignificanceStars(double p_value);
+
+/// CDF of the Student-t distribution (via regularized incomplete beta).
+double StudentTCdf(double t, double degrees_of_freedom);
+
+/// Principal-component reduction: projects each row of `rows` (all the same
+/// width) onto the top `out_dim` principal directions (power iteration with
+/// deflation). Used by the LLM2BERT4Rec baseline, which shrinks LLM title
+/// embeddings with PCA before initializing BERT4Rec.
+std::vector<std::vector<float>> PcaReduce(
+    const std::vector<std::vector<float>>& rows, int out_dim,
+    int power_iterations = 60);
+
+/// Cosine similarity between equal-length vectors (0 when either is 0).
+float CosineSimilarity(const std::vector<float>& a,
+                       const std::vector<float>& b);
+
+}  // namespace delrec::eval
+
+#endif  // DELREC_EVAL_STATS_H_

@@ -1,0 +1,111 @@
+#include "llm/corpus.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+#include "util/string_util.h"
+
+namespace delrec::llm {
+namespace {
+
+void AppendText(const Vocab& vocab, const std::string& text,
+                std::vector<int64_t>& sentence) {
+  for (int64_t id : vocab.Encode(text)) sentence.push_back(id);
+}
+
+}  // namespace
+
+std::vector<std::vector<int64_t>> BuildWorldKnowledgeCorpus(
+    const data::Catalog& catalog, const Vocab& vocab,
+    int64_t sentences_per_item, util::Rng& rng) {
+  DELREC_CHECK_GT(sentences_per_item, 0);
+  std::vector<std::vector<int64_t>> by_genre(catalog.num_genres);
+  // Genre pools as flat vectors of item ids.
+  std::vector<std::vector<int64_t>> genre_items(catalog.num_genres);
+  for (const data::Item& item : catalog.items) {
+    genre_items[item.genre].push_back(item.id);
+  }
+
+  std::vector<std::vector<int64_t>> corpus;
+  corpus.reserve(catalog.items.size() * (sentences_per_item + 1));
+  for (const data::Item& item : catalog.items) {
+    const std::string& genre = catalog.genre_names[item.genre];
+    for (int64_t s = 0; s < sentences_per_item; ++s) {
+      std::vector<int64_t> sentence = {Vocab::kCls};
+      const int variant = static_cast<int>(rng.UniformUint64(4));
+      const auto& pool = genre_items[item.genre];
+      const int64_t other = pool[rng.UniformUint64(pool.size())];
+      switch (variant) {
+        case 0:
+          AppendText(vocab, item.title + " is a " + genre + " item",
+                     sentence);
+          break;
+        case 1:
+          AppendText(vocab,
+                     "fans of " + item.title + " also enjoy " +
+                         catalog.items[other].title,
+                     sentence);
+          break;
+        case 2:
+          AppendText(vocab,
+                     genre + " items include " + item.title + " and " +
+                         catalog.items[other].title,
+                     sentence);
+          break;
+        default:
+          // Franchise knowledge ("the sequel of A is B") — the kind of
+          // item-succession fact a web-pretrained LLM genuinely knows.
+          AppendText(vocab,
+                     "after " + item.title + " fans watch " +
+                         catalog.items[catalog.sequel[item.id]].title,
+                     sentence);
+          break;
+      }
+      sentence.push_back(Vocab::kSep);
+      corpus.push_back(std::move(sentence));
+    }
+    // One guaranteed succession fact per item so the association is always
+    // in the pretrained weights.
+    std::vector<int64_t> sequel_sentence = {Vocab::kCls};
+    AppendText(vocab,
+               "after " + item.title + " fans watch " +
+                   catalog.items[catalog.sequel[item.id]].title,
+               sequel_sentence);
+    sequel_sentence.push_back(Vocab::kSep);
+    corpus.push_back(std::move(sequel_sentence));
+  }
+  return corpus;
+}
+
+std::vector<std::vector<int64_t>> BuildInteractionFormatCorpus(
+    const data::Catalog& catalog, const Vocab& vocab,
+    const std::vector<data::Example>& train_examples, int64_t window,
+    int64_t max_sentences, util::Rng& rng) {
+  DELREC_CHECK_GT(window, 0);
+  std::vector<std::vector<int64_t>> corpus;
+  if (max_sentences <= 0 || train_examples.empty()) return corpus;
+  // Uniform sample without replacement over the training examples.
+  std::vector<int64_t> order(train_examples.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  rng.Shuffle(order);
+  const int64_t count = std::min<int64_t>(
+      max_sentences, static_cast<int64_t>(order.size()));
+  for (int64_t s = 0; s < count; ++s) {
+    const data::Example& example = train_examples[order[s]];
+    std::vector<int64_t> sentence = {Vocab::kCls};
+    AppendText(vocab, "the user watched these items in order", sentence);
+    const int64_t start = std::max<int64_t>(
+        0, static_cast<int64_t>(example.history.size()) - window);
+    for (size_t i = start; i < example.history.size(); ++i) {
+      AppendText(vocab, catalog.items[example.history[i]].title, sentence);
+      sentence.push_back(Vocab::kSep);
+    }
+    AppendText(vocab, "the user will watch next", sentence);
+    AppendText(vocab, catalog.items[example.target].title, sentence);
+    sentence.push_back(Vocab::kSep);
+    corpus.push_back(std::move(sentence));
+  }
+  return corpus;
+}
+
+}  // namespace delrec::llm

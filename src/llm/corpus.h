@@ -1,0 +1,44 @@
+#ifndef DELREC_LLM_CORPUS_H_
+#define DELREC_LLM_CORPUS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "data/dataset.h"
+#include "data/split.h"
+#include "llm/vocab.h"
+#include "util/rng.h"
+
+namespace delrec::llm {
+
+/// Generates the synthetic "world knowledge" pretraining corpus: token-id
+/// sentences linking item titles to their genres and to co-preferred items.
+/// Pretraining TinyLM on this corpus stands in for the web-scale pretraining
+/// that gives a real LLM its knowledge of item attributes (DESIGN.md §2):
+/// after pretraining, a title's tokens predict its genre context and the
+/// titles of semantically related items.
+///
+/// Sentence templates:
+///   "[CLS] <title> is a <genre> item [SEP]"
+///   "[CLS] fans of <title_a> also enjoy <title_b> [SEP]"   (same genre)
+///   "[CLS] <genre> items include <title_a> and <title_b> [SEP]"
+std::vector<std::vector<int64_t>> BuildWorldKnowledgeCorpus(
+    const data::Catalog& catalog, const Vocab& vocab,
+    int64_t sentences_per_item, util::Rng& rng);
+
+/// Instruction-format pretraining sentences built from *training* user
+/// sequences (never validation/test — no leakage):
+///   "[CLS] the user watched <t1> [SEP] ... [SEP] the user will watch next
+///    <t_next> [SEP]"
+/// This is the analog of Flan-T5's instruction tuning: the pretrained model
+/// arrives knowing the recommendation prompt *format*, while task competence
+/// still comes from fine-tuning. `max_sentences` caps corpus size;
+/// `window` limits shown history length.
+std::vector<std::vector<int64_t>> BuildInteractionFormatCorpus(
+    const data::Catalog& catalog, const Vocab& vocab,
+    const std::vector<data::Example>& train_examples, int64_t window,
+    int64_t max_sentences, util::Rng& rng);
+
+}  // namespace delrec::llm
+
+#endif  // DELREC_LLM_CORPUS_H_

@@ -1,0 +1,75 @@
+#include "llm/pretrain.h"
+
+#include <algorithm>
+
+#include "llm/vocab.h"
+#include "nn/module.h"
+#include "nn/ops.h"
+#include "nn/optimizer.h"
+#include "util/check.h"
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace delrec::llm {
+
+float PretrainMlm(TinyLm& model,
+                  const std::vector<std::vector<int64_t>>& corpus,
+                  const PretrainConfig& config) {
+  DELREC_CHECK(!corpus.empty());
+  util::Rng rng(config.seed);
+  model.SetTraining(true);
+  nn::Adam optimizer(model.Parameters(), config.learning_rate);
+  std::vector<int64_t> order(corpus.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  float epoch_loss = 0.0f;
+  for (int epoch = 0; epoch < config.epochs; ++epoch) {
+    rng.Shuffle(order);
+    epoch_loss = 0.0f;
+    int64_t batches = 0;
+    for (size_t start = 0; start < order.size();
+         start += config.batch_size) {
+      const size_t end = std::min(order.size(),
+                                  start + config.batch_size);
+      std::vector<nn::Tensor> losses;
+      for (size_t i = start; i < end; ++i) {
+        const std::vector<int64_t>& sentence = corpus[order[i]];
+        // Pick one maskable (non-special) position.
+        std::vector<int64_t> maskable;
+        for (size_t p = 0; p < sentence.size(); ++p) {
+          if (sentence[p] >= Vocab::kNumSpecials) {
+            maskable.push_back(static_cast<int64_t>(p));
+          }
+        }
+        if (maskable.empty()) continue;
+        int64_t position;
+        if (config.tail_mask_probability > 0.0f &&
+            rng.Bernoulli(config.tail_mask_probability)) {
+          // Mask within the trailing content tokens (the target title).
+          const size_t tail = std::min<size_t>(3, maskable.size());
+          position = maskable[maskable.size() - 1 - rng.UniformUint64(tail)];
+        } else {
+          position = maskable[rng.UniformUint64(maskable.size())];
+        }
+        losses.push_back(model.MlmLoss(sentence, {position}, rng));
+      }
+      if (losses.empty()) continue;
+      nn::Tensor loss = nn::MulScalar(
+          nn::AddN(losses), 1.0f / static_cast<float>(losses.size()));
+      model.ZeroGrad();
+      loss.Backward();
+      nn::ClipGradNorm(model.Parameters(), 5.0f);
+      optimizer.Step();
+      epoch_loss += loss.item();
+      ++batches;
+    }
+    epoch_loss /= static_cast<float>(std::max<int64_t>(1, batches));
+    if (config.verbose) {
+      DELREC_LOG(Info) << "TinyLM pretrain epoch " << epoch + 1 << "/"
+                       << config.epochs << " loss=" << epoch_loss;
+    }
+  }
+  model.SetTraining(false);
+  return epoch_loss;
+}
+
+}  // namespace delrec::llm

@@ -1,0 +1,34 @@
+#ifndef DELREC_LLM_PRETRAIN_H_
+#define DELREC_LLM_PRETRAIN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "llm/tiny_lm.h"
+
+namespace delrec::llm {
+
+/// MLM pretraining knobs.
+struct PretrainConfig {
+  int epochs = 3;
+  int batch_size = 16;
+  float learning_rate = 2e-3f;
+  /// Probability of masking among the last few content tokens instead of
+  /// uniformly. Instruction-format sentences end with the target title, so
+  /// tail-biased masking teaches "predict the next item" directly.
+  float tail_mask_probability = 0.0f;
+  uint64_t seed = 11;
+  bool verbose = false;
+};
+
+/// Masked-LM pretraining on the world-knowledge corpus: each step masks one
+/// random non-special token per sentence and predicts it. Returns the final
+/// epoch's mean loss. This is the substitute for the paper's pretrained LLM
+/// weights — afterwards, TinyLM "knows" which titles share a genre.
+float PretrainMlm(TinyLm& model,
+                  const std::vector<std::vector<int64_t>>& corpus,
+                  const PretrainConfig& config);
+
+}  // namespace delrec::llm
+
+#endif  // DELREC_LLM_PRETRAIN_H_

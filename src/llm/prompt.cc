@@ -1,0 +1,218 @@
+#include "llm/prompt.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace delrec::llm {
+namespace {
+
+// Incrementally assembles PromptPieces, merging consecutive hard tokens into
+// one piece and tracking the global index of the [MASK] token.
+class PromptAssembler {
+ public:
+  explicit PromptAssembler(const Vocab& vocab) : vocab_(vocab) {
+    AddToken(Vocab::kCls);
+  }
+
+  void AddText(const std::string& text) {
+    for (int64_t id : vocab_.Encode(text)) AddToken(id);
+  }
+
+  void AddToken(int64_t id) {
+    current_tokens_.push_back(id);
+    ++length_;
+  }
+
+  void AddTokens(const std::vector<int64_t>& ids) {
+    for (int64_t id : ids) AddToken(id);
+  }
+
+  void AddSep() { AddToken(Vocab::kSep); }
+
+  void AddMask() {
+    DELREC_CHECK_EQ(mask_position_, -1) << "prompt already has a mask";
+    mask_position_ = length_;
+    AddToken(Vocab::kMask);
+  }
+
+  void AddEmbeddings(const nn::Tensor& rows) {
+    FlushTokens();
+    prompt_.pieces.push_back(PromptPiece::Embeddings(rows));
+    length_ += rows.dim(0);
+  }
+
+  Prompt Finish() {
+    AddSep();
+    FlushTokens();
+    DELREC_CHECK_GE(mask_position_, 0) << "prompt has no mask";
+    prompt_.mask_position = mask_position_;
+    return std::move(prompt_);
+  }
+
+ private:
+  void FlushTokens() {
+    if (!current_tokens_.empty()) {
+      prompt_.pieces.push_back(
+          PromptPiece::Tokens(std::move(current_tokens_)));
+      current_tokens_.clear();
+    }
+  }
+
+  const Vocab& vocab_;
+  Prompt prompt_;
+  std::vector<int64_t> current_tokens_;
+  int64_t length_ = 0;
+  int64_t mask_position_ = -1;
+};
+
+}  // namespace
+
+int64_t Prompt::length() const {
+  int64_t total = 0;
+  for (const PromptPiece& piece : pieces) total += piece.length();
+  return total;
+}
+
+PromptBuilder::PromptBuilder(const data::Catalog* catalog, const Vocab* vocab)
+    : catalog_(catalog), vocab_(vocab) {
+  DELREC_CHECK(catalog != nullptr);
+  DELREC_CHECK(vocab != nullptr);
+}
+
+std::vector<int64_t> PromptBuilder::TitleTokens(int64_t item) const {
+  DELREC_CHECK_GE(item, 0);
+  DELREC_CHECK_LT(item, catalog_->size());
+  return vocab_->Encode(catalog_->items[item].title);
+}
+
+Prompt PromptBuilder::BuildRecommendation(
+    const std::vector<int64_t>& history,
+    const std::vector<int64_t>& candidates, const nn::Tensor& soft_prompts,
+    const std::vector<int64_t>& hint_tokens,
+    const nn::Tensor& injected_embeddings) const {
+  DELREC_CHECK(!history.empty());
+  PromptAssembler assembler(*vocab_);
+  assembler.AddText("the user watched these items in order");
+  for (int64_t item : history) {
+    assembler.AddTokens(TitleTokens(item));
+    assembler.AddSep();
+  }
+  if (soft_prompts.defined()) {
+    assembler.AddText("refer to pattern knowledge");
+    assembler.AddEmbeddings(soft_prompts);
+    assembler.AddSep();
+  }
+  if (!hint_tokens.empty()) {
+    assembler.AddTokens(hint_tokens);
+    assembler.AddSep();
+  }
+  if (injected_embeddings.defined()) {
+    assembler.AddEmbeddings(injected_embeddings);
+    assembler.AddSep();
+  }
+  if (!candidates.empty()) {
+    assembler.AddText("candidates are");
+    for (int64_t item : candidates) {
+      assembler.AddTokens(TitleTokens(item));
+      assembler.AddSep();
+    }
+  }
+  assembler.AddText("the user will watch next");
+  assembler.AddMask();
+  return assembler.Finish();
+}
+
+Prompt PromptBuilder::BuildTemporalAnalysis(
+    const std::vector<int64_t>& sequence, int64_t alpha,
+    const std::vector<int64_t>& candidates,
+    const nn::Tensor& soft_prompts) const {
+  const int64_t n = static_cast<int64_t>(sequence.size());
+  DELREC_CHECK_GE(n, 4) << "Temporal Analysis needs at least 4 items";
+  // Keep α valid: prefix I_1..I_{α-1} as ICL with I_α its next item, and at
+  // least one unmasked item between α and the masked position n-2.
+  alpha = std::clamp<int64_t>(alpha, 1, n - 3);
+  PromptAssembler assembler(*vocab_);
+  // ICL example cut from the earlier part of the same sequence (§IV-B).
+  assembler.AddText("example given");
+  for (int64_t i = 0; i < alpha; ++i) {
+    assembler.AddTokens(TitleTokens(sequence[i]));
+    assembler.AddSep();
+  }
+  assembler.AddText("the next item was");
+  assembler.AddTokens(TitleTokens(sequence[alpha]));
+  assembler.AddSep();
+  // Main PMRI task: sequence I_α..I_{n-3}, masked most-recent item I_{n-2},
+  // revealed next interaction I_{n-1}.
+  assembler.AddText("given");
+  for (int64_t i = alpha; i < n - 2; ++i) {
+    assembler.AddTokens(TitleTokens(sequence[i]));
+    assembler.AddSep();
+  }
+  assembler.AddText("the most recent item before");
+  assembler.AddTokens(TitleTokens(sequence[n - 1]));
+  assembler.AddText("was");
+  assembler.AddMask();
+  assembler.AddSep();
+  if (soft_prompts.defined()) {
+    assembler.AddText("refer to pattern knowledge");
+    assembler.AddEmbeddings(soft_prompts);
+    assembler.AddSep();
+  }
+  if (!candidates.empty()) {
+    assembler.AddText("candidates are");
+    for (int64_t item : candidates) {
+      assembler.AddTokens(TitleTokens(item));
+      assembler.AddSep();
+    }
+  }
+  return assembler.Finish();
+}
+
+Prompt PromptBuilder::BuildPatternSimulating(
+    const std::vector<int64_t>& history, const std::vector<int64_t>& top_h,
+    const std::vector<int64_t>& candidates, const nn::Tensor& soft_prompts,
+    const std::string& sr_model_name) const {
+  DELREC_CHECK(!history.empty());
+  DELREC_CHECK(!top_h.empty());
+  PromptAssembler assembler(*vocab_);
+  assembler.AddText("the user watched these items in order");
+  for (int64_t item : history) {
+    assembler.AddTokens(TitleTokens(item));
+    assembler.AddSep();
+  }
+  // Spell out the conventional model's name (§IV-A: harness the LLM's
+  // pre-existing knowledge of these models).
+  assembler.AddText("the " + sr_model_name + " model recommends top items");
+  for (int64_t item : top_h) {
+    assembler.AddTokens(TitleTokens(item));
+    assembler.AddSep();
+  }
+  if (soft_prompts.defined()) {
+    assembler.AddText("refer to pattern knowledge");
+    assembler.AddEmbeddings(soft_prompts);
+    assembler.AddSep();
+  }
+  if (!candidates.empty()) {
+    assembler.AddText("candidates are");
+    for (int64_t item : candidates) {
+      assembler.AddTokens(TitleTokens(item));
+      assembler.AddSep();
+    }
+  }
+  assembler.AddText("the " + sr_model_name + " model predicts next");
+  assembler.AddMask();
+  return assembler.Finish();
+}
+
+std::vector<int64_t> PromptBuilder::ManualConstructionTokens(
+    const std::string& sr_model_name) const {
+  // Hand-written description of the conventional model's behaviour — the
+  // "w MCP" ablation's stand-in for distilled soft prompts.
+  return vocab_->Encode(
+      "the " + sr_model_name +
+      " model predicts the next item from the most recent items in the "
+      "sequence and prefers items similar to the most recent item");
+}
+
+}  // namespace delrec::llm

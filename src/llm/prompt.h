@@ -1,0 +1,83 @@
+#ifndef DELREC_LLM_PROMPT_H_
+#define DELREC_LLM_PROMPT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+#include "llm/tiny_lm.h"
+#include "llm/vocab.h"
+#include "nn/tensor.h"
+
+namespace delrec::llm {
+
+/// A composed prompt plus the index of its [MASK] position (the slot the
+/// model predicts through the verbalizer).
+struct Prompt {
+  std::vector<PromptPiece> pieces;
+  int64_t mask_position = -1;
+
+  int64_t length() const;
+};
+
+/// Builds the three prompt templates of DELRec (paper Figs. 4–6). All items
+/// are rendered as titles (§IV-A: "we represent all items in the prompts
+/// using textual titles"), [SEP] delimits items, and the conventional SR
+/// model's *name* is spelled out in the RPS template to tap the LLM's prior
+/// knowledge. Slots exist for soft prompts (embedding rows), textual hints
+/// (paradigm-1 baselines) and injected embeddings (paradigm-2 baselines).
+class PromptBuilder {
+ public:
+  /// `catalog` and `vocab` must outlive the builder.
+  PromptBuilder(const data::Catalog* catalog, const Vocab* vocab);
+
+  /// Stage-2 / recommendation prompt (Fig. 6):
+  ///   [CLS] the user watched: <history titles> [SEP]
+  ///   reference pattern knowledge: <SOFT> [SEP]          (if soft defined)
+  ///   <hint tokens> [SEP]                                (if any)
+  ///   <injected embedding rows> [SEP]                    (if defined)
+  ///   candidates are: <candidate titles> [SEP]
+  ///   the user will watch next [MASK] [SEP]
+  Prompt BuildRecommendation(const std::vector<int64_t>& history,
+                             const std::vector<int64_t>& candidates,
+                             const nn::Tensor& soft_prompts,
+                             const std::vector<int64_t>& hint_tokens,
+                             const nn::Tensor& injected_embeddings) const;
+
+  /// Temporal Analysis / PMRI prompt (Fig. 4). `sequence` is the user
+  /// history (≥ 4 items); `alpha` the paper's ICL split point. The prompt
+  /// shows the prefix as an in-context example, masks the second-to-last
+  /// item and reveals the last item as "the next interaction". The caller's
+  /// label is sequence[n-2].
+  Prompt BuildTemporalAnalysis(const std::vector<int64_t>& sequence,
+                               int64_t alpha,
+                               const std::vector<int64_t>& candidates,
+                               const nn::Tensor& soft_prompts) const;
+
+  /// Recommendation Pattern Simulating prompt (Fig. 5): shows the SR model's
+  /// top-h list and asks what that model predicts next (label: its top-1).
+  Prompt BuildPatternSimulating(const std::vector<int64_t>& history,
+                                const std::vector<int64_t>& top_h,
+                                const std::vector<int64_t>& candidates,
+                                const nn::Tensor& soft_prompts,
+                                const std::string& sr_model_name) const;
+
+  /// "w MCP" ablation: a natural-language description of the conventional
+  /// SR model's recommendation process, used in place of soft prompts.
+  std::vector<int64_t> ManualConstructionTokens(
+      const std::string& sr_model_name) const;
+
+  /// Title tokens of an item.
+  std::vector<int64_t> TitleTokens(int64_t item) const;
+
+  const Vocab& vocab() const { return *vocab_; }
+
+ private:
+  const data::Catalog* catalog_;
+  const Vocab* vocab_;
+};
+
+}  // namespace delrec::llm
+
+#endif  // DELREC_LLM_PROMPT_H_

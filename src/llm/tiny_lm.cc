@@ -1,0 +1,280 @@
+#include "llm/tiny_lm.h"
+
+#include <cmath>
+
+#include "llm/vocab.h"
+#include "nn/ops.h"
+#include "util/check.h"
+
+namespace delrec::llm {
+
+TinyLmConfig TinyLmConfig::Base(int64_t vocab_size) {
+  TinyLmConfig config;
+  config.vocab_size = vocab_size;
+  config.model_dim = 16;
+  config.num_layers = 1;
+  config.num_heads = 2;
+  config.ffn_dim = 32;
+  return config;
+}
+
+TinyLmConfig TinyLmConfig::Large(int64_t vocab_size) {
+  TinyLmConfig config;
+  config.vocab_size = vocab_size;
+  config.model_dim = 24;
+  config.num_layers = 2;
+  config.num_heads = 4;
+  config.ffn_dim = 48;
+  return config;
+}
+
+TinyLmConfig TinyLmConfig::XL(int64_t vocab_size) {
+  TinyLmConfig config;
+  config.vocab_size = vocab_size;
+  config.model_dim = 32;
+  config.num_layers = 2;
+  config.num_heads = 4;
+  config.ffn_dim = 64;
+  return config;
+}
+
+PromptPiece PromptPiece::Tokens(std::vector<int64_t> tokens) {
+  PromptPiece piece;
+  piece.kind = Kind::kTokens;
+  piece.tokens = std::move(tokens);
+  return piece;
+}
+
+PromptPiece PromptPiece::Embeddings(nn::Tensor rows) {
+  DELREC_CHECK(rows.defined());
+  DELREC_CHECK_EQ(rows.ndim(), 2);
+  PromptPiece piece;
+  piece.kind = Kind::kEmbeddings;
+  piece.embeddings = std::move(rows);
+  return piece;
+}
+
+int64_t PromptPiece::length() const {
+  return kind == Kind::kTokens ? static_cast<int64_t>(tokens.size())
+                               : embeddings.dim(0);
+}
+
+TinyLmBlock::TinyLmBlock(const TinyLmConfig& config, util::Rng& rng)
+    : num_heads_(config.num_heads),
+      head_dim_(config.model_dim / config.num_heads),
+      ln_attention_(config.model_dim),
+      wq_(config.model_dim, config.model_dim, rng),
+      wk_(config.model_dim, config.model_dim, rng),
+      wv_(config.model_dim, config.model_dim, rng),
+      wo_(config.model_dim, config.model_dim, rng),
+      ln_ffn_(config.model_dim),
+      ffn_in_(config.model_dim, config.ffn_dim, rng),
+      ffn_out_(config.ffn_dim, config.model_dim, rng) {
+  DELREC_CHECK_EQ(head_dim_ * num_heads_, config.model_dim);
+  RegisterModule("ln_attention", &ln_attention_);
+  RegisterModule("wq", &wq_);
+  RegisterModule("wk", &wk_);
+  RegisterModule("wv", &wv_);
+  RegisterModule("wo", &wo_);
+  RegisterModule("ln_ffn", &ln_ffn_);
+  RegisterModule("ffn_in", &ffn_in_);
+  RegisterModule("ffn_out", &ffn_out_);
+}
+
+nn::Tensor TinyLmBlock::Forward(const nn::Tensor& x, util::Rng& rng,
+                                float dropout) const {
+  nn::Tensor normed = ln_attention_.Forward(x);
+  nn::Tensor q = lora_wq_ ? lora_wq_->Forward(normed) : wq_.Forward(normed);
+  nn::Tensor k = wk_.Forward(normed);
+  nn::Tensor v = lora_wv_ ? lora_wv_->Forward(normed) : wv_.Forward(normed);
+  const float scale = 1.0f / std::sqrt(static_cast<float>(head_dim_));
+  std::vector<nn::Tensor> heads;
+  heads.reserve(num_heads_);
+  for (int64_t h = 0; h < num_heads_; ++h) {
+    nn::Tensor qh = nn::SliceCols(q, h * head_dim_, head_dim_);
+    nn::Tensor kh = nn::SliceCols(k, h * head_dim_, head_dim_);
+    nn::Tensor vh = nn::SliceCols(v, h * head_dim_, head_dim_);
+    nn::Tensor attention = nn::Softmax(
+        nn::MulScalar(nn::MatMul(qh, kh, false, true), scale));
+    attention = nn::Dropout(attention, dropout, rng, training());
+    heads.push_back(nn::MatMul(attention, vh));
+  }
+  nn::Tensor attended = wo_.Forward(nn::ConcatCols(heads));
+  nn::Tensor residual = nn::Add(x, attended);
+  nn::Tensor ff_in = ln_ffn_.Forward(residual);
+  nn::Tensor hidden = nn::Gelu(lora_ffn_in_ ? lora_ffn_in_->Forward(ff_in)
+                                            : ffn_in_.Forward(ff_in));
+  hidden = nn::Dropout(hidden, dropout, rng, training());
+  return nn::Add(residual, ffn_out_.Forward(hidden));
+}
+
+std::vector<nn::LoraLinear*> TinyLmBlock::EnableAdapters(int64_t rank,
+                                                         float scale,
+                                                         util::Rng& rng) {
+  if (!lora_wq_) {
+    lora_wq_ = std::make_unique<nn::LoraLinear>(&wq_, rank, scale, rng);
+    lora_wv_ = std::make_unique<nn::LoraLinear>(&wv_, rank, scale, rng);
+    lora_ffn_in_ =
+        std::make_unique<nn::LoraLinear>(&ffn_in_, rank, scale, rng);
+  }
+  return adapters();
+}
+
+std::vector<nn::LoraLinear*> TinyLmBlock::adapters() const {
+  std::vector<nn::LoraLinear*> out;
+  if (lora_wq_) {
+    out = {lora_wq_.get(), lora_wv_.get(), lora_ffn_in_.get()};
+  }
+  return out;
+}
+
+TinyLm::TinyLm(const TinyLmConfig& config, uint64_t seed)
+    : config_(config),
+      scratch_rng_(seed),
+      token_embedding_(config.vocab_size, config.model_dim, scratch_rng_),
+      final_norm_(config.model_dim) {
+  DELREC_CHECK_GT(config.vocab_size, Vocab::kNumSpecials);
+  RegisterModule("token_embedding", &token_embedding_);
+  // Sinusoidal positions, scaled to the embedding init magnitude so they
+  // inform but don't drown the token embeddings.
+  std::vector<float> positions(config.max_positions * config.model_dim);
+  for (int64_t p = 0; p < config.max_positions; ++p) {
+    for (int64_t d = 0; d < config.model_dim; ++d) {
+      const double rate =
+          static_cast<double>(p) /
+          std::pow(10000.0, 2.0 * (d / 2) / static_cast<double>(
+                                                config.model_dim));
+      positions[p * config.model_dim + d] =
+          0.05f * static_cast<float>((d % 2 == 0) ? std::sin(rate)
+                                                  : std::cos(rate));
+    }
+  }
+  position_table_ = nn::Tensor::FromData(
+      {config.max_positions, config.model_dim}, std::move(positions));
+  for (int64_t b = 0; b < config.num_layers; ++b) {
+    blocks_.push_back(std::make_unique<TinyLmBlock>(config_, scratch_rng_));
+    RegisterModule("block" + std::to_string(b), blocks_.back().get());
+  }
+  RegisterModule("final_norm", &final_norm_);
+  head_bias_ = nn::Tensor::Zeros({config.vocab_size}, /*requires_grad=*/true);
+  RegisterParameter("head_bias", head_bias_);
+}
+
+nn::Tensor TinyLm::Encode(const std::vector<PromptPiece>& pieces,
+                          float dropout, util::Rng& rng) const {
+  DELREC_CHECK(!pieces.empty());
+  const nn::Tensor table = EffectiveTokenTable();
+  std::vector<nn::Tensor> rows;
+  int64_t total_length = 0;
+  for (const PromptPiece& piece : pieces) {
+    if (piece.kind == PromptPiece::Kind::kTokens) {
+      if (piece.tokens.empty()) continue;
+      rows.push_back(nn::Rows(table, piece.tokens));
+    } else {
+      DELREC_CHECK_EQ(piece.embeddings.dim(1), config_.model_dim);
+      rows.push_back(piece.embeddings);
+    }
+    total_length += piece.length();
+  }
+  DELREC_CHECK_GT(total_length, 0);
+  DELREC_CHECK_LE(total_length, config_.max_positions)
+      << "prompt longer than max_positions";
+  nn::Tensor x = rows.size() == 1 ? rows[0] : nn::ConcatRows(rows);
+  x = nn::Add(x, nn::SliceRows(position_table_, 0, total_length));
+  x = nn::Dropout(x, dropout, rng, training());
+  for (const auto& block : blocks_) {
+    x = block->Forward(x, rng, dropout);
+  }
+  return final_norm_.Forward(x);
+}
+
+nn::Tensor TinyLm::LogitsAt(const nn::Tensor& hidden, int64_t position) const {
+  nn::Tensor at = nn::SliceRows(hidden, position, 1);
+  return nn::AddBias(nn::MatMul(at, EffectiveTokenTable(), false, true),
+                     head_bias_);
+}
+
+nn::Tensor TinyLm::EffectiveTokenTable() const {
+  if (!embedding_lora_a_.defined()) return token_embedding_.table();
+  return nn::Add(token_embedding_.table(),
+                 nn::MulScalar(nn::MatMul(embedding_lora_a_,
+                                          embedding_lora_b_),
+                               embedding_lora_scale_));
+}
+
+nn::Tensor TinyLm::MlmLoss(const std::vector<int64_t>& tokens,
+                           const std::vector<int64_t>& mask_positions,
+                           util::Rng& rng) {
+  DELREC_CHECK(!mask_positions.empty());
+  std::vector<int64_t> corrupted = tokens;
+  for (int64_t position : mask_positions) {
+    DELREC_CHECK_GE(position, 0);
+    DELREC_CHECK_LT(position, static_cast<int64_t>(tokens.size()));
+    corrupted[position] = Vocab::kMask;
+  }
+  nn::Tensor hidden =
+      Encode({PromptPiece::Tokens(corrupted)}, config_.dropout, rng);
+  std::vector<nn::Tensor> losses;
+  for (int64_t position : mask_positions) {
+    losses.push_back(nn::CrossEntropyWithLogits(LogitsAt(hidden, position),
+                                                {tokens[position]}));
+  }
+  return nn::MulScalar(nn::AddN(losses),
+                       1.0f / static_cast<float>(losses.size()));
+}
+
+std::vector<float> TinyLm::EmbedTokens(
+    const std::vector<int64_t>& tokens) const {
+  nn::NoGradGuard no_grad;
+  DELREC_CHECK(!tokens.empty());
+  nn::Tensor hidden =
+      Encode({PromptPiece::Tokens(tokens)}, 0.0f, scratch_rng_);
+  return nn::MeanRows(hidden).data();
+}
+
+std::vector<nn::LoraLinear*> TinyLm::EnableAdapters(int64_t rank,
+                                                    float scale) {
+  std::vector<nn::LoraLinear*> all;
+  for (const auto& block : blocks_) {
+    for (nn::LoraLinear* adapter :
+         block->EnableAdapters(rank, scale, scratch_rng_)) {
+      all.push_back(adapter);
+    }
+  }
+  if (!embedding_lora_a_.defined()) {
+    embedding_lora_a_ = nn::Tensor::Randn({config_.vocab_size, rank},
+                                          scratch_rng_, 0.02f,
+                                          /*requires_grad=*/true);
+    embedding_lora_b_ = nn::Tensor::Zeros({rank, config_.model_dim},
+                                          /*requires_grad=*/true);
+    embedding_lora_scale_ = scale;
+  }
+  return all;
+}
+
+std::vector<nn::Tensor> TinyLm::EmbeddingAdapterParameters() const {
+  if (!embedding_lora_a_.defined()) return {};
+  return {embedding_lora_a_, embedding_lora_b_};
+}
+
+std::vector<nn::Tensor> TinyLm::BitFitParameters() const {
+  std::vector<nn::Tensor> out;
+  for (const auto& [name, tensor] : NamedParameters()) {
+    const bool is_embedding_table = name.find("embedding") != std::string::npos;
+    const bool is_affine = name.find("bias") != std::string::npos ||
+                           name.find("gamma") != std::string::npos ||
+                           name.find("beta") != std::string::npos;
+    if (is_affine && !is_embedding_table) out.push_back(tensor);
+  }
+  return out;
+}
+
+std::vector<nn::LoraLinear*> TinyLm::adapters() const {
+  std::vector<nn::LoraLinear*> all;
+  for (const auto& block : blocks_) {
+    for (nn::LoraLinear* adapter : block->adapters()) all.push_back(adapter);
+  }
+  return all;
+}
+
+}  // namespace delrec::llm

@@ -1,0 +1,161 @@
+#ifndef DELREC_LLM_TINY_LM_H_
+#define DELREC_LLM_TINY_LM_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/layers.h"
+#include "nn/lora.h"
+#include "nn/module.h"
+#include "nn/tensor.h"
+#include "util/rng.h"
+
+namespace delrec::llm {
+
+/// TinyLM architecture knobs. Three presets play the roles of the paper's
+/// LLM backbones (DESIGN.md §2): kBase ≈ Bert-Large's role (small,
+/// lightly pretrained MLM), kLarge ≈ Flan-T5-Large, kXL ≈ Flan-T5-XL.
+struct TinyLmConfig {
+  int64_t vocab_size = 0;
+  int64_t model_dim = 32;
+  int64_t num_layers = 2;
+  int64_t num_heads = 4;
+  int64_t ffn_dim = 64;
+  int64_t max_positions = 192;
+  float dropout = 0.1f;
+
+  static TinyLmConfig Base(int64_t vocab_size);
+  static TinyLmConfig Large(int64_t vocab_size);
+  static TinyLmConfig XL(int64_t vocab_size);
+};
+
+/// A segment of a prompt: either hard tokens (looked up in the embedding
+/// table) or pre-built embedding rows spliced verbatim into the input — the
+/// mechanism behind both soft prompts (trainable rows) and LLaRA-style
+/// injected conventional-SR embeddings.
+struct PromptPiece {
+  enum class Kind { kTokens, kEmbeddings };
+
+  static PromptPiece Tokens(std::vector<int64_t> tokens);
+  static PromptPiece Embeddings(nn::Tensor rows);
+
+  int64_t length() const;
+
+  Kind kind = Kind::kTokens;
+  std::vector<int64_t> tokens;
+  nn::Tensor embeddings;  // (n, model_dim) when kind == kEmbeddings.
+};
+
+/// One pre-LN encoder block with optional AdaLoRA adapters on W_q, W_v and
+/// the FFN input projection (the standard LoRA attachment points).
+class TinyLmBlock : public nn::Module {
+ public:
+  TinyLmBlock(const TinyLmConfig& config, util::Rng& rng);
+
+  nn::Tensor Forward(const nn::Tensor& x, util::Rng& rng,
+                     float dropout) const;
+
+  /// Creates the adapters (rank, scale) if not present; returns them for
+  /// optimizer registration. Adapter parameters are deliberately NOT part of
+  /// this module's parameter tree: they form a separate parameter group.
+  std::vector<nn::LoraLinear*> EnableAdapters(int64_t rank, float scale,
+                                              util::Rng& rng);
+  std::vector<nn::LoraLinear*> adapters() const;
+
+ private:
+  int64_t num_heads_;
+  int64_t head_dim_;
+  nn::LayerNorm ln_attention_;
+  nn::Linear wq_;
+  nn::Linear wk_;
+  nn::Linear wv_;
+  nn::Linear wo_;
+  nn::LayerNorm ln_ffn_;
+  nn::Linear ffn_in_;
+  nn::Linear ffn_out_;
+  std::unique_ptr<nn::LoraLinear> lora_wq_;
+  std::unique_ptr<nn::LoraLinear> lora_wv_;
+  std::unique_ptr<nn::LoraLinear> lora_ffn_in_;
+};
+
+/// The miniature masked language model standing in for the paper's LLM.
+/// Bidirectional transformer encoder over word tokens; the LM head is tied
+/// to the token embedding table. Prompts are composed of PromptPieces so
+/// soft prompts and injected embeddings ride the same path as hard tokens.
+class TinyLm : public nn::Module {
+ public:
+  TinyLm(const TinyLmConfig& config, uint64_t seed);
+
+  const TinyLmConfig& config() const { return config_; }
+
+  /// Runs the encoder over a composed prompt. Returns hidden states (T, D).
+  nn::Tensor Encode(const std::vector<PromptPiece>& pieces, float dropout,
+                    util::Rng& rng) const;
+
+  /// LM-head logits at one position of an Encode() output: (1, vocab).
+  nn::Tensor LogitsAt(const nn::Tensor& hidden, int64_t position) const;
+
+  /// Convenience for pretraining: masked-LM loss on a token sentence with
+  /// the tokens at `mask_positions` replaced by [MASK].
+  nn::Tensor MlmLoss(const std::vector<int64_t>& tokens,
+                     const std::vector<int64_t>& mask_positions,
+                     util::Rng& rng);
+
+  /// Mean-pooled final hidden state of a token sequence — the "LLM text
+  /// embedding" used by LLMSEQSIM / LLM2BERT4Rec / KDA_LRD. No grad.
+  std::vector<float> EmbedTokens(const std::vector<int64_t>& tokens) const;
+
+  /// Enables AdaLoRA adapters on every block plus a low-rank delta on the
+  /// (tied) token embedding table; returns the block adapters (for the
+  /// stage-2 optimizer and the AdaLoraAllocator).
+  std::vector<nn::LoraLinear*> EnableAdapters(int64_t rank, float scale);
+  std::vector<nn::LoraLinear*> adapters() const;
+
+  /// The embedding-delta factors (defined only after EnableAdapters): a
+  /// rank-r update A·B added to the token table, reaching both the input
+  /// embeddings and the tied LM head.
+  std::vector<nn::Tensor> EmbeddingAdapterParameters() const;
+
+  /// The raw token embedding table (the `modules_to_save=["embed_tokens"]`
+  /// hook: PEFT setups routinely fine-tune the embedding table fully while
+  /// the dense blocks get adapters).
+  nn::Tensor token_table() const { return token_embedding_.table(); }
+
+  /// The LM-head bias (BitFit-style extra PEFT parameter: cheap to tune
+  /// alongside the adapters, captures token-prior shifts).
+  nn::Tensor head_bias() const { return head_bias_; }
+
+  /// BitFit parameter group: every bias and LayerNorm affine plus the LM
+  /// head bias — the standard lightweight companions to LoRA adapters.
+  /// (<2% of the model's parameters; the dense weight matrices stay frozen.)
+  std::vector<nn::Tensor> BitFitParameters() const;
+
+  int64_t model_dim() const { return config_.model_dim; }
+  int64_t vocab_size() const { return config_.vocab_size; }
+
+ private:
+  TinyLmConfig config_;
+  mutable util::Rng scratch_rng_;
+  nn::Embedding token_embedding_;
+  // Fixed sinusoidal positions (T5-style non-learned scheme): prompts are
+  // much longer than pretraining sentences, so learned positions would stay
+  // random beyond the pretraining length and the frozen base could never
+  // repair them during prompt tuning.
+  nn::Tensor position_table_;
+  std::vector<std::unique_ptr<TinyLmBlock>> blocks_;
+  nn::LayerNorm final_norm_;
+  nn::Tensor head_bias_;
+  // Embedding LoRA factors (undefined until EnableAdapters).
+  nn::Tensor embedding_lora_a_;  // (vocab, rank)
+  nn::Tensor embedding_lora_b_;  // (rank, model_dim)
+  float embedding_lora_scale_ = 0.0f;
+
+  /// Token table with the low-rank delta applied (or the raw table).
+  nn::Tensor EffectiveTokenTable() const;
+};
+
+}  // namespace delrec::llm
+
+#endif  // DELREC_LLM_TINY_LM_H_

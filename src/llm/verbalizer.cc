@@ -1,0 +1,107 @@
+#include "llm/verbalizer.h"
+
+#include <cmath>
+
+#include "nn/ops.h"
+#include "util/check.h"
+
+namespace delrec::llm {
+
+Verbalizer::Verbalizer(const data::Catalog& catalog, const Vocab& vocab)
+    : vocab_size_(vocab.size()) {
+  title_tokens_.reserve(catalog.items.size());
+  std::vector<int64_t> document_frequency(vocab.size(), 0);
+  for (const data::Item& item : catalog.items) {
+    std::vector<int64_t> tokens = vocab.Encode(item.title);
+    DELREC_CHECK(!tokens.empty()) << "empty title tokens for " << item.title;
+    for (int64_t token : tokens) {
+      DELREC_CHECK_NE(token, Vocab::kUnk)
+          << "title word missing from vocab: " << item.title;
+      ++document_frequency[token];
+    }
+    title_tokens_.push_back(std::move(tokens));
+  }
+  // IDF weights: rare title tokens identify an item far better than genre
+  // words shared across a whole category, so they dominate the item score.
+  const double n = static_cast<double>(catalog.items.size());
+  token_weights_.assign(vocab.size(), 0.0f);
+  for (int64_t t = 0; t < vocab.size(); ++t) {
+    if (document_frequency[t] > 0) {
+      token_weights_[t] = static_cast<float>(
+          std::log(1.0 + n / static_cast<double>(document_frequency[t])));
+    }
+  }
+  // Normalize per title so every item's weights sum to 1.
+  title_weights_.reserve(title_tokens_.size());
+  for (const auto& tokens : title_tokens_) {
+    std::vector<float> weights;
+    float total = 0.0f;
+    for (int64_t token : tokens) total += token_weights_[token];
+    DELREC_CHECK_GT(total, 0.0f);
+    for (int64_t token : tokens) {
+      weights.push_back(token_weights_[token] / total);
+    }
+    title_weights_.push_back(std::move(weights));
+  }
+  // Cached full-catalog projection for the training head.
+  const int64_t num = static_cast<int64_t>(title_tokens_.size());
+  std::vector<float> projection(vocab_size_ * num, 0.0f);
+  for (int64_t i = 0; i < num; ++i) {
+    for (size_t t = 0; t < title_tokens_[i].size(); ++t) {
+      projection[title_tokens_[i][t] * num + i] += title_weights_[i][t];
+    }
+  }
+  all_items_projection_ =
+      nn::Tensor::FromData({vocab_size_, num}, std::move(projection));
+}
+
+const std::vector<int64_t>& Verbalizer::TitleTokens(int64_t item) const {
+  DELREC_CHECK_GE(item, 0);
+  DELREC_CHECK_LT(item, static_cast<int64_t>(title_tokens_.size()));
+  return title_tokens_[item];
+}
+
+nn::Tensor Verbalizer::AllItemLogits(const nn::Tensor& token_logits) const {
+  DELREC_CHECK_EQ(token_logits.dim(1), vocab_size_);
+  return nn::MatMul(token_logits, all_items_projection_);
+}
+
+nn::Tensor Verbalizer::CandidateLogits(
+    const nn::Tensor& token_logits,
+    const std::vector<int64_t>& candidates) const {
+  DELREC_CHECK_EQ(token_logits.ndim(), 2);
+  DELREC_CHECK_EQ(token_logits.dim(1), vocab_size_);
+  const int64_t m = static_cast<int64_t>(candidates.size());
+  // Constant projection: column i averages the title tokens of candidate i.
+  std::vector<float> projection(vocab_size_ * m, 0.0f);
+  for (int64_t i = 0; i < m; ++i) {
+    const std::vector<int64_t>& tokens = TitleTokens(candidates[i]);
+    const std::vector<float>& weights = title_weights_[candidates[i]];
+    for (size_t t = 0; t < tokens.size(); ++t) {
+      projection[tokens[t] * m + i] += weights[t];
+    }
+  }
+  nn::Tensor matrix =
+      nn::Tensor::FromData({vocab_size_, m}, std::move(projection));
+  return nn::MatMul(token_logits, matrix);  // (1, m)
+}
+
+std::vector<float> Verbalizer::Scores(
+    const std::vector<float>& token_logits,
+    const std::vector<int64_t>& candidates) const {
+  DELREC_CHECK_EQ(static_cast<int64_t>(token_logits.size()), vocab_size_);
+  std::vector<float> scores;
+  scores.reserve(candidates.size());
+  for (int64_t candidate : candidates) {
+    const std::vector<int64_t>& tokens = TitleTokens(candidate);
+    const std::vector<float>& weights = title_weights_[candidate];
+    float total = 0.0f;
+    for (size_t t = 0; t < tokens.size(); ++t) {
+      total += weights[t] * token_logits[tokens[t]];
+    }
+    scores.push_back(total);
+  }
+  return scores;
+}
+
+}  // namespace delrec::llm

@@ -1,0 +1,55 @@
+#ifndef DELREC_LLM_VERBALIZER_H_
+#define DELREC_LLM_VERBALIZER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "data/dataset.h"
+#include "llm/vocab.h"
+#include "nn/tensor.h"
+
+namespace delrec::llm {
+
+/// The paper's "simple verbalizer": converts LM-head token logits at the
+/// [MASK] position into ranking scores for items. An item's score is the
+/// mean logit of its title tokens; implemented as one constant (V, m)
+/// projection matrix per candidate set, so it is differentiable w.r.t. the
+/// token logits — the same mapping serves training (candidate cross-entropy)
+/// and inference (ranking).
+class Verbalizer {
+ public:
+  Verbalizer(const data::Catalog& catalog, const Vocab& vocab);
+
+  /// Title token ids of one item (no specials).
+  const std::vector<int64_t>& TitleTokens(int64_t item) const;
+
+  /// Differentiable candidate logits: (1, V) token logits → (1, m).
+  nn::Tensor CandidateLogits(const nn::Tensor& token_logits,
+                             const std::vector<int64_t>& candidates) const;
+
+  /// Differentiable logits over the ENTIRE catalog: (1, V) → (1, num_items).
+  /// Used as the training head (full-softmax supervision, like conventional
+  /// SR models); candidate sets remain the evaluation protocol.
+  nn::Tensor AllItemLogits(const nn::Tensor& token_logits) const;
+
+  int64_t num_items() const {
+    return static_cast<int64_t>(title_tokens_.size());
+  }
+
+  /// Inference-only scores (plain floats).
+  std::vector<float> Scores(const std::vector<float>& token_logits,
+                            const std::vector<int64_t>& candidates) const;
+
+  int64_t vocab_size() const { return vocab_size_; }
+
+ private:
+  int64_t vocab_size_;
+  std::vector<std::vector<int64_t>> title_tokens_;   // Per item.
+  std::vector<float> token_weights_;                 // IDF per token.
+  std::vector<std::vector<float>> title_weights_;    // Normalized per item.
+  nn::Tensor all_items_projection_;                  // (V, num_items), const.
+};
+
+}  // namespace delrec::llm
+
+#endif  // DELREC_LLM_VERBALIZER_H_

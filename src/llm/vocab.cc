@@ -1,0 +1,80 @@
+#include "llm/vocab.h"
+
+#include "util/check.h"
+#include "util/string_util.h"
+
+namespace delrec::llm {
+namespace {
+
+// Instruction words used by every prompt template plus the world-knowledge
+// corpus. Registered up front so prompts never hit [UNK].
+const char* const kInstructionWords[] = {
+    // Recommendation instruction (Fig. 6).
+    "the", "user", "watched", "these", "items", "in", "order", "candidates",
+    "are", "will", "watch", "next", "is", "predict", "from", "refer", "to",
+    "pattern", "knowledge", "reference", "auxiliary",
+    // Temporal Analysis instruction (Fig. 4).
+    "given", "that", "after", "sequence", "most", "recent", "item", "before",
+    "target", "was", "example",
+    // Recommendation Pattern Simulating instruction (Fig. 5).
+    "model", "recommends", "top", "predicts", "simulate", "conventional",
+    "sasrec", "gru4rec", "caser", "recommendation",
+    // World-knowledge corpus templates.
+    "a", "an", "of", "fans", "also", "enjoy", "include", "and", "genre",
+    "belongs", "category", "similar", "like", "preference", "summary",
+    "prefers", "mostly", "recently",
+};
+
+}  // namespace
+
+Vocab::Vocab() {
+  words_ = {"[PAD]", "[MASK]", "[SEP]", "[CLS]", "[UNK]"};
+  for (int64_t i = 0; i < kNumSpecials; ++i) {
+    index_[words_[i]] = i;
+    index_[util::ToLower(words_[i])] = i;  // Lookup() lower-cases queries.
+  }
+}
+
+int64_t Vocab::AddWord(const std::string& word) {
+  const std::string key = util::ToLower(word);
+  DELREC_CHECK(!key.empty());
+  auto it = index_.find(key);
+  if (it != index_.end()) return it->second;
+  const int64_t id = size();
+  words_.push_back(key);
+  index_[key] = id;
+  return id;
+}
+
+int64_t Vocab::Lookup(const std::string& word) const {
+  auto it = index_.find(util::ToLower(word));
+  return it == index_.end() ? kUnk : it->second;
+}
+
+std::string Vocab::WordOf(int64_t id) const {
+  DELREC_CHECK_GE(id, 0);
+  DELREC_CHECK_LT(id, size());
+  return words_[id];
+}
+
+std::vector<int64_t> Vocab::Encode(const std::string& text) const {
+  std::vector<int64_t> ids;
+  for (const std::string& word : util::Split(text, ' ')) {
+    ids.push_back(Lookup(word));
+  }
+  return ids;
+}
+
+Vocab Vocab::BuildFromCatalog(const data::Catalog& catalog) {
+  Vocab vocab;
+  for (const char* word : kInstructionWords) vocab.AddWord(word);
+  for (const std::string& genre : catalog.genre_names) vocab.AddWord(genre);
+  for (const data::Item& item : catalog.items) {
+    for (const std::string& word : util::Split(item.title, ' ')) {
+      vocab.AddWord(word);
+    }
+  }
+  return vocab;
+}
+
+}  // namespace delrec::llm

@@ -1,0 +1,52 @@
+#ifndef DELREC_LLM_VOCAB_H_
+#define DELREC_LLM_VOCAB_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "data/dataset.h"
+
+namespace delrec::llm {
+
+/// Word-level vocabulary with the special tokens TinyLM needs. IDs are
+/// stable: specials first, then words in insertion order.
+class Vocab {
+ public:
+  static constexpr int64_t kPad = 0;
+  static constexpr int64_t kMask = 1;
+  static constexpr int64_t kSep = 2;
+  static constexpr int64_t kCls = 3;
+  static constexpr int64_t kUnk = 4;
+  static constexpr int64_t kNumSpecials = 5;
+
+  Vocab();
+
+  /// Adds a word if absent; returns its id either way. Words are stored
+  /// lower-cased.
+  int64_t AddWord(const std::string& word);
+
+  /// Id of a word, or kUnk if unknown.
+  int64_t Lookup(const std::string& word) const;
+
+  /// Inverse lookup (specials render as "[PAD]" etc.).
+  std::string WordOf(int64_t id) const;
+
+  int64_t size() const { return static_cast<int64_t>(words_.size()); }
+
+  /// Tokenizes free text: lower-cases, splits on whitespace, maps words.
+  std::vector<int64_t> Encode(const std::string& text) const;
+
+  /// Builds the vocabulary for a catalog: all title words plus the fixed
+  /// instruction vocabulary used by the prompt templates (PromptBuilder).
+  static Vocab BuildFromCatalog(const data::Catalog& catalog);
+
+ private:
+  std::vector<std::string> words_;
+  std::unordered_map<std::string, int64_t> index_;
+};
+
+}  // namespace delrec::llm
+
+#endif  // DELREC_LLM_VOCAB_H_

@@ -1,0 +1,115 @@
+#include "nn/lora.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "nn/ops.h"
+#include "util/check.h"
+
+namespace delrec::nn {
+
+LoraLinear::LoraLinear(const Linear* base, int64_t rank, float scale,
+                       util::Rng& rng)
+    : base_(base), rank_(rank), scale_(scale) {
+  DELREC_CHECK(base != nullptr);
+  DELREC_CHECK_GT(rank, 0);
+  a_ = Tensor::Randn({base->in_features(), rank}, rng, 0.02f,
+                     /*requires_grad=*/true);
+  // Λ starts at 1 so the initial delta is shaped purely by A·B; B starts at
+  // zero so the adapter is a no-op before training (standard LoRA init).
+  lambda_ = Tensor::Full({rank}, 1.0f, /*requires_grad=*/true);
+  b_ = Tensor::Zeros({rank, base->out_features()}, /*requires_grad=*/true);
+  mask_ = Tensor::Full({rank}, 1.0f);
+  sensitivity_ema_.assign(rank, 0.0f);
+  RegisterParameter("lora_a", a_);
+  RegisterParameter("lora_lambda", lambda_);
+  RegisterParameter("lora_b", b_);
+}
+
+Tensor LoraLinear::Forward(const Tensor& x) const {
+  Tensor base_out = base_->Forward(x);
+  // Gated diagonal: Λ ⊙ mask. mask_ carries no grad, so masked directions
+  // contribute nothing forward and receive no Λ gradient.
+  Tensor gated = Mul(lambda_, mask_);
+  Tensor delta = MatMul(ScaleCols(MatMul(x, a_), gated), b_);
+  return Add(base_out, MulScalar(delta, scale_));
+}
+
+int64_t LoraLinear::active_rank() const {
+  int64_t active = 0;
+  for (float m : mask_.data()) active += m > 0.5f ? 1 : 0;
+  return active;
+}
+
+void LoraLinear::AccumulateSensitivity(float ema_decay) {
+  if (!lambda_.has_grad()) return;
+  const auto& grad = lambda_.impl()->grad;
+  for (int64_t i = 0; i < rank_; ++i) {
+    sensitivity_ema_[i] = ema_decay * sensitivity_ema_[i] +
+                          (1.0f - ema_decay) * std::fabs(grad[i]);
+  }
+}
+
+std::vector<float> LoraLinear::DirectionImportance() const {
+  std::vector<float> importance(rank_);
+  const auto& lv = lambda_.data();
+  for (int64_t i = 0; i < rank_; ++i) {
+    importance[i] = std::fabs(lv[i]) * (sensitivity_ema_[i] + 1e-8f);
+  }
+  return importance;
+}
+
+void LoraLinear::SetDirectionActive(int64_t direction, bool active) {
+  DELREC_CHECK_GE(direction, 0);
+  DELREC_CHECK_LT(direction, rank_);
+  mask_.data()[direction] = active ? 1.0f : 0.0f;
+}
+
+bool LoraLinear::direction_active(int64_t direction) const {
+  DELREC_CHECK_GE(direction, 0);
+  DELREC_CHECK_LT(direction, rank_);
+  return mask_.data()[direction] > 0.5f;
+}
+
+void AdaLoraAllocator::Register(LoraLinear* adapter) {
+  DELREC_CHECK(adapter != nullptr);
+  adapters_.push_back(adapter);
+}
+
+void AdaLoraAllocator::AccumulateSensitivity() {
+  for (LoraLinear* adapter : adapters_) adapter->AccumulateSensitivity();
+}
+
+void AdaLoraAllocator::Reallocate() {
+  if (adapters_.empty()) return;
+  struct Direction {
+    float importance;
+    size_t adapter;
+    int64_t index;
+  };
+  std::vector<Direction> directions;
+  for (size_t a = 0; a < adapters_.size(); ++a) {
+    const std::vector<float> importance = adapters_[a]->DirectionImportance();
+    for (int64_t i = 0; i < adapters_[a]->rank(); ++i) {
+      directions.push_back({importance[i], a, i});
+    }
+  }
+  std::sort(directions.begin(), directions.end(),
+            [](const Direction& x, const Direction& y) {
+              return x.importance > y.importance;
+            });
+  const int64_t budget =
+      std::min<int64_t>(total_budget_, static_cast<int64_t>(directions.size()));
+  for (size_t d = 0; d < directions.size(); ++d) {
+    adapters_[directions[d].adapter]->SetDirectionActive(
+        directions[d].index, static_cast<int64_t>(d) < budget);
+  }
+}
+
+int64_t AdaLoraAllocator::TotalActiveRank() const {
+  int64_t total = 0;
+  for (const LoraLinear* adapter : adapters_) total += adapter->active_rank();
+  return total;
+}
+
+}  // namespace delrec::nn

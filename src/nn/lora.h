@@ -1,0 +1,80 @@
+#ifndef DELREC_NN_LORA_H_
+#define DELREC_NN_LORA_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/layers.h"
+#include "nn/module.h"
+#include "nn/tensor.h"
+#include "util/rng.h"
+
+namespace delrec::nn {
+
+/// Low-rank adapter around a frozen Linear, parameterized AdaLoRA-style as
+/// P·Λ·Q:  y = base(x) + scale · ((x·A) ⊙ Λ) · B, with Λ a learned diagonal
+/// whose directions can be masked off by the budget allocator.
+///
+/// Only A, Λ (lambda) and B are registered as parameters; the wrapped base
+/// Linear stays in its own module tree and is typically frozen.
+class LoraLinear : public Module {
+ public:
+  /// `base` must outlive this adapter. `rank` is the maximum rank; the
+  /// allocator may deactivate directions below that.
+  LoraLinear(const Linear* base, int64_t rank, float scale, util::Rng& rng);
+
+  /// x: (N, in) → (N, out); base output plus the (masked) low-rank delta.
+  Tensor Forward(const Tensor& x) const;
+
+  int64_t rank() const { return rank_; }
+  int64_t active_rank() const;
+
+  /// Importance of direction i: |Λ_i| · EMA(|∂L/∂Λ_i|) — the sensitivity
+  /// proxy AdaLoRA uses for budget allocation. Call AccumulateSensitivity()
+  /// after each backward pass (before ZeroGrad) to maintain the EMA.
+  void AccumulateSensitivity(float ema_decay = 0.85f);
+  std::vector<float> DirectionImportance() const;
+
+  /// Activates/deactivates a direction (allocator API).
+  void SetDirectionActive(int64_t direction, bool active);
+  bool direction_active(int64_t direction) const;
+
+ private:
+  const Linear* base_;
+  int64_t rank_;
+  float scale_;
+  Tensor a_;        // (in, rank)
+  Tensor lambda_;   // (rank) — the Λ diagonal
+  Tensor b_;        // (rank, out)
+  Tensor mask_;     // (rank) constant 0/1 gate, not a parameter
+  std::vector<float> sensitivity_ema_;
+};
+
+/// Global AdaLoRA rank-budget allocator: every Reallocate() call ranks all
+/// directions across the registered adapters by importance and keeps only the
+/// top `total_budget`, emulating AdaLoRA's adaptive parameter allocation
+/// ("more parameters to important weight matrices").
+class AdaLoraAllocator {
+ public:
+  explicit AdaLoraAllocator(int64_t total_budget)
+      : total_budget_(total_budget) {}
+
+  void Register(LoraLinear* adapter);
+
+  /// Updates sensitivity EMAs from current gradients (call post-backward).
+  void AccumulateSensitivity();
+
+  /// Re-distributes the global rank budget by importance.
+  void Reallocate();
+
+  int64_t total_budget() const { return total_budget_; }
+  int64_t TotalActiveRank() const;
+
+ private:
+  int64_t total_budget_;
+  std::vector<LoraLinear*> adapters_;
+};
+
+}  // namespace delrec::nn
+
+#endif  // DELREC_NN_LORA_H_

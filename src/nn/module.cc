@@ -1,0 +1,97 @@
+#include "nn/module.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace delrec::nn {
+
+std::vector<Tensor> Module::Parameters() const {
+  std::vector<Tensor> out;
+  for (const auto& [name, tensor] : NamedParameters()) out.push_back(tensor);
+  return out;
+}
+
+std::vector<std::pair<std::string, Tensor>> Module::NamedParameters() const {
+  std::vector<std::pair<std::string, Tensor>> out;
+  CollectNamed("", out);
+  return out;
+}
+
+void Module::CollectNamed(
+    const std::string& prefix,
+    std::vector<std::pair<std::string, Tensor>>& out) const {
+  for (const auto& [name, tensor] : parameters_) {
+    out.emplace_back(prefix + name, tensor);
+  }
+  for (const auto& [name, child] : children_) {
+    child->CollectNamed(prefix + name + ".", out);
+  }
+}
+
+int64_t Module::ParameterCount() const {
+  int64_t total = 0;
+  for (const Tensor& p : Parameters()) total += p.size();
+  return total;
+}
+
+std::vector<float> Module::StateDump() const {
+  std::vector<float> state;
+  for (const Tensor& p : Parameters()) {
+    state.insert(state.end(), p.data().begin(), p.data().end());
+  }
+  return state;
+}
+
+void Module::LoadState(const std::vector<float>& state) {
+  size_t offset = 0;
+  for (Tensor p : Parameters()) {
+    DELREC_CHECK_LE(offset + p.data().size(), state.size());
+    std::copy(state.begin() + offset, state.begin() + offset + p.data().size(),
+              p.data().begin());
+    offset += p.data().size();
+  }
+  DELREC_CHECK_EQ(offset, state.size()) << "state size mismatch";
+}
+
+void Module::SetTraining(bool training) {
+  training_ = training;
+  for (auto& [name, child] : children_) child->SetTraining(training);
+}
+
+void Module::ZeroGrad() {
+  for (Tensor p : Parameters()) p.ZeroGrad();
+}
+
+void Module::SetRequiresGrad(bool requires_grad) {
+  for (Tensor p : Parameters()) p.set_requires_grad(requires_grad);
+}
+
+void Module::RegisterParameter(std::string name, Tensor parameter) {
+  DELREC_CHECK(parameter.defined());
+  parameters_.emplace_back(std::move(name), std::move(parameter));
+}
+
+void Module::RegisterModule(std::string name, Module* child) {
+  DELREC_CHECK(child != nullptr);
+  children_.emplace_back(std::move(name), child);
+}
+
+float ClipGradNorm(const std::vector<Tensor>& parameters, float max_norm) {
+  double total_sq = 0.0;
+  for (const Tensor& p : parameters) {
+    if (!p.has_grad()) continue;
+    for (float g : p.impl()->grad) total_sq += static_cast<double>(g) * g;
+  }
+  const float norm = static_cast<float>(std::sqrt(total_sq));
+  if (norm > max_norm && norm > 0.0f) {
+    const float scale = max_norm / norm;
+    for (Tensor p : parameters) {
+      if (!p.has_grad()) continue;
+      for (float& g : p.grad()) g *= scale;
+    }
+  }
+  return norm;
+}
+
+}  // namespace delrec::nn

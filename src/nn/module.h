@@ -1,0 +1,67 @@
+#ifndef DELREC_NN_MODULE_H_
+#define DELREC_NN_MODULE_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "nn/tensor.h"
+
+namespace delrec::nn {
+
+/// Base class for trainable components. Parameters and child modules are
+/// registered explicitly (no reflection); Parameters() flattens the tree in
+/// registration order, which also defines the StateDump()/LoadState() layout.
+class Module {
+ public:
+  Module() = default;
+  Module(const Module&) = delete;
+  Module& operator=(const Module&) = delete;
+  virtual ~Module() = default;
+
+  /// All parameters of this module and its children, registration order.
+  std::vector<Tensor> Parameters() const;
+
+  /// (qualified-name, tensor) pairs, e.g. "encoder.layer0.wq.weight".
+  std::vector<std::pair<std::string, Tensor>> NamedParameters() const;
+
+  /// Total scalar parameter count.
+  int64_t ParameterCount() const;
+
+  /// Serializes every parameter's values (registration order).
+  std::vector<float> StateDump() const;
+  /// Restores parameter values from a StateDump of an identically shaped
+  /// module. Aborts on size mismatch.
+  void LoadState(const std::vector<float>& state);
+
+  /// Recursively toggles training mode (controls dropout).
+  void SetTraining(bool training);
+  bool training() const { return training_; }
+
+  /// Zeroes all parameter gradients.
+  void ZeroGrad();
+
+  /// Recursively sets requires_grad on every parameter (freeze/unfreeze).
+  void SetRequiresGrad(bool requires_grad);
+
+ protected:
+  /// Registers a parameter (the tensor should have requires_grad = true).
+  void RegisterParameter(std::string name, Tensor parameter);
+  /// Registers a child; `child` must outlive this module (usually a member).
+  void RegisterModule(std::string name, Module* child);
+
+ private:
+  void CollectNamed(const std::string& prefix,
+                    std::vector<std::pair<std::string, Tensor>>& out) const;
+
+  std::vector<std::pair<std::string, Tensor>> parameters_;
+  std::vector<std::pair<std::string, Module*>> children_;
+  bool training_ = true;
+};
+
+/// L2-norm gradient clipping over a parameter set; returns the pre-clip norm.
+float ClipGradNorm(const std::vector<Tensor>& parameters, float max_norm);
+
+}  // namespace delrec::nn
+
+#endif  // DELREC_NN_MODULE_H_

@@ -1,0 +1,131 @@
+#include "nn/optimizer.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace delrec::nn {
+namespace {
+
+// Allocates one per-parameter state buffer set, zero-initialized.
+std::vector<std::vector<float>> MakeState(const std::vector<Tensor>& params) {
+  std::vector<std::vector<float>> state;
+  state.reserve(params.size());
+  for (const Tensor& p : params) {
+    state.emplace_back(p.data().size(), 0.0f);
+  }
+  return state;
+}
+
+}  // namespace
+
+void Optimizer::ZeroGrad() {
+  for (Tensor p : parameters_) p.ZeroGrad();
+}
+
+Sgd::Sgd(std::vector<Tensor> parameters, float learning_rate, float momentum)
+    : Optimizer(std::move(parameters)),
+      learning_rate_(learning_rate),
+      momentum_(momentum),
+      velocity_(MakeState(parameters_)) {}
+
+void Sgd::Step() {
+  for (size_t i = 0; i < parameters_.size(); ++i) {
+    Tensor p = parameters_[i];
+    if (!p.has_grad()) continue;
+    auto& data = p.data();
+    const auto& grad = p.impl()->grad;
+    auto& vel = velocity_[i];
+    for (size_t j = 0; j < data.size(); ++j) {
+      if (momentum_ > 0.0f) {
+        vel[j] = momentum_ * vel[j] + grad[j];
+        data[j] -= learning_rate_ * vel[j];
+      } else {
+        data[j] -= learning_rate_ * grad[j];
+      }
+    }
+  }
+}
+
+Adagrad::Adagrad(std::vector<Tensor> parameters, float learning_rate,
+                 float epsilon)
+    : Optimizer(std::move(parameters)),
+      learning_rate_(learning_rate),
+      epsilon_(epsilon),
+      accumulated_(MakeState(parameters_)) {}
+
+void Adagrad::Step() {
+  for (size_t i = 0; i < parameters_.size(); ++i) {
+    Tensor p = parameters_[i];
+    if (!p.has_grad()) continue;
+    auto& data = p.data();
+    const auto& grad = p.impl()->grad;
+    auto& acc = accumulated_[i];
+    for (size_t j = 0; j < data.size(); ++j) {
+      acc[j] += grad[j] * grad[j];
+      data[j] -= learning_rate_ * grad[j] / (std::sqrt(acc[j]) + epsilon_);
+    }
+  }
+}
+
+Adam::Adam(std::vector<Tensor> parameters, float learning_rate, float beta1,
+           float beta2, float epsilon, float weight_decay)
+    : Optimizer(std::move(parameters)),
+      learning_rate_(learning_rate),
+      beta1_(beta1),
+      beta2_(beta2),
+      epsilon_(epsilon),
+      weight_decay_(weight_decay),
+      m_(MakeState(parameters_)),
+      v_(MakeState(parameters_)) {}
+
+void Adam::Step() {
+  ++step_count_;
+  const float bias1 = 1.0f - std::pow(beta1_, static_cast<float>(step_count_));
+  const float bias2 = 1.0f - std::pow(beta2_, static_cast<float>(step_count_));
+  for (size_t i = 0; i < parameters_.size(); ++i) {
+    Tensor p = parameters_[i];
+    if (!p.has_grad()) continue;
+    auto& data = p.data();
+    const auto& grad = p.impl()->grad;
+    auto& m = m_[i];
+    auto& v = v_[i];
+    for (size_t j = 0; j < data.size(); ++j) {
+      m[j] = beta1_ * m[j] + (1.0f - beta1_) * grad[j];
+      v[j] = beta2_ * v[j] + (1.0f - beta2_) * grad[j] * grad[j];
+      const float m_hat = m[j] / bias1;
+      const float v_hat = v[j] / bias2;
+      data[j] -= learning_rate_ *
+                 (m_hat / (std::sqrt(v_hat) + epsilon_) +
+                  weight_decay_ * data[j]);
+    }
+  }
+}
+
+Lion::Lion(std::vector<Tensor> parameters, float learning_rate, float beta1,
+           float beta2, float weight_decay)
+    : Optimizer(std::move(parameters)),
+      learning_rate_(learning_rate),
+      beta1_(beta1),
+      beta2_(beta2),
+      weight_decay_(weight_decay),
+      momentum_(MakeState(parameters_)) {}
+
+void Lion::Step() {
+  for (size_t i = 0; i < parameters_.size(); ++i) {
+    Tensor p = parameters_[i];
+    if (!p.has_grad()) continue;
+    auto& data = p.data();
+    const auto& grad = p.impl()->grad;
+    auto& m = momentum_[i];
+    for (size_t j = 0; j < data.size(); ++j) {
+      // Update direction: sign(β1·m + (1-β1)·g); momentum tracked with β2.
+      const float update = beta1_ * m[j] + (1.0f - beta1_) * grad[j];
+      const float sign = update > 0.0f ? 1.0f : (update < 0.0f ? -1.0f : 0.0f);
+      data[j] -= learning_rate_ * (sign + weight_decay_ * data[j]);
+      m[j] = beta2_ * m[j] + (1.0f - beta2_) * grad[j];
+    }
+  }
+}
+
+}  // namespace delrec::nn

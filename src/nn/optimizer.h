@@ -1,0 +1,97 @@
+#ifndef DELREC_NN_OPTIMIZER_H_
+#define DELREC_NN_OPTIMIZER_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "nn/tensor.h"
+
+namespace delrec::nn {
+
+/// Base optimizer over an explicit parameter list. Freezing a parameter group
+/// (soft prompts in stage 2, the LLM in stage 1) is expressed by simply not
+/// listing it — this mirrors the paper's "only the parameters of the soft
+/// prompts are updated" / "freeze the parameters of soft prompts" setup.
+class Optimizer {
+ public:
+  explicit Optimizer(std::vector<Tensor> parameters)
+      : parameters_(std::move(parameters)) {}
+  virtual ~Optimizer() = default;
+
+  /// Applies one update using the parameters' accumulated gradients.
+  virtual void Step() = 0;
+
+  /// Clears gradients of the managed parameters.
+  void ZeroGrad();
+
+  const std::vector<Tensor>& parameters() const { return parameters_; }
+
+ protected:
+  std::vector<Tensor> parameters_;
+};
+
+/// Plain SGD with optional momentum.
+class Sgd : public Optimizer {
+ public:
+  Sgd(std::vector<Tensor> parameters, float learning_rate,
+      float momentum = 0.0f);
+  void Step() override;
+
+ private:
+  float learning_rate_;
+  float momentum_;
+  std::vector<std::vector<float>> velocity_;
+};
+
+/// Adagrad (the paper trains GRU4Rec with it).
+class Adagrad : public Optimizer {
+ public:
+  Adagrad(std::vector<Tensor> parameters, float learning_rate,
+          float epsilon = 1e-10f);
+  void Step() override;
+
+ private:
+  float learning_rate_;
+  float epsilon_;
+  std::vector<std::vector<float>> accumulated_;
+};
+
+/// Adam / AdamW (decoupled weight decay when weight_decay > 0).
+class Adam : public Optimizer {
+ public:
+  Adam(std::vector<Tensor> parameters, float learning_rate,
+       float beta1 = 0.9f, float beta2 = 0.999f, float epsilon = 1e-8f,
+       float weight_decay = 0.0f);
+  void Step() override;
+
+ private:
+  float learning_rate_;
+  float beta1_;
+  float beta2_;
+  float epsilon_;
+  float weight_decay_;
+  int64_t step_count_ = 0;
+  std::vector<std::vector<float>> m_;
+  std::vector<std::vector<float>> v_;
+};
+
+/// Lion (Chen et al. 2023): sign of the interpolated momentum, decoupled
+/// weight decay. The paper uses Lion for both DELRec stages.
+class Lion : public Optimizer {
+ public:
+  Lion(std::vector<Tensor> parameters, float learning_rate,
+       float beta1 = 0.9f, float beta2 = 0.99f, float weight_decay = 0.0f);
+  void Step() override;
+
+ private:
+  float learning_rate_;
+  float beta1_;
+  float beta2_;
+  float weight_decay_;
+  std::vector<std::vector<float>> momentum_;
+};
+
+}  // namespace delrec::nn
+
+#endif  // DELREC_NN_OPTIMIZER_H_

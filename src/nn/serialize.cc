@@ -1,0 +1,31 @@
+#include "nn/serialize.h"
+
+#include "util/serialize.h"
+
+namespace delrec::nn {
+
+util::Status SaveModuleState(const Module& module, const std::string& path) {
+  util::BlobFile file;
+  for (const auto& [name, tensor] : module.NamedParameters()) {
+    file.Put(name, tensor.data());
+  }
+  return file.WriteTo(path);
+}
+
+util::Status LoadModuleState(Module& module, const std::string& path) {
+  auto file_or = util::BlobFile::ReadFrom(path);
+  if (!file_or.ok()) return file_or.status();
+  const util::BlobFile& file = file_or.value();
+  for (auto& [name, tensor] : module.NamedParameters()) {
+    auto values = file.Get(name);
+    if (!values.ok()) return values.status();
+    if (values.value().size() != tensor.data().size()) {
+      return util::Status::InvalidArgument("size mismatch for " + name);
+    }
+    nn::Tensor target = tensor;  // Shares storage with the module.
+    target.data() = values.value();
+  }
+  return util::Status::Ok();
+}
+
+}  // namespace delrec::nn

@@ -1,0 +1,23 @@
+#ifndef DELREC_NN_SERIALIZE_H_
+#define DELREC_NN_SERIALIZE_H_
+
+#include <string>
+
+#include "nn/module.h"
+#include "util/status.h"
+
+namespace delrec::nn {
+
+/// Saves a module's named parameters to a BlobFile checkpoint, one blob per
+/// parameter (qualified name → values). Works for any Module tree: the SR
+/// models, TinyLM, adapters.
+util::Status SaveModuleState(const Module& module, const std::string& path);
+
+/// Restores parameters by name. Every parameter of `module` must be present
+/// in the file with a matching element count; extra blobs in the file are
+/// ignored (forward compatibility).
+util::Status LoadModuleState(Module& module, const std::string& path);
+
+}  // namespace delrec::nn
+
+#endif  // DELREC_NN_SERIALIZE_H_

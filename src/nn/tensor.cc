@@ -1,0 +1,214 @@
+#include "nn/tensor.h"
+
+#include <sstream>
+#include <unordered_set>
+
+#include "util/check.h"
+
+namespace delrec::nn {
+
+namespace {
+thread_local bool g_grad_mode = true;
+}  // namespace
+
+bool GradModeEnabled() { return g_grad_mode; }
+
+NoGradGuard::NoGradGuard() : previous_(g_grad_mode) { g_grad_mode = false; }
+
+NoGradGuard::~NoGradGuard() { g_grad_mode = previous_; }
+
+int64_t NumElements(const std::vector<int64_t>& shape) {
+  int64_t n = 1;
+  for (int64_t d : shape) {
+    DELREC_CHECK_GE(d, 0);
+    n *= d;
+  }
+  return n;
+}
+
+std::vector<float>& TensorImpl::EnsureGrad() {
+  if (grad.size() != data.size()) grad.assign(data.size(), 0.0f);
+  return grad;
+}
+
+Tensor Tensor::Zeros(std::vector<int64_t> shape, bool requires_grad) {
+  auto impl = std::make_shared<TensorImpl>();
+  impl->data.assign(NumElements(shape), 0.0f);
+  impl->shape = std::move(shape);
+  impl->requires_grad = requires_grad;
+  return FromImpl(std::move(impl));
+}
+
+Tensor Tensor::Full(std::vector<int64_t> shape, float value,
+                    bool requires_grad) {
+  Tensor t = Zeros(std::move(shape), requires_grad);
+  for (float& v : t.data()) v = value;
+  return t;
+}
+
+Tensor Tensor::FromData(std::vector<int64_t> shape, std::vector<float> data,
+                        bool requires_grad) {
+  DELREC_CHECK_EQ(NumElements(shape), static_cast<int64_t>(data.size()));
+  auto impl = std::make_shared<TensorImpl>();
+  impl->shape = std::move(shape);
+  impl->data = std::move(data);
+  impl->requires_grad = requires_grad;
+  return FromImpl(std::move(impl));
+}
+
+Tensor Tensor::Randn(std::vector<int64_t> shape, util::Rng& rng, float stddev,
+                     bool requires_grad) {
+  Tensor t = Zeros(std::move(shape), requires_grad);
+  for (float& v : t.data()) {
+    v = static_cast<float>(rng.Normal(0.0, stddev));
+  }
+  return t;
+}
+
+Tensor Tensor::RandUniform(std::vector<int64_t> shape, util::Rng& rng,
+                           float bound, bool requires_grad) {
+  Tensor t = Zeros(std::move(shape), requires_grad);
+  for (float& v : t.data()) v = rng.UniformFloat(-bound, bound);
+  return t;
+}
+
+Tensor Tensor::FromImpl(std::shared_ptr<TensorImpl> impl) {
+  Tensor t;
+  t.impl_ = std::move(impl);
+  return t;
+}
+
+const std::vector<int64_t>& Tensor::shape() const {
+  DELREC_CHECK(defined());
+  return impl_->shape;
+}
+
+int Tensor::ndim() const { return static_cast<int>(shape().size()); }
+
+int64_t Tensor::dim(int index) const {
+  const auto& s = shape();
+  if (index < 0) index += static_cast<int>(s.size());
+  DELREC_CHECK_GE(index, 0);
+  DELREC_CHECK_LT(static_cast<size_t>(index), s.size());
+  return s[index];
+}
+
+int64_t Tensor::size() const {
+  DELREC_CHECK(defined());
+  return impl_->size();
+}
+
+bool Tensor::requires_grad() const {
+  DELREC_CHECK(defined());
+  return impl_->requires_grad;
+}
+
+void Tensor::set_requires_grad(bool requires_grad) {
+  DELREC_CHECK(defined());
+  impl_->requires_grad = requires_grad;
+}
+
+std::vector<float>& Tensor::data() {
+  DELREC_CHECK(defined());
+  return impl_->data;
+}
+
+const std::vector<float>& Tensor::data() const {
+  DELREC_CHECK(defined());
+  return impl_->data;
+}
+
+std::vector<float>& Tensor::grad() {
+  DELREC_CHECK(defined());
+  return impl_->EnsureGrad();
+}
+
+bool Tensor::has_grad() const {
+  DELREC_CHECK(defined());
+  return impl_->grad.size() == impl_->data.size();
+}
+
+float Tensor::item() const {
+  DELREC_CHECK_EQ(size(), 1);
+  return impl_->data[0];
+}
+
+float Tensor::at(std::initializer_list<int64_t> index) const {
+  DELREC_CHECK(defined());
+  DELREC_CHECK_EQ(index.size(), impl_->shape.size());
+  int64_t flat = 0;
+  int i = 0;
+  for (int64_t idx : index) {
+    DELREC_CHECK_GE(idx, 0);
+    DELREC_CHECK_LT(idx, impl_->shape[i]);
+    flat = flat * impl_->shape[i] + idx;
+    ++i;
+  }
+  return impl_->data[flat];
+}
+
+void Tensor::Backward() {
+  DELREC_CHECK(defined());
+  DELREC_CHECK_EQ(size(), 1) << "Backward() requires a scalar loss";
+  // Topological order by iterative DFS over the tape.
+  std::vector<TensorImpl*> order;
+  std::unordered_set<TensorImpl*> visited;
+  std::vector<std::pair<TensorImpl*, size_t>> stack;
+  stack.emplace_back(impl_.get(), 0);
+  visited.insert(impl_.get());
+  while (!stack.empty()) {
+    auto& [node, next_child] = stack.back();
+    if (next_child < node->parents.size()) {
+      TensorImpl* child = node->parents[next_child].impl();
+      ++next_child;
+      if (child != nullptr && visited.insert(child).second) {
+        stack.emplace_back(child, 0);
+      }
+    } else {
+      order.push_back(node);
+      stack.pop_back();
+    }
+  }
+  // Seed and run the tape in reverse topological order.
+  impl_->EnsureGrad()[0] = 1.0f;
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    TensorImpl* node = *it;
+    if (node->backward_fn) {
+      node->EnsureGrad();
+      node->backward_fn(*node);
+    }
+  }
+  // Release tape edges of interior nodes so activations free promptly. Leaf
+  // parameters have no edges and keep their grads for the optimizer.
+  for (TensorImpl* node : order) {
+    if (node->backward_fn) {
+      node->backward_fn = nullptr;
+      node->parents.clear();
+    }
+  }
+}
+
+void Tensor::ZeroGrad() {
+  DELREC_CHECK(defined());
+  if (!impl_->grad.empty()) {
+    std::fill(impl_->grad.begin(), impl_->grad.end(), 0.0f);
+  }
+}
+
+Tensor Tensor::DetachCopy() const {
+  DELREC_CHECK(defined());
+  return FromData(impl_->shape, impl_->data, /*requires_grad=*/false);
+}
+
+std::string Tensor::ShapeString() const {
+  std::ostringstream out;
+  out << "[";
+  for (size_t i = 0; i < shape().size(); ++i) {
+    if (i > 0) out << ", ";
+    out << shape()[i];
+  }
+  out << "]";
+  return out.str();
+}
+
+}  // namespace delrec::nn

@@ -1,0 +1,124 @@
+#ifndef DELREC_NN_TENSOR_H_
+#define DELREC_NN_TENSOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace delrec::nn {
+
+class Tensor;
+
+/// Reference-counted tensor storage plus the autodiff tape node.
+///
+/// DELRec uses a define-by-run tape: every differentiable op allocates a new
+/// TensorImpl whose `backward_fn` scatters the node's gradient into its
+/// parents. `Tensor::Backward()` topologically sorts the reachable graph and
+/// runs the tape in reverse. Ops short-circuit tape construction when no
+/// parent requires gradients, so inference builds no graph at all.
+struct TensorImpl {
+  std::vector<int64_t> shape;
+  std::vector<float> data;
+  std::vector<float> grad;  // Lazily allocated to data.size().
+  bool requires_grad = false;
+  std::vector<Tensor> parents;
+  // Propagates this->grad into parents' grads. Null for leaves.
+  std::function<void(TensorImpl&)> backward_fn;
+
+  int64_t size() const { return static_cast<int64_t>(data.size()); }
+  /// Ensures grad is allocated (zero-filled) and returns it.
+  std::vector<float>& EnsureGrad();
+};
+
+/// Value-semantics handle to a TensorImpl (cheap to copy, shared storage).
+class Tensor {
+ public:
+  /// Null handle; defined() is false.
+  Tensor() = default;
+
+  // -- Factories ------------------------------------------------------------
+
+  static Tensor Zeros(std::vector<int64_t> shape, bool requires_grad = false);
+  static Tensor Full(std::vector<int64_t> shape, float value,
+                     bool requires_grad = false);
+  static Tensor FromData(std::vector<int64_t> shape, std::vector<float> data,
+                         bool requires_grad = false);
+  /// Gaussian init with given stddev (used for parameter initialization).
+  static Tensor Randn(std::vector<int64_t> shape, util::Rng& rng, float stddev,
+                      bool requires_grad = false);
+  /// Uniform init in [-bound, bound].
+  static Tensor RandUniform(std::vector<int64_t> shape, util::Rng& rng,
+                            float bound, bool requires_grad = false);
+  /// Internal: wraps a freshly built node (used by ops).
+  static Tensor FromImpl(std::shared_ptr<TensorImpl> impl);
+
+  // -- Introspection ---------------------------------------------------------
+
+  bool defined() const { return impl_ != nullptr; }
+  const std::vector<int64_t>& shape() const;
+  int ndim() const;
+  int64_t dim(int index) const;
+  int64_t size() const;
+  bool requires_grad() const;
+  void set_requires_grad(bool requires_grad);
+
+  std::vector<float>& data();
+  const std::vector<float>& data() const;
+  /// Gradient buffer; allocates on first access.
+  std::vector<float>& grad();
+  /// True once a gradient buffer exists.
+  bool has_grad() const;
+
+  /// Value of a single-element tensor.
+  float item() const;
+  float at(std::initializer_list<int64_t> index) const;
+
+  // -- Autodiff ---------------------------------------------------------------
+
+  /// Runs reverse-mode autodiff from this scalar node. Accumulates into the
+  /// .grad() of every reachable tensor with requires_grad. After the pass the
+  /// tape edges of interior nodes are released so activation memory is freed
+  /// even if the caller keeps the loss tensor alive.
+  void Backward();
+
+  /// Zeroes this tensor's gradient buffer if allocated.
+  void ZeroGrad();
+
+  /// Detaches from the tape: returns a leaf sharing NO storage (deep copy).
+  Tensor DetachCopy() const;
+
+  TensorImpl* impl() const { return impl_.get(); }
+  const std::shared_ptr<TensorImpl>& impl_ptr() const { return impl_; }
+
+  std::string ShapeString() const;
+
+ private:
+  std::shared_ptr<TensorImpl> impl_;
+};
+
+/// Total element count implied by a shape.
+int64_t NumElements(const std::vector<int64_t>& shape);
+
+/// True when ops should record tape nodes (default). Inference paths disable
+/// recording with a NoGradGuard, making every op a plain leaf computation.
+bool GradModeEnabled();
+
+/// RAII guard that disables tape recording in its scope (nestable).
+class NoGradGuard {
+ public:
+  NoGradGuard();
+  NoGradGuard(const NoGradGuard&) = delete;
+  NoGradGuard& operator=(const NoGradGuard&) = delete;
+  ~NoGradGuard();
+
+ private:
+  bool previous_;
+};
+
+}  // namespace delrec::nn
+
+#endif  // DELREC_NN_TENSOR_H_

@@ -1,0 +1,107 @@
+#include "srmodels/bert4rec.h"
+
+#include "nn/ops.h"
+#include "nn/optimizer.h"
+#include "srmodels/trainer.h"
+#include "util/check.h"
+
+namespace delrec::srmodels {
+
+Bert4Rec::Bert4Rec(int64_t num_items, int64_t embedding_dim,
+                   int64_t max_length, int64_t num_blocks, int64_t num_heads,
+                   uint64_t seed)
+    : num_items_(num_items),
+      embedding_dim_(embedding_dim),
+      max_length_(max_length),
+      scratch_rng_(seed),
+      item_embedding_(num_items + 1, embedding_dim, scratch_rng_),
+      position_embedding_(max_length + 1, embedding_dim, scratch_rng_),
+      final_norm_(embedding_dim) {
+  RegisterModule("item_embedding", &item_embedding_);
+  RegisterModule("position_embedding", &position_embedding_);
+  for (int64_t b = 0; b < num_blocks; ++b) {
+    blocks_.push_back(std::make_unique<nn::TransformerEncoderLayer>(
+        embedding_dim, num_heads, 2 * embedding_dim, scratch_rng_));
+    RegisterModule("block" + std::to_string(b), blocks_.back().get());
+  }
+  RegisterModule("final_norm", &final_norm_);
+  item_bias_ = nn::Tensor::Zeros({num_items}, /*requires_grad=*/true);
+  RegisterParameter("item_bias", item_bias_);
+}
+
+nn::Tensor Bert4Rec::HiddenAt(const std::vector<int64_t>& tokens,
+                              int64_t position, float dropout,
+                              util::Rng& rng) const {
+  const int64_t length = static_cast<int64_t>(tokens.size());
+  DELREC_CHECK_LE(length, max_length_ + 1);
+  std::vector<int64_t> positions(length);
+  for (int64_t i = 0; i < length; ++i) positions[i] = i;
+  nn::Tensor x = nn::Add(item_embedding_.Forward(tokens),
+                         position_embedding_.Forward(positions));
+  x = nn::Dropout(x, dropout, rng, training());
+  for (const auto& block : blocks_) {
+    // Bidirectional: no mask.
+    x = block->Forward(x, nn::Tensor(), rng, dropout);
+  }
+  x = final_norm_.Forward(x);
+  return nn::SliceRows(x, position, 1);
+}
+
+void Bert4Rec::Train(const std::vector<data::Example>& examples,
+                     const TrainConfig& config) {
+  SetTraining(true);
+  util::Rng rng(config.seed);
+  nn::Adam optimizer(Parameters(), config.learning_rate);
+  RunTrainingLoop(
+      examples, config, optimizer, Parameters(), rng,
+      [&](const data::Example& example) {
+        // Cloze setup matching inference: history + [MASK]; predict target
+        // at the masked position.
+        std::vector<int64_t> tokens = example.history;
+        if (static_cast<int64_t>(tokens.size()) > max_length_) {
+          tokens.assign(example.history.end() - max_length_,
+                        example.history.end());
+        }
+        tokens.push_back(mask_token());
+        nn::Tensor hidden =
+            HiddenAt(tokens, static_cast<int64_t>(tokens.size()) - 1,
+                     config.dropout, rng);
+        // Score only real items (exclude the [MASK] embedding row).
+        nn::Tensor table =
+            nn::SliceRows(item_embedding_.table(), 0, num_items_);
+        nn::Tensor logits =
+            nn::AddBias(nn::MatMul(hidden, table, false, true), item_bias_);
+        return nn::CrossEntropyWithLogits(logits, {example.target});
+      },
+      "BERT4Rec");
+  SetTraining(false);
+}
+
+std::vector<float> Bert4Rec::ScoreAllItems(
+    const std::vector<int64_t>& history) const {
+  nn::NoGradGuard no_grad;
+  std::vector<int64_t> tokens = history;
+  if (static_cast<int64_t>(tokens.size()) > max_length_) {
+    tokens.assign(history.end() - max_length_, history.end());
+  }
+  tokens.push_back(mask_token());
+  nn::Tensor hidden = HiddenAt(tokens, static_cast<int64_t>(tokens.size()) - 1,
+                               0.0f, scratch_rng_);
+  nn::Tensor table = nn::SliceRows(item_embedding_.table(), 0, num_items_);
+  nn::Tensor logits =
+      nn::AddBias(nn::MatMul(hidden, table, false, true), item_bias_);
+  return logits.data();
+}
+
+void Bert4Rec::InitializeItemEmbeddings(
+    const std::vector<std::vector<float>>& vectors) {
+  DELREC_CHECK_EQ(static_cast<int64_t>(vectors.size()), num_items_);
+  auto& table = item_embedding_.table().data();
+  for (int64_t i = 0; i < num_items_; ++i) {
+    DELREC_CHECK_EQ(static_cast<int64_t>(vectors[i].size()), embedding_dim_);
+    std::copy(vectors[i].begin(), vectors[i].end(),
+              table.begin() + i * embedding_dim_);
+  }
+}
+
+}  // namespace delrec::srmodels

@@ -1,0 +1,59 @@
+#ifndef DELREC_SRMODELS_BERT4REC_H_
+#define DELREC_SRMODELS_BERT4REC_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/layers.h"
+#include "nn/module.h"
+#include "srmodels/recommender.h"
+#include "util/rng.h"
+
+namespace delrec::srmodels {
+
+/// BERT4Rec (Sun et al., CIKM 2019): bidirectional transformer trained with
+/// a cloze objective — mask positions, predict the masked items. At
+/// inference a [MASK] token is appended and its representation scores the
+/// next item. Serves as the substrate of the LLM2BERT4Rec baseline, which
+/// initializes the item embedding table from (PCA-reduced) LLM title
+/// embeddings — see InitializeItemEmbeddings().
+class Bert4Rec : public nn::Module, public SequentialRecommender {
+ public:
+  Bert4Rec(int64_t num_items, int64_t embedding_dim, int64_t max_length,
+           int64_t num_blocks, int64_t num_heads, uint64_t seed);
+
+  std::string name() const override { return "BERT4Rec"; }
+  void Train(const std::vector<data::Example>& examples,
+             const TrainConfig& config) override;
+  std::vector<float> ScoreAllItems(
+      const std::vector<int64_t>& history) const override;
+  int64_t ParameterCount() const override {
+    return nn::Module::ParameterCount();
+  }
+
+  /// Overwrites item embedding rows with external vectors (one per item,
+  /// width == embedding_dim). The LLM2BERT4Rec initialization hook.
+  void InitializeItemEmbeddings(
+      const std::vector<std::vector<float>>& vectors);
+
+  int64_t mask_token() const { return num_items_; }
+
+ private:
+  nn::Tensor HiddenAt(const std::vector<int64_t>& tokens, int64_t position,
+                      float dropout, util::Rng& rng) const;
+
+  int64_t num_items_;
+  int64_t embedding_dim_;
+  int64_t max_length_;
+  mutable util::Rng scratch_rng_;
+  nn::Embedding item_embedding_;  // num_items + 1 rows; last is [MASK].
+  nn::Embedding position_embedding_;
+  std::vector<std::unique_ptr<nn::TransformerEncoderLayer>> blocks_;
+  nn::LayerNorm final_norm_;
+  nn::Tensor item_bias_;
+};
+
+}  // namespace delrec::srmodels
+
+#endif  // DELREC_SRMODELS_BERT4REC_H_

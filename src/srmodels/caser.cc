@@ -1,0 +1,130 @@
+#include "srmodels/caser.h"
+
+#include "nn/ops.h"
+#include "nn/optimizer.h"
+#include "srmodels/trainer.h"
+#include "util/check.h"
+
+namespace delrec::srmodels {
+namespace {
+constexpr int64_t kHeights[3] = {2, 3, 4};
+}  // namespace
+
+Caser::Caser(int64_t num_items, int64_t embedding_dim, int64_t window,
+             int64_t horizontal_filters_per_height, int64_t vertical_filters,
+             uint64_t seed)
+    : num_items_(num_items),
+      embedding_dim_(embedding_dim),
+      window_(window),
+      filters_per_height_(horizontal_filters_per_height),
+      vertical_filters_(vertical_filters),
+      scratch_rng_(seed),
+      // Row num_items_ is the padding embedding.
+      item_embedding_(num_items + 1, embedding_dim, scratch_rng_),
+      output_embedding_(num_items, embedding_dim, scratch_rng_) {
+  DELREC_CHECK_GE(window, kHeights[2]);
+  for (int h = 0; h < 3; ++h) {
+    horizontal_weights_[h] = nn::Tensor::Randn(
+        {filters_per_height_, kHeights[h] * embedding_dim}, scratch_rng_,
+        0.1f, /*requires_grad=*/true);
+    horizontal_bias_[h] =
+        nn::Tensor::Zeros({filters_per_height_}, /*requires_grad=*/true);
+  }
+  vertical_weights_ = nn::Tensor::Randn({vertical_filters_, window},
+                                        scratch_rng_, 0.1f,
+                                        /*requires_grad=*/true);
+  const int64_t conv_features =
+      3 * filters_per_height_ + vertical_filters_ * embedding_dim;
+  fc_ = std::make_unique<nn::Linear>(conv_features, embedding_dim,
+                                     scratch_rng_);
+  item_bias_ = nn::Tensor::Zeros({num_items}, /*requires_grad=*/true);
+
+  RegisterModule("item_embedding", &item_embedding_);
+  for (int h = 0; h < 3; ++h) {
+    RegisterParameter("h_conv_w" + std::to_string(kHeights[h]),
+                      horizontal_weights_[h]);
+    RegisterParameter("h_conv_b" + std::to_string(kHeights[h]),
+                      horizontal_bias_[h]);
+  }
+  RegisterParameter("v_conv_w", vertical_weights_);
+  RegisterModule("fc", fc_.get());
+  RegisterModule("output_embedding", &output_embedding_);
+  RegisterParameter("item_bias", item_bias_);
+}
+
+std::vector<int64_t> Caser::PadHistory(
+    const std::vector<int64_t>& history) const {
+  std::vector<int64_t> padded;
+  padded.reserve(window_);
+  const int64_t length = static_cast<int64_t>(history.size());
+  // Keep the most recent `window_` items; left-pad with the padding id.
+  for (int64_t i = 0; i < window_ - std::min(window_, length); ++i) {
+    padded.push_back(num_items_);  // Padding row.
+  }
+  const int64_t start = std::max<int64_t>(0, length - window_);
+  for (int64_t i = start; i < length; ++i) padded.push_back(history[i]);
+  DELREC_CHECK_EQ(static_cast<int64_t>(padded.size()), window_);
+  return padded;
+}
+
+nn::Tensor Caser::UserVector(const std::vector<int64_t>& history,
+                             float dropout, util::Rng& rng) const {
+  nn::Tensor embedded = item_embedding_.Forward(PadHistory(history));  // (L,D)
+  std::vector<nn::Tensor> features;
+  // Horizontal convolutions: conv → ReLU → max-over-time.
+  for (int h = 0; h < 3; ++h) {
+    nn::Tensor conv = nn::Relu(nn::HorizontalConv(
+        embedded, horizontal_weights_[h], horizontal_bias_[h], kHeights[h]));
+    features.push_back(nn::MaxPoolRows(conv));  // (1, F)
+  }
+  // Vertical convolution: weighted sums over time = W_v (F_v,L) · E (L,D).
+  nn::Tensor vertical = nn::MatMul(vertical_weights_, embedded);  // (F_v, D)
+  features.push_back(
+      nn::Reshape(vertical, {1, vertical_filters_ * embedding_dim_}));
+  nn::Tensor concatenated = nn::ConcatCols(features);
+  concatenated = nn::Dropout(concatenated, dropout, rng, training());
+  return nn::Relu(fc_->Forward(concatenated));  // (1, D)
+}
+
+void Caser::Train(const std::vector<data::Example>& examples,
+                  const TrainConfig& config) {
+  SetTraining(true);
+  util::Rng rng(config.seed);
+  nn::Adam optimizer(Parameters(), config.learning_rate);
+  RunTrainingLoop(
+      examples, config, optimizer, Parameters(), rng,
+      [&](const data::Example& example) {
+        nn::Tensor user = UserVector(example.history, config.dropout, rng);
+        nn::Tensor logits = nn::AddBias(
+            nn::MatMul(user, output_embedding_.table(), false, true),
+            item_bias_);
+        return nn::CrossEntropyWithLogits(logits, {example.target});
+      },
+      "Caser");
+  SetTraining(false);
+}
+
+std::vector<float> Caser::ScoreAllItems(
+    const std::vector<int64_t>& history) const {
+  nn::NoGradGuard no_grad;
+  nn::Tensor user = UserVector(history, 0.0f, scratch_rng_);
+  nn::Tensor logits = nn::AddBias(
+      nn::MatMul(user, output_embedding_.table(), false, true), item_bias_);
+  return logits.data();
+}
+
+std::vector<float> Caser::EncodeHistory(
+    const std::vector<int64_t>& history) const {
+  nn::NoGradGuard no_grad;
+  return UserVector(history, 0.0f, scratch_rng_).data();
+}
+
+std::vector<float> Caser::ItemEmbedding(int64_t item) const {
+  DELREC_CHECK_GE(item, 0);
+  DELREC_CHECK_LT(item, num_items_);
+  const auto& table = output_embedding_.table().data();
+  return std::vector<float>(table.begin() + item * embedding_dim_,
+                            table.begin() + (item + 1) * embedding_dim_);
+}
+
+}  // namespace delrec::srmodels

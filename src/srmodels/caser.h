@@ -1,0 +1,64 @@
+#ifndef DELREC_SRMODELS_CASER_H_
+#define DELREC_SRMODELS_CASER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/layers.h"
+#include "nn/module.h"
+#include "srmodels/recommender.h"
+#include "util/rng.h"
+
+namespace delrec::srmodels {
+
+/// Caser (Tang & Wang, WSDM 2018): treats the L×D embedding matrix of the
+/// last L interactions as an image; horizontal convolutions (heights 2..4)
+/// capture union-level sequential patterns, vertical filters capture
+/// point-level weighted aggregation. Outputs a user vector that scores items
+/// against an output embedding table.
+class Caser : public nn::Module, public SequentialRecommender {
+ public:
+  /// `window` is L, the fixed history window (shorter histories are padded).
+  Caser(int64_t num_items, int64_t embedding_dim, int64_t window,
+        int64_t horizontal_filters_per_height, int64_t vertical_filters,
+        uint64_t seed);
+
+  std::string name() const override { return "Caser"; }
+  void Train(const std::vector<data::Example>& examples,
+             const TrainConfig& config) override;
+  std::vector<float> ScoreAllItems(
+      const std::vector<int64_t>& history) const override;
+  int64_t ParameterCount() const override {
+    return nn::Module::ParameterCount();
+  }
+
+  std::vector<float> EncodeHistory(
+      const std::vector<int64_t>& history) const override;
+  std::vector<float> ItemEmbedding(int64_t item) const override;
+  int64_t embedding_dim() const { return embedding_dim_; }
+  int64_t representation_dim() const override { return embedding_dim_; }
+
+ private:
+  nn::Tensor UserVector(const std::vector<int64_t>& history, float dropout,
+                        util::Rng& rng) const;
+  std::vector<int64_t> PadHistory(const std::vector<int64_t>& history) const;
+
+  int64_t num_items_;
+  int64_t embedding_dim_;
+  int64_t window_;
+  int64_t filters_per_height_;
+  int64_t vertical_filters_;
+  mutable util::Rng scratch_rng_;
+  nn::Embedding item_embedding_;   // Includes a padding row at index V.
+  nn::Tensor horizontal_weights_[3];  // Heights 2, 3, 4.
+  nn::Tensor horizontal_bias_[3];
+  nn::Tensor vertical_weights_;    // (vertical_filters, window)
+  std::unique_ptr<nn::Linear> fc_;
+  nn::Embedding output_embedding_;
+  nn::Tensor item_bias_;
+};
+
+}  // namespace delrec::srmodels
+
+#endif  // DELREC_SRMODELS_CASER_H_

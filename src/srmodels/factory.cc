@@ -1,0 +1,68 @@
+#include "srmodels/factory.h"
+
+#include "srmodels/caser.h"
+#include "srmodels/gru4rec.h"
+#include "srmodels/sasrec.h"
+#include "util/check.h"
+
+namespace delrec::srmodels {
+
+std::string BackboneName(Backbone backbone) {
+  switch (backbone) {
+    case Backbone::kGru4Rec:
+      return "GRU4Rec";
+    case Backbone::kCaser:
+      return "Caser";
+    case Backbone::kSasRec:
+      return "SASRec";
+  }
+  DELREC_CHECK(false) << "unknown backbone";
+}
+
+std::unique_ptr<SequentialRecommender> MakeBackbone(Backbone backbone,
+                                                    int64_t num_items,
+                                                    int64_t history_length,
+                                                    uint64_t seed) {
+  switch (backbone) {
+    case Backbone::kGru4Rec:
+      // Paper: embedding size 64.
+      return std::make_unique<Gru4Rec>(num_items, /*embedding_dim=*/24, seed);
+    case Backbone::kCaser:
+      // Paper: embedding 100, 16 horizontal filters; scaled to 32/8.
+      return std::make_unique<Caser>(num_items, /*embedding_dim=*/32,
+                                     /*window=*/history_length,
+                                     /*horizontal_filters_per_height=*/8,
+                                     /*vertical_filters=*/2, seed);
+    case Backbone::kSasRec:
+      // Paper: embedding 100, two self-attention blocks; scaled to 32.
+      return std::make_unique<SasRec>(num_items, /*embedding_dim=*/32,
+                                      /*max_length=*/history_length,
+                                      /*num_blocks=*/2, /*num_heads=*/2,
+                                      seed);
+  }
+  DELREC_CHECK(false) << "unknown backbone";
+}
+
+TrainConfig BackboneTrainConfig(Backbone backbone) {
+  TrainConfig config;
+  switch (backbone) {
+    case Backbone::kGru4Rec:
+      config.learning_rate = 0.035f;  // Adagrad.
+      config.dropout = 0.15f;
+      config.batch_size = 50;  // Paper batch size.
+      break;
+    case Backbone::kCaser:
+      config.learning_rate = 2e-3f;  // Adam.
+      config.dropout = 0.2f;
+      config.batch_size = 64;
+      break;
+    case Backbone::kSasRec:
+      config.learning_rate = 2e-3f;  // Adam.
+      config.dropout = 0.25f;
+      config.batch_size = 64;
+      break;
+  }
+  return config;
+}
+
+}  // namespace delrec::srmodels

@@ -1,0 +1,31 @@
+#ifndef DELREC_SRMODELS_FACTORY_H_
+#define DELREC_SRMODELS_FACTORY_H_
+
+#include <memory>
+#include <string>
+
+#include "srmodels/recommender.h"
+
+namespace delrec::srmodels {
+
+/// The three conventional SR backbones DELRec distills from.
+enum class Backbone { kGru4Rec, kCaser, kSasRec };
+
+std::string BackboneName(Backbone backbone);
+
+/// Instantiates a backbone with the paper's architecture choices scaled to
+/// this repo's CPU budget (see DESIGN.md §6).
+std::unique_ptr<SequentialRecommender> MakeBackbone(Backbone backbone,
+                                                    int64_t num_items,
+                                                    int64_t history_length,
+                                                    uint64_t seed);
+
+/// The paper's per-model optimizer settings (§V-A3), scaled: GRU4Rec uses
+/// Adagrad lr 0.01 dropout 0.3; Caser Adam lr 1e-3 dropout 0.4; SASRec Adam
+/// lr 1e-3 dropout 0.5. Dropout is halved here because the synthetic
+/// datasets are far smaller than the originals.
+TrainConfig BackboneTrainConfig(Backbone backbone);
+
+}  // namespace delrec::srmodels
+
+#endif  // DELREC_SRMODELS_FACTORY_H_

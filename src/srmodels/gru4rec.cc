@@ -1,0 +1,78 @@
+#include "srmodels/gru4rec.h"
+
+#include "nn/ops.h"
+#include "nn/optimizer.h"
+#include "srmodels/trainer.h"
+#include "util/check.h"
+
+namespace delrec::srmodels {
+
+Gru4Rec::Gru4Rec(int64_t num_items, int64_t embedding_dim, uint64_t seed)
+    : num_items_(num_items),
+      embedding_dim_(embedding_dim),
+      scratch_rng_(seed),
+      item_embedding_(num_items, embedding_dim, scratch_rng_),
+      cell_(embedding_dim, embedding_dim, scratch_rng_) {
+  item_bias_ = nn::Tensor::Zeros({num_items}, /*requires_grad=*/true);
+  RegisterModule("item_embedding", &item_embedding_);
+  RegisterModule("cell", &cell_);
+  RegisterParameter("item_bias", item_bias_);
+}
+
+nn::Tensor Gru4Rec::HiddenForHistory(const std::vector<int64_t>& history,
+                                     float dropout, util::Rng& rng) const {
+  DELREC_CHECK(!history.empty());
+  nn::Tensor embedded = item_embedding_.Forward(history);  // (T, D)
+  embedded = nn::Dropout(embedded, dropout, rng, training());
+  nn::Tensor hidden = nn::Tensor::Zeros({1, embedding_dim_});
+  for (int64_t t = 0; t < static_cast<int64_t>(history.size()); ++t) {
+    hidden = cell_.Forward(nn::SliceRows(embedded, t, 1), hidden);
+  }
+  return hidden;  // (1, D)
+}
+
+void Gru4Rec::Train(const std::vector<data::Example>& examples,
+                    const TrainConfig& config) {
+  SetTraining(true);
+  util::Rng rng(config.seed);
+  // Paper setup: Adagrad for GRU4Rec.
+  nn::Adagrad optimizer(Parameters(), config.learning_rate);
+  RunTrainingLoop(
+      examples, config, optimizer, Parameters(), rng,
+      [&](const data::Example& example) {
+        nn::Tensor hidden =
+            HiddenForHistory(example.history, config.dropout, rng);
+        nn::Tensor logits = nn::AddBias(
+            nn::MatMul(hidden, item_embedding_.table(), false, true),
+            item_bias_);
+        return nn::CrossEntropyWithLogits(logits, {example.target});
+      },
+      "GRU4Rec");
+  SetTraining(false);
+}
+
+std::vector<float> Gru4Rec::ScoreAllItems(
+    const std::vector<int64_t>& history) const {
+  nn::NoGradGuard no_grad;
+  nn::Tensor hidden = HiddenForHistory(history, 0.0f, scratch_rng_);
+  nn::Tensor logits = nn::AddBias(
+      nn::MatMul(hidden, item_embedding_.table(), false, true), item_bias_);
+  return logits.data();
+}
+
+std::vector<float> Gru4Rec::EncodeHistory(
+    const std::vector<int64_t>& history) const {
+  nn::NoGradGuard no_grad;
+  nn::Tensor hidden = HiddenForHistory(history, 0.0f, scratch_rng_);
+  return hidden.data();
+}
+
+std::vector<float> Gru4Rec::ItemEmbedding(int64_t item) const {
+  DELREC_CHECK_GE(item, 0);
+  DELREC_CHECK_LT(item, num_items_);
+  const auto& table = item_embedding_.table().data();
+  return std::vector<float>(table.begin() + item * embedding_dim_,
+                            table.begin() + (item + 1) * embedding_dim_);
+}
+
+}  // namespace delrec::srmodels

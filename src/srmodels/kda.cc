@@ -1,0 +1,137 @@
+#include "srmodels/kda.h"
+
+#include "nn/ops.h"
+#include "nn/optimizer.h"
+#include "srmodels/trainer.h"
+#include "util/check.h"
+
+namespace delrec::srmodels {
+
+Kda::Kda(int64_t num_items, int64_t embedding_dim, int64_t relation_dim,
+         int64_t max_length, int64_t num_frequencies, uint64_t seed)
+    : num_items_(num_items),
+      embedding_dim_(embedding_dim),
+      relation_dim_(relation_dim),
+      max_length_(max_length),
+      num_frequencies_(num_frequencies),
+      scratch_rng_(seed),
+      item_embedding_(num_items, embedding_dim, scratch_rng_),
+      position_embedding_(max_length, embedding_dim, scratch_rng_),
+      final_norm_(embedding_dim),
+      relation_source_(num_items, relation_dim, scratch_rng_, 0.05f),
+      relation_target_(num_items, relation_dim, scratch_rng_, 0.05f) {
+  block_ = std::make_unique<nn::TransformerEncoderLayer>(
+      embedding_dim, 2, 2 * embedding_dim, scratch_rng_);
+  amplitudes_ = nn::Tensor::Full({num_frequencies}, 0.5f,
+                                 /*requires_grad=*/true);
+  // Frequencies spread over [0.2, ~2]; phases at 0.
+  std::vector<float> freq_init(num_frequencies);
+  for (int64_t f = 0; f < num_frequencies; ++f) {
+    freq_init[f] = 0.2f + 1.8f * static_cast<float>(f) /
+                              static_cast<float>(std::max<int64_t>(
+                                  1, num_frequencies - 1));
+  }
+  frequencies_ = nn::Tensor::FromData({num_frequencies}, freq_init,
+                                      /*requires_grad=*/true);
+  phases_ = nn::Tensor::Zeros({num_frequencies}, /*requires_grad=*/true);
+  item_bias_ = nn::Tensor::Zeros({num_items}, /*requires_grad=*/true);
+
+  RegisterModule("item_embedding", &item_embedding_);
+  RegisterModule("position_embedding", &position_embedding_);
+  RegisterModule("block", block_.get());
+  RegisterModule("final_norm", &final_norm_);
+  RegisterModule("relation_source", &relation_source_);
+  RegisterModule("relation_target", &relation_target_);
+  RegisterParameter("amplitudes", amplitudes_);
+  RegisterParameter("frequencies", frequencies_);
+  RegisterParameter("phases", phases_);
+  RegisterParameter("item_bias", item_bias_);
+}
+
+nn::Tensor Kda::RelationTable(const nn::Embedding& factors) const {
+  if (latent_weight_ == 0.0f) return factors.table();
+  // Blend the learned factors with fixed LLM-derived latent relations.
+  nn::Tensor latent = nn::Tensor::FromData({num_items_, relation_dim_},
+                                           latent_relations_);
+  return nn::Add(nn::MulScalar(factors.table(), 1.0f - latent_weight_),
+                 nn::MulScalar(latent, latent_weight_));
+}
+
+nn::Tensor Kda::ScoresTensor(const std::vector<int64_t>& history,
+                             float dropout, util::Rng& rng) const {
+  DELREC_CHECK(!history.empty());
+  std::vector<int64_t> window = history;
+  if (static_cast<int64_t>(window.size()) > max_length_) {
+    window.assign(history.end() - max_length_, history.end());
+  }
+  const int64_t length = static_cast<int64_t>(window.size());
+  std::vector<int64_t> positions(length);
+  for (int64_t i = 0; i < length; ++i) positions[i] = i;
+
+  // Self-attentive base encoder.
+  nn::Tensor x = nn::Add(item_embedding_.Forward(window),
+                         position_embedding_.Forward(positions));
+  x = nn::Dropout(x, dropout, rng, training());
+  x = block_->Forward(x, nn::CausalMask(length), rng, dropout);
+  x = final_norm_.Forward(x);
+  nn::Tensor hidden = nn::SliceRows(x, length - 1, 1);
+  nn::Tensor logits = nn::AddBias(
+      nn::MatMul(hidden, item_embedding_.table(), false, true), item_bias_);
+
+  // Fourier temporal relation term: Σ_k w(Δ_k) · p_{i_k} · Qᵀ.
+  nn::Tensor q_table = RelationTable(relation_target_);  // (V, R)
+  nn::Tensor p_rows = RelationTable(relation_source_);
+  std::vector<nn::Tensor> contributions = {logits};
+  for (int64_t k = 0; k < length; ++k) {
+    const float delta = static_cast<float>(length - k);
+    // w(Δ) = Σ_f a_f · cos(ω_f·Δ + φ_f), a differentiable scalar tensor.
+    nn::Tensor argument =
+        nn::Add(nn::MulScalar(frequencies_, delta), phases_);
+    nn::Tensor weight =
+        nn::Sum(nn::Mul(amplitudes_, nn::Cos(argument)));  // (1)
+    nn::Tensor p_k = nn::Rows(p_rows, {window[k]});        // (1, R)
+    nn::Tensor relation = nn::MatMul(p_k, q_table, false, true);  // (1, V)
+    // Normalize by history length so long histories don't dominate.
+    contributions.push_back(nn::MulScalarTensor(
+        nn::MulScalar(relation, 1.0f / static_cast<float>(length)), weight));
+  }
+  return nn::AddN(contributions);
+}
+
+void Kda::Train(const std::vector<data::Example>& examples,
+                const TrainConfig& config) {
+  SetTraining(true);
+  util::Rng rng(config.seed);
+  nn::Adam optimizer(Parameters(), config.learning_rate);
+  RunTrainingLoop(
+      examples, config, optimizer, Parameters(), rng,
+      [&](const data::Example& example) {
+        nn::Tensor logits =
+            ScoresTensor(example.history, config.dropout, rng);
+        return nn::CrossEntropyWithLogits(logits, {example.target});
+      },
+      "KDA");
+  SetTraining(false);
+}
+
+std::vector<float> Kda::ScoreAllItems(
+    const std::vector<int64_t>& history) const {
+  nn::NoGradGuard no_grad;
+  return ScoresTensor(history, 0.0f, scratch_rng_).data();
+}
+
+void Kda::InjectLatentRelations(
+    const std::vector<std::vector<float>>& vectors, float weight) {
+  DELREC_CHECK_EQ(static_cast<int64_t>(vectors.size()), num_items_);
+  DELREC_CHECK_GE(weight, 0.0f);
+  DELREC_CHECK_LE(weight, 1.0f);
+  latent_relations_.clear();
+  latent_relations_.reserve(num_items_ * relation_dim_);
+  for (const auto& row : vectors) {
+    DELREC_CHECK_EQ(static_cast<int64_t>(row.size()), relation_dim_);
+    latent_relations_.insert(latent_relations_.end(), row.begin(), row.end());
+  }
+  latent_weight_ = weight;
+}
+
+}  // namespace delrec::srmodels

@@ -1,0 +1,74 @@
+#ifndef DELREC_SRMODELS_KDA_H_
+#define DELREC_SRMODELS_KDA_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/layers.h"
+#include "nn/module.h"
+#include "srmodels/recommender.h"
+#include "util/rng.h"
+
+namespace delrec::srmodels {
+
+/// KDA (Wang et al., TOIS 2020), scaled reimplementation: on top of a
+/// self-attentive sequence encoder, a *Fourier temporal evolution* module
+/// models how item-item relation strength decays/oscillates with temporal
+/// distance. score(j) = h·e_j + Σ_k w(Δ_k)·⟨p_{i_k}, q_j⟩ where
+/// w(Δ) = Σ_f a_f·cos(ω_f·Δ + φ_f) has learned amplitudes/frequencies/phases
+/// and Δ_k is the distance of history position k from the prediction point.
+/// The KDA_LRD baseline (baselines/kda_lrd.h) augments the relation factors
+/// with LLM-derived latent relations.
+class Kda : public nn::Module, public SequentialRecommender {
+ public:
+  Kda(int64_t num_items, int64_t embedding_dim, int64_t relation_dim,
+      int64_t max_length, int64_t num_frequencies, uint64_t seed);
+
+  std::string name() const override { return "KDA"; }
+  void Train(const std::vector<data::Example>& examples,
+             const TrainConfig& config) override;
+  std::vector<float> ScoreAllItems(
+      const std::vector<int64_t>& history) const override;
+  int64_t ParameterCount() const override {
+    return nn::Module::ParameterCount();
+  }
+
+  /// Adds fixed (non-trainable) latent-relation vectors that are blended
+  /// into the relation factors p/q — the hook LRD uses to inject relations
+  /// discovered by the LLM. `vectors` has one row of width relation_dim per
+  /// item; `weight` controls the blend.
+  void InjectLatentRelations(const std::vector<std::vector<float>>& vectors,
+                             float weight);
+
+  int64_t relation_dim() const { return relation_dim_; }
+
+ private:
+  nn::Tensor ScoresTensor(const std::vector<int64_t>& history, float dropout,
+                          util::Rng& rng) const;
+  nn::Tensor RelationTable(const nn::Embedding& factors) const;
+
+  int64_t num_items_;
+  int64_t embedding_dim_;
+  int64_t relation_dim_;
+  int64_t max_length_;
+  int64_t num_frequencies_;
+  mutable util::Rng scratch_rng_;
+  nn::Embedding item_embedding_;
+  nn::Embedding position_embedding_;
+  std::unique_ptr<nn::TransformerEncoderLayer> block_;
+  nn::LayerNorm final_norm_;
+  nn::Embedding relation_source_;  // p factors.
+  nn::Embedding relation_target_;  // q factors.
+  nn::Tensor amplitudes_;          // (num_frequencies)
+  nn::Tensor frequencies_;         // (num_frequencies)
+  nn::Tensor phases_;              // (num_frequencies)
+  nn::Tensor item_bias_;
+  // LRD injection (fixed, optional).
+  std::vector<float> latent_relations_;  // num_items · relation_dim.
+  float latent_weight_ = 0.0f;
+};
+
+}  // namespace delrec::srmodels
+
+#endif  // DELREC_SRMODELS_KDA_H_

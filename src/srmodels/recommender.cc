@@ -1,0 +1,43 @@
+#include "srmodels/recommender.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/check.h"
+
+namespace delrec::srmodels {
+
+std::vector<float> SequentialRecommender::ScoreCandidates(
+    const std::vector<int64_t>& history,
+    const std::vector<int64_t>& candidates) const {
+  const std::vector<float> all = ScoreAllItems(history);
+  std::vector<float> out;
+  out.reserve(candidates.size());
+  for (int64_t candidate : candidates) {
+    DELREC_CHECK_GE(candidate, 0);
+    DELREC_CHECK_LT(candidate, static_cast<int64_t>(all.size()));
+    out.push_back(all[candidate]);
+  }
+  return out;
+}
+
+std::vector<int64_t> SequentialRecommender::TopK(
+    const std::vector<int64_t>& history, int64_t k) const {
+  return TopKFromScores(ScoreAllItems(history), k);
+}
+
+std::vector<int64_t> TopKFromScores(const std::vector<float>& scores,
+                                    int64_t k) {
+  std::vector<int64_t> order(scores.size());
+  std::iota(order.begin(), order.end(), 0);
+  k = std::min<int64_t>(k, static_cast<int64_t>(order.size()));
+  std::partial_sort(order.begin(), order.begin() + k, order.end(),
+                    [&](int64_t a, int64_t b) {
+                      if (scores[a] != scores[b]) return scores[a] > scores[b];
+                      return a < b;
+                    });
+  order.resize(k);
+  return order;
+}
+
+}  // namespace delrec::srmodels

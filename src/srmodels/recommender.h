@@ -1,0 +1,75 @@
+#ifndef DELREC_SRMODELS_RECOMMENDER_H_
+#define DELREC_SRMODELS_RECOMMENDER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "data/split.h"
+
+namespace delrec::srmodels {
+
+/// Training knobs shared by the conventional SR models. Defaults follow the
+/// paper's implementation details, with dimensions scaled to the CPU budget.
+struct TrainConfig {
+  int epochs = 6;
+  int batch_size = 32;
+  float learning_rate = 1e-3f;
+  float dropout = 0.2f;
+  int64_t history_length = 10;
+  float gradient_clip = 5.0f;
+  uint64_t seed = 7;
+  bool verbose = false;
+};
+
+/// Interface every conventional sequential recommender implements. All
+/// DELRec-side consumers (pattern distillation, baselines, benches) talk to
+/// this interface only.
+class SequentialRecommender {
+ public:
+  virtual ~SequentialRecommender() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Fits the model on training examples.
+  virtual void Train(const std::vector<data::Example>& examples,
+                     const TrainConfig& config) = 0;
+
+  /// Scores every catalog item given a history (most recent item last).
+  /// Higher is better. History may be shorter than the training length.
+  virtual std::vector<float> ScoreAllItems(
+      const std::vector<int64_t>& history) const = 0;
+
+  /// Scores a candidate subset (default: gather from ScoreAllItems).
+  virtual std::vector<float> ScoreCandidates(
+      const std::vector<int64_t>& history,
+      const std::vector<int64_t>& candidates) const;
+
+  /// Item ids of the k highest-scoring items, best first.
+  std::vector<int64_t> TopK(const std::vector<int64_t>& history,
+                            int64_t k) const;
+
+  /// Number of trainable scalars (RQ5 reporting).
+  virtual int64_t ParameterCount() const = 0;
+
+  /// Dense history representation (for embedding-injection baselines like
+  /// LLaRA). Empty when the model has no such representation.
+  virtual std::vector<float> EncodeHistory(
+      const std::vector<int64_t>& history) const {
+    return {};
+  }
+
+  /// Dense item representation row. Empty when unavailable.
+  virtual std::vector<float> ItemEmbedding(int64_t item) const { return {}; }
+
+  /// Width of EncodeHistory()/ItemEmbedding() vectors (0 if unsupported).
+  virtual int64_t representation_dim() const { return 0; }
+};
+
+/// Ranks item ids by descending score, best first, truncated to k.
+std::vector<int64_t> TopKFromScores(const std::vector<float>& scores,
+                                    int64_t k);
+
+}  // namespace delrec::srmodels
+
+#endif  // DELREC_SRMODELS_RECOMMENDER_H_

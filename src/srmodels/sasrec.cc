@@ -1,0 +1,95 @@
+#include "srmodels/sasrec.h"
+
+#include "nn/ops.h"
+#include "nn/optimizer.h"
+#include "srmodels/trainer.h"
+#include "util/check.h"
+
+namespace delrec::srmodels {
+
+SasRec::SasRec(int64_t num_items, int64_t embedding_dim, int64_t max_length,
+               int64_t num_blocks, int64_t num_heads, uint64_t seed)
+    : num_items_(num_items),
+      embedding_dim_(embedding_dim),
+      max_length_(max_length),
+      scratch_rng_(seed),
+      item_embedding_(num_items, embedding_dim, scratch_rng_),
+      position_embedding_(max_length, embedding_dim, scratch_rng_),
+      final_norm_(embedding_dim) {
+  RegisterModule("item_embedding", &item_embedding_);
+  RegisterModule("position_embedding", &position_embedding_);
+  for (int64_t b = 0; b < num_blocks; ++b) {
+    blocks_.push_back(std::make_unique<nn::TransformerEncoderLayer>(
+        embedding_dim, num_heads, 2 * embedding_dim, scratch_rng_));
+    RegisterModule("block" + std::to_string(b), blocks_.back().get());
+  }
+  RegisterModule("final_norm", &final_norm_);
+  item_bias_ = nn::Tensor::Zeros({num_items}, /*requires_grad=*/true);
+  RegisterParameter("item_bias", item_bias_);
+}
+
+nn::Tensor SasRec::LastHidden(const std::vector<int64_t>& history,
+                              float dropout, util::Rng& rng) const {
+  DELREC_CHECK(!history.empty());
+  // Keep the most recent max_length_ interactions.
+  std::vector<int64_t> window = history;
+  if (static_cast<int64_t>(window.size()) > max_length_) {
+    window.assign(history.end() - max_length_, history.end());
+  }
+  const int64_t length = static_cast<int64_t>(window.size());
+  std::vector<int64_t> positions(length);
+  for (int64_t i = 0; i < length; ++i) positions[i] = i;
+  nn::Tensor x = nn::Add(item_embedding_.Forward(window),
+                         position_embedding_.Forward(positions));
+  x = nn::Dropout(x, dropout, rng, training());
+  nn::Tensor mask = nn::CausalMask(length);
+  for (const auto& block : blocks_) {
+    x = block->Forward(x, mask, rng, dropout);
+  }
+  x = final_norm_.Forward(x);
+  return nn::SliceRows(x, length - 1, 1);  // (1, D)
+}
+
+void SasRec::Train(const std::vector<data::Example>& examples,
+                   const TrainConfig& config) {
+  SetTraining(true);
+  util::Rng rng(config.seed);
+  nn::Adam optimizer(Parameters(), config.learning_rate);
+  RunTrainingLoop(
+      examples, config, optimizer, Parameters(), rng,
+      [&](const data::Example& example) {
+        nn::Tensor hidden =
+            LastHidden(example.history, config.dropout, rng);
+        nn::Tensor logits = nn::AddBias(
+            nn::MatMul(hidden, item_embedding_.table(), false, true),
+            item_bias_);
+        return nn::CrossEntropyWithLogits(logits, {example.target});
+      },
+      "SASRec");
+  SetTraining(false);
+}
+
+std::vector<float> SasRec::ScoreAllItems(
+    const std::vector<int64_t>& history) const {
+  nn::NoGradGuard no_grad;
+  nn::Tensor hidden = LastHidden(history, 0.0f, scratch_rng_);
+  nn::Tensor logits = nn::AddBias(
+      nn::MatMul(hidden, item_embedding_.table(), false, true), item_bias_);
+  return logits.data();
+}
+
+std::vector<float> SasRec::EncodeHistory(
+    const std::vector<int64_t>& history) const {
+  nn::NoGradGuard no_grad;
+  return LastHidden(history, 0.0f, scratch_rng_).data();
+}
+
+std::vector<float> SasRec::ItemEmbedding(int64_t item) const {
+  DELREC_CHECK_GE(item, 0);
+  DELREC_CHECK_LT(item, num_items_);
+  const auto& table = item_embedding_.table().data();
+  return std::vector<float>(table.begin() + item * embedding_dim_,
+                            table.begin() + (item + 1) * embedding_dim_);
+}
+
+}  // namespace delrec::srmodels

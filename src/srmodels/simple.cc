@@ -1,0 +1,69 @@
+#include "srmodels/simple.h"
+
+#include "nn/ops.h"
+#include "nn/optimizer.h"
+#include "srmodels/trainer.h"
+#include "util/check.h"
+
+namespace delrec::srmodels {
+
+PopRec::PopRec(int64_t num_items) : counts_(num_items, 0.0f) {}
+
+void PopRec::Train(const std::vector<data::Example>& examples,
+                   const TrainConfig& config) {
+  std::fill(counts_.begin(), counts_.end(), 0.0f);
+  for (const data::Example& example : examples) {
+    DELREC_CHECK_LT(example.target, static_cast<int64_t>(counts_.size()));
+    counts_[example.target] += 1.0f;
+    for (int64_t item : example.history) counts_[item] += 0.1f;
+  }
+}
+
+std::vector<float> PopRec::ScoreAllItems(
+    const std::vector<int64_t>& history) const {
+  return counts_;
+}
+
+Fmc::Fmc(int64_t num_items, int64_t factor_dim, uint64_t seed)
+    : num_items_(num_items),
+      factor_dim_(factor_dim),
+      scratch_rng_(seed),
+      source_factors_(num_items, factor_dim, scratch_rng_, 0.05f),
+      target_factors_(num_items, factor_dim, scratch_rng_, 0.05f) {
+  item_bias_ = nn::Tensor::Zeros({num_items}, /*requires_grad=*/true);
+  RegisterModule("source_factors", &source_factors_);
+  RegisterModule("target_factors", &target_factors_);
+  RegisterParameter("item_bias", item_bias_);
+}
+
+void Fmc::Train(const std::vector<data::Example>& examples,
+                const TrainConfig& config) {
+  SetTraining(true);
+  util::Rng rng(config.seed);
+  nn::Adam optimizer(Parameters(), config.learning_rate);
+  RunTrainingLoop(
+      examples, config, optimizer, Parameters(), rng,
+      [&](const data::Example& example) {
+        DELREC_CHECK(!example.history.empty());
+        nn::Tensor source =
+            source_factors_.Forward({example.history.back()});
+        nn::Tensor logits = nn::AddBias(
+            nn::MatMul(source, target_factors_.table(), false, true),
+            item_bias_);
+        return nn::CrossEntropyWithLogits(logits, {example.target});
+      },
+      "FMC");
+  SetTraining(false);
+}
+
+std::vector<float> Fmc::ScoreAllItems(
+    const std::vector<int64_t>& history) const {
+  nn::NoGradGuard no_grad;
+  DELREC_CHECK(!history.empty());
+  nn::Tensor source = source_factors_.Forward({history.back()});
+  nn::Tensor logits = nn::AddBias(
+      nn::MatMul(source, target_factors_.table(), false, true), item_bias_);
+  return logits.data();
+}
+
+}  // namespace delrec::srmodels

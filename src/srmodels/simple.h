@@ -1,0 +1,57 @@
+#ifndef DELREC_SRMODELS_SIMPLE_H_
+#define DELREC_SRMODELS_SIMPLE_H_
+
+#include <string>
+#include <vector>
+
+#include "nn/layers.h"
+#include "nn/module.h"
+#include "srmodels/recommender.h"
+#include "util/rng.h"
+
+namespace delrec::srmodels {
+
+/// Popularity recommender: scores items by training-set frequency. The
+/// classic sanity-check baseline.
+class PopRec : public SequentialRecommender {
+ public:
+  explicit PopRec(int64_t num_items);
+
+  std::string name() const override { return "PopRec"; }
+  void Train(const std::vector<data::Example>& examples,
+             const TrainConfig& config) override;
+  std::vector<float> ScoreAllItems(
+      const std::vector<int64_t>& history) const override;
+  int64_t ParameterCount() const override { return 0; }
+
+ private:
+  std::vector<float> counts_;
+};
+
+/// Factorized first-order Markov chain (the FMC part of FPMC, Rendle et al.
+/// WWW 2010): score(j | last) = ⟨e_last, f_j⟩ + b_j, trained with softmax CE.
+class Fmc : public nn::Module, public SequentialRecommender {
+ public:
+  Fmc(int64_t num_items, int64_t factor_dim, uint64_t seed);
+
+  std::string name() const override { return "FMC"; }
+  void Train(const std::vector<data::Example>& examples,
+             const TrainConfig& config) override;
+  std::vector<float> ScoreAllItems(
+      const std::vector<int64_t>& history) const override;
+  int64_t ParameterCount() const override {
+    return nn::Module::ParameterCount();
+  }
+
+ private:
+  int64_t num_items_;
+  int64_t factor_dim_;
+  mutable util::Rng scratch_rng_;
+  nn::Embedding source_factors_;
+  nn::Embedding target_factors_;
+  nn::Tensor item_bias_;
+};
+
+}  // namespace delrec::srmodels
+
+#endif  // DELREC_SRMODELS_SIMPLE_H_

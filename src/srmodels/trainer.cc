@@ -1,0 +1,53 @@
+#include "srmodels/trainer.h"
+
+#include "nn/module.h"
+#include "nn/ops.h"
+#include "util/check.h"
+#include "util/logging.h"
+
+namespace delrec::srmodels {
+
+float RunTrainingLoop(
+    const std::vector<data::Example>& examples, const TrainConfig& config,
+    nn::Optimizer& optimizer, const std::vector<nn::Tensor>& clip_parameters,
+    util::Rng& rng,
+    const std::function<nn::Tensor(const data::Example&)>& example_loss,
+    const char* model_name) {
+  DELREC_CHECK(!examples.empty()) << model_name << ": no training examples";
+  std::vector<int64_t> order(examples.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  float epoch_loss = 0.0f;
+  for (int epoch = 0; epoch < config.epochs; ++epoch) {
+    rng.Shuffle(order);
+    epoch_loss = 0.0f;
+    int64_t batches = 0;
+    for (size_t start = 0; start < order.size();
+         start += config.batch_size) {
+      const size_t end =
+          std::min(order.size(), start + config.batch_size);
+      std::vector<nn::Tensor> losses;
+      losses.reserve(end - start);
+      for (size_t i = start; i < end; ++i) {
+        losses.push_back(example_loss(examples[order[i]]));
+      }
+      nn::Tensor batch_loss = nn::MulScalar(
+          nn::AddN(losses), 1.0f / static_cast<float>(losses.size()));
+      optimizer.ZeroGrad();
+      batch_loss.Backward();
+      if (config.gradient_clip > 0.0f) {
+        nn::ClipGradNorm(clip_parameters, config.gradient_clip);
+      }
+      optimizer.Step();
+      epoch_loss += batch_loss.item();
+      ++batches;
+    }
+    epoch_loss /= static_cast<float>(std::max<int64_t>(1, batches));
+    if (config.verbose) {
+      DELREC_LOG(Info) << model_name << " epoch " << epoch + 1 << "/"
+                       << config.epochs << " loss=" << epoch_loss;
+    }
+  }
+  return epoch_loss;
+}
+
+}  // namespace delrec::srmodels

@@ -1,0 +1,28 @@
+#ifndef DELREC_SRMODELS_TRAINER_H_
+#define DELREC_SRMODELS_TRAINER_H_
+
+#include <functional>
+#include <vector>
+
+#include "data/split.h"
+#include "nn/optimizer.h"
+#include "nn/tensor.h"
+#include "srmodels/recommender.h"
+#include "util/rng.h"
+
+namespace delrec::srmodels {
+
+/// Shared mini-batch training loop: shuffles examples each epoch, builds the
+/// batch loss as the mean of per-example losses returned by `example_loss`,
+/// clips gradients, and steps the optimizer. Returns the final epoch's mean
+/// training loss.
+float RunTrainingLoop(
+    const std::vector<data::Example>& examples, const TrainConfig& config,
+    nn::Optimizer& optimizer, const std::vector<nn::Tensor>& clip_parameters,
+    util::Rng& rng,
+    const std::function<nn::Tensor(const data::Example&)>& example_loss,
+    const char* model_name);
+
+}  // namespace delrec::srmodels
+
+#endif  // DELREC_SRMODELS_TRAINER_H_

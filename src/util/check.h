@@ -1,0 +1,82 @@
+#ifndef DELREC_UTIL_CHECK_H_
+#define DELREC_UTIL_CHECK_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+// Contract-violation macros. DELRec follows the no-exceptions convention:
+// programmer errors abort with a diagnostic; recoverable conditions use
+// util::Status. DELREC_DCHECK compiles away in release builds.
+
+namespace delrec::util::internal {
+
+// Streams the failure message and aborts. Marked noreturn so CHECK macros can
+// be used in functions with return values without spurious warnings.
+[[noreturn]] inline void CheckFail(const char* file, int line,
+                                   const std::string& condition,
+                                   const std::string& message) {
+  std::cerr << "[DELREC CHECK FAILED] " << file << ":" << line << ": "
+            << condition;
+  if (!message.empty()) std::cerr << " — " << message;
+  std::cerr << std::endl;
+  std::abort();
+}
+
+// Helper so `DELREC_CHECK(x) << "detail"` works: collects the streamed detail
+// and aborts in the destructor.
+class CheckMessageSink {
+ public:
+  CheckMessageSink(const char* file, int line, const char* condition)
+      : file_(file), line_(line), condition_(condition) {}
+  CheckMessageSink(const CheckMessageSink&) = delete;
+  CheckMessageSink& operator=(const CheckMessageSink&) = delete;
+  [[noreturn]] ~CheckMessageSink() {
+    CheckFail(file_, line_, condition_, stream_.str());
+  }
+  template <typename T>
+  CheckMessageSink& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  const char* file_;
+  int line_;
+  std::string condition_;
+  std::ostringstream stream_;
+};
+
+}  // namespace delrec::util::internal
+
+#define DELREC_CHECK(condition)                                      \
+  if (condition) {                                                   \
+  } else                                                             \
+    ::delrec::util::internal::CheckMessageSink(__FILE__, __LINE__,   \
+                                               #condition)
+
+#define DELREC_CHECK_OP(op, a, b)                                           \
+  if ((a)op(b)) {                                                           \
+  } else                                                                    \
+    ::delrec::util::internal::CheckMessageSink(__FILE__, __LINE__,          \
+                                               #a " " #op " " #b)           \
+        << "(" << (a) << " vs " << (b) << ") "
+
+#define DELREC_CHECK_EQ(a, b) DELREC_CHECK_OP(==, a, b)
+#define DELREC_CHECK_NE(a, b) DELREC_CHECK_OP(!=, a, b)
+#define DELREC_CHECK_LT(a, b) DELREC_CHECK_OP(<, a, b)
+#define DELREC_CHECK_LE(a, b) DELREC_CHECK_OP(<=, a, b)
+#define DELREC_CHECK_GT(a, b) DELREC_CHECK_OP(>, a, b)
+#define DELREC_CHECK_GE(a, b) DELREC_CHECK_OP(>=, a, b)
+
+#ifdef NDEBUG
+#define DELREC_DCHECK(condition) \
+  if (true) {                    \
+  } else                         \
+    ::delrec::util::internal::CheckMessageSink(__FILE__, __LINE__, #condition)
+#else
+#define DELREC_DCHECK(condition) DELREC_CHECK(condition)
+#endif
+
+#endif  // DELREC_UTIL_CHECK_H_

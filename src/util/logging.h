@@ -1,0 +1,47 @@
+#ifndef DELREC_UTIL_LOGGING_H_
+#define DELREC_UTIL_LOGGING_H_
+
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace delrec::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Returns the process-wide minimum level below which log lines are dropped.
+LogLevel MinLogLevel();
+
+/// Sets the process-wide minimum log level (e.g. silence training chatter in
+/// benchmarks with SetMinLogLevel(LogLevel::kWarning)).
+void SetMinLogLevel(LogLevel level);
+
+namespace internal {
+
+// One log line; flushes to stderr (with level prefix) on destruction.
+class LogLine {
+ public:
+  LogLine(LogLevel level, const char* file, int line);
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+  ~LogLine();
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    if (enabled_) stream_ << value;
+    return *this;
+  }
+
+ private:
+  bool enabled_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace delrec::util
+
+#define DELREC_LOG(level)                                       \
+  ::delrec::util::internal::LogLine(                            \
+      ::delrec::util::LogLevel::k##level, __FILE__, __LINE__)
+
+#endif  // DELREC_UTIL_LOGGING_H_

@@ -1,0 +1,32 @@
+#include "util/memory.h"
+
+#include <cstdio>
+#include <cstring>
+
+namespace delrec::util {
+namespace {
+
+int64_t ReadStatusField(const char* field) {
+  FILE* file = std::fopen("/proc/self/status", "r");
+  if (file == nullptr) return 0;
+  char line[256];
+  int64_t kib = 0;
+  const size_t field_len = std::strlen(field);
+  while (std::fgets(line, sizeof(line), file) != nullptr) {
+    if (std::strncmp(line, field, field_len) == 0) {
+      long long value = 0;
+      if (std::sscanf(line + field_len, " %lld", &value) == 1) kib = value;
+      break;
+    }
+  }
+  std::fclose(file);
+  return kib * 1024;
+}
+
+}  // namespace
+
+int64_t PeakRssBytes() { return ReadStatusField("VmHWM:"); }
+
+int64_t CurrentRssBytes() { return ReadStatusField("VmRSS:"); }
+
+}  // namespace delrec::util

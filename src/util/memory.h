@@ -1,0 +1,17 @@
+#ifndef DELREC_UTIL_MEMORY_H_
+#define DELREC_UTIL_MEMORY_H_
+
+#include <cstdint>
+
+namespace delrec::util {
+
+/// Peak resident set size of this process in bytes (Linux VmHWM), or 0 if
+/// unavailable. Used by the RQ5 memory-footprint benchmark.
+int64_t PeakRssBytes();
+
+/// Current resident set size in bytes (Linux VmRSS), or 0 if unavailable.
+int64_t CurrentRssBytes();
+
+}  // namespace delrec::util
+
+#endif  // DELREC_UTIL_MEMORY_H_

@@ -1,0 +1,135 @@
+#include "util/rng.h"
+
+#include <cmath>
+#include <unordered_set>
+
+#include "util/check.h"
+
+namespace delrec::util {
+namespace {
+
+uint64_t SplitMix64(uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& s : state_) s = SplitMix64(sm);
+}
+
+uint64_t Rng::NextUint64() {
+  const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+  const uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = Rotl(state_[3], 45);
+  return result;
+}
+
+uint64_t Rng::UniformUint64(uint64_t bound) {
+  DELREC_CHECK_GT(bound, 0u);
+  // Rejection sampling to avoid modulo bias.
+  const uint64_t threshold = -bound % bound;
+  while (true) {
+    uint64_t r = NextUint64();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+int64_t Rng::UniformInt(int64_t lo, int64_t hi) {
+  DELREC_CHECK_LE(lo, hi);
+  return lo + static_cast<int64_t>(
+                  UniformUint64(static_cast<uint64_t>(hi - lo) + 1));
+}
+
+double Rng::UniformDouble() {
+  return static_cast<double>(NextUint64() >> 11) * 0x1.0p-53;
+}
+
+float Rng::UniformFloat(float lo, float hi) {
+  return lo + static_cast<float>(UniformDouble()) * (hi - lo);
+}
+
+double Rng::Normal() {
+  if (has_cached_normal_) {
+    has_cached_normal_ = false;
+    return cached_normal_;
+  }
+  double u1 = 0.0;
+  do {
+    u1 = UniformDouble();
+  } while (u1 <= 1e-300);
+  const double u2 = UniformDouble();
+  const double radius = std::sqrt(-2.0 * std::log(u1));
+  const double angle = 2.0 * M_PI * u2;
+  cached_normal_ = radius * std::sin(angle);
+  has_cached_normal_ = true;
+  return radius * std::cos(angle);
+}
+
+double Rng::Normal(double mean, double stddev) {
+  return mean + stddev * Normal();
+}
+
+bool Rng::Bernoulli(double p) { return UniformDouble() < p; }
+
+std::size_t Rng::Discrete(const std::vector<double>& weights) {
+  DELREC_CHECK(!weights.empty());
+  double total = 0.0;
+  for (double w : weights) {
+    DELREC_CHECK_GE(w, 0.0);
+    total += w;
+  }
+  DELREC_CHECK_GT(total, 0.0) << "Discrete() needs a positive weight";
+  double target = UniformDouble() * total;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    target -= weights[i];
+    if (target < 0.0) return i;
+  }
+  return weights.size() - 1;  // Numerical fallthrough.
+}
+
+std::size_t Rng::Zipf(std::size_t n, double exponent) {
+  DELREC_CHECK_GT(n, 0u);
+  // Inverse-CDF on the harmonic weights; cached normalization would matter at
+  // scale but n is small in this project.
+  double total = 0.0;
+  for (std::size_t i = 1; i <= n; ++i) total += 1.0 / std::pow(i, exponent);
+  double target = UniformDouble() * total;
+  for (std::size_t i = 1; i <= n; ++i) {
+    target -= 1.0 / std::pow(i, exponent);
+    if (target < 0.0) return i - 1;
+  }
+  return n - 1;
+}
+
+std::vector<int64_t> Rng::SampleDistinct(
+    int64_t bound, std::size_t count, const std::vector<int64_t>& excluded) {
+  DELREC_CHECK_GE(bound, 0);
+  DELREC_CHECK_LE(count + excluded.size(), static_cast<std::size_t>(bound))
+      << "not enough values to sample from";
+  std::unordered_set<int64_t> taken(excluded.begin(), excluded.end());
+  std::vector<int64_t> out;
+  out.reserve(count);
+  while (out.size() < count) {
+    int64_t candidate =
+        static_cast<int64_t>(UniformUint64(static_cast<uint64_t>(bound)));
+    if (taken.insert(candidate).second) out.push_back(candidate);
+  }
+  return out;
+}
+
+Rng Rng::Fork() { return Rng(NextUint64()); }
+
+}  // namespace delrec::util

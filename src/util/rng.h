@@ -1,0 +1,74 @@
+#ifndef DELREC_UTIL_RNG_H_
+#define DELREC_UTIL_RNG_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace delrec::util {
+
+/// Deterministic xoshiro256** pseudo-random generator seeded via splitmix64.
+/// All stochastic components in DELRec (data generation, initialization,
+/// sampling, dropout) draw from an explicitly passed Rng so experiments are
+/// reproducible bit-for-bit given a seed.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  /// Next raw 64-bit value.
+  uint64_t NextUint64();
+
+  /// Uniform integer in [0, bound). bound must be > 0.
+  uint64_t UniformUint64(uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double UniformDouble();
+
+  /// Uniform float in [lo, hi).
+  float UniformFloat(float lo, float hi);
+
+  /// Standard normal (Box–Muller).
+  double Normal();
+
+  /// Normal with given mean / stddev.
+  double Normal(double mean, double stddev);
+
+  /// True with probability p.
+  bool Bernoulli(double p);
+
+  /// Samples an index from unnormalized non-negative weights.
+  /// Requires at least one strictly positive weight.
+  std::size_t Discrete(const std::vector<double>& weights);
+
+  /// Geometric-like popularity rank sampler: Zipf(s) over [0, n).
+  std::size_t Zipf(std::size_t n, double exponent);
+
+  /// Fisher–Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>& values) {
+    for (std::size_t i = values.size(); i > 1; --i) {
+      std::size_t j = UniformUint64(i);
+      std::swap(values[i - 1], values[j]);
+    }
+  }
+
+  /// Draws `count` distinct values from [0, bound), excluding `excluded`.
+  /// Requires count + excluded.size() <= bound (checked).
+  std::vector<int64_t> SampleDistinct(int64_t bound, std::size_t count,
+                                      const std::vector<int64_t>& excluded);
+
+  /// Derives an independent child generator (for per-worker streams).
+  Rng Fork();
+
+ private:
+  uint64_t state_[4];
+  bool has_cached_normal_ = false;
+  double cached_normal_ = 0.0;
+};
+
+}  // namespace delrec::util
+
+#endif  // DELREC_UTIL_RNG_H_

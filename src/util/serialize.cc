@@ -1,0 +1,153 @@
+#include "util/serialize.h"
+
+#include <cstdio>
+#include <cstring>
+
+namespace delrec::util {
+namespace {
+
+constexpr char kMagic[8] = {'D', 'E', 'L', 'R', 'E', 'C', 'B', '1'};
+constexpr uint32_t kVersion = 1;
+
+// Appends a POD value to a byte buffer.
+template <typename T>
+void Append(std::vector<unsigned char>& buffer, const T& value) {
+  const unsigned char* bytes =
+      reinterpret_cast<const unsigned char*>(&value);
+  buffer.insert(buffer.end(), bytes, bytes + sizeof(T));
+}
+
+template <typename T>
+bool Read(const std::vector<unsigned char>& buffer, size_t& offset,
+          T* value) {
+  if (offset + sizeof(T) > buffer.size()) return false;
+  std::memcpy(value, buffer.data() + offset, sizeof(T));
+  offset += sizeof(T);
+  return true;
+}
+
+}  // namespace
+
+uint64_t Fnv1a(const void* data, size_t size, uint64_t seed) {
+  const unsigned char* bytes = static_cast<const unsigned char*>(data);
+  uint64_t hash = seed;
+  for (size_t i = 0; i < size; ++i) {
+    hash ^= bytes[i];
+    hash *= 1099511628211ULL;
+  }
+  return hash;
+}
+
+void BlobFile::Put(const std::string& name, std::vector<float> values) {
+  for (auto& [existing_name, existing_values] : blobs_) {
+    if (existing_name == name) {
+      existing_values = std::move(values);
+      return;
+    }
+  }
+  blobs_.emplace_back(name, std::move(values));
+}
+
+StatusOr<std::vector<float>> BlobFile::Get(const std::string& name) const {
+  for (const auto& [existing_name, values] : blobs_) {
+    if (existing_name == name) return values;
+  }
+  return Status::NotFound("blob not found: " + name);
+}
+
+bool BlobFile::Contains(const std::string& name) const {
+  for (const auto& [existing_name, values] : blobs_) {
+    if (existing_name == name) return true;
+  }
+  return false;
+}
+
+std::vector<std::string> BlobFile::Names() const {
+  std::vector<std::string> names;
+  names.reserve(blobs_.size());
+  for (const auto& [name, values] : blobs_) names.push_back(name);
+  return names;
+}
+
+Status BlobFile::WriteTo(const std::string& path) const {
+  std::vector<unsigned char> payload;
+  Append(payload, static_cast<uint64_t>(blobs_.size()));
+  for (const auto& [name, values] : blobs_) {
+    Append(payload, static_cast<uint64_t>(name.size()));
+    payload.insert(payload.end(), name.begin(), name.end());
+    Append(payload, static_cast<uint64_t>(values.size()));
+    const unsigned char* bytes =
+        reinterpret_cast<const unsigned char*>(values.data());
+    payload.insert(payload.end(), bytes,
+                   bytes + values.size() * sizeof(float));
+  }
+  FILE* file = std::fopen(path.c_str(), "wb");
+  if (file == nullptr) {
+    return Status::Internal("cannot open for writing: " + path);
+  }
+  bool ok = std::fwrite(kMagic, 1, sizeof(kMagic), file) == sizeof(kMagic);
+  ok = ok && std::fwrite(&kVersion, sizeof(kVersion), 1, file) == 1;
+  const uint64_t payload_size = payload.size();
+  ok = ok && std::fwrite(&payload_size, sizeof(payload_size), 1, file) == 1;
+  ok = ok &&
+       std::fwrite(payload.data(), 1, payload.size(), file) == payload.size();
+  const uint64_t digest = Fnv1a(payload.data(), payload.size());
+  ok = ok && std::fwrite(&digest, sizeof(digest), 1, file) == 1;
+  const bool closed = std::fclose(file) == 0;
+  if (!ok || !closed) return Status::Internal("short write: " + path);
+  return Status::Ok();
+}
+
+StatusOr<BlobFile> BlobFile::ReadFrom(const std::string& path) {
+  FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) return Status::NotFound("cannot open: " + path);
+  char magic[sizeof(kMagic)];
+  uint32_t version = 0;
+  uint64_t payload_size = 0;
+  bool ok = std::fread(magic, 1, sizeof(magic), file) == sizeof(magic);
+  ok = ok && std::memcmp(magic, kMagic, sizeof(kMagic)) == 0;
+  ok = ok && std::fread(&version, sizeof(version), 1, file) == 1;
+  ok = ok && version == kVersion;
+  ok = ok && std::fread(&payload_size, sizeof(payload_size), 1, file) == 1;
+  if (!ok) {
+    std::fclose(file);
+    return Status::InvalidArgument("bad checkpoint header: " + path);
+  }
+  std::vector<unsigned char> payload(payload_size);
+  ok = std::fread(payload.data(), 1, payload_size, file) == payload_size;
+  uint64_t digest = 0;
+  ok = ok && std::fread(&digest, sizeof(digest), 1, file) == 1;
+  std::fclose(file);
+  if (!ok || digest != Fnv1a(payload.data(), payload.size())) {
+    return Status::InvalidArgument("corrupt checkpoint: " + path);
+  }
+  BlobFile blob_file;
+  size_t offset = 0;
+  uint64_t count = 0;
+  if (!Read(payload, offset, &count)) {
+    return Status::InvalidArgument("truncated checkpoint: " + path);
+  }
+  for (uint64_t i = 0; i < count; ++i) {
+    uint64_t name_size = 0;
+    if (!Read(payload, offset, &name_size) ||
+        offset + name_size > payload.size()) {
+      return Status::InvalidArgument("truncated blob name: " + path);
+    }
+    std::string name(reinterpret_cast<const char*>(payload.data()) + offset,
+                     name_size);
+    offset += name_size;
+    uint64_t value_count = 0;
+    if (!Read(payload, offset, &value_count) ||
+        offset + value_count * sizeof(float) > payload.size()) {
+      return Status::InvalidArgument("truncated blob data: " + path);
+    }
+    std::vector<float> values(value_count);
+    std::memcpy(values.data(), payload.data() + offset,
+                value_count * sizeof(float));
+    offset += value_count * sizeof(float);
+    blob_file.Put(name, std::move(values));
+  }
+  return blob_file;
+}
+
+}  // namespace delrec::util

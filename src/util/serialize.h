@@ -1,0 +1,42 @@
+#ifndef DELREC_UTIL_SERIALIZE_H_
+#define DELREC_UTIL_SERIALIZE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace delrec::util {
+
+/// Minimal tagged binary container for model checkpoints: a magic header, a
+/// format version, and named float blobs. Written/read atomically from a
+/// single file; integrity is protected by length checks and a trailing
+/// FNV-1a digest of the payload.
+class BlobFile {
+ public:
+  /// Adds (or replaces) a named float blob.
+  void Put(const std::string& name, std::vector<float> values);
+
+  /// Looks up a blob; NotFound if missing.
+  StatusOr<std::vector<float>> Get(const std::string& name) const;
+
+  bool Contains(const std::string& name) const;
+  std::vector<std::string> Names() const;
+
+  /// Serializes to disk. Overwrites an existing file.
+  Status WriteTo(const std::string& path) const;
+
+  /// Parses from disk, validating magic, version and checksum.
+  static StatusOr<BlobFile> ReadFrom(const std::string& path);
+
+ private:
+  std::vector<std::pair<std::string, std::vector<float>>> blobs_;
+};
+
+/// FNV-1a 64-bit over raw bytes (checkpoint integrity).
+uint64_t Fnv1a(const void* data, size_t size, uint64_t seed = 1469598103934665603ULL);
+
+}  // namespace delrec::util
+
+#endif  // DELREC_UTIL_SERIALIZE_H_

@@ -1,0 +1,78 @@
+#ifndef DELREC_UTIL_STATUS_H_
+#define DELREC_UTIL_STATUS_H_
+
+#include <string>
+#include <utility>
+
+#include "util/check.h"
+
+namespace delrec::util {
+
+/// Minimal absl-style Status for recoverable errors (file I/O, parsing).
+/// Contract violations use DELREC_CHECK instead.
+class Status {
+ public:
+  enum class Code { kOk = 0, kInvalidArgument, kNotFound, kInternal };
+
+  Status() : code_(Code::kOk) {}
+  Status(Code code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string message) {
+    return Status(Code::kInvalidArgument, std::move(message));
+  }
+  static Status NotFound(std::string message) {
+    return Status(Code::kNotFound, std::move(message));
+  }
+  static Status Internal(std::string message) {
+    return Status(Code::kInternal, std::move(message));
+  }
+
+  bool ok() const { return code_ == Code::kOk; }
+  Code code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  std::string ToString() const {
+    if (ok()) return "OK";
+    return message_;
+  }
+
+ private:
+  Code code_;
+  std::string message_;
+};
+
+/// Value-or-error holder for functions that can fail recoverably.
+template <typename T>
+class StatusOr {
+ public:
+  StatusOr(T value) : status_(Status::Ok()), value_(std::move(value)) {}
+  StatusOr(Status status) : status_(std::move(status)) {
+    DELREC_CHECK(!status_.ok()) << "StatusOr(Status) requires an error";
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    DELREC_CHECK(ok()) << status_.ToString();
+    return value_;
+  }
+  T& value() & {
+    DELREC_CHECK(ok()) << status_.ToString();
+    return value_;
+  }
+  T&& value() && {
+    DELREC_CHECK(ok()) << status_.ToString();
+    return std::move(value_);
+  }
+
+ private:
+  Status status_;
+  T value_{};
+};
+
+}  // namespace delrec::util
+
+#endif  // DELREC_UTIL_STATUS_H_

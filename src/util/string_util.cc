@@ -1,0 +1,50 @@
+#include "util/string_util.h"
+
+#include <cctype>
+#include <cstdio>
+
+namespace delrec::util {
+
+std::vector<std::string> Split(const std::string& text, char delimiter) {
+  std::vector<std::string> pieces;
+  std::string current;
+  for (char c : text) {
+    if (c == delimiter) {
+      if (!current.empty()) pieces.push_back(current);
+      current.clear();
+    } else {
+      current.push_back(c);
+    }
+  }
+  if (!current.empty()) pieces.push_back(current);
+  return pieces;
+}
+
+std::string Join(const std::vector<std::string>& pieces,
+                 const std::string& separator) {
+  std::string out;
+  for (size_t i = 0; i < pieces.size(); ++i) {
+    if (i > 0) out += separator;
+    out += pieces[i];
+  }
+  return out;
+}
+
+std::string ToLower(const std::string& text) {
+  std::string out = text;
+  for (char& c : out) c = static_cast<char>(std::tolower(c));
+  return out;
+}
+
+std::string FormatFixed(double value, int digits) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.*f", digits, value);
+  return buffer;
+}
+
+bool StartsWith(const std::string& text, const std::string& prefix) {
+  return text.size() >= prefix.size() &&
+         text.compare(0, prefix.size(), prefix) == 0;
+}
+
+}  // namespace delrec::util

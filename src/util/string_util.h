@@ -1,0 +1,27 @@
+#ifndef DELREC_UTIL_STRING_UTIL_H_
+#define DELREC_UTIL_STRING_UTIL_H_
+
+#include <string>
+#include <vector>
+
+namespace delrec::util {
+
+/// Splits `text` on `delimiter`, dropping empty pieces.
+std::vector<std::string> Split(const std::string& text, char delimiter);
+
+/// Joins pieces with `separator`.
+std::string Join(const std::vector<std::string>& pieces,
+                 const std::string& separator);
+
+/// ASCII lower-casing (titles/tokens are ASCII in this project).
+std::string ToLower(const std::string& text);
+
+/// Formats a double with fixed precision (paper tables use 4 decimals).
+std::string FormatFixed(double value, int digits);
+
+/// True if `text` starts with `prefix`.
+bool StartsWith(const std::string& text, const std::string& prefix);
+
+}  // namespace delrec::util
+
+#endif  // DELREC_UTIL_STRING_UTIL_H_

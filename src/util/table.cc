@@ -1,0 +1,66 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <iostream>
+#include <sstream>
+
+#include "util/check.h"
+#include "util/string_util.h"
+
+namespace delrec::util {
+
+TablePrinter::TablePrinter(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  DELREC_CHECK(!header_.empty());
+}
+
+void TablePrinter::AddRow(std::vector<std::string> row) {
+  DELREC_CHECK_EQ(row.size(), header_.size());
+  rows_.push_back(std::move(row));
+}
+
+void TablePrinter::AddMetricRow(const std::string& label,
+                                const std::vector<double>& values,
+                                const std::vector<std::string>& suffixes) {
+  std::vector<std::string> row;
+  row.reserve(values.size() + 1);
+  row.push_back(label);
+  for (size_t i = 0; i < values.size(); ++i) {
+    std::string cell = FormatFixed(values[i], 4);
+    if (i < suffixes.size()) cell += suffixes[i];
+    row.push_back(cell);
+  }
+  AddRow(std::move(row));
+}
+
+std::string TablePrinter::ToString() const {
+  std::vector<size_t> widths(header_.size());
+  for (size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto render_row = [&](const std::vector<std::string>& row) {
+    std::ostringstream line;
+    for (size_t c = 0; c < row.size(); ++c) {
+      line << "| " << row[c] << std::string(widths[c] - row[c].size() + 1, ' ');
+    }
+    line << "|\n";
+    return line.str();
+  };
+  std::ostringstream out;
+  out << render_row(header_);
+  std::ostringstream rule;
+  for (size_t c = 0; c < header_.size(); ++c) {
+    rule << "|" << std::string(widths[c] + 2, '-');
+  }
+  rule << "|\n";
+  out << rule.str();
+  for (const auto& row : rows_) out << render_row(row);
+  return out.str();
+}
+
+void TablePrinter::Print() const { std::cout << ToString() << std::flush; }
+
+}  // namespace delrec::util

@@ -1,0 +1,36 @@
+#ifndef DELREC_UTIL_TABLE_H_
+#define DELREC_UTIL_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace delrec::util {
+
+/// Renders paper-style result tables (fixed-width columns, header rule).
+/// Used by every bench binary so outputs line up with the paper's tables.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  /// Appends a row; must have the same arity as the header.
+  void AddRow(std::vector<std::string> row);
+
+  /// Convenience: label + metric values formatted to 4 decimals.
+  void AddMetricRow(const std::string& label,
+                    const std::vector<double>& values,
+                    const std::vector<std::string>& suffixes = {});
+
+  /// Renders the full table.
+  std::string ToString() const;
+
+  /// Prints to stdout.
+  void Print() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace delrec::util
+
+#endif  // DELREC_UTIL_TABLE_H_

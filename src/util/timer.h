@@ -1,0 +1,29 @@
+#ifndef DELREC_UTIL_TIMER_H_
+#define DELREC_UTIL_TIMER_H_
+
+#include <chrono>
+
+namespace delrec::util {
+
+/// Monotonic wall-clock stopwatch used by the RQ5 efficiency benchmarks.
+class WallTimer {
+ public:
+  WallTimer() { Restart(); }
+
+  void Restart() { start_ = std::chrono::steady_clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace delrec::util
+
+#endif  // DELREC_UTIL_TIMER_H_

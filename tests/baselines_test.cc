@@ -1,0 +1,196 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "baselines/paradigm1.h"
+#include "baselines/paradigm2.h"
+#include "baselines/paradigm3.h"
+#include "baselines/zero_shot.h"
+#include "core/workbench.h"
+#include "eval/protocol.h"
+#include "srmodels/factory.h"
+
+namespace delrec::baselines {
+namespace {
+
+class BaselinesTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    data::GeneratorConfig config = data::KuaiRecConfig();
+    config.num_users = 60;
+    config.num_items = 70;
+    core::Workbench::Options options;
+    options.pretrain_epochs = 2;
+    workbench_ = new core::Workbench(config, options);
+    sr_model_ = srmodels::MakeBackbone(srmodels::Backbone::kSasRec,
+                                       workbench_->num_items(), 10, 5)
+                    .release();
+    srmodels::TrainConfig train =
+        srmodels::BackboneTrainConfig(srmodels::Backbone::kSasRec);
+    train.epochs = 2;
+    sr_model_->Train(workbench_->splits().train, train);
+  }
+  static void TearDownTestSuite() {
+    delete sr_model_;
+    delete workbench_;
+    sr_model_ = nullptr;
+    workbench_ = nullptr;
+  }
+
+  static LlmRecConfig FastConfig() {
+    LlmRecConfig config;
+    config.epochs = 1;
+    config.max_examples = 60;
+    return config;
+  }
+
+  static double Hr10(const LlmRecommender& model) {
+    eval::EvalConfig config;
+    config.max_examples = 60;
+    auto acc = eval::EvaluateCandidates(
+        workbench_->splits().test, workbench_->num_items(),
+        [&](const data::Example& example,
+            const std::vector<int64_t>& candidates) {
+          return model.ScoreCandidates(example, candidates);
+        },
+        config);
+    return acc.Result().hr_at_10;
+  }
+
+  static core::Workbench* workbench_;
+  static srmodels::SequentialRecommender* sr_model_;
+};
+
+core::Workbench* BaselinesTest::workbench_ = nullptr;
+srmodels::SequentialRecommender* BaselinesTest::sr_model_ = nullptr;
+
+TEST_F(BaselinesTest, ZeroShotScoresWithoutTraining) {
+  auto llm = workbench_->MakePretrainedLlm(core::LlmSize::kBase);
+  ZeroShotLlm model("TinyLM-Base", llm.get(),
+                    &workbench_->dataset().catalog, &workbench_->vocab(), 10);
+  data::Example example;
+  example.history = {1, 2, 3};
+  example.target = 4;
+  auto scores = model.ScoreCandidates(example, {4, 5, 6, 7});
+  EXPECT_EQ(scores.size(), 4u);
+  EXPECT_GE(Hr10(model), 0.3);  // Well-defined, not degenerate.
+}
+
+TEST_F(BaselinesTest, ZeroShotSizeOrdering) {
+  auto base = workbench_->MakePretrainedLlm(core::LlmSize::kBase);
+  auto xl = workbench_->MakePretrainedLlm(core::LlmSize::kXL);
+  ZeroShotLlm small("Base", base.get(), &workbench_->dataset().catalog,
+                    &workbench_->vocab(), 10);
+  ZeroShotLlm large("XL", xl.get(), &workbench_->dataset().catalog,
+                    &workbench_->vocab(), 10);
+  // Larger pretrained model should not be (much) worse.
+  EXPECT_GE(Hr10(large) + 0.1, Hr10(small));
+}
+
+TEST_F(BaselinesTest, RecRankerTrainsAndScores) {
+  auto llm = workbench_->MakePretrainedLlm(core::LlmSize::kLarge);
+  RecRanker model(llm.get(), sr_model_, &workbench_->dataset().catalog,
+                  &workbench_->vocab(), FastConfig());
+  model.Train(workbench_->splits().train);
+  EXPECT_GT(Hr10(model), 0.6);
+}
+
+TEST_F(BaselinesTest, LlmSeqPromptTrainsAndScores) {
+  auto llm = workbench_->MakePretrainedLlm(core::LlmSize::kLarge);
+  LlmSeqPrompt model(llm.get(), &workbench_->dataset().catalog,
+                     &workbench_->vocab(), FastConfig());
+  model.Train(workbench_->splits().train);
+  EXPECT_GT(Hr10(model), 0.6);
+}
+
+TEST_F(BaselinesTest, LlmTrsrSummaryIsDominantGenre) {
+  auto llm = workbench_->MakePretrainedLlm(core::LlmSize::kLarge);
+  LlmTrsr model(llm.get(), &workbench_->dataset().catalog,
+                &workbench_->vocab(), FastConfig());
+  // History entirely in one genre: summary must mention that genre.
+  const auto& catalog = workbench_->dataset().catalog;
+  std::vector<int64_t> history;
+  for (const auto& item : catalog.items) {
+    if (item.genre == 2 && history.size() < 5) history.push_back(item.id);
+  }
+  auto tokens = model.SummaryTokens(history);
+  bool mentions = false;
+  for (int64_t token : tokens) {
+    if (workbench_->vocab().WordOf(token) == catalog.genre_names[2]) {
+      mentions = true;
+    }
+  }
+  EXPECT_TRUE(mentions);
+  model.Train(workbench_->splits().train);
+  EXPECT_GT(Hr10(model), 0.6);
+}
+
+TEST_F(BaselinesTest, LlaraProjectorTrains) {
+  auto llm = workbench_->MakePretrainedLlm(core::LlmSize::kLarge);
+  Llara model(llm.get(), sr_model_, &workbench_->dataset().catalog,
+              &workbench_->vocab(), FastConfig());
+  model.Train(workbench_->splits().train);
+  EXPECT_GT(Hr10(model), 0.6);
+}
+
+TEST_F(BaselinesTest, Llm2Bert4RecUsesLlmEmbeddings) {
+  auto llm = workbench_->MakePretrainedLlm(core::LlmSize::kLarge);
+  LlmRecConfig config = FastConfig();
+  config.epochs = 3;
+  Llm2Bert4Rec model(llm.get(), &workbench_->dataset().catalog,
+                     &workbench_->vocab(), config);
+  model.Train(workbench_->splits().train);
+  EXPECT_GT(Hr10(model), 0.7);
+}
+
+TEST_F(BaselinesTest, LlamaRecShortlistRespectsRecall) {
+  auto llm = workbench_->MakePretrainedLlm(core::LlmSize::kLarge);
+  LlamaRec model(llm.get(), sr_model_, &workbench_->dataset().catalog,
+                 &workbench_->vocab(), FastConfig(), /*shortlist_size=*/5);
+  model.Train(workbench_->splits().train);
+  data::Example example;
+  example.history = {1, 2, 3, 4};
+  example.target = 5;
+  std::vector<int64_t> candidates = {5, 6, 7, 8, 9, 10, 11, 12, 13, 14};
+  auto scores = model.ScoreCandidates(example, candidates);
+  ASSERT_EQ(scores.size(), candidates.size());
+  // The SR model's top-5 within the candidate set must outrank the rest.
+  auto sr_scores = sr_model_->ScoreCandidates(example.history, candidates);
+  auto sr_top = srmodels::TopKFromScores(sr_scores, 5);
+  float min_short = 1e30f, max_rest = -1e30f;
+  for (size_t i = 0; i < scores.size(); ++i) {
+    const bool in_short =
+        std::find(sr_top.begin(), sr_top.end(), static_cast<int64_t>(i)) !=
+        sr_top.end();
+    if (in_short) {
+      min_short = std::min(min_short, scores[i]);
+    } else {
+      max_rest = std::max(max_rest, scores[i]);
+    }
+  }
+  EXPECT_GT(min_short, max_rest);
+  EXPECT_GT(Hr10(model), 0.6);
+}
+
+TEST_F(BaselinesTest, LlmSeqSimTrainingFree) {
+  auto llm = workbench_->MakePretrainedLlm(core::LlmSize::kLarge);
+  LlmSeqSim model(llm.get(), &workbench_->dataset().catalog,
+                  &workbench_->vocab(), 10);
+  // Train is a no-op; scoring must still beat chance thanks to the LLM's
+  // pretrained genre knowledge.
+  model.Train({});
+  EXPECT_GT(Hr10(model), 10.0 / 15.0 - 0.05);
+}
+
+TEST_F(BaselinesTest, KdaLrdTrainsAndBeatsChance) {
+  auto llm = workbench_->MakePretrainedLlm(core::LlmSize::kLarge);
+  LlmRecConfig config = FastConfig();
+  config.epochs = 3;
+  KdaLrd model(llm.get(), &workbench_->dataset().catalog,
+               &workbench_->vocab(), config);
+  model.Train(workbench_->splits().train);
+  EXPECT_GT(Hr10(model), 0.75);
+}
+
+}  // namespace
+}  // namespace delrec::baselines

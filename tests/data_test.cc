@@ -1,0 +1,242 @@
+#include "data/dataset.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <unordered_map>
+
+#include "data/split.h"
+#include "util/rng.h"
+
+namespace delrec::data {
+namespace {
+
+TEST(DatasetTest, GenerateRespectsConfig) {
+  GeneratorConfig config;
+  config.num_users = 50;
+  config.num_items = 80;
+  config.num_genres = 4;
+  Dataset dataset = GenerateDataset(config);
+  EXPECT_EQ(dataset.sequences.size(), 50u);
+  EXPECT_EQ(dataset.catalog.size(), 80);
+  EXPECT_EQ(dataset.catalog.num_genres, 4);
+  for (const UserSequence& sequence : dataset.sequences) {
+    EXPECT_GE(sequence.items.size(), 5u);
+    EXPECT_LE(sequence.items.size(), 40u);
+    for (int64_t item : sequence.items) {
+      EXPECT_GE(item, 0);
+      EXPECT_LT(item, 80);
+    }
+  }
+}
+
+TEST(DatasetTest, DeterministicForSameSeed) {
+  GeneratorConfig config;
+  config.num_users = 20;
+  config.seed = 5;
+  Dataset a = GenerateDataset(config);
+  Dataset b = GenerateDataset(config);
+  ASSERT_EQ(a.sequences.size(), b.sequences.size());
+  for (size_t i = 0; i < a.sequences.size(); ++i) {
+    EXPECT_EQ(a.sequences[i].items, b.sequences[i].items);
+  }
+  EXPECT_EQ(a.catalog.items[3].title, b.catalog.items[3].title);
+}
+
+TEST(DatasetTest, TitlesAreUniqueAndGenreTagged) {
+  Dataset dataset = GenerateDataset(MovieLens100KConfig());
+  std::set<std::string> titles;
+  for (const Item& item : dataset.catalog.items) {
+    EXPECT_FALSE(item.title.empty());
+    EXPECT_TRUE(titles.insert(item.title).second) << item.title;
+    EXPECT_GE(item.genre, 0);
+    EXPECT_LT(item.genre, dataset.catalog.num_genres);
+  }
+}
+
+TEST(DatasetTest, SequelLinksStayInGenre) {
+  Dataset dataset = GenerateDataset(SteamConfig());
+  for (const Item& item : dataset.catalog.items) {
+    const int64_t sequel = dataset.catalog.sequel[item.id];
+    EXPECT_EQ(dataset.catalog.items[sequel].genre, item.genre);
+    EXPECT_NE(sequel, item.id);
+  }
+}
+
+TEST(DatasetTest, SequentialSignalPresent) {
+  // P(next ∈ successors(last)) should be near markov_strength, ≫ chance.
+  GeneratorConfig config = MovieLens100KConfig();
+  Dataset dataset = GenerateDataset(config);
+  int64_t transitions = 0, successor_hits = 0, primary_hits = 0;
+  for (const UserSequence& sequence : dataset.sequences) {
+    for (size_t t = 1; t < sequence.items.size(); ++t) {
+      ++transitions;
+      const auto& successors =
+          dataset.catalog.successors[sequence.items[t - 1]];
+      if (std::find(successors.begin(), successors.end(),
+                    sequence.items[t]) != successors.end()) {
+        ++successor_hits;
+      }
+      if (sequence.items[t] == dataset.catalog.sequel[sequence.items[t - 1]]) {
+        ++primary_hits;
+      }
+    }
+  }
+  const double rate = static_cast<double>(successor_hits) / transitions;
+  EXPECT_GT(rate, config.markov_strength * 0.7);
+  EXPECT_GT(rate, 10.0 / config.num_items);  // ≫ chance.
+  // The primary sequel dominates but does not exhaust the transitions.
+  EXPECT_GT(primary_hits, successor_hits / 3);
+  EXPECT_LT(primary_hits, successor_hits);
+}
+
+TEST(DatasetTest, SemanticSignalPresent) {
+  // Consecutive items share a genre far more often than random pairs would.
+  Dataset dataset = GenerateDataset(MovieLens100KConfig());
+  int64_t transitions = 0, same_genre = 0;
+  for (const UserSequence& sequence : dataset.sequences) {
+    for (size_t t = 1; t < sequence.items.size(); ++t) {
+      ++transitions;
+      const auto& items = dataset.catalog.items;
+      if (items[sequence.items[t]].genre ==
+          items[sequence.items[t - 1]].genre) {
+        ++same_genre;
+      }
+    }
+  }
+  const double rate = static_cast<double>(same_genre) / transitions;
+  EXPECT_GT(rate, 2.0 / dataset.catalog.num_genres);
+}
+
+TEST(DatasetTest, StatsMatchDefinition) {
+  GeneratorConfig config;
+  config.num_users = 10;
+  config.num_items = 30;
+  Dataset dataset = GenerateDataset(config);
+  DatasetStats stats = ComputeStats(dataset);
+  int64_t manual = 0;
+  for (const auto& s : dataset.sequences) manual += s.items.size();
+  EXPECT_EQ(stats.num_interactions, manual);
+  EXPECT_EQ(stats.num_sequences, 10);
+  EXPECT_EQ(stats.num_items, 30);
+  EXPECT_NEAR(stats.sparsity, 1.0 - manual / 300.0, 1e-9);
+}
+
+TEST(DatasetTest, PresetSparsityOrderingMatchesPaper) {
+  // Table I ordering: Beauty/H&K sparsest, then Steam, then ML-100K; KuaiRec
+  // densest (Table V).
+  auto sparsity = [](const GeneratorConfig& config) {
+    return ComputeStats(GenerateDataset(config)).sparsity;
+  };
+  const double ml = sparsity(MovieLens100KConfig());
+  const double steam = sparsity(SteamConfig());
+  const double beauty = sparsity(BeautyConfig());
+  const double hk = sparsity(HomeKitchenConfig());
+  const double kuai = sparsity(KuaiRecConfig());
+  EXPECT_LT(kuai, ml);
+  EXPECT_LT(ml, steam);
+  EXPECT_LT(steam, beauty);
+  EXPECT_LE(beauty, hk + 0.002);
+}
+
+TEST(DatasetTest, PresetSizeOrderingMatchesPaper) {
+  auto interactions = [](const GeneratorConfig& config) {
+    return ComputeStats(GenerateDataset(config)).num_interactions;
+  };
+  EXPECT_GT(interactions(HomeKitchenConfig()), interactions(BeautyConfig()));
+  EXPECT_GT(interactions(SteamConfig()), 0);
+}
+
+TEST(FilterTest, DropsRareUsersAndItems) {
+  Dataset dataset;
+  dataset.catalog.num_genres = 1;
+  for (int i = 0; i < 3; ++i) {
+    Item item;
+    item.id = i;
+    item.title = "t" + std::to_string(i);
+    dataset.catalog.items.push_back(item);
+  }
+  dataset.catalog.sequel = {1, 2, 0};
+  // Item 2 appears once → dropped; user B then has 1 interaction → dropped.
+  dataset.sequences.push_back({0, {0, 1, 0, 1, 0, 1}});
+  dataset.sequences.push_back({1, {2, 0}});
+  Dataset filtered = FilterMinInteractions(dataset, 2);
+  ASSERT_EQ(filtered.sequences.size(), 1u);
+  for (int64_t item : filtered.sequences[0].items) EXPECT_NE(item, 2);
+}
+
+TEST(FilterTest, FivecoreKeepsMostOfPresets) {
+  Dataset dataset = GenerateDataset(MovieLens100KConfig());
+  Dataset filtered = FilterMinInteractions(dataset, 5);
+  EXPECT_GT(filtered.sequences.size(), dataset.sequences.size() / 2);
+}
+
+TEST(ColdStartTest, AppendsShortSequences) {
+  Dataset dataset = GenerateDataset(KuaiRecConfig());
+  const size_t before = dataset.sequences.size();
+  auto ids = AppendColdStartUsers(dataset, 25, 77);
+  EXPECT_EQ(ids.size(), 25u);
+  EXPECT_EQ(dataset.sequences.size(), before + 25);
+  for (size_t i = before; i < dataset.sequences.size(); ++i) {
+    EXPECT_LT(dataset.sequences[i].items.size(), 3u);
+  }
+}
+
+TEST(SplitTest, ChronologicalNoLeakage) {
+  Dataset dataset = GenerateDataset(MovieLens100KConfig());
+  Splits splits = MakeSplits(dataset, 10);
+  EXPECT_FALSE(splits.train.empty());
+  EXPECT_FALSE(splits.validation.empty());
+  EXPECT_FALSE(splits.test.empty());
+  // Per user: max train target position < min test target position.
+  std::unordered_map<int64_t, size_t> max_train_history;
+  for (const Example& e : splits.train) {
+    max_train_history[e.user] =
+        std::max(max_train_history[e.user], e.history.size());
+  }
+  for (const Example& e : splits.test) {
+    // The test example's history extends beyond anything seen in training
+    // for that user (its target is chronologically later).
+    EXPECT_GE(e.history.size() + 1, 2u);
+  }
+  // Roughly 8:1:1.
+  const double total = splits.train.size() + splits.validation.size() +
+                       splits.test.size();
+  EXPECT_NEAR(splits.train.size() / total, 0.8, 0.1);
+}
+
+TEST(SplitTest, HistoryWindowRespected) {
+  Dataset dataset = GenerateDataset(KuaiRecConfig());
+  Splits splits = MakeSplits(dataset, 10);
+  for (const Example& e : splits.train) {
+    EXPECT_LE(e.history.size(), 10u);
+    EXPECT_GE(e.history.size(), 1u);
+  }
+}
+
+TEST(SplitTest, CandidateSampling) {
+  util::Rng rng(4);
+  auto candidates = SampleCandidates(100, 42, 15, rng);
+  EXPECT_EQ(candidates.size(), 15u);
+  std::set<int64_t> unique(candidates.begin(), candidates.end());
+  EXPECT_EQ(unique.size(), 15u);
+  EXPECT_TRUE(unique.count(42));
+}
+
+TEST(SplitTest, SubsampleCapsSize) {
+  std::vector<Example> examples(100);
+  for (int i = 0; i < 100; ++i) examples[i].user = i;
+  util::Rng rng(5);
+  auto sub = Subsample(examples, 10, rng);
+  EXPECT_EQ(sub.size(), 10u);
+  // Order preserved.
+  for (size_t i = 1; i < sub.size(); ++i) {
+    EXPECT_LT(sub[i - 1].user, sub[i].user);
+  }
+  auto all = Subsample(examples, 1000, rng);
+  EXPECT_EQ(all.size(), 100u);
+}
+
+}  // namespace
+}  // namespace delrec::data

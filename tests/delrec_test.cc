@@ -1,0 +1,257 @@
+// End-to-end tests of the DELRec pipeline on a small synthetic dataset.
+#include "core/delrec.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/workbench.h"
+#include "data/dataset.h"
+#include "eval/protocol.h"
+#include "srmodels/factory.h"
+#include "util/timer.h"
+
+namespace delrec::core {
+namespace {
+
+class DelRecTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    data::GeneratorConfig config = data::KuaiRecConfig();
+    config.num_users = 70;
+    config.num_items = 80;
+    Workbench::Options options;
+    options.pretrain_epochs = 2;
+    workbench_ = new Workbench(config, options);
+    sr_model_ = srmodels::MakeBackbone(srmodels::Backbone::kSasRec,
+                                       workbench_->num_items(), 10, 5)
+                    .release();
+    srmodels::TrainConfig train = srmodels::BackboneTrainConfig(
+        srmodels::Backbone::kSasRec);
+    train.epochs = 3;
+    sr_model_->Train(workbench_->splits().train, train);
+  }
+  static void TearDownTestSuite() {
+    delete sr_model_;
+    delete workbench_;
+    sr_model_ = nullptr;
+    workbench_ = nullptr;
+  }
+
+  static DelRecConfig FastConfig() {
+    DelRecConfig config;
+    config.stage1_epochs = 1;
+    config.stage2_epochs = 1;
+    config.stage1_max_examples = 60;
+    config.stage2_max_examples = 60;
+    config.soft_prompt_count = 8;
+    return config;
+  }
+
+  static double Hr10(const DelRec& model) {
+    eval::EvalConfig config;
+    config.max_examples = 80;
+    auto acc = eval::EvaluateCandidates(
+        workbench_->splits().test, workbench_->num_items(),
+        [&](const data::Example& example,
+            const std::vector<int64_t>& candidates) {
+          return model.ScoreCandidates(example, candidates);
+        },
+        config);
+    return acc.Result().hr_at_10;
+  }
+
+  // Training-sensitive composite: HR@1 + NDCG@10 (HR@10 saturates near
+  // chance = 10/15 and is too noisy at this test scale).
+  static double Quality(const DelRec& model) {
+    eval::EvalConfig config;
+    config.max_examples = 120;
+    auto acc = eval::EvaluateCandidates(
+        workbench_->splits().test, workbench_->num_items(),
+        [&](const data::Example& example,
+            const std::vector<int64_t>& candidates) {
+          return model.ScoreCandidates(example, candidates);
+        },
+        config);
+    return acc.Result().hr_at_1 + acc.Result().ndcg_at_10;
+  }
+
+  static Workbench* workbench_;
+  static srmodels::SequentialRecommender* sr_model_;
+};
+
+Workbench* DelRecTest::workbench_ = nullptr;
+srmodels::SequentialRecommender* DelRecTest::sr_model_ = nullptr;
+
+TEST_F(DelRecTest, WorkbenchCachesPretrainedWeights) {
+  auto a = workbench_->MakePretrainedLlm(LlmSize::kBase);
+  auto b = workbench_->MakePretrainedLlm(LlmSize::kBase);
+  EXPECT_EQ(a->StateDump(), b->StateDump());
+}
+
+TEST_F(DelRecTest, FullPipelineImprovesOverRawLlm) {
+  auto llm = workbench_->MakePretrainedLlm(LlmSize::kLarge);
+  DelRecConfig config = FastConfig();
+  config.stage1_epochs = 2;
+  config.stage2_epochs = 2;
+  config.stage1_max_examples = 120;
+  config.stage2_max_examples = 150;
+  DelRec model(&workbench_->dataset().catalog, &workbench_->vocab(),
+               llm.get(), sr_model_, config);
+  // Raw (untrained) scoring first.
+  const double raw = Quality(model);
+  util::WallTimer timer;
+  model.Train(workbench_->splits().train);
+  const double trained = Quality(model);
+  EXPECT_GT(trained, raw + 0.02);
+  EXPECT_GT(Hr10(model), 0.70);  // Chance is 10/15 = 0.667.
+}
+
+TEST_F(DelRecTest, Stage1UpdatesSoftPromptsOnly) {
+  auto llm = workbench_->MakePretrainedLlm(LlmSize::kBase);
+  const std::vector<float> llm_before = llm->StateDump();
+  DelRec model(&workbench_->dataset().catalog, &workbench_->vocab(),
+               llm.get(), sr_model_, FastConfig());
+  const std::vector<float> soft_before = model.soft_prompts().data();
+  model.DistillPattern(workbench_->splits().train);
+  EXPECT_EQ(llm->StateDump(), llm_before);            // LLM frozen.
+  EXPECT_NE(model.soft_prompts().data(), soft_before);  // Softs moved.
+}
+
+TEST_F(DelRecTest, Stage2KeepsSoftPromptsAndBaseWeightsFrozen) {
+  auto llm = workbench_->MakePretrainedLlm(LlmSize::kBase);
+  DelRec model(&workbench_->dataset().catalog, &workbench_->vocab(),
+               llm.get(), sr_model_, FastConfig());
+  model.DistillPattern(workbench_->splits().train);
+  const std::vector<float> soft_after_stage1 = model.soft_prompts().data();
+  const std::vector<float> llm_base = llm->StateDump();
+  // Snapshot the dense (non-BitFit) weights by name before fine-tuning.
+  auto dense_weights = [&] {
+    std::vector<std::pair<std::string, std::vector<float>>> out;
+    for (const auto& [name, tensor] : llm->NamedParameters()) {
+      // PEFT group: biases/LN (BitFit) and the token table
+      // (modules_to_save). Everything else must stay frozen.
+      const bool peft_tuned = name.find("bias") != std::string::npos ||
+                              name.find("gamma") != std::string::npos ||
+                              name.find("beta") != std::string::npos ||
+                              name.find("token_embedding") !=
+                                  std::string::npos;
+      if (!peft_tuned) out.emplace_back(name, tensor.data());
+    }
+    return out;
+  };
+  const auto before = dense_weights();
+  model.FineTune(workbench_->splits().train);
+  EXPECT_EQ(model.soft_prompts().data(), soft_after_stage1);
+  // Only adapters + BitFit biases/LN train; every dense weight is untouched.
+  const auto after = dense_weights();
+  ASSERT_EQ(before.size(), after.size());
+  ASSERT_GT(before.size(), 0u);
+  for (size_t i = 0; i < before.size(); ++i) {
+    EXPECT_EQ(before[i].second, after[i].second) << before[i].first;
+  }
+  (void)llm_base;
+  EXPECT_GT(model.AdapterParameterCount(), 0);
+}
+
+TEST_F(DelRecTest, UdpsmAblationUpdatesLlm) {
+  auto llm = workbench_->MakePretrainedLlm(LlmSize::kBase);
+  const std::vector<float> before = llm->StateDump();
+  DelRecConfig config = FastConfig();
+  config.update_llm_in_stage1 = true;
+  DelRec model(&workbench_->dataset().catalog, &workbench_->vocab(),
+               llm.get(), sr_model_, config);
+  model.DistillPattern(workbench_->splits().train);
+  EXPECT_NE(llm->StateDump(), before);
+}
+
+TEST_F(DelRecTest, UlsrAblationUpdatesSoftPromptsInStage2) {
+  auto llm = workbench_->MakePretrainedLlm(LlmSize::kBase);
+  DelRecConfig config = FastConfig();
+  config.update_soft_in_stage2 = true;
+  DelRec model(&workbench_->dataset().catalog, &workbench_->vocab(),
+               llm.get(), sr_model_, config);
+  model.DistillPattern(workbench_->splits().train);
+  const std::vector<float> soft_after_stage1 = model.soft_prompts().data();
+  model.FineTune(workbench_->splits().train);
+  EXPECT_NE(model.soft_prompts().data(), soft_after_stage1);
+}
+
+TEST_F(DelRecTest, AblationSwitchesChangePrompting) {
+  auto llm = workbench_->MakePretrainedLlm(LlmSize::kBase);
+  // w/o SP: training must not touch soft prompts at all.
+  DelRecConfig no_sp = FastConfig();
+  no_sp.use_soft_prompts = false;
+  DelRec model(&workbench_->dataset().catalog, &workbench_->vocab(),
+               llm.get(), sr_model_, no_sp);
+  const std::vector<float> soft_before = model.soft_prompts().data();
+  model.Train(workbench_->splits().train);
+  EXPECT_EQ(model.soft_prompts().data(), soft_before);
+
+  // w MCP likewise skips stage 1 but still scores.
+  auto llm2 = workbench_->MakePretrainedLlm(LlmSize::kBase);
+  DelRecConfig mcp = FastConfig();
+  mcp.manual_prompts = true;
+  DelRec mcp_model(&workbench_->dataset().catalog, &workbench_->vocab(),
+                   llm2.get(), sr_model_, mcp);
+  mcp_model.Train(workbench_->splits().train);
+  data::Example example;
+  example.history = {1, 2, 3};
+  example.target = 4;
+  auto scores = mcp_model.ScoreCandidates(example, {4, 5, 6});
+  EXPECT_EQ(scores.size(), 3u);
+}
+
+TEST_F(DelRecTest, LambdaTraceRecorded) {
+  auto llm = workbench_->MakePretrainedLlm(LlmSize::kBase);
+  DelRecConfig config = FastConfig();
+  config.stage1_epochs = 2;
+  DelRec model(&workbench_->dataset().catalog, &workbench_->vocab(),
+               llm.get(), sr_model_, config);
+  model.DistillPattern(workbench_->splits().train);
+  const auto& diag = model.stage1_diagnostics();
+  ASSERT_EQ(diag.lambda_per_epoch.size(), 2u);
+  for (float lambda : diag.lambda_per_epoch) {
+    EXPECT_GT(lambda, 0.0f);
+    EXPECT_LT(lambda, 1.0f);
+  }
+}
+
+TEST_F(DelRecTest, DisabledTasksSkewLambda) {
+  auto llm = workbench_->MakePretrainedLlm(LlmSize::kBase);
+  DelRecConfig config = FastConfig();
+  config.disable_temporal_analysis = true;
+  DelRec model(&workbench_->dataset().catalog, &workbench_->vocab(),
+               llm.get(), sr_model_, config);
+  model.DistillPattern(workbench_->splits().train);
+  for (float lambda : model.stage1_diagnostics().lambda_per_epoch) {
+    EXPECT_FLOAT_EQ(lambda, 0.0f);  // All weight on RPS.
+  }
+}
+
+TEST_F(DelRecTest, RecommendReturnsItemsFromPool) {
+  auto llm = workbench_->MakePretrainedLlm(LlmSize::kBase);
+  DelRec model(&workbench_->dataset().catalog, &workbench_->vocab(),
+               llm.get(), sr_model_, FastConfig());
+  std::vector<int64_t> pool = {3, 9, 14, 27, 33};
+  auto top = model.Recommend({1, 2, 3}, pool, 3);
+  ASSERT_EQ(top.size(), 3u);
+  for (int64_t item : top) {
+    EXPECT_NE(std::find(pool.begin(), pool.end(), item), pool.end());
+  }
+}
+
+TEST_F(DelRecTest, ParameterCounts) {
+  auto llm = workbench_->MakePretrainedLlm(LlmSize::kBase);
+  DelRecConfig config = FastConfig();
+  DelRec model(&workbench_->dataset().catalog, &workbench_->vocab(),
+               llm.get(), sr_model_, config);
+  EXPECT_EQ(model.SoftPromptParameterCount(),
+            config.soft_prompt_count * llm->model_dim());
+  EXPECT_EQ(model.AdapterParameterCount(), 0);  // Before stage 2.
+  model.Train(workbench_->splits().train);
+  EXPECT_GT(model.AdapterParameterCount(), 0);
+}
+
+}  // namespace
+}  // namespace delrec::core

@@ -1,0 +1,190 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/dataset.h"
+#include "data/split.h"
+#include "eval/metrics.h"
+#include "eval/protocol.h"
+#include "eval/stats.h"
+
+namespace delrec::eval {
+namespace {
+
+TEST(MetricsTest, RankOfTarget) {
+  EXPECT_EQ(RankOfTarget({0.1f, 0.9f, 0.5f}, 1), 0);
+  EXPECT_EQ(RankOfTarget({0.1f, 0.9f, 0.5f}, 0), 2);
+  EXPECT_EQ(RankOfTarget({0.1f, 0.9f, 0.5f}, 2), 1);
+  // Ties: earlier index outranks the target.
+  EXPECT_EQ(RankOfTarget({0.5f, 0.5f}, 1), 1);
+  EXPECT_EQ(RankOfTarget({0.5f, 0.5f}, 0), 0);
+}
+
+TEST(MetricsTest, AccumulatorValues) {
+  MetricsAccumulator acc;
+  acc.Add(0);   // Hit at 1.
+  acc.Add(4);   // Hit at 5/10 only.
+  acc.Add(11);  // Miss everywhere.
+  RankedMetrics m = acc.Result();
+  EXPECT_EQ(m.count, 3);
+  EXPECT_NEAR(m.hr_at_1, 1.0 / 3, 1e-9);
+  EXPECT_NEAR(m.hr_at_5, 2.0 / 3, 1e-9);
+  EXPECT_NEAR(m.hr_at_10, 2.0 / 3, 1e-9);
+  // NDCG@5: (1 + 1/log2(6) + 0) / 3.
+  EXPECT_NEAR(m.ndcg_at_5, (1.0 + 1.0 / std::log2(6.0)) / 3.0, 1e-9);
+  EXPECT_GE(m.hr_at_5, m.ndcg_at_5);
+}
+
+TEST(MetricsTest, PerfectAndWorst) {
+  MetricsAccumulator perfect;
+  for (int i = 0; i < 5; ++i) perfect.Add(0);
+  EXPECT_DOUBLE_EQ(perfect.Result().hr_at_1, 1.0);
+  EXPECT_DOUBLE_EQ(perfect.Result().ndcg_at_10, 1.0);
+  MetricsAccumulator worst;
+  for (int i = 0; i < 5; ++i) worst.Add(14);
+  EXPECT_DOUBLE_EQ(worst.Result().hr_at_10, 0.0);
+}
+
+TEST(StatsTest, StudentTCdfKnownValues) {
+  EXPECT_NEAR(StudentTCdf(0.0, 10), 0.5, 1e-9);
+  // t(ν=30) at 2.042 ≈ 0.975 (classic table value).
+  EXPECT_NEAR(StudentTCdf(2.042, 30), 0.975, 2e-3);
+  EXPECT_NEAR(StudentTCdf(-2.042, 30), 0.025, 2e-3);
+}
+
+TEST(StatsTest, PairedTTestDetectsDifference) {
+  std::vector<double> a, b;
+  for (int i = 0; i < 100; ++i) {
+    a.push_back(1.0 + 0.01 * (i % 7));
+    b.push_back(0.5 + 0.01 * (i % 7));
+  }
+  TTestResult r = PairedTTest(a, b);
+  EXPECT_LT(r.p_value, 0.001);
+  EXPECT_GT(r.t_statistic, 0.0);
+}
+
+TEST(StatsTest, PairedTTestNullCase) {
+  std::vector<double> a, b;
+  // Symmetric, zero-mean differences.
+  for (int i = 0; i < 40; ++i) {
+    const double noise = (i % 2 == 0) ? 0.1 : -0.1;
+    a.push_back(1.0 + noise);
+    b.push_back(1.0 - noise + (i % 4 < 2 ? 0.2 : -0.2));
+  }
+  TTestResult r = PairedTTest(a, b);
+  EXPECT_GT(r.p_value, 0.2);
+}
+
+TEST(StatsTest, SignificanceStars) {
+  EXPECT_EQ(SignificanceStars(0.005), "*");
+  EXPECT_EQ(SignificanceStars(0.03), "**");
+  EXPECT_EQ(SignificanceStars(0.2), "");
+}
+
+TEST(StatsTest, PcaRecoversDominantDirection) {
+  // Points on a line y = 2x with small noise: first PC ∝ (1,2)/√5.
+  std::vector<std::vector<float>> rows;
+  for (int i = -20; i <= 20; ++i) {
+    const float t = static_cast<float>(i);
+    rows.push_back({t, 2.0f * t + 0.01f * ((i * 13) % 5)});
+  }
+  auto projected = PcaReduce(rows, 1);
+  ASSERT_EQ(projected.size(), rows.size());
+  // Projection should preserve the ordering of t and have much larger
+  // variance than the residual direction.
+  double variance = 0;
+  for (const auto& p : projected) variance += p[0] * p[0];
+  EXPECT_GT(variance / rows.size(), 100.0);
+  EXPECT_LT(projected[0][0] * projected.back()[0], 0.0);  // Opposite signs.
+}
+
+TEST(StatsTest, PcaOutputWidth) {
+  std::vector<std::vector<float>> rows(10, std::vector<float>(6, 0.0f));
+  for (size_t i = 0; i < rows.size(); ++i) {
+    for (size_t j = 0; j < 6; ++j) rows[i][j] = static_cast<float>((i * j) % 7);
+  }
+  auto projected = PcaReduce(rows, 3);
+  EXPECT_EQ(projected[0].size(), 3u);
+}
+
+TEST(StatsTest, CosineSimilarity) {
+  EXPECT_NEAR(CosineSimilarity({1, 0}, {0, 1}), 0.0f, 1e-6f);
+  EXPECT_NEAR(CosineSimilarity({1, 2}, {2, 4}), 1.0f, 1e-6f);
+  EXPECT_NEAR(CosineSimilarity({1, 0}, {-1, 0}), -1.0f, 1e-6f);
+  EXPECT_EQ(CosineSimilarity({0, 0}, {1, 1}), 0.0f);
+}
+
+TEST(ProtocolTest, OracleScorerGetsPerfectMetrics) {
+  data::Dataset dataset = data::GenerateDataset(data::KuaiRecConfig());
+  data::Splits splits = data::MakeSplits(dataset, 10);
+  EvalConfig config;
+  auto oracle = [](const data::Example& example,
+                   const std::vector<int64_t>& candidates) {
+    std::vector<float> scores(candidates.size(), 0.0f);
+    for (size_t i = 0; i < candidates.size(); ++i) {
+      if (candidates[i] == example.target) scores[i] = 1.0f;
+    }
+    return scores;
+  };
+  auto acc = EvaluateCandidates(splits.test, dataset.catalog.size(), oracle,
+                                config);
+  EXPECT_DOUBLE_EQ(acc.Result().hr_at_1, 1.0);
+}
+
+TEST(ProtocolTest, RandomScorerNearChance) {
+  data::Dataset dataset = data::GenerateDataset(data::MovieLens100KConfig());
+  data::Splits splits = data::MakeSplits(dataset, 10);
+  EvalConfig config;
+  uint64_t state = 1;
+  auto random_scorer = [&state](const data::Example&,
+                                const std::vector<int64_t>& candidates) {
+    std::vector<float> scores(candidates.size());
+    for (auto& s : scores) {
+      state = state * 6364136223846793005ULL + 1;
+      s = static_cast<float>(state >> 40);
+    }
+    return scores;
+  };
+  auto acc = EvaluateCandidates(splits.test, dataset.catalog.size(),
+                                random_scorer, config);
+  // HR@1 chance level = 1/15 ≈ 0.067; HR@5 = 1/3; HR@10 = 2/3.
+  EXPECT_NEAR(acc.Result().hr_at_1, 1.0 / 15, 0.05);
+  EXPECT_NEAR(acc.Result().hr_at_10, 10.0 / 15, 0.1);
+}
+
+TEST(ProtocolTest, MaxExamplesCap) {
+  data::Dataset dataset = data::GenerateDataset(data::KuaiRecConfig());
+  data::Splits splits = data::MakeSplits(dataset, 10);
+  EvalConfig config;
+  config.max_examples = 7;
+  auto acc = EvaluateCandidates(
+      splits.test, dataset.catalog.size(),
+      [](const data::Example&, const std::vector<int64_t>& candidates) {
+        return std::vector<float>(candidates.size(), 0.0f);
+      },
+      config);
+  EXPECT_EQ(acc.Result().count, 7);
+}
+
+TEST(ProtocolTest, CandidateSetsIdenticalAcrossScorers) {
+  // Two scorers observing candidates must see the same sets (fair compare).
+  data::Dataset dataset = data::GenerateDataset(data::KuaiRecConfig());
+  data::Splits splits = data::MakeSplits(dataset, 10);
+  std::vector<std::vector<int64_t>> seen_a, seen_b;
+  EvalConfig config;
+  auto observer = [](std::vector<std::vector<int64_t>>& sink) {
+    return [&sink](const data::Example&,
+                   const std::vector<int64_t>& candidates) {
+      sink.push_back(candidates);
+      return std::vector<float>(candidates.size(), 0.0f);
+    };
+  };
+  EvaluateCandidates(splits.test, dataset.catalog.size(), observer(seen_a),
+                     config);
+  EvaluateCandidates(splits.test, dataset.catalog.size(), observer(seen_b),
+                     config);
+  EXPECT_EQ(seen_a, seen_b);
+}
+
+}  // namespace
+}  // namespace delrec::eval

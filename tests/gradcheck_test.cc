@@ -1,0 +1,215 @@
+// Central finite-difference gradient checks for every differentiable op.
+// Each check perturbs inputs elementwise and compares the numerical gradient
+// of a scalar objective with the autodiff gradient.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+
+#include "nn/ops.h"
+#include "nn/tensor.h"
+#include "util/rng.h"
+
+namespace delrec::nn {
+namespace {
+
+// Computes autodiff and numerical gradients of `objective` w.r.t. `inputs`
+// and EXPECTs agreement. `objective` must rebuild the graph from current
+// input values on every call.
+void CheckGradients(std::vector<Tensor> inputs,
+                    const std::function<Tensor()>& objective,
+                    float tolerance = 2e-2f) {
+  for (Tensor& t : inputs) {
+    t.set_requires_grad(true);
+    t.ZeroGrad();
+  }
+  Tensor loss = objective();
+  loss.Backward();
+  std::vector<std::vector<float>> autodiff;
+  for (Tensor& t : inputs) autodiff.push_back(t.grad());
+
+  const float epsilon = 1e-3f;
+  for (size_t k = 0; k < inputs.size(); ++k) {
+    Tensor& t = inputs[k];
+    for (int64_t i = 0; i < t.size(); ++i) {
+      const float saved = t.data()[i];
+      t.data()[i] = saved + epsilon;
+      const float up = objective().item();
+      t.data()[i] = saved - epsilon;
+      const float down = objective().item();
+      t.data()[i] = saved;
+      const float numeric = (up - down) / (2.0f * epsilon);
+      const float analytic = autodiff[k][i];
+      const float scale = std::max({1.0f, std::fabs(numeric),
+                                    std::fabs(analytic)});
+      EXPECT_NEAR(analytic / scale, numeric / scale, tolerance)
+          << "input " << k << " element " << i;
+    }
+  }
+}
+
+class GradcheckTest : public ::testing::Test {
+ protected:
+  util::Rng rng_{1234};
+};
+
+TEST_F(GradcheckTest, AddMulSub) {
+  Tensor a = Tensor::Randn({3, 2}, rng_, 1.0f);
+  Tensor b = Tensor::Randn({3, 2}, rng_, 1.0f);
+  CheckGradients({a, b}, [&] { return Sum(Mul(Add(a, b), Sub(a, b))); });
+}
+
+TEST_F(GradcheckTest, ScalarOps) {
+  Tensor a = Tensor::Randn({4}, rng_, 1.0f);
+  CheckGradients({a}, [&] { return Mean(AddScalar(MulScalar(a, -2.5f), 3.0f)); });
+}
+
+TEST_F(GradcheckTest, MatMulNN) {
+  Tensor a = Tensor::Randn({3, 4}, rng_, 1.0f);
+  Tensor b = Tensor::Randn({4, 2}, rng_, 1.0f);
+  CheckGradients({a, b}, [&] { return Sum(MatMul(a, b)); });
+}
+
+TEST_F(GradcheckTest, MatMulNT) {
+  Tensor a = Tensor::Randn({3, 4}, rng_, 1.0f);
+  Tensor b = Tensor::Randn({2, 4}, rng_, 1.0f);
+  CheckGradients({a, b}, [&] {
+    return Sum(Mul(MatMul(a, b, false, true), MatMul(a, b, false, true)));
+  });
+}
+
+TEST_F(GradcheckTest, MatMulTN) {
+  Tensor a = Tensor::Randn({4, 3}, rng_, 1.0f);
+  Tensor b = Tensor::Randn({4, 2}, rng_, 1.0f);
+  CheckGradients({a, b}, [&] {
+    Tensor c = MatMul(a, b, true, false);
+    return Sum(Mul(c, c));
+  });
+}
+
+TEST_F(GradcheckTest, AddBias) {
+  Tensor x = Tensor::Randn({3, 4}, rng_, 1.0f);
+  Tensor b = Tensor::Randn({4}, rng_, 1.0f);
+  CheckGradients({x, b}, [&] {
+    Tensor y = AddBias(x, b);
+    return Sum(Mul(y, y));
+  });
+}
+
+TEST_F(GradcheckTest, RowsGather) {
+  Tensor table = Tensor::Randn({5, 3}, rng_, 1.0f);
+  CheckGradients({table}, [&] {
+    Tensor y = Rows(table, {4, 0, 4, 2});
+    return Sum(Mul(y, y));
+  });
+}
+
+TEST_F(GradcheckTest, SliceAndConcat) {
+  Tensor x = Tensor::Randn({4, 4}, rng_, 1.0f);
+  CheckGradients({x}, [&] {
+    Tensor top = SliceRows(x, 0, 2);
+    Tensor left = SliceCols(x, 0, 2);
+    Tensor joined = ConcatRows({top, Transpose(left)});
+    return Sum(Mul(joined, joined));
+  });
+}
+
+TEST_F(GradcheckTest, ConcatCols) {
+  Tensor a = Tensor::Randn({3, 2}, rng_, 1.0f);
+  Tensor b = Tensor::Randn({3, 3}, rng_, 1.0f);
+  CheckGradients({a, b}, [&] {
+    Tensor j = ConcatCols({a, b});
+    return Sum(Mul(j, j));
+  });
+}
+
+TEST_F(GradcheckTest, ReshapeTranspose) {
+  Tensor x = Tensor::Randn({2, 6}, rng_, 1.0f);
+  CheckGradients({x}, [&] {
+    Tensor y = Transpose(Reshape(x, {3, 4}));
+    return Sum(Mul(y, y));
+  });
+}
+
+TEST_F(GradcheckTest, Activations) {
+  Tensor x = Tensor::Randn({2, 5}, rng_, 1.0f);
+  CheckGradients({x}, [&] { return Sum(Relu(AddScalar(x, 0.1f))); });
+  CheckGradients({x}, [&] { return Sum(Gelu(x)); });
+  CheckGradients({x}, [&] { return Sum(Sigmoid(x)); });
+  CheckGradients({x}, [&] { return Sum(Tanh(x)); });
+}
+
+TEST_F(GradcheckTest, SoftmaxAndLogSoftmax) {
+  Tensor x = Tensor::Randn({3, 4}, rng_, 1.0f);
+  Tensor weight = Tensor::Randn({3, 4}, rng_, 1.0f);
+  weight.set_requires_grad(false);
+  CheckGradients({x}, [&] { return Sum(Mul(Softmax(x), weight)); });
+  CheckGradients({x}, [&] { return Sum(Mul(LogSoftmax(x), weight)); });
+}
+
+TEST_F(GradcheckTest, CrossEntropy) {
+  Tensor logits = Tensor::Randn({4, 5}, rng_, 1.0f);
+  CheckGradients({logits}, [&] {
+    return CrossEntropyWithLogits(logits, {1, 4, -1, 0});
+  });
+}
+
+TEST_F(GradcheckTest, LayerNorm) {
+  Tensor x = Tensor::Randn({3, 6}, rng_, 1.0f);
+  Tensor gamma = Tensor::Randn({6}, rng_, 0.3f);
+  Tensor beta = Tensor::Randn({6}, rng_, 0.3f);
+  Tensor weight = Tensor::Randn({3, 6}, rng_, 1.0f);
+  CheckGradients({x, gamma, beta}, [&] {
+    return Sum(Mul(LayerNormOp(x, gamma, beta), weight));
+  });
+}
+
+TEST_F(GradcheckTest, ScaleCols) {
+  Tensor x = Tensor::Randn({3, 4}, rng_, 1.0f);
+  Tensor s = Tensor::Randn({4}, rng_, 1.0f);
+  CheckGradients({x, s}, [&] {
+    Tensor y = ScaleCols(x, s);
+    return Sum(Mul(y, y));
+  });
+}
+
+TEST_F(GradcheckTest, MeanRowsMaxPool) {
+  Tensor x = Tensor::Randn({4, 3}, rng_, 1.0f);
+  Tensor w = Tensor::Randn({1, 3}, rng_, 1.0f);
+  CheckGradients({x}, [&] { return Sum(Mul(MeanRows(x), w)); });
+  CheckGradients({x}, [&] { return Sum(Mul(MaxPoolRows(x), w)); });
+}
+
+TEST_F(GradcheckTest, HorizontalConv) {
+  Tensor emb = Tensor::Randn({5, 3}, rng_, 1.0f);
+  Tensor filters = Tensor::Randn({2, 6}, rng_, 1.0f);
+  Tensor bias = Tensor::Randn({2}, rng_, 1.0f);
+  CheckGradients({emb, filters, bias}, [&] {
+    Tensor y = HorizontalConv(emb, filters, bias, 2);
+    return Sum(Mul(y, y));
+  });
+}
+
+TEST_F(GradcheckTest, AddN) {
+  Tensor a = Tensor::Randn({3}, rng_, 1.0f);
+  Tensor b = Tensor::Randn({3}, rng_, 1.0f);
+  CheckGradients({a, b}, [&] { return Sum(Mul(AddN({a, b, a}), b)); });
+}
+
+TEST_F(GradcheckTest, CompositeTransformerSlice) {
+  // Mimics one attention head computation end-to-end.
+  Tensor x = Tensor::Randn({4, 6}, rng_, 0.7f);
+  Tensor wq = Tensor::Randn({6, 6}, rng_, 0.4f);
+  Tensor wk = Tensor::Randn({6, 6}, rng_, 0.4f);
+  Tensor wv = Tensor::Randn({6, 6}, rng_, 0.4f);
+  CheckGradients({x, wq, wk, wv}, [&] {
+    Tensor q = SliceCols(MatMul(x, wq), 0, 3);
+    Tensor k = SliceCols(MatMul(x, wk), 0, 3);
+    Tensor v = SliceCols(MatMul(x, wv), 0, 3);
+    Tensor att = Softmax(MulScalar(MatMul(q, k, false, true), 0.57f));
+    return Sum(Mul(MatMul(att, v), MatMul(att, v)));
+  });
+}
+
+}  // namespace
+}  // namespace delrec::nn

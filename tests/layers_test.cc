@@ -1,0 +1,203 @@
+#include "nn/layers.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/ops.h"
+#include "util/rng.h"
+
+namespace delrec::nn {
+namespace {
+
+TEST(LinearTest, ShapesAndBias) {
+  util::Rng rng(1);
+  Linear layer(4, 3, rng);
+  Tensor x = Tensor::Randn({2, 4}, rng, 1.0f);
+  Tensor y = layer.Forward(x);
+  EXPECT_EQ(y.dim(0), 2);
+  EXPECT_EQ(y.dim(1), 3);
+  EXPECT_EQ(layer.ParameterCount(), 4 * 3 + 3);
+
+  Linear no_bias(4, 3, rng, /*use_bias=*/false);
+  EXPECT_EQ(no_bias.ParameterCount(), 12);
+}
+
+TEST(LinearTest, LearnsLeastSquares) {
+  util::Rng rng(2);
+  Linear layer(2, 1, rng);
+  // Target: y = 2·x0 - x1 + 0.5.
+  std::vector<Tensor> params = layer.Parameters();
+  for (int step = 0; step < 400; ++step) {
+    Tensor x = Tensor::Randn({8, 2}, rng, 1.0f);
+    std::vector<float> target(8);
+    for (int i = 0; i < 8; ++i) {
+      target[i] = 2.0f * x.data()[i * 2] - x.data()[i * 2 + 1] + 0.5f;
+    }
+    Tensor t = Tensor::FromData({8, 1}, target);
+    Tensor err = Sub(layer.Forward(x), t);
+    Tensor loss = Mean(Mul(err, err));
+    layer.ZeroGrad();
+    loss.Backward();
+    for (Tensor p : params) {
+      for (int64_t j = 0; j < p.size(); ++j) {
+        p.data()[j] -= 0.1f * p.grad()[j];
+      }
+    }
+  }
+  EXPECT_NEAR(layer.weight().data()[0], 2.0f, 0.05f);
+  EXPECT_NEAR(layer.weight().data()[1], -1.0f, 0.05f);
+  EXPECT_NEAR(layer.bias().data()[0], 0.5f, 0.05f);
+}
+
+TEST(EmbeddingTest, LookupAndCount) {
+  util::Rng rng(3);
+  Embedding emb(10, 4, rng);
+  Tensor rows = emb.Forward({0, 9, 0});
+  EXPECT_EQ(rows.dim(0), 3);
+  EXPECT_EQ(rows.dim(1), 4);
+  for (int64_t j = 0; j < 4; ++j) {
+    EXPECT_FLOAT_EQ(rows.at({0, j}), rows.at({2, j}));
+  }
+  EXPECT_EQ(emb.ParameterCount(), 40);
+}
+
+TEST(LayerNormTest, NormalizesRows) {
+  util::Rng rng(4);
+  LayerNorm ln(8);
+  Tensor x = Tensor::Randn({5, 8}, rng, 3.0f);
+  Tensor y = ln.Forward(x);
+  for (int64_t i = 0; i < 5; ++i) {
+    float mean = 0;
+    for (int64_t j = 0; j < 8; ++j) mean += y.at({i, j});
+    EXPECT_NEAR(mean / 8, 0.0f, 1e-4f);
+  }
+}
+
+TEST(GruCellTest, OutputBoundedAndStateDependent) {
+  util::Rng rng(5);
+  GruCell cell(3, 4, rng);
+  Tensor x = Tensor::Randn({2, 3}, rng, 1.0f);
+  Tensor h0 = Tensor::Zeros({2, 4});
+  Tensor h1 = cell.Forward(x, h0);
+  EXPECT_EQ(h1.dim(1), 4);
+  for (float v : h1.data()) {
+    EXPECT_LT(std::fabs(v), 1.0f);  // Convex combo of h (0) and tanh output.
+  }
+  Tensor h2 = cell.Forward(x, h1);
+  bool changed = false;
+  for (int64_t i = 0; i < h1.size(); ++i) {
+    if (std::fabs(h1.data()[i] - h2.data()[i]) > 1e-6f) changed = true;
+  }
+  EXPECT_TRUE(changed);
+}
+
+TEST(GruCellTest, GradientsFlowThroughTime) {
+  util::Rng rng(6);
+  GruCell cell(2, 3, rng);
+  Tensor x = Tensor::Randn({1, 2}, rng, 1.0f);
+  x.set_requires_grad(true);
+  Tensor h = Tensor::Zeros({1, 3});
+  for (int t = 0; t < 4; ++t) h = cell.Forward(x, h);
+  Sum(h).Backward();
+  float grad_norm = 0;
+  for (float g : x.grad()) grad_norm += g * g;
+  EXPECT_GT(grad_norm, 0.0f);
+}
+
+TEST(MultiHeadAttentionTest, ShapeAndMasking) {
+  util::Rng rng(7);
+  MultiHeadAttention mha(8, 2, rng);
+  mha.SetTraining(false);
+  Tensor x = Tensor::Randn({5, 8}, rng, 1.0f);
+  Tensor out = mha.Forward(x, x, Tensor(), rng, 0.0f);
+  EXPECT_EQ(out.dim(0), 5);
+  EXPECT_EQ(out.dim(1), 8);
+
+  // With a causal mask, position 0 must not depend on later positions.
+  Tensor mask = CausalMask(5);
+  Tensor masked_a = mha.Forward(x, x, mask, rng, 0.0f);
+  Tensor x2 = x.DetachCopy();
+  for (int64_t j = 0; j < 8; ++j) x2.data()[4 * 8 + j] += 10.0f;  // Last row.
+  Tensor masked_b = mha.Forward(x2, x2, mask, rng, 0.0f);
+  for (int64_t j = 0; j < 8; ++j) {
+    EXPECT_NEAR(masked_a.at({0, j}), masked_b.at({0, j}), 1e-4f);
+  }
+}
+
+TEST(CausalMaskTest, Pattern) {
+  Tensor m = CausalMask(3);
+  EXPECT_FLOAT_EQ(m.at({0, 0}), 0.0f);
+  EXPECT_FLOAT_EQ(m.at({0, 2}), -1e9f);
+  EXPECT_FLOAT_EQ(m.at({2, 0}), 0.0f);
+}
+
+TEST(TransformerEncoderLayerTest, ForwardAndTrainability) {
+  util::Rng rng(8);
+  TransformerEncoderLayer layer(8, 2, 16, rng);
+  layer.SetTraining(false);
+  Tensor x = Tensor::Randn({4, 8}, rng, 1.0f);
+  Tensor y = layer.Forward(x, Tensor(), rng, 0.0f);
+  EXPECT_EQ(y.shape(), x.shape());
+  EXPECT_GT(layer.ParameterCount(), 0);
+
+  // Loss decreases under SGD on a fixed regression objective.
+  layer.SetTraining(true);
+  Tensor target = Tensor::Randn({4, 8}, rng, 1.0f);
+  auto params = layer.Parameters();
+  float first_loss = 0, last_loss = 0;
+  for (int step = 0; step < 60; ++step) {
+    Tensor err = Sub(layer.Forward(x, Tensor(), rng, 0.0f), target);
+    Tensor loss = Mean(Mul(err, err));
+    if (step == 0) first_loss = loss.item();
+    last_loss = loss.item();
+    layer.ZeroGrad();
+    loss.Backward();
+    for (Tensor p : params) {
+      for (int64_t j = 0; j < p.size(); ++j) {
+        p.data()[j] -= 0.05f * p.grad()[j];
+      }
+    }
+  }
+  EXPECT_LT(last_loss, first_loss * 0.7f);
+}
+
+TEST(ModuleTest, StateDumpRoundTrip) {
+  util::Rng rng(9);
+  TransformerEncoderLayer a(8, 2, 16, rng);
+  TransformerEncoderLayer b(8, 2, 16, rng);
+  std::vector<float> state = a.StateDump();
+  b.LoadState(state);
+  Tensor x = Tensor::Randn({3, 8}, rng, 1.0f);
+  a.SetTraining(false);
+  b.SetTraining(false);
+  Tensor ya = a.Forward(x, Tensor(), rng, 0.0f);
+  Tensor yb = b.Forward(x, Tensor(), rng, 0.0f);
+  for (int64_t i = 0; i < ya.size(); ++i) {
+    EXPECT_FLOAT_EQ(ya.data()[i], yb.data()[i]);
+  }
+}
+
+TEST(ModuleTest, NamedParametersQualified) {
+  util::Rng rng(10);
+  TransformerEncoderLayer layer(8, 2, 16, rng);
+  auto named = layer.NamedParameters();
+  bool found = false;
+  for (const auto& [name, tensor] : named) {
+    if (name == "attention.wq.weight") found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(ModuleTest, ClipGradNorm) {
+  Tensor p = Tensor::FromData({2}, {0, 0}, /*requires_grad=*/true);
+  p.grad()[0] = 3.0f;
+  p.grad()[1] = 4.0f;
+  float norm = ClipGradNorm({p}, 1.0f);
+  EXPECT_FLOAT_EQ(norm, 5.0f);
+  EXPECT_NEAR(p.grad()[0], 0.6f, 1e-5f);
+  EXPECT_NEAR(p.grad()[1], 0.8f, 1e-5f);
+}
+
+}  // namespace
+}  // namespace delrec::nn

@@ -1,0 +1,281 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "data/dataset.h"
+#include "llm/corpus.h"
+#include "llm/pretrain.h"
+#include "llm/prompt.h"
+#include "llm/tiny_lm.h"
+#include "llm/verbalizer.h"
+#include "llm/vocab.h"
+#include "nn/ops.h"
+#include "util/rng.h"
+
+namespace delrec::llm {
+namespace {
+
+class LlmTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    data::GeneratorConfig config = data::KuaiRecConfig();
+    config.num_users = 40;
+    config.num_items = 60;
+    dataset_ = new data::Dataset(data::GenerateDataset(config));
+    vocab_ = new Vocab(Vocab::BuildFromCatalog(dataset_->catalog));
+  }
+  static void TearDownTestSuite() {
+    delete vocab_;
+    delete dataset_;
+    vocab_ = nullptr;
+    dataset_ = nullptr;
+  }
+  static data::Dataset* dataset_;
+  static Vocab* vocab_;
+};
+
+data::Dataset* LlmTest::dataset_ = nullptr;
+Vocab* LlmTest::vocab_ = nullptr;
+
+TEST_F(LlmTest, VocabSpecialsAndWords) {
+  EXPECT_EQ(vocab_->Lookup("[MASK]"), Vocab::kMask);
+  EXPECT_EQ(vocab_->Lookup("zzz-not-a-word"), Vocab::kUnk);
+  // Every title word must be known.
+  for (const data::Item& item : dataset_->catalog.items) {
+    for (int64_t id : vocab_->Encode(item.title)) {
+      EXPECT_NE(id, Vocab::kUnk) << item.title;
+    }
+  }
+  // Instruction words registered.
+  EXPECT_NE(vocab_->Lookup("watched"), Vocab::kUnk);
+  EXPECT_NE(vocab_->Lookup("sasrec"), Vocab::kUnk);
+  // Round trip.
+  const int64_t id = vocab_->Lookup("watched");
+  EXPECT_EQ(vocab_->WordOf(id), "watched");
+}
+
+TEST_F(LlmTest, VocabAddIdempotent) {
+  Vocab vocab;
+  const int64_t a = vocab.AddWord("Hello");
+  const int64_t b = vocab.AddWord("hello");
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(vocab.size(), Vocab::kNumSpecials + 1);
+}
+
+TEST_F(LlmTest, CorpusSentencesWellFormed) {
+  util::Rng rng(3);
+  auto corpus = BuildWorldKnowledgeCorpus(dataset_->catalog, *vocab_, 2, rng);
+  EXPECT_EQ(corpus.size(), dataset_->catalog.items.size() * 3);  // +1 sequel fact/item.
+  for (const auto& sentence : corpus) {
+    ASSERT_GE(sentence.size(), 4u);
+    EXPECT_EQ(sentence.front(), Vocab::kCls);
+    EXPECT_EQ(sentence.back(), Vocab::kSep);
+    for (int64_t token : sentence) EXPECT_NE(token, Vocab::kUnk);
+  }
+}
+
+TEST_F(LlmTest, TinyLmPresetsOrderedBySize) {
+  const auto base = TinyLmConfig::Base(vocab_->size());
+  const auto large = TinyLmConfig::Large(vocab_->size());
+  const auto xl = TinyLmConfig::XL(vocab_->size());
+  TinyLm base_model(base, 1), large_model(large, 1), xl_model(xl, 1);
+  EXPECT_LT(base_model.ParameterCount(), large_model.ParameterCount());
+  EXPECT_LT(large_model.ParameterCount(), xl_model.ParameterCount());
+}
+
+TEST_F(LlmTest, EncodeShapesAndMixedPieces) {
+  TinyLm model(TinyLmConfig::Large(vocab_->size()), 5);
+  model.SetTraining(false);
+  util::Rng rng(1);
+  nn::Tensor soft = nn::Tensor::Randn({4, model.model_dim()}, rng, 0.02f);
+  std::vector<PromptPiece> pieces = {
+      PromptPiece::Tokens({Vocab::kCls, 7, 8, 9}),
+      PromptPiece::Embeddings(soft),
+      PromptPiece::Tokens({Vocab::kMask, Vocab::kSep}),
+  };
+  nn::Tensor hidden = model.Encode(pieces, 0.0f, rng);
+  EXPECT_EQ(hidden.dim(0), 10);
+  EXPECT_EQ(hidden.dim(1), model.model_dim());
+  nn::Tensor logits = model.LogitsAt(hidden, 8);
+  EXPECT_EQ(logits.dim(1), vocab_->size());
+}
+
+TEST_F(LlmTest, SoftPromptGradientsFlow) {
+  TinyLm model(TinyLmConfig::Base(vocab_->size()), 5);
+  model.SetRequiresGrad(false);  // Frozen LLM, like stage 1.
+  util::Rng rng(1);
+  nn::Tensor soft = nn::Tensor::Randn({3, model.model_dim()}, rng, 0.02f,
+                                      /*requires_grad=*/true);
+  std::vector<PromptPiece> pieces = {
+      PromptPiece::Tokens({Vocab::kCls, 7}),
+      PromptPiece::Embeddings(soft),
+      PromptPiece::Tokens({Vocab::kMask}),
+  };
+  nn::Tensor hidden = model.Encode(pieces, 0.0f, rng);
+  nn::Tensor loss =
+      nn::CrossEntropyWithLogits(model.LogitsAt(hidden, 5), {7});
+  loss.Backward();
+  float grad_norm = 0;
+  for (float g : soft.grad()) grad_norm += g * g;
+  EXPECT_GT(grad_norm, 0.0f);
+  // Frozen LLM got no grads.
+  for (const nn::Tensor& p : model.Parameters()) {
+    EXPECT_FALSE(p.has_grad());
+  }
+  model.SetRequiresGrad(true);
+}
+
+TEST_F(LlmTest, PretrainingTeachesGenreAssociations) {
+  TinyLm model(TinyLmConfig::Large(vocab_->size()), 5);
+  util::Rng rng(9);
+  auto corpus = BuildWorldKnowledgeCorpus(dataset_->catalog, *vocab_, 3, rng);
+  PretrainConfig config;
+  config.epochs = 2;
+  const float initial_loss = [&] {
+    util::Rng r(1);
+    // Mean loss over a few sentences before training.
+    float total = 0;
+    for (int i = 0; i < 10; ++i) {
+      nn::NoGradGuard no_grad;
+      total += model.MlmLoss(corpus[i], {2}, r).item();
+    }
+    return total / 10;
+  }();
+  const float final_loss = PretrainMlm(model, corpus, config);
+  EXPECT_LT(final_loss, initial_loss);
+
+  // After pretraining, same-genre items should have more similar embeddings
+  // than cross-genre items on average.
+  const auto& items = dataset_->catalog.items;
+  double same = 0, cross = 0;
+  int same_n = 0, cross_n = 0;
+  for (size_t i = 0; i < 20; ++i) {
+    for (size_t j = i + 1; j < 20; ++j) {
+      auto ei = model.EmbedTokens(vocab_->Encode(items[i].title));
+      auto ej = model.EmbedTokens(vocab_->Encode(items[j].title));
+      double dot = 0, ni = 0, nj = 0;
+      for (size_t d = 0; d < ei.size(); ++d) {
+        dot += ei[d] * ej[d];
+        ni += ei[d] * ei[d];
+        nj += ej[d] * ej[d];
+      }
+      const double cosine = dot / std::sqrt(ni * nj + 1e-12);
+      if (items[i].genre == items[j].genre) {
+        same += cosine;
+        ++same_n;
+      } else {
+        cross += cosine;
+        ++cross_n;
+      }
+    }
+  }
+  ASSERT_GT(same_n, 0);
+  ASSERT_GT(cross_n, 0);
+  EXPECT_GT(same / same_n, cross / cross_n);
+}
+
+TEST_F(LlmTest, AdaptersSeparateFromBaseParameters) {
+  TinyLm model(TinyLmConfig::Large(vocab_->size()), 5);
+  const int64_t base_count = model.ParameterCount();
+  auto adapters = model.EnableAdapters(2, 1.0f);
+  EXPECT_EQ(adapters.size(), 2u * 3u);  // 2 layers × (wq, wv, ffn_in).
+  EXPECT_EQ(model.ParameterCount(), base_count);  // Not in the base tree.
+  // Enabling twice returns the same adapters.
+  auto again = model.EnableAdapters(2, 1.0f);
+  EXPECT_EQ(adapters, again);
+}
+
+TEST_F(LlmTest, VerbalizerScoresFavorTitleTokens) {
+  Verbalizer verbalizer(dataset_->catalog, *vocab_);
+  std::vector<float> token_logits(vocab_->size(), 0.0f);
+  // Boost item 3's title tokens.
+  for (int64_t token : verbalizer.TitleTokens(3)) token_logits[token] = 5.0f;
+  auto scores = verbalizer.Scores(token_logits, {1, 3, 7});
+  EXPECT_GT(scores[1], scores[0]);
+  EXPECT_GT(scores[1], scores[2]);
+}
+
+TEST_F(LlmTest, VerbalizerDifferentiableMatchesPlainScores) {
+  Verbalizer verbalizer(dataset_->catalog, *vocab_);
+  util::Rng rng(4);
+  nn::Tensor logits = nn::Tensor::Randn({1, vocab_->size()}, rng, 1.0f);
+  std::vector<int64_t> candidates = {0, 5, 9, 12};
+  nn::Tensor tensor_scores = verbalizer.CandidateLogits(logits, candidates);
+  auto plain = verbalizer.Scores(logits.data(), candidates);
+  ASSERT_EQ(tensor_scores.size(), 4);
+  for (int64_t i = 0; i < 4; ++i) {
+    EXPECT_NEAR(tensor_scores.data()[i], plain[i], 1e-4f);
+  }
+}
+
+TEST_F(LlmTest, PromptTemplatesWellFormed) {
+  PromptBuilder builder(&dataset_->catalog, vocab_);
+  util::Rng rng(6);
+  nn::Tensor soft = nn::Tensor::Randn({4, 32}, rng, 0.02f);
+  std::vector<int64_t> history = {1, 2, 3, 4, 5, 6};
+  std::vector<int64_t> candidates = {7, 8, 9};
+
+  Prompt rec = builder.BuildRecommendation(history, candidates, soft, {},
+                                           nn::Tensor());
+  EXPECT_GE(rec.mask_position, 0);
+  EXPECT_LT(rec.mask_position, rec.length());
+  // The mask position indexes an actual [MASK] token: count through pieces.
+  int64_t position = 0;
+  bool found = false;
+  for (const PromptPiece& piece : rec.pieces) {
+    if (piece.kind == PromptPiece::Kind::kTokens) {
+      for (int64_t token : piece.tokens) {
+        if (position == rec.mask_position) {
+          EXPECT_EQ(token, Vocab::kMask);
+          found = true;
+        }
+        ++position;
+      }
+    } else {
+      position += piece.length();
+    }
+  }
+  EXPECT_TRUE(found);
+
+  Prompt ta = builder.BuildTemporalAnalysis(history, 4, candidates, soft);
+  EXPECT_GE(ta.mask_position, 0);
+  Prompt rps = builder.BuildPatternSimulating(history, {1, 2}, candidates,
+                                              soft, "sasrec");
+  EXPECT_GE(rps.mask_position, 0);
+
+  // Without soft prompts the prompt is shorter and purely tokens.
+  Prompt no_soft = builder.BuildRecommendation(history, candidates,
+                                               nn::Tensor(), {}, nn::Tensor());
+  EXPECT_LT(no_soft.length(), rec.length());
+  for (const PromptPiece& piece : no_soft.pieces) {
+    EXPECT_EQ(piece.kind, PromptPiece::Kind::kTokens);
+  }
+}
+
+TEST_F(LlmTest, ManualConstructionMentionsModel) {
+  PromptBuilder builder(&dataset_->catalog, vocab_);
+  auto tokens = builder.ManualConstructionTokens("sasrec");
+  EXPECT_FALSE(tokens.empty());
+  bool has_model_name = false;
+  for (int64_t token : tokens) {
+    if (vocab_->WordOf(token) == "sasrec") has_model_name = true;
+    EXPECT_NE(token, Vocab::kUnk);
+  }
+  EXPECT_TRUE(has_model_name);
+}
+
+TEST_F(LlmTest, StateDumpRoundTripPreservesOutputs) {
+  TinyLm a(TinyLmConfig::Base(vocab_->size()), 5);
+  TinyLm b(TinyLmConfig::Base(vocab_->size()), 99);
+  b.LoadState(a.StateDump());
+  a.SetTraining(false);
+  b.SetTraining(false);
+  auto ea = a.EmbedTokens({6, 7, 8});
+  auto eb = b.EmbedTokens({6, 7, 8});
+  ASSERT_EQ(ea.size(), eb.size());
+  for (size_t i = 0; i < ea.size(); ++i) EXPECT_FLOAT_EQ(ea[i], eb[i]);
+}
+
+}  // namespace
+}  // namespace delrec::llm

@@ -1,0 +1,131 @@
+#include "nn/lora.h"
+
+#include <gtest/gtest.h>
+
+#include "nn/ops.h"
+#include "nn/optimizer.h"
+#include "util/rng.h"
+
+namespace delrec::nn {
+namespace {
+
+TEST(LoraTest, NoOpAtInitialization) {
+  util::Rng rng(1);
+  Linear base(4, 3, rng);
+  LoraLinear lora(&base, 2, 1.0f, rng);
+  Tensor x = Tensor::Randn({5, 4}, rng, 1.0f);
+  Tensor plain = base.Forward(x);
+  Tensor adapted = lora.Forward(x);
+  for (int64_t i = 0; i < plain.size(); ++i) {
+    EXPECT_FLOAT_EQ(plain.data()[i], adapted.data()[i]);  // B starts at 0.
+  }
+}
+
+TEST(LoraTest, OnlyAdapterParametersRegistered) {
+  util::Rng rng(2);
+  Linear base(4, 3, rng);
+  LoraLinear lora(&base, 2, 1.0f, rng);
+  // A (4·2) + Λ (2) + B (2·3) = 16; base's 15 params not included.
+  EXPECT_EQ(lora.ParameterCount(), 16);
+}
+
+TEST(LoraTest, AdapterLearnsResidualWithFrozenBase) {
+  util::Rng rng(3);
+  Linear base(3, 2, rng);
+  base.SetRequiresGrad(false);
+  LoraLinear lora(&base, 3, 1.0f, rng);
+  std::vector<float> base_before = base.StateDump();
+
+  // Target is a different linear map, so the low-rank delta can fit it.
+  Tensor x = Tensor::Randn({16, 3}, rng, 1.0f);
+  Tensor w_true = Tensor::Randn({3, 2}, rng, 0.8f);
+  Tensor target = MatMul(x, w_true);
+  Adam optimizer(lora.Parameters(), 0.05f);
+  float first = 0, last = 0;
+  for (int step = 0; step < 300; ++step) {
+    optimizer.ZeroGrad();
+    Tensor err = Sub(lora.Forward(x), target);
+    Tensor loss = Mean(Mul(err, err));
+    if (step == 0) first = loss.item();
+    last = loss.item();
+    loss.Backward();
+    optimizer.Step();
+  }
+  EXPECT_LT(last, first * 0.1f);
+  EXPECT_EQ(base.StateDump(), base_before);  // Base stayed frozen.
+}
+
+TEST(LoraTest, MaskedDirectionContributesNothing) {
+  util::Rng rng(4);
+  Linear base(4, 4, rng);
+  LoraLinear lora(&base, 2, 1.0f, rng);
+  // Make the adapter non-trivial.
+  for (float& v : lora.Parameters()[2].data()) v = 0.5f;  // B.
+  Tensor x = Tensor::Randn({3, 4}, rng, 1.0f);
+  Tensor full = lora.Forward(x);
+  lora.SetDirectionActive(0, false);
+  lora.SetDirectionActive(1, false);
+  EXPECT_EQ(lora.active_rank(), 0);
+  Tensor masked = lora.Forward(x);
+  Tensor plain = base.Forward(x);
+  bool differs_from_plain = false;
+  for (int64_t i = 0; i < full.size(); ++i) {
+    if (std::abs(full.data()[i] - plain.data()[i]) > 1e-6f) {
+      differs_from_plain = true;
+    }
+    EXPECT_FLOAT_EQ(masked.data()[i], plain.data()[i]);
+  }
+  EXPECT_TRUE(differs_from_plain);
+}
+
+TEST(LoraTest, MaskedDirectionReceivesNoLambdaGradient) {
+  util::Rng rng(5);
+  Linear base(3, 3, rng);
+  LoraLinear lora(&base, 2, 1.0f, rng);
+  for (float& v : lora.Parameters()[2].data()) v = 1.0f;  // B nonzero.
+  lora.SetDirectionActive(1, false);
+  Tensor x = Tensor::Randn({4, 3}, rng, 1.0f);
+  Tensor loss = Sum(lora.Forward(x));
+  loss.Backward();
+  Tensor lambda = lora.Parameters()[1];
+  EXPECT_NE(lambda.grad()[0], 0.0f);
+  EXPECT_FLOAT_EQ(lambda.grad()[1], 0.0f);
+}
+
+TEST(AdaLoraTest, ReallocateRespectsGlobalBudget) {
+  util::Rng rng(6);
+  Linear base_a(4, 4, rng), base_b(4, 4, rng);
+  LoraLinear lora_a(&base_a, 4, 1.0f, rng);
+  LoraLinear lora_b(&base_b, 4, 1.0f, rng);
+  AdaLoraAllocator allocator(/*total_budget=*/3);
+  allocator.Register(&lora_a);
+  allocator.Register(&lora_b);
+  EXPECT_EQ(allocator.TotalActiveRank(), 8);
+
+  // Give lora_a large sensitivities, lora_b tiny ones.
+  for (float& v : lora_a.Parameters()[2].data()) v = 1.0f;
+  for (float& v : lora_b.Parameters()[2].data()) v = 1.0f;
+  Tensor x = Tensor::Randn({4, 4}, rng, 1.0f);
+  Tensor loss = Add(Sum(lora_a.Forward(x)),
+                    MulScalar(Sum(lora_b.Forward(x)), 1e-4f));
+  loss.Backward();
+  allocator.AccumulateSensitivity();
+  allocator.Reallocate();
+  EXPECT_EQ(allocator.TotalActiveRank(), 3);
+  EXPECT_GT(lora_a.active_rank(), lora_b.active_rank());
+}
+
+TEST(AdaLoraTest, ImportanceCombinesMagnitudeAndSensitivity) {
+  util::Rng rng(7);
+  Linear base(2, 2, rng);
+  LoraLinear lora(&base, 2, 1.0f, rng);
+  Tensor lambda = lora.Parameters()[1];
+  lambda.grad()[0] = 10.0f;
+  lambda.grad()[1] = 0.0f;
+  lora.AccumulateSensitivity(0.0f);  // EMA = |grad| directly.
+  auto importance = lora.DirectionImportance();
+  EXPECT_GT(importance[0], importance[1]);
+}
+
+}  // namespace
+}  // namespace delrec::nn

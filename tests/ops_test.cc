@@ -1,0 +1,242 @@
+#include "nn/ops.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/tensor.h"
+#include "util/rng.h"
+
+namespace delrec::nn {
+namespace {
+
+TEST(OpsTest, AddSubMul) {
+  Tensor a = Tensor::FromData({2, 2}, {1, 2, 3, 4});
+  Tensor b = Tensor::FromData({2, 2}, {5, 6, 7, 8});
+  EXPECT_FLOAT_EQ(Add(a, b).at({1, 1}), 12.0f);
+  EXPECT_FLOAT_EQ(Sub(a, b).at({0, 0}), -4.0f);
+  EXPECT_FLOAT_EQ(Mul(a, b).at({1, 0}), 21.0f);
+}
+
+TEST(OpsTest, AddN) {
+  Tensor a = Tensor::FromData({2}, {1, 1});
+  Tensor b = Tensor::FromData({2}, {2, 2});
+  Tensor c = Tensor::FromData({2}, {3, 3});
+  Tensor s = AddN({a, b, c});
+  EXPECT_FLOAT_EQ(s.data()[0], 6.0f);
+}
+
+TEST(OpsTest, MatMulNN) {
+  Tensor a = Tensor::FromData({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor b = Tensor::FromData({3, 2}, {7, 8, 9, 10, 11, 12});
+  Tensor c = MatMul(a, b);
+  EXPECT_FLOAT_EQ(c.at({0, 0}), 58.0f);
+  EXPECT_FLOAT_EQ(c.at({0, 1}), 64.0f);
+  EXPECT_FLOAT_EQ(c.at({1, 0}), 139.0f);
+  EXPECT_FLOAT_EQ(c.at({1, 1}), 154.0f);
+}
+
+TEST(OpsTest, MatMulTransposedVariantsMatchExplicitTranspose) {
+  util::Rng rng(3);
+  Tensor a = Tensor::Randn({4, 5}, rng, 1.0f);
+  Tensor b = Tensor::Randn({4, 6}, rng, 1.0f);
+  // A^T·B via TN flag vs explicit transpose.
+  Tensor tn = MatMul(a, b, /*trans_a=*/true);
+  Tensor ref = MatMul(Transpose(a), b);
+  ASSERT_EQ(tn.shape(), ref.shape());
+  for (int64_t i = 0; i < tn.size(); ++i) {
+    EXPECT_NEAR(tn.data()[i], ref.data()[i], 1e-5f);
+  }
+  // A·B^T via NT flag.
+  Tensor c = Tensor::Randn({6, 5}, rng, 1.0f);
+  Tensor nt = MatMul(a, c, false, /*trans_b=*/true);
+  Tensor ref2 = MatMul(a, Transpose(c));
+  for (int64_t i = 0; i < nt.size(); ++i) {
+    EXPECT_NEAR(nt.data()[i], ref2.data()[i], 1e-5f);
+  }
+}
+
+TEST(OpsTest, AddBias) {
+  Tensor x = Tensor::FromData({2, 3}, {0, 0, 0, 1, 1, 1});
+  Tensor b = Tensor::FromData({3}, {1, 2, 3});
+  Tensor y = AddBias(x, b);
+  EXPECT_FLOAT_EQ(y.at({0, 2}), 3.0f);
+  EXPECT_FLOAT_EQ(y.at({1, 0}), 2.0f);
+}
+
+TEST(OpsTest, RowsGather) {
+  Tensor table = Tensor::FromData({3, 2}, {0, 1, 10, 11, 20, 21});
+  Tensor got = Rows(table, {2, 0, 2});
+  EXPECT_EQ(got.dim(0), 3);
+  EXPECT_FLOAT_EQ(got.at({0, 1}), 21.0f);
+  EXPECT_FLOAT_EQ(got.at({1, 0}), 0.0f);
+  EXPECT_FLOAT_EQ(got.at({2, 0}), 20.0f);
+}
+
+TEST(OpsTest, RowsScatterAddsGradientForRepeatedIndex) {
+  Tensor table = Tensor::FromData({3, 1}, {0, 0, 0}, /*requires_grad=*/true);
+  Tensor got = Rows(table, {1, 1});
+  Sum(got).Backward();
+  EXPECT_FLOAT_EQ(table.grad()[1], 2.0f);
+  EXPECT_FLOAT_EQ(table.grad()[0], 0.0f);
+}
+
+TEST(OpsTest, SliceRowsAndCols) {
+  Tensor x = Tensor::FromData({3, 3}, {0, 1, 2, 3, 4, 5, 6, 7, 8});
+  Tensor r = SliceRows(x, 1, 2);
+  EXPECT_EQ(r.dim(0), 2);
+  EXPECT_FLOAT_EQ(r.at({0, 0}), 3.0f);
+  Tensor c = SliceCols(x, 1, 2);
+  EXPECT_EQ(c.dim(1), 2);
+  EXPECT_FLOAT_EQ(c.at({2, 0}), 7.0f);
+  EXPECT_FLOAT_EQ(c.at({2, 1}), 8.0f);
+}
+
+TEST(OpsTest, ConcatRowsAndCols) {
+  Tensor a = Tensor::FromData({1, 2}, {1, 2});
+  Tensor b = Tensor::FromData({2, 2}, {3, 4, 5, 6});
+  Tensor rows = ConcatRows({a, b});
+  EXPECT_EQ(rows.dim(0), 3);
+  EXPECT_FLOAT_EQ(rows.at({2, 1}), 6.0f);
+
+  Tensor c = Tensor::FromData({2, 1}, {9, 10});
+  Tensor cols = ConcatCols({b, c});
+  EXPECT_EQ(cols.dim(1), 3);
+  EXPECT_FLOAT_EQ(cols.at({0, 2}), 9.0f);
+  EXPECT_FLOAT_EQ(cols.at({1, 0}), 5.0f);
+}
+
+TEST(OpsTest, ReshapeAndTranspose) {
+  Tensor x = Tensor::FromData({2, 3}, {0, 1, 2, 3, 4, 5});
+  Tensor r = Reshape(x, {3, 2});
+  EXPECT_FLOAT_EQ(r.at({2, 1}), 5.0f);
+  Tensor t = Transpose(x);
+  EXPECT_EQ(t.dim(0), 3);
+  EXPECT_FLOAT_EQ(t.at({2, 1}), 5.0f);
+  EXPECT_FLOAT_EQ(t.at({0, 1}), 3.0f);
+}
+
+TEST(OpsTest, SoftmaxRowsSumToOne) {
+  Tensor x = Tensor::FromData({2, 3}, {1, 2, 3, 1000, 1000, 1000});
+  Tensor s = Softmax(x);
+  for (int64_t i = 0; i < 2; ++i) {
+    float sum = 0;
+    for (int64_t j = 0; j < 3; ++j) sum += s.at({i, j});
+    EXPECT_NEAR(sum, 1.0f, 1e-5f);
+  }
+  // Large-value row stays finite (stability).
+  EXPECT_NEAR(s.at({1, 0}), 1.0f / 3.0f, 1e-5f);
+}
+
+TEST(OpsTest, LogSoftmaxMatchesLogOfSoftmax) {
+  Tensor x = Tensor::FromData({1, 4}, {0.1f, -2.0f, 1.5f, 0.0f});
+  Tensor ls = LogSoftmax(x);
+  Tensor s = Softmax(x);
+  for (int64_t j = 0; j < 4; ++j) {
+    EXPECT_NEAR(ls.at({0, j}), std::log(s.at({0, j})), 1e-5f);
+  }
+}
+
+TEST(OpsTest, CrossEntropyUniformLogits) {
+  Tensor logits = Tensor::Zeros({2, 4});
+  Tensor loss = CrossEntropyWithLogits(logits, {0, 3});
+  EXPECT_NEAR(loss.item(), std::log(4.0f), 1e-5f);
+}
+
+TEST(OpsTest, CrossEntropyMasksNegativeTargets) {
+  Tensor logits = Tensor::FromData({2, 2}, {100, 0, 0, 0});
+  // Row 0 (confident correct) active, row 1 masked.
+  Tensor loss = CrossEntropyWithLogits(logits, {0, -1});
+  EXPECT_NEAR(loss.item(), 0.0f, 1e-4f);
+}
+
+TEST(OpsTest, ActivationValues) {
+  Tensor x = Tensor::FromData({1, 3}, {-1, 0, 2});
+  Tensor r = Relu(x);
+  EXPECT_FLOAT_EQ(r.at({0, 0}), 0.0f);
+  EXPECT_FLOAT_EQ(r.at({0, 2}), 2.0f);
+  Tensor s = Sigmoid(x);
+  EXPECT_NEAR(s.at({0, 1}), 0.5f, 1e-6f);
+  Tensor t = Tanh(x);
+  EXPECT_NEAR(t.at({0, 2}), std::tanh(2.0f), 1e-6f);
+  Tensor g = Gelu(x);
+  EXPECT_NEAR(g.at({0, 1}), 0.0f, 1e-6f);
+  EXPECT_NEAR(g.at({0, 2}), 1.9546f, 1e-3f);
+}
+
+TEST(OpsTest, DropoutTrainingAndEval) {
+  util::Rng rng(5);
+  Tensor x = Tensor::Full({1, 1000}, 1.0f);
+  Tensor kept = Dropout(x, 0.5f, rng, /*training=*/false);
+  for (float v : kept.data()) EXPECT_FLOAT_EQ(v, 1.0f);
+  Tensor dropped = Dropout(x, 0.5f, rng, /*training=*/true);
+  int zeros = 0;
+  double sum = 0;
+  for (float v : dropped.data()) {
+    if (v == 0.0f) {
+      ++zeros;
+    } else {
+      EXPECT_FLOAT_EQ(v, 2.0f);  // Inverted scaling.
+    }
+    sum += v;
+  }
+  EXPECT_NEAR(zeros / 1000.0, 0.5, 0.08);
+  EXPECT_NEAR(sum / 1000.0, 1.0, 0.2);  // Expectation preserved.
+}
+
+TEST(OpsTest, MeanRowsAndMaxPool) {
+  Tensor x = Tensor::FromData({2, 3}, {1, 5, 3, 3, 1, 9});
+  Tensor m = MeanRows(x);
+  EXPECT_FLOAT_EQ(m.at({0, 0}), 2.0f);
+  EXPECT_FLOAT_EQ(m.at({0, 2}), 6.0f);
+  Tensor mx = MaxPoolRows(x);
+  EXPECT_FLOAT_EQ(mx.at({0, 0}), 3.0f);
+  EXPECT_FLOAT_EQ(mx.at({0, 1}), 5.0f);
+  EXPECT_FLOAT_EQ(mx.at({0, 2}), 9.0f);
+}
+
+TEST(OpsTest, ScaleCols) {
+  Tensor x = Tensor::FromData({2, 2}, {1, 2, 3, 4});
+  Tensor s = Tensor::FromData({2}, {10, 0});
+  Tensor y = ScaleCols(x, s);
+  EXPECT_FLOAT_EQ(y.at({0, 0}), 10.0f);
+  EXPECT_FLOAT_EQ(y.at({1, 1}), 0.0f);
+}
+
+TEST(OpsTest, LayerNormZeroMeanUnitVar) {
+  Tensor x = Tensor::FromData({1, 4}, {1, 2, 3, 4});
+  Tensor gamma = Tensor::Full({4}, 1.0f);
+  Tensor beta = Tensor::Zeros({4});
+  Tensor y = LayerNormOp(x, gamma, beta);
+  float mean = 0, var = 0;
+  for (int64_t j = 0; j < 4; ++j) mean += y.at({0, j});
+  mean /= 4;
+  for (int64_t j = 0; j < 4; ++j) {
+    var += (y.at({0, j}) - mean) * (y.at({0, j}) - mean);
+  }
+  var /= 4;
+  EXPECT_NEAR(mean, 0.0f, 1e-5f);
+  EXPECT_NEAR(var, 1.0f, 1e-3f);
+}
+
+TEST(OpsTest, HorizontalConvMatchesManual) {
+  // T=3, D=2, one filter of height 2.
+  Tensor emb = Tensor::FromData({3, 2}, {1, 2, 3, 4, 5, 6});
+  Tensor filt = Tensor::FromData({1, 4}, {1, 1, 1, 1});
+  Tensor bias = Tensor::FromData({1}, {0.5f});
+  Tensor out = HorizontalConv(emb, filt, bias, 2);
+  ASSERT_EQ(out.dim(0), 2);
+  EXPECT_FLOAT_EQ(out.at({0, 0}), 1 + 2 + 3 + 4 + 0.5f);
+  EXPECT_FLOAT_EQ(out.at({1, 0}), 3 + 4 + 5 + 6 + 0.5f);
+}
+
+TEST(OpsTest, InferencePathBuildsNoTape) {
+  util::Rng rng(8);
+  Tensor a = Tensor::Randn({4, 4}, rng, 1.0f);  // No grads anywhere.
+  Tensor out = Softmax(MatMul(a, a));
+  EXPECT_FALSE(out.requires_grad());
+  EXPECT_TRUE(out.impl()->parents.empty());
+}
+
+}  // namespace
+}  // namespace delrec::nn

@@ -1,0 +1,133 @@
+// Golden tests for prompt rendering: decode the composed token stream back
+// to words and check the exact template wording. Guards against accidental
+// template drift (instruction wording is part of the method).
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "data/dataset.h"
+#include "llm/prompt.h"
+#include "llm/vocab.h"
+#include "nn/tensor.h"
+#include "util/rng.h"
+
+namespace delrec::llm {
+namespace {
+
+class PromptGoldenTest : public ::testing::Test {
+ protected:
+  PromptGoldenTest() {
+    // Hand-built 4-item catalog with known titles.
+    catalog_.num_genres = 2;
+    catalog_.genre_names = {"noir", "galactic"};
+    const char* titles[4] = {"shadow alley 1", "stellar comet 2",
+                             "smoky dossier 3", "lunar armada 4"};
+    for (int i = 0; i < 4; ++i) {
+      data::Item item;
+      item.id = i;
+      item.title = titles[i];
+      item.genre = i % 2;
+      catalog_.items.push_back(item);
+    }
+    catalog_.sequel = {2, 3, 0, 1};
+    catalog_.successors = {{2}, {3}, {0}, {1}};
+    vocab_ = Vocab::BuildFromCatalog(catalog_);
+  }
+
+  // Renders a prompt's token pieces back to a word string; embedding pieces
+  // render as <EMB:n>.
+  std::string Render(const Prompt& prompt) const {
+    std::string out;
+    for (const PromptPiece& piece : prompt.pieces) {
+      if (piece.kind == PromptPiece::Kind::kTokens) {
+        for (int64_t token : piece.tokens) {
+          if (!out.empty()) out += " ";
+          out += vocab_.WordOf(token);
+        }
+      } else {
+        if (!out.empty()) out += " ";
+        out += "<EMB:" + std::to_string(piece.length()) + ">";
+      }
+    }
+    return out;
+  }
+
+  data::Catalog catalog_;
+  Vocab vocab_;
+};
+
+TEST_F(PromptGoldenTest, RecommendationTemplate) {
+  PromptBuilder builder(&catalog_, &vocab_);
+  util::Rng rng(1);
+  nn::Tensor soft = nn::Tensor::Randn({2, 8}, rng, 0.02f);
+  Prompt prompt = builder.BuildRecommendation({0, 1}, {}, soft, {},
+                                              nn::Tensor());
+  EXPECT_EQ(Render(prompt),
+            "[CLS] the user watched these items in order "
+            "shadow alley 1 [SEP] stellar comet 2 [SEP] "
+            "refer to pattern knowledge <EMB:2> [SEP] "
+            "the user will watch next [MASK] [SEP]");
+}
+
+TEST_F(PromptGoldenTest, RecommendationWithHintAndCandidates) {
+  PromptBuilder builder(&catalog_, &vocab_);
+  const std::vector<int64_t> hint = vocab_.Encode("the user prefers noir");
+  Prompt prompt =
+      builder.BuildRecommendation({2}, {1, 3}, nn::Tensor(), hint,
+                                  nn::Tensor());
+  EXPECT_EQ(Render(prompt),
+            "[CLS] the user watched these items in order "
+            "smoky dossier 3 [SEP] "
+            "the user prefers noir [SEP] "
+            "candidates are stellar comet 2 [SEP] lunar armada 4 [SEP] "
+            "the user will watch next [MASK] [SEP]");
+}
+
+TEST_F(PromptGoldenTest, TemporalAnalysisTemplate) {
+  PromptBuilder builder(&catalog_, &vocab_);
+  // Sequence of 5 items, α clamped to 2 (n-3).
+  Prompt prompt = builder.BuildTemporalAnalysis({0, 1, 2, 3, 0}, 4, {},
+                                                nn::Tensor());
+  EXPECT_EQ(Render(prompt),
+            "[CLS] example given "
+            "shadow alley 1 [SEP] stellar comet 2 [SEP] "
+            "the next item was smoky dossier 3 [SEP] "
+            "given smoky dossier 3 [SEP] "
+            "the most recent item before shadow alley 1 was [MASK] "
+            "[SEP] [SEP]");
+}
+
+TEST_F(PromptGoldenTest, PatternSimulatingTemplate) {
+  PromptBuilder builder(&catalog_, &vocab_);
+  Prompt prompt = builder.BuildPatternSimulating({0}, {1, 2}, {},
+                                                 nn::Tensor(), "sasrec");
+  EXPECT_EQ(Render(prompt),
+            "[CLS] the user watched these items in order "
+            "shadow alley 1 [SEP] "
+            "the sasrec model recommends top items "
+            "stellar comet 2 [SEP] smoky dossier 3 [SEP] "
+            "the sasrec model predicts next [MASK] [SEP]");
+}
+
+TEST_F(PromptGoldenTest, MaskPositionPointsAtMask) {
+  PromptBuilder builder(&catalog_, &vocab_);
+  Prompt prompt = builder.BuildRecommendation({0, 1, 2}, {}, nn::Tensor(),
+                                              {}, nn::Tensor());
+  // Walk to the mask position and verify the token there.
+  int64_t position = 0;
+  int64_t found = -1;
+  for (const PromptPiece& piece : prompt.pieces) {
+    if (piece.kind == PromptPiece::Kind::kTokens) {
+      for (int64_t token : piece.tokens) {
+        if (position == prompt.mask_position) found = token;
+        ++position;
+      }
+    } else {
+      position += piece.length();
+    }
+  }
+  EXPECT_EQ(found, Vocab::kMask);
+}
+
+}  // namespace
+}  // namespace delrec::llm

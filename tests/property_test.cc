@@ -1,0 +1,309 @@
+// Property-style parameterized sweeps (TEST_P) over shapes, presets, seeds
+// and optimizer families — invariants rather than point checks.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <set>
+#include <tuple>
+
+#include "data/dataset.h"
+#include "data/split.h"
+#include "llm/prompt.h"
+#include "llm/verbalizer.h"
+#include "llm/vocab.h"
+#include "nn/ops.h"
+#include "nn/optimizer.h"
+#include "util/rng.h"
+
+namespace delrec {
+namespace {
+
+// ---------------------------------------------------------------- datasets
+
+class DatasetPresetTest
+    : public ::testing::TestWithParam<data::GeneratorConfig> {};
+
+TEST_P(DatasetPresetTest, CatalogInvariants) {
+  const data::Dataset dataset = data::GenerateDataset(GetParam());
+  std::set<std::string> titles;
+  for (const data::Item& item : dataset.catalog.items) {
+    EXPECT_TRUE(titles.insert(item.title).second);
+    EXPECT_GE(item.genre, 0);
+    EXPECT_LT(item.genre, dataset.catalog.num_genres);
+    EXPECT_GT(item.popularity, 0.0f);
+    // Successor structure is genre-closed and self-avoiding.
+    for (int64_t successor : dataset.catalog.successors[item.id]) {
+      EXPECT_EQ(dataset.catalog.items[successor].genre, item.genre);
+      EXPECT_NE(successor, item.id);
+    }
+  }
+}
+
+TEST_P(DatasetPresetTest, SplitsPartitionChronologically) {
+  const data::Dataset dataset = data::GenerateDataset(GetParam());
+  const data::Splits splits = data::MakeSplits(dataset, 10);
+  EXPECT_FALSE(splits.train.empty());
+  EXPECT_FALSE(splits.test.empty());
+  // Every example's history precedes its target inside the user sequence.
+  for (const data::Example& example : splits.train) {
+    EXPECT_FALSE(example.history.empty());
+    EXPECT_LE(example.history.size(), 10u);
+  }
+  // 8:1:1-ish.
+  const double total = splits.train.size() + splits.validation.size() +
+                       splits.test.size();
+  EXPECT_GT(splits.train.size() / total, 0.6);
+  EXPECT_LT(splits.test.size() / total, 0.3);
+}
+
+TEST_P(DatasetPresetTest, FilterIsIdempotent) {
+  const data::Dataset dataset =
+      data::FilterMinInteractions(data::GenerateDataset(GetParam()), 5);
+  const data::Dataset again = data::FilterMinInteractions(dataset, 5);
+  EXPECT_EQ(dataset.sequences.size(), again.sequences.size());
+  data::DatasetStats a = data::ComputeStats(dataset);
+  data::DatasetStats b = data::ComputeStats(again);
+  EXPECT_EQ(a.num_interactions, b.num_interactions);
+}
+
+TEST_P(DatasetPresetTest, VocabCoversEveryTitle) {
+  const data::Dataset dataset = data::GenerateDataset(GetParam());
+  const llm::Vocab vocab = llm::Vocab::BuildFromCatalog(dataset.catalog);
+  for (const data::Item& item : dataset.catalog.items) {
+    for (int64_t token : vocab.Encode(item.title)) {
+      ASSERT_NE(token, llm::Vocab::kUnk) << item.title;
+    }
+  }
+}
+
+TEST_P(DatasetPresetTest, VerbalizerHeadsAgree) {
+  // AllItemLogits restricted to a candidate subset must equal
+  // CandidateLogits on that subset.
+  const data::Dataset dataset = data::GenerateDataset(GetParam());
+  const llm::Vocab vocab = llm::Vocab::BuildFromCatalog(dataset.catalog);
+  const llm::Verbalizer verbalizer(dataset.catalog, vocab);
+  util::Rng rng(11);
+  nn::Tensor token_logits = nn::Tensor::Randn({1, vocab.size()}, rng, 1.0f);
+  std::vector<int64_t> candidates =
+      rng.SampleDistinct(dataset.catalog.size(), 10, {});
+  nn::Tensor all = verbalizer.AllItemLogits(token_logits);
+  nn::Tensor some = verbalizer.CandidateLogits(token_logits, candidates);
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    EXPECT_NEAR(all.data()[candidates[i]], some.data()[i], 1e-4f);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPresets, DatasetPresetTest,
+    ::testing::Values(data::MovieLens100KConfig(), data::SteamConfig(),
+                      data::BeautyConfig(), data::HomeKitchenConfig(),
+                      data::KuaiRecConfig()),
+    [](const ::testing::TestParamInfo<data::GeneratorConfig>& info) {
+      std::string name = info.param.name;
+      for (char& c : name) {
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      }
+      return name;
+    });
+
+// ----------------------------------------------------------------- matmul
+
+class MatMulShapeTest
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(MatMulShapeTest, VariantsMatchNaiveReference) {
+  const auto [m, k, n] = GetParam();
+  util::Rng rng(m * 100 + k * 10 + n);
+  nn::Tensor a = nn::Tensor::Randn({m, k}, rng, 1.0f);
+  nn::Tensor b = nn::Tensor::Randn({k, n}, rng, 1.0f);
+  nn::Tensor c = nn::MatMul(a, b);
+  for (int i = 0; i < m; ++i) {
+    for (int j = 0; j < n; ++j) {
+      float expected = 0.0f;
+      for (int p = 0; p < k; ++p) {
+        expected += a.data()[i * k + p] * b.data()[p * n + j];
+      }
+      ASSERT_NEAR(c.data()[i * n + j], expected, 1e-3f);
+    }
+  }
+  // NT and TN agree with explicit transposes.
+  nn::Tensor nt = nn::MatMul(a, nn::Transpose(b), false, true);
+  nn::Tensor tn = nn::MatMul(nn::Transpose(a), b, true, false);
+  for (int64_t i = 0; i < c.size(); ++i) {
+    ASSERT_NEAR(nt.data()[i], c.data()[i], 1e-3f);
+    ASSERT_NEAR(tn.data()[i], c.data()[i], 1e-3f);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, MatMulShapeTest,
+    ::testing::Values(std::make_tuple(1, 1, 1), std::make_tuple(1, 8, 5),
+                      std::make_tuple(7, 3, 2), std::make_tuple(4, 4, 4),
+                      std::make_tuple(13, 5, 9), std::make_tuple(2, 17, 3)));
+
+// ---------------------------------------------------------------- softmax
+
+class SoftmaxShapeTest : public ::testing::TestWithParam<std::pair<int, int>> {
+};
+
+TEST_P(SoftmaxShapeTest, RowsNormalizedAndShiftInvariant) {
+  const auto [rows, cols] = GetParam();
+  util::Rng rng(rows * 31 + cols);
+  nn::Tensor x = nn::Tensor::Randn({rows, cols}, rng, 2.0f);
+  nn::Tensor s = nn::Softmax(x);
+  nn::Tensor shifted = nn::Softmax(nn::AddScalar(x, 123.0f));
+  for (int i = 0; i < rows; ++i) {
+    float sum = 0.0f;
+    for (int j = 0; j < cols; ++j) {
+      const float v = s.data()[i * cols + j];
+      ASSERT_GE(v, 0.0f);
+      ASSERT_LE(v, 1.0f);
+      ASSERT_NEAR(v, shifted.data()[i * cols + j], 1e-5f);
+      sum += v;
+    }
+    ASSERT_NEAR(sum, 1.0f, 1e-5f);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, SoftmaxShapeTest,
+                         ::testing::Values(std::make_pair(1, 2),
+                                           std::make_pair(3, 7),
+                                           std::make_pair(8, 1),
+                                           std::make_pair(5, 33)));
+
+// -------------------------------------------------------------- optimizers
+
+enum class OptimizerKind { kSgd, kMomentum, kAdagrad, kAdam, kLion };
+
+class OptimizerFamilyTest
+    : public ::testing::TestWithParam<OptimizerKind> {};
+
+TEST_P(OptimizerFamilyTest, ReducesRosenbrockStyleLoss) {
+  // All optimizers must make consistent progress on a smooth quadratic with
+  // badly scaled curvature: f(x) = Σ w_i (x_i - t_i)².
+  nn::Tensor x = nn::Tensor::Zeros({4}, /*requires_grad=*/true);
+  nn::Tensor target = nn::Tensor::FromData({4}, {1.0f, -1.0f, 2.0f, 0.5f});
+  nn::Tensor weights = nn::Tensor::FromData({4}, {5.0f, 1.0f, 0.2f, 2.0f});
+  std::unique_ptr<nn::Optimizer> optimizer;
+  switch (GetParam()) {
+    case OptimizerKind::kSgd:
+      optimizer = std::make_unique<nn::Sgd>(std::vector<nn::Tensor>{x}, 0.05f);
+      break;
+    case OptimizerKind::kMomentum:
+      optimizer =
+          std::make_unique<nn::Sgd>(std::vector<nn::Tensor>{x}, 0.02f, 0.9f);
+      break;
+    case OptimizerKind::kAdagrad:
+      optimizer =
+          std::make_unique<nn::Adagrad>(std::vector<nn::Tensor>{x}, 0.5f);
+      break;
+    case OptimizerKind::kAdam:
+      optimizer = std::make_unique<nn::Adam>(std::vector<nn::Tensor>{x}, 0.1f);
+      break;
+    case OptimizerKind::kLion:
+      optimizer =
+          std::make_unique<nn::Lion>(std::vector<nn::Tensor>{x}, 0.02f);
+      break;
+  }
+  auto loss_value = [&] {
+    nn::Tensor err = nn::Sub(x, target);
+    return nn::Sum(nn::Mul(weights, nn::Mul(err, err)));
+  };
+  const float initial = loss_value().item();
+  for (int step = 0; step < 300; ++step) {
+    optimizer->ZeroGrad();
+    nn::Tensor loss = loss_value();
+    loss.Backward();
+    optimizer->Step();
+  }
+  EXPECT_LT(loss_value().item(), initial * 0.05f);
+}
+
+INSTANTIATE_TEST_SUITE_P(Families, OptimizerFamilyTest,
+                         ::testing::Values(OptimizerKind::kSgd,
+                                           OptimizerKind::kMomentum,
+                                           OptimizerKind::kAdagrad,
+                                           OptimizerKind::kAdam,
+                                           OptimizerKind::kLion));
+
+// ----------------------------------------------------------------- prompts
+
+class PromptSeedTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(PromptSeedTest, TemplatesValidForRandomInputs) {
+  data::GeneratorConfig config = data::KuaiRecConfig();
+  config.num_users = 20;
+  config.num_items = 40;
+  const data::Dataset dataset = data::GenerateDataset(config);
+  const llm::Vocab vocab = llm::Vocab::BuildFromCatalog(dataset.catalog);
+  const llm::PromptBuilder builder(&dataset.catalog, &vocab);
+  util::Rng rng(GetParam());
+  for (int trial = 0; trial < 20; ++trial) {
+    const int64_t length = rng.UniformInt(4, 12);
+    std::vector<int64_t> history;
+    for (int64_t i = 0; i < length; ++i) {
+      history.push_back(rng.UniformInt(0, dataset.catalog.size() - 1));
+    }
+    std::vector<int64_t> top_h;
+    for (int64_t i = 0; i < 5; ++i) {
+      top_h.push_back(rng.UniformInt(0, dataset.catalog.size() - 1));
+    }
+    nn::Tensor soft = nn::Tensor::Randn({4, 16}, rng, 0.02f);
+    for (const llm::Prompt& prompt :
+         {builder.BuildRecommendation(history, {}, soft, {}, nn::Tensor()),
+          builder.BuildTemporalAnalysis(history, 4, {}, soft),
+          builder.BuildPatternSimulating(history, top_h, {}, soft,
+                                         "sasrec")}) {
+      ASSERT_GE(prompt.mask_position, 0);
+      ASSERT_LT(prompt.mask_position, prompt.length());
+      ASSERT_LE(prompt.length(), 192);  // TinyLM max_positions.
+      // Exactly one [MASK] across all token pieces.
+      int masks = 0;
+      for (const llm::PromptPiece& piece : prompt.pieces) {
+        if (piece.kind == llm::PromptPiece::Kind::kTokens) {
+          for (int64_t token : piece.tokens) {
+            if (token == llm::Vocab::kMask) ++masks;
+          }
+        }
+      }
+      ASSERT_EQ(masks, 1);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PromptSeedTest,
+                         ::testing::Values(1u, 7u, 42u, 1234u));
+
+// --------------------------------------------------------------- rng sweep
+
+class RngSeedTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RngSeedTest, UniformMomentsStable) {
+  util::Rng rng(GetParam());
+  double sum = 0.0, sq = 0.0;
+  const int n = 5000;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.UniformDouble();
+    sum += v;
+    sq += v * v;
+  }
+  EXPECT_NEAR(sum / n, 0.5, 0.03);
+  EXPECT_NEAR(sq / n, 1.0 / 3.0, 0.03);
+}
+
+TEST_P(RngSeedTest, ForkDecorrelates) {
+  util::Rng parent(GetParam());
+  util::Rng child = parent.Fork();
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    same += parent.NextUint64() == child.NextUint64() ? 1 : 0;
+  }
+  EXPECT_LT(same, 2);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RngSeedTest,
+                         ::testing::Values(0u, 1u, 99u, 7777u, 123456789u));
+
+}  // namespace
+}  // namespace delrec

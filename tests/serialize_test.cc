@@ -1,0 +1,182 @@
+#include "util/serialize.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "core/checkpoint.h"
+#include "nn/serialize.h"
+#include "srmodels/sasrec.h"
+#include "core/delrec.h"
+#include "core/workbench.h"
+#include "srmodels/factory.h"
+
+namespace delrec {
+namespace {
+
+std::string TempPath(const char* name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+TEST(BlobFileTest, PutGetReplace) {
+  util::BlobFile file;
+  file.Put("a", {1.0f, 2.0f});
+  file.Put("b", {3.0f});
+  EXPECT_TRUE(file.Contains("a"));
+  EXPECT_FALSE(file.Contains("c"));
+  EXPECT_EQ(file.Get("a").value(), (std::vector<float>{1.0f, 2.0f}));
+  file.Put("a", {9.0f});
+  EXPECT_EQ(file.Get("a").value(), (std::vector<float>{9.0f}));
+  EXPECT_EQ(file.Names().size(), 2u);
+  EXPECT_FALSE(file.Get("missing").ok());
+}
+
+TEST(BlobFileTest, RoundTripThroughDisk) {
+  util::BlobFile file;
+  file.Put("weights", {0.5f, -1.25f, 3.75f});
+  file.Put("empty", {});
+  file.Put("named blob with spaces", {42.0f});
+  const std::string path = TempPath("roundtrip.delrec");
+  ASSERT_TRUE(file.WriteTo(path).ok());
+  auto loaded = util::BlobFile::ReadFrom(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded.value().Get("weights").value(),
+            (std::vector<float>{0.5f, -1.25f, 3.75f}));
+  EXPECT_EQ(loaded.value().Get("empty").value().size(), 0u);
+  EXPECT_EQ(loaded.value().Get("named blob with spaces").value()[0], 42.0f);
+}
+
+TEST(BlobFileTest, MissingFileIsNotFound) {
+  auto result = util::BlobFile::ReadFrom(TempPath("does-not-exist.delrec"));
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), util::Status::Code::kNotFound);
+}
+
+TEST(BlobFileTest, CorruptionDetected) {
+  util::BlobFile file;
+  file.Put("x", {1.0f, 2.0f, 3.0f, 4.0f});
+  const std::string path = TempPath("corrupt.delrec");
+  ASSERT_TRUE(file.WriteTo(path).ok());
+  // Flip a byte in the middle of the payload.
+  {
+    std::fstream stream(path,
+                        std::ios::in | std::ios::out | std::ios::binary);
+    stream.seekp(32);
+    char byte = 0x5a;
+    stream.write(&byte, 1);
+  }
+  auto result = util::BlobFile::ReadFrom(path);
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(BlobFileTest, BadMagicRejected) {
+  const std::string path = TempPath("badmagic.delrec");
+  {
+    std::ofstream stream(path, std::ios::binary);
+    stream << "NOTDELRECFILE____________";
+  }
+  auto result = util::BlobFile::ReadFrom(path);
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(FnvTest, StableAndSensitive) {
+  const char a[] = "hello";
+  const char b[] = "hellp";
+  EXPECT_EQ(util::Fnv1a(a, 5), util::Fnv1a(a, 5));
+  EXPECT_NE(util::Fnv1a(a, 5), util::Fnv1a(b, 5));
+}
+
+TEST(CheckpointTest, DelRecRoundTripPreservesScores) {
+  data::GeneratorConfig generator = data::KuaiRecConfig();
+  generator.num_users = 40;
+  generator.num_items = 50;
+  core::Workbench::Options options;
+  options.pretrain_epochs = 1;
+  core::Workbench workbench(generator, options);
+  auto sasrec = srmodels::MakeBackbone(srmodels::Backbone::kSasRec,
+                                       workbench.num_items(), 10, 5);
+  srmodels::TrainConfig sr_train =
+      srmodels::BackboneTrainConfig(srmodels::Backbone::kSasRec);
+  sr_train.epochs = 1;
+  sasrec->Train(workbench.splits().train, sr_train);
+
+  core::DelRecConfig config;
+  config.stage1_epochs = 1;
+  config.stage2_epochs = 1;
+  config.stage1_max_examples = 40;
+  config.stage2_max_examples = 40;
+  config.soft_prompt_count = 4;
+  auto llm = workbench.MakePretrainedLlm(core::LlmSize::kBase);
+  core::DelRec model(&workbench.dataset().catalog, &workbench.vocab(),
+                     llm.get(), sasrec.get(), config);
+  model.Train(workbench.splits().train);
+
+  const std::string path = TempPath("delrec.ckpt");
+  ASSERT_TRUE(core::SaveDelRecCheckpoint(model, *llm, path).ok());
+
+  // A fresh (untrained) system restored from the checkpoint must reproduce
+  // scores bit-for-bit.
+  auto llm2 = workbench.MakePretrainedLlm(core::LlmSize::kBase);
+  core::DelRec model2(&workbench.dataset().catalog, &workbench.vocab(),
+                      llm2.get(), sasrec.get(), config);
+  ASSERT_TRUE(core::LoadDelRecCheckpoint(model2, *llm2, path).ok());
+
+  data::Example example;
+  example.history = {1, 2, 3, 4};
+  example.target = 5;
+  std::vector<int64_t> candidates = {5, 6, 7, 8, 9};
+  const auto before = model.ScoreCandidates(example, candidates);
+  const auto after = model2.ScoreCandidates(example, candidates);
+  ASSERT_EQ(before.size(), after.size());
+  for (size_t i = 0; i < before.size(); ++i) {
+    EXPECT_FLOAT_EQ(before[i], after[i]);
+  }
+}
+
+TEST(CheckpointTest, ArchitectureMismatchRejected) {
+  data::GeneratorConfig generator = data::KuaiRecConfig();
+  generator.num_users = 30;
+  generator.num_items = 40;
+  core::Workbench::Options options;
+  options.pretrain_epochs = 1;
+  core::Workbench workbench(generator, options);
+  auto sasrec = srmodels::MakeBackbone(srmodels::Backbone::kSasRec,
+                                       workbench.num_items(), 10, 5);
+  core::DelRecConfig config;
+  config.soft_prompt_count = 4;
+  auto base = workbench.MakePretrainedLlm(core::LlmSize::kBase);
+  core::DelRec model(&workbench.dataset().catalog, &workbench.vocab(),
+                     base.get(), sasrec.get(), config);
+  const std::string path = TempPath("mismatch.ckpt");
+  ASSERT_TRUE(core::SaveDelRecCheckpoint(model, *base, path).ok());
+
+  // Loading a Base checkpoint into an XL-sized LLM must fail cleanly.
+  auto xl = workbench.MakePretrainedLlm(core::LlmSize::kXL);
+  core::DelRec model_xl(&workbench.dataset().catalog, &workbench.vocab(),
+                        xl.get(), sasrec.get(), config);
+  EXPECT_FALSE(core::LoadDelRecCheckpoint(model_xl, *xl, path).ok());
+}
+
+TEST(ModuleSerializeTest, SasRecRoundTrip) {
+  srmodels::SasRec a(/*num_items=*/30, 16, 10, 1, 2, /*seed=*/3);
+  srmodels::SasRec b(30, 16, 10, 1, 2, /*seed=*/99);
+  const std::string path = TempPath("sasrec.ckpt");
+  ASSERT_TRUE(nn::SaveModuleState(a, path).ok());
+  ASSERT_TRUE(nn::LoadModuleState(b, path).ok());
+  const auto sa = a.ScoreAllItems({1, 2, 3});
+  const auto sb = b.ScoreAllItems({1, 2, 3});
+  ASSERT_EQ(sa.size(), sb.size());
+  for (size_t i = 0; i < sa.size(); ++i) EXPECT_FLOAT_EQ(sa[i], sb[i]);
+}
+
+TEST(ModuleSerializeTest, MismatchedArchitectureRejected) {
+  srmodels::SasRec a(30, 16, 10, 1, 2, 3);
+  srmodels::SasRec wider(30, 32, 10, 1, 2, 3);
+  const std::string path = TempPath("sasrec2.ckpt");
+  ASSERT_TRUE(nn::SaveModuleState(a, path).ok());
+  EXPECT_FALSE(nn::LoadModuleState(wider, path).ok());
+}
+
+}  // namespace
+}  // namespace delrec

@@ -1,0 +1,182 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "data/dataset.h"
+#include "data/split.h"
+#include "eval/protocol.h"
+#include "srmodels/bert4rec.h"
+#include "srmodels/caser.h"
+#include "srmodels/factory.h"
+#include "srmodels/gru4rec.h"
+#include "srmodels/kda.h"
+#include "srmodels/sasrec.h"
+#include "srmodels/simple.h"
+
+namespace delrec::srmodels {
+namespace {
+
+// Shared tiny dataset fixture (KuaiRec preset = densest, fastest to learn).
+class SrModelsTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    dataset_ = new data::Dataset(data::GenerateDataset(data::KuaiRecConfig()));
+    splits_ = new data::Splits(data::MakeSplits(*dataset_, 10));
+  }
+  static void TearDownTestSuite() {
+    delete splits_;
+    delete dataset_;
+    splits_ = nullptr;
+    dataset_ = nullptr;
+  }
+
+  static double Hr10(const SequentialRecommender& model) {
+    eval::EvalConfig config;
+    config.max_examples = 120;
+    auto acc = eval::EvaluateCandidates(
+        splits_->test, dataset_->catalog.size(),
+        [&](const data::Example& example,
+            const std::vector<int64_t>& candidates) {
+          return model.ScoreCandidates(example.history, candidates);
+        },
+        config);
+    return acc.Result().hr_at_10;
+  }
+
+  static TrainConfig FastConfig() {
+    TrainConfig config;
+    config.epochs = 3;
+    return config;
+  }
+
+  static data::Dataset* dataset_;
+  static data::Splits* splits_;
+};
+
+data::Dataset* SrModelsTest::dataset_ = nullptr;
+data::Splits* SrModelsTest::splits_ = nullptr;
+
+TEST_F(SrModelsTest, PopRecBeatsChanceAndTracksCounts) {
+  PopRec model(dataset_->catalog.size());
+  model.Train(splits_->train, FastConfig());
+  // Chance HR@10 on 15 candidates is 10/15 ≈ 0.667; popularity adds a bit.
+  EXPECT_GT(Hr10(model), 0.60);
+  EXPECT_EQ(model.ParameterCount(), 0);
+}
+
+TEST_F(SrModelsTest, FmcLearnsSequelTransitions) {
+  Fmc model(dataset_->catalog.size(), 16, 3);
+  TrainConfig config = FastConfig();
+  config.learning_rate = 5e-3f;
+  model.Train(splits_->train, config);
+  EXPECT_GT(Hr10(model), 0.75);
+}
+
+TEST_F(SrModelsTest, Gru4RecLearns) {
+  Gru4Rec model(dataset_->catalog.size(), 32, 3);
+  TrainConfig config = BackboneTrainConfig(Backbone::kGru4Rec);
+  config.epochs = 3;
+  model.Train(splits_->train, config);
+  EXPECT_GT(Hr10(model), 0.78);
+}
+
+TEST_F(SrModelsTest, CaserLearns) {
+  Caser model(dataset_->catalog.size(), 32, 10, 8, 2, 3);
+  TrainConfig config = BackboneTrainConfig(Backbone::kCaser);
+  config.epochs = 3;
+  model.Train(splits_->train, config);
+  EXPECT_GT(Hr10(model), 0.78);
+}
+
+TEST_F(SrModelsTest, SasRecLearns) {
+  SasRec model(dataset_->catalog.size(), 32, 10, 2, 2, 3);
+  TrainConfig config = BackboneTrainConfig(Backbone::kSasRec);
+  config.epochs = 3;
+  model.Train(splits_->train, config);
+  EXPECT_GT(Hr10(model), 0.78);
+}
+
+TEST_F(SrModelsTest, Bert4RecLearns) {
+  Bert4Rec model(dataset_->catalog.size(), 32, 10, 2, 2, 3);
+  TrainConfig config = FastConfig();
+  config.learning_rate = 2e-3f;
+  model.Train(splits_->train, config);
+  EXPECT_GT(Hr10(model), 0.75);
+}
+
+TEST_F(SrModelsTest, KdaLearns) {
+  Kda model(dataset_->catalog.size(), 32, 12, 10, 4, 3);
+  TrainConfig config = FastConfig();
+  config.learning_rate = 2e-3f;
+  model.Train(splits_->train, config);
+  EXPECT_GT(Hr10(model), 0.78);
+}
+
+TEST_F(SrModelsTest, TrainedModelsBeatPopularity) {
+  PopRec popularity(dataset_->catalog.size());
+  popularity.Train(splits_->train, FastConfig());
+  SasRec sasrec(dataset_->catalog.size(), 32, 10, 2, 2, 3);
+  TrainConfig config = BackboneTrainConfig(Backbone::kSasRec);
+  config.epochs = 3;
+  sasrec.Train(splits_->train, config);
+  EXPECT_GT(Hr10(sasrec), Hr10(popularity));
+}
+
+TEST_F(SrModelsTest, EncodeHistoryShapes) {
+  Gru4Rec gru(dataset_->catalog.size(), 32, 3);
+  EXPECT_EQ(gru.EncodeHistory({1, 2, 3}).size(), 32u);
+  EXPECT_EQ(gru.ItemEmbedding(5).size(), 32u);
+  EXPECT_EQ(gru.representation_dim(), 32);
+  SasRec sas(dataset_->catalog.size(), 32, 10, 1, 2, 3);
+  EXPECT_EQ(sas.EncodeHistory({1, 2}).size(), 32u);
+}
+
+TEST_F(SrModelsTest, TopKOrderedByScore) {
+  PopRec model(dataset_->catalog.size());
+  model.Train(splits_->train, FastConfig());
+  auto scores = model.ScoreAllItems({0});
+  auto top = model.TopK({0}, 5);
+  ASSERT_EQ(top.size(), 5u);
+  for (size_t i = 1; i < top.size(); ++i) {
+    EXPECT_GE(scores[top[i - 1]], scores[top[i]]);
+  }
+}
+
+TEST_F(SrModelsTest, ScoreCandidatesGathersFromAllItems) {
+  Fmc model(dataset_->catalog.size(), 8, 3);
+  model.Train(splits_->train, FastConfig());
+  auto all = model.ScoreAllItems({3, 4});
+  auto some = model.ScoreCandidates({3, 4}, {7, 0, 9});
+  EXPECT_FLOAT_EQ(some[0], all[7]);
+  EXPECT_FLOAT_EQ(some[1], all[0]);
+  EXPECT_FLOAT_EQ(some[2], all[9]);
+}
+
+TEST(FactoryTest, MakesAllBackbones) {
+  for (Backbone backbone :
+       {Backbone::kGru4Rec, Backbone::kCaser, Backbone::kSasRec}) {
+    auto model = MakeBackbone(backbone, 50, 10, 1);
+    ASSERT_NE(model, nullptr);
+    EXPECT_EQ(model->name(), BackboneName(backbone));
+    EXPECT_GT(model->ParameterCount(), 0);
+    EXPECT_EQ(model->ScoreAllItems({0, 1, 2}).size(), 50u);
+  }
+}
+
+TEST(FactoryTest, KdaRelationInjection) {
+  Kda model(20, 16, 8, 10, 4, 1);
+  std::vector<std::vector<float>> latent(20, std::vector<float>(8, 0.1f));
+  model.InjectLatentRelations(latent, 0.5f);
+  EXPECT_EQ(model.ScoreAllItems({1, 2}).size(), 20u);
+}
+
+TEST(SequentialRecommenderTest, TopKFromScores) {
+  auto top = TopKFromScores({0.1f, 0.9f, 0.5f, 0.9f}, 3);
+  ASSERT_EQ(top.size(), 3u);
+  EXPECT_EQ(top[0], 1);  // Tie broken by index.
+  EXPECT_EQ(top[1], 3);
+  EXPECT_EQ(top[2], 2);
+}
+
+}  // namespace
+}  // namespace delrec::srmodels

@@ -1,0 +1,103 @@
+#include "nn/tensor.h"
+
+#include <gtest/gtest.h>
+
+#include "nn/ops.h"
+#include "util/rng.h"
+
+namespace delrec::nn {
+namespace {
+
+TEST(TensorTest, FactoriesAndShape) {
+  Tensor z = Tensor::Zeros({2, 3});
+  EXPECT_EQ(z.size(), 6);
+  EXPECT_EQ(z.ndim(), 2);
+  EXPECT_EQ(z.dim(0), 2);
+  EXPECT_EQ(z.dim(-1), 3);
+  for (float v : z.data()) EXPECT_EQ(v, 0.0f);
+
+  Tensor f = Tensor::Full({4}, 2.5f);
+  for (float v : f.data()) EXPECT_EQ(v, 2.5f);
+
+  Tensor d = Tensor::FromData({2, 2}, {1, 2, 3, 4});
+  EXPECT_EQ(d.at({1, 0}), 3.0f);
+  EXPECT_EQ(d.at({1, 1}), 4.0f);
+}
+
+TEST(TensorTest, RandnStatistics) {
+  util::Rng rng(1);
+  Tensor t = Tensor::Randn({100, 100}, rng, 0.5f);
+  double sum = 0, sq = 0;
+  for (float v : t.data()) {
+    sum += v;
+    sq += v * v;
+  }
+  EXPECT_NEAR(sum / t.size(), 0.0, 0.02);
+  EXPECT_NEAR(sq / t.size(), 0.25, 0.02);
+}
+
+TEST(TensorTest, UndefinedHandle) {
+  Tensor t;
+  EXPECT_FALSE(t.defined());
+  Tensor z = Tensor::Zeros({1});
+  EXPECT_TRUE(z.defined());
+}
+
+TEST(TensorTest, BackwardThroughChain) {
+  // y = mean(3·x + 1); dy/dx = 3/n.
+  Tensor x = Tensor::FromData({2, 2}, {1, 2, 3, 4}, /*requires_grad=*/true);
+  Tensor y = Mean(AddScalar(MulScalar(x, 3.0f), 1.0f));
+  EXPECT_FLOAT_EQ(y.item(), (4 + 7 + 10 + 13) / 4.0f);
+  y.Backward();
+  for (float g : x.grad()) EXPECT_FLOAT_EQ(g, 0.75f);
+}
+
+TEST(TensorTest, BackwardAccumulatesAcrossCalls) {
+  Tensor x = Tensor::FromData({2}, {1, 1}, /*requires_grad=*/true);
+  Sum(x).Backward();
+  Sum(x).Backward();
+  for (float g : x.grad()) EXPECT_FLOAT_EQ(g, 2.0f);
+  x.ZeroGrad();
+  for (float g : x.grad()) EXPECT_FLOAT_EQ(g, 0.0f);
+}
+
+TEST(TensorTest, DiamondGraphGradient) {
+  // y = sum(x⊙x + x) — x reachable twice; grad = 2x + 1.
+  Tensor x = Tensor::FromData({3}, {1, 2, 3}, /*requires_grad=*/true);
+  Tensor y = Sum(Add(Mul(x, x), x));
+  y.Backward();
+  EXPECT_FLOAT_EQ(x.grad()[0], 3.0f);
+  EXPECT_FLOAT_EQ(x.grad()[1], 5.0f);
+  EXPECT_FLOAT_EQ(x.grad()[2], 7.0f);
+}
+
+TEST(TensorTest, NoTapeWithoutRequiresGrad) {
+  Tensor x = Tensor::FromData({2}, {1, 2});
+  Tensor y = MulScalar(x, 2.0f);
+  EXPECT_FALSE(y.requires_grad());
+  EXPECT_TRUE(y.impl()->parents.empty());
+}
+
+TEST(TensorTest, DetachCopyIsIndependent) {
+  Tensor x = Tensor::FromData({2}, {1, 2}, /*requires_grad=*/true);
+  Tensor d = x.DetachCopy();
+  EXPECT_FALSE(d.requires_grad());
+  d.data()[0] = 99.0f;
+  EXPECT_FLOAT_EQ(x.data()[0], 1.0f);
+}
+
+TEST(TensorTest, BackwardReleasesInteriorTape) {
+  Tensor x = Tensor::FromData({2}, {1, 2}, /*requires_grad=*/true);
+  Tensor mid = MulScalar(x, 2.0f);
+  Tensor loss = Sum(mid);
+  loss.Backward();
+  EXPECT_TRUE(loss.impl()->parents.empty());
+  EXPECT_TRUE(mid.impl()->parents.empty());
+}
+
+TEST(TensorTest, ShapeString) {
+  EXPECT_EQ(Tensor::Zeros({2, 5}).ShapeString(), "[2, 5]");
+}
+
+}  // namespace
+}  // namespace delrec::nn

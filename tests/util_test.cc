@@ -1,0 +1,147 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "util/memory.h"
+#include "util/rng.h"
+#include "util/string_util.h"
+#include "util/table.h"
+
+namespace delrec::util {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.NextUint64(), b.NextUint64());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += a.NextUint64() == b.NextUint64();
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, UniformUint64RespectsBound) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.UniformUint64(13), 13u);
+}
+
+TEST(RngTest, UniformIntInclusiveRange) {
+  Rng rng(7);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 500; ++i) {
+    int64_t v = rng.UniformInt(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);  // All 5 values hit in 500 draws.
+}
+
+TEST(RngTest, UniformDoubleInUnitInterval) {
+  Rng rng(3);
+  double sum = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    double v = rng.UniformDouble();
+    ASSERT_GE(v, 0.0);
+    ASSERT_LT(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(RngTest, NormalMomentsRoughlyStandard) {
+  Rng rng(11);
+  double sum = 0.0, sq = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    double v = rng.Normal();
+    sum += v;
+    sq += v * v;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.05);
+  EXPECT_NEAR(sq / n, 1.0, 0.05);
+}
+
+TEST(RngTest, DiscreteFollowsWeights) {
+  Rng rng(5);
+  std::vector<double> weights = {1.0, 0.0, 3.0};
+  int counts[3] = {0, 0, 0};
+  for (int i = 0; i < 8000; ++i) ++counts[rng.Discrete(weights)];
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / counts[0], 3.0, 0.4);
+}
+
+TEST(RngTest, ZipfIsSkewedTowardLowRanks) {
+  Rng rng(9);
+  int low = 0, high = 0;
+  for (int i = 0; i < 5000; ++i) {
+    size_t v = rng.Zipf(100, 1.2);
+    ASSERT_LT(v, 100u);
+    if (v < 10) ++low;
+    if (v >= 90) ++high;
+  }
+  EXPECT_GT(low, 5 * high);
+}
+
+TEST(RngTest, SampleDistinctExcludes) {
+  Rng rng(17);
+  std::vector<int64_t> excluded = {0, 1, 2};
+  auto sample = rng.SampleDistinct(10, 5, excluded);
+  EXPECT_EQ(sample.size(), 5u);
+  std::set<int64_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 5u);
+  for (int64_t v : sample) {
+    EXPECT_GE(v, 3);
+    EXPECT_LT(v, 10);
+  }
+}
+
+TEST(RngTest, ShufflePreservesElements) {
+  Rng rng(23);
+  std::vector<int> values = {1, 2, 3, 4, 5, 6, 7};
+  auto original = values;
+  rng.Shuffle(values);
+  std::sort(values.begin(), values.end());
+  EXPECT_EQ(values, original);
+}
+
+TEST(StringUtilTest, SplitAndJoin) {
+  auto pieces = Split("a,b,,c", ',');
+  ASSERT_EQ(pieces.size(), 3u);
+  EXPECT_EQ(Join(pieces, "-"), "a-b-c");
+}
+
+TEST(StringUtilTest, ToLowerAndStartsWith) {
+  EXPECT_EQ(ToLower("AbC"), "abc");
+  EXPECT_TRUE(StartsWith("delrec_rocks", "delrec"));
+  EXPECT_FALSE(StartsWith("del", "delrec"));
+}
+
+TEST(StringUtilTest, FormatFixed) {
+  EXPECT_EQ(FormatFixed(0.12345, 4), "0.1235");
+  EXPECT_EQ(FormatFixed(1.0, 2), "1.00");
+}
+
+TEST(TableTest, RendersAlignedColumns) {
+  TablePrinter table({"model", "HR@1"});
+  table.AddMetricRow("SASRec", {0.3341});
+  table.AddMetricRow("DELRec", {0.3701}, {"*"});
+  std::string rendered = table.ToString();
+  EXPECT_NE(rendered.find("SASRec"), std::string::npos);
+  EXPECT_NE(rendered.find("0.3701*"), std::string::npos);
+  EXPECT_NE(rendered.find("|----"), std::string::npos);
+}
+
+TEST(MemoryTest, RssReadable) {
+  EXPECT_GT(CurrentRssBytes(), 0);
+  EXPECT_GE(PeakRssBytes(), CurrentRssBytes());
+}
+
+}  // namespace
+}  // namespace delrec::util
