@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_rec_items.dir/bench_fig8_rec_items.cc.o"
+  "CMakeFiles/bench_fig8_rec_items.dir/bench_fig8_rec_items.cc.o.d"
+  "bench_fig8_rec_items"
+  "bench_fig8_rec_items.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_rec_items.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

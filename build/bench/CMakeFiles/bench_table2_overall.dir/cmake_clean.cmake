@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_overall.dir/bench_table2_overall.cc.o"
+  "CMakeFiles/bench_table2_overall.dir/bench_table2_overall.cc.o.d"
+  "bench_table2_overall"
+  "bench_table2_overall.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_overall.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/delrec_bench_harness.dir/harness.cc.o"
+  "CMakeFiles/delrec_bench_harness.dir/harness.cc.o.d"
+  "libdelrec_bench_harness.a"
+  "libdelrec_bench_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/delrec_bench_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdelrec_bench_harness.a"
+)

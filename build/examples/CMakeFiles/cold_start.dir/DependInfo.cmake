@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/cold_start.cpp" "examples/CMakeFiles/cold_start.dir/cold_start.cpp.o" "gcc" "examples/CMakeFiles/cold_start.dir/cold_start.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/baselines/CMakeFiles/delrec_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/delrec_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/llm/CMakeFiles/delrec_llm.dir/DependInfo.cmake"
+  "/root/repo/build/src/srmodels/CMakeFiles/delrec_srmodels.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/delrec_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/delrec_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/delrec_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/delrec_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_catalog.dir/custom_catalog.cpp.o"
+  "CMakeFiles/custom_catalog.dir/custom_catalog.cpp.o.d"
+  "custom_catalog"
+  "custom_catalog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_catalog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/delrec_baselines.dir/common.cc.o"
+  "CMakeFiles/delrec_baselines.dir/common.cc.o.d"
+  "CMakeFiles/delrec_baselines.dir/paradigm1.cc.o"
+  "CMakeFiles/delrec_baselines.dir/paradigm1.cc.o.d"
+  "CMakeFiles/delrec_baselines.dir/paradigm2.cc.o"
+  "CMakeFiles/delrec_baselines.dir/paradigm2.cc.o.d"
+  "CMakeFiles/delrec_baselines.dir/paradigm3.cc.o"
+  "CMakeFiles/delrec_baselines.dir/paradigm3.cc.o.d"
+  "CMakeFiles/delrec_baselines.dir/zero_shot.cc.o"
+  "CMakeFiles/delrec_baselines.dir/zero_shot.cc.o.d"
+  "libdelrec_baselines.a"
+  "libdelrec_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/delrec_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/delrec_core.dir/checkpoint.cc.o"
+  "CMakeFiles/delrec_core.dir/checkpoint.cc.o.d"
+  "CMakeFiles/delrec_core.dir/delrec.cc.o"
+  "CMakeFiles/delrec_core.dir/delrec.cc.o.d"
+  "CMakeFiles/delrec_core.dir/workbench.cc.o"
+  "CMakeFiles/delrec_core.dir/workbench.cc.o.d"
+  "libdelrec_core.a"
+  "libdelrec_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/delrec_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/delrec_data.dir/dataset.cc.o"
+  "CMakeFiles/delrec_data.dir/dataset.cc.o.d"
+  "CMakeFiles/delrec_data.dir/split.cc.o"
+  "CMakeFiles/delrec_data.dir/split.cc.o.d"
+  "libdelrec_data.a"
+  "libdelrec_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/delrec_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/delrec_eval.dir/metrics.cc.o"
+  "CMakeFiles/delrec_eval.dir/metrics.cc.o.d"
+  "CMakeFiles/delrec_eval.dir/protocol.cc.o"
+  "CMakeFiles/delrec_eval.dir/protocol.cc.o.d"
+  "CMakeFiles/delrec_eval.dir/stats.cc.o"
+  "CMakeFiles/delrec_eval.dir/stats.cc.o.d"
+  "libdelrec_eval.a"
+  "libdelrec_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/delrec_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/llm/corpus.cc" "src/llm/CMakeFiles/delrec_llm.dir/corpus.cc.o" "gcc" "src/llm/CMakeFiles/delrec_llm.dir/corpus.cc.o.d"
+  "/root/repo/src/llm/pretrain.cc" "src/llm/CMakeFiles/delrec_llm.dir/pretrain.cc.o" "gcc" "src/llm/CMakeFiles/delrec_llm.dir/pretrain.cc.o.d"
+  "/root/repo/src/llm/prompt.cc" "src/llm/CMakeFiles/delrec_llm.dir/prompt.cc.o" "gcc" "src/llm/CMakeFiles/delrec_llm.dir/prompt.cc.o.d"
+  "/root/repo/src/llm/tiny_lm.cc" "src/llm/CMakeFiles/delrec_llm.dir/tiny_lm.cc.o" "gcc" "src/llm/CMakeFiles/delrec_llm.dir/tiny_lm.cc.o.d"
+  "/root/repo/src/llm/verbalizer.cc" "src/llm/CMakeFiles/delrec_llm.dir/verbalizer.cc.o" "gcc" "src/llm/CMakeFiles/delrec_llm.dir/verbalizer.cc.o.d"
+  "/root/repo/src/llm/vocab.cc" "src/llm/CMakeFiles/delrec_llm.dir/vocab.cc.o" "gcc" "src/llm/CMakeFiles/delrec_llm.dir/vocab.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/delrec_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/delrec_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/delrec_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

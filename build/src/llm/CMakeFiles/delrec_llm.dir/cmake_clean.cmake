@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/delrec_llm.dir/corpus.cc.o"
+  "CMakeFiles/delrec_llm.dir/corpus.cc.o.d"
+  "CMakeFiles/delrec_llm.dir/pretrain.cc.o"
+  "CMakeFiles/delrec_llm.dir/pretrain.cc.o.d"
+  "CMakeFiles/delrec_llm.dir/prompt.cc.o"
+  "CMakeFiles/delrec_llm.dir/prompt.cc.o.d"
+  "CMakeFiles/delrec_llm.dir/tiny_lm.cc.o"
+  "CMakeFiles/delrec_llm.dir/tiny_lm.cc.o.d"
+  "CMakeFiles/delrec_llm.dir/verbalizer.cc.o"
+  "CMakeFiles/delrec_llm.dir/verbalizer.cc.o.d"
+  "CMakeFiles/delrec_llm.dir/vocab.cc.o"
+  "CMakeFiles/delrec_llm.dir/vocab.cc.o.d"
+  "libdelrec_llm.a"
+  "libdelrec_llm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/delrec_llm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

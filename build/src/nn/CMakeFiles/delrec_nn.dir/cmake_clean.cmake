@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/delrec_nn.dir/layers.cc.o"
+  "CMakeFiles/delrec_nn.dir/layers.cc.o.d"
+  "CMakeFiles/delrec_nn.dir/lora.cc.o"
+  "CMakeFiles/delrec_nn.dir/lora.cc.o.d"
+  "CMakeFiles/delrec_nn.dir/module.cc.o"
+  "CMakeFiles/delrec_nn.dir/module.cc.o.d"
+  "CMakeFiles/delrec_nn.dir/ops.cc.o"
+  "CMakeFiles/delrec_nn.dir/ops.cc.o.d"
+  "CMakeFiles/delrec_nn.dir/optimizer.cc.o"
+  "CMakeFiles/delrec_nn.dir/optimizer.cc.o.d"
+  "CMakeFiles/delrec_nn.dir/serialize.cc.o"
+  "CMakeFiles/delrec_nn.dir/serialize.cc.o.d"
+  "CMakeFiles/delrec_nn.dir/tensor.cc.o"
+  "CMakeFiles/delrec_nn.dir/tensor.cc.o.d"
+  "libdelrec_nn.a"
+  "libdelrec_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/delrec_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

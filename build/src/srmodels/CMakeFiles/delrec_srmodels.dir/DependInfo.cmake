@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/srmodels/bert4rec.cc" "src/srmodels/CMakeFiles/delrec_srmodels.dir/bert4rec.cc.o" "gcc" "src/srmodels/CMakeFiles/delrec_srmodels.dir/bert4rec.cc.o.d"
+  "/root/repo/src/srmodels/caser.cc" "src/srmodels/CMakeFiles/delrec_srmodels.dir/caser.cc.o" "gcc" "src/srmodels/CMakeFiles/delrec_srmodels.dir/caser.cc.o.d"
+  "/root/repo/src/srmodels/factory.cc" "src/srmodels/CMakeFiles/delrec_srmodels.dir/factory.cc.o" "gcc" "src/srmodels/CMakeFiles/delrec_srmodels.dir/factory.cc.o.d"
+  "/root/repo/src/srmodels/gru4rec.cc" "src/srmodels/CMakeFiles/delrec_srmodels.dir/gru4rec.cc.o" "gcc" "src/srmodels/CMakeFiles/delrec_srmodels.dir/gru4rec.cc.o.d"
+  "/root/repo/src/srmodels/kda.cc" "src/srmodels/CMakeFiles/delrec_srmodels.dir/kda.cc.o" "gcc" "src/srmodels/CMakeFiles/delrec_srmodels.dir/kda.cc.o.d"
+  "/root/repo/src/srmodels/recommender.cc" "src/srmodels/CMakeFiles/delrec_srmodels.dir/recommender.cc.o" "gcc" "src/srmodels/CMakeFiles/delrec_srmodels.dir/recommender.cc.o.d"
+  "/root/repo/src/srmodels/sasrec.cc" "src/srmodels/CMakeFiles/delrec_srmodels.dir/sasrec.cc.o" "gcc" "src/srmodels/CMakeFiles/delrec_srmodels.dir/sasrec.cc.o.d"
+  "/root/repo/src/srmodels/simple.cc" "src/srmodels/CMakeFiles/delrec_srmodels.dir/simple.cc.o" "gcc" "src/srmodels/CMakeFiles/delrec_srmodels.dir/simple.cc.o.d"
+  "/root/repo/src/srmodels/trainer.cc" "src/srmodels/CMakeFiles/delrec_srmodels.dir/trainer.cc.o" "gcc" "src/srmodels/CMakeFiles/delrec_srmodels.dir/trainer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/delrec_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/delrec_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/delrec_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

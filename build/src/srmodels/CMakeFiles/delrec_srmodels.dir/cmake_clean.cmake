@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/delrec_srmodels.dir/bert4rec.cc.o"
+  "CMakeFiles/delrec_srmodels.dir/bert4rec.cc.o.d"
+  "CMakeFiles/delrec_srmodels.dir/caser.cc.o"
+  "CMakeFiles/delrec_srmodels.dir/caser.cc.o.d"
+  "CMakeFiles/delrec_srmodels.dir/factory.cc.o"
+  "CMakeFiles/delrec_srmodels.dir/factory.cc.o.d"
+  "CMakeFiles/delrec_srmodels.dir/gru4rec.cc.o"
+  "CMakeFiles/delrec_srmodels.dir/gru4rec.cc.o.d"
+  "CMakeFiles/delrec_srmodels.dir/kda.cc.o"
+  "CMakeFiles/delrec_srmodels.dir/kda.cc.o.d"
+  "CMakeFiles/delrec_srmodels.dir/recommender.cc.o"
+  "CMakeFiles/delrec_srmodels.dir/recommender.cc.o.d"
+  "CMakeFiles/delrec_srmodels.dir/sasrec.cc.o"
+  "CMakeFiles/delrec_srmodels.dir/sasrec.cc.o.d"
+  "CMakeFiles/delrec_srmodels.dir/simple.cc.o"
+  "CMakeFiles/delrec_srmodels.dir/simple.cc.o.d"
+  "CMakeFiles/delrec_srmodels.dir/trainer.cc.o"
+  "CMakeFiles/delrec_srmodels.dir/trainer.cc.o.d"
+  "libdelrec_srmodels.a"
+  "libdelrec_srmodels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/delrec_srmodels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdelrec_srmodels.a"
+)

@@ -1,0 +1,2 @@
+# Empty dependencies file for delrec_srmodels.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/delrec_util.dir/logging.cc.o"
+  "CMakeFiles/delrec_util.dir/logging.cc.o.d"
+  "CMakeFiles/delrec_util.dir/memory.cc.o"
+  "CMakeFiles/delrec_util.dir/memory.cc.o.d"
+  "CMakeFiles/delrec_util.dir/rng.cc.o"
+  "CMakeFiles/delrec_util.dir/rng.cc.o.d"
+  "CMakeFiles/delrec_util.dir/serialize.cc.o"
+  "CMakeFiles/delrec_util.dir/serialize.cc.o.d"
+  "CMakeFiles/delrec_util.dir/string_util.cc.o"
+  "CMakeFiles/delrec_util.dir/string_util.cc.o.d"
+  "CMakeFiles/delrec_util.dir/table.cc.o"
+  "CMakeFiles/delrec_util.dir/table.cc.o.d"
+  "libdelrec_util.a"
+  "libdelrec_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/delrec_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

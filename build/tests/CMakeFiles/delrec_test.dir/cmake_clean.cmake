@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/delrec_test.dir/delrec_test.cc.o"
+  "CMakeFiles/delrec_test.dir/delrec_test.cc.o.d"
+  "delrec_test"
+  "delrec_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/delrec_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

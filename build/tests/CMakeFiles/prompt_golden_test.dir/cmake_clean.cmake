@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prompt_golden_test.dir/prompt_golden_test.cc.o"
+  "CMakeFiles/prompt_golden_test.dir/prompt_golden_test.cc.o.d"
+  "prompt_golden_test"
+  "prompt_golden_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prompt_golden_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/srmodels_test.dir/srmodels_test.cc.o"
+  "CMakeFiles/srmodels_test.dir/srmodels_test.cc.o.d"
+  "srmodels_test"
+  "srmodels_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/srmodels_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
