@@ -10,6 +10,7 @@
 #include "baselines/zero_shot.h"
 #include "bench/harness.h"
 #include "data/dataset.h"
+#include "util/check.h"
 #include "util/memory.h"
 #include "util/string_util.h"
 #include "util/table.h"
@@ -105,7 +106,9 @@ int main(int argc, char** argv) {
   state.kda_lrd = std::make_unique<baselines::KdaLrd>(
       state.kda_llm.get(), &state.harness->workbench().dataset().catalog,
       &state.harness->workbench().vocab(), state.harness->BaselineDefaults());
-  state.kda_lrd->Train(state.harness->workbench().splits().train);
+  const util::Status kda_trained =
+      state.kda_lrd->Train(state.harness->workbench().splits().train);
+  DELREC_CHECK(kda_trained.ok()) << kda_trained.ToString();
   const int64_t peak_training_rss = util::PeakRssBytes();
 
   // Memory-footprint table.

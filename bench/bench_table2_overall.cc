@@ -12,6 +12,7 @@
 #include "baselines/paradigm3.h"
 #include "baselines/zero_shot.h"
 #include "bench/harness.h"
+#include "util/check.h"
 #include "util/logging.h"
 #include "util/table.h"
 #include "util/timer.h"
@@ -110,7 +111,8 @@ void RunDataset(const data::GeneratorConfig& config,
   for (const auto& [label, factory] : kBaselines) {
     auto llm = harness.Llm(core::LlmSize::kXL);
     auto model = factory(llm.get());
-    model->Train(train);
+    const util::Status trained = model->Train(train);
+    DELREC_CHECK(trained.ok()) << label << ": " << trained.ToString();
     table.AddMetricRow(label,
                        harness.EvaluateLlmBaseline(*model).Result().ToRow());
     DELREC_LOG(Info) << config.name << ": " << label << " done ("

@@ -5,6 +5,7 @@
 #include <functional>
 
 #include "bench/harness.h"
+#include "util/check.h"
 #include "util/table.h"
 #include "util/timer.h"
 
@@ -49,7 +50,9 @@ void RunDataset(const data::GeneratorConfig& config,
                        &harness.workbench().vocab(), llm.get(),
                        harness.Backbone(srmodels::Backbone::kSasRec),
                        config_variant);
-    model.Train(harness.workbench().splits().train);
+    const util::Status trained =
+        model.Train(harness.workbench().splits().train);
+    DELREC_CHECK(trained.ok()) << variant.label << ": " << trained.ToString();
     table.AddMetricRow(variant.label,
                        harness.EvaluateDelRec(model).Result().ToRow());
   }

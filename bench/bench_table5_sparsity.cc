@@ -6,6 +6,7 @@
 #include "baselines/paradigm3.h"
 #include "bench/harness.h"
 #include "data/dataset.h"
+#include "util/check.h"
 #include "util/string_util.h"
 #include "util/table.h"
 #include "util/timer.h"
@@ -39,7 +40,9 @@ int main() {
                                 &harness.workbench().dataset().catalog,
                                 &harness.workbench().vocab(),
                                 harness.BaselineDefaults());
-      kda_lrd.Train(harness.workbench().splits().train);
+      const util::Status trained =
+          kda_lrd.Train(harness.workbench().splits().train);
+      DELREC_CHECK(trained.ok()) << trained.ToString();
       table.AddMetricRow("KDA_LRD",
                          harness.EvaluateLlmBaseline(kda_lrd).Result().ToRow());
     }

@@ -41,7 +41,9 @@ srmodels::SequentialRecommender* DatasetHarness::Backbone(
   if (it != backbones_.end()) return it->second.get();
   auto model = srmodels::MakeBackbone(backbone, num_items(),
                                       /*history_length=*/10, /*seed=*/5);
-  model->Train(workbench_->splits().train, SrTrainConfig(backbone));
+  const util::Status trained =
+      model->Train(workbench_->splits().train, SrTrainConfig(backbone));
+  DELREC_CHECK(trained.ok()) << trained.ToString();
   return backbones_.emplace(backbone, std::move(model))
       .first->second.get();
 }
@@ -116,7 +118,8 @@ DatasetHarness::TrainedDelRec DatasetHarness::TrainDelRec(
   result.model = std::make_unique<core::DelRec>(
       &workbench_->dataset().catalog, &workbench_->vocab(), result.llm.get(),
       Backbone(backbone), config);
-  result.model->Train(workbench_->splits().train);
+  const util::Status trained = result.model->Train(workbench_->splits().train);
+  DELREC_CHECK(trained.ok()) << trained.ToString();
   return result;
 }
 

@@ -11,6 +11,7 @@
 #include "core/workbench.h"
 #include "data/dataset.h"
 #include "srmodels/factory.h"
+#include "util/status.h"
 
 namespace {
 
@@ -34,8 +35,14 @@ int main() {
   // Train the three contenders.
   auto sasrec = srmodels::MakeBackbone(srmodels::Backbone::kSasRec,
                                        workbench.num_items(), 10, 5);
-  sasrec->Train(workbench.splits().train,
-                srmodels::BackboneTrainConfig(srmodels::Backbone::kSasRec));
+  const util::Status sr_trained = sasrec->Train(
+      workbench.splits().train,
+      srmodels::BackboneTrainConfig(srmodels::Backbone::kSasRec));
+  if (!sr_trained.ok()) {
+    std::fprintf(stderr, "SASRec training failed: %s\n",
+                 sr_trained.ToString().c_str());
+    return 1;
+  }
   auto raw_llm = workbench.MakePretrainedLlm(core::LlmSize::kXL);
   baselines::ZeroShotLlm zero_shot("TinyLM-XL", raw_llm.get(), &catalog,
                                    &workbench.vocab(), 10);
@@ -43,7 +50,13 @@ int main() {
   core::DelRecConfig config;
   core::DelRec delrec_model(&catalog, &workbench.vocab(), delrec_llm.get(),
                             sasrec.get(), config);
-  delrec_model.Train(workbench.splits().train);
+  const util::Status trained =
+      delrec_model.Train(workbench.splits().train);
+  if (!trained.ok()) {
+    std::fprintf(stderr, "DELRec training failed: %s\n",
+                 trained.ToString().c_str());
+    return 1;
+  }
 
   // Find a test example whose user drifted genres inside the history window
   // (the situation Figure 9 highlights: recency alone is not enough).

@@ -10,6 +10,7 @@
 #include "data/dataset.h"
 #include "eval/protocol.h"
 #include "srmodels/factory.h"
+#include "util/status.h"
 #include "util/table.h"
 
 int main() {
@@ -20,13 +21,24 @@ int main() {
 
   auto sasrec = srmodels::MakeBackbone(srmodels::Backbone::kSasRec,
                                        workbench.num_items(), 10, 5);
-  sasrec->Train(workbench.splits().train,
-                srmodels::BackboneTrainConfig(srmodels::Backbone::kSasRec));
+  const util::Status sr_trained = sasrec->Train(
+      workbench.splits().train,
+      srmodels::BackboneTrainConfig(srmodels::Backbone::kSasRec));
+  if (!sr_trained.ok()) {
+    std::fprintf(stderr, "SASRec training failed: %s\n",
+                 sr_trained.ToString().c_str());
+    return 1;
+  }
   auto llm = workbench.MakePretrainedLlm(core::LlmSize::kXL);
   core::DelRecConfig config;
   core::DelRec delrec_model(&workbench.dataset().catalog, &workbench.vocab(),
                             llm.get(), sasrec.get(), config);
-  delrec_model.Train(workbench.splits().train);
+  const util::Status trained = delrec_model.Train(workbench.splits().train);
+  if (!trained.ok()) {
+    std::fprintf(stderr, "DELRec training failed: %s\n",
+                 trained.ToString().c_str());
+    return 1;
+  }
 
   // Synthesize cold-start users: 1 observed interaction, predict the 2nd.
   data::Dataset cold = workbench.dataset();

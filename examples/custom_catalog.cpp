@@ -16,6 +16,7 @@
 #include "llm/vocab.h"
 #include "srmodels/factory.h"
 #include "util/rng.h"
+#include "util/status.h"
 
 int main() {
   using namespace delrec;
@@ -77,15 +78,25 @@ int main() {
   // 4. Conventional backbone + DELRec.
   auto gru = srmodels::MakeBackbone(srmodels::Backbone::kGru4Rec,
                                     dataset.catalog.size(), 6, 3);
-  gru->Train(splits.train,
-             srmodels::BackboneTrainConfig(srmodels::Backbone::kGru4Rec));
+  const util::Status gru_trained = gru->Train(
+      splits.train, srmodels::BackboneTrainConfig(srmodels::Backbone::kGru4Rec));
+  if (!gru_trained.ok()) {
+    std::fprintf(stderr, "GRU4Rec training failed: %s\n",
+                 gru_trained.ToString().c_str());
+    return 1;
+  }
   core::DelRecConfig config;
   config.history_length = 6;
   config.candidate_count = 8;
   config.soft_prompt_count = 8;
   core::DelRec delrec_model(&dataset.catalog, &vocab, &model, gru.get(),
                             config);
-  delrec_model.Train(splits.train);
+  const util::Status trained = delrec_model.Train(splits.train);
+  if (!trained.ok()) {
+    std::fprintf(stderr, "DELRec training failed: %s\n",
+                 trained.ToString().c_str());
+    return 1;
+  }
 
   // 5. Recommend.
   std::vector<int64_t> history = {0, 3};  // espresso machine, burr grinder.

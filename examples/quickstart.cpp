@@ -4,11 +4,13 @@
 //   ./examples/quickstart
 #include <cstdio>
 
+#include "core/checkpoint.h"
 #include "core/delrec.h"
 #include "core/workbench.h"
 #include "data/dataset.h"
 #include "eval/protocol.h"
 #include "srmodels/factory.h"
+#include "util/status.h"
 #include "util/table.h"
 
 int main() {
@@ -29,16 +31,53 @@ int main() {
                                        /*history_length=*/10, /*seed=*/5);
   srmodels::TrainConfig sr_train =
       srmodels::BackboneTrainConfig(srmodels::Backbone::kSasRec);
-  sasrec->Train(workbench.splits().train, sr_train);
+  const util::Status sr_trained =
+      sasrec->Train(workbench.splits().train, sr_train);
+  if (!sr_trained.ok()) {
+    std::fprintf(stderr, "SASRec training failed: %s\n",
+                 sr_trained.ToString().c_str());
+    return 1;
+  }
 
   // 3. DELRec: distill SASRec's patterns into soft prompts (stage 1), then
-  //    AdaLoRA-fine-tune the LLM to exploit them (stage 2).
+  //    AdaLoRA-fine-tune the LLM to exploit them (stage 2). TrainResumable
+  //    checkpoints every epoch; rerun after an interruption and it resumes
+  //    from the last completed epoch instead of starting over.
   auto llm = workbench.MakePretrainedLlm(core::LlmSize::kXL);
   core::DelRecConfig config;
   config.verbose = true;
   core::DelRec delrec(&workbench.dataset().catalog, &workbench.vocab(),
                       llm.get(), sasrec.get(), config);
-  delrec.Train(workbench.splits().train);
+  const char* kTrainCheckpoint = "quickstart_train.ckpt";
+  const util::Status trained =
+      delrec.TrainResumable(workbench.splits().train, kTrainCheckpoint);
+  if (!trained.ok()) {
+    std::fprintf(stderr, "DELRec training failed: %s\n",
+                 trained.ToString().c_str());
+    return 1;
+  }
+  std::remove(kTrainCheckpoint);  // Training finished; drop the snapshot.
+
+  // Persist the trained system and prove the checkpoint round-trips. Both
+  // calls return a Status — always check it: a full disk or corrupt file
+  // surfaces here, not as a crash later.
+  const char* kModelCheckpoint = "quickstart_model.ckpt";
+  const util::Status saved =
+      core::SaveDelRecCheckpoint(delrec, *llm, kModelCheckpoint);
+  if (!saved.ok()) {
+    std::fprintf(stderr, "checkpoint save failed: %s\n",
+                 saved.ToString().c_str());
+    return 1;
+  }
+  const util::Status loaded =
+      core::LoadDelRecCheckpoint(delrec, *llm, kModelCheckpoint);
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "checkpoint load failed: %s\n",
+                 loaded.ToString().c_str());
+    return 1;
+  }
+  std::printf("checkpoint round-trip OK (%s)\n", kModelCheckpoint);
+  std::remove(kModelCheckpoint);
 
   // 4. Evaluate both under the paper's candidate protocol (m = 15).
   eval::EvalConfig eval_config;

@@ -1,10 +1,13 @@
 #include "baselines/common.h"
 
 #include <algorithm>
+#include <cmath>
 
+#include "nn/anomaly.h"
 #include "nn/module.h"
 #include "nn/ops.h"
 #include "util/check.h"
+#include "util/failpoint.h"
 #include "util/logging.h"
 
 namespace delrec::baselines {
@@ -34,13 +37,14 @@ std::vector<nn::Tensor> CollectPeftParameters(
   return parameters;
 }
 
-void FineTunePromptModel(
+util::Status FineTunePromptModel(
     llm::TinyLm& model, const llm::Verbalizer& verbalizer,
     const std::vector<data::Example>& examples, const LlmRecConfig& config,
     const std::function<PromptExample(const data::Example&, util::Rng&)>&
         make_example,
     const char* name, const std::vector<nn::Tensor>& extra_parameters) {
   DELREC_CHECK(!examples.empty()) << name << ": no training examples";
+  nn::LossAnomalyGuard guard({});
   util::Rng rng(config.seed);
   std::vector<data::Example> subset =
       data::Subsample(examples, config.max_examples, rng);
@@ -83,13 +87,42 @@ void FineTunePromptModel(
       if (losses.empty()) continue;
       nn::Tensor loss = nn::MulScalar(
           nn::AddN(losses), 1.0f / static_cast<float>(losses.size()));
+      float loss_value = loss.item();
+      if (util::Failpoints::Instance().ShouldCorrupt("baseline.loss")) {
+        loss_value = std::nanf("");
+      }
+      if (guard.ShouldSkip(loss_value)) {
+        DELREC_LOG(Warning) << name << " anomalous batch loss " << loss_value
+                            << " — skipping step";
+        if (guard.exhausted()) {
+          model.SetTraining(false);
+          model.SetRequiresGrad(true);
+          return guard.status();
+        }
+        continue;
+      }
+      std::vector<std::vector<float>> snapshot =
+          nn::SnapshotParameterData(parameters);
       optimizer.ZeroGrad();
       loss.Backward();
       allocator.AccumulateSensitivity();
       nn::ClipGradNorm(parameters, 5.0f);
       optimizer.Step();
+      if (!nn::AllParametersFinite(parameters)) {
+        nn::RestoreParameterData(parameters, snapshot);
+        guard.ReportParameterAnomaly();
+        DELREC_LOG(Warning) << name
+                            << " non-finite parameters after step — "
+                               "restored pre-step values";
+        if (guard.exhausted()) {
+          model.SetTraining(false);
+          model.SetRequiresGrad(true);
+          return guard.status();
+        }
+        continue;
+      }
       if (++batch_counter % 8 == 0) allocator.Reallocate();
-      epoch_loss += loss.item();
+      epoch_loss += loss_value;
       ++batches;
     }
     if (config.verbose) {
@@ -100,6 +133,7 @@ void FineTunePromptModel(
   }
   model.SetTraining(false);
   model.SetRequiresGrad(true);
+  return util::Status::Ok();
 }
 
 std::vector<int64_t> WindowHistory(const std::vector<int64_t>& history,

@@ -16,6 +16,7 @@
 #include "nn/lora.h"
 #include "nn/optimizer.h"
 #include "util/rng.h"
+#include "util/status.h"
 
 namespace delrec::baselines {
 
@@ -42,7 +43,9 @@ class LlmRecommender {
  public:
   virtual ~LlmRecommender() = default;
   virtual std::string name() const = 0;
-  virtual void Train(const std::vector<data::Example>& examples) = 0;
+  /// Non-OK when training diverged (loss-anomaly guard) or an underlying
+  /// component failed; the model keeps its last healthy parameters.
+  virtual util::Status Train(const std::vector<data::Example>& examples) = 0;
   virtual std::vector<float> ScoreCandidates(
       const data::Example& example,
       const std::vector<int64_t>& candidates) const = 0;
@@ -71,8 +74,11 @@ struct PromptExample {
 
 /// Shared fine-tuning loop: Adam over the PEFT group, batch-mean candidate
 /// cross-entropy through the verbalizer. `make_example` rebuilds the prompt
-/// each epoch (so candidate sampling and dropout re-randomize).
-void FineTunePromptModel(
+/// each epoch (so candidate sampling and dropout re-randomize). Batches with
+/// anomalous losses (nn::LossAnomalyGuard) are skipped with parameters
+/// restored; returns Internal after too many consecutive anomalies. The
+/// `baseline.loss` corrupt-mode failpoint forces a NaN batch loss.
+util::Status FineTunePromptModel(
     llm::TinyLm& model, const llm::Verbalizer& verbalizer,
     const std::vector<data::Example>& examples, const LlmRecConfig& config,
     const std::function<PromptExample(const data::Example&, util::Rng&)>&

@@ -36,7 +36,7 @@ std::vector<int64_t> RecRanker::HintTokens(
   return tokens;
 }
 
-void RecRanker::Train(const std::vector<data::Example>& examples) {
+util::Status RecRanker::Train(const std::vector<data::Example>& examples) {
   // Importance-aware sampling: longer histories carry more signal, so weight
   // examples by history length when drawing the training subset.
   std::vector<data::Example> weighted;
@@ -53,7 +53,7 @@ void RecRanker::Train(const std::vector<data::Example>& examples) {
   }
   LlmRecConfig config = config_;
   config.max_examples = want;  // Already sampled.
-  FineTunePromptModel(
+  return FineTunePromptModel(
       *model_, verbalizer_, weighted, config,
       [&](const data::Example& example, util::Rng& rng) {
         PromptExample unit;
@@ -93,8 +93,9 @@ LlmSeqPrompt::LlmSeqPrompt(llm::TinyLm* model, const data::Catalog* catalog,
       config_(config),
       scratch_rng_(config.seed ^ 0xbcde) {}
 
-void LlmSeqPrompt::Train(const std::vector<data::Example>& examples) {
-  FineTunePromptModel(
+util::Status LlmSeqPrompt::Train(
+    const std::vector<data::Example>& examples) {
+  return FineTunePromptModel(
       *model_, verbalizer_, examples, config_,
       [&](const data::Example& example, util::Rng& rng) {
         PromptExample unit;
@@ -148,8 +149,8 @@ std::vector<int64_t> LlmTrsr::SummaryTokens(
                         catalog_->genre_names[dominant] + " items recently");
 }
 
-void LlmTrsr::Train(const std::vector<data::Example>& examples) {
-  FineTunePromptModel(
+util::Status LlmTrsr::Train(const std::vector<data::Example>& examples) {
+  return FineTunePromptModel(
       *model_, verbalizer_, examples, config_,
       [&](const data::Example& example, util::Rng& rng) {
         PromptExample unit;

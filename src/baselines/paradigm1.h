@@ -24,7 +24,7 @@ class RecRanker : public LlmRecommender {
             const LlmRecConfig& config);
 
   std::string name() const override { return "RecRanker"; }
-  void Train(const std::vector<data::Example>& examples) override;
+  util::Status Train(const std::vector<data::Example>& examples) override;
   std::vector<float> ScoreCandidates(
       const data::Example& example,
       const std::vector<int64_t>& candidates) const override;
@@ -50,7 +50,7 @@ class LlmSeqPrompt : public LlmRecommender {
                const llm::Vocab* vocab, const LlmRecConfig& config);
 
   std::string name() const override { return "LLMSEQPROMPT"; }
-  void Train(const std::vector<data::Example>& examples) override;
+  util::Status Train(const std::vector<data::Example>& examples) override;
   std::vector<float> ScoreCandidates(
       const data::Example& example,
       const std::vector<int64_t>& candidates) const override;
@@ -73,7 +73,7 @@ class LlmTrsr : public LlmRecommender {
           const llm::Vocab* vocab, const LlmRecConfig& config);
 
   std::string name() const override { return "LLM-TRSR"; }
-  void Train(const std::vector<data::Example>& examples) override;
+  util::Status Train(const std::vector<data::Example>& examples) override;
   std::vector<float> ScoreCandidates(
       const data::Example& example,
       const std::vector<int64_t>& candidates) const override;

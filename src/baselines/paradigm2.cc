@@ -42,8 +42,8 @@ nn::Tensor Llara::InjectedRows(const std::vector<int64_t>& history) const {
   return projector_->Forward(source);  // (2, model_dim)
 }
 
-void Llara::Train(const std::vector<data::Example>& examples) {
-  FineTunePromptModel(
+util::Status Llara::Train(const std::vector<data::Example>& examples) {
+  return FineTunePromptModel(
       *model_, verbalizer_, examples, config_,
       [&](const data::Example& example, util::Rng& rng) {
         PromptExample unit;
@@ -110,7 +110,8 @@ Llm2Bert4Rec::Llm2Bert4Rec(llm::TinyLm* llm_for_embeddings,
   bert_->InitializeItemEmbeddings(reduced);
 }
 
-void Llm2Bert4Rec::Train(const std::vector<data::Example>& examples) {
+util::Status Llm2Bert4Rec::Train(
+    const std::vector<data::Example>& examples) {
   srmodels::TrainConfig train;
   train.epochs = std::max(4, config_.epochs);
   train.learning_rate = 2e-3f;
@@ -118,7 +119,7 @@ void Llm2Bert4Rec::Train(const std::vector<data::Example>& examples) {
   train.history_length = config_.history_length;
   train.seed = config_.seed;
   train.verbose = config_.verbose;
-  bert_->Train(examples, train);
+  return bert_->Train(examples, train);
 }
 
 std::vector<float> Llm2Bert4Rec::ScoreCandidates(

@@ -26,7 +26,7 @@ class Llara : public LlmRecommender {
         const LlmRecConfig& config);
 
   std::string name() const override { return "LLaRA"; }
-  void Train(const std::vector<data::Example>& examples) override;
+  util::Status Train(const std::vector<data::Example>& examples) override;
   std::vector<float> ScoreCandidates(
       const data::Example& example,
       const std::vector<int64_t>& candidates) const override;
@@ -55,7 +55,7 @@ class Llm2Bert4Rec : public LlmRecommender {
                const llm::Vocab* vocab, const LlmRecConfig& config);
 
   std::string name() const override { return "LLM2BERT4Rec"; }
-  void Train(const std::vector<data::Example>& examples) override;
+  util::Status Train(const std::vector<data::Example>& examples) override;
   std::vector<float> ScoreCandidates(
       const data::Example& example,
       const std::vector<int64_t>& candidates) const override;

@@ -33,11 +33,11 @@ LlamaRec::LlamaRec(llm::TinyLm* model,
       shortlist_size_(shortlist_size),
       scratch_rng_(config.seed ^ 0x3c3c) {}
 
-void LlamaRec::Train(const std::vector<data::Example>& examples) {
+util::Status LlamaRec::Train(const std::vector<data::Example>& examples) {
   // Fine-tune the ranker on shortlists recalled by the conventional model
   // (only examples whose target survives recall supervise the ranker, as in
   // the original's two-stage setup).
-  FineTunePromptModel(
+  return FineTunePromptModel(
       *model_, verbalizer_, examples, config_,
       [&](const data::Example& example, util::Rng& rng) {
         PromptExample unit;
@@ -177,7 +177,7 @@ KdaLrd::KdaLrd(llm::TinyLm* model, const data::Catalog* catalog,
   kda_->InjectLatentRelations(reduced, latent_weight);
 }
 
-void KdaLrd::Train(const std::vector<data::Example>& examples) {
+util::Status KdaLrd::Train(const std::vector<data::Example>& examples) {
   srmodels::TrainConfig train;
   train.epochs = std::max(4, config_.epochs);
   train.learning_rate = 2e-3f;
@@ -185,7 +185,7 @@ void KdaLrd::Train(const std::vector<data::Example>& examples) {
   train.history_length = config_.history_length;
   train.seed = config_.seed;
   train.verbose = config_.verbose;
-  kda_->Train(examples, train);
+  return kda_->Train(examples, train);
 }
 
 std::vector<float> KdaLrd::ScoreCandidates(

@@ -25,7 +25,7 @@ class LlamaRec : public LlmRecommender {
            const LlmRecConfig& config, int64_t shortlist_size = 8);
 
   std::string name() const override { return "LlamaRec"; }
-  void Train(const std::vector<data::Example>& examples) override;
+  util::Status Train(const std::vector<data::Example>& examples) override;
   std::vector<float> ScoreCandidates(
       const data::Example& example,
       const std::vector<int64_t>& candidates) const override;
@@ -51,7 +51,9 @@ class LlmSeqSim : public LlmRecommender {
             float recency_decay = 0.8f);
 
   std::string name() const override { return "LLMSEQSIM"; }
-  void Train(const std::vector<data::Example>& examples) override {}
+  util::Status Train(const std::vector<data::Example>& examples) override {
+    return util::Status::Ok();
+  }
   std::vector<float> ScoreCandidates(
       const data::Example& example,
       const std::vector<int64_t>& candidates) const override;
@@ -72,7 +74,7 @@ class KdaLrd : public LlmRecommender {
          float latent_weight = 0.4f);
 
   std::string name() const override { return "KDA_LRD"; }
-  void Train(const std::vector<data::Example>& examples) override;
+  util::Status Train(const std::vector<data::Example>& examples) override;
   std::vector<float> ScoreCandidates(
       const data::Example& example,
       const std::vector<int64_t>& candidates) const override;

@@ -20,7 +20,9 @@ class ZeroShotLlm : public LlmRecommender {
               int64_t history_length);
 
   std::string name() const override { return display_name_; }
-  void Train(const std::vector<data::Example>& examples) override {}
+  util::Status Train(const std::vector<data::Example>& examples) override {
+    return util::Status::Ok();
+  }
   std::vector<float> ScoreCandidates(
       const data::Example& example,
       const std::vector<int64_t>& candidates) const override;

@@ -1,5 +1,9 @@
 #include "core/checkpoint.h"
 
+#include <cstring>
+
+#include "util/failpoint.h"
+#include "util/retry.h"
 #include "util/serialize.h"
 
 namespace delrec::core {
@@ -10,6 +14,16 @@ constexpr char kSoftBlob[] = "soft_prompts";
 constexpr char kEmbeddingABlob[] = "embedding_lora_a";
 constexpr char kEmbeddingBBlob[] = "embedding_lora_b";
 
+// TrainState blobs (absent in plain model checkpoints).
+constexpr char kStageBlob[] = "train_state/stage";
+constexpr char kOptimizerBlob[] = "train_state/optimizer";
+constexpr char kRngBlob[] = "train_state/rng";
+constexpr char kGuardBlob[] = "train_state/guard";
+constexpr char kExtraBlob[] = "train_state/extra";
+constexpr char kLambdaTraceBlob[] = "train_state/lambda_trace";
+constexpr char kTaTraceBlob[] = "train_state/ta_trace";
+constexpr char kRpsTraceBlob[] = "train_state/rps_trace";
+
 std::string AdapterBlobName(size_t index) {
   return "adapter_" + std::to_string(index);
 }
@@ -18,11 +32,27 @@ std::string AdapterMaskBlobName(size_t index) {
   return "adapter_mask_" + std::to_string(index);
 }
 
-}  // namespace
+// The BlobFile stores only floats; RNG words are 64-bit, so each word is
+// memcpy-split into two floats (bit pattern preserved, no value conversion).
+std::vector<float> PackU64(const std::vector<uint64_t>& words) {
+  std::vector<float> packed(words.size() * 2);
+  static_assert(sizeof(uint64_t) == 2 * sizeof(float));
+  std::memcpy(packed.data(), words.data(), words.size() * sizeof(uint64_t));
+  return packed;
+}
 
-util::Status SaveDelRecCheckpoint(const DelRec& model, const llm::TinyLm& llm,
-                                  const std::string& path) {
-  util::BlobFile file;
+util::StatusOr<std::vector<uint64_t>> UnpackU64(
+    const std::vector<float>& packed) {
+  if (packed.size() % 2 != 0) {
+    return util::Status::InvalidArgument("odd u64 blob length");
+  }
+  std::vector<uint64_t> words(packed.size() / 2);
+  std::memcpy(words.data(), packed.data(), packed.size() * sizeof(float));
+  return words;
+}
+
+void AppendModelBlobs(const DelRec& model, const llm::TinyLm& llm,
+                      util::BlobFile& file) {
   file.Put(kLlmBlob, llm.StateDump());
   file.Put(kSoftBlob, model.soft_prompts().data());
   const std::vector<nn::LoraLinear*>& adapters = model.adapters();
@@ -39,66 +69,131 @@ util::Status SaveDelRecCheckpoint(const DelRec& model, const llm::TinyLm& llm,
     file.Put(kEmbeddingABlob, embedding[0].data());
     file.Put(kEmbeddingBBlob, embedding[1].data());
   }
-  return file.WriteTo(path);
 }
 
-util::Status LoadDelRecCheckpoint(DelRec& model, llm::TinyLm& llm,
-                                  const std::string& path) {
-  auto file_or = util::BlobFile::ReadFrom(path);
-  if (!file_or.ok()) return file_or.status();
-  const util::BlobFile& file = file_or.value();
-
-  auto llm_state = file.Get(kLlmBlob);
-  if (!llm_state.ok()) return llm_state.status();
-  if (static_cast<int64_t>(llm_state.value().size()) !=
-      llm.ParameterCount()) {
+util::Status RestoreModelBlobs(DelRec& model, llm::TinyLm& llm,
+                               const util::BlobFile& file) {
+  std::vector<float> llm_state;
+  DELREC_ASSIGN_OR_RETURN(llm_state, file.Get(kLlmBlob));
+  if (static_cast<int64_t>(llm_state.size()) != llm.ParameterCount()) {
     return util::Status::InvalidArgument("LLM architecture mismatch");
   }
-  llm.LoadState(llm_state.value());
+  llm.LoadState(llm_state);
 
-  auto soft = file.Get(kSoftBlob);
-  if (!soft.ok()) return soft.status();
+  std::vector<float> soft;
+  DELREC_ASSIGN_OR_RETURN(soft, file.Get(kSoftBlob));
   nn::Tensor soft_prompts = model.soft_prompts();  // Shares storage.
-  if (soft.value().size() != soft_prompts.data().size()) {
+  if (soft.size() != soft_prompts.data().size()) {
     return util::Status::InvalidArgument("soft-prompt size mismatch");
   }
-  soft_prompts.data() = soft.value();
+  soft_prompts.data() = std::move(soft);
 
   if (file.Contains(AdapterBlobName(0))) {
     std::vector<nn::LoraLinear*> adapters = llm.EnableAdapters(
         model.config().lora_rank, model.config().lora_scale);
     for (size_t i = 0; i < adapters.size(); ++i) {
-      auto state = file.Get(AdapterBlobName(i));
-      if (!state.ok()) return state.status();
-      if (static_cast<int64_t>(state.value().size()) !=
+      std::vector<float> state;
+      DELREC_ASSIGN_OR_RETURN(state, file.Get(AdapterBlobName(i)));
+      if (static_cast<int64_t>(state.size()) !=
           adapters[i]->ParameterCount()) {
         return util::Status::InvalidArgument("adapter size mismatch");
       }
-      adapters[i]->LoadState(state.value());
-      auto mask = file.Get(AdapterMaskBlobName(i));
-      if (!mask.ok()) return mask.status();
+      adapters[i]->LoadState(state);
+      std::vector<float> mask;
+      DELREC_ASSIGN_OR_RETURN(mask, file.Get(AdapterMaskBlobName(i)));
       for (int64_t d = 0;
            d < std::min<int64_t>(adapters[i]->rank(),
-                                 static_cast<int64_t>(mask.value().size()));
+                                 static_cast<int64_t>(mask.size()));
            ++d) {
-        adapters[i]->SetDirectionActive(d, mask.value()[d] > 0.5f);
+        adapters[i]->SetDirectionActive(d, mask[d] > 0.5f);
       }
     }
     model.AttachAdapters(std::move(adapters));
     std::vector<nn::Tensor> embedding = llm.EmbeddingAdapterParameters();
     if (embedding.size() == 2 && file.Contains(kEmbeddingABlob)) {
-      auto a = file.Get(kEmbeddingABlob);
-      auto b = file.Get(kEmbeddingBBlob);
-      if (!a.ok()) return a.status();
-      if (!b.ok()) return b.status();
-      if (a.value().size() != embedding[0].data().size() ||
-          b.value().size() != embedding[1].data().size()) {
+      std::vector<float> a, b;
+      DELREC_ASSIGN_OR_RETURN(a, file.Get(kEmbeddingABlob));
+      DELREC_ASSIGN_OR_RETURN(b, file.Get(kEmbeddingBBlob));
+      if (a.size() != embedding[0].data().size() ||
+          b.size() != embedding[1].data().size()) {
         return util::Status::InvalidArgument("embedding adapter mismatch");
       }
-      embedding[0].data() = a.value();
-      embedding[1].data() = b.value();
+      embedding[0].data() = std::move(a);
+      embedding[1].data() = std::move(b);
     }
   }
+  return util::Status::Ok();
+}
+
+util::Status WriteWithRetry(const util::BlobFile& file,
+                            const std::string& path) {
+  util::RetryOptions options;
+  return util::Retry(options, [&] { return file.WriteTo(path); });
+}
+
+}  // namespace
+
+util::Status SaveDelRecCheckpoint(const DelRec& model, const llm::TinyLm& llm,
+                                  const std::string& path) {
+  util::BlobFile file;
+  AppendModelBlobs(model, llm, file);
+  return WriteWithRetry(file, path);
+}
+
+util::Status LoadDelRecCheckpoint(DelRec& model, llm::TinyLm& llm,
+                                  const std::string& path) {
+  util::BlobFile file;
+  DELREC_ASSIGN_OR_RETURN(file, util::BlobFile::ReadFrom(path));
+  return RestoreModelBlobs(model, llm, file);
+}
+
+util::Status SaveTrainCheckpoint(const DelRec& model, const llm::TinyLm& llm,
+                                 const TrainState& state,
+                                 const std::string& path) {
+  DELREC_RETURN_IF_ERROR(util::Failpoints::Instance().Check("checkpoint.save"));
+  util::BlobFile file;
+  AppendModelBlobs(model, llm, file);
+  file.Put(kStageBlob, {static_cast<float>(state.stage),
+                        static_cast<float>(state.next_epoch)});
+  file.Put(kOptimizerBlob, state.optimizer_state);
+  file.Put(kRngBlob, PackU64(state.rng_state));
+  file.Put(kGuardBlob, state.guard_state);
+  file.Put(kExtraBlob, state.stage_extra);
+  file.Put(kLambdaTraceBlob, state.diagnostics.lambda_per_epoch);
+  file.Put(kTaTraceBlob, state.diagnostics.ta_loss_per_epoch);
+  file.Put(kRpsTraceBlob, state.diagnostics.rps_loss_per_epoch);
+  return WriteWithRetry(file, path);
+}
+
+util::Status LoadTrainCheckpoint(DelRec& model, llm::TinyLm& llm,
+                                 const std::string& path, TrainState* state) {
+  DELREC_RETURN_IF_ERROR(util::Failpoints::Instance().Check("checkpoint.load"));
+  util::BlobFile file;
+  DELREC_ASSIGN_OR_RETURN(file, util::BlobFile::ReadFrom(path));
+  if (!file.Contains(kStageBlob)) {
+    return util::Status::InvalidArgument("no TrainState in checkpoint: " +
+                                         path);
+  }
+  std::vector<float> stage;
+  DELREC_ASSIGN_OR_RETURN(stage, file.Get(kStageBlob));
+  if (stage.size() != 2) {
+    return util::Status::InvalidArgument("malformed TrainState stage blob");
+  }
+  DELREC_RETURN_IF_ERROR(RestoreModelBlobs(model, llm, file));
+  state->stage = static_cast<int>(stage[0]);
+  state->next_epoch = static_cast<int>(stage[1]);
+  DELREC_ASSIGN_OR_RETURN(state->optimizer_state, file.Get(kOptimizerBlob));
+  std::vector<float> packed_rng;
+  DELREC_ASSIGN_OR_RETURN(packed_rng, file.Get(kRngBlob));
+  DELREC_ASSIGN_OR_RETURN(state->rng_state, UnpackU64(packed_rng));
+  DELREC_ASSIGN_OR_RETURN(state->guard_state, file.Get(kGuardBlob));
+  DELREC_ASSIGN_OR_RETURN(state->stage_extra, file.Get(kExtraBlob));
+  DELREC_ASSIGN_OR_RETURN(state->diagnostics.lambda_per_epoch,
+                          file.Get(kLambdaTraceBlob));
+  DELREC_ASSIGN_OR_RETURN(state->diagnostics.ta_loss_per_epoch,
+                          file.Get(kTaTraceBlob));
+  DELREC_ASSIGN_OR_RETURN(state->diagnostics.rps_loss_per_epoch,
+                          file.Get(kRpsTraceBlob));
   return util::Status::Ok();
 }
 

@@ -12,15 +12,34 @@ namespace delrec::core {
 /// Persists a trained DELRec system: the LLM base weights, the distilled
 /// soft prompts, the AdaLoRA adapter factors with their rank masks, and the
 /// embedding-LoRA factors. Architecture is NOT stored — loading requires a
-/// DelRec/TinyLm pair constructed with the same configuration.
+/// DelRec/TinyLm pair constructed with the same configuration. Writes are
+/// atomic (temp file + fsync + rename) and retried on transient failures.
 util::Status SaveDelRecCheckpoint(const DelRec& model, const llm::TinyLm& llm,
                                   const std::string& path);
 
 /// Restores a checkpoint written by SaveDelRecCheckpoint. Enables adapters
 /// on the LLM if they are not present yet. Returns InvalidArgument on
-/// architecture mismatch (blob size checks).
+/// architecture mismatch (blob size checks) and DataLoss on a corrupt or
+/// truncated file.
 util::Status LoadDelRecCheckpoint(DelRec& model, llm::TinyLm& llm,
                                   const std::string& path);
+
+/// Persists a mid-training snapshot: everything SaveDelRecCheckpoint stores
+/// plus the TrainState (stage/epoch cursor, optimizer moments, RNG state,
+/// anomaly-guard and λ/AdaLoRA bookkeeping, per-epoch diagnostics) — the
+/// complete set needed for a bit-identical resume. Guarded by the
+/// `checkpoint.save` failpoint; the atomic write is retried via util::Retry.
+util::Status SaveTrainCheckpoint(const DelRec& model, const llm::TinyLm& llm,
+                                 const TrainState& state,
+                                 const std::string& path);
+
+/// Restores a snapshot written by SaveTrainCheckpoint into the model/LLM and
+/// `*state`. Returns NotFound when no file exists at `path` (fresh start),
+/// InvalidArgument when the file lacks a TrainState or mismatches the
+/// architecture, and DataLoss when it is corrupt. Guarded by the
+/// `checkpoint.load` failpoint.
+util::Status LoadTrainCheckpoint(DelRec& model, llm::TinyLm& llm,
+                                 const std::string& path, TrainState* state);
 
 }  // namespace delrec::core
 

@@ -1,15 +1,49 @@
 #include "core/delrec.h"
 
 #include <algorithm>
+#include <cmath>
 
+#include "core/checkpoint.h"
+#include "nn/anomaly.h"
 #include "nn/module.h"
 #include "nn/ops.h"
 #include "nn/optimizer.h"
 #include "util/check.h"
+#include "util/failpoint.h"
 #include "util/logging.h"
 #include "util/string_util.h"
 
 namespace delrec::core {
+namespace {
+
+nn::LossAnomalyGuard::Options GuardOptions(const DelRecConfig& config) {
+  nn::LossAnomalyGuard::Options options;
+  options.enabled = config.anomaly_guard;
+  options.spike_factor = config.anomaly_spike_factor;
+  options.max_consecutive = config.max_consecutive_anomalies;
+  return options;
+}
+
+// Validates the restored-state buffers against the freshly constructed
+// optimizer/rng before handing them to the abort-on-mismatch loaders.
+util::Status RestoreStageState(const TrainState& resume,
+                               nn::Optimizer& optimizer, util::Rng& rng,
+                               nn::LossAnomalyGuard& guard, int stage) {
+  const std::string prefix = "stage-" + std::to_string(stage) + " ";
+  if (resume.optimizer_state.size() != optimizer.StateDump().size()) {
+    return util::Status::InvalidArgument(prefix +
+                                         "optimizer state size mismatch");
+  }
+  optimizer.LoadState(resume.optimizer_state);
+  if (resume.rng_state.size() != rng.StateDump().size()) {
+    return util::Status::InvalidArgument(prefix + "rng state size mismatch");
+  }
+  rng.LoadState(resume.rng_state);
+  DELREC_RETURN_IF_ERROR(guard.LoadState(resume.guard_state));
+  return util::Status::Ok();
+}
+
+}  // namespace
 
 DelRec::DelRec(const data::Catalog* catalog, const llm::Vocab* vocab,
                llm::TinyLm* llm, srmodels::SequentialRecommender* sr_model,
@@ -81,11 +115,18 @@ std::vector<int64_t> DelRec::ActiveHintTokens(
   return tokens;
 }
 
-void DelRec::DistillPattern(const std::vector<data::Example>& train_examples) {
+util::Status DelRec::DistillPattern(
+    const std::vector<data::Example>& train_examples) {
+  return DistillPatternImpl(train_examples, nullptr, nullptr);
+}
+
+util::Status DelRec::DistillPatternImpl(
+    const std::vector<data::Example>& train_examples,
+    const std::string* checkpoint_path, const TrainState* resume) {
   if (!config_.use_soft_prompts || config_.manual_prompts ||
       config_.skip_stage1) {
     stage1_done_ = true;
-    return;
+    return util::Status::Ok();
   }
   DELREC_CHECK(!config_.disable_temporal_analysis ||
                !config_.disable_pattern_simulating)
@@ -98,7 +139,6 @@ void DelRec::DistillPattern(const std::vector<data::Example>& train_examples) {
   // Stage-1 parameter group: soft prompts only (Eq. 4/5: Φ0 frozen) unless
   // the w UDPSM ablation also updates the LLM.
   std::vector<nn::Tensor> parameters = {soft_prompts_};
-  const bool llm_was_trainable = true;
   if (config_.update_llm_in_stage1) {
     for (const nn::Tensor& p : llm_->Parameters()) parameters.push_back(p);
   } else {
@@ -107,16 +147,43 @@ void DelRec::DistillPattern(const std::vector<data::Example>& train_examples) {
   nn::Lion optimizer(parameters, config_.stage1_learning_rate, 0.9f, 0.99f,
                      config_.stage1_weight_decay);
   llm_->SetTraining(true);
+  const auto finish = [this] {
+    llm_->SetTraining(false);
+    if (!config_.update_llm_in_stage1) {
+      llm_->SetRequiresGrad(true);  // Restore for stage 2 / other users.
+    }
+  };
 
   // Dynamic λ (Eq. 6): renormalized each batch from running task losses so
   // the harder task receives more weight.
   float ta_ema = 1.0f;
   float rps_ema = 1.0f;
+  nn::LossAnomalyGuard guard(GuardOptions(config_));
+  int start_epoch = 0;
+  if (resume != nullptr) {
+    util::Status restored =
+        RestoreStageState(*resume, optimizer, rng, guard, /*stage=*/1);
+    if (!restored.ok()) {
+      finish();
+      return restored;
+    }
+    if (resume->stage_extra.size() != 2) {
+      finish();
+      return util::Status::InvalidArgument("stage-1 λ state size mismatch");
+    }
+    ta_ema = resume->stage_extra[0];
+    rps_ema = resume->stage_extra[1];
+    diagnostics_ = resume->diagnostics;
+    start_epoch = resume->next_epoch;
+  }
   const std::string sr_name = util::ToLower(sr_model_->name());
   std::vector<int64_t> order(examples.size());
-  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
 
-  for (int epoch = 0; epoch < config_.stage1_epochs; ++epoch) {
+  for (int epoch = start_epoch; epoch < config_.stage1_epochs; ++epoch) {
+    // Re-derived from the identity each epoch so the permutation depends
+    // only on the rng state at the epoch boundary — this is what makes a
+    // checkpoint-resumed run bit-identical to an uninterrupted one.
+    for (size_t i = 0; i < order.size(); ++i) order[i] = i;
     rng.Shuffle(order);
     float epoch_ta = 0.0f, epoch_rps = 0.0f, epoch_lambda = 0.0f;
     int64_t batches = 0;
@@ -166,28 +233,69 @@ void DelRec::DistillPattern(const std::vector<data::Example>& train_examples) {
       } else {
         lambda = ta_ema / (ta_ema + rps_ema + 1e-8f);
       }
-      std::vector<nn::Tensor> weighted;
+      nn::Tensor ta, rps;
+      float ta_value = 0.0f, rps_value = 0.0f, loss_value = 0.0f;
       if (!ta_losses.empty() && lambda > 0.0f) {
-        nn::Tensor ta = nn::MulScalar(
-            nn::AddN(ta_losses), 1.0f / static_cast<float>(ta_losses.size()));
-        ta_ema = 0.9f * ta_ema + 0.1f * ta.item();
-        epoch_ta += ta.item();
-        weighted.push_back(nn::MulScalar(ta, lambda));
+        ta = nn::MulScalar(nn::AddN(ta_losses),
+                           1.0f / static_cast<float>(ta_losses.size()));
+        ta_value = ta.item();
+        loss_value += lambda * ta_value;
       }
       if (!rps_losses.empty() && lambda < 1.0f) {
-        nn::Tensor rps = nn::MulScalar(
-            nn::AddN(rps_losses),
-            1.0f / static_cast<float>(rps_losses.size()));
-        rps_ema = 0.9f * rps_ema + 0.1f * rps.item();
-        epoch_rps += rps.item();
+        rps = nn::MulScalar(nn::AddN(rps_losses),
+                            1.0f / static_cast<float>(rps_losses.size()));
+        rps_value = rps.item();
+        loss_value += (1.0f - lambda) * rps_value;
+      }
+      if (util::Failpoints::Instance().ShouldCorrupt("delrec.stage1.loss")) {
+        loss_value = std::nanf("");
+      }
+      // The anomaly check runs before the λ EMAs absorb this batch, so one
+      // NaN batch cannot poison the task weighting.
+      if (guard.ShouldSkip(loss_value)) {
+        ++train_stats_.stage1_anomalies;
+        DELREC_LOG(Warning) << name() << " stage1 anomalous batch loss "
+                            << loss_value << " — skipping step";
+        if (guard.exhausted()) {
+          finish();
+          return guard.status();
+        }
+        continue;
+      }
+      std::vector<nn::Tensor> weighted;
+      if (ta.defined()) {
+        ta_ema = 0.9f * ta_ema + 0.1f * ta_value;
+        epoch_ta += ta_value;
+        weighted.push_back(nn::MulScalar(ta, lambda));
+      }
+      if (rps.defined()) {
+        rps_ema = 0.9f * rps_ema + 0.1f * rps_value;
+        epoch_rps += rps_value;
         weighted.push_back(nn::MulScalar(rps, 1.0f - lambda));
       }
       nn::Tensor loss = nn::AddN(weighted);
+      std::vector<std::vector<float>> snapshot;
+      if (config_.anomaly_guard) {
+        snapshot = nn::SnapshotParameterData(parameters);
+      }
       soft_prompts_.ZeroGrad();
       llm_->ZeroGrad();
       loss.Backward();
       nn::ClipGradNorm(parameters, 5.0f);
       optimizer.Step();
+      if (config_.anomaly_guard && !nn::AllParametersFinite(parameters)) {
+        nn::RestoreParameterData(parameters, snapshot);
+        guard.ReportParameterAnomaly();
+        ++train_stats_.stage1_anomalies;
+        DELREC_LOG(Warning)
+            << name() << " stage1 non-finite parameters after step — "
+                         "restored pre-step values";
+        if (guard.exhausted()) {
+          finish();
+          return guard.status();
+        }
+        continue;
+      }
       epoch_lambda += lambda;
       ++batches;
     }
@@ -201,16 +309,44 @@ void DelRec::DistillPattern(const std::vector<data::Example>& train_examples) {
                        << " TA=" << (batches ? epoch_ta / batches : 0)
                        << " RPS=" << (batches ? epoch_rps / batches : 0);
     }
+    if (checkpoint_path != nullptr) {
+      TrainState state;
+      state.stage = 1;
+      state.next_epoch = epoch + 1;
+      state.optimizer_state = optimizer.StateDump();
+      state.rng_state = rng.StateDump();
+      state.guard_state = guard.StateDump();
+      state.stage_extra = {ta_ema, rps_ema};
+      state.diagnostics = diagnostics_;
+      util::Status saved =
+          SaveTrainCheckpoint(*this, *llm_, state, *checkpoint_path);
+      if (!saved.ok()) {
+        finish();
+        return saved;
+      }
+      // Crash-injection point for tests: fires after the epoch is durable.
+      util::Status killed =
+          util::Failpoints::Instance().Check("delrec.stage1.epoch_end");
+      if (!killed.ok()) {
+        finish();
+        return killed;
+      }
+    }
   }
-  llm_->SetTraining(false);
-  if (!config_.update_llm_in_stage1 && llm_was_trainable) {
-    llm_->SetRequiresGrad(true);  // Restore for stage 2 / other users.
-  }
+  finish();
   stage1_done_ = true;
+  return util::Status::Ok();
 }
 
-void DelRec::FineTune(const std::vector<data::Example>& train_examples) {
-  if (config_.skip_stage2) return;
+util::Status DelRec::FineTune(
+    const std::vector<data::Example>& train_examples) {
+  return FineTuneImpl(train_examples, nullptr, nullptr);
+}
+
+util::Status DelRec::FineTuneImpl(
+    const std::vector<data::Example>& train_examples,
+    const std::string* checkpoint_path, const TrainState* resume) {
+  if (config_.skip_stage2) return util::Status::Ok();
   DELREC_CHECK(stage1_done_ || config_.skip_stage1 ||
                !config_.use_soft_prompts || config_.manual_prompts)
       << "run DistillPattern() first";
@@ -268,11 +404,46 @@ void DelRec::FineTune(const std::vector<data::Example>& train_examples) {
         config_.stage2_weight_decay);
   }
   llm_->SetTraining(true);
+  const auto finish = [this] {
+    llm_->SetTraining(false);
+    llm_->SetRequiresGrad(true);
+    soft_prompts_.set_requires_grad(true);
+  };
+
+  nn::LossAnomalyGuard guard(GuardOptions(config_));
+  int start_epoch = 0;
+  int64_t batch_counter = 0;
+  if (resume != nullptr) {
+    util::Status restored =
+        RestoreStageState(*resume, *optimizer, rng, guard, /*stage=*/2);
+    if (!restored.ok()) {
+      finish();
+      return restored;
+    }
+    // stage_extra = {batch_counter, adapter 0 sensitivity EMA…, adapter 1…}.
+    const size_t expected =
+        1 + static_cast<size_t>(config_.lora_rank) * adapters_.size();
+    if (resume->stage_extra.size() != expected) {
+      finish();
+      return util::Status::InvalidArgument(
+          "stage-2 AdaLoRA state size mismatch");
+    }
+    batch_counter = static_cast<int64_t>(resume->stage_extra[0]);
+    size_t offset = 1;
+    for (nn::LoraLinear* adapter : adapters_) {
+      adapter->set_sensitivity_ema(std::vector<float>(
+          resume->stage_extra.begin() + offset,
+          resume->stage_extra.begin() + offset + adapter->rank()));
+      offset += adapter->rank();
+    }
+    start_epoch = resume->next_epoch;
+  }
 
   std::vector<int64_t> order(examples.size());
-  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
-  int64_t batch_counter = 0;
-  for (int epoch = 0; epoch < config_.stage2_epochs; ++epoch) {
+  for (int epoch = start_epoch; epoch < config_.stage2_epochs; ++epoch) {
+    // Identity-reset each epoch: the permutation depends only on the rng
+    // state at the epoch boundary, which keeps resumed runs bit-identical.
+    for (size_t i = 0; i < order.size(); ++i) order[i] = i;
     rng.Shuffle(order);
     float epoch_loss = 0.0f;
     int64_t batches = 0;
@@ -298,30 +469,139 @@ void DelRec::FineTune(const std::vector<data::Example>& train_examples) {
       if (losses.empty()) continue;
       nn::Tensor loss = nn::MulScalar(
           nn::AddN(losses), 1.0f / static_cast<float>(losses.size()));
+      float loss_value = loss.item();
+      if (util::Failpoints::Instance().ShouldCorrupt("delrec.stage2.loss")) {
+        loss_value = std::nanf("");
+      }
+      if (guard.ShouldSkip(loss_value)) {
+        ++train_stats_.stage2_anomalies;
+        DELREC_LOG(Warning) << name() << " stage2 anomalous batch loss "
+                            << loss_value << " — skipping step";
+        if (guard.exhausted()) {
+          finish();
+          return guard.status();
+        }
+        continue;
+      }
+      std::vector<std::vector<float>> snapshot;
+      std::vector<std::vector<float>> sensitivity_snapshot;
+      if (config_.anomaly_guard) {
+        snapshot = nn::SnapshotParameterData(parameters);
+        sensitivity_snapshot.reserve(adapters_.size());
+        for (const nn::LoraLinear* adapter : adapters_) {
+          sensitivity_snapshot.push_back(adapter->sensitivity_ema());
+        }
+      }
       optimizer->ZeroGrad();
       loss.Backward();
       allocator.AccumulateSensitivity();
       nn::ClipGradNorm(parameters, 5.0f);
       optimizer->Step();
+      if (config_.anomaly_guard && !nn::AllParametersFinite(parameters)) {
+        nn::RestoreParameterData(parameters, snapshot);
+        for (size_t a = 0; a < adapters_.size(); ++a) {
+          adapters_[a]->set_sensitivity_ema(sensitivity_snapshot[a]);
+        }
+        guard.ReportParameterAnomaly();
+        ++train_stats_.stage2_anomalies;
+        DELREC_LOG(Warning)
+            << name() << " stage2 non-finite parameters after step — "
+                         "restored pre-step values";
+        if (guard.exhausted()) {
+          finish();
+          return guard.status();
+        }
+        continue;
+      }
       if (++batch_counter % config_.adalora_interval == 0) {
         allocator.Reallocate();
       }
-      epoch_loss += loss.item();
+      epoch_loss += loss_value;
       ++batches;
     }
     if (config_.verbose) {
       DELREC_LOG(Info) << name() << " stage2 epoch " << epoch + 1
                        << " loss=" << (batches ? epoch_loss / batches : 0);
     }
+    if (checkpoint_path != nullptr) {
+      TrainState state;
+      state.stage = 2;
+      state.next_epoch = epoch + 1;
+      state.optimizer_state = optimizer->StateDump();
+      state.rng_state = rng.StateDump();
+      state.guard_state = guard.StateDump();
+      state.stage_extra.push_back(static_cast<float>(batch_counter));
+      for (const nn::LoraLinear* adapter : adapters_) {
+        const std::vector<float>& ema = adapter->sensitivity_ema();
+        state.stage_extra.insert(state.stage_extra.end(), ema.begin(),
+                                 ema.end());
+      }
+      state.diagnostics = diagnostics_;
+      util::Status saved =
+          SaveTrainCheckpoint(*this, *llm_, state, *checkpoint_path);
+      if (!saved.ok()) {
+        finish();
+        return saved;
+      }
+      // Crash-injection point for tests: fires after the epoch is durable.
+      util::Status killed =
+          util::Failpoints::Instance().Check("delrec.stage2.epoch_end");
+      if (!killed.ok()) {
+        finish();
+        return killed;
+      }
+    }
   }
-  llm_->SetTraining(false);
-  llm_->SetRequiresGrad(true);
-  soft_prompts_.set_requires_grad(true);
+  finish();
+  return util::Status::Ok();
 }
 
-void DelRec::Train(const std::vector<data::Example>& train_examples) {
-  DistillPattern(train_examples);
-  FineTune(train_examples);
+util::Status DelRec::Train(const std::vector<data::Example>& train_examples) {
+  DELREC_RETURN_IF_ERROR(DistillPattern(train_examples));
+  return FineTune(train_examples);
+}
+
+util::Status DelRec::TrainResumable(
+    const std::vector<data::Example>& train_examples,
+    const std::string& checkpoint_path) {
+  TrainState state;
+  util::Status loaded =
+      LoadTrainCheckpoint(*this, *llm_, checkpoint_path, &state);
+  if (loaded.ok()) {
+    DELREC_LOG(Info) << name() << " resuming stage " << state.stage
+                     << " at epoch " << state.next_epoch << " from "
+                     << checkpoint_path;
+    if (state.stage == 1 &&
+        state.next_epoch < config_.stage1_epochs) {
+      DELREC_RETURN_IF_ERROR(
+          DistillPatternImpl(train_examples, &checkpoint_path, &state));
+      return FineTuneImpl(train_examples, &checkpoint_path, nullptr);
+    }
+    if (state.stage == 1) {
+      // Stage 1 fully checkpointed; only stage 2 remains.
+      diagnostics_ = state.diagnostics;
+      stage1_done_ = true;
+      return FineTuneImpl(train_examples, &checkpoint_path, nullptr);
+    }
+    if (state.stage == 2) {
+      diagnostics_ = state.diagnostics;
+      stage1_done_ = true;
+      if (state.next_epoch >= config_.stage2_epochs) {
+        return util::Status::Ok();  // Training already completed.
+      }
+      return FineTuneImpl(train_examples, &checkpoint_path, &state);
+    }
+    return util::Status::InvalidArgument("unknown training stage " +
+                                         std::to_string(state.stage));
+  }
+  if (loaded.code() != util::Status::Code::kNotFound) {
+    // A checkpoint exists but cannot be trusted; refuse to silently retrain
+    // over it. The caller decides whether to delete and start fresh.
+    return loaded;
+  }
+  DELREC_RETURN_IF_ERROR(
+      DistillPatternImpl(train_examples, &checkpoint_path, nullptr));
+  return FineTuneImpl(train_examples, &checkpoint_path, nullptr);
 }
 
 std::vector<float> DelRec::ScoreCandidates(

@@ -16,6 +16,7 @@
 #include "nn/tensor.h"
 #include "srmodels/recommender.h"
 #include "util/rng.h"
+#include "util/status.h"
 
 namespace delrec::core {
 
@@ -67,6 +68,13 @@ struct DelRecConfig {
   uint64_t seed = 21;
   bool verbose = false;
 
+  // Loss-anomaly guard (nn::LossAnomalyGuard): anomalous batches are
+  // skipped with parameters untouched; a stage aborts with a Status after
+  // max_consecutive_anomalies anomalous batches in a row.
+  bool anomaly_guard = true;
+  float anomaly_spike_factor = 25.0f;
+  int max_consecutive_anomalies = 5;
+
   // Ablation switches.
   bool use_soft_prompts = true;        // false = "w/o SP" / "w/o DPSM".
   bool manual_prompts = false;         // true  = "w MCP".
@@ -85,6 +93,31 @@ struct Stage1Diagnostics {
   std::vector<float> rps_loss_per_epoch;
 };
 
+/// Anomaly-guard tallies across the two training stages.
+struct TrainStats {
+  int64_t stage1_anomalies = 0;
+  int64_t stage2_anomalies = 0;
+};
+
+/// Mid-training snapshot persisted next to the model blobs after every
+/// completed epoch so an interrupted run resumes from the last epoch
+/// boundary — and, because it carries the optimizer moments, RNG state,
+/// λ/guard bookkeeping and AdaLoRA sensitivity, resumes bit-identically.
+/// stage: 1 = soft-prompt distillation, 2 = AdaLoRA fine-tuning.
+/// next_epoch: first epoch of `stage` that has not completed yet.
+struct TrainState {
+  int stage = 1;
+  int next_epoch = 0;
+  std::vector<float> optimizer_state;  // nn::Optimizer::StateDump().
+  std::vector<uint64_t> rng_state;     // util::Rng::StateDump().
+  std::vector<float> guard_state;      // nn::LossAnomalyGuard::StateDump().
+  /// Stage-specific scalars: stage 1 = {ta_ema, rps_ema}; stage 2 =
+  /// {batch_counter} followed by each adapter's sensitivity EMA (rank
+  /// floats per adapter, registration order).
+  std::vector<float> stage_extra;
+  Stage1Diagnostics diagnostics;
+};
+
 /// The DELRec framework: distills a conventional SR model's behaviour into
 /// soft prompts (stage 1), then AdaLoRA-fine-tunes the LLM to exploit them
 /// (stage 2). The LLM and SR model are borrowed, not owned; DELRec mutates
@@ -98,13 +131,23 @@ class DelRec {
          const DelRecConfig& config);
 
   /// Stage 1: multi-task soft-prompt distillation (TA + RPS, dynamic λ).
-  void DistillPattern(const std::vector<data::Example>& train_examples);
+  /// Non-OK when the loss-anomaly guard trips; the soft prompts keep their
+  /// last healthy values.
+  util::Status DistillPattern(const std::vector<data::Example>& train_examples);
 
   /// Stage 2: freeze soft prompts, fine-tune the LLM with AdaLoRA + Lion.
-  void FineTune(const std::vector<data::Example>& train_examples);
+  util::Status FineTune(const std::vector<data::Example>& train_examples);
 
   /// Runs both stages (honouring the ablation switches).
-  void Train(const std::vector<data::Example>& train_examples);
+  util::Status Train(const std::vector<data::Example>& train_examples);
+
+  /// Fault-tolerant Train(): persists a full TrainState checkpoint to
+  /// `checkpoint_path` after every completed epoch and, when the file
+  /// already holds one, resumes from it. A resumed run produces soft
+  /// prompts and adapter weights bit-identical to an uninterrupted run
+  /// with the same configuration and data.
+  util::Status TrainResumable(const std::vector<data::Example>& train_examples,
+                              const std::string& checkpoint_path);
 
   /// Scores a candidate list for evaluation (higher = better).
   std::vector<float> ScoreCandidates(
@@ -118,6 +161,7 @@ class DelRec {
 
   const nn::Tensor& soft_prompts() const { return soft_prompts_; }
   const Stage1Diagnostics& stage1_diagnostics() const { return diagnostics_; }
+  const TrainStats& train_stats() const { return train_stats_; }
   const DelRecConfig& config() const { return config_; }
   std::string name() const;
 
@@ -132,6 +176,17 @@ class DelRec {
   }
 
  private:
+  /// Stage implementations. When `checkpoint_path` is non-null a
+  /// TrainState is saved there after every completed epoch; when `resume`
+  /// is non-null the stage restores optimizer/rng/guard/λ state from it
+  /// and starts at resume->next_epoch.
+  util::Status DistillPatternImpl(
+      const std::vector<data::Example>& train_examples,
+      const std::string* checkpoint_path, const TrainState* resume);
+  util::Status FineTuneImpl(const std::vector<data::Example>& train_examples,
+                            const std::string* checkpoint_path,
+                            const TrainState* resume);
+
   /// Soft-prompt tensor to insert for the current configuration (undefined
   /// tensor when soft prompts are ablated away).
   nn::Tensor ActiveSoftPrompts() const;
@@ -153,6 +208,7 @@ class DelRec {
   llm::Verbalizer verbalizer_;
   nn::Tensor soft_prompts_;  // (k, model_dim)
   Stage1Diagnostics diagnostics_;
+  TrainStats train_stats_;
   std::vector<nn::LoraLinear*> adapters_;
   mutable util::Rng scratch_rng_;
   bool stage1_done_ = false;

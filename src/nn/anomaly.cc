@@ -1,0 +1,85 @@
+#include "nn/anomaly.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace delrec::nn {
+
+bool LossAnomalyGuard::ShouldSkip(float loss) {
+  if (!options_.enabled) return false;
+  const bool non_finite = !std::isfinite(loss);
+  const bool spike = healthy_steps_ >= options_.warmup_steps &&
+                     loss > options_.spike_factor * (ema_ + 1e-3f);
+  if (non_finite || spike) {
+    ++consecutive_;
+    ++total_;
+    return true;
+  }
+  consecutive_ = 0;
+  ema_ = healthy_steps_ == 0
+             ? loss
+             : options_.ema_decay * ema_ + (1.0f - options_.ema_decay) * loss;
+  ++healthy_steps_;
+  return false;
+}
+
+void LossAnomalyGuard::ReportParameterAnomaly() {
+  if (!options_.enabled) return;
+  ++consecutive_;
+  ++total_;
+}
+
+util::Status LossAnomalyGuard::status() const {
+  if (!exhausted()) return util::Status::Ok();
+  return util::Status::Internal(
+      "training diverged: " + std::to_string(consecutive_) +
+      " consecutive anomalous batches (" + std::to_string(total_) +
+      " total)");
+}
+
+std::vector<float> LossAnomalyGuard::StateDump() const {
+  return {ema_, static_cast<float>(healthy_steps_),
+          static_cast<float>(consecutive_), static_cast<float>(total_)};
+}
+
+util::Status LossAnomalyGuard::LoadState(const std::vector<float>& state) {
+  if (state.size() != 4) {
+    return util::Status::InvalidArgument("bad LossAnomalyGuard state size");
+  }
+  ema_ = state[0];
+  healthy_steps_ = static_cast<int64_t>(state[1]);
+  consecutive_ = static_cast<int64_t>(state[2]);
+  total_ = static_cast<int64_t>(state[3]);
+  return util::Status::Ok();
+}
+
+bool AllParametersFinite(const std::vector<Tensor>& parameters) {
+  for (const Tensor& parameter : parameters) {
+    for (float value : parameter.data()) {
+      if (!std::isfinite(value)) return false;
+    }
+  }
+  return true;
+}
+
+std::vector<std::vector<float>> SnapshotParameterData(
+    const std::vector<Tensor>& parameters) {
+  std::vector<std::vector<float>> snapshot;
+  snapshot.reserve(parameters.size());
+  for (const Tensor& parameter : parameters) {
+    snapshot.push_back(parameter.data());
+  }
+  return snapshot;
+}
+
+void RestoreParameterData(const std::vector<Tensor>& parameters,
+                          const std::vector<std::vector<float>>& snapshot) {
+  DELREC_CHECK_EQ(parameters.size(), snapshot.size());
+  for (size_t i = 0; i < parameters.size(); ++i) {
+    Tensor parameter = parameters[i];
+    parameter.data() = snapshot[i];
+  }
+}
+
+}  // namespace delrec::nn

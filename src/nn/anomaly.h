@@ -1,0 +1,75 @@
+#ifndef DELREC_NN_ANOMALY_H_
+#define DELREC_NN_ANOMALY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/tensor.h"
+#include "util/status.h"
+
+namespace delrec::nn {
+
+/// Watchdog for training loops: flags non-finite or spiking batch losses so
+/// the caller can skip the optimizer step instead of poisoning the model,
+/// and escalates to a Status error once too many consecutive batches are
+/// anomalous (a diverged run should abort cleanly, not CHECK-fail).
+///
+/// A loss is anomalous when it is non-finite, or — after `warmup_steps`
+/// healthy batches — exceeds `spike_factor` times the running loss EMA.
+class LossAnomalyGuard {
+ public:
+  struct Options {
+    bool enabled = true;
+    float spike_factor = 25.0f;
+    float ema_decay = 0.9f;
+    int max_consecutive = 5;
+    int warmup_steps = 5;
+  };
+
+  explicit LossAnomalyGuard(const Options& options) : options_(options) {}
+
+  /// Returns true when this batch's loss is anomalous and the step must be
+  /// skipped; otherwise folds the loss into the running EMA.
+  bool ShouldSkip(float loss);
+
+  /// Reports a post-step blow-up (non-finite parameter values after an
+  /// apparently healthy loss). Counts like a skipped step.
+  void ReportParameterAnomaly();
+
+  /// True once max_consecutive anomalies have occurred in a row.
+  bool exhausted() const {
+    return options_.enabled && consecutive_ >= options_.max_consecutive;
+  }
+
+  /// kInternal describing the divergence when exhausted, OK otherwise.
+  util::Status status() const;
+
+  int64_t anomaly_count() const { return total_; }
+  int64_t consecutive_anomalies() const { return consecutive_; }
+
+  /// Resume support: the guard's state rides in the TrainState blob so a
+  /// resumed run observes exactly what an uninterrupted one would.
+  std::vector<float> StateDump() const;
+  util::Status LoadState(const std::vector<float>& state);
+
+ private:
+  Options options_;
+  float ema_ = 0.0f;
+  int64_t healthy_steps_ = 0;
+  int64_t consecutive_ = 0;
+  int64_t total_ = 0;
+};
+
+/// True when every parameter value in the set is finite.
+bool AllParametersFinite(const std::vector<Tensor>& parameters);
+
+/// Pre-step snapshot of parameter values, for restoring after a step that
+/// produced non-finite parameters.
+std::vector<std::vector<float>> SnapshotParameterData(
+    const std::vector<Tensor>& parameters);
+void RestoreParameterData(const std::vector<Tensor>& parameters,
+                          const std::vector<std::vector<float>>& snapshot);
+
+}  // namespace delrec::nn
+
+#endif  // DELREC_NN_ANOMALY_H_

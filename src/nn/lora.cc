@@ -71,6 +71,11 @@ bool LoraLinear::direction_active(int64_t direction) const {
   return mask_.data()[direction] > 0.5f;
 }
 
+void LoraLinear::set_sensitivity_ema(std::vector<float> ema) {
+  DELREC_CHECK_EQ(static_cast<int64_t>(ema.size()), rank_);
+  sensitivity_ema_ = std::move(ema);
+}
+
 void AdaLoraAllocator::Register(LoraLinear* adapter) {
   DELREC_CHECK(adapter != nullptr);
   adapters_.push_back(adapter);

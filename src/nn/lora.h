@@ -39,6 +39,13 @@ class LoraLinear : public Module {
   void SetDirectionActive(int64_t direction, bool active);
   bool direction_active(int64_t direction) const;
 
+  /// Resume support: the sensitivity EMA feeds budget reallocation, so it
+  /// rides in the training checkpoint alongside the adapter weights.
+  const std::vector<float>& sensitivity_ema() const {
+    return sensitivity_ema_;
+  }
+  void set_sensitivity_ema(std::vector<float> ema);
+
  private:
   const Linear* base_;
   int64_t rank_;

@@ -1,5 +1,6 @@
 #include "nn/optimizer.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "util/check.h"
@@ -15,6 +16,41 @@ std::vector<std::vector<float>> MakeState(const std::vector<Tensor>& params) {
     state.emplace_back(p.data().size(), 0.0f);
   }
   return state;
+}
+
+// Flattens slot buffers (optionally prefixed by scalar extras) into one
+// checkpointable vector.
+std::vector<float> DumpSlots(
+    const std::vector<float>& extras,
+    std::initializer_list<const std::vector<std::vector<float>>*> slot_sets) {
+  std::vector<float> out = extras;
+  for (const auto* slots : slot_sets) {
+    for (const auto& buffer : *slots) {
+      out.insert(out.end(), buffer.begin(), buffer.end());
+    }
+  }
+  return out;
+}
+
+// Inverse of DumpSlots; aborts when the dump does not match the layout.
+void LoadSlots(
+    const std::vector<float>& state, std::vector<float*> extras,
+    std::initializer_list<std::vector<std::vector<float>>*> slot_sets) {
+  size_t offset = 0;
+  for (float* extra : extras) {
+    DELREC_CHECK_LT(offset, state.size()) << "optimizer state too short";
+    *extra = state[offset++];
+  }
+  for (auto* slots : slot_sets) {
+    for (auto& buffer : *slots) {
+      DELREC_CHECK_LE(offset + buffer.size(), state.size())
+          << "optimizer state too short";
+      std::copy(state.begin() + offset, state.begin() + offset + buffer.size(),
+                buffer.begin());
+      offset += buffer.size();
+    }
+  }
+  DELREC_CHECK_EQ(offset, state.size()) << "optimizer state too long";
 }
 
 }  // namespace
@@ -47,6 +83,12 @@ void Sgd::Step() {
   }
 }
 
+std::vector<float> Sgd::StateDump() const { return DumpSlots({}, {&velocity_}); }
+
+void Sgd::LoadState(const std::vector<float>& state) {
+  LoadSlots(state, {}, {&velocity_});
+}
+
 Adagrad::Adagrad(std::vector<Tensor> parameters, float learning_rate,
                  float epsilon)
     : Optimizer(std::move(parameters)),
@@ -66,6 +108,14 @@ void Adagrad::Step() {
       data[j] -= learning_rate_ * grad[j] / (std::sqrt(acc[j]) + epsilon_);
     }
   }
+}
+
+std::vector<float> Adagrad::StateDump() const {
+  return DumpSlots({}, {&accumulated_});
+}
+
+void Adagrad::LoadState(const std::vector<float>& state) {
+  LoadSlots(state, {}, {&accumulated_});
 }
 
 Adam::Adam(std::vector<Tensor> parameters, float learning_rate, float beta1,
@@ -102,6 +152,16 @@ void Adam::Step() {
   }
 }
 
+std::vector<float> Adam::StateDump() const {
+  return DumpSlots({static_cast<float>(step_count_)}, {&m_, &v_});
+}
+
+void Adam::LoadState(const std::vector<float>& state) {
+  float step_count = 0.0f;
+  LoadSlots(state, {&step_count}, {&m_, &v_});
+  step_count_ = static_cast<int64_t>(step_count);
+}
+
 Lion::Lion(std::vector<Tensor> parameters, float learning_rate, float beta1,
            float beta2, float weight_decay)
     : Optimizer(std::move(parameters)),
@@ -126,6 +186,12 @@ void Lion::Step() {
       m[j] = beta2_ * m[j] + (1.0f - beta2_) * grad[j];
     }
   }
+}
+
+std::vector<float> Lion::StateDump() const { return DumpSlots({}, {&momentum_}); }
+
+void Lion::LoadState(const std::vector<float>& state) {
+  LoadSlots(state, {}, {&momentum_});
 }
 
 }  // namespace delrec::nn

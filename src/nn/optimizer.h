@@ -25,6 +25,14 @@ class Optimizer {
   /// Clears gradients of the managed parameters.
   void ZeroGrad();
 
+  /// Flattened optimizer slot state (moments, accumulators, step counters)
+  /// for checkpointing; LoadState restores a dump from an optimizer built
+  /// over an identically shaped parameter list. Aborts on size mismatch —
+  /// validate sizes against StateDump().size() before calling with
+  /// untrusted data.
+  virtual std::vector<float> StateDump() const = 0;
+  virtual void LoadState(const std::vector<float>& state) = 0;
+
   const std::vector<Tensor>& parameters() const { return parameters_; }
 
  protected:
@@ -37,6 +45,8 @@ class Sgd : public Optimizer {
   Sgd(std::vector<Tensor> parameters, float learning_rate,
       float momentum = 0.0f);
   void Step() override;
+  std::vector<float> StateDump() const override;
+  void LoadState(const std::vector<float>& state) override;
 
  private:
   float learning_rate_;
@@ -50,6 +60,8 @@ class Adagrad : public Optimizer {
   Adagrad(std::vector<Tensor> parameters, float learning_rate,
           float epsilon = 1e-10f);
   void Step() override;
+  std::vector<float> StateDump() const override;
+  void LoadState(const std::vector<float>& state) override;
 
  private:
   float learning_rate_;
@@ -64,6 +76,8 @@ class Adam : public Optimizer {
        float beta1 = 0.9f, float beta2 = 0.999f, float epsilon = 1e-8f,
        float weight_decay = 0.0f);
   void Step() override;
+  std::vector<float> StateDump() const override;
+  void LoadState(const std::vector<float>& state) override;
 
  private:
   float learning_rate_;
@@ -83,6 +97,8 @@ class Lion : public Optimizer {
   Lion(std::vector<Tensor> parameters, float learning_rate,
        float beta1 = 0.9f, float beta2 = 0.99f, float weight_decay = 0.0f);
   void Step() override;
+  std::vector<float> StateDump() const override;
+  void LoadState(const std::vector<float>& state) override;
 
  private:
   float learning_rate_;

@@ -13,17 +13,15 @@ util::Status SaveModuleState(const Module& module, const std::string& path) {
 }
 
 util::Status LoadModuleState(Module& module, const std::string& path) {
-  auto file_or = util::BlobFile::ReadFrom(path);
-  if (!file_or.ok()) return file_or.status();
-  const util::BlobFile& file = file_or.value();
+  DELREC_ASSIGN_OR_RETURN(const util::BlobFile file,
+                          util::BlobFile::ReadFrom(path));
   for (auto& [name, tensor] : module.NamedParameters()) {
-    auto values = file.Get(name);
-    if (!values.ok()) return values.status();
-    if (values.value().size() != tensor.data().size()) {
+    DELREC_ASSIGN_OR_RETURN(std::vector<float> values, file.Get(name));
+    if (values.size() != tensor.data().size()) {
       return util::Status::InvalidArgument("size mismatch for " + name);
     }
     nn::Tensor target = tensor;  // Shares storage with the module.
-    target.data() = values.value();
+    target.data() = std::move(values);
   }
   return util::Status::Ok();
 }

@@ -47,12 +47,12 @@ nn::Tensor Bert4Rec::HiddenAt(const std::vector<int64_t>& tokens,
   return nn::SliceRows(x, position, 1);
 }
 
-void Bert4Rec::Train(const std::vector<data::Example>& examples,
-                     const TrainConfig& config) {
+util::Status Bert4Rec::Train(const std::vector<data::Example>& examples,
+                             const TrainConfig& config) {
   SetTraining(true);
   util::Rng rng(config.seed);
   nn::Adam optimizer(Parameters(), config.learning_rate);
-  RunTrainingLoop(
+  const auto loop_result = RunTrainingLoop(
       examples, config, optimizer, Parameters(), rng,
       [&](const data::Example& example) {
         // Cloze setup matching inference: history + [MASK]; predict target
@@ -75,6 +75,7 @@ void Bert4Rec::Train(const std::vector<data::Example>& examples,
       },
       "BERT4Rec");
   SetTraining(false);
+  return loop_result.status();
 }
 
 std::vector<float> Bert4Rec::ScoreAllItems(

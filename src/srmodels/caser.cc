@@ -86,12 +86,12 @@ nn::Tensor Caser::UserVector(const std::vector<int64_t>& history,
   return nn::Relu(fc_->Forward(concatenated));  // (1, D)
 }
 
-void Caser::Train(const std::vector<data::Example>& examples,
-                  const TrainConfig& config) {
+util::Status Caser::Train(const std::vector<data::Example>& examples,
+                          const TrainConfig& config) {
   SetTraining(true);
   util::Rng rng(config.seed);
   nn::Adam optimizer(Parameters(), config.learning_rate);
-  RunTrainingLoop(
+  const auto loop_result = RunTrainingLoop(
       examples, config, optimizer, Parameters(), rng,
       [&](const data::Example& example) {
         nn::Tensor user = UserVector(example.history, config.dropout, rng);
@@ -102,6 +102,7 @@ void Caser::Train(const std::vector<data::Example>& examples,
       },
       "Caser");
   SetTraining(false);
+  return loop_result.status();
 }
 
 std::vector<float> Caser::ScoreAllItems(

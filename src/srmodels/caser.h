@@ -25,8 +25,8 @@ class Caser : public nn::Module, public SequentialRecommender {
         uint64_t seed);
 
   std::string name() const override { return "Caser"; }
-  void Train(const std::vector<data::Example>& examples,
-             const TrainConfig& config) override;
+  util::Status Train(const std::vector<data::Example>& examples,
+                     const TrainConfig& config) override;
   std::vector<float> ScoreAllItems(
       const std::vector<int64_t>& history) const override;
   int64_t ParameterCount() const override {

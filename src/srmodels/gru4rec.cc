@@ -31,13 +31,13 @@ nn::Tensor Gru4Rec::HiddenForHistory(const std::vector<int64_t>& history,
   return hidden;  // (1, D)
 }
 
-void Gru4Rec::Train(const std::vector<data::Example>& examples,
-                    const TrainConfig& config) {
+util::Status Gru4Rec::Train(const std::vector<data::Example>& examples,
+                            const TrainConfig& config) {
   SetTraining(true);
   util::Rng rng(config.seed);
   // Paper setup: Adagrad for GRU4Rec.
   nn::Adagrad optimizer(Parameters(), config.learning_rate);
-  RunTrainingLoop(
+  const auto loop_result = RunTrainingLoop(
       examples, config, optimizer, Parameters(), rng,
       [&](const data::Example& example) {
         nn::Tensor hidden =
@@ -49,6 +49,7 @@ void Gru4Rec::Train(const std::vector<data::Example>& examples,
       },
       "GRU4Rec");
   SetTraining(false);
+  return loop_result.status();
 }
 
 std::vector<float> Gru4Rec::ScoreAllItems(

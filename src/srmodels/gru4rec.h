@@ -20,8 +20,8 @@ class Gru4Rec : public nn::Module, public SequentialRecommender {
   Gru4Rec(int64_t num_items, int64_t embedding_dim, uint64_t seed);
 
   std::string name() const override { return "GRU4Rec"; }
-  void Train(const std::vector<data::Example>& examples,
-             const TrainConfig& config) override;
+  util::Status Train(const std::vector<data::Example>& examples,
+                     const TrainConfig& config) override;
   std::vector<float> ScoreAllItems(
       const std::vector<int64_t>& history) const override;
   int64_t ParameterCount() const override {

@@ -98,12 +98,12 @@ nn::Tensor Kda::ScoresTensor(const std::vector<int64_t>& history,
   return nn::AddN(contributions);
 }
 
-void Kda::Train(const std::vector<data::Example>& examples,
-                const TrainConfig& config) {
+util::Status Kda::Train(const std::vector<data::Example>& examples,
+                        const TrainConfig& config) {
   SetTraining(true);
   util::Rng rng(config.seed);
   nn::Adam optimizer(Parameters(), config.learning_rate);
-  RunTrainingLoop(
+  const auto loop_result = RunTrainingLoop(
       examples, config, optimizer, Parameters(), rng,
       [&](const data::Example& example) {
         nn::Tensor logits =
@@ -112,6 +112,7 @@ void Kda::Train(const std::vector<data::Example>& examples,
       },
       "KDA");
   SetTraining(false);
+  return loop_result.status();
 }
 
 std::vector<float> Kda::ScoreAllItems(

@@ -26,8 +26,8 @@ class Kda : public nn::Module, public SequentialRecommender {
       int64_t max_length, int64_t num_frequencies, uint64_t seed);
 
   std::string name() const override { return "KDA"; }
-  void Train(const std::vector<data::Example>& examples,
-             const TrainConfig& config) override;
+  util::Status Train(const std::vector<data::Example>& examples,
+                     const TrainConfig& config) override;
   std::vector<float> ScoreAllItems(
       const std::vector<int64_t>& history) const override;
   int64_t ParameterCount() const override {

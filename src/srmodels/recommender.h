@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "data/split.h"
+#include "util/status.h"
 
 namespace delrec::srmodels {
 
@@ -20,6 +21,13 @@ struct TrainConfig {
   float gradient_clip = 5.0f;
   uint64_t seed = 7;
   bool verbose = false;
+
+  // Loss-anomaly guard (nn::LossAnomalyGuard): non-finite or spiking batch
+  // losses are skipped (parameters restored); training aborts with a Status
+  // after max_consecutive_anomalies anomalous batches in a row.
+  bool anomaly_guard = true;
+  float anomaly_spike_factor = 25.0f;
+  int max_consecutive_anomalies = 5;
 };
 
 /// Interface every conventional sequential recommender implements. All
@@ -31,9 +39,11 @@ class SequentialRecommender {
 
   virtual std::string name() const = 0;
 
-  /// Fits the model on training examples.
-  virtual void Train(const std::vector<data::Example>& examples,
-                     const TrainConfig& config) = 0;
+  /// Fits the model on training examples. Returns non-OK when training
+  /// aborts recoverably (e.g. the loss-anomaly guard trips); the model is
+  /// left in its last healthy state.
+  virtual util::Status Train(const std::vector<data::Example>& examples,
+                             const TrainConfig& config) = 0;
 
   /// Scores every catalog item given a history (most recent item last).
   /// Higher is better. History may be shorter than the training length.

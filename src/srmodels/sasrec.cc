@@ -50,12 +50,12 @@ nn::Tensor SasRec::LastHidden(const std::vector<int64_t>& history,
   return nn::SliceRows(x, length - 1, 1);  // (1, D)
 }
 
-void SasRec::Train(const std::vector<data::Example>& examples,
-                   const TrainConfig& config) {
+util::Status SasRec::Train(const std::vector<data::Example>& examples,
+                           const TrainConfig& config) {
   SetTraining(true);
   util::Rng rng(config.seed);
   nn::Adam optimizer(Parameters(), config.learning_rate);
-  RunTrainingLoop(
+  const auto loop_result = RunTrainingLoop(
       examples, config, optimizer, Parameters(), rng,
       [&](const data::Example& example) {
         nn::Tensor hidden =
@@ -67,6 +67,7 @@ void SasRec::Train(const std::vector<data::Example>& examples,
       },
       "SASRec");
   SetTraining(false);
+  return loop_result.status();
 }
 
 std::vector<float> SasRec::ScoreAllItems(

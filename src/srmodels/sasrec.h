@@ -21,8 +21,8 @@ class SasRec : public nn::Module, public SequentialRecommender {
          int64_t num_blocks, int64_t num_heads, uint64_t seed);
 
   std::string name() const override { return "SASRec"; }
-  void Train(const std::vector<data::Example>& examples,
-             const TrainConfig& config) override;
+  util::Status Train(const std::vector<data::Example>& examples,
+                     const TrainConfig& config) override;
   std::vector<float> ScoreAllItems(
       const std::vector<int64_t>& history) const override;
   int64_t ParameterCount() const override {

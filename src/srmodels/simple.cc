@@ -9,14 +9,15 @@ namespace delrec::srmodels {
 
 PopRec::PopRec(int64_t num_items) : counts_(num_items, 0.0f) {}
 
-void PopRec::Train(const std::vector<data::Example>& examples,
-                   const TrainConfig& config) {
+util::Status PopRec::Train(const std::vector<data::Example>& examples,
+                           const TrainConfig& config) {
   std::fill(counts_.begin(), counts_.end(), 0.0f);
   for (const data::Example& example : examples) {
     DELREC_CHECK_LT(example.target, static_cast<int64_t>(counts_.size()));
     counts_[example.target] += 1.0f;
     for (int64_t item : example.history) counts_[item] += 0.1f;
   }
+  return util::Status::Ok();
 }
 
 std::vector<float> PopRec::ScoreAllItems(
@@ -36,12 +37,12 @@ Fmc::Fmc(int64_t num_items, int64_t factor_dim, uint64_t seed)
   RegisterParameter("item_bias", item_bias_);
 }
 
-void Fmc::Train(const std::vector<data::Example>& examples,
-                const TrainConfig& config) {
+util::Status Fmc::Train(const std::vector<data::Example>& examples,
+                        const TrainConfig& config) {
   SetTraining(true);
   util::Rng rng(config.seed);
   nn::Adam optimizer(Parameters(), config.learning_rate);
-  RunTrainingLoop(
+  const auto loop_result = RunTrainingLoop(
       examples, config, optimizer, Parameters(), rng,
       [&](const data::Example& example) {
         DELREC_CHECK(!example.history.empty());
@@ -54,6 +55,7 @@ void Fmc::Train(const std::vector<data::Example>& examples,
       },
       "FMC");
   SetTraining(false);
+  return loop_result.status();
 }
 
 std::vector<float> Fmc::ScoreAllItems(

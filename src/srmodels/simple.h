@@ -18,8 +18,8 @@ class PopRec : public SequentialRecommender {
   explicit PopRec(int64_t num_items);
 
   std::string name() const override { return "PopRec"; }
-  void Train(const std::vector<data::Example>& examples,
-             const TrainConfig& config) override;
+  util::Status Train(const std::vector<data::Example>& examples,
+                     const TrainConfig& config) override;
   std::vector<float> ScoreAllItems(
       const std::vector<int64_t>& history) const override;
   int64_t ParameterCount() const override { return 0; }
@@ -35,8 +35,8 @@ class Fmc : public nn::Module, public SequentialRecommender {
   Fmc(int64_t num_items, int64_t factor_dim, uint64_t seed);
 
   std::string name() const override { return "FMC"; }
-  void Train(const std::vector<data::Example>& examples,
-             const TrainConfig& config) override;
+  util::Status Train(const std::vector<data::Example>& examples,
+                     const TrainConfig& config) override;
   std::vector<float> ScoreAllItems(
       const std::vector<int64_t>& history) const override;
   int64_t ParameterCount() const override {

@@ -1,25 +1,36 @@
 #include "srmodels/trainer.h"
 
+#include <cmath>
+
+#include "nn/anomaly.h"
 #include "nn/module.h"
 #include "nn/ops.h"
 #include "util/check.h"
+#include "util/failpoint.h"
 #include "util/logging.h"
 
 namespace delrec::srmodels {
 
-float RunTrainingLoop(
+util::StatusOr<TrainLoopResult> RunTrainingLoop(
     const std::vector<data::Example>& examples, const TrainConfig& config,
     nn::Optimizer& optimizer, const std::vector<nn::Tensor>& clip_parameters,
     util::Rng& rng,
     const std::function<nn::Tensor(const data::Example&)>& example_loss,
-    const char* model_name) {
+    const char* model_name, const TrainLoopHooks& hooks) {
   DELREC_CHECK(!examples.empty()) << model_name << ": no training examples";
+  nn::LossAnomalyGuard guard({.enabled = config.anomaly_guard,
+                              .spike_factor = config.anomaly_spike_factor,
+                              .max_consecutive =
+                                  config.max_consecutive_anomalies});
   std::vector<int64_t> order(examples.size());
-  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
-  float epoch_loss = 0.0f;
-  for (int epoch = 0; epoch < config.epochs; ++epoch) {
+  TrainLoopResult result;
+  for (int epoch = hooks.start_epoch; epoch < config.epochs; ++epoch) {
+    // The order is re-derived from the identity each epoch so the epoch's
+    // permutation depends only on the rng state at its start — the property
+    // that makes checkpoint-resumed runs bit-identical.
+    for (size_t i = 0; i < order.size(); ++i) order[i] = i;
     rng.Shuffle(order);
-    epoch_loss = 0.0f;
+    float epoch_loss = 0.0f;
     int64_t batches = 0;
     for (size_t start = 0; start < order.size();
          start += config.batch_size) {
@@ -32,22 +43,53 @@ float RunTrainingLoop(
       }
       nn::Tensor batch_loss = nn::MulScalar(
           nn::AddN(losses), 1.0f / static_cast<float>(losses.size()));
+      float loss_value = batch_loss.item();
+      if (util::Failpoints::Instance().ShouldCorrupt("trainer.loss")) {
+        loss_value = std::nanf("");
+      }
+      if (guard.ShouldSkip(loss_value)) {
+        ++result.anomalies_skipped;
+        DELREC_LOG(Warning) << model_name << " anomalous batch loss "
+                            << loss_value << " — skipping step ("
+                            << guard.consecutive_anomalies() << " in a row)";
+        if (guard.exhausted()) return guard.status();
+        continue;
+      }
+      std::vector<std::vector<float>> snapshot;
+      if (config.anomaly_guard) {
+        snapshot = nn::SnapshotParameterData(clip_parameters);
+      }
       optimizer.ZeroGrad();
       batch_loss.Backward();
       if (config.gradient_clip > 0.0f) {
         nn::ClipGradNorm(clip_parameters, config.gradient_clip);
       }
       optimizer.Step();
-      epoch_loss += batch_loss.item();
+      if (config.anomaly_guard &&
+          !nn::AllParametersFinite(clip_parameters)) {
+        nn::RestoreParameterData(clip_parameters, snapshot);
+        guard.ReportParameterAnomaly();
+        ++result.anomalies_skipped;
+        DELREC_LOG(Warning) << model_name
+                            << " non-finite parameters after step — "
+                               "restored pre-step values";
+        if (guard.exhausted()) return guard.status();
+        continue;
+      }
+      epoch_loss += loss_value;
       ++batches;
     }
     epoch_loss /= static_cast<float>(std::max<int64_t>(1, batches));
+    result.final_loss = epoch_loss;
     if (config.verbose) {
       DELREC_LOG(Info) << model_name << " epoch " << epoch + 1 << "/"
                        << config.epochs << " loss=" << epoch_loss;
     }
+    if (hooks.epoch_end) {
+      DELREC_RETURN_IF_ERROR(hooks.epoch_end(epoch, epoch_loss));
+    }
   }
-  return epoch_loss;
+  return result;
 }
 
 }  // namespace delrec::srmodels

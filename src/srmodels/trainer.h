@@ -1,6 +1,7 @@
 #ifndef DELREC_SRMODELS_TRAINER_H_
 #define DELREC_SRMODELS_TRAINER_H_
 
+#include <cstdint>
 #include <functional>
 #include <vector>
 
@@ -9,19 +10,40 @@
 #include "nn/tensor.h"
 #include "srmodels/recommender.h"
 #include "util/rng.h"
+#include "util/status.h"
 
 namespace delrec::srmodels {
 
+/// Resume/checkpoint hooks for RunTrainingLoop.
+struct TrainLoopHooks {
+  /// First epoch to run; epochs below it are assumed already completed by a
+  /// restored checkpoint (callers must also restore rng/optimizer state for
+  /// bit-identical resumption).
+  int start_epoch = 0;
+  /// Called after each completed epoch with the 0-based epoch index and its
+  /// mean loss. A non-OK return aborts training with that status (used to
+  /// persist per-epoch checkpoints and to propagate save failures).
+  std::function<util::Status(int epoch, float mean_loss)> epoch_end;
+};
+
+struct TrainLoopResult {
+  float final_loss = 0.0f;        // Mean training loss of the last epoch.
+  int64_t anomalies_skipped = 0;  // Batches rejected by the anomaly guard.
+};
+
 /// Shared mini-batch training loop: shuffles examples each epoch, builds the
 /// batch loss as the mean of per-example losses returned by `example_loss`,
-/// clips gradients, and steps the optimizer. Returns the final epoch's mean
-/// training loss.
-float RunTrainingLoop(
+/// clips gradients, and steps the optimizer. Batches flagged by the
+/// loss-anomaly guard (TrainConfig::anomaly_guard) are skipped with
+/// parameters restored; the loop aborts with a Status after
+/// max_consecutive_anomalies in a row. The `trainer.loss` corrupt-mode
+/// failpoint forces a NaN batch loss (fault-injection tests).
+util::StatusOr<TrainLoopResult> RunTrainingLoop(
     const std::vector<data::Example>& examples, const TrainConfig& config,
     nn::Optimizer& optimizer, const std::vector<nn::Tensor>& clip_parameters,
     util::Rng& rng,
     const std::function<nn::Tensor(const data::Example&)>& example_loss,
-    const char* model_name);
+    const char* model_name, const TrainLoopHooks& hooks = {});
 
 }  // namespace delrec::srmodels
 

@@ -1,0 +1,133 @@
+#include "util/failpoint.h"
+
+#include <cstdlib>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace delrec::util {
+namespace {
+
+// Parses "fail", "fail:3", "corrupt", "corrupt:1" into (mode, count).
+Status ParseModeSpec(const std::string& text, Failpoints::Mode* mode,
+                     int* count) {
+  std::string mode_text = text;
+  *count = -1;
+  const size_t colon = text.find(':');
+  if (colon != std::string::npos) {
+    mode_text = text.substr(0, colon);
+    const std::string count_text = text.substr(colon + 1);
+    if (count_text.empty()) {
+      return Status::InvalidArgument("failpoint spec has empty count: " +
+                                     text);
+    }
+    char* end = nullptr;
+    const long parsed = std::strtol(count_text.c_str(), &end, 10);
+    if (end == nullptr || *end != '\0' || parsed <= 0) {
+      return Status::InvalidArgument("failpoint spec has bad count: " + text);
+    }
+    *count = static_cast<int>(parsed);
+  }
+  if (mode_text == "fail") {
+    *mode = Failpoints::Mode::kFail;
+  } else if (mode_text == "corrupt") {
+    *mode = Failpoints::Mode::kCorrupt;
+  } else {
+    return Status::InvalidArgument("unknown failpoint mode: " + mode_text);
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Failpoints& Failpoints::Instance() {
+  static Failpoints* instance = new Failpoints();
+  return *instance;
+}
+
+Failpoints::Failpoints() {
+  const char* env = std::getenv("DELREC_FAILPOINTS");
+  if (env != nullptr && env[0] != '\0') {
+    Status status = ArmFromSpec(env);
+    if (!status.ok()) {
+      DELREC_LOG(Warning) << "ignoring DELREC_FAILPOINTS: "
+                          << status.ToString();
+    }
+  }
+}
+
+void Failpoints::Arm(const std::string& name, Mode mode, int count) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  armed_[name] = Armed{mode, count};
+}
+
+void Failpoints::Disarm(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  armed_.erase(name);
+}
+
+void Failpoints::Reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  armed_.clear();
+  hits_.clear();
+}
+
+bool Failpoints::Fire(const std::string& name, Mode mode) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = armed_.find(name);
+  if (it == armed_.end() || it->second.mode != mode) return false;
+  ++hits_[name];
+  if (it->second.remaining > 0 && --it->second.remaining == 0) {
+    armed_.erase(it);
+  }
+  return true;
+}
+
+Status Failpoints::Check(const std::string& name) {
+  if (Fire(name, Mode::kFail)) {
+    DELREC_LOG(Warning) << "failpoint fired: " << name;
+    return Status::Unavailable("failpoint fired: " + name);
+  }
+  return Status::Ok();
+}
+
+bool Failpoints::ShouldCorrupt(const std::string& name) {
+  if (Fire(name, Mode::kCorrupt)) {
+    DELREC_LOG(Warning) << "failpoint corrupting: " << name;
+    return true;
+  }
+  return false;
+}
+
+int64_t Failpoints::hits(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = hits_.find(name);
+  return it == hits_.end() ? 0 : it->second;
+}
+
+Status Failpoints::ArmFromSpec(const std::string& spec) {
+  // Validate the whole spec before arming anything.
+  struct Parsed {
+    std::string name;
+    Mode mode;
+    int count;
+  };
+  std::vector<Parsed> parsed;
+  for (const std::string& entry : Split(spec, ',')) {
+    if (entry.empty()) continue;
+    const size_t equals = entry.find('=');
+    if (equals == std::string::npos || equals == 0) {
+      return Status::InvalidArgument("failpoint entry needs name=mode: " +
+                                     entry);
+    }
+    Parsed p;
+    p.name = entry.substr(0, equals);
+    DELREC_RETURN_IF_ERROR(
+        ParseModeSpec(entry.substr(equals + 1), &p.mode, &p.count));
+    parsed.push_back(std::move(p));
+  }
+  for (const Parsed& p : parsed) Arm(p.name, p.mode, p.count);
+  return Status::Ok();
+}
+
+}  // namespace delrec::util

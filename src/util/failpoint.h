@@ -1,0 +1,79 @@
+#ifndef DELREC_UTIL_FAILPOINT_H_
+#define DELREC_UTIL_FAILPOINT_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "util/status.h"
+
+namespace delrec::util {
+
+/// Fault-injection registry. Code threads named failpoints through its I/O
+/// and training paths (`Failpoints::Instance().Check("blobfile.write")`);
+/// tests — or the `DELREC_FAILPOINTS` environment variable — arm them to
+/// simulate crashes, transient I/O errors, and silent data corruption.
+///
+/// Modes:
+///  - kFail:    Check() returns kUnavailable while armed.
+///  - kCorrupt: Check() stays OK but ShouldCorrupt() reports true while
+///              armed; the call site is responsible for corrupting its own
+///              bytes (e.g. BlobFile flips a payload byte).
+///
+/// Each armed point fires `count` times and then disarms itself; a count of
+/// -1 means "fire forever". All firings are tallied in hits() even after the
+/// point disarms.
+///
+/// Environment syntax (comma-separated, parsed once at first Instance() use):
+///   DELREC_FAILPOINTS="blobfile.write=fail:2,blobfile.read.corrupt=corrupt"
+/// i.e. `name=fail[:count]` or `name=corrupt[:count]`.
+class Failpoints {
+ public:
+  enum class Mode { kFail, kCorrupt };
+
+  /// Process-wide registry (thread-safe). Loads DELREC_FAILPOINTS on first
+  /// use.
+  static Failpoints& Instance();
+
+  /// Arms a failpoint. count = -1 fires forever, count = N fires N times.
+  void Arm(const std::string& name, Mode mode, int count = -1);
+  /// Disarms one failpoint (no-op when not armed).
+  void Disarm(const std::string& name);
+  /// Disarms everything and resets hit counters (test teardown).
+  void Reset();
+
+  /// Consults a kFail point: returns kUnavailable while armed, OK otherwise
+  /// (including for points armed in kCorrupt mode).
+  Status Check(const std::string& name);
+
+  /// Consults a kCorrupt point: true while armed in corrupt mode.
+  bool ShouldCorrupt(const std::string& name);
+
+  /// Total times the named point has fired (across arm/disarm cycles).
+  int64_t hits(const std::string& name) const;
+
+  /// Parses a DELREC_FAILPOINTS-style spec and arms the listed points.
+  /// InvalidArgument on malformed syntax (nothing is armed in that case).
+  Status ArmFromSpec(const std::string& spec);
+
+ private:
+  Failpoints();
+
+  struct Armed {
+    Mode mode = Mode::kFail;
+    int remaining = -1;  // -1 = unbounded.
+  };
+
+  // Returns true when the point fires; consumes one count.
+  bool Fire(const std::string& name, Mode mode);
+
+  mutable std::mutex mutex_;
+  std::unordered_map<std::string, Armed> armed_;
+  std::unordered_map<std::string, int64_t> hits_;
+};
+
+}  // namespace delrec::util
+
+#endif  // DELREC_UTIL_FAILPOINT_H_

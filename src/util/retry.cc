@@ -1,0 +1,38 @@
+#include "util/retry.h"
+
+#include <chrono>
+#include <thread>
+
+#include "util/check.h"
+#include "util/logging.h"
+
+namespace delrec::util {
+
+bool IsRetryableError(const Status& status) {
+  return status.code() == Status::Code::kUnavailable ||
+         status.code() == Status::Code::kInternal;
+}
+
+Status Retry(const RetryOptions& options,
+             const std::function<Status()>& operation) {
+  DELREC_CHECK_GE(options.max_attempts, 1);
+  double backoff_ms = options.base_backoff_ms;
+  Status status = Status::Ok();
+  for (int attempt = 1; attempt <= options.max_attempts; ++attempt) {
+    if (attempt > 1 && backoff_ms >= 1.0) {
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(static_cast<int64_t>(backoff_ms)));
+      backoff_ms *= options.backoff_multiplier;
+    }
+    status = operation();
+    if (status.ok() || !IsRetryableError(status)) return status;
+    if (attempt < options.max_attempts) {
+      DELREC_LOG(Warning) << "retrying (attempt " << attempt + 1 << "/"
+                          << options.max_attempts
+                          << ") after: " << status.ToString();
+    }
+  }
+  return status;
+}
+
+}  // namespace delrec::util

@@ -1,0 +1,33 @@
+#ifndef DELREC_UTIL_RETRY_H_
+#define DELREC_UTIL_RETRY_H_
+
+#include <functional>
+
+#include "util/status.h"
+
+namespace delrec::util {
+
+/// Bounded retry with exponential backoff for transient failures (injected
+/// faults, busy file systems). Only kUnavailable and kInternal are
+/// considered transient; other codes (kDataLoss, kInvalidArgument, ...) are
+/// permanent and returned immediately.
+struct RetryOptions {
+  int max_attempts = 3;
+  /// Sleep before attempt k (k >= 2) is base_backoff_ms · multiplier^(k-2).
+  /// Zero disables sleeping (useful in tests).
+  int base_backoff_ms = 1;
+  double backoff_multiplier = 2.0;
+};
+
+/// True for codes worth retrying.
+bool IsRetryableError(const Status& status);
+
+/// Runs `operation` up to options.max_attempts times, backing off between
+/// attempts. Returns the first success, the first permanent error, or the
+/// final transient error once attempts are exhausted.
+Status Retry(const RetryOptions& options,
+             const std::function<Status()>& operation);
+
+}  // namespace delrec::util
+
+#endif  // DELREC_UTIL_RETRY_H_

@@ -1,6 +1,7 @@
 #include "util/rng.h"
 
 #include <cmath>
+#include <cstring>
 #include <unordered_set>
 
 #include "util/check.h"
@@ -131,5 +132,20 @@ std::vector<int64_t> Rng::SampleDistinct(
 }
 
 Rng Rng::Fork() { return Rng(NextUint64()); }
+
+std::vector<uint64_t> Rng::StateDump() const {
+  uint64_t cached_bits = 0;
+  static_assert(sizeof(cached_bits) == sizeof(cached_normal_));
+  std::memcpy(&cached_bits, &cached_normal_, sizeof(cached_bits));
+  return {state_[0], state_[1], state_[2], state_[3],
+          has_cached_normal_ ? 1ULL : 0ULL, cached_bits};
+}
+
+void Rng::LoadState(const std::vector<uint64_t>& words) {
+  DELREC_CHECK_EQ(words.size(), 6u) << "bad Rng state";
+  for (int i = 0; i < 4; ++i) state_[i] = words[i];
+  has_cached_normal_ = words[4] != 0;
+  std::memcpy(&cached_normal_, &words[5], sizeof(cached_normal_));
+}
 
 }  // namespace delrec::util

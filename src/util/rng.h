@@ -63,6 +63,13 @@ class Rng {
   /// Derives an independent child generator (for per-worker streams).
   Rng Fork();
 
+  /// Serializes the full generator state (xoshiro words plus the Box–Muller
+  /// cache) so training can resume bit-identically: 6 words —
+  /// state[0..3], has_cached flag, bit pattern of the cached normal.
+  std::vector<uint64_t> StateDump() const;
+  /// Restores a StateDump(). Requires exactly 6 words.
+  void LoadState(const std::vector<uint64_t>& words);
+
  private:
   uint64_t state_[4];
   bool has_cached_normal_ = false;

@@ -1,7 +1,11 @@
 #include "util/serialize.h"
 
+#include <unistd.h>
+
 #include <cstdio>
 #include <cstring>
+
+#include "util/failpoint.h"
 
 namespace delrec::util {
 namespace {
@@ -70,6 +74,9 @@ std::vector<std::string> BlobFile::Names() const {
 }
 
 Status BlobFile::WriteTo(const std::string& path) const {
+  Failpoints& failpoints = Failpoints::Instance();
+  DELREC_RETURN_IF_ERROR(failpoints.Check("blobfile.write.open"));
+
   std::vector<unsigned char> payload;
   Append(payload, static_cast<uint64_t>(blobs_.size()));
   for (const auto& [name, values] : blobs_) {
@@ -81,30 +88,55 @@ Status BlobFile::WriteTo(const std::string& path) const {
     payload.insert(payload.end(), bytes,
                    bytes + values.size() * sizeof(float));
   }
-  FILE* file = std::fopen(path.c_str(), "wb");
-  if (file == nullptr) {
-    return Status::Internal("cannot open for writing: " + path);
+  // The digest covers the intended payload; an injected corruption below is
+  // therefore detectable on read, exactly like real bit rot.
+  const uint64_t digest = Fnv1a(payload.data(), payload.size());
+  if (!payload.empty() && failpoints.ShouldCorrupt("blobfile.write.corrupt")) {
+    payload[payload.size() / 2] ^= 0x5a;
   }
-  bool ok = std::fwrite(kMagic, 1, sizeof(kMagic), file) == sizeof(kMagic);
+
+  // Write-to-temp + fsync + rename: a crash at any point leaves either the
+  // old file or the new file at `path`, never a partial mix.
+  const std::string tmp_path = path + ".tmp";
+  FILE* file = std::fopen(tmp_path.c_str(), "wb");
+  if (file == nullptr) {
+    return Status::Unavailable("cannot open for writing: " + tmp_path);
+  }
+  bool ok = failpoints.Check("blobfile.write").ok();
+  ok = ok && std::fwrite(kMagic, 1, sizeof(kMagic), file) == sizeof(kMagic);
   ok = ok && std::fwrite(&kVersion, sizeof(kVersion), 1, file) == 1;
   const uint64_t payload_size = payload.size();
   ok = ok && std::fwrite(&payload_size, sizeof(payload_size), 1, file) == 1;
   ok = ok &&
        std::fwrite(payload.data(), 1, payload.size(), file) == payload.size();
-  const uint64_t digest = Fnv1a(payload.data(), payload.size());
   ok = ok && std::fwrite(&digest, sizeof(digest), 1, file) == 1;
+  ok = ok && std::fflush(file) == 0;
+  ok = ok && ::fsync(::fileno(file)) == 0;
   const bool closed = std::fclose(file) == 0;
-  if (!ok || !closed) return Status::Internal("short write: " + path);
+  if (!ok || !closed) {
+    std::remove(tmp_path.c_str());
+    return Status::Unavailable("short write: " + tmp_path);
+  }
+  // Firing here simulates a crash between write and commit: the temp file
+  // exists but `path` still holds the previous checkpoint.
+  DELREC_RETURN_IF_ERROR(failpoints.Check("blobfile.write.rename"));
+  if (std::rename(tmp_path.c_str(), path.c_str()) != 0) {
+    std::remove(tmp_path.c_str());
+    return Status::Unavailable("cannot commit: " + tmp_path + " -> " + path);
+  }
   return Status::Ok();
 }
 
 StatusOr<BlobFile> BlobFile::ReadFrom(const std::string& path) {
+  Failpoints& failpoints = Failpoints::Instance();
+  DELREC_RETURN_IF_ERROR(failpoints.Check("blobfile.read.open"));
   FILE* file = std::fopen(path.c_str(), "rb");
   if (file == nullptr) return Status::NotFound("cannot open: " + path);
   char magic[sizeof(kMagic)];
   uint32_t version = 0;
   uint64_t payload_size = 0;
-  bool ok = std::fread(magic, 1, sizeof(magic), file) == sizeof(magic);
+  bool ok = failpoints.Check("blobfile.read").ok();
+  ok = ok && std::fread(magic, 1, sizeof(magic), file) == sizeof(magic);
   ok = ok && std::memcmp(magic, kMagic, sizeof(kMagic)) == 0;
   ok = ok && std::fread(&version, sizeof(version), 1, file) == 1;
   ok = ok && version == kVersion;
@@ -118,28 +150,31 @@ StatusOr<BlobFile> BlobFile::ReadFrom(const std::string& path) {
   uint64_t digest = 0;
   ok = ok && std::fread(&digest, sizeof(digest), 1, file) == 1;
   std::fclose(file);
+  if (!payload.empty() && failpoints.ShouldCorrupt("blobfile.read.corrupt")) {
+    payload[payload.size() / 2] ^= 0x5a;
+  }
   if (!ok || digest != Fnv1a(payload.data(), payload.size())) {
-    return Status::InvalidArgument("corrupt checkpoint: " + path);
+    return Status::DataLoss("corrupt checkpoint: " + path);
   }
   BlobFile blob_file;
   size_t offset = 0;
   uint64_t count = 0;
   if (!Read(payload, offset, &count)) {
-    return Status::InvalidArgument("truncated checkpoint: " + path);
+    return Status::DataLoss("truncated checkpoint: " + path);
   }
   for (uint64_t i = 0; i < count; ++i) {
     uint64_t name_size = 0;
     if (!Read(payload, offset, &name_size) ||
         offset + name_size > payload.size()) {
-      return Status::InvalidArgument("truncated blob name: " + path);
+      return Status::DataLoss("truncated blob name: " + path);
     }
     std::string name(reinterpret_cast<const char*>(payload.data()) + offset,
                      name_size);
     offset += name_size;
     uint64_t value_count = 0;
     if (!Read(payload, offset, &value_count) ||
-        offset + value_count * sizeof(float) > payload.size()) {
-      return Status::InvalidArgument("truncated blob data: " + path);
+        value_count > (payload.size() - offset) / sizeof(float)) {
+      return Status::DataLoss("truncated blob data: " + path);
     }
     std::vector<float> values(value_count);
     std::memcpy(values.data(), payload.data() + offset,

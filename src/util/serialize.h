@@ -24,10 +24,15 @@ class BlobFile {
   bool Contains(const std::string& name) const;
   std::vector<std::string> Names() const;
 
-  /// Serializes to disk. Overwrites an existing file.
+  /// Serializes to disk atomically: writes `path + ".tmp"`, fsyncs, then
+  /// renames over `path`. A crash mid-save leaves the previous file intact.
+  /// Transient failures return kUnavailable (retryable via util::Retry).
+  /// Honours the `blobfile.write*` failpoints (see util/failpoint.h).
   Status WriteTo(const std::string& path) const;
 
-  /// Parses from disk, validating magic, version and checksum.
+  /// Parses from disk, validating magic, version and checksum. Corrupt or
+  /// truncated data returns kDataLoss; honours the `blobfile.read*`
+  /// failpoints.
   static StatusOr<BlobFile> ReadFrom(const std::string& path);
 
  private:

@@ -1,6 +1,7 @@
 #ifndef DELREC_UTIL_STATUS_H_
 #define DELREC_UTIL_STATUS_H_
 
+#include <optional>
 #include <string>
 #include <utility>
 
@@ -12,7 +13,19 @@ namespace delrec::util {
 /// Contract violations use DELREC_CHECK instead.
 class Status {
  public:
-  enum class Code { kOk = 0, kInvalidArgument, kNotFound, kInternal };
+  enum class Code {
+    kOk = 0,
+    kInvalidArgument,
+    kNotFound,
+    kInternal,
+    /// Stored data is unrecoverably lost or corrupted (checksum mismatch,
+    /// truncated checkpoint). Retrying will not help.
+    kDataLoss,
+    /// A transient condition (injected fault, busy file system). The
+    /// operation may succeed if retried — util::Retry treats this as
+    /// retryable.
+    kUnavailable,
+  };
 
   Status() : code_(Code::kOk) {}
   Status(Code code, std::string message)
@@ -28,6 +41,12 @@ class Status {
   static Status Internal(std::string message) {
     return Status(Code::kInternal, std::move(message));
   }
+  static Status DataLoss(std::string message) {
+    return Status(Code::kDataLoss, std::move(message));
+  }
+  static Status Unavailable(std::string message) {
+    return Status(Code::kUnavailable, std::move(message));
+  }
 
   bool ok() const { return code_ == Code::kOk; }
   Code code() const { return code_; }
@@ -35,7 +54,19 @@ class Status {
 
   std::string ToString() const {
     if (ok()) return "OK";
-    return message_;
+    return std::string(CodeName(code_)) + ": " + message_;
+  }
+
+  static const char* CodeName(Code code) {
+    switch (code) {
+      case Code::kOk: return "OK";
+      case Code::kInvalidArgument: return "INVALID_ARGUMENT";
+      case Code::kNotFound: return "NOT_FOUND";
+      case Code::kInternal: return "INTERNAL";
+      case Code::kDataLoss: return "DATA_LOSS";
+      case Code::kUnavailable: return "UNAVAILABLE";
+    }
+    return "UNKNOWN";
   }
 
  private:
@@ -43,7 +74,9 @@ class Status {
   std::string message_;
 };
 
-/// Value-or-error holder for functions that can fail recoverably.
+/// Value-or-error holder for functions that can fail recoverably. The payload
+/// lives in a std::optional so T need not be default-constructible, and
+/// move-only payloads work.
 template <typename T>
 class StatusOr {
  public:
@@ -57,22 +90,44 @@ class StatusOr {
 
   const T& value() const& {
     DELREC_CHECK(ok()) << status_.ToString();
-    return value_;
+    return *value_;
   }
   T& value() & {
     DELREC_CHECK(ok()) << status_.ToString();
-    return value_;
+    return *value_;
   }
   T&& value() && {
     DELREC_CHECK(ok()) << status_.ToString();
-    return std::move(value_);
+    return std::move(*value_);
   }
 
  private:
   Status status_;
-  T value_{};
+  std::optional<T> value_;
 };
 
 }  // namespace delrec::util
+
+/// Early-returns the enclosing function with the evaluated Status when it is
+/// not OK.
+#define DELREC_RETURN_IF_ERROR(expr)                          \
+  do {                                                        \
+    ::delrec::util::Status _delrec_status_ = (expr);          \
+    if (!_delrec_status_.ok()) return _delrec_status_;        \
+  } while (0)
+
+#define DELREC_STATUS_CONCAT_INNER_(x, y) x##y
+#define DELREC_STATUS_CONCAT_(x, y) DELREC_STATUS_CONCAT_INNER_(x, y)
+
+/// Evaluates a StatusOr expression; on success moves the value into `lhs`
+/// (which may declare a new variable), on error early-returns the status.
+#define DELREC_ASSIGN_OR_RETURN(lhs, expr)                                  \
+  DELREC_ASSIGN_OR_RETURN_IMPL_(                                            \
+      DELREC_STATUS_CONCAT_(_delrec_statusor_, __LINE__), lhs, expr)
+
+#define DELREC_ASSIGN_OR_RETURN_IMPL_(var, lhs, expr) \
+  auto var = (expr);                                  \
+  if (!var.ok()) return var.status();                 \
+  lhs = std::move(var).value()
 
 #endif  // DELREC_UTIL_STATUS_H_

@@ -9,6 +9,9 @@
 #include "core/workbench.h"
 #include "eval/protocol.h"
 #include "srmodels/factory.h"
+#include "util/check.h"
+#include "util/failpoint.h"
+#include "util/status.h"
 
 namespace delrec::baselines {
 namespace {
@@ -28,7 +31,9 @@ class BaselinesTest : public ::testing::Test {
     srmodels::TrainConfig train =
         srmodels::BackboneTrainConfig(srmodels::Backbone::kSasRec);
     train.epochs = 2;
-    sr_model_->Train(workbench_->splits().train, train);
+    const util::Status trained =
+        sr_model_->Train(workbench_->splits().train, train);
+    DELREC_CHECK(trained.ok()) << trained.ToString();
   }
   static void TearDownTestSuite() {
     delete sr_model_;
@@ -91,7 +96,7 @@ TEST_F(BaselinesTest, RecRankerTrainsAndScores) {
   auto llm = workbench_->MakePretrainedLlm(core::LlmSize::kLarge);
   RecRanker model(llm.get(), sr_model_, &workbench_->dataset().catalog,
                   &workbench_->vocab(), FastConfig());
-  model.Train(workbench_->splits().train);
+  ASSERT_TRUE(model.Train(workbench_->splits().train).ok());
   EXPECT_GT(Hr10(model), 0.6);
 }
 
@@ -99,7 +104,7 @@ TEST_F(BaselinesTest, LlmSeqPromptTrainsAndScores) {
   auto llm = workbench_->MakePretrainedLlm(core::LlmSize::kLarge);
   LlmSeqPrompt model(llm.get(), &workbench_->dataset().catalog,
                      &workbench_->vocab(), FastConfig());
-  model.Train(workbench_->splits().train);
+  ASSERT_TRUE(model.Train(workbench_->splits().train).ok());
   EXPECT_GT(Hr10(model), 0.6);
 }
 
@@ -121,7 +126,7 @@ TEST_F(BaselinesTest, LlmTrsrSummaryIsDominantGenre) {
     }
   }
   EXPECT_TRUE(mentions);
-  model.Train(workbench_->splits().train);
+  ASSERT_TRUE(model.Train(workbench_->splits().train).ok());
   EXPECT_GT(Hr10(model), 0.6);
 }
 
@@ -129,7 +134,7 @@ TEST_F(BaselinesTest, LlaraProjectorTrains) {
   auto llm = workbench_->MakePretrainedLlm(core::LlmSize::kLarge);
   Llara model(llm.get(), sr_model_, &workbench_->dataset().catalog,
               &workbench_->vocab(), FastConfig());
-  model.Train(workbench_->splits().train);
+  ASSERT_TRUE(model.Train(workbench_->splits().train).ok());
   EXPECT_GT(Hr10(model), 0.6);
 }
 
@@ -139,7 +144,7 @@ TEST_F(BaselinesTest, Llm2Bert4RecUsesLlmEmbeddings) {
   config.epochs = 3;
   Llm2Bert4Rec model(llm.get(), &workbench_->dataset().catalog,
                      &workbench_->vocab(), config);
-  model.Train(workbench_->splits().train);
+  ASSERT_TRUE(model.Train(workbench_->splits().train).ok());
   EXPECT_GT(Hr10(model), 0.7);
 }
 
@@ -147,7 +152,7 @@ TEST_F(BaselinesTest, LlamaRecShortlistRespectsRecall) {
   auto llm = workbench_->MakePretrainedLlm(core::LlmSize::kLarge);
   LlamaRec model(llm.get(), sr_model_, &workbench_->dataset().catalog,
                  &workbench_->vocab(), FastConfig(), /*shortlist_size=*/5);
-  model.Train(workbench_->splits().train);
+  ASSERT_TRUE(model.Train(workbench_->splits().train).ok());
   data::Example example;
   example.history = {1, 2, 3, 4};
   example.target = 5;
@@ -178,8 +183,20 @@ TEST_F(BaselinesTest, LlmSeqSimTrainingFree) {
                   &workbench_->vocab(), 10);
   // Train is a no-op; scoring must still beat chance thanks to the LLM's
   // pretrained genre knowledge.
-  model.Train({});
+  ASSERT_TRUE(model.Train({}).ok());
   EXPECT_GT(Hr10(model), 10.0 / 15.0 - 0.05);
+}
+
+TEST_F(BaselinesTest, NanLossInjectionIsSkippedNotFatal) {
+  auto llm = workbench_->MakePretrainedLlm(core::LlmSize::kLarge);
+  LlmSeqPrompt model(llm.get(), &workbench_->dataset().catalog,
+                     &workbench_->vocab(), FastConfig());
+  util::Failpoints::Instance().Arm("baseline.loss",
+                                   util::Failpoints::Mode::kCorrupt, 1);
+  const util::Status trained = model.Train(workbench_->splits().train);
+  util::Failpoints::Instance().Reset();
+  ASSERT_TRUE(trained.ok()) << trained.ToString();
+  EXPECT_GT(Hr10(model), 0.6);
 }
 
 TEST_F(BaselinesTest, KdaLrdTrainsAndBeatsChance) {
@@ -188,7 +205,7 @@ TEST_F(BaselinesTest, KdaLrdTrainsAndBeatsChance) {
   config.epochs = 3;
   KdaLrd model(llm.get(), &workbench_->dataset().catalog,
                &workbench_->vocab(), config);
-  model.Train(workbench_->splits().train);
+  ASSERT_TRUE(model.Train(workbench_->splits().train).ok());
   EXPECT_GT(Hr10(model), 0.75);
 }
 

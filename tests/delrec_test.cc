@@ -3,12 +3,20 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <cstdio>
+#include <fstream>
 #include <memory>
+#include <string>
 
+#include "core/checkpoint.h"
 #include "core/workbench.h"
 #include "data/dataset.h"
 #include "eval/protocol.h"
 #include "srmodels/factory.h"
+#include "util/check.h"
+#include "util/failpoint.h"
+#include "util/status.h"
 #include "util/timer.h"
 
 namespace delrec::core {
@@ -29,7 +37,9 @@ class DelRecTest : public ::testing::Test {
     srmodels::TrainConfig train = srmodels::BackboneTrainConfig(
         srmodels::Backbone::kSasRec);
     train.epochs = 3;
-    sr_model_->Train(workbench_->splits().train, train);
+    const util::Status trained =
+        sr_model_->Train(workbench_->splits().train, train);
+    DELREC_CHECK(trained.ok()) << trained.ToString();
   }
   static void TearDownTestSuite() {
     delete sr_model_;
@@ -101,7 +111,7 @@ TEST_F(DelRecTest, FullPipelineImprovesOverRawLlm) {
   // Raw (untrained) scoring first.
   const double raw = Quality(model);
   util::WallTimer timer;
-  model.Train(workbench_->splits().train);
+  ASSERT_TRUE(model.Train(workbench_->splits().train).ok());
   const double trained = Quality(model);
   EXPECT_GT(trained, raw + 0.02);
   EXPECT_GT(Hr10(model), 0.70);  // Chance is 10/15 = 0.667.
@@ -113,7 +123,7 @@ TEST_F(DelRecTest, Stage1UpdatesSoftPromptsOnly) {
   DelRec model(&workbench_->dataset().catalog, &workbench_->vocab(),
                llm.get(), sr_model_, FastConfig());
   const std::vector<float> soft_before = model.soft_prompts().data();
-  model.DistillPattern(workbench_->splits().train);
+  ASSERT_TRUE(model.DistillPattern(workbench_->splits().train).ok());
   EXPECT_EQ(llm->StateDump(), llm_before);            // LLM frozen.
   EXPECT_NE(model.soft_prompts().data(), soft_before);  // Softs moved.
 }
@@ -122,7 +132,7 @@ TEST_F(DelRecTest, Stage2KeepsSoftPromptsAndBaseWeightsFrozen) {
   auto llm = workbench_->MakePretrainedLlm(LlmSize::kBase);
   DelRec model(&workbench_->dataset().catalog, &workbench_->vocab(),
                llm.get(), sr_model_, FastConfig());
-  model.DistillPattern(workbench_->splits().train);
+  ASSERT_TRUE(model.DistillPattern(workbench_->splits().train).ok());
   const std::vector<float> soft_after_stage1 = model.soft_prompts().data();
   const std::vector<float> llm_base = llm->StateDump();
   // Snapshot the dense (non-BitFit) weights by name before fine-tuning.
@@ -141,7 +151,7 @@ TEST_F(DelRecTest, Stage2KeepsSoftPromptsAndBaseWeightsFrozen) {
     return out;
   };
   const auto before = dense_weights();
-  model.FineTune(workbench_->splits().train);
+  ASSERT_TRUE(model.FineTune(workbench_->splits().train).ok());
   EXPECT_EQ(model.soft_prompts().data(), soft_after_stage1);
   // Only adapters + BitFit biases/LN train; every dense weight is untouched.
   const auto after = dense_weights();
@@ -161,7 +171,7 @@ TEST_F(DelRecTest, UdpsmAblationUpdatesLlm) {
   config.update_llm_in_stage1 = true;
   DelRec model(&workbench_->dataset().catalog, &workbench_->vocab(),
                llm.get(), sr_model_, config);
-  model.DistillPattern(workbench_->splits().train);
+  ASSERT_TRUE(model.DistillPattern(workbench_->splits().train).ok());
   EXPECT_NE(llm->StateDump(), before);
 }
 
@@ -171,9 +181,9 @@ TEST_F(DelRecTest, UlsrAblationUpdatesSoftPromptsInStage2) {
   config.update_soft_in_stage2 = true;
   DelRec model(&workbench_->dataset().catalog, &workbench_->vocab(),
                llm.get(), sr_model_, config);
-  model.DistillPattern(workbench_->splits().train);
+  ASSERT_TRUE(model.DistillPattern(workbench_->splits().train).ok());
   const std::vector<float> soft_after_stage1 = model.soft_prompts().data();
-  model.FineTune(workbench_->splits().train);
+  ASSERT_TRUE(model.FineTune(workbench_->splits().train).ok());
   EXPECT_NE(model.soft_prompts().data(), soft_after_stage1);
 }
 
@@ -185,7 +195,7 @@ TEST_F(DelRecTest, AblationSwitchesChangePrompting) {
   DelRec model(&workbench_->dataset().catalog, &workbench_->vocab(),
                llm.get(), sr_model_, no_sp);
   const std::vector<float> soft_before = model.soft_prompts().data();
-  model.Train(workbench_->splits().train);
+  ASSERT_TRUE(model.Train(workbench_->splits().train).ok());
   EXPECT_EQ(model.soft_prompts().data(), soft_before);
 
   // w MCP likewise skips stage 1 but still scores.
@@ -194,7 +204,7 @@ TEST_F(DelRecTest, AblationSwitchesChangePrompting) {
   mcp.manual_prompts = true;
   DelRec mcp_model(&workbench_->dataset().catalog, &workbench_->vocab(),
                    llm2.get(), sr_model_, mcp);
-  mcp_model.Train(workbench_->splits().train);
+  ASSERT_TRUE(mcp_model.Train(workbench_->splits().train).ok());
   data::Example example;
   example.history = {1, 2, 3};
   example.target = 4;
@@ -208,7 +218,7 @@ TEST_F(DelRecTest, LambdaTraceRecorded) {
   config.stage1_epochs = 2;
   DelRec model(&workbench_->dataset().catalog, &workbench_->vocab(),
                llm.get(), sr_model_, config);
-  model.DistillPattern(workbench_->splits().train);
+  ASSERT_TRUE(model.DistillPattern(workbench_->splits().train).ok());
   const auto& diag = model.stage1_diagnostics();
   ASSERT_EQ(diag.lambda_per_epoch.size(), 2u);
   for (float lambda : diag.lambda_per_epoch) {
@@ -223,7 +233,7 @@ TEST_F(DelRecTest, DisabledTasksSkewLambda) {
   config.disable_temporal_analysis = true;
   DelRec model(&workbench_->dataset().catalog, &workbench_->vocab(),
                llm.get(), sr_model_, config);
-  model.DistillPattern(workbench_->splits().train);
+  ASSERT_TRUE(model.DistillPattern(workbench_->splits().train).ok());
   for (float lambda : model.stage1_diagnostics().lambda_per_epoch) {
     EXPECT_FLOAT_EQ(lambda, 0.0f);  // All weight on RPS.
   }
@@ -241,6 +251,140 @@ TEST_F(DelRecTest, RecommendReturnsItemsFromPool) {
   }
 }
 
+// Acceptance: kill training mid-stage-2 via failpoint, resume from the
+// on-disk TrainState, and verify the resumed run's final soft prompts and
+// adapter weights are bit-identical to an uninterrupted run.
+TEST_F(DelRecTest, ResumeAfterStage2KillIsBitIdentical) {
+  DelRecConfig config = FastConfig();
+  config.stage1_epochs = 1;
+  config.stage2_epochs = 2;
+  const std::string path_a = ::testing::TempDir() + "/resume_a.ckpt";
+  const std::string path_b = ::testing::TempDir() + "/resume_b.ckpt";
+  std::remove(path_a.c_str());
+  std::remove(path_b.c_str());
+
+  // Reference: uninterrupted resumable run.
+  auto llm_a = workbench_->MakePretrainedLlm(LlmSize::kBase);
+  DelRec model_a(&workbench_->dataset().catalog, &workbench_->vocab(),
+                 llm_a.get(), sr_model_, config);
+  ASSERT_TRUE(model_a.TrainResumable(workbench_->splits().train, path_a).ok());
+
+  // Interrupted run: the kill fires right after stage 2's first epoch-end
+  // checkpoint lands on disk.
+  auto llm_b = workbench_->MakePretrainedLlm(LlmSize::kBase);
+  DelRec model_b(&workbench_->dataset().catalog, &workbench_->vocab(),
+                 llm_b.get(), sr_model_, config);
+  util::Failpoints::Instance().Arm("delrec.stage2.epoch_end",
+                                   util::Failpoints::Mode::kFail, 1);
+  const util::Status killed =
+      model_b.TrainResumable(workbench_->splits().train, path_b);
+  util::Failpoints::Instance().Reset();
+  ASSERT_FALSE(killed.ok());
+  EXPECT_EQ(killed.code(), util::Status::Code::kUnavailable);
+
+  // Second invocation resumes from the checkpoint and finishes epoch 2.
+  ASSERT_TRUE(model_b.TrainResumable(workbench_->splits().train, path_b).ok());
+
+  EXPECT_EQ(model_a.soft_prompts().data(), model_b.soft_prompts().data());
+  EXPECT_EQ(llm_a->StateDump(), llm_b->StateDump());
+  ASSERT_EQ(model_a.adapters().size(), model_b.adapters().size());
+  ASSERT_GT(model_a.adapters().size(), 0u);
+  for (size_t i = 0; i < model_a.adapters().size(); ++i) {
+    EXPECT_EQ(model_a.adapters()[i]->StateDump(),
+              model_b.adapters()[i]->StateDump())
+        << "adapter " << i;
+  }
+  std::remove(path_a.c_str());
+  std::remove(path_b.c_str());
+}
+
+TEST_F(DelRecTest, ResumeAfterStage1KillIsBitIdentical) {
+  DelRecConfig config = FastConfig();
+  config.stage1_epochs = 2;
+  config.stage2_epochs = 1;
+  const std::string path_a = ::testing::TempDir() + "/resume1_a.ckpt";
+  const std::string path_b = ::testing::TempDir() + "/resume1_b.ckpt";
+  std::remove(path_a.c_str());
+  std::remove(path_b.c_str());
+
+  auto llm_a = workbench_->MakePretrainedLlm(LlmSize::kBase);
+  DelRec model_a(&workbench_->dataset().catalog, &workbench_->vocab(),
+                 llm_a.get(), sr_model_, config);
+  ASSERT_TRUE(model_a.TrainResumable(workbench_->splits().train, path_a).ok());
+
+  auto llm_b = workbench_->MakePretrainedLlm(LlmSize::kBase);
+  DelRec model_b(&workbench_->dataset().catalog, &workbench_->vocab(),
+                 llm_b.get(), sr_model_, config);
+  util::Failpoints::Instance().Arm("delrec.stage1.epoch_end",
+                                   util::Failpoints::Mode::kFail, 1);
+  const util::Status killed =
+      model_b.TrainResumable(workbench_->splits().train, path_b);
+  util::Failpoints::Instance().Reset();
+  ASSERT_FALSE(killed.ok());
+  ASSERT_TRUE(model_b.TrainResumable(workbench_->splits().train, path_b).ok());
+
+  EXPECT_EQ(model_a.soft_prompts().data(), model_b.soft_prompts().data());
+  EXPECT_EQ(llm_a->StateDump(), llm_b->StateDump());
+  // The λ diagnostics trace must also survive the interruption intact.
+  EXPECT_EQ(model_a.stage1_diagnostics().lambda_per_epoch,
+            model_b.stage1_diagnostics().lambda_per_epoch);
+  std::remove(path_a.c_str());
+  std::remove(path_b.c_str());
+}
+
+// Acceptance: injected NaN losses are counted and skipped; training still
+// completes with a healthy model instead of aborting.
+TEST_F(DelRecTest, NanLossInjectionIsSkippedAndCounted) {
+  auto llm = workbench_->MakePretrainedLlm(LlmSize::kBase);
+  DelRec model(&workbench_->dataset().catalog, &workbench_->vocab(),
+               llm.get(), sr_model_, FastConfig());
+  util::Failpoints::Instance().Arm("delrec.stage1.loss",
+                                   util::Failpoints::Mode::kCorrupt, 2);
+  util::Failpoints::Instance().Arm("delrec.stage2.loss",
+                                   util::Failpoints::Mode::kCorrupt, 1);
+  const util::Status trained = model.Train(workbench_->splits().train);
+  util::Failpoints::Instance().Reset();
+  ASSERT_TRUE(trained.ok()) << trained.ToString();
+  EXPECT_EQ(model.train_stats().stage1_anomalies, 2);
+  EXPECT_EQ(model.train_stats().stage2_anomalies, 1);
+  // Soft prompts stayed finite despite the poisoned batches.
+  for (float v : model.soft_prompts().data()) {
+    EXPECT_TRUE(std::isfinite(v));
+  }
+}
+
+TEST_F(DelRecTest, PersistentNanLossAbortsWithStatusNotCheck) {
+  auto llm = workbench_->MakePretrainedLlm(LlmSize::kBase);
+  DelRecConfig config = FastConfig();
+  config.max_consecutive_anomalies = 3;
+  DelRec model(&workbench_->dataset().catalog, &workbench_->vocab(),
+               llm.get(), sr_model_, config);
+  util::Failpoints::Instance().Arm("delrec.stage1.loss",
+                                   util::Failpoints::Mode::kCorrupt);
+  const util::Status trained = model.Train(workbench_->splits().train);
+  util::Failpoints::Instance().Reset();
+  ASSERT_FALSE(trained.ok());
+  EXPECT_EQ(trained.code(), util::Status::Code::kInternal);
+  EXPECT_EQ(model.train_stats().stage1_anomalies, 3);
+}
+
+TEST_F(DelRecTest, TrainResumableRefusesCorruptCheckpoint) {
+  auto llm = workbench_->MakePretrainedLlm(LlmSize::kBase);
+  DelRec model(&workbench_->dataset().catalog, &workbench_->vocab(),
+               llm.get(), sr_model_, FastConfig());
+  const std::string path = ::testing::TempDir() + "/garbage.ckpt";
+  {
+    std::ofstream stream(path, std::ios::binary);
+    stream << "DELRECB1 but then garbage follows here";
+  }
+  const util::Status resumed =
+      model.TrainResumable(workbench_->splits().train, path);
+  // Corrupt checkpoint ⇒ clean error, never a silent fresh retrain over it.
+  ASSERT_FALSE(resumed.ok());
+  EXPECT_NE(resumed.code(), util::Status::Code::kNotFound);
+  std::remove(path.c_str());
+}
+
 TEST_F(DelRecTest, ParameterCounts) {
   auto llm = workbench_->MakePretrainedLlm(LlmSize::kBase);
   DelRecConfig config = FastConfig();
@@ -249,7 +393,7 @@ TEST_F(DelRecTest, ParameterCounts) {
   EXPECT_EQ(model.SoftPromptParameterCount(),
             config.soft_prompt_count * llm->model_dim());
   EXPECT_EQ(model.AdapterParameterCount(), 0);  // Before stage 2.
-  model.Train(workbench_->splits().train);
+  ASSERT_TRUE(model.Train(workbench_->splits().train).ok());
   EXPECT_GT(model.AdapterParameterCount(), 0);
 }
 

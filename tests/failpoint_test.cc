@@ -1,0 +1,167 @@
+// Fault-injection registry, retry helper, and atomic BlobFile persistence
+// under injected failures.
+#include "util/failpoint.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "util/retry.h"
+#include "util/serialize.h"
+#include "util/status.h"
+
+namespace delrec::util {
+namespace {
+
+class FailpointTest : public ::testing::Test {
+ protected:
+  void TearDown() override { Failpoints::Instance().Reset(); }
+
+  static std::string TempPath(const std::string& name) {
+    return ::testing::TempDir() + "/" + name;
+  }
+};
+
+TEST_F(FailpointTest, UnarmedPointsAreSilent) {
+  Failpoints& fp = Failpoints::Instance();
+  EXPECT_TRUE(fp.Check("never.armed").ok());
+  EXPECT_FALSE(fp.ShouldCorrupt("never.armed"));
+  EXPECT_EQ(fp.hits("never.armed"), 0);
+}
+
+TEST_F(FailpointTest, FailNTimesThenDisarms) {
+  Failpoints& fp = Failpoints::Instance();
+  fp.Arm("io", Failpoints::Mode::kFail, 2);
+  EXPECT_EQ(fp.Check("io").code(), Status::Code::kUnavailable);
+  EXPECT_EQ(fp.Check("io").code(), Status::Code::kUnavailable);
+  EXPECT_TRUE(fp.Check("io").ok());  // Auto-disarmed after two firings.
+  EXPECT_EQ(fp.hits("io"), 2);
+}
+
+TEST_F(FailpointTest, FailForeverUntilDisarmed) {
+  Failpoints& fp = Failpoints::Instance();
+  fp.Arm("io", Failpoints::Mode::kFail);  // count = -1.
+  for (int i = 0; i < 5; ++i) EXPECT_FALSE(fp.Check("io").ok());
+  fp.Disarm("io");
+  EXPECT_TRUE(fp.Check("io").ok());
+  EXPECT_EQ(fp.hits("io"), 5);
+}
+
+TEST_F(FailpointTest, CorruptModeKeepsCheckOkButFlagsCorruption) {
+  Failpoints& fp = Failpoints::Instance();
+  fp.Arm("bytes", Failpoints::Mode::kCorrupt, 1);
+  EXPECT_TRUE(fp.Check("bytes").ok());  // kFail consultation ignores it.
+  EXPECT_TRUE(fp.ShouldCorrupt("bytes"));
+  EXPECT_FALSE(fp.ShouldCorrupt("bytes"));  // Count consumed.
+}
+
+TEST_F(FailpointTest, ArmFromSpecParsesNamesModesAndCounts) {
+  Failpoints& fp = Failpoints::Instance();
+  ASSERT_TRUE(fp.ArmFromSpec("a=fail:2,b=corrupt").ok());
+  EXPECT_FALSE(fp.Check("a").ok());
+  EXPECT_TRUE(fp.ShouldCorrupt("b"));
+}
+
+TEST_F(FailpointTest, ArmFromSpecRejectsMalformedSpecAtomically) {
+  Failpoints& fp = Failpoints::Instance();
+  EXPECT_EQ(fp.ArmFromSpec("good=fail,bad=explode").code(),
+            Status::Code::kInvalidArgument);
+  // Nothing from the bad spec may be armed, including its valid prefix.
+  EXPECT_TRUE(fp.Check("good").ok());
+  EXPECT_EQ(fp.ArmFromSpec("noequals").code(),
+            Status::Code::kInvalidArgument);
+  EXPECT_EQ(fp.ArmFromSpec("x=fail:notanumber").code(),
+            Status::Code::kInvalidArgument);
+}
+
+TEST_F(FailpointTest, RetryRecoversFromTransientFailures) {
+  Failpoints& fp = Failpoints::Instance();
+  fp.Arm("op", Failpoints::Mode::kFail, 2);
+  RetryOptions options;
+  options.max_attempts = 3;
+  options.base_backoff_ms = 0;
+  EXPECT_TRUE(Retry(options, [&] { return fp.Check("op"); }).ok());
+  EXPECT_EQ(fp.hits("op"), 2);
+}
+
+TEST_F(FailpointTest, RetryGivesUpAfterMaxAttempts) {
+  Failpoints& fp = Failpoints::Instance();
+  fp.Arm("op", Failpoints::Mode::kFail);  // Fails forever.
+  RetryOptions options;
+  options.max_attempts = 3;
+  options.base_backoff_ms = 0;
+  EXPECT_EQ(Retry(options, [&] { return fp.Check("op"); }).code(),
+            Status::Code::kUnavailable);
+  EXPECT_EQ(fp.hits("op"), 3);
+}
+
+TEST_F(FailpointTest, RetryDoesNotRepeatPermanentErrors) {
+  int attempts = 0;
+  RetryOptions options;
+  options.max_attempts = 5;
+  options.base_backoff_ms = 0;
+  const Status status = Retry(options, [&] {
+    ++attempts;
+    return Status::DataLoss("checksum mismatch");
+  });
+  EXPECT_EQ(status.code(), Status::Code::kDataLoss);
+  EXPECT_EQ(attempts, 1);  // kDataLoss is permanent — no retry.
+}
+
+TEST_F(FailpointTest, CrashBeforeRenamePreservesPreviousCheckpoint) {
+  const std::string path = TempPath("atomic.blob");
+  BlobFile v1;
+  v1.Put("x", {1.0f, 2.0f});
+  ASSERT_TRUE(v1.WriteTo(path).ok());
+
+  // Simulate a crash after the temp file is durable but before the commit
+  // rename: the write fails, yet `path` still holds the previous version.
+  Failpoints::Instance().Arm("blobfile.write.rename",
+                             Failpoints::Mode::kFail, 1);
+  BlobFile v2;
+  v2.Put("x", {9.0f});
+  EXPECT_EQ(v2.WriteTo(path).code(), Status::Code::kUnavailable);
+
+  auto recovered = BlobFile::ReadFrom(path);
+  ASSERT_TRUE(recovered.ok());
+  EXPECT_EQ(recovered.value().Get("x").value(),
+            (std::vector<float>{1.0f, 2.0f}));
+
+  // Once the fault clears, the same write commits and replaces the file.
+  ASSERT_TRUE(v2.WriteTo(path).ok());
+  auto committed = BlobFile::ReadFrom(path);
+  ASSERT_TRUE(committed.ok());
+  EXPECT_EQ(committed.value().Get("x").value(), (std::vector<float>{9.0f}));
+  std::remove(path.c_str());
+  std::remove((path + ".tmp").c_str());
+}
+
+TEST_F(FailpointTest, FailedWriteLeavesNoFileBehind) {
+  const std::string path = TempPath("short_write.blob");
+  std::remove(path.c_str());
+  Failpoints::Instance().Arm("blobfile.write", Failpoints::Mode::kFail, 1);
+  BlobFile file;
+  file.Put("x", {1.0f});
+  EXPECT_EQ(file.WriteTo(path).code(), Status::Code::kUnavailable);
+  // Neither the destination nor the temp file survives a failed write.
+  EXPECT_EQ(BlobFile::ReadFrom(path).status().code(),
+            Status::Code::kNotFound);
+  EXPECT_EQ(BlobFile::ReadFrom(path + ".tmp").status().code(),
+            Status::Code::kNotFound);
+}
+
+TEST_F(FailpointTest, InjectedWriteCorruptionIsCaughtOnRead) {
+  const std::string path = TempPath("corrupt.blob");
+  Failpoints::Instance().Arm("blobfile.write.corrupt",
+                             Failpoints::Mode::kCorrupt, 1);
+  BlobFile file;
+  file.Put("x", {1.0f, 2.0f, 3.0f});
+  ASSERT_TRUE(file.WriteTo(path).ok());  // Write "succeeds" with bit rot.
+  EXPECT_EQ(BlobFile::ReadFrom(path).status().code(),
+            Status::Code::kDataLoss);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace delrec::util

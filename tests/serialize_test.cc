@@ -4,8 +4,10 @@
 
 #include <cstdio>
 #include <fstream>
+#include <iterator>
 
 #include "core/checkpoint.h"
+#include "util/failpoint.h"
 #include "nn/serialize.h"
 #include "srmodels/sasrec.h"
 #include "core/delrec.h"
@@ -68,6 +70,28 @@ TEST(BlobFileTest, CorruptionDetected) {
   }
   auto result = util::BlobFile::ReadFrom(path);
   EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), util::Status::Code::kDataLoss);
+}
+
+TEST(BlobFileTest, TruncatedFileRejectedCleanly) {
+  util::BlobFile file;
+  file.Put("weights", std::vector<float>(64, 1.5f));
+  const std::string path = TempPath("truncated.delrec");
+  ASSERT_TRUE(file.WriteTo(path).ok());
+  // Chop the file mid-payload (a crash during a non-atomic copy).
+  std::string bytes;
+  {
+    std::ifstream in(path, std::ios::binary);
+    bytes.assign(std::istreambuf_iterator<char>(in), {});
+  }
+  ASSERT_GT(bytes.size(), 40u);
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size() / 2));
+  }
+  auto result = util::BlobFile::ReadFrom(path);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), util::Status::Code::kDataLoss);
 }
 
 TEST(BlobFileTest, BadMagicRejected) {
@@ -78,6 +102,38 @@ TEST(BlobFileTest, BadMagicRejected) {
   }
   auto result = util::BlobFile::ReadFrom(path);
   EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), util::Status::Code::kInvalidArgument);
+}
+
+TEST(BlobFileTest, WrongVersionRejected) {
+  util::BlobFile file;
+  file.Put("x", {1.0f});
+  const std::string path = TempPath("badversion.delrec");
+  ASSERT_TRUE(file.WriteTo(path).ok());
+  {
+    // The version field sits right after the 8-byte magic.
+    std::fstream stream(path,
+                        std::ios::in | std::ios::out | std::ios::binary);
+    stream.seekp(8);
+    const uint32_t bogus = 999;
+    stream.write(reinterpret_cast<const char*>(&bogus), sizeof(bogus));
+  }
+  auto result = util::BlobFile::ReadFrom(path);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), util::Status::Code::kInvalidArgument);
+}
+
+TEST(BlobFileTest, MidWriteCrashViaFailpointReturnsCleanStatus) {
+  util::Failpoints::Instance().Arm("blobfile.write",
+                                   util::Failpoints::Mode::kFail, 1);
+  util::BlobFile file;
+  file.Put("x", {1.0f});
+  const std::string path = TempPath("midwrite.delrec");
+  std::remove(path.c_str());
+  EXPECT_EQ(file.WriteTo(path).code(), util::Status::Code::kUnavailable);
+  EXPECT_EQ(util::BlobFile::ReadFrom(path).status().code(),
+            util::Status::Code::kNotFound);
+  util::Failpoints::Instance().Reset();
 }
 
 TEST(FnvTest, StableAndSensitive) {
@@ -99,7 +155,7 @@ TEST(CheckpointTest, DelRecRoundTripPreservesScores) {
   srmodels::TrainConfig sr_train =
       srmodels::BackboneTrainConfig(srmodels::Backbone::kSasRec);
   sr_train.epochs = 1;
-  sasrec->Train(workbench.splits().train, sr_train);
+  ASSERT_TRUE(sasrec->Train(workbench.splits().train, sr_train).ok());
 
   core::DelRecConfig config;
   config.stage1_epochs = 1;
@@ -110,7 +166,7 @@ TEST(CheckpointTest, DelRecRoundTripPreservesScores) {
   auto llm = workbench.MakePretrainedLlm(core::LlmSize::kBase);
   core::DelRec model(&workbench.dataset().catalog, &workbench.vocab(),
                      llm.get(), sasrec.get(), config);
-  model.Train(workbench.splits().train);
+  ASSERT_TRUE(model.Train(workbench.splits().train).ok());
 
   const std::string path = TempPath("delrec.ckpt");
   ASSERT_TRUE(core::SaveDelRecCheckpoint(model, *llm, path).ok());

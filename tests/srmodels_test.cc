@@ -12,6 +12,8 @@
 #include "srmodels/kda.h"
 #include "srmodels/sasrec.h"
 #include "srmodels/simple.h"
+#include "util/failpoint.h"
+#include "util/status.h"
 
 namespace delrec::srmodels {
 namespace {
@@ -58,7 +60,7 @@ data::Splits* SrModelsTest::splits_ = nullptr;
 
 TEST_F(SrModelsTest, PopRecBeatsChanceAndTracksCounts) {
   PopRec model(dataset_->catalog.size());
-  model.Train(splits_->train, FastConfig());
+  ASSERT_TRUE(model.Train(splits_->train, FastConfig()).ok());
   // Chance HR@10 on 15 candidates is 10/15 ≈ 0.667; popularity adds a bit.
   EXPECT_GT(Hr10(model), 0.60);
   EXPECT_EQ(model.ParameterCount(), 0);
@@ -68,7 +70,7 @@ TEST_F(SrModelsTest, FmcLearnsSequelTransitions) {
   Fmc model(dataset_->catalog.size(), 16, 3);
   TrainConfig config = FastConfig();
   config.learning_rate = 5e-3f;
-  model.Train(splits_->train, config);
+  ASSERT_TRUE(model.Train(splits_->train, config).ok());
   EXPECT_GT(Hr10(model), 0.75);
 }
 
@@ -76,7 +78,7 @@ TEST_F(SrModelsTest, Gru4RecLearns) {
   Gru4Rec model(dataset_->catalog.size(), 32, 3);
   TrainConfig config = BackboneTrainConfig(Backbone::kGru4Rec);
   config.epochs = 3;
-  model.Train(splits_->train, config);
+  ASSERT_TRUE(model.Train(splits_->train, config).ok());
   EXPECT_GT(Hr10(model), 0.78);
 }
 
@@ -84,7 +86,7 @@ TEST_F(SrModelsTest, CaserLearns) {
   Caser model(dataset_->catalog.size(), 32, 10, 8, 2, 3);
   TrainConfig config = BackboneTrainConfig(Backbone::kCaser);
   config.epochs = 3;
-  model.Train(splits_->train, config);
+  ASSERT_TRUE(model.Train(splits_->train, config).ok());
   EXPECT_GT(Hr10(model), 0.78);
 }
 
@@ -92,7 +94,7 @@ TEST_F(SrModelsTest, SasRecLearns) {
   SasRec model(dataset_->catalog.size(), 32, 10, 2, 2, 3);
   TrainConfig config = BackboneTrainConfig(Backbone::kSasRec);
   config.epochs = 3;
-  model.Train(splits_->train, config);
+  ASSERT_TRUE(model.Train(splits_->train, config).ok());
   EXPECT_GT(Hr10(model), 0.78);
 }
 
@@ -100,7 +102,7 @@ TEST_F(SrModelsTest, Bert4RecLearns) {
   Bert4Rec model(dataset_->catalog.size(), 32, 10, 2, 2, 3);
   TrainConfig config = FastConfig();
   config.learning_rate = 2e-3f;
-  model.Train(splits_->train, config);
+  ASSERT_TRUE(model.Train(splits_->train, config).ok());
   EXPECT_GT(Hr10(model), 0.75);
 }
 
@@ -108,18 +110,45 @@ TEST_F(SrModelsTest, KdaLearns) {
   Kda model(dataset_->catalog.size(), 32, 12, 10, 4, 3);
   TrainConfig config = FastConfig();
   config.learning_rate = 2e-3f;
-  model.Train(splits_->train, config);
+  ASSERT_TRUE(model.Train(splits_->train, config).ok());
   EXPECT_GT(Hr10(model), 0.78);
 }
 
 TEST_F(SrModelsTest, TrainedModelsBeatPopularity) {
   PopRec popularity(dataset_->catalog.size());
-  popularity.Train(splits_->train, FastConfig());
+  ASSERT_TRUE(popularity.Train(splits_->train, FastConfig()).ok());
   SasRec sasrec(dataset_->catalog.size(), 32, 10, 2, 2, 3);
   TrainConfig config = BackboneTrainConfig(Backbone::kSasRec);
   config.epochs = 3;
-  sasrec.Train(splits_->train, config);
+  ASSERT_TRUE(sasrec.Train(splits_->train, config).ok());
   EXPECT_GT(Hr10(sasrec), Hr10(popularity));
+}
+
+TEST_F(SrModelsTest, NanLossBatchesAreSkippedNotFatal) {
+  SasRec model(dataset_->catalog.size(), 32, 10, 2, 2, 3);
+  TrainConfig config = BackboneTrainConfig(Backbone::kSasRec);
+  config.epochs = 3;
+  // Two poisoned batches: the guard must skip them (parameters restored)
+  // and training must still converge to a useful model.
+  util::Failpoints::Instance().Arm("trainer.loss",
+                                   util::Failpoints::Mode::kCorrupt, 2);
+  const util::Status trained = model.Train(splits_->train, config);
+  util::Failpoints::Instance().Reset();
+  ASSERT_TRUE(trained.ok()) << trained.ToString();
+  EXPECT_GT(Hr10(model), 0.78);
+}
+
+TEST_F(SrModelsTest, PersistentNanLossAbortsWithStatus) {
+  Gru4Rec model(dataset_->catalog.size(), 32, 3);
+  TrainConfig config = BackboneTrainConfig(Backbone::kGru4Rec);
+  config.epochs = 1;
+  config.max_consecutive_anomalies = 2;
+  util::Failpoints::Instance().Arm("trainer.loss",
+                                   util::Failpoints::Mode::kCorrupt);
+  const util::Status trained = model.Train(splits_->train, config);
+  util::Failpoints::Instance().Reset();
+  ASSERT_FALSE(trained.ok());
+  EXPECT_EQ(trained.code(), util::Status::Code::kInternal);
 }
 
 TEST_F(SrModelsTest, EncodeHistoryShapes) {
@@ -133,7 +162,7 @@ TEST_F(SrModelsTest, EncodeHistoryShapes) {
 
 TEST_F(SrModelsTest, TopKOrderedByScore) {
   PopRec model(dataset_->catalog.size());
-  model.Train(splits_->train, FastConfig());
+  ASSERT_TRUE(model.Train(splits_->train, FastConfig()).ok());
   auto scores = model.ScoreAllItems({0});
   auto top = model.TopK({0}, 5);
   ASSERT_EQ(top.size(), 5u);
@@ -144,7 +173,7 @@ TEST_F(SrModelsTest, TopKOrderedByScore) {
 
 TEST_F(SrModelsTest, ScoreCandidatesGathersFromAllItems) {
   Fmc model(dataset_->catalog.size(), 8, 3);
-  model.Train(splits_->train, FastConfig());
+  ASSERT_TRUE(model.Train(splits_->train, FastConfig()).ok());
   auto all = model.ScoreAllItems({3, 4});
   auto some = model.ScoreCandidates({3, 4}, {7, 0, 9});
   EXPECT_FLOAT_EQ(some[0], all[7]);

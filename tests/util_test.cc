@@ -2,10 +2,14 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
 #include <set>
+#include <string>
+#include <vector>
 
 #include "util/memory.h"
 #include "util/rng.h"
+#include "util/status.h"
 #include "util/string_util.h"
 #include "util/table.h"
 
@@ -109,6 +113,85 @@ TEST(RngTest, ShufflePreservesElements) {
   rng.Shuffle(values);
   std::sort(values.begin(), values.end());
   EXPECT_EQ(values, original);
+}
+
+TEST(RngTest, StateDumpRestoresBitIdenticalStream) {
+  Rng a(123);
+  // Advance past a Normal() call so the Box–Muller cache is non-trivial.
+  for (int i = 0; i < 7; ++i) a.Normal();
+  Rng b(999);
+  b.LoadState(a.StateDump());
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(a.UniformUint64(1000), b.UniformUint64(1000));
+    EXPECT_EQ(a.Normal(), b.Normal());
+  }
+}
+
+TEST(StatusTest, CodesAndToString) {
+  EXPECT_TRUE(Status::Ok().ok());
+  const Status loss = Status::DataLoss("checksum mismatch");
+  EXPECT_FALSE(loss.ok());
+  EXPECT_EQ(loss.code(), Status::Code::kDataLoss);
+  EXPECT_EQ(loss.ToString(), "DATA_LOSS: checksum mismatch");
+  EXPECT_EQ(Status::Unavailable("busy").code(), Status::Code::kUnavailable);
+}
+
+TEST(StatusOrTest, HoldsMoveOnlyType) {
+  StatusOr<std::unique_ptr<int>> result(std::make_unique<int>(42));
+  ASSERT_TRUE(result.ok());
+  std::unique_ptr<int> taken = std::move(result).value();
+  EXPECT_EQ(*taken, 42);
+}
+
+TEST(StatusOrTest, HoldsNonDefaultConstructibleType) {
+  struct NoDefault {
+    explicit NoDefault(int v) : value(v) {}
+    int value;
+  };
+  StatusOr<NoDefault> ok_result(NoDefault(7));
+  ASSERT_TRUE(ok_result.ok());
+  EXPECT_EQ(ok_result.value().value, 7);
+  StatusOr<NoDefault> err_result(Status::NotFound("nope"));
+  EXPECT_FALSE(err_result.ok());
+  EXPECT_EQ(err_result.status().code(), Status::Code::kNotFound);
+}
+
+namespace macros {
+
+Status Passthrough(const Status& status) {
+  DELREC_RETURN_IF_ERROR(status);
+  return Status::Ok();
+}
+
+StatusOr<int> HalveEven(int n) {
+  if (n % 2 != 0) return Status::InvalidArgument("odd");
+  return n / 2;
+}
+
+Status QuarterEven(int n, int* out) {
+  DELREC_ASSIGN_OR_RETURN(const int half, HalveEven(n));
+  DELREC_ASSIGN_OR_RETURN(*out, HalveEven(half));
+  return Status::Ok();
+}
+
+}  // namespace macros
+
+TEST(StatusMacrosTest, ReturnIfErrorPropagates) {
+  EXPECT_TRUE(macros::Passthrough(Status::Ok()).ok());
+  EXPECT_EQ(macros::Passthrough(Status::Internal("boom")).code(),
+            Status::Code::kInternal);
+}
+
+TEST(StatusMacrosTest, AssignOrReturnMovesValueOrPropagates) {
+  int out = 0;
+  EXPECT_TRUE(macros::QuarterEven(8, &out).ok());
+  EXPECT_EQ(out, 2);
+  // Fails at the first assignment (9 is odd)...
+  EXPECT_EQ(macros::QuarterEven(9, &out).code(),
+            Status::Code::kInvalidArgument);
+  // ...and at the second (6/2 = 3 is odd).
+  EXPECT_EQ(macros::QuarterEven(6, &out).code(),
+            Status::Code::kInvalidArgument);
 }
 
 TEST(StringUtilTest, SplitAndJoin) {
