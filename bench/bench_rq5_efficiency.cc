@@ -10,10 +10,13 @@
 #include "baselines/zero_shot.h"
 #include "bench/harness.h"
 #include "data/dataset.h"
+#include "nn/ops.h"
+#include "nn/tensor.h"
 #include "util/check.h"
 #include "util/memory.h"
 #include "util/string_util.h"
 #include "util/table.h"
+#include "util/threadpool.h"
 
 namespace delrec::bench {
 namespace {
@@ -83,6 +86,53 @@ eval::MetricsAccumulator EvaluateCold(
                                   g_state->harness->num_items(), scorer,
                                   config);
 }
+
+// -- Parallel-execution timings (DESIGN.md §9) --------------------------------
+// GEMM-dominated kernel and batch-eval timings at 1 vs N threads; results
+// are bit-identical across the thread axis, so the only delta is wall time.
+
+void BenchGemmNN(benchmark::State& state) {
+  util::ScopedParallelism parallel(static_cast<int>(state.range(0)));
+  util::Rng rng(11);
+  const nn::Tensor a = nn::Tensor::Randn({256, 256}, rng, 1.0f);
+  const nn::Tensor b = nn::Tensor::Randn({256, 256}, rng, 1.0f);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(nn::MatMul(a, b));
+  }
+}
+BENCHMARK(BenchGemmNN)->Arg(1)->Arg(2)->Arg(4)->Unit(benchmark::kMillisecond);
+
+void BenchGemmNT(benchmark::State& state) {
+  util::ScopedParallelism parallel(static_cast<int>(state.range(0)));
+  util::Rng rng(11);
+  const nn::Tensor a = nn::Tensor::Randn({256, 256}, rng, 1.0f);
+  const nn::Tensor b = nn::Tensor::Randn({256, 256}, rng, 1.0f);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(nn::MatMul(a, b, false, true));
+  }
+}
+BENCHMARK(BenchGemmNT)->Arg(1)->Arg(4)->Unit(benchmark::kMillisecond);
+
+void BenchSasRecBatchEval(benchmark::State& state) {
+  util::ScopedParallelism parallel(static_cast<int>(state.range(0)));
+  auto* sasrec = g_state->harness->Backbone(srmodels::Backbone::kSasRec);
+  const auto& test = g_state->harness->workbench().splits().test;
+  util::Rng rng(1);
+  std::vector<std::vector<int64_t>> histories, candidates;
+  for (size_t i = 0; i < std::min<size_t>(64, test.size()); ++i) {
+    histories.push_back(test[i].history);
+    candidates.push_back(data::SampleCandidates(
+        g_state->harness->num_items(), test[i].target, 15, rng));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        sasrec->ScoreCandidatesBatch(histories, candidates));
+  }
+}
+BENCHMARK(BenchSasRecBatchEval)
+    ->Arg(1)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond);
 
 }  // namespace
 }  // namespace delrec::bench

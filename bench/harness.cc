@@ -6,11 +6,15 @@
 #include "util/check.h"
 #include "util/logging.h"
 #include "util/string_util.h"
+#include "util/threadpool.h"
 
 namespace delrec::bench {
 
 HarnessOptions OptionsFromEnv() {
   HarnessOptions options;
+  // Candidate sampling stays on one serial util::Rng stream however many
+  // threads score, so every bench table is bit-identical to its serial run.
+  options.num_threads = util::InitParallelismFromEnv();
   const char* fast = std::getenv("DELREC_FAST");
   if (fast != nullptr && std::string(fast) != "0") {
     options.fast = true;
@@ -56,6 +60,7 @@ eval::MetricsAccumulator DatasetHarness::Evaluate(
     const eval::CandidateScorer& scorer) const {
   eval::EvalConfig config;
   config.max_examples = options_.eval_examples;
+  config.num_threads = options_.num_threads;
   return eval::EvaluateCandidates(workbench_->splits().test, num_items(),
                                   scorer, config);
 }

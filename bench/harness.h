@@ -18,9 +18,12 @@ namespace delrec::bench {
 
 /// Global bench scaling. DELREC_FAST=1 in the environment cuts training and
 /// evaluation budgets ~4× for quick smoke runs; default reproduces the
-/// paper-shaped tables.
+/// paper-shaped tables. DELREC_NUM_THREADS=N fans candidate scoring, batch
+/// inference and the GEMM kernels across N threads — tables are
+/// bit-identical to the serial run (DESIGN.md §9), only faster.
 struct HarnessOptions {
   bool fast = false;
+  int num_threads = 1;
   int64_t eval_examples = 250;
   int pretrain_epochs = 3;
   // DELRec budgets.

@@ -36,6 +36,25 @@ int64_t RankOfTarget(const std::vector<float>& scores, int64_t target_index) {
   return rank;
 }
 
+int64_t RankOfTarget(const std::vector<float>& scores,
+                     const std::vector<int64_t>& item_ids,
+                     int64_t target_index) {
+  DELREC_CHECK_EQ(scores.size(), item_ids.size());
+  DELREC_CHECK_GE(target_index, 0);
+  DELREC_CHECK_LT(target_index, static_cast<int64_t>(scores.size()));
+  const float target_score = scores[target_index];
+  const int64_t target_id = item_ids[target_index];
+  int64_t rank = 0;
+  for (int64_t i = 0; i < static_cast<int64_t>(scores.size()); ++i) {
+    if (i == target_index) continue;
+    if (scores[i] > target_score ||
+        (scores[i] == target_score && item_ids[i] < target_id)) {
+      ++rank;
+    }
+  }
+  return rank;
+}
+
 void MetricsAccumulator::Add(int64_t rank) {
   DELREC_CHECK_GE(rank, 0);
   hits_at_1_.push_back(rank < 1 ? 1.0 : 0.0);

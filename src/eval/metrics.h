@@ -23,8 +23,18 @@ struct RankedMetrics {
 
 /// 0-based rank of `target_index` when candidates are sorted by descending
 /// score (ties broken toward earlier indices, i.e. pessimistic for later
-/// duplicates).
+/// duplicates). Positional tie-breaking makes the rank depend on candidate
+/// order; prefer the id-aware overload below wherever item ids are known.
 int64_t RankOfTarget(const std::vector<float>& scores, int64_t target_index);
+
+/// As above, but ties are broken deterministically by item id (the
+/// equal-scoring candidate with the smaller id ranks first). The rank is
+/// then invariant under any permutation of the candidate list — two
+/// evaluations that present the same (item, score) set in different orders
+/// agree. `item_ids` must be distinct and parallel to `scores`.
+int64_t RankOfTarget(const std::vector<float>& scores,
+                     const std::vector<int64_t>& item_ids,
+                     int64_t target_index);
 
 /// Streams per-example target ranks and aggregates the paper's metrics.
 class MetricsAccumulator {

@@ -4,6 +4,7 @@
 
 #include "util/check.h"
 #include "util/rng.h"
+#include "util/threadpool.h"
 
 namespace delrec::eval {
 
@@ -18,19 +19,39 @@ MetricsAccumulator EvaluateCandidates(
     util::Rng subsample_rng(config.seed ^ 0x5bd1e995u);
     subset = data::Subsample(subset, config.max_examples, subsample_rng);
   }
-  MetricsAccumulator accumulator;
+  // Candidate sets are pre-sampled from the single serial RNG stream so
+  // they are identical for every thread count (and to the historical
+  // serial protocol) — the fair-comparison guarantee that all methods rank
+  // the same sets extends to all parallelism settings.
+  const int64_t count = static_cast<int64_t>(subset.size());
+  std::vector<std::vector<int64_t>> candidate_sets;
+  candidate_sets.reserve(subset.size());
   for (const data::Example& example : subset) {
-    const std::vector<int64_t> candidates = data::SampleCandidates(
-        num_items, example.target, config.candidate_count, rng);
-    const std::vector<float> scores = scorer(example, candidates);
-    DELREC_CHECK_EQ(scores.size(), candidates.size());
-    const auto target_it =
-        std::find(candidates.begin(), candidates.end(), example.target);
-    DELREC_CHECK(target_it != candidates.end());
-    const int64_t target_index =
-        std::distance(candidates.begin(), target_it);
-    accumulator.Add(RankOfTarget(scores, target_index));
+    candidate_sets.push_back(data::SampleCandidates(
+        num_items, example.target, config.candidate_count, rng));
   }
+  // Scoring fans out over examples; each chunk writes disjoint rank slots,
+  // which are merged below in example order regardless of scheduling.
+  std::vector<int64_t> ranks(subset.size());
+  const int threads =
+      config.num_threads > 0 ? config.num_threads : util::ParallelThreads();
+  util::ParallelForThreads(
+      threads, count, [&](int64_t begin, int64_t end, int) {
+        for (int64_t i = begin; i < end; ++i) {
+          const std::vector<int64_t>& candidates = candidate_sets[i];
+          const std::vector<float> scores = scorer(subset[i], candidates);
+          DELREC_CHECK_EQ(scores.size(), candidates.size());
+          const auto target_it = std::find(candidates.begin(),
+                                           candidates.end(),
+                                           subset[i].target);
+          DELREC_CHECK(target_it != candidates.end());
+          const int64_t target_index =
+              std::distance(candidates.begin(), target_it);
+          ranks[i] = RankOfTarget(scores, candidates, target_index);
+        }
+      });
+  MetricsAccumulator accumulator;
+  for (int64_t rank : ranks) accumulator.Add(rank);
   return accumulator;
 }
 

@@ -22,10 +22,19 @@ struct EvalConfig {
   int64_t max_examples = 0;      // 0 = evaluate everything.
   uint64_t seed = 99;            // Candidate sampling seed: fixed so every
                                  // model ranks identical candidate sets.
+  /// Threads scoring examples concurrently. 0 ⇒ the global
+  /// util::ParallelConfig budget; >1 requires `scorer` to be safe for
+  /// concurrent invocation (every bundled model is: inference is const and
+  /// stateless). Candidate sampling always stays on one serial RNG stream
+  /// and per-example ranks are merged in example order, so metrics are
+  /// bit-identical for every thread count.
+  int num_threads = 0;
 };
 
 /// Runs candidate-set evaluation and returns the per-example accumulator
 /// (call .Result() for the metric row, keep the accumulator for t-tests).
+/// Equal candidate scores are ranked stably by item id (RankOfTarget's
+/// id-aware overload).
 MetricsAccumulator EvaluateCandidates(
     const std::vector<data::Example>& examples, int64_t num_items,
     const CandidateScorer& scorer, const EvalConfig& config);

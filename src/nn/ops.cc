@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "util/check.h"
+#include "util/threadpool.h"
 
 namespace delrec::nn {
 namespace {
@@ -31,56 +32,80 @@ Tensor MakeNode(std::vector<int64_t> shape, std::vector<float> data,
   return Tensor::FromImpl(std::move(impl));
 }
 
-// Dense single-threaded GEMMs. C (M,N) += or = A·B with layout variants.
+// Dense GEMMs, row-partitioned over C across util::ParallelConfig threads.
+// Determinism contract (DESIGN.md §9): every C row is written by exactly one
+// chunk of a static partition, and each element's accumulation order over k
+// is fixed (ascending p) regardless of the chunking — so all three kernels
+// are bit-identical to their serial (num_threads = 1) reference for any
+// thread count, and need no synchronisation or float atomics. GEMMs whose
+// m·n·k falls below ParallelMinWork() skip dispatch and run serially, which
+// by the same argument cannot change results.
+void GemmRows(int64_t m, int64_t n, int64_t k,
+              const std::function<void(int64_t, int64_t)>& rows) {
+  if (util::ParallelThreads() > 1 && m * n * k >= util::ParallelMinWork()) {
+    util::ParallelFor(
+        m, [&rows](int64_t begin, int64_t end, int) { rows(begin, end); });
+  } else {
+    rows(0, m);
+  }
+}
+
 // ikj loop order keeps the inner loop contiguous over B and C.
 void GemmNN(const float* a, const float* b, float* c, int64_t m, int64_t n,
             int64_t k, bool accumulate) {
-  if (!accumulate) std::fill(c, c + m * n, 0.0f);
-  for (int64_t i = 0; i < m; ++i) {
-    const float* a_row = a + i * k;
-    float* c_row = c + i * n;
-    for (int64_t p = 0; p < k; ++p) {
-      const float a_val = a_row[p];
-      if (a_val == 0.0f) continue;
-      const float* b_row = b + p * n;
-      for (int64_t j = 0; j < n; ++j) c_row[j] += a_val * b_row[j];
+  GemmRows(m, n, k, [=](int64_t row_begin, int64_t row_end) {
+    for (int64_t i = row_begin; i < row_end; ++i) {
+      const float* a_row = a + i * k;
+      float* c_row = c + i * n;
+      if (!accumulate) std::fill(c_row, c_row + n, 0.0f);
+      for (int64_t p = 0; p < k; ++p) {
+        const float a_val = a_row[p];
+        if (a_val == 0.0f) continue;
+        const float* b_row = b + p * n;
+        for (int64_t j = 0; j < n; ++j) c_row[j] += a_val * b_row[j];
+      }
     }
-  }
+  });
 }
 
 // C (M,N) = A (M,K) · B^T where B is stored (N,K).
 void GemmNT(const float* a, const float* b, float* c, int64_t m, int64_t n,
             int64_t k, bool accumulate) {
-  for (int64_t i = 0; i < m; ++i) {
-    const float* a_row = a + i * k;
-    float* c_row = c + i * n;
-    for (int64_t j = 0; j < n; ++j) {
-      const float* b_row = b + j * k;
-      float dot = 0.0f;
-      for (int64_t p = 0; p < k; ++p) dot += a_row[p] * b_row[p];
-      if (accumulate) {
-        c_row[j] += dot;
-      } else {
-        c_row[j] = dot;
+  GemmRows(m, n, k, [=](int64_t row_begin, int64_t row_end) {
+    for (int64_t i = row_begin; i < row_end; ++i) {
+      const float* a_row = a + i * k;
+      float* c_row = c + i * n;
+      for (int64_t j = 0; j < n; ++j) {
+        const float* b_row = b + j * k;
+        float dot = 0.0f;
+        for (int64_t p = 0; p < k; ++p) dot += a_row[p] * b_row[p];
+        if (accumulate) {
+          c_row[j] += dot;
+        } else {
+          c_row[j] = dot;
+        }
       }
     }
-  }
+  });
 }
 
-// C (M,N) = A^T · B where A is stored (K,M), B is (K,N).
+// C (M,N) = A^T · B where A is stored (K,M), B is (K,N). Row-major over C so
+// rows partition cleanly; each element still accumulates in ascending p,
+// matching the historical p-outer serial kernel bit-for-bit.
 void GemmTN(const float* a, const float* b, float* c, int64_t m, int64_t n,
             int64_t k, bool accumulate) {
-  if (!accumulate) std::fill(c, c + m * n, 0.0f);
-  for (int64_t p = 0; p < k; ++p) {
-    const float* a_row = a + p * m;
-    const float* b_row = b + p * n;
-    for (int64_t i = 0; i < m; ++i) {
-      const float a_val = a_row[i];
-      if (a_val == 0.0f) continue;
+  GemmRows(m, n, k, [=](int64_t row_begin, int64_t row_end) {
+    for (int64_t i = row_begin; i < row_end; ++i) {
       float* c_row = c + i * n;
-      for (int64_t j = 0; j < n; ++j) c_row[j] += a_val * b_row[j];
+      if (!accumulate) std::fill(c_row, c_row + n, 0.0f);
+      for (int64_t p = 0; p < k; ++p) {
+        const float a_val = a[p * m + i];
+        if (a_val == 0.0f) continue;
+        const float* b_row = b + p * n;
+        for (int64_t j = 0; j < n; ++j) c_row[j] += a_val * b_row[j];
+      }
     }
-  }
+  });
 }
 
 using UnaryForward = float (*)(float);

@@ -12,6 +12,12 @@ namespace delrec::nn {
 // Differentiable tensor operations. All ops build tape nodes only when some
 // input requires gradients; otherwise they return plain leaves (fast
 // inference path). Shapes are validated with DELREC_CHECK.
+//
+// The GEMM kernels behind MatMul (forward and backward) are row-partitioned
+// across util::ParallelConfig{num_threads} (util/threadpool.h; default 1 =
+// serial reference, env override DELREC_NUM_THREADS via the benches).
+// Outputs are bit-identical for every thread count — see DESIGN.md §9 for
+// the determinism contract.
 
 // -- Elementwise --------------------------------------------------------------
 

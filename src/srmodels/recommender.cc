@@ -4,6 +4,7 @@
 #include <numeric>
 
 #include "util/check.h"
+#include "util/threadpool.h"
 
 namespace delrec::srmodels {
 
@@ -18,6 +19,20 @@ std::vector<float> SequentialRecommender::ScoreCandidates(
     DELREC_CHECK_LT(candidate, static_cast<int64_t>(all.size()));
     out.push_back(all[candidate]);
   }
+  return out;
+}
+
+std::vector<std::vector<float>> SequentialRecommender::ScoreCandidatesBatch(
+    const std::vector<std::vector<int64_t>>& histories,
+    const std::vector<std::vector<int64_t>>& candidates) const {
+  DELREC_CHECK_EQ(histories.size(), candidates.size());
+  std::vector<std::vector<float>> out(histories.size());
+  util::ParallelFor(static_cast<int64_t>(histories.size()),
+                    [&](int64_t begin, int64_t end, int) {
+                      for (int64_t i = begin; i < end; ++i) {
+                        out[i] = ScoreCandidates(histories[i], candidates[i]);
+                      }
+                    });
   return out;
 }
 

@@ -55,6 +55,15 @@ class SequentialRecommender {
       const std::vector<int64_t>& history,
       const std::vector<int64_t>& candidates) const;
 
+  /// Scores many (history, candidates) pairs, fanning the per-sequence
+  /// forward passes across the util::ParallelConfig thread budget. Output
+  /// row i is bit-identical to ScoreCandidates(histories[i], candidates[i])
+  /// for every thread count. Requires scoring to be const-thread-safe,
+  /// which all bundled models satisfy (inference mutates no model state).
+  std::vector<std::vector<float>> ScoreCandidatesBatch(
+      const std::vector<std::vector<int64_t>>& histories,
+      const std::vector<std::vector<int64_t>>& candidates) const;
+
   /// Item ids of the k highest-scoring items, best first.
   std::vector<int64_t> TopK(const std::vector<int64_t>& history,
                             int64_t k) const;

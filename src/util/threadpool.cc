@@ -1,0 +1,191 @@
+#include "util/threadpool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <memory>
+#include <stdexcept>
+#include <string>
+
+#include "util/check.h"
+
+namespace delrec::util {
+namespace {
+
+// Which pool (if any) owns the calling thread. Used both for nested-submit
+// rejection and for ParallelFor's serial fallback inside workers.
+thread_local const ThreadPool* g_worker_pool = nullptr;
+
+std::atomic<int> g_num_threads{1};
+std::atomic<int64_t> g_min_work{32 * 1024};
+
+// Shared pool backing ParallelFor. Grown (never shrunk) to the largest
+// chunk fan-out requested so far; guarded by a mutex because dispatches can
+// originate from any non-worker thread.
+std::mutex g_pool_mutex;
+std::unique_ptr<ThreadPool> g_pool;
+
+ThreadPool* PoolWithAtLeast(int num_workers) {
+  std::lock_guard<std::mutex> lock(g_pool_mutex);
+  if (g_pool == nullptr || g_pool->num_workers() < num_workers) {
+    g_pool = std::make_unique<ThreadPool>(num_workers);
+  }
+  return g_pool.get();
+}
+
+}  // namespace
+
+ThreadPool::ThreadPool(int num_workers) {
+  DELREC_CHECK_GE(num_workers, 1);
+  workers_.reserve(num_workers);
+  for (int i = 0; i < num_workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+std::future<void> ThreadPool::Submit(std::function<void()> fn) {
+  if (g_worker_pool == this) {
+    throw std::logic_error(
+        "ThreadPool: nested Submit from a worker of the same pool "
+        "(would deadlock a fixed-worker pool)");
+  }
+  std::packaged_task<void()> task(std::move(fn));
+  std::future<void> future = task.get_future();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+  return future;
+}
+
+bool ThreadPool::InWorker() { return g_worker_pool != nullptr; }
+
+void ThreadPool::WorkerLoop() {
+  g_worker_pool = this;
+  for (;;) {
+    std::packaged_task<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and fully drained.
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();  // Exceptions land in the task's future, never escape here.
+  }
+}
+
+int ParallelThreads() { return g_num_threads.load(std::memory_order_relaxed); }
+
+int64_t ParallelMinWork() {
+  return g_min_work.load(std::memory_order_relaxed);
+}
+
+void SetParallelism(int num_threads) {
+  g_num_threads.store(num_threads < 1 ? 1 : num_threads,
+                      std::memory_order_relaxed);
+}
+
+void SetParallelMinWork(int64_t min_work) {
+  g_min_work.store(min_work < 1 ? 1 : min_work, std::memory_order_relaxed);
+}
+
+int InitParallelismFromEnv() {
+  const char* value = std::getenv("DELREC_NUM_THREADS");
+  if (value != nullptr && *value != '\0') {
+    char* end = nullptr;
+    const long parsed = std::strtol(value, &end, 10);
+    if (end != nullptr && *end == '\0' && parsed >= 1) {
+      SetParallelism(static_cast<int>(parsed));
+    }
+  }
+  return ParallelThreads();
+}
+
+std::vector<std::pair<int64_t, int64_t>> StaticPartition(int64_t total,
+                                                         int num_chunks) {
+  std::vector<std::pair<int64_t, int64_t>> chunks;
+  if (total <= 0 || num_chunks < 1) return chunks;
+  const int64_t n = std::min<int64_t>(num_chunks, total);
+  const int64_t base = total / n;
+  const int64_t remainder = total % n;
+  chunks.reserve(n);
+  int64_t begin = 0;
+  for (int64_t c = 0; c < n; ++c) {
+    const int64_t size = base + (c < remainder ? 1 : 0);
+    chunks.emplace_back(begin, begin + size);
+    begin += size;
+  }
+  return chunks;
+}
+
+void ParallelForThreads(
+    int num_threads, int64_t total,
+    const std::function<void(int64_t, int64_t, int)>& fn) {
+  if (total <= 0) return;
+  if (num_threads <= 1 || total <= 1 || ThreadPool::InWorker()) {
+    fn(0, total, 0);
+    return;
+  }
+  const auto chunks = StaticPartition(total, num_threads);
+  ThreadPool* pool = PoolWithAtLeast(static_cast<int>(chunks.size()) - 1);
+  std::vector<std::future<void>> futures;
+  futures.reserve(chunks.size() - 1);
+  for (size_t c = 1; c < chunks.size(); ++c) {
+    futures.push_back(pool->Submit([&fn, &chunks, c] {
+      fn(chunks[c].first, chunks[c].second, static_cast<int>(c));
+    }));
+  }
+  // The calling thread takes chunk 0; exceptions rethrow in chunk order so
+  // the surfaced error is deterministic too.
+  std::exception_ptr first_error;
+  try {
+    fn(chunks[0].first, chunks[0].second, 0);
+  } catch (...) {
+    first_error = std::current_exception();
+  }
+  for (std::future<void>& future : futures) {
+    try {
+      future.get();
+    } catch (...) {
+      if (first_error == nullptr) first_error = std::current_exception();
+    }
+  }
+  if (first_error != nullptr) std::rethrow_exception(first_error);
+}
+
+void ParallelFor(int64_t total,
+                 const std::function<void(int64_t, int64_t, int)>& fn) {
+  ParallelForThreads(ParallelThreads(), total, fn);
+}
+
+ScopedParallelism::ScopedParallelism(int num_threads)
+    : previous_threads_(ParallelThreads()),
+      previous_min_work_(ParallelMinWork()) {
+  SetParallelism(num_threads);
+}
+
+ScopedParallelism::ScopedParallelism(int num_threads,
+                                     int64_t min_work_per_dispatch)
+    : previous_threads_(ParallelThreads()),
+      previous_min_work_(ParallelMinWork()) {
+  SetParallelism(num_threads);
+  SetParallelMinWork(min_work_per_dispatch);
+}
+
+ScopedParallelism::~ScopedParallelism() {
+  SetParallelism(previous_threads_);
+  SetParallelMinWork(previous_min_work_);
+}
+
+}  // namespace delrec::util

@@ -1,0 +1,120 @@
+#ifndef DELREC_UTIL_THREADPOOL_H_
+#define DELREC_UTIL_THREADPOOL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace delrec::util {
+
+/// Fixed-worker thread pool. No work stealing, no task priorities: tasks run
+/// in submission order as workers free up. DELRec's parallelism model keeps
+/// all nondeterminism out of the *results* (see ParallelFor below), so the
+/// pool itself can stay this simple.
+///
+/// Submitting from one of this pool's own workers is rejected with
+/// std::logic_error: a fixed pool can deadlock on nested submission (every
+/// worker blocked waiting on a task that no free worker exists to run), and
+/// DELRec's layers nest (eval → model forward → GEMM). Nested parallel
+/// sections must instead degrade to serial execution, which ParallelFor does
+/// automatically via InWorker().
+class ThreadPool {
+ public:
+  /// Spawns `num_workers` (>= 1) threads immediately.
+  explicit ThreadPool(int num_workers);
+  /// Drains every queued task, then joins all workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_workers() const { return static_cast<int>(workers_.size()); }
+
+  /// Enqueues a task and returns a future that rethrows any exception the
+  /// task throws. Throws std::logic_error when called from one of this
+  /// pool's own worker threads (see class comment).
+  std::future<void> Submit(std::function<void()> fn);
+
+  /// True when the calling thread is a worker of any ThreadPool.
+  static bool InWorker();
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::packaged_task<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+};
+
+/// Process-wide parallelism knobs. num_threads defaults to 1 so the serial
+/// reference path is what runs unless a caller (or DELREC_NUM_THREADS) opts
+/// in; min_work_per_dispatch is the flop/element-count floor below which
+/// parallel kernels skip dispatch overhead and run serially. Neither knob
+/// may change results: the determinism contract (DESIGN.md §9) makes every
+/// parallel path bit-identical to serial for any setting.
+struct ParallelConfig {
+  int num_threads = 1;
+  int64_t min_work_per_dispatch = 32 * 1024;
+};
+
+/// Current global thread budget (>= 1).
+int ParallelThreads();
+/// Current dispatch-work floor.
+int64_t ParallelMinWork();
+/// Sets the global thread budget (clamped to >= 1). Not safe to call
+/// concurrently with in-flight ParallelFor dispatches.
+void SetParallelism(int num_threads);
+/// Sets the dispatch-work floor (clamped to >= 1).
+void SetParallelMinWork(int64_t min_work);
+/// Reads DELREC_NUM_THREADS from the environment (unset/invalid ⇒ leave the
+/// current setting) and returns the resulting thread budget.
+int InitParallelismFromEnv();
+
+/// Deterministic static partition of [0, total) into
+/// min(num_chunks, total) contiguous, near-equal chunks. Boundaries depend
+/// only on (total, num_chunks) — never on scheduling — which is half of the
+/// determinism contract (the other half is per-element accumulation order
+/// inside each chunk).
+std::vector<std::pair<int64_t, int64_t>> StaticPartition(int64_t total,
+                                                         int num_chunks);
+
+/// Runs fn(begin, end, chunk_index) over StaticPartition(total, num_threads)
+/// using the shared pool; the calling thread runs chunk 0 itself. Chunks
+/// write to disjoint outputs by construction (the caller's fn must honour
+/// that), so no synchronisation — and in particular no atomics on float
+/// paths — is needed. Falls back to a single inline fn(0, total, 0) call
+/// when num_threads <= 1, total <= 1, or the caller is already a pool
+/// worker (nested parallel section). Exceptions from chunks are rethrown in
+/// ascending chunk order.
+void ParallelFor(int64_t total,
+                 const std::function<void(int64_t, int64_t, int)>& fn);
+/// As ParallelFor but with an explicit thread count (ignores the global
+/// num_threads; still honours the InWorker() serial fallback).
+void ParallelForThreads(int num_threads, int64_t total,
+                        const std::function<void(int64_t, int64_t, int)>& fn);
+
+/// RAII override of the global ParallelConfig for tests and benches.
+class ScopedParallelism {
+ public:
+  explicit ScopedParallelism(int num_threads);
+  ScopedParallelism(int num_threads, int64_t min_work_per_dispatch);
+  ScopedParallelism(const ScopedParallelism&) = delete;
+  ScopedParallelism& operator=(const ScopedParallelism&) = delete;
+  ~ScopedParallelism();
+
+ private:
+  int previous_threads_;
+  int64_t previous_min_work_;
+};
+
+}  // namespace delrec::util
+
+#endif  // DELREC_UTIL_THREADPOOL_H_

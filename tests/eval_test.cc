@@ -20,6 +20,53 @@ TEST(MetricsTest, RankOfTarget) {
   EXPECT_EQ(RankOfTarget({0.5f, 0.5f}, 0), 0);
 }
 
+TEST(MetricsTest, RankOfTargetTieBreakStableByItemId) {
+  // Equal scores rank by ascending item id: with ids {30, 10, 20} all tied,
+  // id 10 ranks first, then 20, then 30 — independent of list position.
+  EXPECT_EQ(RankOfTarget({0.5f, 0.5f, 0.5f}, {30, 10, 20}, 1), 0);
+  EXPECT_EQ(RankOfTarget({0.5f, 0.5f, 0.5f}, {30, 10, 20}, 2), 1);
+  EXPECT_EQ(RankOfTarget({0.5f, 0.5f, 0.5f}, {30, 10, 20}, 0), 2);
+  // Score still dominates the id tie-break.
+  EXPECT_EQ(RankOfTarget({0.9f, 0.5f}, {100, 1}, 0), 0);
+  EXPECT_EQ(RankOfTarget({0.9f, 0.5f}, {100, 1}, 1), 1);
+  // Partial tie: one strictly better candidate plus one tied smaller id.
+  EXPECT_EQ(RankOfTarget({0.7f, 0.5f, 0.5f, 0.1f}, {4, 2, 9, 1}, 2), 2);
+}
+
+TEST(MetricsTest, RankOfTargetTieBreakIsPermutationInvariant) {
+  // The regression the positional tie-break missed: presenting the same
+  // (item, score) set in a different candidate order changed the rank.
+  const std::vector<float> scores = {0.5f, 0.5f, 0.5f, 0.2f};
+  EXPECT_EQ(RankOfTarget(scores, {10, 20, 30, 40}, 1),
+            RankOfTarget({0.5f, 0.5f, 0.5f, 0.2f}, {30, 20, 10, 40}, 1));
+  EXPECT_EQ(RankOfTarget(scores, {10, 20, 30, 40}, 0),
+            RankOfTarget({0.2f, 0.5f, 0.5f, 0.5f}, {40, 30, 20, 10}, 3));
+}
+
+TEST(ProtocolTest, TiedScoresRankDeterministically) {
+  // A constant scorer ties every candidate; the protocol must still produce
+  // reproducible metrics (stable by item id), identical run to run.
+  data::Dataset dataset = data::GenerateDataset(data::KuaiRecConfig());
+  data::Splits splits = data::MakeSplits(dataset, 10);
+  EvalConfig config;
+  config.max_examples = 50;
+  auto constant = [](const data::Example&,
+                     const std::vector<int64_t>& candidates) {
+    return std::vector<float>(candidates.size(), 1.0f);
+  };
+  auto a = EvaluateCandidates(splits.test, dataset.catalog.size(), constant,
+                              config);
+  auto b = EvaluateCandidates(splits.test, dataset.catalog.size(), constant,
+                              config);
+  EXPECT_EQ(a.hit_at_1_samples(), b.hit_at_1_samples());
+  EXPECT_EQ(a.ndcg_at_10_samples(), b.ndcg_at_10_samples());
+  // With all scores tied the target's rank equals the number of candidates
+  // whose id is smaller — on average (m-1)/2, so HR@1 sits near 1/m rather
+  // than collapsing to 0 or 1.
+  EXPECT_GT(a.Result().hr_at_10, 0.0);
+  EXPECT_LT(a.Result().hr_at_1, 0.5);
+}
+
 TEST(MetricsTest, AccumulatorValues) {
   MetricsAccumulator acc;
   acc.Add(0);   // Hit at 1.

@@ -9,6 +9,7 @@
 #include "nn/ops.h"
 #include "nn/tensor.h"
 #include "util/rng.h"
+#include "util/threadpool.h"
 
 namespace delrec::nn {
 namespace {
@@ -194,6 +195,52 @@ TEST_F(GradcheckTest, AddN) {
   Tensor a = Tensor::Randn({3}, rng_, 1.0f);
   Tensor b = Tensor::Randn({3}, rng_, 1.0f);
   CheckGradients({a, b}, [&] { return Sum(Mul(AddN({a, b, a}), b)); });
+}
+
+// The same finite-difference checks against the row-partitioned GEMM paths:
+// threads=4 with the dispatch floor dropped so every MatMul (forward and
+// the backward GEMMs) takes the parallel kernels rather than the serial
+// shortcut.
+class GradcheckParallelTest : public GradcheckTest {
+ protected:
+  util::ScopedParallelism parallel_{4, /*min_work_per_dispatch=*/1};
+};
+
+TEST_F(GradcheckParallelTest, MatMulNN) {
+  Tensor a = Tensor::Randn({3, 4}, rng_, 1.0f);
+  Tensor b = Tensor::Randn({4, 2}, rng_, 1.0f);
+  CheckGradients({a, b}, [&] { return Sum(MatMul(a, b)); });
+}
+
+TEST_F(GradcheckParallelTest, MatMulNT) {
+  Tensor a = Tensor::Randn({3, 4}, rng_, 1.0f);
+  Tensor b = Tensor::Randn({2, 4}, rng_, 1.0f);
+  CheckGradients({a, b}, [&] {
+    return Sum(Mul(MatMul(a, b, false, true), MatMul(a, b, false, true)));
+  });
+}
+
+TEST_F(GradcheckParallelTest, MatMulTN) {
+  Tensor a = Tensor::Randn({4, 3}, rng_, 1.0f);
+  Tensor b = Tensor::Randn({4, 2}, rng_, 1.0f);
+  CheckGradients({a, b}, [&] {
+    Tensor c = MatMul(a, b, true, false);
+    return Sum(Mul(c, c));
+  });
+}
+
+TEST_F(GradcheckParallelTest, CompositeTransformerSlice) {
+  Tensor x = Tensor::Randn({4, 6}, rng_, 0.7f);
+  Tensor wq = Tensor::Randn({6, 6}, rng_, 0.4f);
+  Tensor wk = Tensor::Randn({6, 6}, rng_, 0.4f);
+  Tensor wv = Tensor::Randn({6, 6}, rng_, 0.4f);
+  CheckGradients({x, wq, wk, wv}, [&] {
+    Tensor q = SliceCols(MatMul(x, wq), 0, 3);
+    Tensor k = SliceCols(MatMul(x, wk), 0, 3);
+    Tensor v = SliceCols(MatMul(x, wv), 0, 3);
+    Tensor att = Softmax(MulScalar(MatMul(q, k, false, true), 0.57f));
+    return Sum(Mul(MatMul(att, v), MatMul(att, v)));
+  });
 }
 
 TEST_F(GradcheckTest, CompositeTransformerSlice) {

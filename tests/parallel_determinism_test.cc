@@ -1,0 +1,224 @@
+// Bit-identity checks for the parallel execution layer (DESIGN.md §9): for
+// every parallel op, for the eval protocol, for batch inference, and for a
+// full resumable DELRec training run, results must be exactly identical —
+// same float bit patterns, same checkpoint bytes — across thread counts.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/delrec.h"
+#include "core/workbench.h"
+#include "data/dataset.h"
+#include "data/split.h"
+#include "eval/protocol.h"
+#include "nn/ops.h"
+#include "nn/tensor.h"
+#include "srmodels/factory.h"
+#include "util/check.h"
+#include "util/rng.h"
+#include "util/threadpool.h"
+
+namespace delrec {
+namespace {
+
+constexpr int kThreadCounts[] = {1, 2, 4, 7};
+
+class ParallelDeterminismTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    data::GeneratorConfig config = data::KuaiRecConfig();
+    config.num_users = 50;
+    config.num_items = 60;
+    core::Workbench::Options options;
+    options.pretrain_epochs = 1;
+    workbench_ = new core::Workbench(config, options);
+    sr_model_ = srmodels::MakeBackbone(srmodels::Backbone::kSasRec,
+                                       workbench_->num_items(), 10, 5)
+                    .release();
+    srmodels::TrainConfig train =
+        srmodels::BackboneTrainConfig(srmodels::Backbone::kSasRec);
+    train.epochs = 2;
+    const util::Status trained =
+        sr_model_->Train(workbench_->splits().train, train);
+    DELREC_CHECK(trained.ok()) << trained.ToString();
+  }
+  static void TearDownTestSuite() {
+    delete sr_model_;
+    delete workbench_;
+    sr_model_ = nullptr;
+    workbench_ = nullptr;
+  }
+
+  static core::Workbench* workbench_;
+  static srmodels::SequentialRecommender* sr_model_;
+};
+
+core::Workbench* ParallelDeterminismTest::workbench_ = nullptr;
+srmodels::SequentialRecommender* ParallelDeterminismTest::sr_model_ = nullptr;
+
+// Forward output plus input gradients of one MatMul variant, computed under
+// the given thread count with the dispatch floor dropped so even small
+// shapes take the partitioned path.
+std::vector<std::vector<float>> MatMulForwardBackward(int threads,
+                                                      bool trans_a,
+                                                      bool trans_b) {
+  util::ScopedParallelism parallel(threads, /*min_work_per_dispatch=*/1);
+  util::Rng rng(99);
+  const std::vector<int64_t> a_shape =
+      trans_a ? std::vector<int64_t>{40, 30} : std::vector<int64_t>{30, 40};
+  const std::vector<int64_t> b_shape =
+      trans_b ? std::vector<int64_t>{20, 40} : std::vector<int64_t>{40, 20};
+  nn::Tensor a = nn::Tensor::Randn(a_shape, rng, 1.0f, true);
+  nn::Tensor b = nn::Tensor::Randn(b_shape, rng, 1.0f, true);
+  nn::Tensor loss = nn::Sum(nn::Mul(nn::MatMul(a, b, trans_a, trans_b),
+                                    nn::MatMul(a, b, trans_a, trans_b)));
+  loss.Backward();
+  return {loss.data(), a.grad(), b.grad()};
+}
+
+TEST_F(ParallelDeterminismTest, MatMulVariantsBitIdenticalAcrossThreads) {
+  struct Variant {
+    bool trans_a;
+    bool trans_b;
+  };
+  for (const Variant& v : {Variant{false, false}, Variant{false, true},
+                           Variant{true, false}}) {
+    const auto reference = MatMulForwardBackward(1, v.trans_a, v.trans_b);
+    for (int threads : kThreadCounts) {
+      EXPECT_EQ(MatMulForwardBackward(threads, v.trans_a, v.trans_b),
+                reference)
+          << "trans_a=" << v.trans_a << " trans_b=" << v.trans_b
+          << " threads=" << threads;
+    }
+  }
+}
+
+TEST_F(ParallelDeterminismTest, EvalProtocolBitIdenticalAcrossThreads) {
+  // Pure, concurrency-safe scorer with deliberately coarse scores so rank
+  // tie-breaking is exercised under every thread count.
+  auto scorer = [](const data::Example& example,
+                   const std::vector<int64_t>& candidates) {
+    std::vector<float> scores(candidates.size());
+    for (size_t i = 0; i < candidates.size(); ++i) {
+      const uint64_t h = static_cast<uint64_t>(candidates[i]) * 2654435761ULL +
+                         example.history.size();
+      scores[i] = static_cast<float>((h >> 13) % 5);
+    }
+    return scores;
+  };
+  auto run = [&](int threads) {
+    eval::EvalConfig config;
+    config.max_examples = 60;
+    config.num_threads = threads;
+    return eval::EvaluateCandidates(workbench_->splits().test,
+                                    workbench_->num_items(), scorer, config);
+  };
+  const auto reference = run(1);
+  for (int threads : kThreadCounts) {
+    const auto acc = run(threads);
+    EXPECT_EQ(acc.hit_at_1_samples(), reference.hit_at_1_samples())
+        << "threads=" << threads;
+    EXPECT_EQ(acc.ndcg_at_10_samples(), reference.ndcg_at_10_samples())
+        << "threads=" << threads;
+  }
+}
+
+TEST_F(ParallelDeterminismTest, EvalWithRealModelBitIdenticalAcrossThreads) {
+  auto scorer = [&](const data::Example& example,
+                    const std::vector<int64_t>& candidates) {
+    return sr_model_->ScoreCandidates(example.history, candidates);
+  };
+  auto run = [&](int threads) {
+    util::ScopedParallelism parallel(threads, /*min_work_per_dispatch=*/1);
+    eval::EvalConfig config;
+    config.max_examples = 40;
+    return eval::EvaluateCandidates(workbench_->splits().test,
+                                    workbench_->num_items(), scorer, config)
+        .hit_at_1_samples();
+  };
+  const auto reference = run(1);
+  for (int threads : kThreadCounts) {
+    EXPECT_EQ(run(threads), reference) << "threads=" << threads;
+  }
+}
+
+TEST_F(ParallelDeterminismTest, BatchInferenceMatchesSerialLoop) {
+  const auto& test = workbench_->splits().test;
+  util::Rng rng(31);
+  std::vector<std::vector<int64_t>> histories, candidates;
+  for (size_t i = 0; i < std::min<size_t>(24, test.size()); ++i) {
+    histories.push_back(test[i].history);
+    candidates.push_back(data::SampleCandidates(workbench_->num_items(),
+                                                test[i].target, 15, rng));
+  }
+  std::vector<std::vector<float>> reference;
+  for (size_t i = 0; i < histories.size(); ++i) {
+    reference.push_back(sr_model_->ScoreCandidates(histories[i],
+                                                   candidates[i]));
+  }
+  for (int threads : kThreadCounts) {
+    util::ScopedParallelism parallel(threads, /*min_work_per_dispatch=*/1);
+    EXPECT_EQ(sr_model_->ScoreCandidatesBatch(histories, candidates),
+              reference)
+        << "threads=" << threads;
+  }
+}
+
+// One full resumable training run (stage-1 epoch + stage-2 epoch): soft
+// prompts, every LLM weight, and the on-disk TrainState checkpoint must all
+// be byte-identical whatever the thread count — the PR-1 resume guarantees
+// are thread-count-invariant.
+TEST_F(ParallelDeterminismTest, TrainResumableBitIdenticalAcrossThreads) {
+  auto read_file = [](const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    return buffer.str();
+  };
+  core::DelRecConfig config;
+  config.stage1_epochs = 1;
+  config.stage2_epochs = 1;
+  config.stage1_max_examples = 40;
+  config.stage2_max_examples = 40;
+  config.soft_prompt_count = 4;
+
+  struct RunResult {
+    std::vector<float> soft_prompts;
+    std::vector<float> llm_state;
+    std::string checkpoint_bytes;
+  };
+  auto run = [&](int threads) {
+    util::ScopedParallelism parallel(threads);
+    const std::string path = ::testing::TempDir() + "/par_det_" +
+                             std::to_string(threads) + ".ckpt";
+    std::remove(path.c_str());
+    auto llm = workbench_->MakePretrainedLlm(core::LlmSize::kBase);
+    core::DelRec model(&workbench_->dataset().catalog, &workbench_->vocab(),
+                       llm.get(), sr_model_, config);
+    const util::Status trained =
+        model.TrainResumable(workbench_->splits().train, path);
+    DELREC_CHECK(trained.ok()) << trained.ToString();
+    RunResult result{model.soft_prompts().data(), llm->StateDump(),
+                     read_file(path)};
+    std::remove(path.c_str());
+    return result;
+  };
+
+  const RunResult reference = run(1);
+  ASSERT_FALSE(reference.checkpoint_bytes.empty());
+  for (int threads : {2, 4, 7}) {
+    const RunResult result = run(threads);
+    EXPECT_EQ(result.soft_prompts, reference.soft_prompts)
+        << "threads=" << threads;
+    EXPECT_EQ(result.llm_state, reference.llm_state) << "threads=" << threads;
+    EXPECT_EQ(result.checkpoint_bytes, reference.checkpoint_bytes)
+        << "threads=" << threads;
+  }
+}
+
+}  // namespace
+}  // namespace delrec

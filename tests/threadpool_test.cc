@@ -1,0 +1,180 @@
+#include "util/threadpool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace delrec::util {
+namespace {
+
+TEST(ThreadPoolTest, StartupAndShutdown) {
+  // Pools of several sizes come up and join cleanly without any work.
+  for (int workers : {1, 2, 4, 7}) {
+    ThreadPool pool(workers);
+    EXPECT_EQ(pool.num_workers(), workers);
+  }
+}
+
+TEST(ThreadPoolTest, ShutdownDrainsQueuedTasks) {
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 100; ++i) {
+      pool.Submit([&ran] { ran.fetch_add(1); });
+    }
+  }  // Destructor must run every queued task before joining.
+  EXPECT_EQ(ran.load(), 100);
+}
+
+TEST(ThreadPoolTest, SubmitReturnsFutureThatWaits) {
+  ThreadPool pool(2);
+  std::atomic<int> value{0};
+  auto future = pool.Submit([&value] { value.store(42); });
+  future.get();
+  EXPECT_EQ(value.load(), 42);
+}
+
+TEST(ThreadPoolTest, ExceptionPropagatesThroughFuture) {
+  ThreadPool pool(2);
+  auto future = pool.Submit([] { throw std::runtime_error("task boom"); });
+  EXPECT_THROW(future.get(), std::runtime_error);
+  // The worker survives the throwing task and keeps serving.
+  auto after = pool.Submit([] {});
+  after.get();
+}
+
+TEST(ThreadPoolTest, ExceptionPropagatesThroughParallelFor) {
+  ScopedParallelism parallel(4);
+  EXPECT_THROW(
+      ParallelFor(100,
+                  [](int64_t begin, int64_t, int) {
+                    if (begin == 0) throw std::runtime_error("chunk boom");
+                  }),
+      std::runtime_error);
+}
+
+TEST(ThreadPoolTest, NestedSubmitFromOwnWorkerIsRejected) {
+  ThreadPool pool(2);
+  auto future = pool.Submit([&pool] {
+    // A fixed pool deadlocks on nested submission; it must throw instead.
+    pool.Submit([] {});
+  });
+  EXPECT_THROW(future.get(), std::logic_error);
+}
+
+TEST(ThreadPoolTest, NestedParallelForFallsBackToSerial) {
+  // Chunk 0 runs inline on the caller (which may parallelise further), but
+  // a nested section inside a pool *worker* must degrade to one inline
+  // chunk — that is what makes eval → forward → GEMM nesting deadlock-free.
+  ScopedParallelism parallel(4);
+  std::atomic<int> worker_chunks{0};
+  std::atomic<bool> worker_inner_serial{true};
+  ParallelFor(4, [&](int64_t, int64_t, int) {
+    if (!ThreadPool::InWorker()) return;
+    worker_chunks.fetch_add(1);
+    ParallelFor(8, [&](int64_t begin, int64_t end, int chunk) {
+      if (begin != 0 || end != 8 || chunk != 0) {
+        worker_inner_serial.store(false);
+      }
+    });
+  });
+  EXPECT_GT(worker_chunks.load(), 0);
+  EXPECT_TRUE(worker_inner_serial.load());
+}
+
+TEST(ThreadPoolTest, StressManyTinyTasks) {
+  // 10k tiny tasks through a small pool; run under -DDELREC_SANITIZE=thread
+  // this doubles as the queue/handoff race check.
+  ThreadPool pool(4);
+  std::atomic<int64_t> sum{0};
+  std::vector<std::future<void>> futures;
+  futures.reserve(10000);
+  for (int i = 0; i < 10000; ++i) {
+    futures.push_back(pool.Submit([&sum, i] { sum.fetch_add(i % 7); }));
+  }
+  for (auto& future : futures) future.get();
+  int64_t expected = 0;
+  for (int i = 0; i < 10000; ++i) expected += i % 7;
+  EXPECT_EQ(sum.load(), expected);
+}
+
+TEST(StaticPartitionTest, BoundariesDependOnlyOnShape) {
+  const auto chunks = StaticPartition(10, 4);
+  ASSERT_EQ(chunks.size(), 4u);
+  // Balanced split: 3,3,2,2 — remainder spread over the leading chunks.
+  EXPECT_EQ(chunks[0], (std::pair<int64_t, int64_t>{0, 3}));
+  EXPECT_EQ(chunks[1], (std::pair<int64_t, int64_t>{3, 6}));
+  EXPECT_EQ(chunks[2], (std::pair<int64_t, int64_t>{6, 8}));
+  EXPECT_EQ(chunks[3], (std::pair<int64_t, int64_t>{8, 10}));
+  // More chunks than items degenerates to one chunk per item.
+  EXPECT_EQ(StaticPartition(3, 8).size(), 3u);
+  EXPECT_TRUE(StaticPartition(0, 4).empty());
+}
+
+TEST(ParallelForTest, CoversEveryIndexExactlyOnce) {
+  for (int threads : {1, 2, 4, 7}) {
+    ScopedParallelism parallel(threads);
+    std::vector<std::atomic<int>> touched(103);
+    ParallelFor(103, [&touched](int64_t begin, int64_t end, int) {
+      for (int64_t i = begin; i < end; ++i) touched[i].fetch_add(1);
+    });
+    for (const auto& count : touched) EXPECT_EQ(count.load(), 1);
+  }
+}
+
+TEST(ParallelForTest, PerItemRngStreamsAreThreadCountInvariant) {
+  // The pattern DELRec uses for stochastic parallel work: derive one child
+  // stream per item serially (Rng::Fork), then consume streams from any
+  // chunk. Results depend only on the item index, never on scheduling.
+  auto run = [](int threads) {
+    ScopedParallelism parallel(threads);
+    Rng base(2024);
+    std::vector<Rng> streams;
+    streams.reserve(64);
+    for (int i = 0; i < 64; ++i) streams.push_back(base.Fork());
+    std::vector<uint64_t> draws(64);
+    ParallelFor(64, [&](int64_t begin, int64_t end, int) {
+      for (int64_t i = begin; i < end; ++i) {
+        draws[i] = streams[i].NextUint64() ^ streams[i].NextUint64();
+      }
+    });
+    return draws;
+  };
+  const auto reference = run(1);
+  for (int threads : {2, 4, 7}) {
+    EXPECT_EQ(run(threads), reference) << "threads=" << threads;
+  }
+}
+
+TEST(ParallelConfigTest, ScopedOverrideRestores) {
+  const int before_threads = ParallelThreads();
+  const int64_t before_min_work = ParallelMinWork();
+  {
+    ScopedParallelism parallel(6, 1);
+    EXPECT_EQ(ParallelThreads(), 6);
+    EXPECT_EQ(ParallelMinWork(), 1);
+  }
+  EXPECT_EQ(ParallelThreads(), before_threads);
+  EXPECT_EQ(ParallelMinWork(), before_min_work);
+}
+
+TEST(ParallelConfigTest, EnvOverride) {
+  const int before = ParallelThreads();
+  ASSERT_EQ(setenv("DELREC_NUM_THREADS", "3", 1), 0);
+  EXPECT_EQ(InitParallelismFromEnv(), 3);
+  EXPECT_EQ(ParallelThreads(), 3);
+  // Invalid values leave the setting untouched.
+  ASSERT_EQ(setenv("DELREC_NUM_THREADS", "zero", 1), 0);
+  EXPECT_EQ(InitParallelismFromEnv(), 3);
+  ASSERT_EQ(unsetenv("DELREC_NUM_THREADS"), 0);
+  SetParallelism(before);
+}
+
+}  // namespace
+}  // namespace delrec::util
