@@ -12,6 +12,7 @@
 int main() {
   using namespace delrec;
   const bench::HarnessOptions options = bench::OptionsFromEnv();
+  bench::BeginBench("ablation_design");
   std::printf("== Design-choice ablations (DESIGN.md §6) — %s ==\n",
               "MovieLens-100K, SASRec backbone");
   bench::DatasetHarness harness(data::MovieLens100KConfig(), options);
@@ -58,5 +59,5 @@ int main() {
       "\nReading: each paper-exact setting is *worse at this scale* — that\n"
       "is precisely why DESIGN.md §6 deviates. At paper scale (3B backbone)\n"
       "the trade-offs invert; the switches restore the exact configuration.\n");
-  return 0;
+  return bench::FinishBench();
 }

@@ -19,6 +19,7 @@ int main() {
     options.stage2_epochs = 3;
     options.eval_examples = 200;
   }
+  bench::BeginBench("fig7_softprompt_size");
   const std::vector<int64_t> kSweep = {2, 4, 8, 16, 32, 48};
   std::printf("== Figure 7: HR@1 vs soft-prompt size k ==\n");
   util::TablePrinter table({"Dataset", "k=2", "k=4", "k=8", "k=16", "k=32",
@@ -42,5 +43,5 @@ int main() {
                 timer.ElapsedSeconds());
   }
   table.Print();
-  return 0;
+  return bench::FinishBench();
 }

@@ -17,6 +17,7 @@ int main() {
     options.stage2_epochs = 3;
     options.eval_examples = 200;
   }
+  bench::BeginBench("fig8_rec_items");
   const std::vector<int64_t> kSweep = {1, 3, 5, 10, 15};
   std::printf("== Figure 8: HR@1 vs recommended-items size h ==\n");
   util::TablePrinter table(
@@ -40,5 +41,5 @@ int main() {
                 timer.ElapsedSeconds());
   }
   table.Print();
-  return 0;
+  return bench::FinishBench();
 }

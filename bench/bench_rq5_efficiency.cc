@@ -140,6 +140,7 @@ BENCHMARK(BenchSasRecBatchEval)
 int main(int argc, char** argv) {
   using namespace delrec;
   bench::HarnessOptions options = bench::OptionsFromEnv();
+  bench::BeginBench("rq5_efficiency");
   std::printf("== RQ5: efficiency, real-time response, cold start ==\n");
   std::printf("(dataset: Home & Kitchen — the paper's scalability probe)\n\n");
 
@@ -234,5 +235,5 @@ int main(int argc, char** argv) {
   }
   benchmark::Shutdown();
   bench::g_state = nullptr;
-  return 0;
+  return bench::FinishBench();
 }

@@ -2,12 +2,14 @@
 // 5-core filtering, in the paper's column layout.
 #include <cstdio>
 
+#include "bench/harness.h"
 #include "data/dataset.h"
 #include "util/string_util.h"
 #include "util/table.h"
 
 int main() {
   using namespace delrec;
+  bench::BeginBench("table1_stats");
   std::printf("== Table I: statistics of datasets ==\n");
   util::TablePrinter table(
       {"Dataset", "sequence", "item", "interaction", "sparsity"});
@@ -24,5 +26,5 @@ int main() {
   std::printf(
       "\n(Synthetic stand-ins scaled to CPU budget; the paper's relative\n"
       " size ordering and sparsity ordering are preserved — see DESIGN.md.)\n");
-  return 0;
+  return bench::FinishBench();
 }

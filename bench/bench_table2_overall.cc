@@ -145,11 +145,12 @@ void RunDataset(const data::GeneratorConfig& config,
 int main() {
   using namespace delrec;
   const bench::HarnessOptions options = bench::OptionsFromEnv();
+  bench::BeginBench("table2_overall");
   std::printf("== Table II: overall performance (m=15 candidates) ==\n");
   for (const data::GeneratorConfig& config :
        {data::MovieLens100KConfig(), data::SteamConfig(),
         data::BeautyConfig(), data::HomeKitchenConfig()}) {
     bench::RunDataset(config, options);
   }
-  return 0;
+  return bench::FinishBench();
 }

@@ -57,11 +57,12 @@ int main() {
     options.stage2_epochs = 4;
     options.eval_examples = 200;
   }
+  bench::BeginBench("table3_ablation1");
   std::printf("== Table III: Ablation I — learned soft prompts ==\n");
   for (const data::GeneratorConfig& config :
        {data::MovieLens100KConfig(), data::SteamConfig(),
         data::BeautyConfig(), data::HomeKitchenConfig()}) {
     bench::RunDataset(config, options);
   }
-  return 0;
+  return bench::FinishBench();
 }

@@ -75,11 +75,12 @@ int main() {
     options.stage2_epochs = 4;
     options.eval_examples = 200;
   }
+  bench::BeginBench("table4_ablation2");
   std::printf("== Table IV: Ablation II — DELRec components ==\n");
   for (const data::GeneratorConfig& config :
        {data::MovieLens100KConfig(), data::SteamConfig(),
         data::BeautyConfig(), data::HomeKitchenConfig()}) {
     bench::RunDataset(config, options);
   }
-  return 0;
+  return bench::FinishBench();
 }

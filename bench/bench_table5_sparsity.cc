@@ -14,6 +14,7 @@
 int main() {
   using namespace delrec;
   const bench::HarnessOptions options = bench::OptionsFromEnv();
+  bench::BeginBench("table5_sparsity");
   std::printf("== Table V: dataset sparsity impact ==\n");
   for (const data::GeneratorConfig& config :
        {data::BeautyConfig(), data::MovieLens100KConfig(),
@@ -57,5 +58,5 @@ int main() {
     std::printf("[%s finished in %.1fs]\n", config.name.c_str(),
                 timer.ElapsedSeconds());
   }
-  return 0;
+  return bench::FinishBench();
 }

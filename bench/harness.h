@@ -3,6 +3,7 @@
 
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -13,8 +14,103 @@
 #include "eval/metrics.h"
 #include "eval/protocol.h"
 #include "srmodels/factory.h"
+#include "util/json.h"
+#include "util/status.h"
+#include "util/timer.h"
 
 namespace delrec::bench {
+
+// -- Machine-readable bench records (BENCH_*.json) ---------------------------
+
+/// How a metric's value should be interpreted when comparing runs: for
+/// kThroughput and kRatio higher is better, for kTime and kCount lower is
+/// better.
+enum class MetricKind { kThroughput, kTime, kCount, kRatio };
+
+/// One recorded measurement. `stable` marks metrics that are deterministic
+/// for a fixed workload and thread count (allocation counts, hit ratios);
+/// the baseline comparison hard-gates those, while noisy wall-clock metrics
+/// gate only under DELREC_BENCH_STRICT=1 so shared-machine CI stays green.
+struct BenchMetric {
+  std::string name;
+  double value = 0.0;
+  std::string unit;
+  MetricKind kind = MetricKind::kCount;
+  bool stable = false;
+};
+
+/// Collects metrics for one bench binary and emits/compares BENCH_*.json.
+///
+/// Every bench main() calls BeginBench(name) first — which prints the
+/// effective GEMM kernel/thread configuration and resets pool counters —
+/// and returns FinishBench(), which appends pool statistics, writes the
+/// JSON record to $DELREC_BENCH_JSON (default BENCH_<name>.json; set the
+/// variable to an empty string to skip writing), compares against
+/// $DELREC_BENCH_BASELINE when set, and yields the process exit code
+/// (non-zero on a >15% regression of a gated metric).
+class BenchRecorder {
+ public:
+  static BenchRecorder& Global();
+
+  void Begin(const std::string& bench_name);
+  /// True once Begin() ran; harness instrumentation is inert otherwise, so
+  /// linking the harness into tests records nothing.
+  bool active() const;
+
+  /// Records a metric, overwriting any prior value of the same name.
+  void Record(const std::string& name, double value, const std::string& unit,
+              MetricKind kind, bool stable = false);
+  /// Adds `value` into the named metric, creating it at zero. Used for
+  /// phase times accumulated across several calls (e.g. eval_s).
+  void Accumulate(const std::string& name, double value,
+                  const std::string& unit, MetricKind kind,
+                  bool stable = false);
+
+  /// Serializes the run: {schema_version, bench, config{threads, fast,
+  /// kernel, native}, metrics[{name, value, unit, kind, stable}]}.
+  /// Non-finite values are emitted as null.
+  util::Json ToJson() const;
+
+  int Finish();
+
+  /// Structural check of a BENCH_*.json document (used on our own output
+  /// and on baselines before comparing).
+  static util::Status ValidateSchema(const util::Json& doc);
+  /// Fails when a gated metric regresses more than `tolerance` (fractional)
+  /// in its bad direction, or when a stable baseline metric is missing from
+  /// `current`. Gated = stable metrics always, every metric when `strict`.
+  static util::Status Compare(const util::Json& baseline,
+                              const util::Json& current, double tolerance,
+                              bool strict);
+
+  /// Output path Finish() writes to for a given bench name (after applying
+  /// the DELREC_BENCH_JSON override). Empty means "do not write".
+  static std::string OutputPath(const std::string& bench_name);
+
+ private:
+  mutable std::mutex mutex_;
+  std::string bench_name_;
+  std::vector<BenchMetric> metrics_;
+  util::WallTimer run_timer_;
+};
+
+/// Convenience wrappers used by every bench main().
+void BeginBench(const std::string& name);
+int FinishBench();
+
+/// RAII wall-clock phase timer: destructor accumulates "<name>_s" into the
+/// global recorder (no-op when no bench is active).
+class ScopedPhaseTimer {
+ public:
+  explicit ScopedPhaseTimer(std::string name);
+  ScopedPhaseTimer(const ScopedPhaseTimer&) = delete;
+  ScopedPhaseTimer& operator=(const ScopedPhaseTimer&) = delete;
+  ~ScopedPhaseTimer();
+
+ private:
+  std::string name_;
+  util::WallTimer timer_;
+};
 
 /// Global bench scaling. DELREC_FAST=1 in the environment cuts training and
 /// evaluation budgets ~4× for quick smoke runs; default reproduces the

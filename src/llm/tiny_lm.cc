@@ -165,6 +165,7 @@ nn::Tensor TinyLm::Encode(const std::vector<PromptPiece>& pieces,
   DELREC_CHECK(!pieces.empty());
   const nn::Tensor table = EffectiveTokenTable();
   std::vector<nn::Tensor> rows;
+  rows.reserve(pieces.size());
   int64_t total_length = 0;
   for (const PromptPiece& piece : pieces) {
     if (piece.kind == PromptPiece::Kind::kTokens) {
@@ -215,6 +216,7 @@ nn::Tensor TinyLm::MlmLoss(const std::vector<int64_t>& tokens,
   nn::Tensor hidden =
       Encode({PromptPiece::Tokens(corrupted)}, config_.dropout, rng);
   std::vector<nn::Tensor> losses;
+  losses.reserve(mask_positions.size());
   for (int64_t position : mask_positions) {
     losses.push_back(nn::CrossEntropyWithLogits(LogitsAt(hidden, position),
                                                 {tokens[position]}));

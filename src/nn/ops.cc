@@ -3,11 +3,16 @@
 #include <algorithm>
 #include <cmath>
 
+#include "nn/gemm.h"
+#include "util/buffer_pool.h"
 #include "util/check.h"
-#include "util/threadpool.h"
 
 namespace delrec::nn {
 namespace {
+
+util::BufferPool& Pool() { return util::BufferPool::Global(); }
+
+using SharedBuffer = std::shared_ptr<std::vector<float>>;
 
 bool AnyRequiresGrad(const std::vector<Tensor>& tensors) {
   if (!GradModeEnabled()) return false;
@@ -32,81 +37,8 @@ Tensor MakeNode(std::vector<int64_t> shape, std::vector<float> data,
   return Tensor::FromImpl(std::move(impl));
 }
 
-// Dense GEMMs, row-partitioned over C across util::ParallelConfig threads.
-// Determinism contract (DESIGN.md §9): every C row is written by exactly one
-// chunk of a static partition, and each element's accumulation order over k
-// is fixed (ascending p) regardless of the chunking — so all three kernels
-// are bit-identical to their serial (num_threads = 1) reference for any
-// thread count, and need no synchronisation or float atomics. GEMMs whose
-// m·n·k falls below ParallelMinWork() skip dispatch and run serially, which
-// by the same argument cannot change results.
-void GemmRows(int64_t m, int64_t n, int64_t k,
-              const std::function<void(int64_t, int64_t)>& rows) {
-  if (util::ParallelThreads() > 1 && m * n * k >= util::ParallelMinWork()) {
-    util::ParallelFor(
-        m, [&rows](int64_t begin, int64_t end, int) { rows(begin, end); });
-  } else {
-    rows(0, m);
-  }
-}
-
-// ikj loop order keeps the inner loop contiguous over B and C.
-void GemmNN(const float* a, const float* b, float* c, int64_t m, int64_t n,
-            int64_t k, bool accumulate) {
-  GemmRows(m, n, k, [=](int64_t row_begin, int64_t row_end) {
-    for (int64_t i = row_begin; i < row_end; ++i) {
-      const float* a_row = a + i * k;
-      float* c_row = c + i * n;
-      if (!accumulate) std::fill(c_row, c_row + n, 0.0f);
-      for (int64_t p = 0; p < k; ++p) {
-        const float a_val = a_row[p];
-        if (a_val == 0.0f) continue;
-        const float* b_row = b + p * n;
-        for (int64_t j = 0; j < n; ++j) c_row[j] += a_val * b_row[j];
-      }
-    }
-  });
-}
-
-// C (M,N) = A (M,K) · B^T where B is stored (N,K).
-void GemmNT(const float* a, const float* b, float* c, int64_t m, int64_t n,
-            int64_t k, bool accumulate) {
-  GemmRows(m, n, k, [=](int64_t row_begin, int64_t row_end) {
-    for (int64_t i = row_begin; i < row_end; ++i) {
-      const float* a_row = a + i * k;
-      float* c_row = c + i * n;
-      for (int64_t j = 0; j < n; ++j) {
-        const float* b_row = b + j * k;
-        float dot = 0.0f;
-        for (int64_t p = 0; p < k; ++p) dot += a_row[p] * b_row[p];
-        if (accumulate) {
-          c_row[j] += dot;
-        } else {
-          c_row[j] = dot;
-        }
-      }
-    }
-  });
-}
-
-// C (M,N) = A^T · B where A is stored (K,M), B is (K,N). Row-major over C so
-// rows partition cleanly; each element still accumulates in ascending p,
-// matching the historical p-outer serial kernel bit-for-bit.
-void GemmTN(const float* a, const float* b, float* c, int64_t m, int64_t n,
-            int64_t k, bool accumulate) {
-  GemmRows(m, n, k, [=](int64_t row_begin, int64_t row_end) {
-    for (int64_t i = row_begin; i < row_end; ++i) {
-      float* c_row = c + i * n;
-      if (!accumulate) std::fill(c_row, c_row + n, 0.0f);
-      for (int64_t p = 0; p < k; ++p) {
-        const float a_val = a[p * m + i];
-        if (a_val == 0.0f) continue;
-        const float* b_row = b + p * n;
-        for (int64_t j = 0; j < n; ++j) c_row[j] += a_val * b_row[j];
-      }
-    }
-  });
-}
+// The dense GEMM kernels (blocked microkernels + thread partitioning) live
+// in nn/gemm.{h,cc}; MatMul below calls GemmNN/GemmNT/GemmTN directly.
 
 using UnaryForward = float (*)(float);
 
@@ -114,7 +46,7 @@ Tensor ElementwiseBinary(const Tensor& a, const Tensor& b, float sign_b,
                          bool multiply) {
   DELREC_CHECK(a.shape() == b.shape())
       << a.ShapeString() << " vs " << b.ShapeString();
-  std::vector<float> out(a.size());
+  std::vector<float> out = Pool().Acquire(a.size());
   const auto& av = a.data();
   const auto& bv = b.data();
   if (multiply) {
@@ -164,7 +96,7 @@ Tensor Mul(const Tensor& a, const Tensor& b) {
 }
 
 Tensor AddScalar(const Tensor& a, float s) {
-  std::vector<float> out = a.data();
+  std::vector<float> out = Pool().AcquireCopy(a.data());
   for (float& v : out) v += s;
   Tensor a_copy = a;
   return MakeNode(a.shape(), std::move(out), {a},
@@ -178,7 +110,7 @@ Tensor AddScalar(const Tensor& a, float s) {
 }
 
 Tensor MulScalar(const Tensor& a, float s) {
-  std::vector<float> out = a.data();
+  std::vector<float> out = Pool().AcquireCopy(a.data());
   for (float& v : out) v *= s;
   Tensor a_copy = a;
   return MakeNode(a.shape(), std::move(out), {a},
@@ -193,7 +125,7 @@ Tensor MulScalar(const Tensor& a, float s) {
 
 Tensor AddN(const std::vector<Tensor>& tensors) {
   DELREC_CHECK(!tensors.empty());
-  std::vector<float> out = tensors[0].data();
+  std::vector<float> out = Pool().AcquireCopy(tensors[0].data());
   for (size_t t = 1; t < tensors.size(); ++t) {
     DELREC_CHECK(tensors[t].shape() == tensors[0].shape());
     const auto& v = tensors[t].data();
@@ -214,7 +146,7 @@ Tensor AddN(const std::vector<Tensor>& tensors) {
 
 Tensor Cos(const Tensor& x) {
   const auto& xv = x.data();
-  std::vector<float> out(xv.size());
+  std::vector<float> out = Pool().Acquire(xv.size());
   for (size_t i = 0; i < xv.size(); ++i) out[i] = std::cos(xv[i]);
   Tensor x_copy = x;
   return MakeNode(x.shape(), std::move(out), {x},
@@ -231,7 +163,7 @@ Tensor Cos(const Tensor& x) {
 Tensor MulScalarTensor(const Tensor& x, const Tensor& s) {
   DELREC_CHECK_EQ(s.size(), 1);
   const float scale = s.data()[0];
-  std::vector<float> out = x.data();
+  std::vector<float> out = Pool().AcquireCopy(x.data());
   for (float& v : out) v *= scale;
   Tensor x_copy = x;
   Tensor s_copy = s;
@@ -256,7 +188,7 @@ Tensor MulScalarTensor(const Tensor& x, const Tensor& s) {
 }
 
 Tensor Relu(const Tensor& x) {
-  std::vector<float> out = x.data();
+  std::vector<float> out = Pool().AcquireCopy(x.data());
   for (float& v : out) v = v > 0.0f ? v : 0.0f;
   Tensor x_copy = x;
   return MakeNode(x.shape(), std::move(out), {x},
@@ -274,7 +206,7 @@ Tensor Gelu(const Tensor& x) {
   constexpr float kSqrt2OverPi = 0.7978845608f;
   constexpr float kCoeff = 0.044715f;
   const auto& xv = x.data();
-  std::vector<float> out(xv.size());
+  std::vector<float> out = Pool().Acquire(xv.size());
   for (size_t i = 0; i < xv.size(); ++i) {
     const float v = xv[i];
     const float inner = kSqrt2OverPi * (v + kCoeff * v * v * v);
@@ -300,35 +232,38 @@ Tensor Gelu(const Tensor& x) {
 
 Tensor Sigmoid(const Tensor& x) {
   const auto& xv = x.data();
-  std::vector<float> out(xv.size());
+  std::vector<float> out = Pool().Acquire(xv.size());
   for (size_t i = 0; i < xv.size(); ++i) {
     out[i] = 1.0f / (1.0f + std::exp(-xv[i]));
   }
   Tensor x_copy = x;
-  // Capture forward values: σ' = σ(1-σ).
-  std::vector<float> saved = out;
+  // Capture forward values: σ' = σ(1-σ). Pooled shared buffer so the copy
+  // held by the backward closure recycles on tape release.
+  SharedBuffer saved = Pool().AcquireSharedCopy(out);
   return MakeNode(x.shape(), std::move(out), {x},
                   [x_copy, saved](TensorImpl& self) mutable {
                     if (!x_copy.requires_grad()) return;
                     auto& gx = x_copy.grad();
+                    const auto& s = *saved;
                     for (size_t i = 0; i < self.grad.size(); ++i) {
-                      gx[i] += self.grad[i] * saved[i] * (1.0f - saved[i]);
+                      gx[i] += self.grad[i] * s[i] * (1.0f - s[i]);
                     }
                   });
 }
 
 Tensor Tanh(const Tensor& x) {
   const auto& xv = x.data();
-  std::vector<float> out(xv.size());
+  std::vector<float> out = Pool().Acquire(xv.size());
   for (size_t i = 0; i < xv.size(); ++i) out[i] = std::tanh(xv[i]);
   Tensor x_copy = x;
-  std::vector<float> saved = out;
+  SharedBuffer saved = Pool().AcquireSharedCopy(out);
   return MakeNode(x.shape(), std::move(out), {x},
                   [x_copy, saved](TensorImpl& self) mutable {
                     if (!x_copy.requires_grad()) return;
                     auto& gx = x_copy.grad();
+                    const auto& s = *saved;
                     for (size_t i = 0; i < self.grad.size(); ++i) {
-                      gx[i] += self.grad[i] * (1.0f - saved[i] * saved[i]);
+                      gx[i] += self.grad[i] * (1.0f - s[i] * s[i]);
                     }
                   });
 }
@@ -337,18 +272,20 @@ Tensor Dropout(const Tensor& x, float p, util::Rng& rng, bool training) {
   if (!training || p <= 0.0f) return x;
   DELREC_CHECK_LT(p, 1.0f);
   const float scale = 1.0f / (1.0f - p);
-  std::vector<float> mask(x.size());
-  for (float& m : mask) m = rng.Bernoulli(p) ? 0.0f : scale;
+  SharedBuffer mask = Pool().AcquireShared(x.size());
+  for (float& m : *mask) m = rng.Bernoulli(p) ? 0.0f : scale;
   const auto& xv = x.data();
-  std::vector<float> out(xv.size());
-  for (size_t i = 0; i < xv.size(); ++i) out[i] = xv[i] * mask[i];
+  const auto& mv = *mask;
+  std::vector<float> out = Pool().Acquire(xv.size());
+  for (size_t i = 0; i < xv.size(); ++i) out[i] = xv[i] * mv[i];
   Tensor x_copy = x;
   return MakeNode(x.shape(), std::move(out), {x},
                   [x_copy, mask](TensorImpl& self) mutable {
                     if (!x_copy.requires_grad()) return;
                     auto& gx = x_copy.grad();
+                    const auto& mv = *mask;
                     for (size_t i = 0; i < self.grad.size(); ++i) {
-                      gx[i] += self.grad[i] * mask[i];
+                      gx[i] += self.grad[i] * mv[i];
                     }
                   });
 }
@@ -363,7 +300,7 @@ Tensor MatMul(const Tensor& a, const Tensor& b, bool trans_a, bool trans_b) {
   const int64_t n = trans_b ? b.dim(0) : b.dim(1);
   DELREC_CHECK_EQ(k, k2) << "MatMul inner dims: " << a.ShapeString() << " · "
                          << b.ShapeString();
-  std::vector<float> out(m * n);
+  std::vector<float> out = Pool().Acquire(m * n);
   const float* av = a.data().data();
   const float* bv = b.data().data();
   if (!trans_a && !trans_b) {
@@ -415,7 +352,7 @@ Tensor AddBias(const Tensor& x, const Tensor& bias) {
   DELREC_CHECK_EQ(bias.size(), x.dim(1));
   const int64_t n = x.dim(0);
   const int64_t d = x.dim(1);
-  std::vector<float> out = x.data();
+  std::vector<float> out = Pool().AcquireCopy(x.data());
   const auto& bv = bias.data();
   for (int64_t i = 0; i < n; ++i) {
     for (int64_t j = 0; j < d; ++j) out[i * d + j] += bv[j];
@@ -445,7 +382,7 @@ Tensor Rows(const Tensor& table, const std::vector<int64_t>& indices) {
   DELREC_CHECK_EQ(table.ndim(), 2);
   const int64_t v = table.dim(0);
   const int64_t d = table.dim(1);
-  std::vector<float> out(indices.size() * d);
+  std::vector<float> out = Pool().Acquire(indices.size() * d);
   const auto& tv = table.data();
   for (size_t i = 0; i < indices.size(); ++i) {
     DELREC_CHECK_GE(indices[i], 0);
@@ -473,7 +410,7 @@ Tensor ScaleCols(const Tensor& x, const Tensor& scales) {
   const int64_t n = x.dim(0);
   const int64_t d = x.dim(1);
   DELREC_CHECK_EQ(scales.size(), d);
-  std::vector<float> out(n * d);
+  std::vector<float> out = Pool().Acquire(n * d);
   const auto& xv = x.data();
   const auto& sv = scales.data();
   for (int64_t i = 0; i < n; ++i) {
@@ -509,8 +446,9 @@ Tensor SliceRows(const Tensor& x, int64_t start, int64_t count) {
   DELREC_CHECK_GE(start, 0);
   DELREC_CHECK_LE(start + count, x.dim(0));
   const int64_t d = x.dim(1);
-  std::vector<float> out(x.data().begin() + start * d,
-                         x.data().begin() + (start + count) * d);
+  std::vector<float> out = Pool().Acquire(count * d);
+  std::copy(x.data().begin() + start * d,
+            x.data().begin() + (start + count) * d, out.begin());
   Tensor x_copy = x;
   return MakeNode({count, d}, std::move(out), {x},
                   [x_copy, start, d](TensorImpl& self) mutable {
@@ -528,7 +466,7 @@ Tensor SliceCols(const Tensor& x, int64_t start, int64_t count) {
   DELREC_CHECK_LE(start + count, x.dim(1));
   const int64_t n = x.dim(0);
   const int64_t d = x.dim(1);
-  std::vector<float> out(n * count);
+  std::vector<float> out = Pool().Acquire(n * count);
   const auto& xv = x.data();
   for (int64_t i = 0; i < n; ++i) {
     std::copy(xv.begin() + i * d + start, xv.begin() + i * d + start + count,
@@ -556,10 +494,10 @@ Tensor ConcatRows(const std::vector<Tensor>& parts) {
     DELREC_CHECK_EQ(p.dim(1), d);
     total += p.dim(0);
   }
-  std::vector<float> out;
-  out.reserve(total * d);
+  std::vector<float> out = Pool().Acquire(total * d);
+  auto write = out.begin();
   for (const Tensor& p : parts) {
-    out.insert(out.end(), p.data().begin(), p.data().end());
+    write = std::copy(p.data().begin(), p.data().end(), write);
   }
   std::vector<Tensor> parents = parts;
   return MakeNode({total, d}, std::move(out), parts,
@@ -587,7 +525,7 @@ Tensor ConcatCols(const std::vector<Tensor>& parts) {
     DELREC_CHECK_EQ(p.dim(0), n);
     total += p.dim(1);
   }
-  std::vector<float> out(n * total);
+  std::vector<float> out = Pool().Acquire(n * total);
   int64_t col_offset = 0;
   for (const Tensor& p : parts) {
     const int64_t d = p.dim(1);
@@ -620,7 +558,7 @@ Tensor ConcatCols(const std::vector<Tensor>& parts) {
 
 Tensor Reshape(const Tensor& x, std::vector<int64_t> shape) {
   DELREC_CHECK_EQ(NumElements(shape), x.size());
-  std::vector<float> out = x.data();
+  std::vector<float> out = Pool().AcquireCopy(x.data());
   Tensor x_copy = x;
   return MakeNode(std::move(shape), std::move(out), {x},
                   [x_copy](TensorImpl& self) mutable {
@@ -636,7 +574,7 @@ Tensor Transpose(const Tensor& x) {
   DELREC_CHECK_EQ(x.ndim(), 2);
   const int64_t m = x.dim(0);
   const int64_t n = x.dim(1);
-  std::vector<float> out(m * n);
+  std::vector<float> out = Pool().Acquire(m * n);
   const auto& xv = x.data();
   for (int64_t i = 0; i < m; ++i) {
     for (int64_t j = 0; j < n; ++j) out[j * m + i] = xv[i * n + j];
@@ -685,7 +623,7 @@ Tensor MeanRows(const Tensor& x) {
   const int64_t n = x.dim(0);
   const int64_t d = x.dim(1);
   DELREC_CHECK_GT(n, 0);
-  std::vector<float> out(d, 0.0f);
+  std::vector<float> out = Pool().AcquireZeroed(d);
   const auto& xv = x.data();
   for (int64_t i = 0; i < n; ++i) {
     for (int64_t j = 0; j < d; ++j) out[j] += xv[i * d + j];
@@ -709,7 +647,7 @@ Tensor MaxPoolRows(const Tensor& x) {
   const int64_t n = x.dim(0);
   const int64_t d = x.dim(1);
   DELREC_CHECK_GT(n, 0);
-  std::vector<float> out(d);
+  std::vector<float> out = Pool().Acquire(d);
   std::vector<int64_t> argmax(d, 0);
   const auto& xv = x.data();
   for (int64_t j = 0; j < d; ++j) {
@@ -761,17 +699,17 @@ Tensor Softmax(const Tensor& x) {
   DELREC_CHECK_EQ(x.ndim(), 2);
   const int64_t n = x.dim(0);
   const int64_t c = x.dim(1);
-  std::vector<float> out(n * c);
+  std::vector<float> out = Pool().Acquire(n * c);
   SoftmaxRows(x.data(), out, n, c);
   Tensor x_copy = x;
-  std::vector<float> saved = out;
+  SharedBuffer saved = Pool().AcquireSharedCopy(out);
   return MakeNode(
       x.shape(), std::move(out), {x},
       [x_copy, saved, n, c](TensorImpl& self) mutable {
         if (!x_copy.requires_grad()) return;
         auto& gx = x_copy.grad();
         for (int64_t i = 0; i < n; ++i) {
-          const float* s = saved.data() + i * c;
+          const float* s = saved->data() + i * c;
           const float* g = self.grad.data() + i * c;
           float dot = 0.0f;
           for (int64_t j = 0; j < c; ++j) dot += s[j] * g[j];
@@ -786,11 +724,11 @@ Tensor LogSoftmax(const Tensor& x) {
   DELREC_CHECK_EQ(x.ndim(), 2);
   const int64_t n = x.dim(0);
   const int64_t c = x.dim(1);
-  std::vector<float> softmax(n * c);
-  SoftmaxRows(x.data(), softmax, n, c);
-  std::vector<float> out(n * c);
+  SharedBuffer softmax = Pool().AcquireShared(n * c);
+  SoftmaxRows(x.data(), *softmax, n, c);
+  std::vector<float> out = Pool().Acquire(n * c);
   for (size_t i = 0; i < out.size(); ++i) {
-    out[i] = std::log(std::max(softmax[i], 1e-30f));
+    out[i] = std::log(std::max((*softmax)[i], 1e-30f));
   }
   Tensor x_copy = x;
   return MakeNode(
@@ -799,7 +737,7 @@ Tensor LogSoftmax(const Tensor& x) {
         if (!x_copy.requires_grad()) return;
         auto& gx = x_copy.grad();
         for (int64_t i = 0; i < n; ++i) {
-          const float* s = softmax.data() + i * c;
+          const float* s = softmax->data() + i * c;
           const float* g = self.grad.data() + i * c;
           float gsum = 0.0f;
           for (int64_t j = 0; j < c; ++j) gsum += g[j];
@@ -816,14 +754,14 @@ Tensor CrossEntropyWithLogits(const Tensor& logits,
   const int64_t n = logits.dim(0);
   const int64_t c = logits.dim(1);
   DELREC_CHECK_EQ(static_cast<int64_t>(targets.size()), n);
-  std::vector<float> softmax(n * c);
-  SoftmaxRows(logits.data(), softmax, n, c);
+  SharedBuffer softmax = Pool().AcquireShared(n * c);
+  SoftmaxRows(logits.data(), *softmax, n, c);
   float loss = 0.0f;
   int64_t active = 0;
   for (int64_t i = 0; i < n; ++i) {
     if (targets[i] < 0) continue;  // Masked row.
     DELREC_CHECK_LT(targets[i], c);
-    loss -= std::log(std::max(softmax[i * c + targets[i]], 1e-30f));
+    loss -= std::log(std::max((*softmax)[i * c + targets[i]], 1e-30f));
     ++active;
   }
   DELREC_CHECK_GT(active, 0) << "all rows masked in CrossEntropyWithLogits";
@@ -838,7 +776,7 @@ Tensor CrossEntropyWithLogits(const Tensor& logits,
         const float g = self.grad[0] / static_cast<float>(active);
         for (int64_t i = 0; i < n; ++i) {
           if (tgt[i] < 0) continue;
-          const float* s = softmax.data() + i * c;
+          const float* s = softmax->data() + i * c;
           for (int64_t j = 0; j < c; ++j) {
             gx[i * c + j] += g * (s[j] - (j == tgt[i] ? 1.0f : 0.0f));
           }
@@ -853,12 +791,12 @@ Tensor LayerNormOp(const Tensor& x, const Tensor& gamma, const Tensor& beta,
   const int64_t d = x.dim(1);
   DELREC_CHECK_EQ(gamma.size(), d);
   DELREC_CHECK_EQ(beta.size(), d);
-  std::vector<float> normalized(n * d);
-  std::vector<float> inv_std(n);
+  SharedBuffer normalized = Pool().AcquireShared(n * d);
+  SharedBuffer inv_std = Pool().AcquireShared(n);
   const auto& xv = x.data();
   const auto& gv = gamma.data();
   const auto& bv = beta.data();
-  std::vector<float> out(n * d);
+  std::vector<float> out = Pool().Acquire(n * d);
   for (int64_t i = 0; i < n; ++i) {
     const float* row = xv.data() + i * d;
     float mean = 0.0f;
@@ -871,10 +809,10 @@ Tensor LayerNormOp(const Tensor& x, const Tensor& gamma, const Tensor& beta,
     }
     var /= static_cast<float>(d);
     const float istd = 1.0f / std::sqrt(var + epsilon);
-    inv_std[i] = istd;
+    (*inv_std)[i] = istd;
     for (int64_t j = 0; j < d; ++j) {
       const float nrm = (row[j] - mean) * istd;
-      normalized[i * d + j] = nrm;
+      (*normalized)[i * d + j] = nrm;
       out[i * d + j] = nrm * gv[j] + bv[j];
     }
   }
@@ -890,7 +828,7 @@ Tensor LayerNormOp(const Tensor& x, const Tensor& gamma, const Tensor& beta,
           auto& gg = g_copy.grad();
           for (int64_t i = 0; i < n; ++i) {
             for (int64_t j = 0; j < d; ++j) {
-              gg[j] += self.grad[i * d + j] * normalized[i * d + j];
+              gg[j] += self.grad[i * d + j] * (*normalized)[i * d + j];
             }
           }
         }
@@ -904,7 +842,7 @@ Tensor LayerNormOp(const Tensor& x, const Tensor& gamma, const Tensor& beta,
           auto& gx = x_copy.grad();
           for (int64_t i = 0; i < n; ++i) {
             const float* g = self.grad.data() + i * d;
-            const float* nrm = normalized.data() + i * d;
+            const float* nrm = normalized->data() + i * d;
             // dL/dnorm_j = g_j * gamma_j; standard layernorm backward.
             float sum_dn = 0.0f;
             float sum_dn_nrm = 0.0f;
@@ -916,8 +854,8 @@ Tensor LayerNormOp(const Tensor& x, const Tensor& gamma, const Tensor& beta,
             const float inv_d = 1.0f / static_cast<float>(d);
             for (int64_t j = 0; j < d; ++j) {
               const float dn = g[j] * gv[j];
-              gx[i * d + j] += inv_std[i] * (dn - inv_d * sum_dn -
-                                             inv_d * nrm[j] * sum_dn_nrm);
+              gx[i * d + j] += (*inv_std)[i] * (dn - inv_d * sum_dn -
+                                                inv_d * nrm[j] * sum_dn_nrm);
             }
           }
         }
@@ -935,7 +873,7 @@ Tensor HorizontalConv(const Tensor& embeddings, const Tensor& filters,
   DELREC_CHECK_EQ(bias.size(), f);
   DELREC_CHECK_GE(t, height);
   const int64_t windows = t - height + 1;
-  std::vector<float> out(windows * f, 0.0f);
+  std::vector<float> out = Pool().Acquire(windows * f);
   const auto& ev = embeddings.data();
   const auto& fv = filters.data();
   const auto& bv = bias.data();

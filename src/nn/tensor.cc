@@ -3,6 +3,7 @@
 #include <sstream>
 #include <unordered_set>
 
+#include "util/buffer_pool.h"
 #include "util/check.h"
 
 namespace delrec::nn {
@@ -26,14 +27,24 @@ int64_t NumElements(const std::vector<int64_t>& shape) {
   return n;
 }
 
+TensorImpl::~TensorImpl() {
+  util::BufferPool& pool = util::BufferPool::Global();
+  pool.Release(std::move(data));
+  pool.Release(std::move(grad));
+}
+
 std::vector<float>& TensorImpl::EnsureGrad() {
-  if (grad.size() != data.size()) grad.assign(data.size(), 0.0f);
+  if (grad.size() != data.size()) {
+    util::BufferPool& pool = util::BufferPool::Global();
+    pool.Release(std::move(grad));
+    grad = pool.AcquireZeroed(data.size());
+  }
   return grad;
 }
 
 Tensor Tensor::Zeros(std::vector<int64_t> shape, bool requires_grad) {
   auto impl = std::make_shared<TensorImpl>();
-  impl->data.assign(NumElements(shape), 0.0f);
+  impl->data = util::BufferPool::Global().AcquireZeroed(NumElements(shape));
   impl->shape = std::move(shape);
   impl->requires_grad = requires_grad;
   return FromImpl(std::move(impl));
@@ -197,7 +208,8 @@ void Tensor::ZeroGrad() {
 
 Tensor Tensor::DetachCopy() const {
   DELREC_CHECK(defined());
-  return FromData(impl_->shape, impl_->data, /*requires_grad=*/false);
+  return FromData(impl_->shape, util::BufferPool::Global().AcquireCopy(impl_->data),
+                  /*requires_grad=*/false);
 }
 
 std::string Tensor::ShapeString() const {

@@ -21,6 +21,13 @@ class Tensor;
 /// runs the tape in reverse. Ops short-circuit tape construction when no
 /// parent requires gradients, so inference builds no graph at all.
 struct TensorImpl {
+  TensorImpl() = default;
+  TensorImpl(const TensorImpl&) = delete;
+  TensorImpl& operator=(const TensorImpl&) = delete;
+  /// Returns data and grad to util::BufferPool::Global(), so tape-scoped
+  /// activations recycle their buffers as soon as the tape releases them.
+  ~TensorImpl();
+
   std::vector<int64_t> shape;
   std::vector<float> data;
   std::vector<float> grad;  // Lazily allocated to data.size().

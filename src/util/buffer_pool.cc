@@ -1,0 +1,201 @@
+#include "util/buffer_pool.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+#include <string_view>
+
+namespace delrec::util {
+
+namespace {
+
+bool PoolEnabledFromEnv() {
+  const char* env = std::getenv("DELREC_BUFFER_POOL");
+  return env == nullptr || std::string_view(env) != "0";
+}
+
+}  // namespace
+
+BufferPool& BufferPool::Global() {
+  // Leaky singleton: TensorImpl destructors may run during static teardown
+  // and must still find a live pool.
+  static BufferPool* pool = [] {
+    auto* p = new BufferPool();
+    p->SetEnabled(PoolEnabledFromEnv());
+    return p;
+  }();
+  return *pool;
+}
+
+BufferPool::BufferPool() = default;
+
+int BufferPool::CeilBucket(size_t n) {
+  size_t capacity = kMinBucketFloats;
+  int bucket = 6;  // log2(kMinBucketFloats).
+  while (capacity < n && bucket < kNumBuckets - 1) {
+    capacity <<= 1;
+    ++bucket;
+  }
+  return bucket;
+}
+
+int BufferPool::FloorBucket(size_t capacity) {
+  if (capacity < kMinBucketFloats) return -1;
+  int bucket = 6;
+  size_t threshold = kMinBucketFloats;
+  while ((threshold << 1) <= capacity && bucket < kNumBuckets - 1) {
+    threshold <<= 1;
+    ++bucket;
+  }
+  return bucket;
+}
+
+std::vector<float> BufferPool::Acquire(size_t n) {
+  if (n == 0) return {};
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (enabled_) {
+      const int bucket = CeilBucket(n);
+      // The ceil bucket guarantees fit; peeking one bucket up recycles
+      // slightly-larger buffers instead of allocating.
+      for (int b = bucket; b < std::min(bucket + 2, kNumBuckets); ++b) {
+        if (!buckets_[b].empty()) {
+          std::vector<float> buffer = std::move(buckets_[b].back());
+          buckets_[b].pop_back();
+          cached_bytes_ -= buffer.capacity() * sizeof(float);
+          ++stats_.pool_hits;
+          buffer.resize(n);
+          return buffer;
+        }
+      }
+    }
+    ++stats_.fresh_allocations;
+  }
+  std::vector<float> buffer;
+  // Reserve the full bucket capacity so the buffer re-enters the same
+  // bucket on release whatever size it was used at.
+  buffer.reserve(size_t{1} << CeilBucket(n));
+  buffer.resize(n);
+  return buffer;
+}
+
+std::vector<float> BufferPool::AcquireZeroed(size_t n) {
+  std::vector<float> buffer = Acquire(n);
+  std::fill(buffer.begin(), buffer.end(), 0.0f);
+  return buffer;
+}
+
+std::vector<float> BufferPool::AcquireCopy(const std::vector<float>& src) {
+  std::vector<float> buffer = Acquire(src.size());
+  std::copy(src.begin(), src.end(), buffer.begin());
+  return buffer;
+}
+
+std::shared_ptr<std::vector<float>> BufferPool::AcquireShared(size_t n) {
+  auto* box = new std::vector<float>(Acquire(n));
+  return std::shared_ptr<std::vector<float>>(
+      box, [this](std::vector<float>* b) {
+        Release(std::move(*b));
+        delete b;
+      });
+}
+
+std::shared_ptr<std::vector<float>> BufferPool::AcquireSharedCopy(
+    const std::vector<float>& src) {
+  auto shared = AcquireShared(src.size());
+  std::copy(src.begin(), src.end(), shared->begin());
+  return shared;
+}
+
+void BufferPool::Release(std::vector<float>&& buffer) {
+  if (buffer.capacity() == 0) return;
+  const size_t bytes = buffer.capacity() * sizeof(float);
+  std::lock_guard<std::mutex> lock(mutex_);
+  const int bucket = FloorBucket(buffer.capacity());
+  if (!enabled_ || bucket < 0 || cached_bytes_ + bytes > max_cached_bytes_) {
+    ++stats_.releases_dropped;
+    // buffer frees on scope exit.
+    std::vector<float> dropped = std::move(buffer);
+    return;
+  }
+  cached_bytes_ += bytes;
+  ++stats_.releases_cached;
+  buckets_[bucket].push_back(std::move(buffer));
+}
+
+BufferPool::Stats BufferPool::GetStats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Stats stats = stats_;
+  stats.cached_bytes = cached_bytes_;
+  stats.cached_buffers = 0;
+  for (const auto& bucket : buckets_) stats.cached_buffers += bucket.size();
+  return stats;
+}
+
+void BufferPool::ResetStatCounters() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  stats_.pool_hits = 0;
+  stats_.fresh_allocations = 0;
+  stats_.releases_cached = 0;
+  stats_.releases_dropped = 0;
+}
+
+void BufferPool::Trim() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& bucket : buckets_) {
+    bucket.clear();
+    bucket.shrink_to_fit();
+  }
+  cached_bytes_ = 0;
+}
+
+void BufferPool::SetEnabled(bool enabled) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  enabled_ = enabled;
+}
+
+bool BufferPool::enabled() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return enabled_;
+}
+
+void BufferPool::SetMaxCachedBytes(size_t max_bytes) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  max_cached_bytes_ = max_bytes;
+}
+
+ScopedArena::ScopedArena(BufferPool* pool) : pool_(pool) {}
+
+ScopedArena::~ScopedArena() {
+  for (auto& chunk : chunks_) pool_->Release(std::move(chunk));
+}
+
+float* ScopedArena::Alloc(size_t n) {
+  if (n == 0) n = 1;
+  while (current_chunk_ < chunks_.size()) {
+    std::vector<float>& chunk = chunks_[current_chunk_];
+    if (offset_ + n <= chunk.size()) {
+      float* out = chunk.data() + offset_;
+      offset_ += n;
+      allocated_floats_ += n;
+      return out;
+    }
+    ++current_chunk_;
+    offset_ = 0;
+  }
+  // Grow geometrically so long-lived arenas settle into few chunks.
+  const size_t last = chunks_.empty() ? 0 : chunks_.back().size();
+  chunks_.push_back(pool_->Acquire(std::max({n, 2 * last, size_t{1024}})));
+  current_chunk_ = chunks_.size() - 1;
+  offset_ = n;
+  allocated_floats_ += n;
+  return chunks_.back().data();
+}
+
+void ScopedArena::Reset() {
+  current_chunk_ = 0;
+  offset_ = 0;
+  allocated_floats_ = 0;
+}
+
+}  // namespace delrec::util

@@ -1,0 +1,134 @@
+#ifndef DELREC_UTIL_BUFFER_POOL_H_
+#define DELREC_UTIL_BUFFER_POOL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace delrec::util {
+
+/// Size-bucketed recycling pool for float buffers (DESIGN.md §10).
+///
+/// Every tensor in the tape allocates a data buffer, most ops allocate a
+/// gradient buffer, and GEMMs allocate pack panels — at steady state a
+/// training epoch churns through the same buffer sizes over and over. The
+/// pool keeps released `std::vector<float>`s on per-size free lists and
+/// hands them back by move, so a warm epoch performs near-zero heap
+/// allocations on the tensor hot path.
+///
+/// Ownership rules:
+///  * `Acquire*` transfers ownership to the caller; returning the buffer via
+///    `Release` is optional (a dropped buffer just frees normally).
+///  * `TensorImpl` releases its data/grad buffers from its destructor, which
+///    is how tape-scoped reuse happens without any explicit scoping.
+///  * `AcquireShared` wraps the buffer in a shared_ptr whose deleter releases
+///    back to the pool — used for saved activations / dropout masks captured
+///    inside backward closures (std::function requires copyable captures).
+///
+/// Buckets are powers of two, with capacities rounded up to at least
+/// `kMinBucketFloats` so even scalar tensors recycle. A released buffer with
+/// capacity c lands in bucket floor(log2(c)); an acquire of n elements takes
+/// from bucket ceil(log2(max(n, kMinBucketFloats))), so every pooled buffer
+/// is guaranteed to fit its request without reallocating.
+///
+/// Thread-safe: a single mutex guards the free lists. The release→acquire
+/// handoff across threads is sequenced by that mutex, so reading recycled
+/// (unspecified) contents after a full overwrite is race-free under TSan.
+class BufferPool {
+ public:
+  /// Smallest pooled capacity (floats). Requests below this are rounded up.
+  static constexpr size_t kMinBucketFloats = 64;
+
+  /// Process-wide pool (never destroyed, so TensorImpl destructors running
+  /// during static teardown stay safe). DELREC_BUFFER_POOL=0 in the
+  /// environment disables recycling (every acquire allocates fresh).
+  static BufferPool& Global();
+
+  BufferPool();
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  /// Buffer of size n with unspecified contents — callers must fully
+  /// overwrite before reading.
+  std::vector<float> Acquire(size_t n);
+  /// Buffer of size n, zero-filled.
+  std::vector<float> AcquireZeroed(size_t n);
+  /// Buffer holding a copy of src.
+  std::vector<float> AcquireCopy(const std::vector<float>& src);
+
+  /// Shared-ownership variants: the deleter returns the buffer to this pool.
+  std::shared_ptr<std::vector<float>> AcquireShared(size_t n);
+  std::shared_ptr<std::vector<float>> AcquireSharedCopy(
+      const std::vector<float>& src);
+
+  /// Returns a buffer to the free lists (no-op for empty buffers; frees
+  /// instead of caching when disabled or over the cache cap).
+  void Release(std::vector<float>&& buffer);
+
+  struct Stats {
+    uint64_t pool_hits = 0;          // Acquires served from a free list.
+    uint64_t fresh_allocations = 0;  // Acquires that had to heap-allocate.
+    uint64_t releases_cached = 0;
+    uint64_t releases_dropped = 0;   // Freed (disabled / over cap / empty).
+    size_t cached_buffers = 0;
+    size_t cached_bytes = 0;
+  };
+  Stats GetStats() const;
+  /// Zeroes the monotonic counters (cached_buffers/bytes are live values).
+  void ResetStatCounters();
+
+  /// Frees every cached buffer.
+  void Trim();
+
+  void SetEnabled(bool enabled);
+  bool enabled() const;
+  /// Cache cap in bytes; releases beyond it are freed (default 512 MiB).
+  void SetMaxCachedBytes(size_t max_bytes);
+
+ private:
+  static constexpr int kNumBuckets = 40;
+
+  static int CeilBucket(size_t n);
+  static int FloorBucket(size_t capacity);
+
+  mutable std::mutex mutex_;
+  std::vector<std::vector<float>> buckets_[kNumBuckets];
+  bool enabled_ = true;
+  size_t max_cached_bytes_ = size_t{512} << 20;
+  size_t cached_bytes_ = 0;
+  Stats stats_;
+};
+
+/// Bump allocator over pooled chunks for call-scoped scratch (GEMM pack
+/// panels, temporary workspaces). Alloc() hands out uninitialized float
+/// spans; Reset() rewinds to empty while keeping the chunks for reuse; the
+/// destructor releases every chunk back to the pool. Not thread-safe — one
+/// arena per thread/scope.
+class ScopedArena {
+ public:
+  explicit ScopedArena(BufferPool* pool = &BufferPool::Global());
+  ~ScopedArena();
+  ScopedArena(const ScopedArena&) = delete;
+  ScopedArena& operator=(const ScopedArena&) = delete;
+
+  /// n floats of uninitialized scratch, valid until Reset() or destruction.
+  float* Alloc(size_t n);
+  /// Rewinds all allocations; retained chunks are reused by later Alloc()s.
+  void Reset();
+
+  size_t allocated_floats() const { return allocated_floats_; }
+  size_t chunk_count() const { return chunks_.size(); }
+
+ private:
+  BufferPool* pool_;
+  std::vector<std::vector<float>> chunks_;
+  size_t current_chunk_ = 0;  // Chunk serving the next Alloc.
+  size_t offset_ = 0;         // Floats used in the current chunk.
+  size_t allocated_floats_ = 0;
+};
+
+}  // namespace delrec::util
+
+#endif  // DELREC_UTIL_BUFFER_POOL_H_

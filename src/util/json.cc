@@ -1,0 +1,372 @@
+#include "util/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <string_view>
+
+#include "util/check.h"
+
+namespace delrec::util {
+
+Json Json::Bool(bool value) {
+  Json j;
+  j.type_ = Type::kBool;
+  j.bool_ = value;
+  return j;
+}
+
+Json Json::Number(double value) {
+  Json j;
+  j.type_ = Type::kNumber;
+  j.number_ = value;
+  return j;
+}
+
+Json Json::Str(std::string value) {
+  Json j;
+  j.type_ = Type::kString;
+  j.string_ = std::move(value);
+  return j;
+}
+
+Json Json::Array() {
+  Json j;
+  j.type_ = Type::kArray;
+  return j;
+}
+
+Json Json::Object() {
+  Json j;
+  j.type_ = Type::kObject;
+  return j;
+}
+
+bool Json::bool_value() const {
+  DELREC_CHECK(type_ == Type::kBool);
+  return bool_;
+}
+
+double Json::number() const {
+  DELREC_CHECK(type_ == Type::kNumber);
+  return number_;
+}
+
+const std::string& Json::str() const {
+  DELREC_CHECK(type_ == Type::kString);
+  return string_;
+}
+
+void Json::Append(Json value) {
+  DELREC_CHECK(type_ == Type::kArray);
+  array_.push_back(std::move(value));
+}
+
+size_t Json::size() const {
+  if (type_ == Type::kArray) return array_.size();
+  if (type_ == Type::kObject) return object_.size();
+  return 0;
+}
+
+const Json& Json::at(size_t index) const {
+  DELREC_CHECK(type_ == Type::kArray);
+  DELREC_CHECK_LT(index, array_.size());
+  return array_[index];
+}
+
+void Json::Set(const std::string& key, Json value) {
+  DELREC_CHECK(type_ == Type::kObject);
+  for (auto& [k, v] : object_) {
+    if (k == key) {
+      v = std::move(value);
+      return;
+    }
+  }
+  object_.emplace_back(key, std::move(value));
+}
+
+const Json* Json::Find(const std::string& key) const {
+  if (type_ != Type::kObject) return nullptr;
+  for (const auto& [k, v] : object_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+namespace {
+
+void AppendEscaped(std::string& out, const std::string& s) {
+  out.push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x", c);
+          out += buffer;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+void AppendNumber(std::string& out, double value) {
+  if (!std::isfinite(value)) {
+    // JSON has no inf/nan; record null (compare treats it as missing).
+    out += "null";
+    return;
+  }
+  if (value == static_cast<int64_t>(value) && std::fabs(value) < 1e15) {
+    out += std::to_string(static_cast<int64_t>(value));
+    return;
+  }
+  char buffer[48];
+  std::snprintf(buffer, sizeof(buffer), "%.9g", value);
+  out += buffer;
+}
+
+void Indent(std::string& out, int indent) {
+  out.append(static_cast<size_t>(indent) * 2, ' ');
+}
+
+}  // namespace
+
+void Json::DumpTo(std::string& out, int indent) const {
+  switch (type_) {
+    case Type::kNull: out += "null"; return;
+    case Type::kBool: out += bool_ ? "true" : "false"; return;
+    case Type::kNumber: AppendNumber(out, number_); return;
+    case Type::kString: AppendEscaped(out, string_); return;
+    case Type::kArray: {
+      if (array_.empty()) {
+        out += "[]";
+        return;
+      }
+      out += "[\n";
+      for (size_t i = 0; i < array_.size(); ++i) {
+        Indent(out, indent + 1);
+        array_[i].DumpTo(out, indent + 1);
+        if (i + 1 < array_.size()) out += ",";
+        out += "\n";
+      }
+      Indent(out, indent);
+      out += "]";
+      return;
+    }
+    case Type::kObject: {
+      if (object_.empty()) {
+        out += "{}";
+        return;
+      }
+      out += "{\n";
+      for (size_t i = 0; i < object_.size(); ++i) {
+        Indent(out, indent + 1);
+        AppendEscaped(out, object_[i].first);
+        out += ": ";
+        object_[i].second.DumpTo(out, indent + 1);
+        if (i + 1 < object_.size()) out += ",";
+        out += "\n";
+      }
+      Indent(out, indent);
+      out += "}";
+      return;
+    }
+  }
+}
+
+std::string Json::Dump() const {
+  std::string out;
+  DumpTo(out, 0);
+  out += "\n";
+  return out;
+}
+
+namespace {
+
+/// Recursive-descent parser over the emitted JSON subset (plus numbers in
+/// scientific notation, nested containers, escaped strings).
+class Parser {
+ public:
+  Parser(const std::string& text) : text_(text) {}
+
+  Status Parse(Json* out) {
+    Status status = ParseValue(out);
+    if (!status.ok()) return status;
+    SkipWhitespace();
+    if (pos_ != text_.size()) return Error("trailing content");
+    return Status::Ok();
+  }
+
+ private:
+  Status Error(const std::string& what) const {
+    return Status::InvalidArgument("JSON parse error at byte " +
+                                   std::to_string(pos_) + ": " + what);
+  }
+
+  void SkipWhitespace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    SkipWhitespace();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool ConsumeLiteral(const char* literal) {
+    const size_t len = std::string_view(literal).size();
+    if (text_.compare(pos_, len, literal) == 0) {
+      pos_ += len;
+      return true;
+    }
+    return false;
+  }
+
+  Status ParseString(std::string* out) {
+    if (!Consume('"')) return Error("expected string");
+    out->clear();
+    while (pos_ < text_.size()) {
+      char c = text_[pos_++];
+      if (c == '"') return Status::Ok();
+      if (c == '\\') {
+        if (pos_ >= text_.size()) break;
+        char esc = text_[pos_++];
+        switch (esc) {
+          case '"': out->push_back('"'); break;
+          case '\\': out->push_back('\\'); break;
+          case '/': out->push_back('/'); break;
+          case 'n': out->push_back('\n'); break;
+          case 't': out->push_back('\t'); break;
+          case 'r': out->push_back('\r'); break;
+          case 'b': out->push_back('\b'); break;
+          case 'f': out->push_back('\f'); break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) return Error("bad \\u escape");
+            // Non-ASCII escapes are preserved as '?' — the bench schema
+            // never emits them.
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              char h = text_[pos_++];
+              code <<= 4;
+              if (h >= '0' && h <= '9') code += h - '0';
+              else if (h >= 'a' && h <= 'f') code += h - 'a' + 10;
+              else if (h >= 'A' && h <= 'F') code += h - 'A' + 10;
+              else return Error("bad \\u escape");
+            }
+            out->push_back(code < 0x80 ? static_cast<char>(code) : '?');
+            break;
+          }
+          default: return Error("unknown escape");
+        }
+      } else {
+        out->push_back(c);
+      }
+    }
+    return Error("unterminated string");
+  }
+
+  Status ParseValue(Json* out) {
+    SkipWhitespace();
+    if (pos_ >= text_.size()) return Error("unexpected end of input");
+    const char c = text_[pos_];
+    if (c == '{') return ParseObject(out);
+    if (c == '[') return ParseArray(out);
+    if (c == '"') {
+      std::string s;
+      Status status = ParseString(&s);
+      if (!status.ok()) return status;
+      *out = Json::Str(std::move(s));
+      return Status::Ok();
+    }
+    if (ConsumeLiteral("true")) {
+      *out = Json::Bool(true);
+      return Status::Ok();
+    }
+    if (ConsumeLiteral("false")) {
+      *out = Json::Bool(false);
+      return Status::Ok();
+    }
+    if (ConsumeLiteral("null")) {
+      *out = Json::Null();
+      return Status::Ok();
+    }
+    return ParseNumber(out);
+  }
+
+  Status ParseNumber(Json* out) {
+    const size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '-' || text_[pos_] == '+' || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+    }
+    if (pos_ == start) return Error("expected value");
+    const std::string token = text_.substr(start, pos_ - start);
+    char* end = nullptr;
+    const double value = std::strtod(token.c_str(), &end);
+    if (end == nullptr || *end != '\0') return Error("bad number " + token);
+    *out = Json::Number(value);
+    return Status::Ok();
+  }
+
+  Status ParseArray(Json* out) {
+    if (!Consume('[')) return Error("expected [");
+    *out = Json::Array();
+    if (Consume(']')) return Status::Ok();
+    while (true) {
+      Json element;
+      Status status = ParseValue(&element);
+      if (!status.ok()) return status;
+      out->Append(std::move(element));
+      if (Consume(',')) continue;
+      if (Consume(']')) return Status::Ok();
+      return Error("expected , or ]");
+    }
+  }
+
+  Status ParseObject(Json* out) {
+    if (!Consume('{')) return Error("expected {");
+    *out = Json::Object();
+    if (Consume('}')) return Status::Ok();
+    while (true) {
+      SkipWhitespace();
+      std::string key;
+      Status status = ParseString(&key);
+      if (!status.ok()) return status;
+      if (!Consume(':')) return Error("expected :");
+      Json value;
+      status = ParseValue(&value);
+      if (!status.ok()) return status;
+      out->Set(key, std::move(value));
+      if (Consume(',')) continue;
+      if (Consume('}')) return Status::Ok();
+      return Error("expected , or }");
+    }
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Status Json::Parse(const std::string& text, Json* out) {
+  return Parser(text).Parse(out);
+}
+
+}  // namespace delrec::util

@@ -1,0 +1,71 @@
+#ifndef DELREC_UTIL_JSON_H_
+#define DELREC_UTIL_JSON_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/status.h"
+
+namespace delrec::util {
+
+/// Minimal JSON document model — just enough for the machine-readable bench
+/// records (BENCH_*.json) and their baseline comparison. Objects preserve
+/// insertion order so emitted files diff cleanly across runs. No external
+/// dependencies; numbers are doubles; strings support the standard escapes.
+class Json {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Json() : type_(Type::kNull) {}
+
+  static Json Null() { return Json(); }
+  static Json Bool(bool value);
+  static Json Number(double value);
+  static Json Str(std::string value);
+  static Json Array();
+  static Json Object();
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_object() const { return type_ == Type::kObject; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+
+  bool bool_value() const;
+  double number() const;
+  const std::string& str() const;
+
+  // -- Array ------------------------------------------------------------------
+  void Append(Json value);
+  size_t size() const;
+  const Json& at(size_t index) const;
+
+  // -- Object (insertion-ordered) ---------------------------------------------
+  void Set(const std::string& key, Json value);
+  /// Null when absent.
+  const Json* Find(const std::string& key) const;
+
+  /// Pretty-prints with 2-space indentation and a trailing newline.
+  std::string Dump() const;
+
+  /// Parses `text`; on failure returns InvalidArgument with a position.
+  static Status Parse(const std::string& text, Json* out);
+
+ private:
+  void DumpTo(std::string& out, int indent) const;
+
+  Type type_;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<Json> array_;
+  std::vector<std::pair<std::string, Json>> object_;
+};
+
+}  // namespace delrec::util
+
+#endif  // DELREC_UTIL_JSON_H_

@@ -1,0 +1,187 @@
+// util::BufferPool and util::ScopedArena unit tests, plus the allocation-
+// count regression test: a warm training step must be served entirely from
+// the pool (zero fresh heap allocations on the tensor hot path).
+#include "util/buffer_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "nn/ops.h"
+#include "nn/tensor.h"
+#include "util/rng.h"
+
+namespace delrec::util {
+namespace {
+
+TEST(BufferPoolTest, BucketReuseRoundTripsTheSameBuffer) {
+  BufferPool pool;
+  std::vector<float> a = pool.Acquire(100);
+  EXPECT_GE(a.capacity(), 128u);  // Rounded up to the bucket capacity.
+  const float* ptr = a.data();
+  pool.Release(std::move(a));
+  // Any request mapping to the same bucket reuses the cached buffer.
+  std::vector<float> b = pool.Acquire(120);
+  EXPECT_EQ(b.data(), ptr);
+  const BufferPool::Stats stats = pool.GetStats();
+  EXPECT_EQ(stats.fresh_allocations, 1u);
+  EXPECT_EQ(stats.pool_hits, 1u);
+  EXPECT_EQ(stats.releases_cached, 1u);
+}
+
+TEST(BufferPoolTest, TinyRequestsShareTheMinimumBucket) {
+  BufferPool pool;
+  std::vector<float> a = pool.Acquire(1);
+  EXPECT_GE(a.capacity(), BufferPool::kMinBucketFloats);
+  const float* ptr = a.data();
+  pool.Release(std::move(a));
+  std::vector<float> b = pool.Acquire(BufferPool::kMinBucketFloats);
+  EXPECT_EQ(b.data(), ptr);
+}
+
+TEST(BufferPoolTest, AcquirePeeksOneBucketUp) {
+  BufferPool pool;
+  std::vector<float> big = pool.Acquire(300);  // 512-float bucket.
+  const float* ptr = big.data();
+  pool.Release(std::move(big));
+  // A 256-bucket request finds the cached 512 buffer instead of allocating.
+  std::vector<float> small = pool.Acquire(200);
+  EXPECT_EQ(small.data(), ptr);
+  EXPECT_EQ(pool.GetStats().pool_hits, 1u);
+}
+
+TEST(BufferPoolTest, CrossThreadReleaseIsVisibleToAcquire) {
+  BufferPool pool;
+  std::vector<float> a = pool.Acquire(1000);
+  const float* ptr = a.data();
+  std::thread worker([&pool, &a] { pool.Release(std::move(a)); });
+  worker.join();
+  std::vector<float> b = pool.Acquire(1000);
+  EXPECT_EQ(b.data(), ptr);
+  EXPECT_EQ(pool.GetStats().pool_hits, 1u);
+}
+
+TEST(BufferPoolTest, DisabledPoolNeverCaches) {
+  BufferPool pool;
+  pool.SetEnabled(false);
+  pool.Release(pool.Acquire(100));
+  std::vector<float> b = pool.Acquire(100);
+  const BufferPool::Stats stats = pool.GetStats();
+  EXPECT_EQ(stats.pool_hits, 0u);
+  EXPECT_EQ(stats.fresh_allocations, 2u);
+  EXPECT_EQ(stats.releases_dropped, 1u);
+  EXPECT_EQ(stats.cached_buffers, 0u);
+}
+
+TEST(BufferPoolTest, CacheCapDropsOversizedReleases) {
+  BufferPool pool;
+  pool.SetMaxCachedBytes(1024);  // 256 floats.
+  pool.Release(pool.Acquire(1000));
+  const BufferPool::Stats stats = pool.GetStats();
+  EXPECT_EQ(stats.releases_dropped, 1u);
+  EXPECT_EQ(stats.cached_bytes, 0u);
+}
+
+TEST(BufferPoolTest, SharedBufferDeleterReturnsToPool) {
+  BufferPool pool;
+  const float* ptr = nullptr;
+  {
+    std::shared_ptr<std::vector<float>> shared = pool.AcquireShared(256);
+    ptr = shared->data();
+    std::shared_ptr<std::vector<float>> copy = shared;  // Refcounted.
+  }
+  std::vector<float> reused = pool.Acquire(256);
+  EXPECT_EQ(reused.data(), ptr);
+  EXPECT_EQ(pool.GetStats().pool_hits, 1u);
+}
+
+TEST(BufferPoolTest, AcquireZeroedAndCopyInitialize) {
+  BufferPool pool;
+  std::vector<float> dirty = pool.Acquire(64);
+  for (float& v : dirty) v = 7.0f;
+  pool.Release(std::move(dirty));
+  std::vector<float> zeroed = pool.AcquireZeroed(64);
+  for (float v : zeroed) ASSERT_EQ(v, 0.0f);
+  pool.Release(std::move(zeroed));
+  const std::vector<float> src = {1.0f, 2.0f, 3.0f};
+  std::vector<float> copy = pool.AcquireCopy(src);
+  EXPECT_EQ(copy.size(), src.size());
+  EXPECT_EQ(copy[2], 3.0f);
+}
+
+TEST(BufferPoolTest, TrimFreesEverything) {
+  BufferPool pool;
+  pool.Release(pool.Acquire(100));
+  pool.Release(pool.Acquire(5000));
+  EXPECT_GT(pool.GetStats().cached_bytes, 0u);
+  pool.Trim();
+  const BufferPool::Stats stats = pool.GetStats();
+  EXPECT_EQ(stats.cached_buffers, 0u);
+  EXPECT_EQ(stats.cached_bytes, 0u);
+}
+
+TEST(ScopedArenaTest, ResetRewindsIntoRetainedChunks) {
+  BufferPool pool;
+  const float* first = nullptr;
+  {
+    ScopedArena arena(&pool);
+    first = arena.Alloc(100);
+    float* second = arena.Alloc(3000);  // Forces a second chunk.
+    EXPECT_NE(first, second);
+    EXPECT_EQ(arena.allocated_floats(), 3100u);
+    EXPECT_GE(arena.chunk_count(), 2u);
+    arena.Reset();
+    EXPECT_EQ(arena.allocated_floats(), 0u);
+    // Post-reset allocations reuse the first chunk's memory.
+    EXPECT_EQ(arena.Alloc(50), first);
+    const size_t chunks = arena.chunk_count();
+    arena.Alloc(500);
+    EXPECT_EQ(arena.chunk_count(), chunks);  // Still fits retained chunks.
+  }
+  // Destruction released every chunk back to the pool.
+  const BufferPool::Stats stats = pool.GetStats();
+  EXPECT_EQ(stats.releases_cached, stats.fresh_allocations);
+  EXPECT_GT(stats.cached_bytes, 0u);
+}
+
+/// One SGD step of a small MLP through the autodiff tape.
+float TrainStep(nn::Tensor& w1, nn::Tensor& w2, const nn::Tensor& x,
+                const std::vector<int64_t>& targets) {
+  nn::Tensor hidden = nn::Relu(nn::MatMul(x, w1));
+  nn::Tensor logits = nn::MatMul(hidden, w2);
+  nn::Tensor loss = nn::CrossEntropyWithLogits(logits, targets);
+  loss.Backward();
+  for (nn::Tensor* w : {&w1, &w2}) {
+    std::vector<float>& data = w->data();
+    const std::vector<float>& grad = w->grad();
+    for (size_t i = 0; i < data.size(); ++i) data[i] -= 0.01f * grad[i];
+    w->ZeroGrad();
+  }
+  return loss.item();
+}
+
+TEST(BufferPoolTest, WarmTrainingStepMakesZeroFreshAllocations) {
+  BufferPool& pool = BufferPool::Global();
+  if (!pool.enabled()) GTEST_SKIP() << "pool disabled via DELREC_BUFFER_POOL";
+  util::Rng rng(9);
+  nn::Tensor w1 = nn::Tensor::Randn({16, 32}, rng, 0.1f, true);
+  nn::Tensor w2 = nn::Tensor::Randn({32, 4}, rng, 0.1f, true);
+  const nn::Tensor x = nn::Tensor::Randn({8, 16}, rng, 1.0f);
+  const std::vector<int64_t> targets = {0, 1, 2, 3, 0, 1, 2, 3};
+  // Two warm-up steps populate the free lists with every buffer size the
+  // step ever needs (the first step's tape frees as Backward() releases it).
+  TrainStep(w1, w2, x, targets);
+  TrainStep(w1, w2, x, targets);
+  pool.ResetStatCounters();
+  for (int step = 0; step < 5; ++step) TrainStep(w1, w2, x, targets);
+  const BufferPool::Stats stats = pool.GetStats();
+  EXPECT_EQ(stats.fresh_allocations, 0u)
+      << "warm training steps should be fully pool-served (got "
+      << stats.fresh_allocations << " fresh allocations, "
+      << stats.pool_hits << " hits)";
+  EXPECT_GT(stats.pool_hits, 0u);
+}
+
+}  // namespace
+}  // namespace delrec::util

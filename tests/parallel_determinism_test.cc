@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <sstream>
 #include <string>
@@ -15,6 +16,7 @@
 #include "data/dataset.h"
 #include "data/split.h"
 #include "eval/protocol.h"
+#include "nn/gemm.h"
 #include "nn/ops.h"
 #include "nn/tensor.h"
 #include "srmodels/factory.h"
@@ -93,6 +95,46 @@ TEST_F(ParallelDeterminismTest, MatMulVariantsBitIdenticalAcrossThreads) {
                 reference)
           << "trans_a=" << v.trans_a << " trans_b=" << v.trans_b
           << " threads=" << threads;
+    }
+  }
+}
+
+// The blocked microkernels (DESIGN.md §10) sit under the same row
+// partitioning; at every thread count they must reproduce the retained
+// serial reference kernels exactly — the §9 contract extends through the
+// blocking layer. (The exhaustive shape grid lives in gemm_kernel_test;
+// this anchors the contract inside the determinism suite.)
+TEST_F(ParallelDeterminismTest, BlockedGemmMatchesSerialReferenceKernels) {
+  using GemmFn = void (*)(const float*, const float*, float*, int64_t,
+                          int64_t, int64_t, bool);
+  struct Variant {
+    const char* name;
+    GemmFn blocked;
+    GemmFn reference;
+  };
+  const Variant kVariants[] = {{"NN", nn::GemmNN, nn::GemmNNRef},
+                               {"NT", nn::GemmNT, nn::GemmNTRef},
+                               {"TN", nn::GemmTN, nn::GemmTNRef}};
+  const int64_t m = 37, n = 29, k = 23;
+  util::Rng rng(17);
+  std::vector<float> a(m * k), b(k * n);
+  for (size_t i = 0; i < a.size(); ++i) {
+    a[i] = i % 11 == 0 ? 0.0f : rng.UniformFloat(-1.5f, 1.5f);
+  }
+  for (float& v : b) v = rng.UniformFloat(-1.5f, 1.5f);
+  for (const Variant& variant : kVariants) {
+    std::vector<float> expected(m * n, 0.5f);
+    variant.reference(a.data(), b.data(), expected.data(), m, n, k,
+                      /*accumulate=*/true);
+    for (int threads : kThreadCounts) {
+      util::ScopedParallelism parallel(threads, /*min_work_per_dispatch=*/1);
+      std::vector<float> actual(m * n, 0.5f);
+      variant.blocked(a.data(), b.data(), actual.data(), m, n, k,
+                      /*accumulate=*/true);
+      EXPECT_EQ(std::memcmp(expected.data(), actual.data(),
+                            expected.size() * sizeof(float)),
+                0)
+          << variant.name << " threads=" << threads;
     }
   }
 }
