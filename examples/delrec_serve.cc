@@ -1,0 +1,160 @@
+// Serving demo: train a small DELRec, freeze it into an immutable
+// EngineSnapshot, load the same artifact back from a checkpoint file, and
+// put a batching RecommendationEngine in front of concurrent clients.
+//
+//   ./examples/delrec_serve
+#include <algorithm>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "core/checkpoint.h"
+#include "core/delrec.h"
+#include "core/workbench.h"
+#include "data/dataset.h"
+#include "data/split.h"
+#include "serve/engine.h"
+#include "serve/snapshot.h"
+#include "srmodels/factory.h"
+#include "util/rng.h"
+#include "util/status.h"
+#include "util/timer.h"
+
+int main() {
+  using namespace delrec;
+
+  // 1. Dataset + trained system (small budgets — serving is the subject).
+  data::GeneratorConfig generator = data::MovieLens100KConfig();
+  core::Workbench workbench(generator, core::Workbench::Options());
+  auto sasrec = srmodels::MakeBackbone(srmodels::Backbone::kSasRec,
+                                       workbench.num_items(),
+                                       /*history_length=*/10, /*seed=*/5);
+  srmodels::TrainConfig sr_train =
+      srmodels::BackboneTrainConfig(srmodels::Backbone::kSasRec);
+  sr_train.epochs = 1;
+  util::Status status = sasrec->Train(workbench.splits().train, sr_train);
+  if (!status.ok()) {
+    std::fprintf(stderr, "SASRec training failed: %s\n",
+                 status.ToString().c_str());
+    return 1;
+  }
+  auto llm = workbench.MakePretrainedLlm(core::LlmSize::kBase);
+  core::DelRecConfig config;
+  config.stage1_epochs = 1;
+  config.stage1_max_examples = 48;
+  config.stage2_epochs = 1;
+  config.stage2_max_examples = 64;
+  core::DelRec delrec(&workbench.dataset().catalog, &workbench.vocab(),
+                      llm.get(), sasrec.get(), config);
+  status = delrec.Train(workbench.splits().train);
+  if (!status.ok()) {
+    std::fprintf(stderr, "DELRec training failed: %s\n",
+                 status.ToString().c_str());
+    return 1;
+  }
+
+  // 2. Freeze the trained system into an immutable inference snapshot. The
+  //    snapshot owns copies of every parameter — the trainer-side model and
+  //    LLM could keep training (or be destroyed) without affecting it.
+  serve::EngineSnapshot::Sources sources;
+  sources.catalog = &workbench.dataset().catalog;
+  sources.vocab = &workbench.vocab();
+  sources.sr_model = sasrec.get();
+  auto frozen = serve::EngineSnapshot::FromModel(delrec, *llm, sources);
+  if (!frozen.ok()) {
+    std::fprintf(stderr, "freeze failed: %s\n",
+                 frozen.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("frozen snapshot: %s\n", frozen.value()->name().c_str());
+
+  // 3. The production path: persist a checkpoint, then build the snapshot
+  //    straight from the file — no live trainer objects involved. Both
+  //    construction paths score bit-identically (tests/serve_test.cc).
+  const char* kCheckpoint = "delrec_serve_demo.ckpt";
+  status = core::SaveDelRecCheckpoint(delrec, *llm, kCheckpoint);
+  if (!status.ok()) {
+    std::fprintf(stderr, "checkpoint save failed: %s\n",
+                 status.ToString().c_str());
+    return 1;
+  }
+  auto snapshot = serve::EngineSnapshot::FromCheckpoint(
+      kCheckpoint, workbench.LlmConfigFor(core::LlmSize::kBase), config,
+      sources);
+  std::remove(kCheckpoint);
+  if (!snapshot.ok()) {
+    std::fprintf(stderr, "snapshot load failed: %s\n",
+                 snapshot.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("snapshot rebuilt from checkpoint file\n");
+
+  // 4. Serve it: a RecommendationEngine coalesces concurrent clients into
+  //    batches. Results are bit-identical to one-at-a-time scoring no
+  //    matter how requests get batched together.
+  serve::EngineOptions engine_options;
+  engine_options.max_batch_size = 16;
+  engine_options.batch_deadline_ms = 1.0;
+  serve::RecommendationEngine engine(snapshot.value().get(), engine_options);
+
+  constexpr int kClients = 4;
+  constexpr int kRequestsPerClient = 32;
+  const auto& test = workbench.splits().test;
+  util::Rng rng(99);
+  std::vector<serve::ScoreRequest> requests;
+  for (int i = 0; i < kClients * kRequestsPerClient; ++i) {
+    const data::Example& example = test[i % test.size()];
+    requests.push_back(
+        {example.history, data::SampleCandidates(workbench.num_items(),
+                                                 example.target, 15, rng)});
+  }
+
+  std::vector<std::vector<double>> latencies(kClients);
+  util::WallTimer wall;
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      for (int i = 0; i < kRequestsPerClient; ++i) {
+        const serve::ScoreRequest& request =
+            requests[c * kRequestsPerClient + i];
+        util::WallTimer latency;
+        engine.ScoreCandidates(request.history, request.candidates);
+        latencies[c].push_back(latency.ElapsedSeconds());
+      }
+    });
+  }
+  for (std::thread& client : clients) client.join();
+  const double wall_s = wall.ElapsedSeconds();
+  engine.Shutdown();
+
+  std::vector<double> all;
+  for (const auto& client : latencies) {
+    all.insert(all.end(), client.begin(), client.end());
+  }
+  std::sort(all.begin(), all.end());
+  const serve::RecommendationEngine::Stats stats = engine.GetStats();
+  std::printf("%d clients x %d requests: %.1f req/s, p50 %.2f ms, "
+              "p99 %.2f ms\n",
+              kClients, kRequestsPerClient,
+              static_cast<double>(all.size()) / wall_s,
+              all[all.size() / 2] * 1e3,
+              all[std::min(all.size() - 1, all.size() * 99 / 100)] * 1e3);
+  std::printf("dispatcher: %llu batches, mean batch %.2f, max batch %llu\n",
+              static_cast<unsigned long long>(stats.batches),
+              stats.mean_batch,
+              static_cast<unsigned long long>(stats.max_batch));
+
+  // 5. And a human-readable recommendation straight off the snapshot.
+  const auto& catalog = workbench.dataset().catalog;
+  const serve::ScoreRequest& request = requests.front();
+  std::printf("\nuser history:\n");
+  for (int64_t item : request.history) {
+    std::printf("  - %s\n", catalog.items[item].title.c_str());
+  }
+  std::printf("top-3 from the candidate pool:\n");
+  for (int64_t item :
+       snapshot.value()->Recommend(request.history, request.candidates, 3)) {
+    std::printf("  -> %s\n", catalog.items[item].title.c_str());
+  }
+  return 0;
+}

@@ -53,21 +53,16 @@ util::StatusOr<std::vector<uint64_t>> UnpackU64(
 
 void AppendModelBlobs(const DelRec& model, const llm::TinyLm& llm,
                       util::BlobFile& file) {
-  file.Put(kLlmBlob, llm.StateDump());
-  file.Put(kSoftBlob, model.soft_prompts().data());
-  const std::vector<nn::LoraLinear*>& adapters = model.adapters();
-  for (size_t i = 0; i < adapters.size(); ++i) {
-    file.Put(AdapterBlobName(i), adapters[i]->StateDump());
-    std::vector<float> mask(adapters[i]->rank());
-    for (int64_t d = 0; d < adapters[i]->rank(); ++d) {
-      mask[d] = adapters[i]->direction_active(d) ? 1.0f : 0.0f;
-    }
-    file.Put(AdapterMaskBlobName(i), std::move(mask));
+  DelRecBlobs blobs = ExtractDelRecBlobs(model, llm);
+  file.Put(kLlmBlob, std::move(blobs.llm_state));
+  file.Put(kSoftBlob, std::move(blobs.soft_prompts));
+  for (size_t i = 0; i < blobs.adapter_states.size(); ++i) {
+    file.Put(AdapterBlobName(i), std::move(blobs.adapter_states[i]));
+    file.Put(AdapterMaskBlobName(i), std::move(blobs.adapter_masks[i]));
   }
-  std::vector<nn::Tensor> embedding = llm.EmbeddingAdapterParameters();
-  if (embedding.size() == 2) {
-    file.Put(kEmbeddingABlob, embedding[0].data());
-    file.Put(kEmbeddingBBlob, embedding[1].data());
+  if (!blobs.embedding_lora_a.empty()) {
+    file.Put(kEmbeddingABlob, std::move(blobs.embedding_lora_a));
+    file.Put(kEmbeddingBBlob, std::move(blobs.embedding_lora_b));
   }
 }
 
@@ -132,6 +127,47 @@ util::Status WriteWithRetry(const util::BlobFile& file,
 }
 
 }  // namespace
+
+DelRecBlobs ExtractDelRecBlobs(const DelRec& model, const llm::TinyLm& llm) {
+  DelRecBlobs blobs;
+  blobs.llm_state = llm.StateDump();
+  blobs.soft_prompts = model.soft_prompts().data();
+  for (const nn::LoraLinear* adapter : model.adapters()) {
+    blobs.adapter_states.push_back(adapter->StateDump());
+    std::vector<float> mask(adapter->rank());
+    for (int64_t d = 0; d < adapter->rank(); ++d) {
+      mask[d] = adapter->direction_active(d) ? 1.0f : 0.0f;
+    }
+    blobs.adapter_masks.push_back(std::move(mask));
+  }
+  std::vector<nn::Tensor> embedding = llm.EmbeddingAdapterParameters();
+  if (embedding.size() == 2) {
+    blobs.embedding_lora_a = embedding[0].data();
+    blobs.embedding_lora_b = embedding[1].data();
+  }
+  return blobs;
+}
+
+util::StatusOr<DelRecBlobs> ReadDelRecBlobs(const std::string& path) {
+  util::BlobFile file;
+  DELREC_ASSIGN_OR_RETURN(file, util::BlobFile::ReadFrom(path));
+  DelRecBlobs blobs;
+  DELREC_ASSIGN_OR_RETURN(blobs.llm_state, file.Get(kLlmBlob));
+  DELREC_ASSIGN_OR_RETURN(blobs.soft_prompts, file.Get(kSoftBlob));
+  for (size_t i = 0; file.Contains(AdapterBlobName(i)); ++i) {
+    std::vector<float> state;
+    std::vector<float> mask;
+    DELREC_ASSIGN_OR_RETURN(state, file.Get(AdapterBlobName(i)));
+    DELREC_ASSIGN_OR_RETURN(mask, file.Get(AdapterMaskBlobName(i)));
+    blobs.adapter_states.push_back(std::move(state));
+    blobs.adapter_masks.push_back(std::move(mask));
+  }
+  if (file.Contains(kEmbeddingABlob)) {
+    DELREC_ASSIGN_OR_RETURN(blobs.embedding_lora_a, file.Get(kEmbeddingABlob));
+    DELREC_ASSIGN_OR_RETURN(blobs.embedding_lora_b, file.Get(kEmbeddingBBlob));
+  }
+  return blobs;
+}
 
 util::Status SaveDelRecCheckpoint(const DelRec& model, const llm::TinyLm& llm,
                                   const std::string& path) {

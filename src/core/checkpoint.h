@@ -2,12 +2,36 @@
 #define DELREC_CORE_CHECKPOINT_H_
 
 #include <string>
+#include <vector>
 
 #include "core/delrec.h"
 #include "llm/tiny_lm.h"
 #include "util/status.h"
 
 namespace delrec::core {
+
+/// The raw parameter blobs of a saved DELRec system, decoupled from live
+/// DelRec/TinyLm objects so a serving process can build an immutable
+/// serve::EngineSnapshot straight from disk without a trainer in sight.
+/// Architecture is not stored (see SaveDelRecCheckpoint); consumers
+/// validate blob sizes against their own configuration.
+struct DelRecBlobs {
+  std::vector<float> llm_state;                    // TinyLm::StateDump().
+  std::vector<float> soft_prompts;                 // (k · model_dim).
+  std::vector<std::vector<float>> adapter_states;  // Registration order.
+  std::vector<std::vector<float>> adapter_masks;   // 0/1 per direction.
+  std::vector<float> embedding_lora_a;  // Empty when no embedding adapter.
+  std::vector<float> embedding_lora_b;
+};
+
+/// Extracts the blob set of a live (trained) system — the exact payload
+/// SaveDelRecCheckpoint writes.
+DelRecBlobs ExtractDelRecBlobs(const DelRec& model, const llm::TinyLm& llm);
+
+/// Reads the blob set back from a checkpoint written by
+/// SaveDelRecCheckpoint (or SaveTrainCheckpoint — TrainState blobs are
+/// ignored). NotFound/DataLoss mirror LoadDelRecCheckpoint's contract.
+util::StatusOr<DelRecBlobs> ReadDelRecBlobs(const std::string& path);
 
 /// Persists a trained DELRec system: the LLM base weights, the distilled
 /// soft prompts, the AdaLoRA adapter factors with their rank masks, and the

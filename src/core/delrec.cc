@@ -17,11 +17,7 @@ namespace delrec::core {
 namespace {
 
 nn::LossAnomalyGuard::Options GuardOptions(const DelRecConfig& config) {
-  nn::LossAnomalyGuard::Options options;
-  options.enabled = config.anomaly_guard;
-  options.spike_factor = config.anomaly_spike_factor;
-  options.max_consecutive = config.max_consecutive_anomalies;
-  return options;
+  return nn::LossAnomalyGuard::FromConfig(config.anomaly_guard);
 }
 
 // Validates the restored-state buffers against the freshly constructed
@@ -70,49 +66,87 @@ std::string DelRec::name() const {
   return "DELRec (" + sr_model_->name() + ")";
 }
 
-std::vector<int64_t> DelRec::PromptCandidates(
-    const std::vector<int64_t>& candidates) const {
-  if (config_.candidates_in_prompt) return candidates;
-  return {};
-}
+namespace inference {
 
-std::vector<int64_t> DelRec::Window(
-    const std::vector<int64_t>& history) const {
-  if (static_cast<int64_t>(history.size()) <= config_.history_length) {
+std::vector<int64_t> WindowHistory(const DelRecConfig& config,
+                                   const std::vector<int64_t>& history) {
+  if (static_cast<int64_t>(history.size()) <= config.history_length) {
     return history;
   }
-  return std::vector<int64_t>(history.end() - config_.history_length,
+  return std::vector<int64_t>(history.end() - config.history_length,
                               history.end());
 }
 
-nn::Tensor DelRec::ActiveSoftPrompts() const {
-  if (!config_.use_soft_prompts || config_.manual_prompts) return nn::Tensor();
-  return soft_prompts_;
+nn::Tensor ActiveSoftPrompts(const DelRecConfig& config,
+                             const nn::Tensor& soft_prompts) {
+  if (!config.use_soft_prompts || config.manual_prompts) return nn::Tensor();
+  return soft_prompts;
 }
 
-std::vector<int64_t> DelRec::ActiveHintTokens(
-    const std::vector<int64_t>& history) const {
+std::vector<int64_t> ActiveHintTokens(
+    const DelRecConfig& config, const llm::PromptBuilder& builder,
+    const srmodels::SequentialRecommender& sr_model,
+    const std::vector<int64_t>& history) {
   std::vector<int64_t> tokens;
-  if (config_.manual_prompts) {
-    tokens = prompt_builder_.ManualConstructionTokens(
-        util::ToLower(sr_model_->name()));
+  if (config.manual_prompts) {
+    tokens = builder.ManualConstructionTokens(util::ToLower(sr_model.name()));
   }
-  if (config_.sr_hints_in_stage2) {
-    const std::vector<int64_t> top_h =
-        sr_model_->TopK(history, config_.top_h);
-    for (int64_t id : prompt_builder_.vocab().Encode(
-             "the " + util::ToLower(sr_model_->name()) +
+  if (config.sr_hints_in_stage2) {
+    const std::vector<int64_t> top_h = sr_model.TopK(history, config.top_h);
+    for (int64_t id : builder.vocab().Encode(
+             "the " + util::ToLower(sr_model.name()) +
              " model recommends top items")) {
       tokens.push_back(id);
     }
     for (int64_t item : top_h) {
-      for (int64_t id : prompt_builder_.TitleTokens(item)) {
+      for (int64_t id : builder.TitleTokens(item)) {
         tokens.push_back(id);
       }
       tokens.push_back(llm::Vocab::kSep);
     }
   }
   return tokens;
+}
+
+std::vector<int64_t> PromptCandidates(const DelRecConfig& config,
+                                      const std::vector<int64_t>& candidates) {
+  if (config.candidates_in_prompt) return candidates;
+  return {};
+}
+
+llm::Prompt BuildScoringPrompt(const DelRecConfig& config,
+                               const llm::PromptBuilder& builder,
+                               const srmodels::SequentialRecommender& sr_model,
+                               const nn::Tensor& soft_prompts,
+                               const std::vector<int64_t>& history,
+                               const std::vector<int64_t>& candidates) {
+  const std::vector<int64_t> window = WindowHistory(config, history);
+  return builder.BuildRecommendation(
+      window, PromptCandidates(config, candidates),
+      ActiveSoftPrompts(config, soft_prompts),
+      ActiveHintTokens(config, builder, sr_model, window), nn::Tensor());
+}
+
+}  // namespace inference
+
+std::vector<int64_t> DelRec::PromptCandidates(
+    const std::vector<int64_t>& candidates) const {
+  return inference::PromptCandidates(config_, candidates);
+}
+
+std::vector<int64_t> DelRec::Window(
+    const std::vector<int64_t>& history) const {
+  return inference::WindowHistory(config_, history);
+}
+
+nn::Tensor DelRec::ActiveSoftPrompts() const {
+  return inference::ActiveSoftPrompts(config_, soft_prompts_);
+}
+
+std::vector<int64_t> DelRec::ActiveHintTokens(
+    const std::vector<int64_t>& history) const {
+  return inference::ActiveHintTokens(config_, prompt_builder_, *sr_model_,
+                                     history);
 }
 
 util::Status DelRec::DistillPattern(
@@ -275,7 +309,7 @@ util::Status DelRec::DistillPatternImpl(
       }
       nn::Tensor loss = nn::AddN(weighted);
       std::vector<std::vector<float>> snapshot;
-      if (config_.anomaly_guard) {
+      if (config_.anomaly_guard.enabled) {
         snapshot = nn::SnapshotParameterData(parameters);
       }
       soft_prompts_.ZeroGrad();
@@ -283,7 +317,7 @@ util::Status DelRec::DistillPatternImpl(
       loss.Backward();
       nn::ClipGradNorm(parameters, 5.0f);
       optimizer.Step();
-      if (config_.anomaly_guard && !nn::AllParametersFinite(parameters)) {
+      if (config_.anomaly_guard.enabled && !nn::AllParametersFinite(parameters)) {
         nn::RestoreParameterData(parameters, snapshot);
         guard.ReportParameterAnomaly();
         ++train_stats_.stage1_anomalies;
@@ -485,7 +519,7 @@ util::Status DelRec::FineTuneImpl(
       }
       std::vector<std::vector<float>> snapshot;
       std::vector<std::vector<float>> sensitivity_snapshot;
-      if (config_.anomaly_guard) {
+      if (config_.anomaly_guard.enabled) {
         snapshot = nn::SnapshotParameterData(parameters);
         sensitivity_snapshot.reserve(adapters_.size());
         for (const nn::LoraLinear* adapter : adapters_) {
@@ -497,7 +531,7 @@ util::Status DelRec::FineTuneImpl(
       allocator.AccumulateSensitivity();
       nn::ClipGradNorm(parameters, 5.0f);
       optimizer->Step();
-      if (config_.anomaly_guard && !nn::AllParametersFinite(parameters)) {
+      if (config_.anomaly_guard.enabled && !nn::AllParametersFinite(parameters)) {
         nn::RestoreParameterData(parameters, snapshot);
         for (size_t a = 0; a < adapters_.size(); ++a) {
           adapters_[a]->set_sensitivity_ema(sensitivity_snapshot[a]);
@@ -608,10 +642,9 @@ std::vector<float> DelRec::ScoreCandidates(
     const data::Example& example,
     const std::vector<int64_t>& candidates) const {
   nn::NoGradGuard no_grad;
-  const std::vector<int64_t> history = Window(example.history);
-  llm::Prompt prompt = prompt_builder_.BuildRecommendation(
-      history, PromptCandidates(candidates), ActiveSoftPrompts(),
-      ActiveHintTokens(history), nn::Tensor());
+  llm::Prompt prompt = inference::BuildScoringPrompt(
+      config_, prompt_builder_, *sr_model_, soft_prompts_, example.history,
+      candidates);
   nn::Tensor hidden = llm_->Encode(prompt.pieces, 0.0f, scratch_rng_);
   nn::Tensor token_logits = llm_->LogitsAt(hidden, prompt.mask_position);
   return verbalizer_.Scores(token_logits.data(), candidates);

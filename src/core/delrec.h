@@ -12,6 +12,7 @@
 #include "llm/tiny_lm.h"
 #include "llm/verbalizer.h"
 #include "llm/vocab.h"
+#include "nn/anomaly.h"
 #include "nn/lora.h"
 #include "nn/tensor.h"
 #include "srmodels/recommender.h"
@@ -68,12 +69,9 @@ struct DelRecConfig {
   uint64_t seed = 21;
   bool verbose = false;
 
-  // Loss-anomaly guard (nn::LossAnomalyGuard): anomalous batches are
-  // skipped with parameters untouched; a stage aborts with a Status after
-  // max_consecutive_anomalies anomalous batches in a row.
-  bool anomaly_guard = true;
-  float anomaly_spike_factor = 25.0f;
-  int max_consecutive_anomalies = 5;
+  // Loss-anomaly guard (nn::LossAnomalyGuard); knobs shared with
+  // srmodels::TrainConfig via nn::AnomalyGuardConfig.
+  nn::AnomalyGuardConfig anomaly_guard;
 
   // Ablation switches.
   bool use_soft_prompts = true;        // false = "w/o SP" / "w/o DPSM".
@@ -117,6 +115,43 @@ struct TrainState {
   std::vector<float> stage_extra;
   Stage1Diagnostics diagnostics;
 };
+
+/// Stateless building blocks of the frozen scoring path, shared by the live
+/// model (DelRec::ScoreCandidates) and serve::EngineSnapshot so both
+/// construct bit-identical prompts from identical state. All functions are
+/// pure in their inputs; `sr_model` is only consulted for TopK hints.
+namespace inference {
+
+/// Truncates a history to config.history_length (most recent kept).
+std::vector<int64_t> WindowHistory(const DelRecConfig& config,
+                                   const std::vector<int64_t>& history);
+
+/// Soft-prompt rows to splice into the prompt, or an undefined Tensor when
+/// the configuration ablated them away.
+nn::Tensor ActiveSoftPrompts(const DelRecConfig& config,
+                             const nn::Tensor& soft_prompts);
+
+/// Auxiliary textual channel of the stage-2 prompt: the conventional
+/// model's top-h titles (sr_hints_in_stage2) and/or the "w MCP" description.
+std::vector<int64_t> ActiveHintTokens(
+    const DelRecConfig& config, const llm::PromptBuilder& builder,
+    const srmodels::SequentialRecommender& sr_model,
+    const std::vector<int64_t>& history);
+
+/// Candidate ids rendered into the prompt (empty unless configured).
+std::vector<int64_t> PromptCandidates(const DelRecConfig& config,
+                                      const std::vector<int64_t>& candidates);
+
+/// The complete recommendation-scoring prompt for (history, candidates) —
+/// the exact prompt DelRec::ScoreCandidates forwards through the LLM.
+llm::Prompt BuildScoringPrompt(const DelRecConfig& config,
+                               const llm::PromptBuilder& builder,
+                               const srmodels::SequentialRecommender& sr_model,
+                               const nn::Tensor& soft_prompts,
+                               const std::vector<int64_t>& history,
+                               const std::vector<int64_t>& candidates);
+
+}  // namespace inference
 
 /// The DELRec framework: distills a conventional SR model's behaviour into
 /// soft prompts (stage 1), then AdaLoRA-fine-tunes the LLM to exploit them

@@ -52,7 +52,10 @@ std::string MakeTitle(int genre, int64_t item_id, util::Rng& rng) {
   // Globally unique numeric suffix — the analog of a release year in real
   // titles. It gives every item one perfectly distinctive token, which the
   // IDF verbalizer leans on (genre words are shared; the number is not).
-  title += " " + std::to_string(item_id + 1);
+  // Appended piecewise: `"" + std::to_string(...)` trips GCC 12's spurious
+  // -Wrestrict on the rvalue operator+ (upstream bug 105651).
+  title += ' ';
+  title += std::to_string(item_id + 1);
   return title;
 }
 

@@ -1,10 +1,13 @@
 #include "llm/tiny_lm.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "llm/vocab.h"
+#include "nn/gemm.h"
 #include "nn/ops.h"
 #include "util/check.h"
+#include "util/threadpool.h"
 
 namespace delrec::llm {
 
@@ -108,6 +111,125 @@ nn::Tensor TinyLmBlock::Forward(const nn::Tensor& x, util::Rng& rng,
   return nn::Add(residual, ffn_out_.Forward(hidden));
 }
 
+namespace {
+
+// In-place row-wise softmax mirroring ops.cc's SoftmaxRows arithmetic
+// exactly (row max, exp, denom accumulated in column order, multiply by the
+// rounded reciprocal) so batched attention matches nn::Softmax bit-for-bit.
+void SoftmaxRowsInPlace(float* x, int64_t n, int64_t c) {
+  for (int64_t i = 0; i < n; ++i) {
+    float* row = x + i * c;
+    float mx = row[0];
+    for (int64_t j = 1; j < c; ++j) mx = std::max(mx, row[j]);
+    float denom = 0.0f;
+    for (int64_t j = 0; j < c; ++j) {
+      row[j] = std::exp(row[j] - mx);
+      denom += row[j];
+    }
+    const float inv = 1.0f / denom;
+    for (int64_t j = 0; j < c; ++j) row[j] *= inv;
+  }
+}
+
+// In-place tanh-approximation GELU, the same expression as nn::Gelu.
+void GeluInPlace(float* x, int64_t n) {
+  constexpr float kSqrt2OverPi = 0.7978845608f;
+  constexpr float kCoeff = 0.044715f;
+  for (int64_t i = 0; i < n; ++i) {
+    const float v = x[i];
+    const float inner = kSqrt2OverPi * (v + kCoeff * v * v * v);
+    x[i] = 0.5f * v * (1.0f + std::tanh(inner));
+  }
+}
+
+}  // namespace
+
+void TinyLmBlock::ForwardBatchInference(const float* x, int64_t total,
+                                        const std::vector<SequenceSpan>& spans,
+                                        float* out,
+                                        util::ScopedArena& arena) const {
+  const int64_t d = num_heads_ * head_dim_;
+  float* normed = arena.Alloc(total * d);
+  ln_attention_.ForwardInference(x, total, normed);
+  float* q = arena.Alloc(total * d);
+  wq_.ForwardInference(normed, total, q);
+  if (lora_wq_) lora_wq_->AddDeltaInference(normed, total, q, arena);
+  float* k = arena.Alloc(total * d);
+  wk_.ForwardInference(normed, total, k);
+  float* vproj = arena.Alloc(total * d);
+  wv_.ForwardInference(normed, total, vproj);
+  if (lora_wv_) lora_wv_->AddDeltaInference(normed, total, vproj, arena);
+
+  // Attention is the one non-row-local stage: run it per sequence (the
+  // batch's attention matrix is block-diagonal) with exactly the shapes and
+  // op order of Forward(), head by head. Spans fan out across threads —
+  // the intra-batch parallelism a one-at-a-time forward cannot have. Each
+  // span's arithmetic is unchanged and writes only its own rows of
+  // `attended`, so results stay bit-identical at every thread count;
+  // scratch is carved out up front because the arena is not thread-safe,
+  // and ParallelFor degrades to serial inside pool workers, so the GEMMs
+  // below never nest a dispatch.
+  const float scale = 1.0f / std::sqrt(static_cast<float>(head_dim_));
+  float* attended = arena.Alloc(total * d);
+  std::vector<float*> scratch(spans.size());
+  for (size_t s = 0; s < spans.size(); ++s) {
+    const int64_t t = spans[s].length;
+    scratch[s] = arena.Alloc(4 * t * head_dim_ + t * t);
+  }
+  util::ParallelFor(
+      static_cast<int64_t>(spans.size()),
+      [&](int64_t begin, int64_t end, int) {
+        for (int64_t s = begin; s < end; ++s) {
+          const SequenceSpan& span = spans[s];
+          const int64_t t = span.length;
+          float* qh = scratch[s];
+          float* kh = qh + t * head_dim_;
+          float* vh = kh + t * head_dim_;
+          float* head_out = vh + t * head_dim_;
+          float* logits = head_out + t * head_dim_;
+          for (int64_t h = 0; h < num_heads_; ++h) {
+            for (int64_t i = 0; i < t; ++i) {
+              const float* qrow = q + (span.begin + i) * d + h * head_dim_;
+              const float* krow = k + (span.begin + i) * d + h * head_dim_;
+              const float* vrow =
+                  vproj + (span.begin + i) * d + h * head_dim_;
+              std::copy(qrow, qrow + head_dim_, qh + i * head_dim_);
+              std::copy(krow, krow + head_dim_, kh + i * head_dim_);
+              std::copy(vrow, vrow + head_dim_, vh + i * head_dim_);
+            }
+            nn::GemmNT(qh, kh, logits, t, t, head_dim_, /*accumulate=*/false);
+            const int64_t cells = t * t;
+            for (int64_t i = 0; i < cells; ++i) logits[i] *= scale;
+            SoftmaxRowsInPlace(logits, t, t);
+            nn::GemmNN(logits, vh, head_out, t, head_dim_, t,
+                       /*accumulate=*/false);
+            for (int64_t i = 0; i < t; ++i) {
+              std::copy(head_out + i * head_dim_,
+                        head_out + (i + 1) * head_dim_,
+                        attended + (span.begin + i) * d + h * head_dim_);
+            }
+          }
+        }
+      });
+
+  float* att_proj = arena.Alloc(total * d);
+  wo_.ForwardInference(attended, total, att_proj);
+  float* residual = arena.Alloc(total * d);
+  const int64_t cells = total * d;
+  for (int64_t i = 0; i < cells; ++i) residual[i] = x[i] + att_proj[i];
+  float* ff_in = arena.Alloc(total * d);
+  ln_ffn_.ForwardInference(residual, total, ff_in);
+  const int64_t f = ffn_in_.out_features();
+  float* hidden = arena.Alloc(total * f);
+  ffn_in_.ForwardInference(ff_in, total, hidden);
+  if (lora_ffn_in_) {
+    lora_ffn_in_->AddDeltaInference(ff_in, total, hidden, arena);
+  }
+  GeluInPlace(hidden, total * f);
+  ffn_out_.ForwardInference(hidden, total, out);
+  for (int64_t i = 0; i < cells; ++i) out[i] = residual[i] + out[i];
+}
+
 std::vector<nn::LoraLinear*> TinyLmBlock::EnableAdapters(int64_t rank,
                                                          float scale,
                                                          util::Rng& rng) {
@@ -193,6 +315,109 @@ nn::Tensor TinyLm::LogitsAt(const nn::Tensor& hidden, int64_t position) const {
   nn::Tensor at = nn::SliceRows(hidden, position, 1);
   return nn::AddBias(nn::MatMul(at, EffectiveTokenTable(), false, true),
                      head_bias_);
+}
+
+nn::Tensor TinyLm::EncodeBatch(
+    const std::vector<const std::vector<PromptPiece>*>& prompts,
+    const nn::Tensor& effective_table,
+    std::vector<SequenceSpan>* spans) const {
+  DELREC_CHECK(!prompts.empty());
+  DELREC_CHECK(spans != nullptr);
+  nn::NoGradGuard no_grad;
+  const nn::Tensor table =
+      effective_table.defined() ? effective_table : EffectiveTokenTable();
+  DELREC_CHECK_EQ(table.dim(0), config_.vocab_size);
+  DELREC_CHECK_EQ(table.dim(1), config_.model_dim);
+  const float* tv = table.data().data();
+  const int64_t d = config_.model_dim;
+
+  spans->clear();
+  spans->reserve(prompts.size());
+  int64_t total = 0;
+  for (const std::vector<PromptPiece>* pieces : prompts) {
+    DELREC_CHECK(pieces != nullptr);
+    DELREC_CHECK(!pieces->empty());
+    int64_t length = 0;
+    for (const PromptPiece& piece : *pieces) length += piece.length();
+    DELREC_CHECK_GT(length, 0);
+    DELREC_CHECK_LE(length, config_.max_positions)
+        << "prompt longer than max_positions";
+    spans->push_back({total, length});
+    total += length;
+  }
+
+  util::ScopedArena arena;
+  float* x = arena.Alloc(total * d);
+  const float* pos = position_table_.data().data();
+  for (size_t s = 0; s < prompts.size(); ++s) {
+    float* base = x + (*spans)[s].begin * d;
+    int64_t row = 0;
+    for (const PromptPiece& piece : *prompts[s]) {
+      if (piece.kind == PromptPiece::Kind::kTokens) {
+        for (int64_t token : piece.tokens) {
+          DELREC_CHECK_GE(token, 0);
+          DELREC_CHECK_LT(token, config_.vocab_size);
+          std::copy(tv + token * d, tv + (token + 1) * d, base + row * d);
+          ++row;
+        }
+      } else {
+        DELREC_CHECK_EQ(piece.embeddings.dim(1), d);
+        const std::vector<float>& rows = piece.embeddings.data();
+        std::copy(rows.begin(), rows.end(), base + row * d);
+        row += piece.embeddings.dim(0);
+      }
+    }
+    // Positions restart at zero for every sequence, matching Encode()'s
+    // Add(x, SliceRows(position_table_, 0, T)).
+    const int64_t cells = (*spans)[s].length * d;
+    for (int64_t i = 0; i < cells; ++i) base[i] = base[i] + pos[i];
+  }
+
+  float* cur = x;
+  float* next = arena.Alloc(total * d);
+  for (const auto& block : blocks_) {
+    block->ForwardBatchInference(cur, total, *spans, next, arena);
+    std::swap(cur, next);
+  }
+  std::vector<float> out = util::BufferPool::Global().Acquire(total * d);
+  final_norm_.ForwardInference(cur, total, out.data());
+  return nn::Tensor::FromData({total, d}, std::move(out));
+}
+
+nn::Tensor TinyLm::LogitsAtRows(const nn::Tensor& hidden,
+                                const std::vector<int64_t>& rows,
+                                const nn::Tensor& effective_table) const {
+  DELREC_CHECK(!rows.empty());
+  nn::NoGradGuard no_grad;
+  const nn::Tensor table =
+      effective_table.defined() ? effective_table : EffectiveTokenTable();
+  const int64_t d = config_.model_dim;
+  const int64_t vocab = config_.vocab_size;
+  const int64_t b = static_cast<int64_t>(rows.size());
+  util::ScopedArena arena;
+  float* gathered = arena.Alloc(b * d);
+  const float* hv = hidden.data().data();
+  for (int64_t i = 0; i < b; ++i) {
+    DELREC_CHECK_GE(rows[i], 0);
+    DELREC_CHECK_LT(rows[i], hidden.dim(0));
+    std::copy(hv + rows[i] * d, hv + (rows[i] + 1) * d, gathered + i * d);
+  }
+  std::vector<float> out = util::BufferPool::Global().Acquire(b * vocab);
+  nn::GemmNT(gathered, table.data().data(), out.data(), b, vocab, d,
+             /*accumulate=*/false);
+  const float* bias = head_bias_.data().data();
+  for (int64_t i = 0; i < b; ++i) {
+    float* row = out.data() + i * vocab;
+    for (int64_t j = 0; j < vocab; ++j) row[j] = row[j] + bias[j];
+  }
+  return nn::Tensor::FromData({b, vocab}, std::move(out));
+}
+
+nn::Tensor TinyLm::MaterializeTokenTable() const {
+  nn::NoGradGuard no_grad;
+  const nn::Tensor table = EffectiveTokenTable();
+  std::vector<float> copy = table.data();
+  return nn::Tensor::FromData(table.shape(), std::move(copy));
 }
 
 nn::Tensor TinyLm::EffectiveTokenTable() const {

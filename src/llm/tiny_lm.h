@@ -10,6 +10,7 @@
 #include "nn/lora.h"
 #include "nn/module.h"
 #include "nn/tensor.h"
+#include "util/buffer_pool.h"
 #include "util/rng.h"
 
 namespace delrec::llm {
@@ -48,6 +49,16 @@ struct PromptPiece {
   nn::Tensor embeddings;  // (n, model_dim) when kind == kEmbeddings.
 };
 
+/// Contiguous row range of one sequence inside a row-concatenated batch:
+/// rows [begin, begin + length) of the stacked (ΣT, D) activation matrix.
+/// Ragged concatenation (no padding) keeps every GEMM row a real row, which
+/// is what makes the batched path bit-identical to per-sequence forwards
+/// (each GEMM output row depends only on its own input row — nn/gemm.h).
+struct SequenceSpan {
+  int64_t begin = 0;
+  int64_t length = 0;
+};
+
 /// One pre-LN encoder block with optional AdaLoRA adapters on W_q, W_v and
 /// the FFN input projection (the standard LoRA attachment points).
 class TinyLmBlock : public nn::Module {
@@ -56,6 +67,15 @@ class TinyLmBlock : public nn::Module {
 
   nn::Tensor Forward(const nn::Tensor& x, util::Rng& rng,
                      float dropout) const;
+
+  /// Inference-only batched forward: `x` holds `total` row-concatenated
+  /// hidden rows covering `spans`; writes the block output to `out` (same
+  /// shape, must not alias x). Dense projections run as single stacked
+  /// GEMMs; attention stays block-diagonal per span. Every row is
+  /// bit-identical to Forward() run on that span alone (DESIGN.md §11).
+  void ForwardBatchInference(const float* x, int64_t total,
+                             const std::vector<SequenceSpan>& spans,
+                             float* out, util::ScopedArena& arena) const;
 
   /// Creates the adapters (rank, scale) if not present; returns them for
   /// optimizer registration. Adapter parameters are deliberately NOT part of
@@ -96,6 +116,32 @@ class TinyLm : public nn::Module {
 
   /// LM-head logits at one position of an Encode() output: (1, vocab).
   nn::Tensor LogitsAt(const nn::Tensor& hidden, int64_t position) const;
+
+  /// Batched inference encoder: stacks B prompts into one row-concatenated
+  /// (ΣT, D) pass so the dense projections ride the blocked GEMMs once
+  /// instead of B times. Row r of the result is bit-identical to the
+  /// matching row of Encode(*prompts[i], 0.0f, rng) at every thread count
+  /// and for every batch composition. `effective_table` is an optional
+  /// precomputed MaterializeTokenTable() result (pass an undefined Tensor
+  /// to recompute, as Encode does); `spans` receives each prompt's row
+  /// range. No grad, no dropout, no RNG draws.
+  nn::Tensor EncodeBatch(
+      const std::vector<const std::vector<PromptPiece>*>& prompts,
+      const nn::Tensor& effective_table,
+      std::vector<SequenceSpan>* spans) const;
+
+  /// LM-head logits for many rows of an EncodeBatch()/Encode() output at
+  /// once: output row i is bit-identical to LogitsAt(hidden, rows[i]).
+  /// Returns (rows.size(), vocab).
+  nn::Tensor LogitsAtRows(const nn::Tensor& hidden,
+                          const std::vector<int64_t>& rows,
+                          const nn::Tensor& effective_table) const;
+
+  /// Detached materialization of the effective token table (base table plus
+  /// the embedding-LoRA delta, the same values Encode gathers from): build
+  /// once per frozen snapshot and share across requests instead of paying
+  /// the V·r·D delta GEMM on every call.
+  nn::Tensor MaterializeTokenTable() const;
 
   /// Convenience for pretraining: masked-LM loss on a token sentence with
   /// the tokens at `mask_positions` replaced by [MASK].

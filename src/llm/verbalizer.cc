@@ -90,6 +90,11 @@ std::vector<float> Verbalizer::Scores(
     const std::vector<float>& token_logits,
     const std::vector<int64_t>& candidates) const {
   DELREC_CHECK_EQ(static_cast<int64_t>(token_logits.size()), vocab_size_);
+  return ScoresFromRow(token_logits.data(), candidates);
+}
+
+std::vector<float> Verbalizer::ScoresFromRow(
+    const float* token_logits, const std::vector<int64_t>& candidates) const {
   std::vector<float> scores;
   scores.reserve(candidates.size());
   for (int64_t candidate : candidates) {

@@ -40,6 +40,13 @@ class Verbalizer {
   std::vector<float> Scores(const std::vector<float>& token_logits,
                             const std::vector<int64_t>& candidates) const;
 
+  /// Raw-pointer variant over one row of a batched (B, V) logits matrix, so
+  /// serve-path scoring avoids a V-sized copy per request. Identical
+  /// arithmetic to Scores().
+  std::vector<float> ScoresFromRow(const float* token_logits,
+                                   const std::vector<int64_t>& candidates)
+      const;
+
   int64_t vocab_size() const { return vocab_size_; }
 
  private:

@@ -9,6 +9,19 @@
 
 namespace delrec::nn {
 
+/// The user-facing anomaly-guard knobs shared by every training
+/// configuration (core::DelRecConfig, srmodels::TrainConfig) so the
+/// semantics and defaults live in exactly one place. ToOptions() expands to
+/// a full LossAnomalyGuard::Options; the EMA decay and warmup keep the
+/// guard's internal defaults, which no training loop overrides.
+struct AnomalyGuardConfig {
+  /// Skip anomalous batches (parameters untouched); abort the run with a
+  /// Status after `max_consecutive` anomalous batches in a row.
+  bool enabled = true;
+  float spike_factor = 25.0f;
+  int max_consecutive = 5;
+};
+
 /// Watchdog for training loops: flags non-finite or spiking batch losses so
 /// the caller can skip the optimizer step instead of poisoning the model,
 /// and escalates to a Status error once too many consecutive batches are
@@ -27,6 +40,15 @@ class LossAnomalyGuard {
   };
 
   explicit LossAnomalyGuard(const Options& options) : options_(options) {}
+
+  /// Expands the shared user-facing knobs into full Options.
+  static Options FromConfig(const AnomalyGuardConfig& config) {
+    Options options;
+    options.enabled = config.enabled;
+    options.spike_factor = config.spike_factor;
+    options.max_consecutive = config.max_consecutive;
+    return options;
+  }
 
   /// Returns true when this batch's loss is anomalous and the step must be
   /// skipped; otherwise folds the loss into the running EMA.

@@ -71,6 +71,8 @@ using TileFn = void (*)(const float* a, int64_t a_i_stride,
 using NtTileFn = void (*)(const float* a, const float* bpanel, float* c,
                           int64_t n, int64_t k, int64_t i0, int64_t j0,
                           bool accumulate);
+using ZeroScanFn = bool (*)(const float* a, int64_t a_i_stride,
+                            int64_t a_p_stride, int64_t i0, int64_t k);
 
 // ---- Portable scalar tiles (and the only path off x86-64) ----
 
@@ -127,6 +129,23 @@ void NtTileScalar(const float* a, const float* bpanel, float* c, int64_t n,
       cr[jr] = accumulate ? cr[jr] + acc[jr] : acc[jr];
     }
   }
+}
+
+// Dense-tile eligibility prescan: true iff any A element in the MR-row tile
+// compares == 0.0f (matches ±0, never NaN — the exact predicate the skip
+// tile applies per element). This runs once per 4-row tile over 4×k floats,
+// so on small GEMMs it is a visible fraction of the whole product; the
+// vector variants below evaluate the same predicate 8/16 lanes at a time
+// (_CMP_EQ_OQ is the ordered quiet ==, identical to the scalar compare).
+bool TileHasZeroScalar(const float* a, int64_t a_i_stride, int64_t a_p_stride,
+                       int64_t i0, int64_t k) {
+  for (int r = 0; r < MR; ++r) {
+    const float* ar = a + (i0 + r) * a_i_stride;
+    for (int64_t p = 0; p < k; ++p) {
+      if (ar[p * a_p_stride] == 0.0f) return true;
+    }
+  }
+  return false;
 }
 
 #if DELREC_GEMM_X86
@@ -415,12 +434,67 @@ __attribute__((target("avx512f"))) void NtTileAvx512(
   _mm512_storeu_ps(c3, r3);
 }
 
+// Vector zero scans: only the contiguous-row layout (NN path, a_p_stride ==
+// 1) vectorizes; the strided TN layout falls back to the scalar scan. A
+// prescan is a pure predicate — speeding it up cannot change any result.
+
+__attribute__((target("avx2"))) bool TileHasZeroAvx2(
+    const float* a, int64_t a_i_stride, int64_t a_p_stride, int64_t i0,
+    int64_t k) {
+  if (a_p_stride != 1) {
+    return TileHasZeroScalar(a, a_i_stride, a_p_stride, i0, k);
+  }
+  const __m256 zero = _mm256_setzero_ps();
+  for (int r = 0; r < MR; ++r) {
+    const float* ar = a + (i0 + r) * a_i_stride;
+    int64_t p = 0;
+    for (; p + 8 <= k; p += 8) {
+      const __m256 eq =
+          _mm256_cmp_ps(_mm256_loadu_ps(ar + p), zero, _CMP_EQ_OQ);
+      if (_mm256_movemask_ps(eq) != 0) return true;
+    }
+    for (; p < k; ++p) {
+      if (ar[p] == 0.0f) return true;
+    }
+  }
+  return false;
+}
+
+__attribute__((target("avx512f"))) bool TileHasZeroAvx512(
+    const float* a, int64_t a_i_stride, int64_t a_p_stride, int64_t i0,
+    int64_t k) {
+  if (a_p_stride != 1) {
+    return TileHasZeroScalar(a, a_i_stride, a_p_stride, i0, k);
+  }
+  const __m512 zero = _mm512_setzero_ps();
+  for (int r = 0; r < MR; ++r) {
+    const float* ar = a + (i0 + r) * a_i_stride;
+    int64_t p = 0;
+    for (; p + 16 <= k; p += 16) {
+      if (_mm512_cmp_ps_mask(_mm512_loadu_ps(ar + p), zero, _CMP_EQ_OQ)) {
+        return true;
+      }
+    }
+    if (p < k) {
+      // Masked tail load: lanes past k are never touched (no OOB read) and
+      // zeroed lanes are excluded from the compare by the same mask.
+      const __mmask16 tail = static_cast<__mmask16>((1u << (k - p)) - 1);
+      if (_mm512_mask_cmp_ps_mask(tail, _mm512_maskz_loadu_ps(tail, ar + p),
+                                  zero, _CMP_EQ_OQ)) {
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
 #endif  // DELREC_GEMM_X86
 
 struct TileSet {
   TileFn dense;
   TileFn skip;
   NtTileFn nt;
+  ZeroScanFn has_zero;
   const char* isa;
 };
 
@@ -428,14 +502,18 @@ const TileSet& PickTiles() {
   static const TileSet tiles = [] {
 #if DELREC_GEMM_X86
     if (__builtin_cpu_supports("avx512f")) {
-      return TileSet{TileDenseAvx512, TileSkipAvx512, NtTileAvx512, "avx512"};
+      return TileSet{TileDenseAvx512, TileSkipAvx512, NtTileAvx512,
+                     TileHasZeroAvx512, "avx512"};
     }
     if (__builtin_cpu_supports("avx2")) {
-      return TileSet{TileDenseAvx2, TileSkipAvx2, NtTileAvx2, "avx2"};
+      return TileSet{TileDenseAvx2, TileSkipAvx2, NtTileAvx2, TileHasZeroAvx2,
+                     "avx2"};
     }
-    return TileSet{TileDenseScalar, TileSkipScalar, NtTileScalar, "sse2"};
+    return TileSet{TileDenseScalar, TileSkipScalar, NtTileScalar,
+                   TileHasZeroScalar, "sse2"};
 #else
-    return TileSet{TileDenseScalar, TileSkipScalar, NtTileScalar, "portable"};
+    return TileSet{TileDenseScalar, TileSkipScalar, NtTileScalar,
+                   TileHasZeroScalar, "portable"};
 #endif
   }();
   return tiles;
@@ -445,17 +523,6 @@ const TileSet& PickTiles() {
 // Both contract C(i,j) = Σ_p A(i,p)·B(p,j) with B stored row-major (K,N);
 // they differ only in how A is addressed: A(i,p) = a[i·a_i_stride +
 // p·a_p_stride] (NN: strides (k,1); TN with A stored (K,M): strides (1,m)).
-
-bool TileHasZero(const float* a, int64_t a_i_stride, int64_t a_p_stride,
-                 int64_t i0, int64_t k) {
-  for (int r = 0; r < MR; ++r) {
-    const float* ar = a + (i0 + r) * a_i_stride;
-    for (int64_t p = 0; p < k; ++p) {
-      if (ar[p * a_p_stride] == 0.0f) return true;
-    }
-  }
-  return false;
-}
 
 // Remainder tile (mr < MR and/or nr < NR): same accumulation structure with
 // runtime bounds; always uses the skip form (identical on zero-free data).
@@ -491,6 +558,7 @@ struct AxBContext {
   bool accumulate;
   TileFn dense;
   TileFn skip;
+  ZeroScanFn has_zero;
 };
 
 void AxBRows(const AxBContext& ctx, int64_t row_begin, int64_t row_end) {
@@ -498,7 +566,7 @@ void AxBRows(const AxBContext& ctx, int64_t row_begin, int64_t row_end) {
     const int mr = static_cast<int>(std::min<int64_t>(MR, row_end - i));
     const bool dense =
         mr == MR && ctx.n >= NR &&
-        !TileHasZero(ctx.a, ctx.a_i_stride, ctx.a_p_stride, i, ctx.k);
+        !ctx.has_zero(ctx.a, ctx.a_i_stride, ctx.a_p_stride, i, ctx.k);
     for (int64_t jb = 0; jb < ctx.num_panels; ++jb) {
       const int64_t j0 = jb * NR;
       const int nr = static_cast<int>(std::min<int64_t>(NR, ctx.n - j0));
@@ -531,9 +599,9 @@ void BlockedAxB(const float* a, int64_t a_i_stride, int64_t a_p_stride,
   // valid lanes. The pack buffer is pooled scratch shared read-only by all
   // row chunks; ParallelFor joins before the arena releases it.
   util::ScopedArena arena;
-  AxBContext ctx{a,          a_i_stride, a_p_stride, b, nullptr,     c,
-                 n,          k,          num_panels, accumulate,
-                 tiles.dense, tiles.skip};
+  AxBContext ctx{a,           a_i_stride, a_p_stride, b, nullptr,       c,
+                 n,           k,          num_panels, accumulate,
+                 tiles.dense, tiles.skip, tiles.has_zero};
   if (m >= kGemmPackMinRows && n > NR) {
     float* pack = arena.Alloc(static_cast<size_t>(num_panels) * k * NR);
     for (int64_t jb = 0; jb < num_panels; ++jb) {

@@ -20,6 +20,12 @@ class Linear : public Module {
   /// x: (N, in) → (N, out).
   Tensor Forward(const Tensor& x) const;
 
+  /// Inference-only raw forward over row-major buffers: writes x·W + b into
+  /// `out` (rows × out_features, must not alias x). Bit-identical per row to
+  /// Forward() for any row count (the GEMM contract in nn/gemm.h makes each
+  /// output row depend only on its input row), builds no autograd tape.
+  void ForwardInference(const float* x, int64_t rows, float* out) const;
+
   const Tensor& weight() const { return weight_; }
   const Tensor& bias() const { return bias_; }
   int64_t in_features() const { return in_features_; }
@@ -56,6 +62,10 @@ class LayerNorm : public Module {
   explicit LayerNorm(int64_t dim);
 
   Tensor Forward(const Tensor& x) const;
+
+  /// Inference-only raw row-wise forward (same arithmetic order and epsilon
+  /// as LayerNormOp, so bit-identical to Forward()); `out` may alias x.
+  void ForwardInference(const float* x, int64_t rows, float* out) const;
 
  private:
   Tensor gamma_;

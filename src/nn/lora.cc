@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "nn/gemm.h"
 #include "nn/ops.h"
 #include "util/check.h"
 
@@ -33,6 +34,32 @@ Tensor LoraLinear::Forward(const Tensor& x) const {
   Tensor gated = Mul(lambda_, mask_);
   Tensor delta = MatMul(ScaleCols(MatMul(x, a_), gated), b_);
   return Add(base_out, MulScalar(delta, scale_));
+}
+
+void LoraLinear::AddDeltaInference(const float* x, int64_t rows, float* out,
+                                   util::ScopedArena& arena) const {
+  // Mirrors Forward() step by step: x·A, column-scale by Λ⊙mask, ·B, then
+  // out += scale·delta with the same rounding points (MulScalar then Add).
+  const int64_t in = base_->in_features();
+  const int64_t out_features = base_->out_features();
+  float* xa = arena.Alloc(rows * rank_);
+  GemmNN(x, a_.data().data(), xa, rows, rank_, in, /*accumulate=*/false);
+  float* gated = arena.Alloc(rank_);
+  const float* lv = lambda_.data().data();
+  const float* mv = mask_.data().data();
+  for (int64_t j = 0; j < rank_; ++j) gated[j] = lv[j] * mv[j];
+  for (int64_t i = 0; i < rows; ++i) {
+    float* row = xa + i * rank_;
+    for (int64_t j = 0; j < rank_; ++j) row[j] = row[j] * gated[j];
+  }
+  float* delta = arena.Alloc(rows * out_features);
+  GemmNN(xa, b_.data().data(), delta, rows, out_features, rank_,
+         /*accumulate=*/false);
+  const int64_t total = rows * out_features;
+  for (int64_t i = 0; i < total; ++i) {
+    const float scaled = delta[i] * scale_;
+    out[i] = out[i] + scaled;
+  }
 }
 
 int64_t LoraLinear::active_rank() const {

@@ -7,6 +7,7 @@
 #include "nn/layers.h"
 #include "nn/module.h"
 #include "nn/tensor.h"
+#include "util/buffer_pool.h"
 #include "util/rng.h"
 
 namespace delrec::nn {
@@ -25,6 +26,14 @@ class LoraLinear : public Module {
 
   /// x: (N, in) → (N, out); base output plus the (masked) low-rank delta.
   Tensor Forward(const Tensor& x) const;
+
+  /// Inference-only raw forward over row-major buffers: `out` (rows × out)
+  /// must already hold the base Linear's output; adds the masked low-rank
+  /// delta in place with the exact arithmetic order of Forward(), so the
+  /// result is bit-identical per row for any row count. Builds no tape;
+  /// scratch comes from `arena`.
+  void AddDeltaInference(const float* x, int64_t rows, float* out,
+                         util::ScopedArena& arena) const;
 
   int64_t rank() const { return rank_; }
   int64_t active_rank() const;

@@ -1,0 +1,113 @@
+#include "serve/engine.h"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+#include "util/check.h"
+
+namespace delrec::serve {
+
+RecommendationEngine::RecommendationEngine(const Scorer* scorer,
+                                           const EngineOptions& options)
+    : scorer_(scorer), options_(options) {
+  DELREC_CHECK(scorer != nullptr);
+  DELREC_CHECK_GE(options_.max_batch_size, 1);
+  dispatcher_ = std::thread([this] { DispatcherLoop(); });
+}
+
+RecommendationEngine::~RecommendationEngine() { Shutdown(); }
+
+std::future<std::vector<float>> RecommendationEngine::ScoreAsync(
+    ScoreRequest request) {
+  Pending pending;
+  pending.request = std::move(request);
+  std::future<std::vector<float>> future = pending.promise.get_future();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    DELREC_CHECK(!stopping_);  // No submissions after Shutdown().
+    queue_.push_back(std::move(pending));
+  }
+  cv_.notify_all();
+  return future;
+}
+
+std::vector<float> RecommendationEngine::ScoreCandidates(
+    std::vector<int64_t> history, std::vector<int64_t> candidates) {
+  ScoreRequest request;
+  request.history = std::move(history);
+  request.candidates = std::move(candidates);
+  return ScoreAsync(std::move(request)).get();
+}
+
+void RecommendationEngine::Shutdown() {
+  std::thread to_join;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+    // Claim the dispatcher under the lock so concurrent Shutdown() calls
+    // cannot both join it; later callers get an empty thread.
+    to_join = std::move(dispatcher_);
+  }
+  cv_.notify_all();
+  if (to_join.joinable()) to_join.join();
+}
+
+RecommendationEngine::Stats RecommendationEngine::GetStats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Stats stats;
+  stats.requests = dispatched_requests_;
+  stats.batches = dispatched_batches_;
+  stats.max_batch = max_batch_;
+  stats.mean_batch =
+      dispatched_batches_ == 0
+          ? 0.0
+          : static_cast<double>(dispatched_requests_) /
+                static_cast<double>(dispatched_batches_);
+  return stats;
+}
+
+void RecommendationEngine::DispatcherLoop() {
+  const auto deadline_budget = std::chrono::microseconds(
+      static_cast<int64_t>(options_.batch_deadline_ms * 1000.0));
+  const size_t max_batch = static_cast<size_t>(options_.max_batch_size);
+  while (true) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+    if (queue_.empty()) return;  // stopping_ and fully drained.
+
+    // Linger for more requests so concurrent clients coalesce into one
+    // batched forward — but never past the deadline, and not at all once
+    // the batch is full or shutdown begins.
+    if (deadline_budget.count() > 0 && queue_.size() < max_batch &&
+        !stopping_) {
+      const auto deadline = std::chrono::steady_clock::now() + deadline_budget;
+      cv_.wait_until(lock, deadline, [this, max_batch] {
+        return stopping_ || queue_.size() >= max_batch;
+      });
+    }
+
+    const size_t take = std::min(queue_.size(), max_batch);
+    std::vector<Pending> batch;
+    batch.reserve(take);
+    for (size_t i = 0; i < take; ++i) {
+      batch.push_back(std::move(queue_.front()));
+      queue_.pop_front();
+    }
+    dispatched_requests_ += take;
+    dispatched_batches_ += 1;
+    max_batch_ = std::max<uint64_t>(max_batch_, take);
+    lock.unlock();
+
+    std::vector<ScoreRequest> requests;
+    requests.reserve(batch.size());
+    for (Pending& pending : batch) requests.push_back(pending.request);
+    std::vector<std::vector<float>> results = scorer_->ScoreBatch(requests);
+    DELREC_CHECK_EQ(results.size(), batch.size());
+    for (size_t i = 0; i < batch.size(); ++i) {
+      batch[i].promise.set_value(std::move(results[i]));
+    }
+  }
+}
+
+}  // namespace delrec::serve

@@ -1,0 +1,94 @@
+#ifndef DELREC_SERVE_ENGINE_H_
+#define DELREC_SERVE_ENGINE_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "serve/scorer.h"
+
+namespace delrec::serve {
+
+struct EngineOptions {
+  /// Most requests coalesced into one Scorer::ScoreBatch call.
+  int64_t max_batch_size = 16;
+  /// How long the dispatcher lingers for more requests once it holds at
+  /// least one (0 = dispatch whatever is queued immediately). Bounds p99
+  /// latency under light load; under heavy load batches fill before the
+  /// deadline and it never applies.
+  double batch_deadline_ms = 1.0;
+};
+
+/// A thread-safe serving front-end over one Scorer: concurrent clients
+/// submit ScoreRequests, a single dispatcher thread coalesces them (up to
+/// max_batch_size, waiting at most batch_deadline_ms) and drives the
+/// scorer's batched path.
+///
+/// Determinism contract: results are independent of batching. The engine
+/// dispatches requests in FIFO arrival order, and the Scorer contract
+/// (ScoreBatch row i ≡ Score(requests[i]), bit-identical) makes every
+/// coalescing decision invisible — a request's scores do not depend on
+/// which requests it shared a batch with, the dispatch timing, or the
+/// thread count (DESIGN.md §11).
+///
+/// The dispatcher is a dedicated std::thread rather than a util::ThreadPool
+/// task: the scorer's batched forward parallelizes through the global pool
+/// internally, and the pool rejects nested submission from worker threads.
+class RecommendationEngine {
+ public:
+  /// `scorer` must outlive the engine. Spawns the dispatcher thread.
+  RecommendationEngine(const Scorer* scorer, const EngineOptions& options);
+  /// Drains outstanding requests, then joins the dispatcher.
+  ~RecommendationEngine();
+
+  RecommendationEngine(const RecommendationEngine&) = delete;
+  RecommendationEngine& operator=(const RecommendationEngine&) = delete;
+
+  /// Enqueues a request; the future resolves when its batch completes.
+  std::future<std::vector<float>> ScoreAsync(ScoreRequest request);
+
+  /// Blocking convenience: enqueue and wait.
+  std::vector<float> ScoreCandidates(std::vector<int64_t> history,
+                                     std::vector<int64_t> candidates);
+
+  /// Stops accepting requests, drains the queue, joins the dispatcher.
+  /// Idempotent; the destructor calls it.
+  void Shutdown();
+
+  struct Stats {
+    uint64_t requests = 0;      // Requests dispatched.
+    uint64_t batches = 0;       // ScoreBatch calls issued.
+    uint64_t max_batch = 0;     // Largest batch dispatched.
+    double mean_batch = 0.0;    // requests / batches.
+  };
+  Stats GetStats() const;
+
+ private:
+  struct Pending {
+    ScoreRequest request;
+    std::promise<std::vector<float>> promise;
+  };
+
+  void DispatcherLoop();
+
+  const Scorer* scorer_;
+  EngineOptions options_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<Pending> queue_;
+  bool stopping_ = false;
+  uint64_t dispatched_requests_ = 0;
+  uint64_t dispatched_batches_ = 0;
+  uint64_t max_batch_ = 0;
+
+  std::thread dispatcher_;  // Last member: starts in the ctor body.
+};
+
+}  // namespace delrec::serve
+
+#endif  // DELREC_SERVE_ENGINE_H_

@@ -1,0 +1,109 @@
+#include "serve/scorer.h"
+
+#include <utility>
+
+#include "util/check.h"
+
+namespace delrec::serve {
+namespace {
+
+// LlmRecommender and DelRec score data::Examples; serving has no target, so
+// requests are wrapped in an Example whose target is never read by scoring
+// (the same shim DelRec::Recommend uses).
+data::Example AsExample(const ScoreRequest& request) {
+  data::Example example;
+  example.history = request.history;
+  example.target = request.candidates.empty() ? 0 : request.candidates[0];
+  return example;
+}
+
+class SequentialScorer : public Scorer {
+ public:
+  explicit SequentialScorer(const srmodels::SequentialRecommender* model)
+      : model_(model) {
+    DELREC_CHECK(model != nullptr);
+  }
+
+  std::string name() const override { return model_->name(); }
+
+  std::vector<float> Score(const ScoreRequest& request) const override {
+    return model_->ScoreCandidates(request.history, request.candidates);
+  }
+
+  std::vector<std::vector<float>> ScoreBatch(
+      const std::vector<ScoreRequest>& requests) const override {
+    std::vector<std::vector<int64_t>> histories;
+    std::vector<std::vector<int64_t>> candidates;
+    histories.reserve(requests.size());
+    candidates.reserve(requests.size());
+    for (const ScoreRequest& request : requests) {
+      histories.push_back(request.history);
+      candidates.push_back(request.candidates);
+    }
+    return model_->ScoreCandidatesBatch(histories, candidates);
+  }
+
+ private:
+  const srmodels::SequentialRecommender* model_;
+};
+
+class BaselineScorer : public Scorer {
+ public:
+  explicit BaselineScorer(const baselines::LlmRecommender* model)
+      : model_(model) {
+    DELREC_CHECK(model != nullptr);
+  }
+
+  std::string name() const override { return model_->name(); }
+
+  std::vector<float> Score(const ScoreRequest& request) const override {
+    return model_->ScoreCandidates(AsExample(request), request.candidates);
+  }
+
+ private:
+  const baselines::LlmRecommender* model_;
+};
+
+class DelRecScorer : public Scorer {
+ public:
+  explicit DelRecScorer(const core::DelRec* model) : model_(model) {
+    DELREC_CHECK(model != nullptr);
+  }
+
+  std::string name() const override { return model_->name(); }
+
+  std::vector<float> Score(const ScoreRequest& request) const override {
+    return model_->ScoreCandidates(AsExample(request), request.candidates);
+  }
+
+ private:
+  const core::DelRec* model_;
+};
+
+}  // namespace
+
+std::vector<std::vector<float>> Scorer::ScoreBatch(
+    const std::vector<ScoreRequest>& requests) const {
+  std::vector<std::vector<float>> results;
+  results.reserve(requests.size());
+  for (const ScoreRequest& request : requests) {
+    results.push_back(Score(request));
+  }
+  return results;
+}
+
+std::unique_ptr<Scorer> MakeSequentialScorer(
+    const srmodels::SequentialRecommender* model) {
+  return std::make_unique<SequentialScorer>(model);
+}
+
+std::unique_ptr<Scorer> MakeBaselineScorer(
+    const baselines::LlmRecommender* model) {
+  return std::make_unique<BaselineScorer>(model);
+}
+
+std::unique_ptr<Scorer> MakeDelRecScorer(const core::DelRec* model) {
+  return std::make_unique<DelRecScorer>(model);
+}
+
+}  // namespace delrec::serve

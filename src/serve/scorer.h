@@ -1,0 +1,63 @@
+#ifndef DELREC_SERVE_SCORER_H_
+#define DELREC_SERVE_SCORER_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/common.h"
+#include "core/delrec.h"
+#include "srmodels/recommender.h"
+
+namespace delrec::serve {
+
+/// One candidate-scoring request: rank `candidates` given `history` (most
+/// recent interaction last).
+struct ScoreRequest {
+  std::vector<int64_t> history;
+  std::vector<int64_t> candidates;
+};
+
+/// The unified serving interface every recommender in this repo sits
+/// behind: DELRec itself (live or as a frozen EngineSnapshot), the four
+/// baselines/ LLM paradigms, and the conventional srmodels/ backbones. A
+/// RecommendationEngine owns one Scorer and drives it from its dispatcher.
+///
+/// Contract: Score()/ScoreBatch() must be const-thread-safe (inference
+/// mutates no observable state), and ScoreBatch row i must be bit-identical
+/// to Score(requests[i]) for every batch composition — this is what makes
+/// the engine's micro-batching invisible to clients (DESIGN.md §11).
+class Scorer {
+ public:
+  virtual ~Scorer() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Scores one request (higher = better), one float per candidate.
+  virtual std::vector<float> Score(const ScoreRequest& request) const = 0;
+
+  /// Scores a micro-batch. The default loops over Score(); implementations
+  /// with a genuinely batched path (EngineSnapshot) override it.
+  virtual std::vector<std::vector<float>> ScoreBatch(
+      const std::vector<ScoreRequest>& requests) const;
+};
+
+/// Adapts a conventional sequential recommender. `model` must outlive the
+/// scorer and be trained.
+std::unique_ptr<Scorer> MakeSequentialScorer(
+    const srmodels::SequentialRecommender* model);
+
+/// Adapts any baselines/ LlmRecommender (all four paradigms implement that
+/// interface). `model` must outlive the scorer and be trained.
+std::unique_ptr<Scorer> MakeBaselineScorer(
+    const baselines::LlmRecommender* model);
+
+/// Adapts a live trained DelRec. Prefer EngineSnapshot for serving — this
+/// adapter exists for parity testing and for scoring without a snapshot
+/// build step. `model` must outlive the scorer.
+std::unique_ptr<Scorer> MakeDelRecScorer(const core::DelRec* model);
+
+}  // namespace delrec::serve
+
+#endif  // DELREC_SERVE_SCORER_H_

@@ -1,0 +1,101 @@
+#ifndef DELREC_SERVE_SNAPSHOT_H_
+#define DELREC_SERVE_SNAPSHOT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/checkpoint.h"
+#include "core/delrec.h"
+#include "data/dataset.h"
+#include "llm/prompt.h"
+#include "llm/tiny_lm.h"
+#include "llm/verbalizer.h"
+#include "llm/vocab.h"
+#include "nn/tensor.h"
+#include "serve/scorer.h"
+#include "srmodels/recommender.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace delrec::serve {
+
+/// An immutable, shareable inference artifact: the frozen TinyLm (base
+/// weights + AdaLoRA adapters + embedding-LoRA factors), the distilled soft
+/// prompts, the prompt templates, the verbalizer, and a materialized
+/// effective token table — everything candidate scoring needs, with no
+/// trainer state attached. Buildable from a live trained DelRec or straight
+/// from SaveDelRecCheckpoint blobs; both construction paths produce
+/// bit-identical scores to the live model (tests/serve_test.cc).
+///
+/// Scoring is const and thread-safe: the snapshot's own TinyLm is never
+/// mutated after construction, inference draws no RNG, and grad mode is
+/// thread-local. Score() walks the same per-sequence tensor path as
+/// DelRec::ScoreCandidates; ScoreBatch() stacks prompts into one
+/// row-concatenated TinyLm::EncodeBatch pass, bit-identical per row at
+/// every thread count and batch composition (DESIGN.md §11).
+class EngineSnapshot : public Scorer {
+ public:
+  /// Borrowed, immutable context the snapshot scores against. All pointers
+  /// must outlive the snapshot. `sr_model` supplies the TopK hint channel
+  /// of the stage-2 prompt and must be the trained backbone DELRec
+  /// distilled from (it is consulted read-only).
+  struct Sources {
+    const data::Catalog* catalog = nullptr;
+    const llm::Vocab* vocab = nullptr;
+    const srmodels::SequentialRecommender* sr_model = nullptr;
+  };
+
+  /// Freezes a live trained system. Copies all parameter state out of
+  /// `model`/`llm` (via the checkpoint blob path, so a frozen-from-model
+  /// snapshot is byte-for-byte the same artifact as one loaded from disk).
+  static util::StatusOr<std::unique_ptr<EngineSnapshot>> FromModel(
+      const core::DelRec& model, const llm::TinyLm& llm,
+      const Sources& sources);
+
+  /// Builds from checkpoint blobs. `llm_config`/`config` must describe the
+  /// architecture the checkpoint was trained with (blob sizes are
+  /// validated; InvalidArgument on mismatch).
+  static util::StatusOr<std::unique_ptr<EngineSnapshot>> FromBlobs(
+      const core::DelRecBlobs& blobs, const llm::TinyLmConfig& llm_config,
+      const core::DelRecConfig& config, const Sources& sources);
+
+  /// Reads a SaveDelRecCheckpoint file and builds from its blobs.
+  static util::StatusOr<std::unique_ptr<EngineSnapshot>> FromCheckpoint(
+      const std::string& path, const llm::TinyLmConfig& llm_config,
+      const core::DelRecConfig& config, const Sources& sources);
+
+  // Scorer interface.
+  std::string name() const override;
+  std::vector<float> Score(const ScoreRequest& request) const override;
+  std::vector<std::vector<float>> ScoreBatch(
+      const std::vector<ScoreRequest>& requests) const override;
+
+  /// Top-k recommendation over a candidate pool, best first.
+  std::vector<int64_t> Recommend(const std::vector<int64_t>& history,
+                                 const std::vector<int64_t>& candidate_pool,
+                                 int64_t k) const;
+
+  const core::DelRecConfig& config() const { return config_; }
+  const llm::TinyLm& llm() const { return *llm_; }
+  const nn::Tensor& soft_prompts() const { return soft_prompts_; }
+
+ private:
+  EngineSnapshot(const core::DelRecConfig& config, const Sources& sources);
+
+  Sources sources_;
+  core::DelRecConfig config_;
+  std::unique_ptr<llm::TinyLm> llm_;  // Owned, frozen after construction.
+  nn::Tensor soft_prompts_;           // (k, model_dim), no grad.
+  llm::PromptBuilder prompt_builder_;
+  llm::Verbalizer verbalizer_;
+  nn::Tensor effective_table_;  // MaterializeTokenTable(), shared by calls.
+  // Handed to Encode() for its dropout parameter; inference never draws
+  // from it (dropout 0, training off), so concurrent Score() calls are safe.
+  mutable util::Rng scratch_rng_;
+};
+
+}  // namespace delrec::serve
+
+#endif  // DELREC_SERVE_SNAPSHOT_H_

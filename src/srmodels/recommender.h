@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "data/split.h"
+#include "nn/anomaly.h"
 #include "util/status.h"
 
 namespace delrec::srmodels {
@@ -23,11 +24,9 @@ struct TrainConfig {
   bool verbose = false;
 
   // Loss-anomaly guard (nn::LossAnomalyGuard): non-finite or spiking batch
-  // losses are skipped (parameters restored); training aborts with a Status
-  // after max_consecutive_anomalies anomalous batches in a row.
-  bool anomaly_guard = true;
-  float anomaly_spike_factor = 25.0f;
-  int max_consecutive_anomalies = 5;
+  // losses are skipped (parameters restored). Knobs shared with
+  // core::DelRecConfig via nn::AnomalyGuardConfig.
+  nn::AnomalyGuardConfig anomaly_guard;
 };
 
 /// Interface every conventional sequential recommender implements. All

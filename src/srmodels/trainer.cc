@@ -18,10 +18,8 @@ util::StatusOr<TrainLoopResult> RunTrainingLoop(
     const std::function<nn::Tensor(const data::Example&)>& example_loss,
     const char* model_name, const TrainLoopHooks& hooks) {
   DELREC_CHECK(!examples.empty()) << model_name << ": no training examples";
-  nn::LossAnomalyGuard guard({.enabled = config.anomaly_guard,
-                              .spike_factor = config.anomaly_spike_factor,
-                              .max_consecutive =
-                                  config.max_consecutive_anomalies});
+  nn::LossAnomalyGuard guard(
+      nn::LossAnomalyGuard::FromConfig(config.anomaly_guard));
   std::vector<int64_t> order(examples.size());
   TrainLoopResult result;
   for (int epoch = hooks.start_epoch; epoch < config.epochs; ++epoch) {
@@ -56,7 +54,7 @@ util::StatusOr<TrainLoopResult> RunTrainingLoop(
         continue;
       }
       std::vector<std::vector<float>> snapshot;
-      if (config.anomaly_guard) {
+      if (config.anomaly_guard.enabled) {
         snapshot = nn::SnapshotParameterData(clip_parameters);
       }
       optimizer.ZeroGrad();
@@ -65,7 +63,7 @@ util::StatusOr<TrainLoopResult> RunTrainingLoop(
         nn::ClipGradNorm(clip_parameters, config.gradient_clip);
       }
       optimizer.Step();
-      if (config.anomaly_guard &&
+      if (config.anomaly_guard.enabled &&
           !nn::AllParametersFinite(clip_parameters)) {
         nn::RestoreParameterData(clip_parameters, snapshot);
         guard.ReportParameterAnomaly();

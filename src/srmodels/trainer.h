@@ -36,7 +36,7 @@ struct TrainLoopResult {
 /// clips gradients, and steps the optimizer. Batches flagged by the
 /// loss-anomaly guard (TrainConfig::anomaly_guard) are skipped with
 /// parameters restored; the loop aborts with a Status after
-/// max_consecutive_anomalies in a row. The `trainer.loss` corrupt-mode
+/// AnomalyGuardConfig::max_consecutive in a row. The `trainer.loss` corrupt-mode
 /// failpoint forces a NaN batch loss (fault-injection tests).
 util::StatusOr<TrainLoopResult> RunTrainingLoop(
     const std::vector<data::Example>& examples, const TrainConfig& config,

@@ -16,6 +16,14 @@ namespace {
 // rejection and for ParallelFor's serial fallback inside workers.
 thread_local const ThreadPool* g_worker_pool = nullptr;
 
+// True while the calling thread is executing chunk 0 of a ParallelFor it
+// dispatched itself. Workers already fall back to serial via InWorker();
+// without this flag the calling thread's chunk would still nested-dispatch,
+// queueing its subtasks behind the busy workers and serialising chunk 0
+// after chunks 1..N-1. Serial fallback is bit-identical (DESIGN.md §9), so
+// this is scheduling-only.
+thread_local bool g_in_dispatched_chunk = false;
+
 std::atomic<int> g_num_threads{1};
 std::atomic<int64_t> g_min_work{32 * 1024};
 
@@ -133,7 +141,8 @@ void ParallelForThreads(
     int num_threads, int64_t total,
     const std::function<void(int64_t, int64_t, int)>& fn) {
   if (total <= 0) return;
-  if (num_threads <= 1 || total <= 1 || ThreadPool::InWorker()) {
+  if (num_threads <= 1 || total <= 1 || ThreadPool::InWorker() ||
+      g_in_dispatched_chunk) {
     fn(0, total, 0);
     return;
   }
@@ -149,11 +158,13 @@ void ParallelForThreads(
   // The calling thread takes chunk 0; exceptions rethrow in chunk order so
   // the surfaced error is deterministic too.
   std::exception_ptr first_error;
+  g_in_dispatched_chunk = true;
   try {
     fn(chunks[0].first, chunks[0].second, 0);
   } catch (...) {
     first_error = std::current_exception();
   }
+  g_in_dispatched_chunk = false;
   for (std::future<void>& future : futures) {
     try {
       future.get();

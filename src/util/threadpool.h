@@ -91,9 +91,11 @@ std::vector<std::pair<int64_t, int64_t>> StaticPartition(int64_t total,
 /// write to disjoint outputs by construction (the caller's fn must honour
 /// that), so no synchronisation — and in particular no atomics on float
 /// paths — is needed. Falls back to a single inline fn(0, total, 0) call
-/// when num_threads <= 1, total <= 1, or the caller is already a pool
-/// worker (nested parallel section). Exceptions from chunks are rethrown in
-/// ascending chunk order.
+/// when num_threads <= 1, total <= 1, or the caller is already inside a
+/// parallel section (a pool worker, or the calling thread executing chunk 0
+/// of an outer ParallelFor — nested dispatch from either would queue behind
+/// the busy workers). Exceptions from chunks are rethrown in ascending
+/// chunk order.
 void ParallelFor(int64_t total,
                  const std::function<void(int64_t, int64_t, int)>& fn);
 /// As ParallelFor but with an explicit thread count (ignores the global

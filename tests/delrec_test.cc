@@ -356,7 +356,7 @@ TEST_F(DelRecTest, NanLossInjectionIsSkippedAndCounted) {
 TEST_F(DelRecTest, PersistentNanLossAbortsWithStatusNotCheck) {
   auto llm = workbench_->MakePretrainedLlm(LlmSize::kBase);
   DelRecConfig config = FastConfig();
-  config.max_consecutive_anomalies = 3;
+  config.anomaly_guard.max_consecutive = 3;
   DelRec model(&workbench_->dataset().catalog, &workbench_->vocab(),
                llm.get(), sr_model_, config);
   util::Failpoints::Instance().Arm("delrec.stage1.loss",

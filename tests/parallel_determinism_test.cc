@@ -19,6 +19,8 @@
 #include "nn/gemm.h"
 #include "nn/ops.h"
 #include "nn/tensor.h"
+#include "serve/scorer.h"
+#include "serve/snapshot.h"
 #include "srmodels/factory.h"
 #include "util/check.h"
 #include "util/rng.h"
@@ -207,6 +209,60 @@ TEST_F(ParallelDeterminismTest, BatchInferenceMatchesSerialLoop) {
     EXPECT_EQ(sr_model_->ScoreCandidatesBatch(histories, candidates),
               reference)
         << "threads=" << threads;
+  }
+}
+
+// The frozen serving path extends the §9 contract (DESIGN.md §11): an
+// EngineSnapshot's batched scoring must reproduce its per-sequence scoring
+// bit-for-bit at every thread count and for every micro-batch size. The
+// snapshot is frozen from an untrained DELRec — determinism does not depend
+// on what the weights are, only on how they are applied.
+TEST_F(ParallelDeterminismTest, SnapshotBatchScoringBitIdenticalAcrossThreads) {
+  core::DelRecConfig config;
+  config.soft_prompt_count = 4;
+  auto llm = workbench_->MakePretrainedLlm(core::LlmSize::kBase);
+  core::DelRec model(&workbench_->dataset().catalog, &workbench_->vocab(),
+                     llm.get(), sr_model_, config);
+  serve::EngineSnapshot::Sources sources;
+  sources.catalog = &workbench_->dataset().catalog;
+  sources.vocab = &workbench_->vocab();
+  sources.sr_model = sr_model_;
+  auto snapshot = serve::EngineSnapshot::FromModel(model, *llm, sources);
+  ASSERT_TRUE(snapshot.ok()) << snapshot.status().ToString();
+
+  const auto& test = workbench_->splits().test;
+  util::Rng rng(53);
+  std::vector<serve::ScoreRequest> requests;
+  for (size_t i = 0; i < std::min<size_t>(12, test.size()); ++i) {
+    serve::ScoreRequest request;
+    request.history = test[i].history;
+    request.candidates = data::SampleCandidates(workbench_->num_items(),
+                                                test[i].target, 15, rng);
+    requests.push_back(std::move(request));
+  }
+
+  std::vector<std::vector<float>> reference;
+  {
+    util::ScopedParallelism parallel(1, /*min_work_per_dispatch=*/1);
+    for (const serve::ScoreRequest& request : requests) {
+      reference.push_back(snapshot.value()->Score(request));
+    }
+  }
+  for (int threads : kThreadCounts) {
+    util::ScopedParallelism parallel(threads, /*min_work_per_dispatch=*/1);
+    for (size_t batch_size : {size_t{1}, size_t{3}, requests.size()}) {
+      std::vector<std::vector<float>> batched;
+      for (size_t begin = 0; begin < requests.size(); begin += batch_size) {
+        const size_t end = std::min(begin + batch_size, requests.size());
+        const std::vector<serve::ScoreRequest> chunk(requests.begin() + begin,
+                                                     requests.begin() + end);
+        for (std::vector<float>& scores : snapshot.value()->ScoreBatch(chunk)) {
+          batched.push_back(std::move(scores));
+        }
+      }
+      EXPECT_EQ(batched, reference)
+          << "threads=" << threads << " batch_size=" << batch_size;
+    }
   }
 }
 

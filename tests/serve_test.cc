@@ -1,0 +1,307 @@
+// The serving-layer contract (DESIGN.md §11): an EngineSnapshot scores
+// bit-identically to the live trained model it was frozen from — whether
+// built from the model or from checkpoint blobs, whatever the micro-batch
+// composition, and through the concurrent RecommendationEngine — and every
+// recommender paradigm fits behind the unified Scorer interface.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <future>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "baselines/zero_shot.h"
+#include "core/checkpoint.h"
+#include "core/delrec.h"
+#include "core/workbench.h"
+#include "data/dataset.h"
+#include "data/split.h"
+#include "serve/engine.h"
+#include "serve/scorer.h"
+#include "serve/snapshot.h"
+#include "srmodels/factory.h"
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace delrec {
+namespace {
+
+core::DelRecConfig SmallDelRecConfig() {
+  core::DelRecConfig config;
+  config.stage1_epochs = 1;
+  config.stage2_epochs = 1;
+  config.stage1_max_examples = 40;
+  config.stage2_max_examples = 40;
+  config.soft_prompt_count = 4;
+  return config;
+}
+
+class ServeTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    data::GeneratorConfig config = data::KuaiRecConfig();
+    config.num_users = 50;
+    config.num_items = 60;
+    core::Workbench::Options options;
+    options.pretrain_epochs = 1;
+    workbench_ = new core::Workbench(config, options);
+    sr_model_ = srmodels::MakeBackbone(srmodels::Backbone::kSasRec,
+                                       workbench_->num_items(), 10, 5)
+                    .release();
+    srmodels::TrainConfig train =
+        srmodels::BackboneTrainConfig(srmodels::Backbone::kSasRec);
+    train.epochs = 2;
+    const util::Status sr_trained =
+        sr_model_->Train(workbench_->splits().train, train);
+    DELREC_CHECK(sr_trained.ok()) << sr_trained.ToString();
+
+    llm_ = workbench_->MakePretrainedLlm(core::LlmSize::kBase).release();
+    model_ = new core::DelRec(&workbench_->dataset().catalog,
+                              &workbench_->vocab(), llm_, sr_model_,
+                              SmallDelRecConfig());
+    const util::Status trained = model_->Train(workbench_->splits().train);
+    DELREC_CHECK(trained.ok()) << trained.ToString();
+  }
+  static void TearDownTestSuite() {
+    delete model_;
+    delete llm_;
+    delete sr_model_;
+    delete workbench_;
+    model_ = nullptr;
+    llm_ = nullptr;
+    sr_model_ = nullptr;
+    workbench_ = nullptr;
+  }
+
+  static serve::EngineSnapshot::Sources Sources() {
+    serve::EngineSnapshot::Sources sources;
+    sources.catalog = &workbench_->dataset().catalog;
+    sources.vocab = &workbench_->vocab();
+    sources.sr_model = sr_model_;
+    return sources;
+  }
+
+  /// Deterministic request mix drawn from the test split.
+  static std::vector<serve::ScoreRequest> MakeRequests(size_t count) {
+    const auto& test = workbench_->splits().test;
+    util::Rng rng(77);
+    std::vector<serve::ScoreRequest> requests;
+    for (size_t i = 0; i < count; ++i) {
+      const data::Example& example = test[i % test.size()];
+      serve::ScoreRequest request;
+      request.history = example.history;
+      request.candidates = data::SampleCandidates(workbench_->num_items(),
+                                                  example.target, 15, rng);
+      requests.push_back(std::move(request));
+    }
+    return requests;
+  }
+
+  static std::unique_ptr<serve::EngineSnapshot> Snapshot() {
+    auto snapshot = serve::EngineSnapshot::FromModel(*model_, *llm_, Sources());
+    DELREC_CHECK(snapshot.ok()) << snapshot.status().ToString();
+    return std::move(snapshot.value());
+  }
+
+  static core::Workbench* workbench_;
+  static srmodels::SequentialRecommender* sr_model_;
+  static llm::TinyLm* llm_;
+  static core::DelRec* model_;
+};
+
+core::Workbench* ServeTest::workbench_ = nullptr;
+srmodels::SequentialRecommender* ServeTest::sr_model_ = nullptr;
+llm::TinyLm* ServeTest::llm_ = nullptr;
+core::DelRec* ServeTest::model_ = nullptr;
+
+TEST_F(ServeTest, SnapshotMatchesLiveModelBitIdentical) {
+  const auto snapshot = Snapshot();
+  for (const serve::ScoreRequest& request : MakeRequests(10)) {
+    data::Example example;
+    example.history = request.history;
+    example.target = request.candidates[0];
+    const std::vector<float> live =
+        model_->ScoreCandidates(example, request.candidates);
+    EXPECT_EQ(snapshot->Score(request), live);
+  }
+}
+
+TEST_F(ServeTest, SnapshotFromCheckpointMatchesFromModel) {
+  const std::string path = ::testing::TempDir() + "/serve_snapshot.ckpt";
+  std::remove(path.c_str());
+  const util::Status saved = core::SaveDelRecCheckpoint(*model_, *llm_, path);
+  ASSERT_TRUE(saved.ok()) << saved.ToString();
+
+  const auto from_model = Snapshot();
+  auto from_disk = serve::EngineSnapshot::FromCheckpoint(
+      path, llm_->config(), model_->config(), Sources());
+  ASSERT_TRUE(from_disk.ok()) << from_disk.status().ToString();
+  std::remove(path.c_str());
+
+  const std::vector<serve::ScoreRequest> requests = MakeRequests(8);
+  EXPECT_EQ(from_disk.value()->ScoreBatch(requests),
+            from_model->ScoreBatch(requests));
+  for (const serve::ScoreRequest& request : requests) {
+    EXPECT_EQ(from_disk.value()->Score(request), from_model->Score(request));
+  }
+}
+
+TEST_F(ServeTest, ScoreBatchInvariantUnderBatchComposition) {
+  const auto snapshot = Snapshot();
+  const std::vector<serve::ScoreRequest> requests = MakeRequests(11);
+  std::vector<std::vector<float>> reference;
+  for (const serve::ScoreRequest& request : requests) {
+    reference.push_back(snapshot->Score(request));
+  }
+  for (size_t batch_size : {size_t{1}, size_t{2}, size_t{5}, requests.size()}) {
+    std::vector<std::vector<float>> batched;
+    for (size_t begin = 0; begin < requests.size(); begin += batch_size) {
+      const size_t end = std::min(begin + batch_size, requests.size());
+      const std::vector<serve::ScoreRequest> chunk(requests.begin() + begin,
+                                                   requests.begin() + end);
+      for (std::vector<float>& scores : snapshot->ScoreBatch(chunk)) {
+        batched.push_back(std::move(scores));
+      }
+    }
+    EXPECT_EQ(batched, reference) << "batch_size=" << batch_size;
+  }
+}
+
+TEST_F(ServeTest, SnapshotRecommendRanksLikeLiveModel) {
+  const auto snapshot = Snapshot();
+  const std::vector<serve::ScoreRequest> requests = MakeRequests(4);
+  for (const serve::ScoreRequest& request : requests) {
+    EXPECT_EQ(snapshot->Recommend(request.history, request.candidates, 5),
+              model_->Recommend(request.history, request.candidates, 5));
+  }
+}
+
+TEST_F(ServeTest, EngineMatchesUnbatchedScoresUnderConcurrency) {
+  const auto snapshot = Snapshot();
+  const std::vector<serve::ScoreRequest> requests = MakeRequests(24);
+  std::vector<std::vector<float>> reference;
+  for (const serve::ScoreRequest& request : requests) {
+    reference.push_back(snapshot->Score(request));
+  }
+
+  serve::EngineOptions options;
+  options.max_batch_size = 4;
+  serve::RecommendationEngine engine(snapshot.get(), options);
+  constexpr int kClients = 8;
+  std::vector<std::vector<std::vector<float>>> results(kClients);
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      // Each client scores every third request, staggered, so concurrent
+      // submissions overlap and coalesce into mixed batches.
+      for (size_t i = c % 3; i < requests.size(); i += 3) {
+        results[c].push_back(
+            engine.ScoreCandidates(requests[i].history,
+                                   requests[i].candidates));
+      }
+    });
+  }
+  for (std::thread& client : clients) client.join();
+  engine.Shutdown();
+
+  for (int c = 0; c < kClients; ++c) {
+    size_t slot = 0;
+    for (size_t i = c % 3; i < requests.size(); i += 3, ++slot) {
+      EXPECT_EQ(results[c][slot], reference[i]) << "client=" << c << " i=" << i;
+    }
+  }
+  const serve::RecommendationEngine::Stats stats = engine.GetStats();
+  size_t expected_requests = 0;
+  for (int c = 0; c < kClients; ++c) {
+    for (size_t i = c % 3; i < requests.size(); i += 3) ++expected_requests;
+  }
+  EXPECT_EQ(stats.requests, expected_requests);
+  EXPECT_GE(stats.batches, 1u);
+  EXPECT_LE(stats.max_batch, 4u);
+}
+
+TEST_F(ServeTest, EngineAsyncAndShutdownDrainQueue) {
+  const auto snapshot = Snapshot();
+  serve::EngineOptions options;
+  options.max_batch_size = 3;
+  options.batch_deadline_ms = 50.0;  // Force coalescing of the burst.
+  auto engine =
+      std::make_unique<serve::RecommendationEngine>(snapshot.get(), options);
+  const std::vector<serve::ScoreRequest> requests = MakeRequests(7);
+  std::vector<std::future<std::vector<float>>> futures;
+  for (const serve::ScoreRequest& request : requests) {
+    futures.push_back(engine->ScoreAsync(request));
+  }
+  engine->Shutdown();
+  engine->Shutdown();  // Idempotent.
+  for (size_t i = 0; i < requests.size(); ++i) {
+    EXPECT_EQ(futures[i].get(), snapshot->Score(requests[i])) << "i=" << i;
+  }
+  engine.reset();  // Destructor after explicit Shutdown() is a no-op.
+}
+
+TEST_F(ServeTest, ScorerAdaptersMatchUnderlyingModels) {
+  const std::vector<serve::ScoreRequest> requests = MakeRequests(6);
+
+  const auto sequential = serve::MakeSequentialScorer(sr_model_);
+  const auto delrec = serve::MakeDelRecScorer(model_);
+  baselines::ZeroShotLlm zero_shot("TinyLM zero-shot", llm_,
+                                   &workbench_->dataset().catalog,
+                                   &workbench_->vocab(), 10);
+  const auto baseline = serve::MakeBaselineScorer(&zero_shot);
+
+  for (const serve::ScoreRequest& request : requests) {
+    data::Example example;
+    example.history = request.history;
+    example.target = request.candidates[0];
+    EXPECT_EQ(sequential->Score(request),
+              sr_model_->ScoreCandidates(request.history, request.candidates));
+    EXPECT_EQ(delrec->Score(request),
+              model_->ScoreCandidates(example, request.candidates));
+    EXPECT_EQ(baseline->Score(request),
+              zero_shot.ScoreCandidates(example, request.candidates));
+  }
+  // The default ScoreBatch loop and the sequential batched override both
+  // honour the row-equivalence contract.
+  std::vector<std::vector<float>> expected;
+  for (const serve::ScoreRequest& request : requests) {
+    expected.push_back(sequential->Score(request));
+  }
+  EXPECT_EQ(sequential->ScoreBatch(requests), expected);
+  expected.clear();
+  for (const serve::ScoreRequest& request : requests) {
+    expected.push_back(baseline->Score(request));
+  }
+  EXPECT_EQ(baseline->ScoreBatch(requests), expected);
+}
+
+TEST_F(ServeTest, FromBlobsRejectsArchitectureMismatch) {
+  const core::DelRecBlobs blobs = core::ExtractDelRecBlobs(*model_, *llm_);
+
+  // Wrong LLM architecture.
+  auto wrong_llm = serve::EngineSnapshot::FromBlobs(
+      blobs, llm::TinyLmConfig::Large(workbench_->vocab().size()),
+      model_->config(), Sources());
+  EXPECT_FALSE(wrong_llm.ok());
+
+  // Wrong soft-prompt count.
+  core::DelRecConfig wrong_config = model_->config();
+  wrong_config.soft_prompt_count += 1;
+  auto wrong_soft = serve::EngineSnapshot::FromBlobs(blobs, llm_->config(),
+                                                     wrong_config, Sources());
+  EXPECT_FALSE(wrong_soft.ok());
+
+  // Truncated adapter blob.
+  core::DelRecBlobs truncated = blobs;
+  if (!truncated.adapter_states.empty()) {
+    truncated.adapter_states[0].pop_back();
+    auto bad_adapter = serve::EngineSnapshot::FromBlobs(
+        truncated, llm_->config(), model_->config(), Sources());
+    EXPECT_FALSE(bad_adapter.ok());
+  }
+}
+
+}  // namespace
+}  // namespace delrec

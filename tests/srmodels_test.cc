@@ -142,7 +142,7 @@ TEST_F(SrModelsTest, PersistentNanLossAbortsWithStatus) {
   Gru4Rec model(dataset_->catalog.size(), 32, 3);
   TrainConfig config = BackboneTrainConfig(Backbone::kGru4Rec);
   config.epochs = 1;
-  config.max_consecutive_anomalies = 2;
+  config.anomaly_guard.max_consecutive = 2;
   util::Failpoints::Instance().Arm("trainer.loss",
                                    util::Failpoints::Mode::kCorrupt);
   const util::Status trained = model.Train(splits_->train, config);
