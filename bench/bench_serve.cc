@@ -107,6 +107,8 @@ void BenchBatchedVsSingle(bench::BenchRecorder& recorder,
 
   const double n = static_cast<double>(requests.size());
   const double speedup = single_s / batched_s;
+  recorder.Record("serve_requests", n, "requests", bench::MetricKind::kCount,
+                  /*stable=*/true);
   recorder.Record("serve_single_rps", n / single_s, "requests/s",
                   bench::MetricKind::kThroughput);
   recorder.Record("serve_batched_rps", n / batched_s, "requests/s",
@@ -166,6 +168,16 @@ void BenchEngineThroughput(bench::BenchRecorder& recorder,
   const serve::RecommendationEngine::Stats stats = engine.GetStats();
   DELREC_CHECK_EQ(stats.requests, all.size());
 
+  // Stable counts: the workload is fixed, so these gate against the
+  // committed baseline (a drift means the bench silently changed shape).
+  recorder.Record("serve_engine_requests", total, "requests",
+                  bench::MetricKind::kCount, /*stable=*/true);
+  recorder.Record("serve_engine_shed",
+                  static_cast<double>(stats.shed_queue_full +
+                                      stats.shed_deadline +
+                                      stats.shed_shutdown +
+                                      stats.scorer_failures),
+                  "requests", bench::MetricKind::kCount, /*stable=*/true);
   recorder.Record("serve_engine_rps", total / wall_s, "requests/s",
                   bench::MetricKind::kThroughput);
   recorder.Record("serve_engine_p50_latency_ms", Percentile(all, 0.50) * 1e3,

@@ -1,31 +1,114 @@
 #include "serve/engine.h"
 
 #include <algorithm>
-#include <chrono>
+#include <cmath>
+#include <exception>
+#include <string>
 #include <utility>
 
 #include "util/check.h"
+#include "util/failpoint.h"
 
 namespace delrec::serve {
+namespace {
+
+constexpr auto kNoDeadline = std::chrono::steady_clock::time_point::max();
+
+/// Arrival-relative budget → absolute deadline. A non-positive budget means
+/// "no deadline" (never sheds).
+std::chrono::steady_clock::time_point DeadlineFor(
+    std::chrono::steady_clock::time_point arrival, double request_ms,
+    double default_ms) {
+  const double budget_ms = request_ms > 0.0 ? request_ms : default_ms;
+  if (budget_ms <= 0.0) return kNoDeadline;
+  return arrival + std::chrono::microseconds(
+                       static_cast<int64_t>(budget_ms * 1000.0));
+}
+
+ScoreResponse Rejection(util::Status status) {
+  ScoreResponse response;
+  response.status = std::move(status);
+  return response;
+}
+
+}  // namespace
+
+util::Status EngineOptions::Validate() const {
+  if (max_batch_size < 1) {
+    return util::Status::InvalidArgument(
+        "EngineOptions.max_batch_size must be >= 1, got " +
+        std::to_string(max_batch_size));
+  }
+  if (!(batch_deadline_ms >= 0.0)) {  // Also rejects NaN.
+    return util::Status::InvalidArgument(
+        "EngineOptions.batch_deadline_ms must be >= 0, got " +
+        std::to_string(batch_deadline_ms));
+  }
+  if (max_queue_depth < 0) {
+    return util::Status::InvalidArgument(
+        "EngineOptions.max_queue_depth must be >= 0, got " +
+        std::to_string(max_queue_depth));
+  }
+  if (!(default_deadline_ms >= 0.0)) {
+    return util::Status::InvalidArgument(
+        "EngineOptions.default_deadline_ms must be >= 0, got " +
+        std::to_string(default_deadline_ms));
+  }
+  return util::Status::Ok();
+}
+
+RecommendationEngine::RecommendationEngine(const SnapshotHandle* handle,
+                                           const EngineOptions& options)
+    : handle_(handle), options_(options) {
+  DELREC_CHECK(handle != nullptr);
+  Start();
+}
 
 RecommendationEngine::RecommendationEngine(const Scorer* scorer,
                                            const EngineOptions& options)
-    : scorer_(scorer), options_(options) {
+    : options_(options) {
   DELREC_CHECK(scorer != nullptr);
-  DELREC_CHECK_GE(options_.max_batch_size, 1);
+  // Non-owning: the caller guarantees the scorer outlives the engine, so the
+  // handle's shared_ptr only has to keep the version tag alive.
+  owned_handle_ = std::make_unique<SnapshotHandle>(
+      std::shared_ptr<const Scorer>(scorer, [](const Scorer*) {}));
+  handle_ = owned_handle_.get();
+  Start();
+}
+
+void RecommendationEngine::Start() {
+  const util::Status valid = options_.Validate();
+  DELREC_CHECK(valid.ok()) << valid.ToString();
   dispatcher_ = std::thread([this] { DispatcherLoop(); });
 }
 
 RecommendationEngine::~RecommendationEngine() { Shutdown(); }
 
-std::future<std::vector<float>> RecommendationEngine::ScoreAsync(
+std::future<ScoreResponse> RecommendationEngine::ScoreAsync(
     ScoreRequest request) {
   Pending pending;
+  pending.arrival = Clock::now();
+  pending.deadline = DeadlineFor(pending.arrival, request.deadline_ms,
+                                 options_.default_deadline_ms);
   pending.request = std::move(request);
-  std::future<std::vector<float>> future = pending.promise.get_future();
+  std::future<ScoreResponse> future = pending.promise.get_future();
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    DELREC_CHECK(!stopping_);  // No submissions after Shutdown().
+    ++submitted_;
+    if (stopping_) {
+      ++shed_shutdown_;
+      pending.promise.set_value(Rejection(
+          util::Status::Unavailable("engine is shut down")));
+      return future;
+    }
+    if (options_.max_queue_depth > 0 &&
+        queue_.size() >= static_cast<size_t>(options_.max_queue_depth)) {
+      ++shed_queue_full_;
+      pending.promise.set_value(Rejection(util::Status::Unavailable(
+          "admission queue full (depth " +
+          std::to_string(options_.max_queue_depth) + ")")));
+      return future;
+    }
     queue_.push_back(std::move(pending));
   }
   cv_.notify_all();
@@ -37,7 +120,9 @@ std::vector<float> RecommendationEngine::ScoreCandidates(
   ScoreRequest request;
   request.history = std::move(history);
   request.candidates = std::move(candidates);
-  return ScoreAsync(std::move(request)).get();
+  ScoreResponse response = ScoreAsync(std::move(request)).get();
+  DELREC_CHECK(response.status.ok()) << response.status.ToString();
+  return std::move(response.scores);
 }
 
 void RecommendationEngine::Shutdown() {
@@ -56,7 +141,9 @@ void RecommendationEngine::Shutdown() {
 RecommendationEngine::Stats RecommendationEngine::GetStats() const {
   std::lock_guard<std::mutex> lock(mutex_);
   Stats stats;
+  stats.submitted = submitted_;
   stats.requests = dispatched_requests_;
+  stats.scored = scored_requests_;
   stats.batches = dispatched_batches_;
   stats.max_batch = max_batch_;
   stats.mean_batch =
@@ -64,7 +151,44 @@ RecommendationEngine::Stats RecommendationEngine::GetStats() const {
           ? 0.0
           : static_cast<double>(dispatched_requests_) /
                 static_cast<double>(dispatched_batches_);
+  stats.shed_queue_full = shed_queue_full_;
+  stats.shed_deadline = shed_deadline_;
+  stats.shed_shutdown = shed_shutdown_;
+  stats.scorer_failures = scorer_failures_;
+  stats.swaps_observed = swaps_observed_;
+  stats.snapshot_version = last_version_;
+  stats.queue_wait_histogram = queue_wait_histogram_;
+  stats.queue_p50_ms = QueueWaitPercentileMs(queue_wait_histogram_, 0.50);
+  stats.queue_p99_ms = QueueWaitPercentileMs(queue_wait_histogram_, 0.99);
   return stats;
+}
+
+double RecommendationEngine::QueueWaitPercentileMs(
+    const QueueWaitHistogram& histogram, double q) {
+  uint64_t total = 0;
+  for (uint64_t count : histogram) total += count;
+  if (total == 0) return 0.0;
+  const uint64_t rank = std::min<uint64_t>(
+      total, static_cast<uint64_t>(std::ceil(q * static_cast<double>(total))));
+  uint64_t seen = 0;
+  for (int bucket = 0; bucket < kQueueWaitBuckets; ++bucket) {
+    seen += histogram[bucket];
+    if (seen >= std::max<uint64_t>(rank, 1)) {
+      // Bucket upper bound: 2^bucket µs (bucket 0 = <1µs).
+      return std::ldexp(1.0, bucket) * 1e-3;
+    }
+  }
+  return std::ldexp(1.0, kQueueWaitBuckets - 1) * 1e-3;
+}
+
+void RecommendationEngine::RecordQueueWaitLocked(Clock::duration wait) {
+  const int64_t us =
+      std::chrono::duration_cast<std::chrono::microseconds>(wait).count();
+  int bucket = 0;
+  while (bucket < kQueueWaitBuckets - 1 && (int64_t{1} << bucket) <= us) {
+    ++bucket;
+  }
+  ++queue_wait_histogram_[bucket];
 }
 
 void RecommendationEngine::DispatcherLoop() {
@@ -81,31 +205,101 @@ void RecommendationEngine::DispatcherLoop() {
     // the batch is full or shutdown begins.
     if (deadline_budget.count() > 0 && queue_.size() < max_batch &&
         !stopping_) {
-      const auto deadline = std::chrono::steady_clock::now() + deadline_budget;
+      const auto deadline = Clock::now() + deadline_budget;
       cv_.wait_until(lock, deadline, [this, max_batch] {
         return stopping_ || queue_.size() >= max_batch;
       });
     }
 
-    const size_t take = std::min(queue_.size(), max_batch);
+    // Form the batch in FIFO order, shedding requests whose deadline lapsed
+    // while they queued — scoring them now would only return a result the
+    // client has already given up on, at the expense of live requests.
+    const auto now = Clock::now();
     std::vector<Pending> batch;
-    batch.reserve(take);
-    for (size_t i = 0; i < take; ++i) {
-      batch.push_back(std::move(queue_.front()));
+    std::vector<Pending> expired;
+    batch.reserve(std::min(queue_.size(), max_batch));
+    while (!queue_.empty() && batch.size() < max_batch) {
+      Pending pending = std::move(queue_.front());
       queue_.pop_front();
+      if (pending.deadline < now) {
+        ++shed_deadline_;
+        expired.push_back(std::move(pending));
+      } else {
+        RecordQueueWaitLocked(now - pending.arrival);
+        batch.push_back(std::move(pending));
+      }
     }
-    dispatched_requests_ += take;
-    dispatched_batches_ += 1;
-    max_batch_ = std::max<uint64_t>(max_batch_, take);
+    dispatched_requests_ += batch.size();
+    if (!batch.empty()) {
+      dispatched_batches_ += 1;
+      max_batch_ = std::max<uint64_t>(max_batch_, batch.size());
+    }
     lock.unlock();
 
-    std::vector<ScoreRequest> requests;
-    requests.reserve(batch.size());
-    for (Pending& pending : batch) requests.push_back(pending.request);
-    std::vector<std::vector<float>> results = scorer_->ScoreBatch(requests);
-    DELREC_CHECK_EQ(results.size(), batch.size());
-    for (size_t i = 0; i < batch.size(); ++i) {
-      batch[i].promise.set_value(std::move(results[i]));
+    for (Pending& pending : expired) {
+      pending.promise.set_value(Rejection(util::Status::DeadlineExceeded(
+          "deadline lapsed while queued")));
+    }
+    if (batch.empty()) continue;
+
+    // Acquire the current snapshot once per batch: every request in the
+    // batch scores on the same version, and the shared_ptr keeps that
+    // version alive even if a publisher swaps mid-ScoreBatch.
+    const SnapshotHandle::Tagged tagged = handle_->Acquire();
+    {
+      std::lock_guard<std::mutex> stats_lock(mutex_);
+      if (tagged.version != last_version_) {
+        if (last_version_ != 0) ++swaps_observed_;
+        last_version_ = tagged.version;
+      }
+    }
+
+    // Fault delivery: an injected dispatch fault or a throwing scorer fails
+    // exactly this batch's promises — each pending request still resolves,
+    // and the dispatcher keeps running for the next batch.
+    util::Status batch_status =
+        util::Failpoints::Instance().Check("serve.engine.dispatch");
+    std::vector<std::vector<float>> results;
+    if (batch_status.ok()) {
+      std::vector<ScoreRequest> requests;
+      requests.reserve(batch.size());
+      for (Pending& pending : batch) requests.push_back(pending.request);
+      try {
+        results = tagged.scorer->ScoreBatch(requests);
+        if (results.size() != batch.size()) {
+          batch_status = util::Status::Internal(
+              "scorer returned " + std::to_string(results.size()) +
+              " results for a batch of " + std::to_string(batch.size()));
+        }
+      } catch (const std::exception& e) {
+        batch_status =
+            util::Status::Internal(std::string("scorer threw: ") + e.what());
+      } catch (...) {
+        batch_status = util::Status::Internal("scorer threw a non-exception");
+      }
+    }
+
+    // Tally before resolving: a client that sees its future ready must also
+    // see the stats that account for it.
+    {
+      std::lock_guard<std::mutex> stats_lock(mutex_);
+      if (batch_status.ok()) {
+        scored_requests_ += batch.size();
+      } else {
+        scorer_failures_ += batch.size();
+      }
+    }
+    if (batch_status.ok()) {
+      for (size_t i = 0; i < batch.size(); ++i) {
+        ScoreResponse response;
+        response.scores = std::move(results[i]);
+        response.snapshot_version = tagged.version;
+        batch[i].promise.set_value(std::move(response));
+      }
+    } else {
+      for (Pending& pending : batch) {
+        pending.promise.set_value(Rejection(batch_status));
+      }
     }
   }
 }

@@ -1,0 +1,99 @@
+#ifndef DELREC_SERVE_SHARDED_SERVER_H_
+#define DELREC_SERVE_SHARDED_SERVER_H_
+
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <vector>
+
+#include "serve/engine.h"
+#include "serve/scorer.h"
+#include "serve/snapshot_handle.h"
+#include "util/status.h"
+
+namespace delrec::serve {
+
+struct ShardedServerOptions {
+  /// Number of independent RecommendationEngine shards. Each shard has its
+  /// own dispatcher thread, queue, admission cap, and stats; a user's
+  /// requests always land on the same shard (stable splitmix64 hash), so
+  /// per-user request order is preserved end to end.
+  int num_shards = 2;
+  /// Per-shard engine configuration (batching, admission cap, deadlines).
+  EngineOptions engine;
+
+  /// InvalidArgument when num_shards < 1 or the engine options are invalid.
+  util::Status Validate() const;
+};
+
+/// The serve tier: N RecommendationEngine shards keyed by user hash, all
+/// reading from one SnapshotHandle. PublishSnapshot() atomically swaps a
+/// freshly built EngineSnapshot (or any Scorer) under live traffic with
+/// zero pauses — in-flight batches finish on the snapshot they acquired,
+/// every batch formed after the swap scores on the new one, and each
+/// response carries the snapshot version it was scored against.
+///
+/// Degradation contract: every submitted request resolves. Overload sheds
+/// typed rejections (kUnavailable at the shard's admission cap,
+/// kDeadlineExceeded for requests whose budget lapsed while queued) instead
+/// of queuing without bound, and scorer faults fail only the affected
+/// batch (DESIGN.md §12).
+class ShardedServer {
+ public:
+  /// Serves `initial` (published as snapshot version 1) across
+  /// options.num_shards shards. The server shares ownership of every
+  /// published scorer; callers may drop their references after publishing.
+  ShardedServer(std::shared_ptr<const Scorer> initial,
+                const ShardedServerOptions& options);
+  /// Shuts down all shards.
+  ~ShardedServer();
+
+  ShardedServer(const ShardedServer&) = delete;
+  ShardedServer& operator=(const ShardedServer&) = delete;
+
+  /// Routes the request to user_id's shard. The future resolves with scores
+  /// tagged by snapshot version, or with a typed shed/failure status.
+  std::future<ScoreResponse> ScoreAsync(uint64_t user_id,
+                                        ScoreRequest request);
+
+  /// Blocking convenience around ScoreAsync.
+  ScoreResponse Score(uint64_t user_id, std::vector<int64_t> history,
+                      std::vector<int64_t> candidates);
+
+  /// Atomically publishes `next` to every shard and returns its version.
+  /// Never pauses serving: no queue is drained, no dispatcher blocked.
+  uint64_t PublishSnapshot(std::shared_ptr<const Scorer> next);
+
+  /// Version new batches score against right now.
+  uint64_t snapshot_version() const { return handle_.version(); }
+
+  int num_shards() const { return static_cast<int>(shards_.size()); }
+
+  /// Stable user → shard mapping (splitmix64 of user_id mod num_shards).
+  int ShardFor(uint64_t user_id) const;
+
+  RecommendationEngine::Stats ShardStats(int shard) const;
+  /// Aggregate across shards: counts summed, queue-wait histograms merged
+  /// (percentiles recomputed from the merged histogram), snapshot_version =
+  /// max observed.
+  RecommendationEngine::Stats TotalStats() const;
+
+  /// Stops accepting requests on every shard and drains them. Idempotent.
+  void Shutdown();
+
+ private:
+  ShardedServerOptions options_;
+  // Keeps every published scorer alive for as long as a dispatcher might
+  // hold it; the handle's shared_ptrs do the per-version lifetime work.
+  SnapshotHandle handle_;
+  std::vector<std::unique_ptr<RecommendationEngine>> shards_;
+};
+
+/// Merges per-shard stats as TotalStats() does (exposed for benches that
+/// aggregate their own snapshots of shard stats).
+RecommendationEngine::Stats MergeStats(
+    const std::vector<RecommendationEngine::Stats>& shards);
+
+}  // namespace delrec::serve
+
+#endif  // DELREC_SERVE_SHARDED_SERVER_H_

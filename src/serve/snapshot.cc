@@ -1,10 +1,12 @@
 #include "serve/snapshot.h"
 
 #include <algorithm>
+#include <stdexcept>
 #include <utility>
 
 #include "nn/lora.h"
 #include "util/check.h"
+#include "util/failpoint.h"
 #include "util/threadpool.h"
 
 namespace delrec::serve {
@@ -110,7 +112,23 @@ std::string EngineSnapshot::name() const {
   return "DELRec (" + sources_.sr_model->name() + ") snapshot";
 }
 
+namespace {
+
+/// Chaos hook: the "serve.scorer.score" failpoint simulates a scorer that
+/// blows up mid-inference (OOM, bad weights page, poisoned input). It
+/// throws — the worst-behaved failure mode a Scorer can exhibit — so the
+/// engine dispatcher's catch path is what gets exercised, not a tidy
+/// Status return (tests/serve_chaos_test.cc).
+void MaybeInjectScorerFault() {
+  const util::Status fault =
+      util::Failpoints::Instance().Check("serve.scorer.score");
+  if (!fault.ok()) throw std::runtime_error(fault.ToString());
+}
+
+}  // namespace
+
 std::vector<float> EngineSnapshot::Score(const ScoreRequest& request) const {
+  MaybeInjectScorerFault();
   nn::NoGradGuard no_grad;
   const llm::Prompt prompt = core::inference::BuildScoringPrompt(
       config_, prompt_builder_, *sources_.sr_model, soft_prompts_,
@@ -123,6 +141,7 @@ std::vector<float> EngineSnapshot::Score(const ScoreRequest& request) const {
 std::vector<std::vector<float>> EngineSnapshot::ScoreBatch(
     const std::vector<ScoreRequest>& requests) const {
   if (requests.empty()) return {};
+  MaybeInjectScorerFault();
   const int64_t n = static_cast<int64_t>(requests.size());
   std::vector<llm::Prompt> prompts;
   prompts.reserve(requests.size());

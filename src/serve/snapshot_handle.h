@@ -1,0 +1,79 @@
+#ifndef DELREC_SERVE_SNAPSHOT_HANDLE_H_
+#define DELREC_SERVE_SNAPSHOT_HANDLE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <utility>
+
+#include "serve/scorer.h"
+#include "util/check.h"
+
+namespace delrec::serve {
+
+/// RCU-style publication point for the scorer a serve tier runs against.
+///
+/// Readers (engine dispatchers) call Acquire() on every batch: one atomic
+/// shared_ptr load, no mutex, never blocked by a publisher. Publishers build
+/// the next EngineSnapshot off to the side and Publish() it: a single atomic
+/// store. In-flight batches keep scoring on the shared_ptr they already
+/// acquired — the old snapshot stays alive until its last batch drops the
+/// reference — while every batch formed after the store scores on the new
+/// one. No request ever observes a half-swapped state, and nothing pauses.
+///
+/// Every published scorer gets a monotonically increasing version (the
+/// initial scorer is version 1). Engines tag each response with the version
+/// it was scored against, which is what makes hot swaps auditable: responses
+/// carrying the same version are bit-identical to that snapshot's
+/// single-request scores, whatever swaps happened around them.
+class SnapshotHandle {
+ public:
+  struct Tagged {
+    std::shared_ptr<const Scorer> scorer;
+    uint64_t version = 0;
+  };
+
+  explicit SnapshotHandle(std::shared_ptr<const Scorer> initial) {
+    DELREC_CHECK(initial != nullptr);
+    current_.store(
+        std::make_shared<const Tagged>(Tagged{std::move(initial), 1}),
+        std::memory_order_release);
+  }
+
+  SnapshotHandle(const SnapshotHandle&) = delete;
+  SnapshotHandle& operator=(const SnapshotHandle&) = delete;
+
+  /// Current scorer + version. Wait-free for readers; the returned
+  /// shared_ptr keeps the snapshot alive for as long as the caller scores
+  /// against it, regardless of concurrent Publish() calls.
+  Tagged Acquire() const {
+    return *current_.load(std::memory_order_acquire);
+  }
+
+  /// Atomically swaps in `next` and returns its version. Publishers are
+  /// serialized against each other (versions stay dense and monotonic);
+  /// readers are never blocked.
+  uint64_t Publish(std::shared_ptr<const Scorer> next) {
+    DELREC_CHECK(next != nullptr);
+    std::lock_guard<std::mutex> lock(publish_mutex_);
+    const uint64_t version =
+        current_.load(std::memory_order_acquire)->version + 1;
+    current_.store(std::make_shared<const Tagged>(Tagged{std::move(next),
+                                                         version}),
+                   std::memory_order_release);
+    return version;
+  }
+
+  uint64_t version() const {
+    return current_.load(std::memory_order_acquire)->version;
+  }
+
+ private:
+  std::atomic<std::shared_ptr<const Tagged>> current_;
+  std::mutex publish_mutex_;  // Serializes publishers only.
+};
+
+}  // namespace delrec::serve
+
+#endif  // DELREC_SERVE_SNAPSHOT_HANDLE_H_

@@ -21,10 +21,13 @@ class Status {
     /// Stored data is unrecoverably lost or corrupted (checksum mismatch,
     /// truncated checkpoint). Retrying will not help.
     kDataLoss,
-    /// A transient condition (injected fault, busy file system). The
-    /// operation may succeed if retried — util::Retry treats this as
-    /// retryable.
+    /// A transient condition (injected fault, busy file system, full
+    /// admission queue). The operation may succeed if retried —
+    /// util::Retry treats this as retryable.
     kUnavailable,
+    /// The request's deadline passed before the work could run (serve-tier
+    /// load shedding). Retrying with a fresh deadline may succeed.
+    kDeadlineExceeded,
   };
 
   Status() : code_(Code::kOk) {}
@@ -47,6 +50,9 @@ class Status {
   static Status Unavailable(std::string message) {
     return Status(Code::kUnavailable, std::move(message));
   }
+  static Status DeadlineExceeded(std::string message) {
+    return Status(Code::kDeadlineExceeded, std::move(message));
+  }
 
   bool ok() const { return code_ == Code::kOk; }
   Code code() const { return code_; }
@@ -65,6 +71,7 @@ class Status {
       case Code::kInternal: return "INTERNAL";
       case Code::kDataLoss: return "DATA_LOSS";
       case Code::kUnavailable: return "UNAVAILABLE";
+      case Code::kDeadlineExceeded: return "DEADLINE_EXCEEDED";
     }
     return "UNKNOWN";
   }

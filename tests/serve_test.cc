@@ -5,6 +5,7 @@
 // recommender paradigm fits behind the unified Scorer interface.
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cstdio>
 #include <future>
 #include <memory>
@@ -20,7 +21,9 @@
 #include "data/split.h"
 #include "serve/engine.h"
 #include "serve/scorer.h"
+#include "serve/sharded_server.h"
 #include "serve/snapshot.h"
+#include "serve/snapshot_handle.h"
 #include "srmodels/factory.h"
 #include "util/check.h"
 #include "util/rng.h"
@@ -230,16 +233,79 @@ TEST_F(ServeTest, EngineAsyncAndShutdownDrainQueue) {
   auto engine =
       std::make_unique<serve::RecommendationEngine>(snapshot.get(), options);
   const std::vector<serve::ScoreRequest> requests = MakeRequests(7);
-  std::vector<std::future<std::vector<float>>> futures;
+  std::vector<std::future<serve::ScoreResponse>> futures;
   for (const serve::ScoreRequest& request : requests) {
     futures.push_back(engine->ScoreAsync(request));
   }
   engine->Shutdown();
   engine->Shutdown();  // Idempotent.
   for (size_t i = 0; i < requests.size(); ++i) {
-    EXPECT_EQ(futures[i].get(), snapshot->Score(requests[i])) << "i=" << i;
+    serve::ScoreResponse response = futures[i].get();
+    ASSERT_TRUE(response.status.ok()) << response.status.ToString();
+    EXPECT_EQ(response.scores, snapshot->Score(requests[i])) << "i=" << i;
+    EXPECT_EQ(response.snapshot_version, 1u);
   }
+
+  // Submissions after Shutdown() resolve immediately with a typed
+  // rejection — no CHECK failure, no enqueue into the stopped dispatcher.
+  std::future<serve::ScoreResponse> rejected =
+      engine->ScoreAsync(requests.front());
+  ASSERT_EQ(rejected.wait_for(std::chrono::seconds(0)),
+            std::future_status::ready);
+  const serve::ScoreResponse response = rejected.get();
+  EXPECT_EQ(response.status.code(), util::Status::Code::kUnavailable);
+  EXPECT_EQ(engine->GetStats().shed_shutdown, 1u);
   engine.reset();  // Destructor after explicit Shutdown() is a no-op.
+}
+
+TEST_F(ServeTest, ShardedServerHotSwapTagsVersionsBitIdentical) {
+  // Snapshot A serves as version 1; a different backend (the bare SR
+  // backbone) is published as version 2 under the same server. Responses
+  // must be bit-identical to whichever snapshot their version tag names —
+  // the hot-swap determinism contract (DESIGN.md §12).
+  std::shared_ptr<const serve::EngineSnapshot> snapshot_a(Snapshot());
+  std::shared_ptr<const serve::Scorer> scorer_b(
+      serve::MakeSequentialScorer(sr_model_));
+
+  serve::ShardedServerOptions options;
+  options.num_shards = 3;
+  options.engine.max_batch_size = 4;
+  serve::ShardedServer server(snapshot_a, options);
+  EXPECT_EQ(server.snapshot_version(), 1u);
+
+  const std::vector<serve::ScoreRequest> requests = MakeRequests(9);
+  for (size_t i = 0; i < requests.size(); ++i) {
+    serve::ScoreResponse response =
+        server.Score(/*user_id=*/i * 71, requests[i].history,
+                     requests[i].candidates);
+    ASSERT_TRUE(response.status.ok()) << response.status.ToString();
+    EXPECT_EQ(response.snapshot_version, 1u);
+    EXPECT_EQ(response.scores, snapshot_a->Score(requests[i]));
+  }
+
+  EXPECT_EQ(server.PublishSnapshot(scorer_b), 2u);
+  EXPECT_EQ(server.snapshot_version(), 2u);
+  for (size_t i = 0; i < requests.size(); ++i) {
+    serve::ScoreResponse response =
+        server.Score(/*user_id=*/i * 71, requests[i].history,
+                     requests[i].candidates);
+    ASSERT_TRUE(response.status.ok()) << response.status.ToString();
+    EXPECT_EQ(response.snapshot_version, 2u);
+    EXPECT_EQ(response.scores, scorer_b->Score(requests[i]));
+  }
+
+  const serve::RecommendationEngine::Stats total = server.TotalStats();
+  EXPECT_EQ(total.submitted, 2 * requests.size());
+  EXPECT_EQ(total.scored, 2 * requests.size());
+  EXPECT_EQ(total.snapshot_version, 2u);
+  EXPECT_EQ(total.shed_queue_full + total.shed_deadline + total.shed_shutdown,
+            0u);
+  // Same user always lands on the same shard.
+  for (uint64_t user = 0; user < 50; ++user) {
+    EXPECT_EQ(server.ShardFor(user), server.ShardFor(user));
+    EXPECT_GE(server.ShardFor(user), 0);
+    EXPECT_LT(server.ShardFor(user), options.num_shards);
+  }
 }
 
 TEST_F(ServeTest, ScorerAdaptersMatchUnderlyingModels) {
