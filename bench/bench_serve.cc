@@ -14,8 +14,20 @@
 //  2. A RecommendationEngine under N concurrent client threads: sustained
 //     requests/s plus client-observed p50/p99 latency and the dispatcher's
 //     mean coalesced batch size.
-// All metrics are wall-clock and therefore unstable (no baseline gating);
-// the JSON record exists for tracking, the floor assert is the hard gate.
+//  3. The batched workload through an int8-quantized snapshot vs the fp32
+//     one: serve throughput (no-regression floor — the serve-smoke prompt
+//     is attention-dominated at model_dim 32, so the GEMM win is diluted
+//     here) and the weight footprint shrink (≥3× floor, deterministic and
+//     baseline-gated).
+//  4. A serve-scale TinyLm (model_dim 256 — the width class quantized
+//     serving exists for; the trained stand-in above is deliberately tiny)
+//     measured straight through EncodeBatch+LogitsAtRows, fp32 vs
+//     QuantizeForInference. This is the committed shape for the int8
+//     tentpole's ≥2× serve-throughput floor, gated where the vpdpbusd tile
+//     dispatches (nn/gemm_int8.h).
+// Wall-clock metrics are unstable (no baseline gating); the JSON record
+// exists for tracking, the floor asserts are the hard gates. Footprint
+// metrics are deterministic and baseline-gated.
 #include <algorithm>
 #include <cstdio>
 #include <fstream>
@@ -27,7 +39,9 @@
 
 #include "bench/harness.h"
 #include "data/split.h"
+#include "llm/tiny_lm.h"
 #include "nn/gemm.h"
+#include "nn/gemm_int8.h"
 #include "serve/engine.h"
 #include "serve/scorer.h"
 #include "serve/snapshot.h"
@@ -132,6 +146,182 @@ void BenchBatchedVsSingle(bench::BenchRecorder& recorder,
       << ") with kernel " << nn::GemmKernelConfig();
 }
 
+/// Section 3: the same batched workload through an int8-quantized snapshot
+/// vs the fp32 one (DESIGN.md §13). Times interleave like section 1. At
+/// this serve-smoke shape (model_dim 32, short prompts) the per-span
+/// attention loop — identical in both snapshots — dominates the pass, so
+/// the gate here is no-regression; the tentpole's ≥2× floor binds in
+/// section 4 at serve-scale width. The weight footprint shrink is recorded
+/// as a stable (deterministic) metric so a packing regression cannot land
+/// silently.
+void BenchInt8VsFp32(bench::BenchRecorder& recorder,
+                     const serve::EngineSnapshot& fp32_snapshot,
+                     const serve::EngineSnapshot& int8_snapshot,
+                     const std::vector<serve::ScoreRequest>& requests) {
+  constexpr int kPasses = 5;
+  fp32_snapshot.ScoreBatch({requests[0], requests[1]});
+  int8_snapshot.ScoreBatch({requests[0], requests[1]});
+
+  auto timed_batched = [&](const serve::EngineSnapshot& snapshot) {
+    util::WallTimer timer;
+    for (size_t begin = 0; begin < requests.size();
+         begin += static_cast<size_t>(kBatchSize)) {
+      const size_t end =
+          std::min(begin + static_cast<size_t>(kBatchSize), requests.size());
+      snapshot.ScoreBatch(std::vector<serve::ScoreRequest>(
+          requests.begin() + begin, requests.begin() + end));
+    }
+    return timer.ElapsedSeconds();
+  };
+  double fp32_s = std::numeric_limits<double>::infinity();
+  double int8_s = std::numeric_limits<double>::infinity();
+  for (int pass = 0; pass < kPasses; ++pass) {
+    fp32_s = std::min(fp32_s, timed_batched(fp32_snapshot));
+    int8_s = std::min(int8_s, timed_batched(int8_snapshot));
+  }
+
+  const double n = static_cast<double>(requests.size());
+  const double speedup = fp32_s / int8_s;
+  const double fp32_bytes =
+      static_cast<double>(fp32_snapshot.MemoryFootprintBytes());
+  const double int8_bytes =
+      static_cast<double>(int8_snapshot.MemoryFootprintBytes());
+  recorder.Record("serve_int8_rps", n / int8_s, "requests/s",
+                  bench::MetricKind::kThroughput);
+  recorder.Record("serve_int8_speedup_vs_fp32", speedup, "x",
+                  bench::MetricKind::kRatio);
+  recorder.Record("serve_fp32_footprint_bytes", fp32_bytes, "bytes",
+                  bench::MetricKind::kCount, /*stable=*/true);
+  recorder.Record("serve_int8_footprint_bytes", int8_bytes, "bytes",
+                  bench::MetricKind::kCount, /*stable=*/true);
+  recorder.Record("serve_int8_footprint_shrink", fp32_bytes / int8_bytes, "x",
+                  bench::MetricKind::kRatio, /*stable=*/true);
+  std::printf("[serve] int8 %.1f req/s vs fp32 %.1f req/s (%.2fx), "
+              "footprint %.0f -> %.0f bytes (%.2fx)\n",
+              n / int8_s, n / fp32_s, speedup, fp32_bytes, int8_bytes,
+              fp32_bytes / int8_bytes);
+
+  // Acceptance floors: the quantized snapshot must shrink serve-path weight
+  // bytes by ≥3× (the table and dense matrices go 4×; fp32 LN/bias/position
+  // state dilutes it). Throughput on this attention-dominated shape must
+  // not regress where the vpdpbusd tile dispatches (measured ~2× there —
+  // the 1.3 floor leaves headroom for a noisy shared host); the weaker
+  // tiles only have to keep the comparison recorded.
+  DELREC_CHECK_GE(fp32_bytes / int8_bytes, 3.0)
+      << "int8 snapshot footprint shrink below floor";
+  if (nn::Int8KernelIsa() == "avxvnni") {
+    DELREC_CHECK_GE(speedup, 1.3)
+        << "int8 serve speedup below no-regression floor (" << speedup
+        << ") with kernel " << nn::Int8GemmKernelConfig();
+  }
+}
+
+/// Section 4: the committed shape for the int8 tentpole's ≥2× floor. The
+/// trained serve-smoke model above is deliberately tiny (model_dim 32) and
+/// its serve pass is attention-bound; production LLM backbones live at
+/// hundreds-to-thousands of hidden dims where the dense projections are the
+/// pass. This section builds the same TinyLm at serve-scale width (raw
+/// seeded weights — GEMM wall-clock is data-independent, so no training is
+/// needed to measure throughput), quantizes a twin via
+/// TinyLm::QuantizeForInference (the exact transform EngineSnapshot's
+/// quantize_int8 option applies), and drives both through the
+/// EncodeBatch+LogitsAtRows serve tier.
+void BenchServeScaleInt8(bench::BenchRecorder& recorder) {
+  llm::TinyLmConfig config;
+  config.vocab_size = 1740;
+  config.model_dim = 256;
+  config.num_layers = 2;
+  config.num_heads = 4;
+  config.ffn_dim = 512;
+  config.max_positions = 64;
+  config.dropout = 0.0f;
+  constexpr int64_t kSeqLen = 8;
+  constexpr uint64_t kSeed = 7;
+
+  // Twin models from the same seed: identical weights, one quantized.
+  llm::TinyLm fp32_lm(config, kSeed);
+  fp32_lm.SetTraining(false);
+  fp32_lm.SetRequiresGrad(false);
+  llm::TinyLm int8_lm(config, kSeed);
+  int8_lm.SetTraining(false);
+  int8_lm.SetRequiresGrad(false);
+  int8_lm.QuantizeForInference(/*quantize_embedding_table=*/true);
+
+  util::Rng rng(131);
+  std::vector<std::vector<llm::PromptPiece>> prompts;
+  for (int64_t b = 0; b < kBatchSize; ++b) {
+    std::vector<int64_t> tokens;
+    for (int64_t t = 0; t < kSeqLen; ++t) {
+      tokens.push_back(rng.UniformInt(0, config.vocab_size - 1));
+    }
+    prompts.push_back({llm::PromptPiece::Tokens(std::move(tokens))});
+  }
+  std::vector<const std::vector<llm::PromptPiece>*> ptrs;
+  for (const auto& prompt : prompts) ptrs.push_back(&prompt);
+  std::vector<int64_t> head_rows;
+  for (int64_t b = 0; b < kBatchSize; ++b) {
+    head_rows.push_back(b * kSeqLen + kSeqLen - 1);
+  }
+
+  const nn::Tensor fp32_table = fp32_lm.MaterializeTokenTable();
+  const nn::Tensor int8_table;  // Quantized model gathers from its own codes.
+  auto timed_pass = [&](const llm::TinyLm& lm, const nn::Tensor& table) {
+    std::vector<llm::SequenceSpan> spans;
+    util::WallTimer timer;
+    const nn::Tensor hidden = lm.EncodeBatch(ptrs, table, &spans);
+    lm.LogitsAtRows(hidden, head_rows, table);
+    return timer.ElapsedSeconds();
+  };
+  timed_pass(fp32_lm, fp32_table);  // Warm-up (pool first-touch).
+  timed_pass(int8_lm, int8_table);
+
+  constexpr int kPasses = 5;
+  double fp32_s = std::numeric_limits<double>::infinity();
+  double int8_s = std::numeric_limits<double>::infinity();
+  for (int pass = 0; pass < kPasses; ++pass) {
+    fp32_s = std::min(fp32_s, timed_pass(fp32_lm, fp32_table));
+    int8_s = std::min(int8_s, timed_pass(int8_lm, int8_table));
+  }
+
+  const double sequences = static_cast<double>(kBatchSize);
+  const double speedup = fp32_s / int8_s;
+  const double fp32_bytes = static_cast<double>(fp32_lm.InferenceWeightBytes());
+  const double int8_bytes = static_cast<double>(int8_lm.InferenceWeightBytes());
+  recorder.Record("serve_scale_fp32_sps", sequences / fp32_s, "sequences/s",
+                  bench::MetricKind::kThroughput);
+  recorder.Record("serve_scale_int8_sps", sequences / int8_s, "sequences/s",
+                  bench::MetricKind::kThroughput);
+  recorder.Record("serve_scale_int8_speedup", speedup, "x",
+                  bench::MetricKind::kRatio);
+  recorder.Record("serve_scale_fp32_weight_bytes", fp32_bytes, "bytes",
+                  bench::MetricKind::kCount, /*stable=*/true);
+  recorder.Record("serve_scale_int8_weight_bytes", int8_bytes, "bytes",
+                  bench::MetricKind::kCount, /*stable=*/true);
+  std::printf("[serve] serve-scale(d=%lld): int8 %.1f seq/s vs fp32 %.1f "
+              "seq/s (%.2fx), weights %.1f MB -> %.1f MB\n",
+              static_cast<long long>(config.model_dim), sequences / int8_s,
+              sequences / fp32_s, speedup, fp32_bytes / 1e6, int8_bytes / 1e6);
+
+  // The tentpole floor: ≥2× serve throughput where the vpdpbusd tile
+  // dispatches (measured ~3.5× on the reference host — the floor leaves a
+  // wide noise margin). The pmaddwd fallbacks win less per instruction and
+  // gate no-regression; the scalar tile trades a byte-unpack per MAC for no
+  // register-width win, so it carries no throughput promise. The ~4× weight
+  // shrink is deterministic and gates everywhere.
+  const std::string isa = nn::Int8KernelIsa();
+  if (isa == "avxvnni") {
+    DELREC_CHECK_GE(speedup, 2.0)
+        << "serve-scale int8 speedup below the 2x tentpole floor ("
+        << speedup << ") with kernel " << nn::Int8GemmKernelConfig();
+  } else if (isa != "scalar") {
+    DELREC_CHECK_GE(speedup, 1.0)
+        << "serve-scale int8 speedup regressed (" << speedup
+        << ") with kernel " << nn::Int8GemmKernelConfig();
+  }
+  DELREC_CHECK_GE(fp32_bytes / int8_bytes, 3.5)
+      << "serve-scale weight shrink below floor";
+}
+
 /// Section 2: concurrent clients against the micro-batching engine.
 void BenchEngineThroughput(bench::BenchRecorder& recorder,
                            const serve::EngineSnapshot& snapshot,
@@ -206,14 +396,19 @@ void ValidateEmittedJson(const std::string& path) {
   DELREC_CHECK(valid.ok()) << valid.ToString();
   DELREC_CHECK(doc.Find("bench")->str() == "serve");
   const util::Json* metrics = doc.Find("metrics");
-  bool has_rps = false, has_speedup = false;
+  bool has_rps = false, has_speedup = false, has_int8 = false,
+       has_scale = false;
   for (size_t i = 0; i < metrics->size(); ++i) {
     const std::string& name = metrics->at(i).Find("name")->str();
     has_rps = has_rps || name == "serve_engine_rps";
     has_speedup = has_speedup || name == "serve_batch_speedup_vs_single";
+    has_int8 = has_int8 || name == "serve_int8_speedup_vs_fp32";
+    has_scale = has_scale || name == "serve_scale_int8_speedup";
   }
   DELREC_CHECK(has_rps) << "engine throughput missing from " << path;
   DELREC_CHECK(has_speedup) << "batched speedup missing from " << path;
+  DELREC_CHECK(has_int8) << "int8 comparison missing from " << path;
+  DELREC_CHECK(has_scale) << "serve-scale int8 section missing from " << path;
   std::printf("[serve] %s: schema valid (%zu metrics)\n", path.c_str(),
               metrics->size());
 }
@@ -251,12 +446,22 @@ int main() {
   auto snapshot = serve::EngineSnapshot::FromModel(*trained.model,
                                                    *trained.llm, sources);
   DELREC_CHECK(snapshot.ok()) << snapshot.status().ToString();
+  serve::EngineSnapshot::BuildOptions quant_options;
+  quant_options.quantize_int8 = true;
+  auto int8_snapshot = serve::EngineSnapshot::FromModel(
+      *trained.model, *trained.llm, sources, quant_options);
+  DELREC_CHECK(int8_snapshot.ok()) << int8_snapshot.status().ToString();
+  std::printf("[serve] int8 kernel: %s\n",
+              nn::Int8GemmKernelConfig().c_str());
   const std::unique_ptr<serve::Scorer> live_scorer =
       serve::MakeDelRecScorer(trained.model.get());
 
   const std::vector<serve::ScoreRequest> requests =
       MakeRequests(harness, 96);
   BenchBatchedVsSingle(recorder, *live_scorer, *snapshot.value(), requests);
+  BenchInt8VsFp32(recorder, *snapshot.value(), *int8_snapshot.value(),
+                  requests);
+  BenchServeScaleInt8(recorder);
   BenchEngineThroughput(recorder, *snapshot.value(), requests);
 
   const int rc = bench::FinishBench();

@@ -136,6 +136,9 @@ util::Json BenchRecorder::ToJson() const {
   config.Set("threads", util::Json::Number(util::ParallelThreads()));
   config.Set("fast", util::Json::Bool(EnvFlagSet("DELREC_FAST")));
   config.Set("kernel", util::Json::Str(nn::GemmKernelConfig()));
+  // The dispatched ISA tier alone ("avx512" / "avx2" / ...): Compare() uses
+  // it to gate perf baselines only against like-for-like hardware.
+  config.Set("isa", util::Json::Str(nn::GemmKernelIsa()));
 #ifdef DELREC_NATIVE_BUILD
   config.Set("native", util::Json::Bool(true));
 #else
@@ -250,14 +253,16 @@ util::Status BenchRecorder::ValidateSchema(const util::Json& doc) {
   if (config == nullptr || !config->is_object()) {
     return invalid("config must be an object");
   }
-  for (const char* key : {"threads", "fast", "kernel", "native"}) {
+  for (const char* key : {"threads", "fast", "kernel", "native", "isa"}) {
     if (config->Find(key) == nullptr) {
       return invalid(std::string("config.") + key + " is missing");
     }
   }
   if (!config->Find("threads")->is_number() ||
-      !config->Find("kernel")->is_string()) {
-    return invalid("config.threads must be a number, config.kernel a string");
+      !config->Find("kernel")->is_string() ||
+      !config->Find("isa")->is_string()) {
+    return invalid(
+        "config.threads must be a number, config.kernel/isa strings");
   }
   const util::Json* metrics = doc.Find("metrics");
   if (metrics == nullptr || !metrics->is_array()) {
@@ -299,6 +304,24 @@ util::Status BenchRecorder::Compare(const util::Json& baseline,
                                     double tolerance, bool strict) {
   DELREC_RETURN_IF_ERROR(ValidateSchema(baseline));
   DELREC_RETURN_IF_ERROR(ValidateSchema(current));
+  // Perf numbers only transfer between like-for-like runs: a baseline taken
+  // on an AVX-512 box says nothing about a scalar-dispatch container, and
+  // thread count scales every throughput metric. On a mismatch, skip gating
+  // entirely (loudly) rather than emit false regressions.
+  const util::Json* base_config = baseline.Find("config");
+  const util::Json* cur_config = current.Find("config");
+  const std::string base_isa = base_config->Find("isa")->str();
+  const std::string cur_isa = cur_config->Find("isa")->str();
+  const double base_threads = base_config->Find("threads")->number();
+  const double cur_threads = cur_config->Find("threads")->number();
+  if (base_isa != cur_isa || base_threads != cur_threads) {
+    DELREC_LOG(Warning) << "baseline comparison skipped: baseline isa="
+                        << base_isa << " threads=" << base_threads
+                        << " vs current isa=" << cur_isa
+                        << " threads=" << cur_threads
+                        << " (not like-for-like hardware)";
+    return util::Status::Ok();
+  }
   const util::Json* base_metrics = baseline.Find("metrics");
   const util::Json* cur_metrics = current.Find("metrics");
   std::vector<std::string> failures;

@@ -5,9 +5,17 @@
 
 #include "llm/vocab.h"
 #include "nn/gemm.h"
+#include "nn/gemm_int8.h"
 #include "nn/ops.h"
 #include "util/check.h"
 #include "util/threadpool.h"
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define DELREC_TINY_LM_X86 1
+#include <immintrin.h>
+#else
+#define DELREC_TINY_LM_X86 0
+#endif
 
 namespace delrec::llm {
 
@@ -142,24 +150,93 @@ void GeluInPlace(float* x, int64_t n) {
   }
 }
 
+// GELU for the quantized inference path: same tanh-form expression, but the
+// tanh core is the Padé(7,6) rational approximant with the argument clamped
+// to ±4.97 (beyond which the approximant and tanh both read as ±1 at fp32).
+// Max |gelu error| is ~1.9e-4 over the full input range — two orders of
+// magnitude below the int8 activation quantization step — while replacing
+// the ~25ns/element libm tanh with vectorizable float arithmetic. The fp32
+// serve path keeps std::tanh (GeluInPlace) so its scores stay bit-identical
+// to training-time numerics; the int8 path is tolerance-gated
+// (tests/quant_parity_test.cc), which covers this approximation too.
+inline float GeluPadeScalar(float v) {
+  constexpr float kSqrt2OverPi = 0.7978845608f;
+  constexpr float kCoeff = 0.044715f;
+  float t = kSqrt2OverPi * (v + kCoeff * v * v * v);
+  t = std::min(4.97f, std::max(-4.97f, t));
+  const float t2 = t * t;
+  const float p = t * (135135.0f + t2 * (17325.0f + t2 * (378.0f + t2)));
+  const float q =
+      135135.0f + t2 * (62370.0f + t2 * (3150.0f + t2 * 28.0f));
+  return 0.5f * v * (1.0f + p / q);
+}
+
+#if DELREC_TINY_LM_X86
+__attribute__((target("avx2,fma"))) void GeluApproxRowsAvx2(float* x,
+                                                            int64_t n) {
+  const __m256 ks = _mm256_set1_ps(0.7978845608f);
+  const __m256 kc = _mm256_set1_ps(0.044715f);
+  const __m256 clamp = _mm256_set1_ps(4.97f);
+  const __m256 c0 = _mm256_set1_ps(135135.0f);
+  const __m256 c1 = _mm256_set1_ps(17325.0f);
+  const __m256 c2 = _mm256_set1_ps(378.0f);
+  const __m256 d1 = _mm256_set1_ps(62370.0f);
+  const __m256 d2 = _mm256_set1_ps(3150.0f);
+  const __m256 d3 = _mm256_set1_ps(28.0f);
+  const __m256 half = _mm256_set1_ps(0.5f);
+  const __m256 one = _mm256_set1_ps(1.0f);
+  int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256 v = _mm256_loadu_ps(x + i);
+    __m256 t = _mm256_mul_ps(
+        ks, _mm256_fmadd_ps(_mm256_mul_ps(_mm256_mul_ps(v, v), v), kc, v));
+    t = _mm256_max_ps(_mm256_sub_ps(_mm256_setzero_ps(), clamp),
+                      _mm256_min_ps(clamp, t));
+    const __m256 t2 = _mm256_mul_ps(t, t);
+    const __m256 p = _mm256_mul_ps(
+        t, _mm256_fmadd_ps(
+               t2, _mm256_fmadd_ps(t2, _mm256_add_ps(c2, t2), c1), c0));
+    const __m256 q = _mm256_fmadd_ps(
+        t2, _mm256_fmadd_ps(t2, _mm256_fmadd_ps(t2, d3, d2), d1), c0);
+    _mm256_storeu_ps(
+        x + i, _mm256_mul_ps(_mm256_mul_ps(half, v),
+                             _mm256_add_ps(one, _mm256_div_ps(p, q))));
+  }
+  for (; i < n; ++i) x[i] = GeluPadeScalar(x[i]);
+}
+#endif  // DELREC_TINY_LM_X86
+
+void GeluInPlaceApprox(float* x, int64_t n) {
+#if DELREC_TINY_LM_X86
+  static const bool avx2 =
+      __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+  if (avx2) {
+    GeluApproxRowsAvx2(x, n);
+    return;
+  }
+#endif
+  for (int64_t i = 0; i < n; ++i) x[i] = GeluPadeScalar(x[i]);
+}
+
+// Carves an int8 activation buffer out of the fp32 arena: `floats` worth of
+// rows × packed_depth bytes, rounded up to whole floats.
+int8_t* AllocInt8(util::ScopedArena& arena, int64_t bytes) {
+  return reinterpret_cast<int8_t*>(arena.Alloc((bytes + 3) / 4));
+}
+
+// Optional fp32 bias pointer for the int8 epilogue (Linear may be bias-free).
+const float* BiasPtr(const nn::Linear& linear) {
+  return linear.bias().defined() ? linear.bias().data().data() : nullptr;
+}
+
 }  // namespace
 
-void TinyLmBlock::ForwardBatchInference(const float* x, int64_t total,
-                                        const std::vector<SequenceSpan>& spans,
-                                        float* out,
-                                        util::ScopedArena& arena) const {
+void TinyLmBlock::AttendSpans(const float* q, const float* k,
+                              const float* vproj,
+                              const std::vector<SequenceSpan>& spans,
+                              float* attended,
+                              util::ScopedArena& arena) const {
   const int64_t d = num_heads_ * head_dim_;
-  float* normed = arena.Alloc(total * d);
-  ln_attention_.ForwardInference(x, total, normed);
-  float* q = arena.Alloc(total * d);
-  wq_.ForwardInference(normed, total, q);
-  if (lora_wq_) lora_wq_->AddDeltaInference(normed, total, q, arena);
-  float* k = arena.Alloc(total * d);
-  wk_.ForwardInference(normed, total, k);
-  float* vproj = arena.Alloc(total * d);
-  wv_.ForwardInference(normed, total, vproj);
-  if (lora_wv_) lora_wv_->AddDeltaInference(normed, total, vproj, arena);
-
   // Attention is the one non-row-local stage: run it per sequence (the
   // batch's attention matrix is block-diagonal) with exactly the shapes and
   // op order of Forward(), head by head. Spans fan out across threads —
@@ -170,7 +247,6 @@ void TinyLmBlock::ForwardBatchInference(const float* x, int64_t total,
   // and ParallelFor degrades to serial inside pool workers, so the GEMMs
   // below never nest a dispatch.
   const float scale = 1.0f / std::sqrt(static_cast<float>(head_dim_));
-  float* attended = arena.Alloc(total * d);
   std::vector<float*> scratch(spans.size());
   for (size_t s = 0; s < spans.size(); ++s) {
     const int64_t t = spans[s].length;
@@ -211,6 +287,30 @@ void TinyLmBlock::ForwardBatchInference(const float* x, int64_t total,
           }
         }
       });
+}
+
+void TinyLmBlock::ForwardBatchInference(const float* x, int64_t total,
+                                        const std::vector<SequenceSpan>& spans,
+                                        float* out,
+                                        util::ScopedArena& arena) const {
+  if (quant_) {
+    ForwardBatchInferenceQuant(x, total, spans, out, arena);
+    return;
+  }
+  const int64_t d = num_heads_ * head_dim_;
+  float* normed = arena.Alloc(total * d);
+  ln_attention_.ForwardInference(x, total, normed);
+  float* q = arena.Alloc(total * d);
+  wq_.ForwardInference(normed, total, q);
+  if (lora_wq_) lora_wq_->AddDeltaInference(normed, total, q, arena);
+  float* k = arena.Alloc(total * d);
+  wk_.ForwardInference(normed, total, k);
+  float* vproj = arena.Alloc(total * d);
+  wv_.ForwardInference(normed, total, vproj);
+  if (lora_wv_) lora_wv_->AddDeltaInference(normed, total, vproj, arena);
+
+  float* attended = arena.Alloc(total * d);
+  AttendSpans(q, k, vproj, spans, attended, arena);
 
   float* att_proj = arena.Alloc(total * d);
   wo_.ForwardInference(attended, total, att_proj);
@@ -228,6 +328,113 @@ void TinyLmBlock::ForwardBatchInference(const float* x, int64_t total,
   GeluInPlace(hidden, total * f);
   ffn_out_.ForwardInference(hidden, total, out);
   for (int64_t i = 0; i < cells; ++i) out[i] = residual[i] + out[i];
+}
+
+void TinyLmBlock::ForwardBatchInferenceQuant(
+    const float* x, int64_t total, const std::vector<SequenceSpan>& spans,
+    float* out, util::ScopedArena& arena) const {
+  // Same stage order as the fp32 path; every dense projection runs as an
+  // int8 GEMM against the merged+quantized weights, with the activations
+  // re-quantized per row at each projection input. LayerNorm, attention
+  // (AttendSpans) and GELU stay fp32 — quantizing softmax inputs would cost
+  // accuracy for no footprint win — but GELU runs the vectorized Padé
+  // approximation (GeluInPlaceApprox above): at serve-scale widths libm
+  // tanh would otherwise rival the projections themselves.
+  const int64_t d = num_heads_ * head_dim_;
+  const int64_t f = ffn_in_.out_features();
+  float* normed = arena.Alloc(total * d);
+  ln_attention_.ForwardInference(x, total, normed);
+  const int64_t dp = quant_->wq.packed_depth();
+  int8_t* act_q = AllocInt8(arena, total * dp);
+  float* act_s = arena.Alloc(total);
+  // One quantization of the normed input serves wq, wk and wv.
+  nn::QuantizeActivationRows(normed, total, d, act_q, act_s);
+  float* q = arena.Alloc(total * d);
+  nn::Int8Gemm(act_q, act_s, quant_->wq, BiasPtr(wq_), q, total,
+               /*accumulate=*/false);
+  float* k = arena.Alloc(total * d);
+  nn::Int8Gemm(act_q, act_s, quant_->wk, BiasPtr(wk_), k, total,
+               /*accumulate=*/false);
+  float* vproj = arena.Alloc(total * d);
+  nn::Int8Gemm(act_q, act_s, quant_->wv, BiasPtr(wv_), vproj, total,
+               /*accumulate=*/false);
+
+  float* attended = arena.Alloc(total * d);
+  AttendSpans(q, k, vproj, spans, attended, arena);
+
+  nn::QuantizeActivationRows(attended, total, d, act_q, act_s);
+  float* att_proj = arena.Alloc(total * d);
+  nn::Int8Gemm(act_q, act_s, quant_->wo, BiasPtr(wo_), att_proj, total,
+               /*accumulate=*/false);
+  float* residual = arena.Alloc(total * d);
+  const int64_t cells = total * d;
+  for (int64_t i = 0; i < cells; ++i) residual[i] = x[i] + att_proj[i];
+  float* ff_in = arena.Alloc(total * d);
+  ln_ffn_.ForwardInference(residual, total, ff_in);
+  nn::QuantizeActivationRows(ff_in, total, d, act_q, act_s);
+  float* hidden = arena.Alloc(total * f);
+  nn::Int8Gemm(act_q, act_s, quant_->ffn_in, BiasPtr(ffn_in_), hidden, total,
+               /*accumulate=*/false);
+  GeluInPlaceApprox(hidden, total * f);
+  const int64_t fp = quant_->ffn_out.packed_depth();
+  int8_t* hidden_q = AllocInt8(arena, total * fp);
+  nn::QuantizeActivationRows(hidden, total, f, hidden_q, act_s);
+  nn::Int8Gemm(hidden_q, act_s, quant_->ffn_out, BiasPtr(ffn_out_), out,
+               total, /*accumulate=*/false);
+  for (int64_t i = 0; i < cells; ++i) out[i] = residual[i] + out[i];
+}
+
+void TinyLmBlock::QuantizeForInference() {
+  if (quant_) return;
+  const int64_t d = num_heads_ * head_dim_;
+  const int64_t f = ffn_in_.out_features();
+  auto from_linear = [](const nn::Linear& linear,
+                        const nn::LoraLinear* adapter) {
+    if (adapter != nullptr) {
+      const std::vector<float> merged = adapter->MergedWeightRowMajor();
+      return nn::QuantTensor::FromColumns(merged.data(),
+                                          linear.in_features(),
+                                          linear.out_features());
+    }
+    return nn::QuantTensor::FromColumns(linear.weight().data().data(),
+                                        linear.in_features(),
+                                        linear.out_features());
+  };
+  auto quant = std::make_unique<QuantWeights>();
+  quant->wq = from_linear(wq_, lora_wq_.get());
+  quant->wk = from_linear(wk_, nullptr);
+  quant->wv = from_linear(wv_, lora_wv_.get());
+  quant->wo = from_linear(wo_, nullptr);
+  quant->ffn_in = from_linear(ffn_in_, lora_ffn_in_.get());
+  quant->ffn_out = from_linear(ffn_out_, nullptr);
+  DELREC_CHECK_EQ(quant->wq.channels(), d);
+  DELREC_CHECK_EQ(quant->ffn_in.channels(), f);
+  quant_ = std::move(quant);
+}
+
+size_t TinyLmBlock::InferenceWeightBytes() const {
+  size_t bytes = 0;
+  for (const auto& [name, tensor] : NamedParameters()) {
+    bytes += tensor.data().size() * sizeof(float);
+  }
+  if (quant_) {
+    // The six dense fp32 matrices are replaced by packed int8 + scales; the
+    // adapters are merged away entirely. LN affines and biases stay fp32.
+    for (const nn::Linear* linear :
+         {&wq_, &wk_, &wv_, &wo_, &ffn_in_, &ffn_out_}) {
+      bytes -= linear->weight().data().size() * sizeof(float);
+    }
+    bytes += quant_->wq.MemoryBytes() + quant_->wk.MemoryBytes() +
+             quant_->wv.MemoryBytes() + quant_->wo.MemoryBytes() +
+             quant_->ffn_in.MemoryBytes() + quant_->ffn_out.MemoryBytes();
+  } else {
+    for (const nn::LoraLinear* adapter : adapters()) {
+      for (const auto& [name, tensor] : adapter->NamedParameters()) {
+        bytes += tensor.data().size() * sizeof(float);
+      }
+    }
+  }
+  return bytes;
 }
 
 std::vector<nn::LoraLinear*> TinyLmBlock::EnableAdapters(int64_t rank,
@@ -324,11 +531,17 @@ nn::Tensor TinyLm::EncodeBatch(
   DELREC_CHECK(!prompts.empty());
   DELREC_CHECK(spans != nullptr);
   nn::NoGradGuard no_grad;
-  const nn::Tensor table =
-      effective_table.defined() ? effective_table : EffectiveTokenTable();
-  DELREC_CHECK_EQ(table.dim(0), config_.vocab_size);
-  DELREC_CHECK_EQ(table.dim(1), config_.model_dim);
-  const float* tv = table.data().data();
+  // With a quantized token table the fp32 effective table is never built:
+  // token rows are dequantized straight into the activation buffer.
+  nn::Tensor table;
+  const float* tv = nullptr;
+  if (!quant_table_.defined()) {
+    table = effective_table.defined() ? effective_table
+                                      : EffectiveTokenTable();
+    DELREC_CHECK_EQ(table.dim(0), config_.vocab_size);
+    DELREC_CHECK_EQ(table.dim(1), config_.model_dim);
+    tv = table.data().data();
+  }
   const int64_t d = config_.model_dim;
 
   spans->clear();
@@ -357,7 +570,11 @@ nn::Tensor TinyLm::EncodeBatch(
         for (int64_t token : piece.tokens) {
           DELREC_CHECK_GE(token, 0);
           DELREC_CHECK_LT(token, config_.vocab_size);
-          std::copy(tv + token * d, tv + (token + 1) * d, base + row * d);
+          if (tv != nullptr) {
+            std::copy(tv + token * d, tv + (token + 1) * d, base + row * d);
+          } else {
+            quant_table_.DequantRow(token, base + row * d);
+          }
           ++row;
         }
       } else {
@@ -389,8 +606,6 @@ nn::Tensor TinyLm::LogitsAtRows(const nn::Tensor& hidden,
                                 const nn::Tensor& effective_table) const {
   DELREC_CHECK(!rows.empty());
   nn::NoGradGuard no_grad;
-  const nn::Tensor table =
-      effective_table.defined() ? effective_table : EffectiveTokenTable();
   const int64_t d = config_.model_dim;
   const int64_t vocab = config_.vocab_size;
   const int64_t b = static_cast<int64_t>(rows.size());
@@ -403,14 +618,58 @@ nn::Tensor TinyLm::LogitsAtRows(const nn::Tensor& hidden,
     std::copy(hv + rows[i] * d, hv + (rows[i] + 1) * d, gathered + i * d);
   }
   std::vector<float> out = util::BufferPool::Global().Acquire(b * vocab);
-  nn::GemmNT(gathered, table.data().data(), out.data(), b, vocab, d,
-             /*accumulate=*/false);
+  if (quant_table_.defined()) {
+    // Tied LM head over the quantized table: dynamic per-row activation
+    // quantization, then the packed int8 kernels against all vocab channels.
+    const int64_t dp = quant_table_.packed_depth();
+    int8_t* gathered_q =
+        reinterpret_cast<int8_t*>(arena.Alloc((b * dp + 3) / 4));
+    float* gathered_s = arena.Alloc(b);
+    nn::QuantizeActivationRows(gathered, b, d, gathered_q, gathered_s);
+    nn::Int8Gemm(gathered_q, gathered_s, quant_table_, /*bias=*/nullptr,
+                 out.data(), b, /*accumulate=*/false);
+  } else {
+    const nn::Tensor table =
+        effective_table.defined() ? effective_table : EffectiveTokenTable();
+    nn::GemmNT(gathered, table.data().data(), out.data(), b, vocab, d,
+               /*accumulate=*/false);
+  }
   const float* bias = head_bias_.data().data();
   for (int64_t i = 0; i < b; ++i) {
     float* row = out.data() + i * vocab;
     for (int64_t j = 0; j < vocab; ++j) row[j] = row[j] + bias[j];
   }
   return nn::Tensor::FromData({b, vocab}, std::move(out));
+}
+
+void TinyLm::QuantizeForInference(bool quantize_embedding_table) {
+  for (auto& block : blocks_) block->QuantizeForInference();
+  if (quantize_embedding_table && !quant_table_.defined()) {
+    // Merge the embedding-LoRA delta first so the quantized table matches
+    // the effective table the fp32 path gathers from.
+    const nn::Tensor table = MaterializeTokenTable();
+    quant_table_ = nn::QuantTensor::FromRows(
+        table.data().data(), config_.vocab_size, config_.model_dim);
+  }
+  quantized_ = true;
+}
+
+size_t TinyLm::InferenceWeightBytes() const {
+  auto tensor_bytes = [](const nn::Tensor& t) {
+    return t.defined() ? t.data().size() * sizeof(float) : size_t{0};
+  };
+  size_t bytes = tensor_bytes(position_table_) + tensor_bytes(head_bias_);
+  for (const auto& [name, tensor] : final_norm_.NamedParameters()) {
+    bytes += tensor.data().size() * sizeof(float);
+  }
+  for (const auto& block : blocks_) bytes += block->InferenceWeightBytes();
+  if (quant_table_.defined()) {
+    bytes += quant_table_.MemoryBytes();
+  } else {
+    bytes += tensor_bytes(token_embedding_.table()) +
+             tensor_bytes(embedding_lora_a_) + tensor_bytes(embedding_lora_b_);
+  }
+  return bytes;
 }
 
 nn::Tensor TinyLm::MaterializeTokenTable() const {

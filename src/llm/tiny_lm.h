@@ -1,6 +1,7 @@
 #ifndef DELREC_LLM_TINY_LM_H_
 #define DELREC_LLM_TINY_LM_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -9,6 +10,7 @@
 #include "nn/layers.h"
 #include "nn/lora.h"
 #include "nn/module.h"
+#include "nn/quant.h"
 #include "nn/tensor.h"
 #include "util/buffer_pool.h"
 #include "util/rng.h"
@@ -84,7 +86,38 @@ class TinyLmBlock : public nn::Module {
                                               util::Rng& rng);
   std::vector<nn::LoraLinear*> adapters() const;
 
+  /// Builds the int8 serving weights (DESIGN.md §13): merges any adapters
+  /// into their base matrices and quantizes all six dense projections
+  /// per-output-channel. Idempotent; after this, ForwardBatchInference
+  /// routes its dense GEMMs through nn::Int8Gemm while LayerNorm, attention
+  /// and GELU stay fp32. Forward() and the fp32 batched path of an
+  /// un-quantized block are unaffected.
+  void QuantizeForInference();
+  bool quantized() const { return quant_ != nullptr; }
+
+  /// Bytes of weights the batched inference path reads: fp32 LN affines and
+  /// biases plus either the fp32 dense matrices (+ adapter factors) or their
+  /// packed int8 replacements.
+  size_t InferenceWeightBytes() const;
+
  private:
+  /// Per-block int8 serving weights, adapters already merged.
+  struct QuantWeights {
+    nn::QuantTensor wq, wk, wv, wo, ffn_in, ffn_out;
+  };
+
+  /// The block-diagonal per-span attention stage shared by the fp32 and int8
+  /// batched paths: consumes the stacked q/k/v projections, writes the
+  /// concatenated head outputs to `attended`. Arithmetic is identical to the
+  /// historical inline loop (DESIGN.md §11) — the int8 path changes only how
+  /// q/k/v and the surrounding projections are produced.
+  void AttendSpans(const float* q, const float* k, const float* vproj,
+                   const std::vector<SequenceSpan>& spans, float* attended,
+                   util::ScopedArena& arena) const;
+
+  void ForwardBatchInferenceQuant(const float* x, int64_t total,
+                                  const std::vector<SequenceSpan>& spans,
+                                  float* out, util::ScopedArena& arena) const;
   int64_t num_heads_;
   int64_t head_dim_;
   nn::LayerNorm ln_attention_;
@@ -98,6 +131,7 @@ class TinyLmBlock : public nn::Module {
   std::unique_ptr<nn::LoraLinear> lora_wq_;
   std::unique_ptr<nn::LoraLinear> lora_wv_;
   std::unique_ptr<nn::LoraLinear> lora_ffn_in_;
+  std::unique_ptr<QuantWeights> quant_;
 };
 
 /// The miniature masked language model standing in for the paper's LLM.
@@ -178,6 +212,26 @@ class TinyLm : public nn::Module {
   /// (<2% of the model's parameters; the dense weight matrices stay frozen.)
   std::vector<nn::Tensor> BitFitParameters() const;
 
+  /// Converts this (frozen) model to int8 serving form (DESIGN.md §13):
+  /// every block's dense projections are merged+quantized, and — when
+  /// `quantize_embedding_table` — the effective token table (base plus
+  /// embedding-LoRA delta) is quantized per-row too, covering both the
+  /// input gather and the tied LM head. Idempotent. Only the batched
+  /// inference paths (EncodeBatch / LogitsAtRows) change; training forwards
+  /// keep reading the fp32 parameters.
+  void QuantizeForInference(bool quantize_embedding_table);
+  bool quantized() const { return quantized_; }
+  bool embedding_table_quantized() const { return quant_table_.defined(); }
+
+  /// The quantized token table (defined only after QuantizeForInference with
+  /// quantize_embedding_table) — exposed for parity tests.
+  const nn::QuantTensor& quant_table() const { return quant_table_; }
+
+  /// Bytes of weights one EncodeBatch+LogitsAtRows pass reads: blocks,
+  /// final norm, position table, head bias and the token table in whichever
+  /// form (fp32 or packed int8) the serve path actually touches.
+  size_t InferenceWeightBytes() const;
+
   int64_t model_dim() const { return config_.model_dim; }
   int64_t vocab_size() const { return config_.vocab_size; }
 
@@ -197,6 +251,9 @@ class TinyLm : public nn::Module {
   nn::Tensor embedding_lora_a_;  // (vocab, rank)
   nn::Tensor embedding_lora_b_;  // (rank, model_dim)
   float embedding_lora_scale_ = 0.0f;
+  // Int8 serving state (set by QuantizeForInference).
+  bool quantized_ = false;
+  nn::QuantTensor quant_table_;  // (vocab, model_dim), LoRA delta merged.
 
   /// Token table with the low-rank delta applied (or the raw table).
   nn::Tensor EffectiveTokenTable() const;

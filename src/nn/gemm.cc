@@ -842,4 +842,6 @@ std::string GemmKernelConfig() {
          "march=native " + native;
 }
 
+std::string GemmKernelIsa() { return PickTiles().isa; }
+
 }  // namespace delrec::nn

@@ -69,6 +69,11 @@ void GemmTNRef(const float* a, const float* b, float* c, int64_t m, int64_t n,
 /// startup and recorded in BENCH_*.json.
 std::string GemmKernelConfig();
 
+/// The dispatched fp32 tile's ISA tier alone ("avx512", "avx2", "sse2", or
+/// "portable") — recorded as config.isa in BENCH_*.json so baselines gate
+/// only against like-for-like hardware runs.
+std::string GemmKernelIsa();
+
 }  // namespace delrec::nn
 
 #endif  // DELREC_NN_GEMM_H_

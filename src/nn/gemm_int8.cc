@@ -1,0 +1,375 @@
+#include "nn/gemm_int8.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "util/check.h"
+#include "util/threadpool.h"
+
+// Compiled with -ffp-contract=off (src/nn/CMakeLists.txt), matching
+// nn/gemm.cc: the de-scale epilogue is the one floating-point stage of the
+// int8 path and every kernel funnels through the same scalar function, so no
+// contraction decision can split SIMD and reference numerics.
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define DELREC_GEMM_INT8_X86 1
+#include <immintrin.h>
+#else
+#define DELREC_GEMM_INT8_X86 0
+#endif
+
+namespace delrec::nn {
+namespace {
+
+constexpr int MR = kInt8RowTile;
+constexpr int NR = kInt8ChannelTile;
+constexpr int KQ = kInt8KQuad;
+static_assert(NR == 16 && KQ == 4,
+              "int8 tiles assume 16-channel panels of 4-deep k-quads "
+              "(two 32-byte vpdpbusd operand rows per quad)");
+
+// -- Tiles --------------------------------------------------------------------
+// A tile fills acc[MR][NR] with the exact int32 dot products of MR packed
+// activation rows against one 16-channel panel over the full padded depth.
+// Activation bytes are biased (stored byte = code + 128, nn/quant.h); signed
+// tiles subtract the bias per byte, the vpdpbusd tile instead subtracts the
+// panel's precomputed corrections 128·Σ codes once at the end — both recover
+// the same signed dot. Padded k lanes multiply zero weight codes, so summing
+// kp instead of K is identity. All tiles produce the same int32s (integer
+// arithmetic is associative and exact here), so the ISA choice can never
+// change results.
+
+using Int8TileFn = void (*)(const int8_t* a, int64_t a_stride,
+                            const int8_t* bpanel, const int32_t* corr,
+                            int64_t kp, int32_t* acc);
+
+// Signed activation code recovered from the biased storage byte.
+inline int32_t UnbiasByte(int8_t byte) {
+  return static_cast<int32_t>(static_cast<uint8_t>(byte)) - 128;
+}
+
+void Int8TileScalar(const int8_t* a, int64_t a_stride, const int8_t* bpanel,
+                    const int32_t* /*corr*/, int64_t kp, int32_t* acc) {
+  for (int r = 0; r < MR; ++r) {
+    const int8_t* ar = a + r * a_stride;
+    int32_t* accr = acc + r * NR;
+    for (int jr = 0; jr < NR; ++jr) accr[jr] = 0;
+    for (int64_t k = 0; k < kp; ++k) {
+      const int32_t av = UnbiasByte(ar[k]);
+      const int8_t* bk = bpanel + (k / KQ) * (NR * KQ) + (k % KQ);
+      for (int jr = 0; jr < NR; ++jr) {
+        accr[jr] += av * static_cast<int32_t>(bk[jr * KQ]);
+      }
+    }
+  }
+}
+
+// Partial tile (mr < MR and/or nr < NR): same accumulation with runtime
+// bounds. acc rows are laid out with the full NR stride so the shared
+// epilogue indexes identically for full and edge tiles.
+void Int8TileEdge(const int8_t* a, int64_t a_stride, const int8_t* bpanel,
+                  int64_t kp, int mr, int nr, int32_t* acc) {
+  for (int r = 0; r < mr; ++r) {
+    const int8_t* ar = a + r * a_stride;
+    int32_t* accr = acc + r * NR;
+    for (int jr = 0; jr < nr; ++jr) accr[jr] = 0;
+    for (int64_t k = 0; k < kp; ++k) {
+      const int32_t av = UnbiasByte(ar[k]);
+      const int8_t* bk = bpanel + (k / KQ) * (NR * KQ) + (k % KQ);
+      for (int jr = 0; jr < nr; ++jr) {
+        accr[jr] += av * static_cast<int32_t>(bk[jr * KQ]);
+      }
+    }
+  }
+}
+
+#if DELREC_GEMM_INT8_X86
+
+// One biased activation k-quad as the u32 every vpdpbusd lane multiplies.
+inline int32_t QuadBroadcastU8(const int8_t* a, int64_t k) {
+  int32_t v;
+  std::memcpy(&v, a + k, sizeof(v));
+  return v;
+}
+
+// One unbiased activation k-quad as four int16s (a0,a1,a2,a3) for the
+// pmaddwd tiles: set1_epi64 of this value lines each weight lane pair
+// (k0,k1) / (k2,k3) up with the matching activation pair.
+inline long long QuadBroadcastS16(const int8_t* a, int64_t k) {
+  uint64_t v = 0;
+  for (int t = 0; t < KQ; ++t) {
+    const uint16_t s = static_cast<uint16_t>(
+        static_cast<int16_t>(UnbiasByte(a[k + t])));
+    v |= static_cast<uint64_t>(s) << (16 * t);
+  }
+  return static_cast<long long>(v);
+}
+
+// ---- AVX-VNNI: vpdpbusd on biased u8 activations, 8 accumulators ----
+// Each dpbusd consumes 8 channels × one k-quad per operand row; the biased
+// sums are corrected with the panel's precomputed 128·Σ codes at the end.
+// (256-bit VEX form — present without AVX-512 on e.g. Alder Lake, and on
+// AVX512-VNNI parts via the same CPUID avxvnni bit being set by the OS/CPU
+// only when the VEX encoding exists; dispatch checks avx2+avxvnni.)
+
+__attribute__((target("avx2,avxvnni"))) void Int8TileAvxVnni(
+    const int8_t* a, int64_t a_stride, const int8_t* bpanel,
+    const int32_t* corr, int64_t kp, int32_t* acc) {
+  const int8_t* a0 = a;
+  const int8_t* a1 = a + a_stride;
+  const int8_t* a2 = a + 2 * a_stride;
+  const int8_t* a3 = a + 3 * a_stride;
+  __m256i lo0 = _mm256_setzero_si256(), hi0 = _mm256_setzero_si256();
+  __m256i lo1 = _mm256_setzero_si256(), hi1 = _mm256_setzero_si256();
+  __m256i lo2 = _mm256_setzero_si256(), hi2 = _mm256_setzero_si256();
+  __m256i lo3 = _mm256_setzero_si256(), hi3 = _mm256_setzero_si256();
+  for (int64_t k = 0; k < kp; k += KQ) {
+    const int8_t* bk = bpanel + (k / KQ) * (NR * KQ);
+    // Channels 0-7 and 8-15 of this k-quad, one s8 quad per dword lane.
+    const __m256i blo =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(bk));
+    const __m256i bhi =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(bk + 32));
+    __m256i av;
+    av = _mm256_set1_epi32(QuadBroadcastU8(a0, k));
+    lo0 = _mm256_dpbusd_avx_epi32(lo0, av, blo);
+    hi0 = _mm256_dpbusd_avx_epi32(hi0, av, bhi);
+    av = _mm256_set1_epi32(QuadBroadcastU8(a1, k));
+    lo1 = _mm256_dpbusd_avx_epi32(lo1, av, blo);
+    hi1 = _mm256_dpbusd_avx_epi32(hi1, av, bhi);
+    av = _mm256_set1_epi32(QuadBroadcastU8(a2, k));
+    lo2 = _mm256_dpbusd_avx_epi32(lo2, av, blo);
+    hi2 = _mm256_dpbusd_avx_epi32(hi2, av, bhi);
+    av = _mm256_set1_epi32(QuadBroadcastU8(a3, k));
+    lo3 = _mm256_dpbusd_avx_epi32(lo3, av, blo);
+    hi3 = _mm256_dpbusd_avx_epi32(hi3, av, bhi);
+  }
+  const __m256i clo =
+      _mm256_loadu_si256(reinterpret_cast<const __m256i*>(corr));
+  const __m256i chi =
+      _mm256_loadu_si256(reinterpret_cast<const __m256i*>(corr + 8));
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(acc + 0 * NR),
+                      _mm256_sub_epi32(lo0, clo));
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(acc + 0 * NR + 8),
+                      _mm256_sub_epi32(hi0, chi));
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(acc + 1 * NR),
+                      _mm256_sub_epi32(lo1, clo));
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(acc + 1 * NR + 8),
+                      _mm256_sub_epi32(hi1, chi));
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(acc + 2 * NR),
+                      _mm256_sub_epi32(lo2, clo));
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(acc + 2 * NR + 8),
+                      _mm256_sub_epi32(hi2, chi));
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(acc + 3 * NR),
+                      _mm256_sub_epi32(lo3, clo));
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(acc + 3 * NR + 8),
+                      _mm256_sub_epi32(hi3, chi));
+}
+
+// ---- AVX-512 (no VNNI): pmaddwd over sign-extended k-quads ----
+// madd of a (a0,a1,a2,a3) int16 broadcast against a cvt'd quad row yields
+// channel-pair partial sums in adjacent int32 lanes ([ch p01, ch p23, ...]);
+// the pairs are reduced scalar at tile end, outside the k loop.
+// madd_epi16/cvtepi8_epi16 at 512 bits need AVX512BW (checked at dispatch).
+
+__attribute__((target("avx512f,avx512bw"))) void Int8TileAvx512(
+    const int8_t* a, int64_t a_stride, const int8_t* bpanel,
+    const int32_t* /*corr*/, int64_t kp, int32_t* acc) {
+  const int8_t* a0 = a;
+  const int8_t* a1 = a + a_stride;
+  const int8_t* a2 = a + 2 * a_stride;
+  const int8_t* a3 = a + 3 * a_stride;
+  // p{lo,hi}R hold channels 0-7 / 8-15 of row R as 16 paired int32 lanes.
+  __m512i plo0 = _mm512_setzero_si512(), phi0 = _mm512_setzero_si512();
+  __m512i plo1 = _mm512_setzero_si512(), phi1 = _mm512_setzero_si512();
+  __m512i plo2 = _mm512_setzero_si512(), phi2 = _mm512_setzero_si512();
+  __m512i plo3 = _mm512_setzero_si512(), phi3 = _mm512_setzero_si512();
+  for (int64_t k = 0; k < kp; k += KQ) {
+    const int8_t* bk = bpanel + (k / KQ) * (NR * KQ);
+    const __m512i blo = _mm512_cvtepi8_epi16(
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(bk)));
+    const __m512i bhi = _mm512_cvtepi8_epi16(
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(bk + 32)));
+    __m512i av;
+    av = _mm512_set1_epi64(QuadBroadcastS16(a0, k));
+    plo0 = _mm512_add_epi32(plo0, _mm512_madd_epi16(av, blo));
+    phi0 = _mm512_add_epi32(phi0, _mm512_madd_epi16(av, bhi));
+    av = _mm512_set1_epi64(QuadBroadcastS16(a1, k));
+    plo1 = _mm512_add_epi32(plo1, _mm512_madd_epi16(av, blo));
+    phi1 = _mm512_add_epi32(phi1, _mm512_madd_epi16(av, bhi));
+    av = _mm512_set1_epi64(QuadBroadcastS16(a2, k));
+    plo2 = _mm512_add_epi32(plo2, _mm512_madd_epi16(av, blo));
+    phi2 = _mm512_add_epi32(phi2, _mm512_madd_epi16(av, bhi));
+    av = _mm512_set1_epi64(QuadBroadcastS16(a3, k));
+    plo3 = _mm512_add_epi32(plo3, _mm512_madd_epi16(av, blo));
+    phi3 = _mm512_add_epi32(phi3, _mm512_madd_epi16(av, bhi));
+  }
+  alignas(64) int32_t tmp[2 * NR];
+  const __m512i* paired[MR][2] = {
+      {&plo0, &phi0}, {&plo1, &phi1}, {&plo2, &phi2}, {&plo3, &phi3}};
+  for (int r = 0; r < MR; ++r) {
+    _mm512_store_si512(tmp, *paired[r][0]);
+    _mm512_store_si512(tmp + NR, *paired[r][1]);
+    int32_t* accr = acc + r * NR;
+    for (int jr = 0; jr < NR; ++jr) {
+      accr[jr] = tmp[2 * jr] + tmp[2 * jr + 1];
+    }
+  }
+}
+
+// ---- AVX2 (no VNNI): pmaddwd quads, two-row sub-blocks ----
+// Same paired-lane scheme at 256 bits: four quarter-panel registers of
+// 4 channels each; rows go in blocks of two so accumulators + operands fit
+// the 16-register file.
+
+__attribute__((target("avx2"))) void Int8TileAvx2(const int8_t* a,
+                                                  int64_t a_stride,
+                                                  const int8_t* bpanel,
+                                                  const int32_t* /*corr*/,
+                                                  int64_t kp, int32_t* acc) {
+  for (int rb = 0; rb < MR; rb += 2) {
+    const int8_t* a0 = a + rb * a_stride;
+    const int8_t* a1 = a + (rb + 1) * a_stride;
+    __m256i p0[4] = {_mm256_setzero_si256(), _mm256_setzero_si256(),
+                     _mm256_setzero_si256(), _mm256_setzero_si256()};
+    __m256i p1[4] = {_mm256_setzero_si256(), _mm256_setzero_si256(),
+                     _mm256_setzero_si256(), _mm256_setzero_si256()};
+    for (int64_t k = 0; k < kp; k += KQ) {
+      const int8_t* bk = bpanel + (k / KQ) * (NR * KQ);
+      const __m256i av0 = _mm256_set1_epi64x(QuadBroadcastS16(a0, k));
+      const __m256i av1 = _mm256_set1_epi64x(QuadBroadcastS16(a1, k));
+      for (int q = 0; q < 4; ++q) {
+        const __m256i b = _mm256_cvtepi8_epi16(_mm_loadu_si128(
+            reinterpret_cast<const __m128i*>(bk + q * NR)));
+        p0[q] = _mm256_add_epi32(p0[q], _mm256_madd_epi16(av0, b));
+        p1[q] = _mm256_add_epi32(p1[q], _mm256_madd_epi16(av1, b));
+      }
+    }
+    alignas(32) int32_t tmp[8];
+    for (int q = 0; q < 4; ++q) {
+      _mm256_store_si256(reinterpret_cast<__m256i*>(tmp), p0[q]);
+      int32_t* accr = acc + rb * NR + q * 4;
+      for (int jr = 0; jr < 4; ++jr) accr[jr] = tmp[2 * jr] + tmp[2 * jr + 1];
+      _mm256_store_si256(reinterpret_cast<__m256i*>(tmp), p1[q]);
+      accr = acc + (rb + 1) * NR + q * 4;
+      for (int jr = 0; jr < 4; ++jr) accr[jr] = tmp[2 * jr] + tmp[2 * jr + 1];
+    }
+  }
+}
+
+#endif  // DELREC_GEMM_INT8_X86
+
+struct Int8Tiles {
+  Int8TileFn tile;
+  const char* isa;
+  const char* family;
+};
+
+const Int8Tiles& PickInt8Tiles() {
+  static const Int8Tiles tiles = [] {
+#if DELREC_GEMM_INT8_X86
+    if (__builtin_cpu_supports("avx2") &&
+        __builtin_cpu_supports("avxvnni")) {
+      return Int8Tiles{Int8TileAvxVnni, "avxvnni", "vpdpbusd"};
+    }
+    if (__builtin_cpu_supports("avx512f") &&
+        __builtin_cpu_supports("avx512bw")) {
+      return Int8Tiles{Int8TileAvx512, "avx512", "pmaddwd"};
+    }
+    if (__builtin_cpu_supports("avx2")) {
+      return Int8Tiles{Int8TileAvx2, "avx2", "pmaddwd"};
+    }
+#endif
+    return Int8Tiles{Int8TileScalar, "scalar", "scalar"};
+  }();
+  return tiles;
+}
+
+// -- Shared de-scale epilogue -------------------------------------------------
+// The single floating-point stage: every kernel (SIMD and reference) calls
+// this same scalar function per tile, so the fp rounding sequence per C
+// element is fixed — cast, one multiply by the pre-combined scale, optional
+// bias add, optional accumulate.
+
+void DescaleTile(const int32_t* acc, const float* a_scales, int64_t i0,
+                 int mr, const float* b_scales, int64_t j0, int nr,
+                 const float* bias, float* c, int64_t n, bool accumulate) {
+  for (int r = 0; r < mr; ++r) {
+    const float sa = a_scales[i0 + r];
+    const int32_t* accr = acc + r * NR;
+    float* cr = c + (i0 + r) * n + j0;
+    for (int jr = 0; jr < nr; ++jr) {
+      float v = static_cast<float>(accr[jr]) * (sa * b_scales[j0 + jr]);
+      if (bias != nullptr) v = v + bias[j0 + jr];
+      cr[jr] = accumulate ? cr[jr] + v : v;
+    }
+  }
+}
+
+void Int8Rows(const int8_t* aq, const float* a_scales, const QuantTensor& b,
+              const float* bias, float* c, bool accumulate, Int8TileFn tile,
+              int64_t row_begin, int64_t row_end) {
+  const int64_t n = b.channels();
+  const int64_t kp = b.packed_depth();
+  const int64_t num_panels = (n + NR - 1) / NR;
+  const int8_t* packed = b.packed();
+  const float* b_scales = b.scales();
+  const int32_t* corrections = b.corrections();
+  alignas(64) int32_t acc[MR * NR];
+  for (int64_t i = row_begin; i < row_end; i += MR) {
+    const int mr = static_cast<int>(std::min<int64_t>(MR, row_end - i));
+    const int8_t* arow = aq + i * kp;
+    for (int64_t jb = 0; jb < num_panels; ++jb) {
+      const int64_t j0 = jb * NR;
+      const int nr = static_cast<int>(std::min<int64_t>(NR, n - j0));
+      const int8_t* bpanel = packed + jb * kp * NR;
+      if (mr == MR && nr == NR) {
+        tile(arow, kp, bpanel, corrections + j0, kp, acc);
+      } else {
+        Int8TileEdge(arow, kp, bpanel, kp, mr, nr, acc);
+      }
+      DescaleTile(acc, a_scales, i, mr, b_scales, j0, nr, bias, c, n,
+                  accumulate);
+    }
+  }
+}
+
+}  // namespace
+
+void Int8Gemm(const int8_t* aq, const float* a_scales, const QuantTensor& b,
+              const float* bias, float* c, int64_t m, bool accumulate) {
+  DELREC_CHECK(b.defined());
+  if (m == 0 || b.channels() == 0) return;
+  const Int8TileFn tile = PickInt8Tiles().tile;
+  // Same static row partition and serial-below-threshold rule as GemmRows
+  // (nn/gemm.cc); chunk boundaries only decide which rows use edge tiles,
+  // and edge vs full tiles compute identical int32s.
+  if (util::ParallelThreads() > 1 &&
+      m * b.channels() * b.packed_depth() >= util::ParallelMinWork()) {
+    util::ParallelFor(m, [&](int64_t begin, int64_t end, int) {
+      Int8Rows(aq, a_scales, b, bias, c, accumulate, tile, begin, end);
+    });
+  } else {
+    Int8Rows(aq, a_scales, b, bias, c, accumulate, tile, 0, m);
+  }
+}
+
+void Int8GemmRef(const int8_t* aq, const float* a_scales,
+                 const QuantTensor& b, const float* bias, float* c, int64_t m,
+                 bool accumulate) {
+  DELREC_CHECK(b.defined());
+  if (m == 0 || b.channels() == 0) return;
+  Int8Rows(aq, a_scales, b, bias, c, accumulate, Int8TileScalar, 0, m);
+}
+
+std::string Int8KernelIsa() { return PickInt8Tiles().isa; }
+
+std::string Int8GemmKernelConfig() {
+  const Int8Tiles& tiles = PickInt8Tiles();
+  return "int8 " + std::to_string(kInt8RowTile) + "x" +
+         std::to_string(kInt8ChannelTile) + " " + tiles.family +
+         " microkernel, packed k-quad panels, isa=" + tiles.isa +
+         ", fp-contract=off";
+}
+
+}  // namespace delrec::nn

@@ -1,0 +1,71 @@
+#ifndef DELREC_NN_GEMM_INT8_H_
+#define DELREC_NN_GEMM_INT8_H_
+
+#include <cstdint>
+#include <string>
+
+#include "nn/quant.h"
+
+namespace delrec::nn {
+
+/// Packed int8×int8→int32 GEMM with fp32 de-scale (DESIGN.md §13).
+///
+/// Computes, for quantized activations A (m rows, per-row scales) against a
+/// QuantTensor B (N output channels, per-channel scales):
+///
+///   C(i,j) (+)= float(Σ_k Aq(i,k)·Bq(j,k)) · (a_scale[i]·b_scale[j])
+///               [+ bias[j]]
+///
+/// The integer dot is exact — every kernel computes the same int32 regardless
+/// of lane width or summation order — so the SIMD paths are bit-identical to
+/// the scalar reference by construction, a stronger guarantee than the fp32
+/// kernels need. The only floating-point arithmetic is the de-scale epilogue,
+/// which all kernels share (one scalar function, compiled with
+/// -ffp-contract=off like nn/gemm.cc): cast, multiply by the combined scale,
+/// optional bias add, optional accumulate into C — in that fixed order.
+///
+/// The fast tile is AVX-VNNI vpdpbusd: activations are stored biased
+/// (byte = code + 128, the unsigned operand vpdpbusd requires) and the
+/// biased sums are corrected with the QuantTensor's precomputed per-channel
+/// 128·Σ codes — an exact integer identity, so bit-exactness survives. The
+/// fallback SIMD tiles use sign-extended pmaddwd (madd_epi16) rather than
+/// maddubs: maddubs saturates its int16 pair sums (2·255·127 overflows),
+/// which would break exactness; madd_epi16 pair sums are at most 2·127·127
+/// and every int32 accumulator stays exact for any depth ≤ kInt8MaxDepth
+/// (nn/quant.h). Dispatch follows nn/gemm.cc: __builtin_cpu_supports picks
+/// AVX-VNNI (avx2+avxvnni), AVX-512 (avx512f+avx512bw), AVX2, or the
+/// portable scalar tile once per process.
+///
+/// Threading mirrors GemmRows: C rows are statically partitioned across
+/// util::ParallelConfig threads when m·N·K clears ParallelMinWork(); exact
+/// integer accumulation plus the per-element epilogue make the result
+/// bit-identical at every thread count and chunking.
+
+/// Activation rows per microkernel tile (the int8 MR).
+inline constexpr int kInt8RowTile = 4;
+
+/// C (m, b.channels()) = descale(Aq · Bqᵀ). `aq` holds m packed rows of
+/// stride b.packed_depth() with per-row scales `a_scales` (both as produced
+/// by QuantizeActivationRows against depth == b.depth()). `bias` is an
+/// optional fp32 vector of b.channels() added before the accumulate step
+/// (nullptr for none).
+void Int8Gemm(const int8_t* aq, const float* a_scales, const QuantTensor& b,
+              const float* bias, float* c, int64_t m, bool accumulate);
+
+/// Serial scalar reference — the exactness oracle for the SIMD tiles, always
+/// single-threaded and ISA-independent.
+void Int8GemmRef(const int8_t* aq, const float* a_scales,
+                 const QuantTensor& b, const float* bias, float* c, int64_t m,
+                 bool accumulate);
+
+/// The dispatched int8 tile's ISA tier: "avxvnni", "avx512", "avx2", or
+/// "scalar".
+std::string Int8KernelIsa();
+
+/// Human-readable kernel summary (tile geometry, ISA, instruction family)
+/// printed at bench startup alongside GemmKernelConfig().
+std::string Int8GemmKernelConfig();
+
+}  // namespace delrec::nn
+
+#endif  // DELREC_NN_GEMM_INT8_H_

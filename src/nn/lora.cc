@@ -62,6 +62,27 @@ void LoraLinear::AddDeltaInference(const float* x, int64_t rows, float* out,
   }
 }
 
+std::vector<float> LoraLinear::MergedWeightRowMajor() const {
+  const int64_t in = base_->in_features();
+  const int64_t out_features = base_->out_features();
+  // A with columns scaled by Λ⊙mask, so the delta is one (in,r)·(r,out) GEMM.
+  std::vector<float> a_gated = a_.data();
+  const float* lv = lambda_.data().data();
+  const float* mv = mask_.data().data();
+  for (int64_t i = 0; i < in; ++i) {
+    float* row = a_gated.data() + i * rank_;
+    for (int64_t j = 0; j < rank_; ++j) row[j] *= lv[j] * mv[j];
+  }
+  std::vector<float> delta(static_cast<size_t>(in * out_features));
+  GemmNN(a_gated.data(), b_.data().data(), delta.data(), in, out_features,
+         rank_, /*accumulate=*/false);
+  std::vector<float> merged = base_->weight().data();
+  for (size_t i = 0; i < merged.size(); ++i) {
+    merged[i] += scale_ * delta[i];
+  }
+  return merged;
+}
+
 int64_t LoraLinear::active_rank() const {
   int64_t active = 0;
   for (float m : mask_.data()) active += m > 0.5f ? 1 : 0;

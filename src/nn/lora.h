@@ -38,6 +38,12 @@ class LoraLinear : public Module {
   int64_t rank() const { return rank_; }
   int64_t active_rank() const;
 
+  /// Row-major (in, out) copy of the base weight with the masked low-rank
+  /// delta folded in: W + scale·A·diag(Λ⊙mask)·B. Used by the int8 snapshot
+  /// quantizer (DESIGN.md §13) to merge frozen adapters before per-channel
+  /// quantization; neither the base Linear nor the adapter is modified.
+  std::vector<float> MergedWeightRowMajor() const;
+
   /// Importance of direction i: |Λ_i| · EMA(|∂L/∂Λ_i|) — the sensitivity
   /// proxy AdaLoRA uses for budget allocation. Call AccumulateSensitivity()
   /// after each backward pass (before ZeroGrad) to maintain the EMA.

@@ -1,0 +1,214 @@
+#include "nn/quant.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define DELREC_QUANT_X86 1
+#include <immintrin.h>
+#else
+#define DELREC_QUANT_X86 0
+#endif
+
+namespace delrec::nn {
+
+namespace {
+
+/// Biased storage byte for a signed code in [-127, 127]: code + 128 as the
+/// unsigned byte vpdpbusd reads, reinterpreted into the int8_t buffer.
+inline int8_t BiasedByte(long code) {
+  return static_cast<int8_t>(static_cast<uint8_t>(code + 128));
+}
+
+/// Shared code path for both weight layouts: `element(j, k)` reads the fp32
+/// value of channel j at depth k. Two passes per channel — maxabs for the
+/// scale, then quantize — writing into the packed layout and accumulating
+/// the per-channel bias correction 128·Σ codes.
+template <typename ElementFn>
+void QuantizeChannels(std::vector<int8_t>* data, std::vector<float>* scales,
+                      std::vector<int32_t>* corrections, int64_t channels,
+                      int64_t depth, int64_t packed_depth,
+                      const ElementFn& element) {
+  for (int64_t j = 0; j < channels; ++j) {
+    float maxabs = 0.0f;
+    for (int64_t k = 0; k < depth; ++k) {
+      maxabs = std::max(maxabs, std::fabs(element(j, k)));
+    }
+    const float scale = maxabs / 127.0f;
+    (*scales)[j] = scale;
+    if (scale == 0.0f) continue;  // Codes stay 0 from the zero-init.
+    const float inv = 1.0f / scale;
+    int64_t code_sum = 0;
+    for (int64_t k = 0; k < depth; ++k) {
+      const long code = std::clamp<long>(
+          std::lrintf(element(j, k) * inv), -127, 127);
+      (*data)[PackedInt8Index(j, k, packed_depth)] =
+          static_cast<int8_t>(code);
+      code_sum += code;
+    }
+    (*corrections)[j] = static_cast<int32_t>(128 * code_sum);
+  }
+}
+
+void QuantizeRowScalar(const float* row, int64_t depth, float inv,
+                       int8_t* orow) {
+  for (int64_t k = 0; k < depth; ++k) {
+    const long code =
+        std::clamp<long>(std::lrintf(row[k] * inv), -127, 127);
+    orow[k] = BiasedByte(code);
+  }
+}
+
+#if DELREC_QUANT_X86
+
+__attribute__((target("avx2"))) float RowMaxAbsAvx2(const float* row,
+                                                    int64_t depth) {
+  const __m256 absmask =
+      _mm256_castsi256_ps(_mm256_set1_epi32(0x7fffffff));
+  __m256 mx = _mm256_setzero_ps();
+  int64_t k = 0;
+  for (; k + 8 <= depth; k += 8) {
+    mx = _mm256_max_ps(mx, _mm256_and_ps(absmask, _mm256_loadu_ps(row + k)));
+  }
+  alignas(32) float lanes[8];
+  _mm256_store_ps(lanes, mx);
+  float maxabs = 0.0f;
+  for (float lane : lanes) maxabs = std::max(maxabs, lane);
+  for (; k < depth; ++k) maxabs = std::max(maxabs, std::fabs(row[k]));
+  return maxabs;
+}
+
+// 16 floats -> 16 biased bytes. mul + cvtps2dq (round-to-nearest-even under
+// the default MXCSR — the same rounding std::lrintf performs), clamp to
+// ±127, saturating packs down to int8, then xor 0x80 to add the +128 bias.
+// The 2x128 permutes pre-arrange the two dwords vectors so the in-lane packs
+// emit bytes in linear k order.
+__attribute__((target("avx2"))) void QuantizeRowAvx2(const float* row,
+                                                     int64_t depth, float inv,
+                                                     int8_t* orow) {
+  const __m256 vinv = _mm256_set1_ps(inv);
+  const __m256i lo_clamp = _mm256_set1_epi32(-127);
+  const __m256i hi_clamp = _mm256_set1_epi32(127);
+  const __m256i bias = _mm256_set1_epi8(static_cast<char>(0x80));
+  int64_t k = 0;
+  for (; k + 16 <= depth; k += 16) {
+    __m256i v0 = _mm256_cvtps_epi32(
+        _mm256_mul_ps(_mm256_loadu_ps(row + k), vinv));
+    __m256i v1 = _mm256_cvtps_epi32(
+        _mm256_mul_ps(_mm256_loadu_ps(row + k + 8), vinv));
+    v0 = _mm256_min_epi32(hi_clamp, _mm256_max_epi32(lo_clamp, v0));
+    v1 = _mm256_min_epi32(hi_clamp, _mm256_max_epi32(lo_clamp, v1));
+    const __m256i x = _mm256_permute2x128_si256(v0, v1, 0x20);
+    const __m256i y = _mm256_permute2x128_si256(v0, v1, 0x31);
+    const __m256i p16 = _mm256_packs_epi32(x, y);
+    const __m256i p8 = _mm256_xor_si256(_mm256_packs_epi16(p16, p16), bias);
+    _mm_storel_epi64(reinterpret_cast<__m128i*>(orow + k),
+                     _mm256_castsi256_si128(p8));
+    _mm_storel_epi64(reinterpret_cast<__m128i*>(orow + k + 8),
+                     _mm256_extracti128_si256(p8, 1));
+  }
+  if (k < depth) QuantizeRowScalar(row + k, depth - k, inv, orow + k);
+}
+
+#endif  // DELREC_QUANT_X86
+
+bool UseAvx2Quantizer() {
+#if DELREC_QUANT_X86
+  static const bool use = __builtin_cpu_supports("avx2");
+  return use;
+#else
+  return false;
+#endif
+}
+
+}  // namespace
+
+QuantTensor::QuantTensor(int64_t channels, int64_t depth)
+    : channels_(channels), depth_(depth) {
+  DELREC_CHECK_GT(channels, 0);
+  DELREC_CHECK_GE(depth, 0);
+  DELREC_CHECK_LE(depth, kInt8MaxDepth)
+      << "depth exceeds the int32 accumulator overflow bound";
+  const int64_t panels =
+      (channels + kInt8ChannelTile - 1) / kInt8ChannelTile;
+  // Zero-init: padded channels and padded k contribute 0 to every dot.
+  data_.assign(static_cast<size_t>(panels * packed_depth() *
+                                   kInt8ChannelTile),
+               0);
+  scales_.assign(static_cast<size_t>(channels), 0.0f);
+  corrections_.assign(static_cast<size_t>(panels * kInt8ChannelTile), 0);
+}
+
+QuantTensor QuantTensor::FromColumns(const float* w, int64_t in, int64_t out) {
+  QuantTensor q(out, in);
+  QuantizeChannels(&q.data_, &q.scales_, &q.corrections_, out, in,
+                   q.packed_depth(),
+                   [w, out](int64_t j, int64_t k) { return w[k * out + j]; });
+  return q;
+}
+
+QuantTensor QuantTensor::FromRows(const float* w, int64_t rows, int64_t cols) {
+  QuantTensor q(rows, cols);
+  QuantizeChannels(&q.data_, &q.scales_, &q.corrections_, rows, cols,
+                   q.packed_depth(),
+                   [w, cols](int64_t j, int64_t k) { return w[j * cols + k]; });
+  return q;
+}
+
+void QuantTensor::DequantRow(int64_t channel, float* out) const {
+  DELREC_CHECK_GE(channel, 0);
+  DELREC_CHECK_LT(channel, channels_);
+  const float scale = scales_[channel];
+  const int64_t kp = packed_depth();
+  for (int64_t k = 0; k < depth_; ++k) {
+    out[k] = scale * static_cast<float>(
+                         data_[PackedInt8Index(channel, k, kp)]);
+  }
+}
+
+void QuantizeActivationRows(const float* x, int64_t rows, int64_t depth,
+                            int8_t* out, float* scales) {
+  DELREC_CHECK_LE(depth, kInt8MaxDepth);
+  const int64_t kp = (depth + kInt8KQuad - 1) & ~int64_t{kInt8KQuad - 1};
+  const bool avx2 = UseAvx2Quantizer();
+  const int8_t biased_zero = BiasedByte(0);
+  for (int64_t i = 0; i < rows; ++i) {
+    const float* row = x + i * depth;
+    int8_t* orow = out + i * kp;
+    float maxabs = 0.0f;
+#if DELREC_QUANT_X86
+    if (avx2) {
+      maxabs = RowMaxAbsAvx2(row, depth);
+    } else {
+      for (int64_t k = 0; k < depth; ++k) {
+        maxabs = std::max(maxabs, std::fabs(row[k]));
+      }
+    }
+#else
+    for (int64_t k = 0; k < depth; ++k) {
+      maxabs = std::max(maxabs, std::fabs(row[k]));
+    }
+#endif
+    const float scale = maxabs / 127.0f;
+    scales[i] = scale;
+    if (scale == 0.0f) {
+      std::fill(orow, orow + kp, biased_zero);
+      continue;
+    }
+    const float inv = 1.0f / scale;
+#if DELREC_QUANT_X86
+    if (avx2) {
+      QuantizeRowAvx2(row, depth, inv, orow);
+    } else {
+      QuantizeRowScalar(row, depth, inv, orow);
+    }
+#else
+    QuantizeRowScalar(row, depth, inv, orow);
+#endif
+    for (int64_t k = depth; k < kp; ++k) orow[k] = biased_zero;
+  }
+}
+
+}  // namespace delrec::nn

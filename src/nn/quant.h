@@ -1,0 +1,135 @@
+#ifndef DELREC_NN_QUANT_H_
+#define DELREC_NN_QUANT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace delrec::nn {
+
+/// Per-output-channel symmetric int8 quantization (DESIGN.md §13).
+///
+/// A QuantTensor holds one weight matrix as R output channels of depth K:
+/// channel j stores round(w / scale[j]) clamped to [-127, 127], with
+/// scale[j] = maxabs(channel j) / 127 (scale 0 for an all-zero channel, whose
+/// codes are all 0). Symmetric scales keep the int8 GEMM a pure integer
+/// dot — no zero-point cross terms — so the SIMD kernels can be bit-identical
+/// to the scalar reference (nn/gemm_int8.h).
+///
+/// Storage is the packed layout the int8 microkernels read directly:
+/// channels are grouped into kInt8ChannelTile-wide panels and, within a
+/// panel, each channel's next four depth values sit in one 32-bit lane
+/// (panel-major, then k/4, then channel lane, then k%4). One 32-byte load
+/// therefore yields 8 channels × 4 depth values with each dword lane holding
+/// one channel's k-quad — exactly the operand shape of vpdpbusd, and (after
+/// sign-extension to int16) also consumable by pmaddwd-style tiles as two
+/// k-pairs per lane. K is padded to a multiple of 4 and the last panel's
+/// missing channels are zero-filled; padded codes are 0 so they contribute
+/// nothing to any dot product.
+///
+/// Alongside the codes, the tensor precomputes per-channel bias corrections
+/// corr[j] = 128·Σ_k code(j,k). Activations are stored biased
+/// (byte = code + 128, see QuantizeActivationRows), so an unsigned×signed
+/// dot over the stored bytes equals the true signed dot plus corr[j]; the
+/// vpdpbusd tile subtracts corr[j] once per tile to recover the exact signed
+/// int32, and the signed tiles (which subtract the bias per byte instead)
+/// never read it.
+
+/// Channels per packed panel (the int8 kernels' NR).
+inline constexpr int kInt8ChannelTile = 16;
+
+/// Depth values per packed lane group (the vpdpbusd quad).
+inline constexpr int kInt8KQuad = 4;
+
+/// Maximum supported depth K. The widest intermediate any tile holds is the
+/// biased unsigned×signed accumulation Σ_k (code+128)·bcode, bounded by
+/// K·255·127 = K·32385; that must stay below 2^31, so K ≤ 66321. 65536 keeps
+/// a round power-of-two bound and is far beyond any matrix in this codebase.
+inline constexpr int64_t kInt8MaxDepth = 65536;
+
+/// Byte offset of (channel, k) inside the packed buffer, given the padded
+/// depth (packed_depth = K rounded up to a multiple of 4). Shared by the
+/// pack routine, the scalar reference kernel, and tests.
+inline int64_t PackedInt8Index(int64_t channel, int64_t k,
+                               int64_t packed_depth) {
+  const int64_t panel = channel / kInt8ChannelTile;
+  const int64_t lane = channel % kInt8ChannelTile;
+  return panel * packed_depth * kInt8ChannelTile +
+         (k / kInt8KQuad) * (kInt8ChannelTile * kInt8KQuad) +
+         lane * kInt8KQuad + (k % kInt8KQuad);
+}
+
+class QuantTensor {
+ public:
+  QuantTensor() = default;
+
+  /// Quantizes a Linear weight stored (in, out) row-major — output channel j
+  /// is column j (depth = in, channels = out), matching y = x·W.
+  static QuantTensor FromColumns(const float* w, int64_t in, int64_t out);
+
+  /// Quantizes a matrix stored (rows, cols) row-major with output channel i
+  /// = row i (depth = cols, channels = rows) — the (V, D) token table shape
+  /// used by the tied LM head's logits = hidden · tableᵀ.
+  static QuantTensor FromRows(const float* w, int64_t rows, int64_t cols);
+
+  bool defined() const { return channels_ > 0; }
+  int64_t channels() const { return channels_; }
+  int64_t depth() const { return depth_; }
+  /// Depth rounded up to a multiple of 4 — the packed k extent and the row
+  /// stride QuantizeActivationRows emits for the A operand.
+  int64_t packed_depth() const {
+    return (depth_ + kInt8KQuad - 1) & ~int64_t{kInt8KQuad - 1};
+  }
+
+  const int8_t* packed() const { return data_.data(); }
+  const float* scales() const { return scales_.data(); }
+  float scale(int64_t channel) const { return scales_[channel]; }
+
+  /// Per-channel bias corrections 128·Σ_k code(channel, k), padded with
+  /// zeros to whole panels so the vpdpbusd tile can load full vectors.
+  const int32_t* corrections() const { return corrections_.data(); }
+
+  /// Unpacked code at (channel, k) — test/debug accessor.
+  int8_t At(int64_t channel, int64_t k) const {
+    return data_[PackedInt8Index(channel, k, packed_depth())];
+  }
+
+  /// Dequantizes one channel: out[k] = scale(channel) · code(channel, k) for
+  /// k < depth(). Used by the embedding gather when the token table is
+  /// quantized.
+  void DequantRow(int64_t channel, float* out) const;
+
+  /// Bytes held by the packed codes, the fp32 scales, and the int32 bias
+  /// corrections — the serving footprint of this matrix.
+  size_t MemoryBytes() const {
+    return data_.size() * sizeof(int8_t) + scales_.size() * sizeof(float) +
+           corrections_.size() * sizeof(int32_t);
+  }
+
+ private:
+  QuantTensor(int64_t channels, int64_t depth);
+
+  int64_t channels_ = 0;
+  int64_t depth_ = 0;
+  std::vector<int8_t> data_;          // Packed panels, zero-padded.
+  std::vector<float> scales_;         // One fp32 scale per channel.
+  std::vector<int32_t> corrections_;  // 128·Σ codes, panel-padded.
+};
+
+/// Dynamic per-row symmetric quantization of activations: row i of `x`
+/// (row-major, `depth` floats) becomes biased int8 codes at
+/// out + i·packed_depth (packed_depth = depth rounded up to a multiple of 4)
+/// with scales[i] = maxabs(row)/127. Each stored byte is code + 128
+/// reinterpreted as int8 — the unsigned form vpdpbusd consumes — so a code
+/// of 0 is the byte 0x80; padded tail bytes are 0x80 (biased zero) and an
+/// all-zero row gets scale 0 and all-0x80 codes. Rounding is
+/// round-to-nearest-even on v·(1/scale) (std::lrintf in the scalar path,
+/// cvtps2dq under the default MXCSR in the SIMD path — the same rounding),
+/// clamped to [-127, 127]; the two paths produce identical bytes and are
+/// cross-checked by tests/gemm_kernel_test.cc.
+void QuantizeActivationRows(const float* x, int64_t rows, int64_t depth,
+                            int8_t* out, float* scales);
+
+}  // namespace delrec::nn
+
+#endif  // DELREC_NN_QUANT_H_

@@ -20,26 +20,28 @@ EngineSnapshot::EngineSnapshot(const core::DelRecConfig& config,
       scratch_rng_(config.seed) {}
 
 util::StatusOr<std::unique_ptr<EngineSnapshot>> EngineSnapshot::FromModel(
-    const core::DelRec& model, const llm::TinyLm& llm,
-    const Sources& sources) {
+    const core::DelRec& model, const llm::TinyLm& llm, const Sources& sources,
+    const BuildOptions& options) {
   // Round-trip through the checkpoint blob representation so a snapshot
   // frozen from a live model is the same artifact as one loaded from disk
   // (and the two construction paths cannot drift apart).
   return FromBlobs(core::ExtractDelRecBlobs(model, llm), llm.config(),
-                   model.config(), sources);
+                   model.config(), sources, options);
 }
 
 util::StatusOr<std::unique_ptr<EngineSnapshot>> EngineSnapshot::FromCheckpoint(
     const std::string& path, const llm::TinyLmConfig& llm_config,
-    const core::DelRecConfig& config, const Sources& sources) {
+    const core::DelRecConfig& config, const Sources& sources,
+    const BuildOptions& options) {
   core::DelRecBlobs blobs;
   DELREC_ASSIGN_OR_RETURN(blobs, core::ReadDelRecBlobs(path));
-  return FromBlobs(blobs, llm_config, config, sources);
+  return FromBlobs(blobs, llm_config, config, sources, options);
 }
 
 util::StatusOr<std::unique_ptr<EngineSnapshot>> EngineSnapshot::FromBlobs(
     const core::DelRecBlobs& blobs, const llm::TinyLmConfig& llm_config,
-    const core::DelRecConfig& config, const Sources& sources) {
+    const core::DelRecConfig& config, const Sources& sources,
+    const BuildOptions& options) {
   DELREC_CHECK(sources.catalog != nullptr);
   DELREC_CHECK(sources.vocab != nullptr);
   DELREC_CHECK(sources.sr_model != nullptr);
@@ -102,14 +104,32 @@ util::StatusOr<std::unique_ptr<EngineSnapshot>> EngineSnapshot::FromBlobs(
       {config.soft_prompt_count, llm_config.model_dim}, blobs.soft_prompts);
 
   snapshot->llm_ = std::move(lm);
+  if (options.quantize_int8) {
+    snapshot->llm_->QuantizeForInference(options.quantize_embedding_table);
+  }
   // Materialize the effective token table once: every request shares it
-  // instead of re-deriving the embedding-LoRA delta.
-  snapshot->effective_table_ = snapshot->llm_->MaterializeTokenTable();
+  // instead of re-deriving the embedding-LoRA delta. With a quantized table
+  // the fp32 copy is deliberately never built — the gather and the LM head
+  // read the packed int8 form, which is where the footprint shrink comes
+  // from.
+  if (!snapshot->llm_->embedding_table_quantized()) {
+    snapshot->effective_table_ = snapshot->llm_->MaterializeTokenTable();
+  }
   return snapshot;
 }
 
 std::string EngineSnapshot::name() const {
-  return "DELRec (" + sources_.sr_model->name() + ") snapshot";
+  return "DELRec (" + sources_.sr_model->name() + ") snapshot" +
+         (llm_->quantized() ? " int8" : "");
+}
+
+size_t EngineSnapshot::MemoryFootprintBytes() const {
+  size_t bytes = llm_->InferenceWeightBytes() +
+                 soft_prompts_.data().size() * sizeof(float);
+  if (effective_table_.defined()) {
+    bytes += effective_table_.data().size() * sizeof(float);
+  }
+  return bytes;
 }
 
 namespace {
@@ -128,6 +148,13 @@ void MaybeInjectScorerFault() {
 }  // namespace
 
 std::vector<float> EngineSnapshot::Score(const ScoreRequest& request) const {
+  // A quantized snapshot's int8 kernels live only on the batched path
+  // (TinyLm::Forward still reads the fp32 parameters), so route single
+  // requests through ScoreBatch to keep Score ≡ ScoreBatch row-for-row.
+  // The scorer failpoint fires inside ScoreBatch, exactly once.
+  if (llm_->quantized()) {
+    return ScoreBatch({request}).front();
+  }
   MaybeInjectScorerFault();
   nn::NoGradGuard no_grad;
   const llm::Prompt prompt = core::inference::BuildScoringPrompt(

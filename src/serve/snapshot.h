@@ -1,6 +1,7 @@
 #ifndef DELREC_SERVE_SNAPSHOT_H_
 #define DELREC_SERVE_SNAPSHOT_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -20,6 +21,21 @@
 #include "util/status.h"
 
 namespace delrec::serve {
+
+/// Snapshot build-time options (DESIGN.md §13). `quantize_int8` converts the
+/// frozen TinyLm to int8 serving form after loading: adapters merged, dense
+/// projections quantized per-output-channel, matmuls routed through the
+/// packed int8 kernels. `quantize_embedding_table` additionally quantizes
+/// the effective token table (covering the input gather and the tied LM
+/// head) — the bulk of the footprint win, as the table dominates weight
+/// bytes at these model sizes. Scores are no longer bit-identical to the
+/// fp32 snapshot but stay within the tolerance gated by
+/// tests/quant_parity_test.cc; the fp32 default is bit-for-bit unchanged.
+/// (Namespace-scope rather than nested so it can be a default argument.)
+struct SnapshotBuildOptions {
+  bool quantize_int8 = false;
+  bool quantize_embedding_table = true;
+};
 
 /// An immutable, shareable inference artifact: the frozen TinyLm (base
 /// weights + AdaLoRA adapters + embedding-LoRA factors), the distilled soft
@@ -47,24 +63,28 @@ class EngineSnapshot : public Scorer {
     const srmodels::SequentialRecommender* sr_model = nullptr;
   };
 
+  using BuildOptions = SnapshotBuildOptions;
+
   /// Freezes a live trained system. Copies all parameter state out of
   /// `model`/`llm` (via the checkpoint blob path, so a frozen-from-model
   /// snapshot is byte-for-byte the same artifact as one loaded from disk).
   static util::StatusOr<std::unique_ptr<EngineSnapshot>> FromModel(
       const core::DelRec& model, const llm::TinyLm& llm,
-      const Sources& sources);
+      const Sources& sources, const BuildOptions& options = BuildOptions());
 
   /// Builds from checkpoint blobs. `llm_config`/`config` must describe the
   /// architecture the checkpoint was trained with (blob sizes are
   /// validated; InvalidArgument on mismatch).
   static util::StatusOr<std::unique_ptr<EngineSnapshot>> FromBlobs(
       const core::DelRecBlobs& blobs, const llm::TinyLmConfig& llm_config,
-      const core::DelRecConfig& config, const Sources& sources);
+      const core::DelRecConfig& config, const Sources& sources,
+      const BuildOptions& options = BuildOptions());
 
   /// Reads a SaveDelRecCheckpoint file and builds from its blobs.
   static util::StatusOr<std::unique_ptr<EngineSnapshot>> FromCheckpoint(
       const std::string& path, const llm::TinyLmConfig& llm_config,
-      const core::DelRecConfig& config, const Sources& sources);
+      const core::DelRecConfig& config, const Sources& sources,
+      const BuildOptions& options = BuildOptions());
 
   // Scorer interface.
   std::string name() const override;
@@ -80,6 +100,13 @@ class EngineSnapshot : public Scorer {
   const core::DelRecConfig& config() const { return config_; }
   const llm::TinyLm& llm() const { return *llm_; }
   const nn::Tensor& soft_prompts() const { return soft_prompts_; }
+  bool quantized() const { return llm_->quantized(); }
+
+  /// Bytes of model state one scoring call reads: the LLM's serving weights
+  /// (fp32 or packed int8), the soft prompts, and the materialized fp32
+  /// effective table when one is held. Reported by bench_serve so the ~4×
+  /// int8 weight shrink is a gated, visible number.
+  size_t MemoryFootprintBytes() const;
 
  private:
   EngineSnapshot(const core::DelRecConfig& config, const Sources& sources);
