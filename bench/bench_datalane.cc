@@ -1,0 +1,222 @@
+// Out-of-core data-plane bench (DESIGN.md §14): generates a columnar event
+// catalog DIRECT to disk, then runs the complete streaming loop over the
+// mmap-backed file — full sharded scan, one-pass reservoir split sampling,
+// one SASRec training epoch, candidate-set eval — without ever holding the
+// event log in RAM.
+//
+// Default (full) mode sizes the catalog at two million users (~78M events,
+// ~340 MB on disk) and hard-gates peak RSS at 1/4 of the file size: the run
+// exits non-zero if any stage materializes the log. The budget has to cover
+// the process baseline plus SASRec's pooled training buffers (~55 MB
+// together), so the gate only discriminates once the file is a few hundred
+// MB — which is exactly the scale the data plane exists for. DELREC_FAST=1 (the
+// `datalane_smoke` ctest) runs the same loop on a small catalog in seconds
+// and gates the stable metrics (file size, event counts, scan checksum,
+// split sizes, eval accuracy) against the committed baseline; the RSS gate
+// is skipped there because the process baseline dwarfs a tiny file.
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench/harness.h"
+#include "data/columnar.h"
+#include "data/dataset.h"
+#include "data/event_stream.h"
+#include "data/split.h"
+#include "eval/metrics.h"
+#include "eval/protocol.h"
+#include "srmodels/factory.h"
+#include "srmodels/recommender.h"
+#include "util/status.h"
+#include "util/timer.h"
+
+namespace delrec {
+namespace {
+
+int64_t FileSizeBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in) return -1;
+  return static_cast<int64_t>(in.tellg());
+}
+
+int Run() {
+  bench::BeginBench("datalane");
+  const bench::HarnessOptions options = bench::OptionsFromEnv();
+  bench::BenchRecorder& recorder = bench::BenchRecorder::Global();
+
+  data::GeneratorConfig config;
+  config.name = options.fast ? "datalane-smoke" : "datalane-2m";
+  config.num_users = options.fast ? 20'000 : 2'000'000;
+  config.num_items = options.fast ? 2'000 : 10'000;
+  config.num_genres = 12;
+  config.min_sequence_length = 8;
+  config.max_sequence_length = 60;
+  config.mean_sequence_length = 40.0;
+  config.seed = 20260809;
+
+  const std::string path = "BENCH_datalane_catalog.bin";
+
+  // Phase 1: direct-to-disk generation (O(num_items) memory however many
+  // users are asked for).
+  {
+    bench::ScopedPhaseTimer timer("generate");
+    const util::Status status = data::GenerateCatalogFile(config, path);
+    if (!status.ok()) {
+      std::fprintf(stderr, "generate failed: %s\n",
+                   status.ToString().c_str());
+      return 1;
+    }
+  }
+  const int64_t file_size = FileSizeBytes(path);
+  if (file_size < 0) {
+    std::fprintf(stderr, "catalog file missing after generation\n");
+    return 1;
+  }
+  recorder.Record("catalog_bytes", static_cast<double>(file_size), "bytes",
+                  bench::MetricKind::kCount, /*stable=*/true);
+
+  // Phase 2: zero-copy open with full superblock/checksum validation.
+  util::StatusOr<data::MappedCatalog> mapped =
+      [&]() -> util::StatusOr<data::MappedCatalog> {
+    bench::ScopedPhaseTimer timer("open");
+    return data::MappedCatalog::Open(path);
+  }();
+  if (!mapped.ok()) {
+    std::fprintf(stderr, "open failed: %s\n",
+                 mapped.status().ToString().c_str());
+    return 1;
+  }
+  const data::MappedCatalog& catalog = mapped.value();
+  recorder.Record("catalog_users", static_cast<double>(catalog.user_count()),
+                  "users", bench::MetricKind::kCount, /*stable=*/true);
+  recorder.Record("catalog_events",
+                  static_cast<double>(catalog.event_count()), "events",
+                  bench::MetricKind::kCount, /*stable=*/true);
+
+  // Phase 3: full sharded decode of every run, folding the thread-invariant
+  // content checksum. This is the raw streaming-throughput probe.
+  {
+    bench::ScopedPhaseTimer timer("scan");
+    util::WallTimer scan_timer;
+    util::StatusOr<data::EventScanResult> scan =
+        data::ScanEvents(catalog, options.num_threads);
+    if (!scan.ok()) {
+      std::fprintf(stderr, "scan failed: %s\n",
+                   scan.status().ToString().c_str());
+      return 1;
+    }
+    const double seconds = scan_timer.ElapsedSeconds();
+    recorder.Record("scan_events_per_s",
+                    static_cast<double>(scan.value().events) /
+                        (seconds > 0 ? seconds : 1e-9),
+                    "events/s", bench::MetricKind::kThroughput);
+    recorder.Record(
+        "scan_checksum_mod",
+        static_cast<double>(scan.value().checksum % 1'000'000'000ULL),
+        "checksum", bench::MetricKind::kCount, /*stable=*/true);
+    if (scan.value().events != catalog.event_count()) {
+      std::fprintf(stderr, "scan counted %lld events, superblock says %lld\n",
+                   static_cast<long long>(scan.value().events),
+                   static_cast<long long>(catalog.event_count()));
+      return 1;
+    }
+  }
+
+  // Phase 4: one-pass reservoir-capped split sampling — O(cap · history)
+  // memory regardless of stream length.
+  data::StreamSampleOptions sample_options;
+  sample_options.history_length = 10;
+  sample_options.max_train = options.fast ? 3'000 : 6'000;
+  sample_options.max_validation = 500;
+  sample_options.max_test = options.fast ? 400 : 1'000;
+  sample_options.seed = 4242;
+  data::Splits splits;
+  {
+    bench::ScopedPhaseTimer timer("sample");
+    data::EventStream stream(catalog);
+    util::StatusOr<data::Splits> sampled =
+        data::SampleSplitsFromStream(stream, sample_options);
+    if (!sampled.ok()) {
+      std::fprintf(stderr, "sampling failed: %s\n",
+                   sampled.status().ToString().c_str());
+      return 1;
+    }
+    splits = std::move(sampled).value();
+  }
+  recorder.Record("train_examples", static_cast<double>(splits.train.size()),
+                  "examples", bench::MetricKind::kCount, /*stable=*/true);
+  recorder.Record("test_examples", static_cast<double>(splits.test.size()),
+                  "examples", bench::MetricKind::kCount, /*stable=*/true);
+
+  // Phase 5: one SASRec epoch on the streamed train split. The model never
+  // sees the file — only the bounded reservoir sample.
+  std::unique_ptr<srmodels::SequentialRecommender> model =
+      srmodels::MakeBackbone(srmodels::Backbone::kSasRec,
+                             catalog.item_count(),
+                             sample_options.history_length, /*seed=*/7);
+  {
+    bench::ScopedPhaseTimer timer("train");
+    srmodels::TrainConfig train_config =
+        srmodels::BackboneTrainConfig(srmodels::Backbone::kSasRec);
+    train_config.epochs = 1;
+    train_config.history_length = sample_options.history_length;
+    const util::Status status = model->Train(splits.train, train_config);
+    if (!status.ok()) {
+      std::fprintf(stderr, "train failed: %s\n", status.ToString().c_str());
+      return 1;
+    }
+  }
+
+  // Phase 6: candidate-set eval on the streamed test split. HR@1/NDCG@10
+  // are deterministic for the fixed workload and gate against the baseline.
+  {
+    bench::ScopedPhaseTimer timer("eval");
+    eval::EvalConfig eval_config;
+    eval_config.max_examples = options.fast ? 300 : 600;
+    eval_config.num_threads = options.num_threads;
+    const eval::MetricsAccumulator accumulator = eval::EvaluateCandidates(
+        splits.test, catalog.item_count(),
+        [&](const data::Example& example,
+            const std::vector<int64_t>& candidates) {
+          return model->ScoreCandidates(example.history, candidates);
+        },
+        eval_config);
+    const eval::RankedMetrics metrics = accumulator.Result();
+    recorder.Record("eval_examples",
+                    static_cast<double>(accumulator.hit_at_1_samples().size()),
+                    "examples", bench::MetricKind::kCount, /*stable=*/true);
+    recorder.Record("eval_hr_at_1", metrics.hr_at_1, "ratio",
+                    bench::MetricKind::kRatio, /*stable=*/true);
+    recorder.Record("eval_ndcg_at_10", metrics.ndcg_at_10, "ratio",
+                    bench::MetricKind::kRatio, /*stable=*/true);
+  }
+
+  // The out-of-core gate: the whole pass above — scan, sample, train, eval —
+  // must fit in a quarter of the file it processed. Only meaningful at full
+  // scale; in fast mode the binary + model baseline dwarfs the small file,
+  // so we record the peak without gating.
+  bool rss_gate_failed = false;
+  if (options.fast) {
+    bench::RecordPeakRss();
+  } else {
+    const util::Status rss =
+        bench::AssertPeakRssUnder(file_size / 4, "out-of-core datalane pass");
+    if (!rss.ok()) {
+      std::fprintf(stderr, "%s\n", rss.ToString().c_str());
+      rss_gate_failed = true;
+    }
+  }
+
+  std::remove(path.c_str());
+  const int rc = bench::FinishBench();
+  return rss_gate_failed ? 1 : rc;
+}
+
+}  // namespace
+}  // namespace delrec
+
+int main() { return delrec::Run(); }

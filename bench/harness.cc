@@ -11,6 +11,7 @@
 #include "util/buffer_pool.h"
 #include "util/check.h"
 #include "util/logging.h"
+#include "util/memory.h"
 #include "util/string_util.h"
 #include "util/threadpool.h"
 
@@ -378,6 +379,31 @@ util::Status BenchRecorder::Compare(const util::Json& baseline,
 void BeginBench(const std::string& name) { BenchRecorder::Global().Begin(name); }
 
 int FinishBench() { return BenchRecorder::Global().Finish(); }
+
+int64_t RecordPeakRss(const std::string& name) {
+  const int64_t peak = util::PeakRssBytes();
+  BenchRecorder::Global().Record(name + "_bytes",
+                                 static_cast<double>(peak), "bytes",
+                                 MetricKind::kCount);
+  return peak;
+}
+
+util::Status AssertPeakRssUnder(int64_t budget_bytes,
+                                const std::string& what) {
+  const int64_t peak = RecordPeakRss("peak_rss");
+  BenchRecorder::Global().Record("rss_budget_bytes",
+                                 static_cast<double>(budget_bytes), "bytes",
+                                 MetricKind::kCount);
+  BenchRecorder::Global().Record(
+      "rss_within_budget", peak <= budget_bytes ? 1.0 : 0.0, "bool",
+      MetricKind::kRatio, /*stable=*/true);
+  if (peak > budget_bytes) {
+    return util::Status::Internal(
+        what + ": peak RSS " + std::to_string(peak) + " bytes exceeds the " +
+        std::to_string(budget_bytes) + "-byte budget");
+  }
+  return util::Status::Ok();
+}
 
 ScopedPhaseTimer::ScopedPhaseTimer(std::string name)
     : name_(std::move(name)) {}

@@ -98,6 +98,18 @@ class BenchRecorder {
 void BeginBench(const std::string& name);
 int FinishBench();
 
+/// Records the process peak RSS (VmHWM from /proc/self/status) as
+/// "<name>_bytes" in the bench record and returns it. Peak RSS includes
+/// binary, heap, and resident mapped pages — exactly what an out-of-core
+/// budget has to hold.
+int64_t RecordPeakRss(const std::string& name = "peak_rss");
+
+/// The out-of-core gate: records peak_rss_bytes, rss_budget_bytes and the
+/// stable rss_within_budget flag, and returns an error when the peak
+/// exceeds `budget_bytes`. bench_datalane fails its run on this status.
+util::Status AssertPeakRssUnder(int64_t budget_bytes,
+                                const std::string& what);
+
 /// RAII wall-clock phase timer: destructor accumulates "<name>_s" into the
 /// global recorder (no-op when no bench is active).
 class ScopedPhaseTimer {

@@ -12,7 +12,7 @@ namespace delrec::baselines {
 
 RecRanker::RecRanker(llm::TinyLm* model,
                      srmodels::SequentialRecommender* sr_model,
-                     const data::Catalog* catalog, const llm::Vocab* vocab,
+                     const data::CatalogView* catalog, const llm::Vocab* vocab,
                      const LlmRecConfig& config)
     : model_(model),
       sr_model_(sr_model),
@@ -83,7 +83,7 @@ std::vector<float> RecRanker::ScoreCandidates(
 
 // ------------------------------------------------------------- LlmSeqPrompt
 
-LlmSeqPrompt::LlmSeqPrompt(llm::TinyLm* model, const data::Catalog* catalog,
+LlmSeqPrompt::LlmSeqPrompt(llm::TinyLm* model, const data::CatalogView* catalog,
                            const llm::Vocab* vocab,
                            const LlmRecConfig& config)
     : model_(model),
@@ -123,7 +123,7 @@ std::vector<float> LlmSeqPrompt::ScoreCandidates(
 
 // ------------------------------------------------------------------ LlmTrsr
 
-LlmTrsr::LlmTrsr(llm::TinyLm* model, const data::Catalog* catalog,
+LlmTrsr::LlmTrsr(llm::TinyLm* model, const data::CatalogView* catalog,
                  const llm::Vocab* vocab, const LlmRecConfig& config)
     : model_(model),
       catalog_(catalog),
@@ -137,16 +137,17 @@ std::vector<int64_t> LlmTrsr::SummaryTokens(
     const std::vector<int64_t>& history) const {
   // Recurrent summarization, condensed: recency-weighted genre histogram;
   // the dominant genre becomes the textual preference summary.
-  std::vector<double> mass(catalog_->num_genres, 0.0);
+  std::vector<double> mass(catalog_->genre_count(), 0.0);
   double weight = 1.0;
   for (auto it = history.rbegin(); it != history.rend(); ++it) {
-    mass[catalog_->items[*it].genre] += weight;
+    mass[catalog_->genre(*it)] += weight;
     weight *= 0.8;  // Older interactions matter less.
   }
   const int64_t dominant =
       std::max_element(mass.begin(), mass.end()) - mass.begin();
   return vocab_->Encode("the user prefers mostly " +
-                        catalog_->genre_names[dominant] + " items recently");
+                        std::string(catalog_->genre_name(dominant)) +
+                        " items recently");
 }
 
 util::Status LlmTrsr::Train(const std::vector<data::Example>& examples) {

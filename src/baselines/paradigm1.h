@@ -20,7 +20,7 @@ namespace delrec::baselines {
 class RecRanker : public LlmRecommender {
  public:
   RecRanker(llm::TinyLm* model, srmodels::SequentialRecommender* sr_model,
-            const data::Catalog* catalog, const llm::Vocab* vocab,
+            const data::CatalogView* catalog, const llm::Vocab* vocab,
             const LlmRecConfig& config);
 
   std::string name() const override { return "RecRanker"; }
@@ -34,7 +34,7 @@ class RecRanker : public LlmRecommender {
 
   llm::TinyLm* model_;
   srmodels::SequentialRecommender* sr_model_;
-  const data::Catalog* catalog_;
+  const data::CatalogView* catalog_;
   llm::PromptBuilder prompt_builder_;
   llm::Verbalizer verbalizer_;
   LlmRecConfig config_;
@@ -46,7 +46,7 @@ class RecRanker : public LlmRecommender {
 /// information at all).
 class LlmSeqPrompt : public LlmRecommender {
  public:
-  LlmSeqPrompt(llm::TinyLm* model, const data::Catalog* catalog,
+  LlmSeqPrompt(llm::TinyLm* model, const data::CatalogView* catalog,
                const llm::Vocab* vocab, const LlmRecConfig& config);
 
   std::string name() const override { return "LLMSEQPROMPT"; }
@@ -57,7 +57,7 @@ class LlmSeqPrompt : public LlmRecommender {
 
  private:
   llm::TinyLm* model_;
-  const data::Catalog* catalog_;
+  const data::CatalogView* catalog_;
   llm::PromptBuilder prompt_builder_;
   llm::Verbalizer verbalizer_;
   LlmRecConfig config_;
@@ -69,7 +69,7 @@ class LlmSeqPrompt : public LlmRecommender {
 /// with summary + recent interactions + candidates, then fine-tunes.
 class LlmTrsr : public LlmRecommender {
  public:
-  LlmTrsr(llm::TinyLm* model, const data::Catalog* catalog,
+  LlmTrsr(llm::TinyLm* model, const data::CatalogView* catalog,
           const llm::Vocab* vocab, const LlmRecConfig& config);
 
   std::string name() const override { return "LLM-TRSR"; }
@@ -85,7 +85,7 @@ class LlmTrsr : public LlmRecommender {
 
  private:
   llm::TinyLm* model_;
-  const data::Catalog* catalog_;
+  const data::CatalogView* catalog_;
   const llm::Vocab* vocab_;
   llm::PromptBuilder prompt_builder_;
   llm::Verbalizer verbalizer_;

@@ -12,7 +12,7 @@ namespace delrec::baselines {
 // --------------------------------------------------------------------- LLaRA
 
 Llara::Llara(llm::TinyLm* model, srmodels::SequentialRecommender* sr_model,
-             const data::Catalog* catalog, const llm::Vocab* vocab,
+             const data::CatalogView* catalog, const llm::Vocab* vocab,
              const LlmRecConfig& config)
     : model_(model),
       sr_model_(sr_model),
@@ -74,7 +74,7 @@ std::vector<float> Llara::ScoreCandidates(
 // -------------------------------------------------------------- LLM2BERT4Rec
 
 Llm2Bert4Rec::Llm2Bert4Rec(llm::TinyLm* llm_for_embeddings,
-                           const data::Catalog* catalog,
+                           const data::CatalogView* catalog,
                            const llm::Vocab* vocab,
                            const LlmRecConfig& config)
     : config_(config) {
@@ -82,10 +82,10 @@ Llm2Bert4Rec::Llm2Bert4Rec(llm::TinyLm* llm_for_embeddings,
   const int64_t bert_dim =
       std::max<int64_t>(8, llm_for_embeddings->model_dim() / 2);
   std::vector<std::vector<float>> llm_embeddings;
-  llm_embeddings.reserve(catalog->items.size());
-  for (const data::Item& item : catalog->items) {
+  llm_embeddings.reserve(catalog->item_count());
+  for (int64_t item = 0; item < catalog->item_count(); ++item) {
     llm_embeddings.push_back(
-        llm_for_embeddings->EmbedTokens(vocab->Encode(item.title)));
+        llm_for_embeddings->EmbedTokens(vocab->Encode(catalog->title(item))));
   }
   std::vector<std::vector<float>> reduced =
       eval::PcaReduce(llm_embeddings, static_cast<int>(bert_dim));
@@ -105,7 +105,8 @@ Llm2Bert4Rec::Llm2Bert4Rec(llm::TinyLm* llm_for_embeddings,
     for (float& v : row) v *= scale;
   }
   bert_ = std::make_unique<srmodels::Bert4Rec>(
-      catalog->size(), bert_dim, config.history_length, /*num_blocks=*/2,
+      catalog->item_count(), bert_dim, config.history_length,
+      /*num_blocks=*/2,
       /*num_heads=*/2, config.seed + 17);
   bert_->InitializeItemEmbeddings(reduced);
 }

@@ -22,7 +22,7 @@ namespace delrec::baselines {
 class Llara : public LlmRecommender {
  public:
   Llara(llm::TinyLm* model, srmodels::SequentialRecommender* sr_model,
-        const data::Catalog* catalog, const llm::Vocab* vocab,
+        const data::CatalogView* catalog, const llm::Vocab* vocab,
         const LlmRecConfig& config);
 
   std::string name() const override { return "LLaRA"; }
@@ -37,7 +37,7 @@ class Llara : public LlmRecommender {
 
   llm::TinyLm* model_;
   srmodels::SequentialRecommender* sr_model_;
-  const data::Catalog* catalog_;
+  const data::CatalogView* catalog_;
   llm::PromptBuilder prompt_builder_;
   llm::Verbalizer verbalizer_;
   LlmRecConfig config_;
@@ -51,7 +51,7 @@ class Llara : public LlmRecommender {
 /// embedding source.
 class Llm2Bert4Rec : public LlmRecommender {
  public:
-  Llm2Bert4Rec(llm::TinyLm* llm_for_embeddings, const data::Catalog* catalog,
+  Llm2Bert4Rec(llm::TinyLm* llm_for_embeddings, const data::CatalogView* catalog,
                const llm::Vocab* vocab, const LlmRecConfig& config);
 
   std::string name() const override { return "LLM2BERT4Rec"; }

@@ -22,7 +22,7 @@ int64_t FindIndex(const std::vector<int64_t>& candidates, int64_t target) {
 
 LlamaRec::LlamaRec(llm::TinyLm* model,
                    srmodels::SequentialRecommender* sr_model,
-                   const data::Catalog* catalog, const llm::Vocab* vocab,
+                   const data::CatalogView* catalog, const llm::Vocab* vocab,
                    const LlmRecConfig& config, int64_t shortlist_size)
     : model_(model),
       sr_model_(sr_model),
@@ -44,7 +44,8 @@ util::Status LlamaRec::Train(const std::vector<data::Example>& examples) {
         const std::vector<int64_t> history =
             WindowHistory(example.history, config_.history_length);
         std::vector<int64_t> pool = data::SampleCandidates(
-            catalog_->size(), example.target, config_.candidate_count, rng);
+            catalog_->item_count(), example.target, config_.candidate_count,
+            rng);
         // Recall stage: conventional-model top shortlist within the pool.
         const std::vector<float> sr_scores =
             sr_model_->ScoreCandidates(history, pool);
@@ -107,14 +108,14 @@ std::vector<float> LlamaRec::ScoreCandidates(
 
 // ----------------------------------------------------------------- LlmSeqSim
 
-LlmSeqSim::LlmSeqSim(llm::TinyLm* model, const data::Catalog* catalog,
+LlmSeqSim::LlmSeqSim(llm::TinyLm* model, const data::CatalogView* catalog,
                      const llm::Vocab* vocab, int64_t history_length,
                      float recency_decay)
     : history_length_(history_length), recency_decay_(recency_decay) {
-  item_embeddings_.reserve(catalog->items.size());
-  for (const data::Item& item : catalog->items) {
+  item_embeddings_.reserve(catalog->item_count());
+  for (int64_t item = 0; item < catalog->item_count(); ++item) {
     item_embeddings_.push_back(
-        model->EmbedTokens(vocab->Encode(item.title)));
+        model->EmbedTokens(vocab->Encode(catalog->title(item))));
   }
 }
 
@@ -148,20 +149,21 @@ std::vector<float> LlmSeqSim::ScoreCandidates(
 
 // ------------------------------------------------------------------- KdaLrd
 
-KdaLrd::KdaLrd(llm::TinyLm* model, const data::Catalog* catalog,
+KdaLrd::KdaLrd(llm::TinyLm* model, const data::CatalogView* catalog,
                const llm::Vocab* vocab, const LlmRecConfig& config,
                float latent_weight)
     : config_(config) {
   const int64_t relation_dim = 12;
   kda_ = std::make_unique<srmodels::Kda>(
-      catalog->size(), /*embedding_dim=*/32, relation_dim,
+      catalog->item_count(), /*embedding_dim=*/32, relation_dim,
       config.history_length, /*num_frequencies=*/4, config.seed + 23);
   // Latent Relation Discovery: LLM title embeddings, PCA-reduced to the
   // relation width, become fixed latent-relation factors blended into KDA.
   std::vector<std::vector<float>> llm_embeddings;
-  llm_embeddings.reserve(catalog->items.size());
-  for (const data::Item& item : catalog->items) {
-    llm_embeddings.push_back(model->EmbedTokens(vocab->Encode(item.title)));
+  llm_embeddings.reserve(catalog->item_count());
+  for (int64_t item = 0; item < catalog->item_count(); ++item) {
+    llm_embeddings.push_back(
+        model->EmbedTokens(vocab->Encode(catalog->title(item))));
   }
   std::vector<std::vector<float>> reduced =
       eval::PcaReduce(llm_embeddings, static_cast<int>(relation_dim));

@@ -21,7 +21,7 @@ namespace delrec::baselines {
 class LlamaRec : public LlmRecommender {
  public:
   LlamaRec(llm::TinyLm* model, srmodels::SequentialRecommender* sr_model,
-           const data::Catalog* catalog, const llm::Vocab* vocab,
+           const data::CatalogView* catalog, const llm::Vocab* vocab,
            const LlmRecConfig& config, int64_t shortlist_size = 8);
 
   std::string name() const override { return "LlamaRec"; }
@@ -33,7 +33,7 @@ class LlamaRec : public LlmRecommender {
  private:
   llm::TinyLm* model_;
   srmodels::SequentialRecommender* sr_model_;
-  const data::Catalog* catalog_;
+  const data::CatalogView* catalog_;
   llm::PromptBuilder prompt_builder_;
   llm::Verbalizer verbalizer_;
   LlmRecConfig config_;
@@ -46,7 +46,7 @@ class LlamaRec : public LlmRecommender {
 /// history's item embeddings; candidates are ranked by cosine similarity.
 class LlmSeqSim : public LlmRecommender {
  public:
-  LlmSeqSim(llm::TinyLm* model, const data::Catalog* catalog,
+  LlmSeqSim(llm::TinyLm* model, const data::CatalogView* catalog,
             const llm::Vocab* vocab, int64_t history_length,
             float recency_decay = 0.8f);
 
@@ -69,7 +69,7 @@ class LlmSeqSim : public LlmRecommender {
 /// embeddings are blended into KDA's relation factors before training.
 class KdaLrd : public LlmRecommender {
  public:
-  KdaLrd(llm::TinyLm* model, const data::Catalog* catalog,
+  KdaLrd(llm::TinyLm* model, const data::CatalogView* catalog,
          const llm::Vocab* vocab, const LlmRecConfig& config,
          float latent_weight = 0.4f);
 

@@ -5,7 +5,7 @@
 namespace delrec::baselines {
 
 ZeroShotLlm::ZeroShotLlm(std::string display_name, llm::TinyLm* model,
-                         const data::Catalog* catalog,
+                         const data::CatalogView* catalog,
                          const llm::Vocab* vocab, int64_t history_length)
     : display_name_(std::move(display_name)),
       model_(model),

@@ -16,7 +16,7 @@ class ZeroShotLlm : public LlmRecommender {
  public:
   /// `model`, `catalog`, `vocab` must outlive this object.
   ZeroShotLlm(std::string display_name, llm::TinyLm* model,
-              const data::Catalog* catalog, const llm::Vocab* vocab,
+              const data::CatalogView* catalog, const llm::Vocab* vocab,
               int64_t history_length);
 
   std::string name() const override { return display_name_; }

@@ -41,7 +41,7 @@ util::Status RestoreStageState(const TrainState& resume,
 
 }  // namespace
 
-DelRec::DelRec(const data::Catalog* catalog, const llm::Vocab* vocab,
+DelRec::DelRec(const data::CatalogView* catalog, const llm::Vocab* vocab,
                llm::TinyLm* llm, srmodels::SequentialRecommender* sr_model,
                const DelRecConfig& config)
     : catalog_(catalog),

@@ -161,7 +161,7 @@ class DelRec {
  public:
   /// All pointers must outlive this object. `llm` should be pretrained;
   /// `sr_model` should be trained.
-  DelRec(const data::Catalog* catalog, const llm::Vocab* vocab,
+  DelRec(const data::CatalogView* catalog, const llm::Vocab* vocab,
          llm::TinyLm* llm, srmodels::SequentialRecommender* sr_model,
          const DelRecConfig& config);
 
@@ -235,7 +235,7 @@ class DelRec {
   /// Truncates a history to the configured length.
   std::vector<int64_t> Window(const std::vector<int64_t>& history) const;
 
-  const data::Catalog* catalog_;
+  const data::CatalogView* catalog_;
   llm::TinyLm* llm_;
   srmodels::SequentialRecommender* sr_model_;
   DelRecConfig config_;

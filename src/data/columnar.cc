@@ -1,0 +1,693 @@
+#include "data/columnar.h"
+
+#include <algorithm>
+#include <cstring>
+#include <limits>
+
+#include "util/check.h"
+#include "util/failpoint.h"
+
+namespace delrec::data {
+namespace {
+
+// Matches util::Fnv1a's default seed so chained per-chunk hashing equals a
+// single whole-section call.
+constexpr uint64_t kFnvSeed = 1469598103934665603ULL;
+
+constexpr uint64_t kReleaseThresholdBytes = 4u << 20;
+
+uint32_t ZigzagEncode(int32_t value) {
+  return (static_cast<uint32_t>(value) << 1) ^
+         static_cast<uint32_t>(value >> 31);
+}
+
+int32_t ZigzagDecode(uint32_t value) {
+  return static_cast<int32_t>((value >> 1) ^ (~(value & 1) + 1));
+}
+
+template <typename T>
+T LoadScalar(const unsigned char* bytes) {
+  T value;
+  std::memcpy(&value, bytes, sizeof(T));
+  return value;
+}
+
+template <typename T>
+void AppendScalar(std::vector<unsigned char>& buffer, T value) {
+  const unsigned char* bytes = reinterpret_cast<const unsigned char*>(&value);
+  buffer.insert(buffer.end(), bytes, bytes + sizeof(T));
+}
+
+// Per-user spill record: the only per-user state the writer keeps, and it
+// lives on disk, not in RAM.
+struct SpillRecord {
+  int64_t user = 0;
+  uint64_t count = 0;
+};
+static_assert(sizeof(SpillRecord) == 16);
+
+// Hashes a mapped range in 1MB windows; when `release` is set, drops each
+// window's pages behind the scan so verifying a multi-GB section costs a
+// window of RSS, not the section size.
+uint64_t ChecksumMappedRange(const util::MemoryMappedFile& file,
+                             uint64_t offset, uint64_t length, bool release) {
+  constexpr uint64_t kWindow = 1u << 20;
+  uint64_t hash = kFnvSeed;
+  uint64_t done = 0;
+  while (done < length) {
+    const uint64_t n = std::min(kWindow, length - done);
+    hash = util::Fnv1a(file.data() + offset + done, n, hash);
+    if (release) file.AdviseDontNeed(offset + done, n);
+    done += n;
+  }
+  return hash;
+}
+
+}  // namespace
+
+CatalogFileWriter::CatalogFileWriter(std::string path)
+    : path_(std::move(path)), spill_path_(path_ + ".spill") {}
+
+CatalogFileWriter::~CatalogFileWriter() { CloseSpill(); }
+
+void CatalogFileWriter::CloseSpill() {
+  if (spill_ != nullptr) {
+    std::fclose(spill_);
+    std::remove(spill_path_.c_str());
+    spill_ = nullptr;
+  }
+}
+
+util::Status CatalogFileWriter::BeginDataset(const std::string& name,
+                                             const Catalog& catalog,
+                                             int64_t num_users) {
+  DELREC_CHECK(!begun_) << "BeginDataset called twice";
+  begun_ = true;
+  (void)num_users;  // Counts are recomputed from the stream and back-patched.
+  if (catalog.size() >
+      static_cast<int64_t>(std::numeric_limits<int32_t>::max())) {
+    return util::Status::InvalidArgument(
+        "catalog format v1 caps items at 2^31-1");
+  }
+  catalog_ = catalog;
+  name_ = name;
+  DELREC_ASSIGN_OR_RETURN(
+      util::AtomicFileWriter writer,
+      util::AtomicFileWriter::Create(path_, "data.catalog.write"));
+  writer_.emplace(std::move(writer));
+  const unsigned char zeros[kCatalogSuperblockBytes] = {};
+  const util::Status superblock_status =
+      writer_->Append(zeros, sizeof(zeros));
+  if (!superblock_status.ok()) {
+    writer_.reset();
+    return superblock_status;
+  }
+  events_offset_ = writer_->offset();
+  events_checksum_ = kFnvSeed;
+  spill_ = std::fopen(spill_path_.c_str(), "wb+");
+  if (spill_ == nullptr) {
+    return util::Status::Unavailable("cannot open catalog spill: " +
+                                     spill_path_);
+  }
+  return util::Status::Ok();
+}
+
+util::Status CatalogFileWriter::AddUser(int64_t user,
+                                        const std::vector<int64_t>& items) {
+  DELREC_CHECK(begun_ && !finished_) << "AddUser outside Begin/Finish";
+  if (!writer_.has_value()) {
+    return util::Status::Unavailable("catalog writer already failed: " +
+                                     path_);
+  }
+  encode_buffer_.clear();
+  encode_buffer_.reserve(items.size() * sizeof(uint32_t));
+  int64_t prev = 0;
+  bool first = true;
+  for (int64_t item : items) {
+    DELREC_CHECK_GE(item, 0);
+    DELREC_CHECK_LT(item, catalog_.size());
+    const int64_t delta = first ? item : item - prev;
+    AppendScalar(encode_buffer_,
+                 ZigzagEncode(static_cast<int32_t>(delta)));
+    prev = item;
+    first = false;
+  }
+  const util::Status append_status =
+      writer_->Append(encode_buffer_.data(), encode_buffer_.size());
+  if (!append_status.ok()) {
+    writer_.reset();  // The underlying writer aborted; latch the failure.
+    return append_status;
+  }
+  events_checksum_ =
+      util::Fnv1a(encode_buffer_.data(), encode_buffer_.size(),
+                  events_checksum_);
+  const SpillRecord record{user, items.size()};
+  if (std::fwrite(&record, sizeof(record), 1, spill_) != 1) {
+    return util::Status::Unavailable("catalog spill write: " + spill_path_);
+  }
+  ++num_users_;
+  num_events_ += items.size();
+  return util::Status::Ok();
+}
+
+util::Status CatalogFileWriter::AlignTo8() {
+  const unsigned char zeros[8] = {};
+  const uint64_t pad = (8 - writer_->offset() % 8) % 8;
+  if (pad > 0) DELREC_RETURN_IF_ERROR(writer_->Append(zeros, pad));
+  return util::Status::Ok();
+}
+
+util::Status CatalogFileWriter::AppendSection(CatalogSection id,
+                                              const void* bytes,
+                                              uint64_t length) {
+  SectionRecord record;
+  record.id = static_cast<uint32_t>(id);
+  record.offset = writer_->offset();
+  record.length = length;
+  record.checksum = util::Fnv1a(bytes, length);
+  DELREC_RETURN_IF_ERROR(writer_->Append(bytes, length));
+  sections_.push_back(record);
+  return AlignTo8();
+}
+
+util::Status CatalogFileWriter::WriteUserSections() {
+  constexpr size_t kChunkRecords = 4096;
+  std::vector<SpillRecord> records(kChunkRecords);
+  std::vector<unsigned char> column;
+
+  // Two streaming passes over the spill: user ids, then cumulative event
+  // offsets. Memory stays O(chunk) however many users were written.
+  for (int pass = 0; pass < 2; ++pass) {
+    if (std::fflush(spill_) != 0 || std::fseek(spill_, 0, SEEK_SET) != 0) {
+      return util::Status::Unavailable("catalog spill rewind: " + spill_path_);
+    }
+    SectionRecord section;
+    section.id = static_cast<uint32_t>(pass == 0 ? CatalogSection::kUserIds
+                                                 : CatalogSection::kEventOffsets);
+    section.offset = writer_->offset();
+    uint64_t checksum = kFnvSeed;
+    uint64_t cumulative = 0;
+    int64_t remaining = num_users_;
+    bool emitted_leading_zero = false;
+    while (remaining > 0 || (pass == 1 && !emitted_leading_zero)) {
+      const size_t n =
+          std::min<size_t>(kChunkRecords, static_cast<size_t>(remaining));
+      if (n > 0 &&
+          std::fread(records.data(), sizeof(SpillRecord), n, spill_) != n) {
+        return util::Status::Unavailable("catalog spill read: " + spill_path_);
+      }
+      column.clear();
+      if (pass == 1 && !emitted_leading_zero) {
+        AppendScalar(column, static_cast<uint64_t>(0));
+        emitted_leading_zero = true;
+      }
+      for (size_t i = 0; i < n; ++i) {
+        if (pass == 0) {
+          AppendScalar(column, records[i].user);
+        } else {
+          cumulative += records[i].count;
+          AppendScalar(column, cumulative);
+        }
+      }
+      DELREC_RETURN_IF_ERROR(writer_->Append(column.data(), column.size()));
+      checksum = util::Fnv1a(column.data(), column.size(), checksum);
+      remaining -= static_cast<int64_t>(n);
+    }
+    section.length = writer_->offset() - section.offset;
+    section.checksum = checksum;
+    sections_.push_back(section);
+    DELREC_RETURN_IF_ERROR(AlignTo8());
+  }
+  return util::Status::Ok();
+}
+
+util::Status CatalogFileWriter::WriteItemSections() {
+  const int64_t n = catalog_.size();
+
+  DELREC_RETURN_IF_ERROR(
+      AppendSection(CatalogSection::kName, name_.data(), name_.size()));
+
+  std::vector<unsigned char> genre_buffer;
+  AppendScalar(genre_buffer,
+               static_cast<uint32_t>(catalog_.genre_names.size()));
+  for (const std::string& genre_name : catalog_.genre_names) {
+    AppendScalar(genre_buffer, static_cast<uint32_t>(genre_name.size()));
+    genre_buffer.insert(genre_buffer.end(), genre_name.begin(),
+                        genre_name.end());
+  }
+  DELREC_RETURN_IF_ERROR(AppendSection(CatalogSection::kGenreNames,
+                                       genre_buffer.data(),
+                                       genre_buffer.size()));
+
+  std::vector<uint64_t> offsets(n + 1, 0);
+  std::string title_bytes;
+  for (int64_t i = 0; i < n; ++i) {
+    title_bytes += catalog_.items[i].title;
+    offsets[i + 1] = title_bytes.size();
+  }
+  DELREC_RETURN_IF_ERROR(AppendSection(CatalogSection::kTitleOffsets,
+                                       offsets.data(),
+                                       offsets.size() * sizeof(uint64_t)));
+  DELREC_RETURN_IF_ERROR(AppendSection(CatalogSection::kTitleBytes,
+                                       title_bytes.data(),
+                                       title_bytes.size()));
+
+  std::vector<int32_t> genres(n);
+  std::vector<float> popularity(n);
+  for (int64_t i = 0; i < n; ++i) {
+    genres[i] = catalog_.items[i].genre;
+    popularity[i] = catalog_.items[i].popularity;
+  }
+  DELREC_RETURN_IF_ERROR(AppendSection(CatalogSection::kItemGenres,
+                                       genres.data(),
+                                       genres.size() * sizeof(int32_t)));
+  DELREC_RETURN_IF_ERROR(AppendSection(CatalogSection::kItemPopularity,
+                                       popularity.data(),
+                                       popularity.size() * sizeof(float)));
+  DELREC_RETURN_IF_ERROR(AppendSection(CatalogSection::kItemSequel,
+                                       catalog_.sequel.data(),
+                                       catalog_.sequel.size() *
+                                           sizeof(int64_t)));
+
+  std::vector<int64_t> successor_items;
+  for (int64_t i = 0; i < n; ++i) {
+    const auto& successors = catalog_.successors[i];
+    successor_items.insert(successor_items.end(), successors.begin(),
+                           successors.end());
+    offsets[i + 1] = successor_items.size();
+  }
+  offsets[0] = 0;
+  DELREC_RETURN_IF_ERROR(AppendSection(CatalogSection::kSuccessorOffsets,
+                                       offsets.data(),
+                                       offsets.size() * sizeof(uint64_t)));
+  return AppendSection(CatalogSection::kSuccessorItems,
+                       successor_items.data(),
+                       successor_items.size() * sizeof(int64_t));
+}
+
+util::Status CatalogFileWriter::Finish() {
+  DELREC_CHECK(begun_ && !finished_) << "Finish outside Begin/Finish";
+  finished_ = true;
+  if (!writer_.has_value()) {
+    CloseSpill();
+    return util::Status::Unavailable("catalog writer already failed: " +
+                                     path_);
+  }
+  auto finish = [&]() -> util::Status {
+    SectionRecord events;
+    events.id = static_cast<uint32_t>(CatalogSection::kEvents);
+    events.offset = events_offset_;
+    events.length = num_events_ * sizeof(uint32_t);
+    events.checksum = events_checksum_;
+    sections_.push_back(events);
+    DELREC_RETURN_IF_ERROR(AlignTo8());
+    DELREC_RETURN_IF_ERROR(WriteUserSections());
+    DELREC_RETURN_IF_ERROR(WriteItemSections());
+
+    const uint64_t directory_offset = writer_->offset();
+    uint64_t directory_checksum = kFnvSeed;
+    for (const SectionRecord& section : sections_) {
+      std::vector<unsigned char> record;
+      AppendScalar(record, section.id);
+      AppendScalar(record, section.flags);
+      AppendScalar(record, section.offset);
+      AppendScalar(record, section.length);
+      AppendScalar(record, section.checksum);
+      DELREC_CHECK_EQ(record.size(), kCatalogDirectoryRecordBytes);
+      DELREC_RETURN_IF_ERROR(writer_->Append(record.data(), record.size()));
+      directory_checksum =
+          util::Fnv1a(record.data(), record.size(), directory_checksum);
+    }
+    DELREC_RETURN_IF_ERROR(
+        writer_->Append(&directory_checksum, sizeof(directory_checksum)));
+
+    std::vector<unsigned char> superblock;
+    superblock.insert(superblock.end(), kCatalogMagic, kCatalogMagic + 8);
+    AppendScalar(superblock, kCatalogVersion);
+    AppendScalar(superblock, kCatalogEndianTag);
+    AppendScalar(superblock, directory_offset);
+    AppendScalar(superblock, static_cast<uint32_t>(sections_.size()));
+    AppendScalar(superblock, static_cast<uint32_t>(catalog_.num_genres));
+    AppendScalar(superblock, static_cast<uint64_t>(catalog_.size()));
+    AppendScalar(superblock, static_cast<uint64_t>(num_users_));
+    AppendScalar(superblock, num_events_);
+    AppendScalar(superblock, util::Fnv1a(superblock.data(), 56));
+    DELREC_CHECK_EQ(superblock.size(), kCatalogSuperblockBytes);
+    DELREC_RETURN_IF_ERROR(
+        writer_->PatchAt(0, superblock.data(), superblock.size()));
+    return writer_->Commit();
+  };
+  const util::Status status = finish();
+  if (!status.ok()) writer_.reset();
+  CloseSpill();
+  return status;
+}
+
+util::Status WriteCatalogFile(const Dataset& dataset,
+                              const std::string& path) {
+  CatalogFileWriter writer(path);
+  DELREC_RETURN_IF_ERROR(writer.BeginDataset(
+      dataset.name, dataset.catalog,
+      static_cast<int64_t>(dataset.sequences.size())));
+  for (const UserSequence& sequence : dataset.sequences) {
+    DELREC_RETURN_IF_ERROR(writer.AddUser(sequence.user, sequence.items));
+  }
+  return writer.Finish();
+}
+
+util::Status GenerateCatalogFile(const GeneratorConfig& config,
+                                 const std::string& path) {
+  CatalogFileWriter writer(path);
+  return GenerateDatasetTo(config, writer);
+}
+
+util::StatusOr<MappedCatalog> MappedCatalog::Open(const std::string& path) {
+  DELREC_ASSIGN_OR_RETURN(util::MemoryMappedFile file,
+                          util::MemoryMappedFile::Open(path));
+  if (file.size() < kCatalogSuperblockBytes) {
+    return util::Status::DataLoss("catalog truncated before superblock: " +
+                                  path);
+  }
+  const unsigned char* superblock = file.data();
+  if (std::memcmp(superblock, kCatalogMagic, sizeof(kCatalogMagic)) != 0) {
+    return util::Status::InvalidArgument("not a DELREC catalog: " + path);
+  }
+  const uint32_t version = LoadScalar<uint32_t>(superblock + 8);
+  if (version != kCatalogVersion) {
+    return util::Status::InvalidArgument(
+        "unsupported catalog version " + std::to_string(version) + ": " +
+        path);
+  }
+  const uint32_t endian_tag = LoadScalar<uint32_t>(superblock + 12);
+  if (endian_tag != kCatalogEndianTag) {
+    return util::Status::InvalidArgument(
+        "catalog written with a different byte order: " + path);
+  }
+  if (LoadScalar<uint64_t>(superblock + 56) !=
+      util::Fnv1a(superblock, 56)) {
+    return util::Status::DataLoss("catalog superblock checksum mismatch: " +
+                                  path);
+  }
+
+  MappedCatalog catalog;
+  const uint64_t directory_offset = LoadScalar<uint64_t>(superblock + 16);
+  const uint32_t section_count = LoadScalar<uint32_t>(superblock + 24);
+  catalog.num_genres_ =
+      static_cast<int>(LoadScalar<uint32_t>(superblock + 28));
+  catalog.num_items_ =
+      static_cast<int64_t>(LoadScalar<uint64_t>(superblock + 32));
+  catalog.num_users_ =
+      static_cast<int64_t>(LoadScalar<uint64_t>(superblock + 40));
+  catalog.num_events_ =
+      static_cast<int64_t>(LoadScalar<uint64_t>(superblock + 48));
+  if (catalog.num_items_ >
+          static_cast<int64_t>(std::numeric_limits<int32_t>::max()) ||
+      catalog.num_genres_ < 0 || catalog.num_genres_ > 4096 ||
+      catalog.num_users_ < 0 || catalog.num_events_ < 0) {
+    return util::Status::DataLoss("implausible catalog superblock counts: " +
+                                  path);
+  }
+
+  // Directory: bounds first, then its own checksum, then per-record bounds.
+  constexpr uint32_t kMaxSections = 64;
+  if (section_count > kMaxSections) {
+    return util::Status::DataLoss("implausible catalog section count: " +
+                                  path);
+  }
+  const uint64_t directory_bytes =
+      static_cast<uint64_t>(section_count) * kCatalogDirectoryRecordBytes;
+  // The directory + trailing checksum must end exactly at EOF: a shorter
+  // file is a truncation, a longer one a concatenation or partial overwrite
+  // — either way not the file the writer committed.
+  if (directory_offset < kCatalogSuperblockBytes ||
+      directory_offset % 8 != 0 || directory_offset > file.size() ||
+      directory_bytes + sizeof(uint64_t) !=
+          file.size() - directory_offset) {
+    return util::Status::DataLoss("catalog directory out of bounds: " + path);
+  }
+  const unsigned char* directory = file.data() + directory_offset;
+  if (LoadScalar<uint64_t>(directory + directory_bytes) !=
+      util::Fnv1a(directory, directory_bytes)) {
+    return util::Status::DataLoss("catalog directory checksum mismatch: " +
+                                  path);
+  }
+
+  struct Section {
+    uint64_t offset = 0;
+    uint64_t length = 0;
+    uint64_t checksum = 0;
+    bool present = false;
+  };
+  Section sections[static_cast<size_t>(CatalogSection::kEvents) + 1];
+  for (uint32_t i = 0; i < section_count; ++i) {
+    const unsigned char* record =
+        directory + i * kCatalogDirectoryRecordBytes;
+    const uint32_t id = LoadScalar<uint32_t>(record);
+    Section section;
+    section.offset = LoadScalar<uint64_t>(record + 8);
+    section.length = LoadScalar<uint64_t>(record + 16);
+    section.checksum = LoadScalar<uint64_t>(record + 24);
+    section.present = true;
+    if (section.offset < kCatalogSuperblockBytes ||
+        section.offset % 8 != 0 || section.offset > directory_offset ||
+        section.length > directory_offset - section.offset) {
+      return util::Status::DataLoss("catalog section out of bounds: " + path);
+    }
+    if (id < 1 || id > static_cast<uint32_t>(CatalogSection::kEvents)) {
+      continue;  // Unknown sections are skippable by design (flags/ids).
+    }
+    if (sections[id].present) {
+      return util::Status::DataLoss("duplicate catalog section " +
+                                    std::to_string(id) + ": " + path);
+    }
+    sections[id] = section;
+  }
+  auto require = [&](CatalogSection id,
+                     uint64_t expected_length) -> util::StatusOr<Section> {
+    const Section& section = sections[static_cast<size_t>(id)];
+    if (!section.present) {
+      return util::Status::DataLoss(
+          "catalog missing section " +
+          std::to_string(static_cast<uint32_t>(id)) + ": " + path);
+    }
+    if (expected_length != std::numeric_limits<uint64_t>::max() &&
+        section.length != expected_length) {
+      return util::Status::DataLoss(
+          "catalog section " + std::to_string(static_cast<uint32_t>(id)) +
+          " size mismatch: " + path);
+    }
+    // Verify the section checksum in a bounded-RSS streaming pass. Large
+    // sections (the event log) get their pages released behind the scan.
+    if (ChecksumMappedRange(file, section.offset, section.length,
+                            section.length > kReleaseThresholdBytes) !=
+        section.checksum) {
+      return util::Status::DataLoss(
+          "catalog section " + std::to_string(static_cast<uint32_t>(id)) +
+          " checksum mismatch: " + path);
+    }
+    return section;
+  };
+  constexpr uint64_t kAnyLength = std::numeric_limits<uint64_t>::max();
+  const uint64_t items = static_cast<uint64_t>(catalog.num_items_);
+  const uint64_t users = static_cast<uint64_t>(catalog.num_users_);
+  const uint64_t events = static_cast<uint64_t>(catalog.num_events_);
+  DELREC_ASSIGN_OR_RETURN(const Section name_section,
+                          require(CatalogSection::kName, kAnyLength));
+  DELREC_ASSIGN_OR_RETURN(const Section genre_section,
+                          require(CatalogSection::kGenreNames, kAnyLength));
+  DELREC_ASSIGN_OR_RETURN(
+      const Section title_offsets,
+      require(CatalogSection::kTitleOffsets, (items + 1) * 8));
+  DELREC_ASSIGN_OR_RETURN(const Section title_bytes,
+                          require(CatalogSection::kTitleBytes, kAnyLength));
+  DELREC_ASSIGN_OR_RETURN(const Section item_genres,
+                          require(CatalogSection::kItemGenres, items * 4));
+  DELREC_ASSIGN_OR_RETURN(
+      const Section item_popularity,
+      require(CatalogSection::kItemPopularity, items * 4));
+  DELREC_ASSIGN_OR_RETURN(const Section item_sequel,
+                          require(CatalogSection::kItemSequel, items * 8));
+  DELREC_ASSIGN_OR_RETURN(
+      const Section successor_offsets,
+      require(CatalogSection::kSuccessorOffsets, (items + 1) * 8));
+  DELREC_ASSIGN_OR_RETURN(
+      const Section successor_items,
+      require(CatalogSection::kSuccessorItems, kAnyLength));
+  DELREC_ASSIGN_OR_RETURN(const Section user_ids,
+                          require(CatalogSection::kUserIds, users * 8));
+  DELREC_ASSIGN_OR_RETURN(
+      const Section event_offsets,
+      require(CatalogSection::kEventOffsets, (users + 1) * 8));
+  DELREC_ASSIGN_OR_RETURN(const Section event_section,
+                          require(CatalogSection::kEvents, events * 4));
+  if (successor_items.length % 8 != 0) {
+    return util::Status::DataLoss("catalog successor column misaligned: " +
+                                  path);
+  }
+
+  catalog.name_.assign(
+      reinterpret_cast<const char*>(file.data() + name_section.offset),
+      name_section.length);
+
+  // Genre names: length-prefixed strings; count must match the superblock.
+  {
+    const unsigned char* cursor = file.data() + genre_section.offset;
+    uint64_t remaining = genre_section.length;
+    if (remaining < 4) {
+      return util::Status::DataLoss("catalog genre table truncated: " + path);
+    }
+    const uint32_t count = LoadScalar<uint32_t>(cursor);
+    cursor += 4;
+    remaining -= 4;
+    if (count != static_cast<uint32_t>(catalog.num_genres_)) {
+      return util::Status::DataLoss("catalog genre count mismatch: " + path);
+    }
+    catalog.genre_names_.reserve(count);
+    for (uint32_t g = 0; g < count; ++g) {
+      if (remaining < 4) {
+        return util::Status::DataLoss("catalog genre table truncated: " +
+                                      path);
+      }
+      const uint32_t length = LoadScalar<uint32_t>(cursor);
+      cursor += 4;
+      remaining -= 4;
+      if (length > remaining) {
+        return util::Status::DataLoss("catalog genre table truncated: " +
+                                      path);
+      }
+      catalog.genre_names_.emplace_back(
+          reinterpret_cast<const char*>(cursor), length);
+      cursor += length;
+      remaining -= length;
+    }
+    if (remaining != 0) {
+      return util::Status::DataLoss("catalog genre table trailing bytes: " +
+                                    path);
+    }
+  }
+
+  catalog.title_offsets_ =
+      reinterpret_cast<const uint64_t*>(file.data() + title_offsets.offset);
+  catalog.title_bytes_ =
+      reinterpret_cast<const char*>(file.data() + title_bytes.offset);
+  catalog.item_genres_ =
+      reinterpret_cast<const int32_t*>(file.data() + item_genres.offset);
+  catalog.item_popularity_ =
+      reinterpret_cast<const float*>(file.data() + item_popularity.offset);
+  catalog.item_sequel_ =
+      reinterpret_cast<const int64_t*>(file.data() + item_sequel.offset);
+  catalog.successor_offsets_ = reinterpret_cast<const uint64_t*>(
+      file.data() + successor_offsets.offset);
+  catalog.successor_items_ =
+      reinterpret_cast<const int64_t*>(file.data() + successor_items.offset);
+  catalog.user_ids_ =
+      reinterpret_cast<const int64_t*>(file.data() + user_ids.offset);
+  catalog.event_offsets_ =
+      reinterpret_cast<const uint64_t*>(file.data() + event_offsets.offset);
+  catalog.events_ =
+      reinterpret_cast<const uint32_t*>(file.data() + event_section.offset);
+  catalog.events_file_offset_ = event_section.offset;
+  catalog.event_offsets_file_offset_ = event_offsets.offset;
+  catalog.user_ids_file_offset_ = user_ids.offset;
+
+  // Offset tables must be monotone and land exactly on their data columns;
+  // once this holds, every accessor read is in-bounds by construction.
+  auto check_offsets = [&](const uint64_t* table, uint64_t count,
+                           uint64_t end_value,
+                           const char* what) -> util::Status {
+    if (table[0] != 0) {
+      return util::Status::DataLoss(std::string("catalog ") + what +
+                                    " offsets corrupt: " + path);
+    }
+    for (uint64_t i = 0; i < count; ++i) {
+      if (table[i + 1] < table[i]) {
+        return util::Status::DataLoss(std::string("catalog ") + what +
+                                      " offsets not monotone: " + path);
+      }
+    }
+    if (table[count] != end_value) {
+      return util::Status::DataLoss(std::string("catalog ") + what +
+                                    " offsets end mismatch: " + path);
+    }
+    return util::Status::Ok();
+  };
+  DELREC_RETURN_IF_ERROR(check_offsets(catalog.title_offsets_, items,
+                                       title_bytes.length, "title"));
+  DELREC_RETURN_IF_ERROR(check_offsets(catalog.successor_offsets_, items,
+                                       successor_items.length / 8,
+                                       "successor"));
+  DELREC_RETURN_IF_ERROR(
+      check_offsets(catalog.event_offsets_, users, events, "event"));
+  if (event_offsets.length > kReleaseThresholdBytes) {
+    file.AdviseDontNeed(event_offsets.offset, event_offsets.length);
+  }
+
+  catalog.file_ = std::move(file);
+  return catalog;
+}
+
+util::Status MappedCatalog::DecodeRun(int64_t user_index,
+                                      std::vector<int64_t>* items) const {
+  DELREC_CHECK_GE(user_index, 0);
+  DELREC_CHECK_LT(user_index, num_users_);
+  const uint64_t begin = event_offsets_[user_index];
+  const uint64_t end = event_offsets_[user_index + 1];
+  items->clear();
+  items->reserve(end - begin);
+  int64_t prev = 0;
+  for (uint64_t i = begin; i < end; ++i) {
+    const int64_t delta = ZigzagDecode(events_[i]);
+    const int64_t item = (i == begin) ? delta : prev + delta;
+    if (item < 0 || item >= num_items_) {
+      return util::Status::DataLoss(
+          "corrupt event run for stored user " + std::to_string(user_index) +
+          ": decoded item " + std::to_string(item) + " outside catalog of " +
+          std::to_string(num_items_) + " items");
+    }
+    items->push_back(item);
+    prev = item;
+  }
+  return util::Status::Ok();
+}
+
+void MappedCatalog::ReleaseEvents(int64_t begin_user_index,
+                                  int64_t end_user_index) const {
+  if (begin_user_index >= end_user_index) return;
+  const uint64_t begin_event = event_offsets_[begin_user_index];
+  const uint64_t end_event = event_offsets_[end_user_index];
+  file_.AdviseDontNeed(events_file_offset_ + begin_event * 4,
+                       (end_event - begin_event) * 4);
+  // The per-user columns scanned alongside the events are released too —
+  // they are O(users) and would otherwise accumulate across a full scan.
+  file_.AdviseDontNeed(
+      event_offsets_file_offset_ + static_cast<uint64_t>(begin_user_index) * 8,
+      static_cast<uint64_t>(end_user_index - begin_user_index + 1) * 8);
+  file_.AdviseDontNeed(
+      user_ids_file_offset_ + static_cast<uint64_t>(begin_user_index) * 8,
+      static_cast<uint64_t>(end_user_index - begin_user_index) * 8);
+}
+
+Catalog MappedCatalog::Materialize() const {
+  Catalog catalog;
+  catalog.num_genres = num_genres_;
+  for (int g = 0; g < num_genres_; ++g) {
+    catalog.genre_names.emplace_back(genre_names_[g]);
+  }
+  catalog.items.reserve(static_cast<size_t>(num_items_));
+  catalog.sequel.reserve(static_cast<size_t>(num_items_));
+  catalog.successors.reserve(static_cast<size_t>(num_items_));
+  for (int64_t i = 0; i < num_items_; ++i) {
+    Item item;
+    item.id = i;
+    item.title = std::string(title(i));
+    item.genre = genre(i);
+    item.popularity = popularity(i);
+    catalog.items.push_back(std::move(item));
+    catalog.sequel.push_back(sequel_of(i));
+    const std::span<const int64_t> successors = successors_of(i);
+    catalog.successors.emplace_back(successors.begin(), successors.end());
+  }
+  return catalog;
+}
+
+}  // namespace delrec::data

@@ -1,0 +1,222 @@
+#ifndef DELREC_DATA_COLUMNAR_H_
+#define DELREC_DATA_COLUMNAR_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "data/dataset.h"
+#include "util/mmap_file.h"
+#include "util/serialize.h"
+#include "util/status.h"
+
+namespace delrec::data {
+
+/// On-disk columnar catalog, format v1 (DESIGN.md §14).
+///
+/// Layout: a 64-byte superblock, then 8-byte-aligned sections in write
+/// order, then a section directory at the END of the file (so the writer
+/// never needs to know section sizes up front), and a trailing directory
+/// checksum. The superblock's directory offset, counts and checksum are
+/// back-patched once all sections are on disk, and the whole file goes
+/// through the tmp+fsync+rename path (util::AtomicFileWriter), so readers
+/// only ever see complete files.
+///
+/// Superblock (little-endian, 64 bytes):
+///   [ 0,  8) magic "DELRECD1"
+///   [ 8, 12) u32 version (= 1)
+///   [12, 16) u32 endian tag (= 0x01020304; reads back rotated on a
+///            big-endian machine, which Open() rejects)
+///   [16, 24) u64 directory offset
+///   [24, 28) u32 section count
+///   [28, 32) u32 num_genres
+///   [32, 40) u64 num_items
+///   [40, 48) u64 num_users
+///   [48, 56) u64 num_events
+///   [56, 64) u64 FNV-1a checksum of bytes [0, 56)
+///
+/// Directory: section_count records of 32 bytes — {u32 id, u32 flags,
+/// u64 offset, u64 length, u64 FNV-1a checksum of the section bytes} —
+/// followed by a u64 FNV-1a checksum of the record bytes.
+inline constexpr char kCatalogMagic[8] = {'D', 'E', 'L', 'R', 'E', 'C',
+                                          'D', '1'};
+inline constexpr uint32_t kCatalogVersion = 1;
+inline constexpr uint32_t kCatalogEndianTag = 0x01020304u;
+inline constexpr uint64_t kCatalogSuperblockBytes = 64;
+inline constexpr uint64_t kCatalogDirectoryRecordBytes = 32;
+
+/// Section ids. Offsets columns hold element (not byte) offsets and have
+/// count+1 entries; `kEvents` holds one u32 per interaction: the zigzag of
+/// the delta from the previous item in the same user run (first event of a
+/// run encodes the absolute item id).
+enum class CatalogSection : uint32_t {
+  kName = 1,
+  kGenreNames = 2,  // u32 count, then per genre: u32 length + bytes.
+  kTitleOffsets = 3,
+  kTitleBytes = 4,
+  kItemGenres = 5,       // i32 per item.
+  kItemPopularity = 6,   // f32 per item.
+  kItemSequel = 7,       // i64 per item.
+  kSuccessorOffsets = 8,
+  kSuccessorItems = 9,   // i64, concatenated successor lists.
+  kUserIds = 10,         // i64 per user, in stored order.
+  kEventOffsets = 11,
+  kEvents = 12,
+};
+
+/// DatasetSink that streams a generated dataset straight to a catalog file.
+/// Item columns (bounded by num_items) are buffered; the event log — the
+/// only unbounded part — is encoded and appended as users arrive, with the
+/// per-user id/length columns spilled to a scratch file, so writing a
+/// million-user catalog holds O(num_items) memory. Honours the
+/// `data.catalog.write*` failpoints via util::AtomicFileWriter.
+class CatalogFileWriter final : public DatasetSink {
+ public:
+  explicit CatalogFileWriter(std::string path);
+  ~CatalogFileWriter() override;
+  CatalogFileWriter(const CatalogFileWriter&) = delete;
+  CatalogFileWriter& operator=(const CatalogFileWriter&) = delete;
+
+  util::Status BeginDataset(const std::string& name, const Catalog& catalog,
+                            int64_t num_users) override;
+  util::Status AddUser(int64_t user,
+                       const std::vector<int64_t>& items) override;
+  /// Writes the buffered columns, directory and superblock, then commits
+  /// (fsync + rename). The file does not exist at `path` until this returns
+  /// OK.
+  util::Status Finish() override;
+
+ private:
+  struct SectionRecord {
+    uint32_t id = 0;
+    uint32_t flags = 0;
+    uint64_t offset = 0;
+    uint64_t length = 0;
+    uint64_t checksum = 0;
+  };
+
+  // Appends one section built from `bytes`, recording offset/length/checksum
+  // and re-aligning to 8 bytes afterwards.
+  util::Status AppendSection(CatalogSection id, const void* bytes,
+                             uint64_t length);
+  util::Status AlignTo8();
+  util::Status WriteUserSections();
+  util::Status WriteItemSections();
+  void CloseSpill();
+
+  std::string path_;
+  std::string spill_path_;
+  std::optional<util::AtomicFileWriter> writer_;
+  std::FILE* spill_ = nullptr;
+
+  Catalog catalog_;
+  std::string name_;
+  int64_t num_users_ = 0;
+  uint64_t num_events_ = 0;
+  uint64_t events_offset_ = 0;
+  uint64_t events_checksum_ = 0;
+  std::vector<unsigned char> encode_buffer_;
+  std::vector<SectionRecord> sections_;
+  bool begun_ = false;
+  bool finished_ = false;
+};
+
+/// Writes an in-RAM dataset to a catalog file (golden/round-trip path).
+util::Status WriteCatalogFile(const Dataset& dataset, const std::string& path);
+
+/// Direct-to-disk generation: GenerateDatasetTo through a CatalogFileWriter.
+/// Bit-identical to WriteCatalogFile(GenerateDataset(config), path) while
+/// holding O(num_items) memory regardless of config.num_users.
+util::Status GenerateCatalogFile(const GeneratorConfig& config,
+                                 const std::string& path);
+
+/// Zero-copy CatalogView over a mapped catalog file. Open() validates
+/// everything up front — magic/version/endianness, superblock and directory
+/// checksums, per-section checksums, and offset-table monotonicity — in a
+/// bounded-RSS streaming pass, so a truncated or bit-flipped file yields a
+/// typed error (kDataLoss for damage, kInvalidArgument for a foreign or
+/// unsupported file) and a successfully opened catalog can serve all
+/// accessors without further validation. Titles and genre names are
+/// string_views into the mapping: valid while this object lives.
+class MappedCatalog final : public CatalogView {
+ public:
+  static util::StatusOr<MappedCatalog> Open(const std::string& path);
+
+  MappedCatalog(MappedCatalog&&) noexcept = default;
+  MappedCatalog& operator=(MappedCatalog&&) noexcept = default;
+
+  int64_t item_count() const override { return num_items_; }
+  int genre_count() const override { return num_genres_; }
+  std::string_view genre_name(int g) const override { return genre_names_[g]; }
+  std::string_view title(int64_t item) const override {
+    return {title_bytes_ + title_offsets_[item],
+            title_offsets_[item + 1] - title_offsets_[item]};
+  }
+  int genre(int64_t item) const override { return item_genres_[item]; }
+  float popularity(int64_t item) const override {
+    return item_popularity_[item];
+  }
+  int64_t sequel_of(int64_t item) const override { return item_sequel_[item]; }
+  std::span<const int64_t> successors_of(int64_t item) const override {
+    return {successor_items_ + successor_offsets_[item],
+            successor_items_ + successor_offsets_[item + 1]};
+  }
+
+  const std::string& name() const { return name_; }
+  int64_t user_count() const { return num_users_; }
+  int64_t event_count() const { return num_events_; }
+
+  /// External user id of the user stored at `user_index`.
+  int64_t user_id(int64_t user_index) const { return user_ids_[user_index]; }
+  int64_t run_length(int64_t user_index) const {
+    return static_cast<int64_t>(event_offsets_[user_index + 1] -
+                                event_offsets_[user_index]);
+  }
+
+  /// Delta-decodes one user's run into `items` (cleared first). Returns
+  /// kDataLoss if a decoded id falls outside the item universe — the
+  /// signature of event-log corruption that checksum verification cannot
+  /// catch once pages are served (e.g. injected via failpoints).
+  util::Status DecodeRun(int64_t user_index, std::vector<int64_t>* items) const;
+
+  /// RSS discipline: drops the resident event-log pages covering the runs of
+  /// users [begin_user_index, end_user_index). Sequential consumers call
+  /// this behind themselves so a full-catalog scan stays within a
+  /// page-window of resident memory.
+  void ReleaseEvents(int64_t begin_user_index, int64_t end_user_index) const;
+
+  /// Rebuilds a fully in-RAM Catalog (tests and small tools only).
+  Catalog Materialize() const;
+
+ private:
+  MappedCatalog() = default;
+
+  util::MemoryMappedFile file_;
+  std::string name_;
+  int64_t num_items_ = 0;
+  int num_genres_ = 0;
+  int64_t num_users_ = 0;
+  int64_t num_events_ = 0;
+  std::vector<std::string_view> genre_names_;
+  const uint64_t* title_offsets_ = nullptr;
+  const char* title_bytes_ = nullptr;
+  const int32_t* item_genres_ = nullptr;
+  const float* item_popularity_ = nullptr;
+  const int64_t* item_sequel_ = nullptr;
+  const uint64_t* successor_offsets_ = nullptr;
+  const int64_t* successor_items_ = nullptr;
+  const int64_t* user_ids_ = nullptr;
+  const uint64_t* event_offsets_ = nullptr;
+  const uint32_t* events_ = nullptr;
+  uint64_t events_file_offset_ = 0;
+  uint64_t event_offsets_file_offset_ = 0;
+  uint64_t user_ids_file_offset_ = 0;
+};
+
+}  // namespace delrec::data
+
+#endif  // DELREC_DATA_COLUMNAR_H_

@@ -59,12 +59,27 @@ std::string MakeTitle(int genre, int64_t item_id, util::Rng& rng) {
   return title;
 }
 
+// Inverse-CDF draw over an inclusive prefix-sum table (prefix[0] == 0,
+// prefix.back() == total). Consumes exactly one uniform — the same draw the
+// linear-scan Discrete()/Zipf() consumed — so generated datasets are
+// unchanged while per-event cost drops from O(n) to O(log n), which is what
+// makes million-user generation tractable.
+std::size_t SampleFromPrefix(const std::vector<double>& prefix,
+                             util::Rng& rng) {
+  const double target = rng.UniformDouble() * prefix.back();
+  const auto it = std::upper_bound(prefix.begin() + 1, prefix.end(), target);
+  const std::size_t index = static_cast<std::size_t>(it - prefix.begin()) - 1;
+  return std::min(index, prefix.size() - 2);  // Numerical fallthrough.
+}
+
 // Samples one next item given the user's state. Implements the mixture:
 // sequel-transition (sequential signal) / genre affinity (semantic signal) /
 // popularity noise.
 int64_t SampleNextItem(const Catalog& catalog, int64_t last_item,
                        int preferred_genre,
                        const std::vector<std::vector<int64_t>>& by_genre,
+                       const std::vector<std::vector<double>>& genre_prefix,
+                       const std::vector<double>& zipf_prefix,
                        const GeneratorConfig& config, util::Rng& rng) {
   const double roll = rng.UniformDouble();
   if (last_item >= 0 && roll < config.markov_strength) {
@@ -75,18 +90,42 @@ int64_t SampleNextItem(const Catalog& catalog, int64_t last_item,
     return successors[rng.Discrete(weights)];
   }
   if (roll < config.markov_strength + config.semantic_strength) {
-    const auto& pool = by_genre[preferred_genre];
     // Popularity-weighted pick within the preferred genre.
-    std::vector<double> weights(pool.size());
-    for (size_t i = 0; i < pool.size(); ++i) {
-      weights[i] = catalog.items[pool[i]].popularity;
-    }
-    return pool[rng.Discrete(weights)];
+    const std::size_t pick =
+        SampleFromPrefix(genre_prefix[preferred_genre], rng);
+    return by_genre[preferred_genre][pick];
   }
   // Popularity noise over the whole catalog (Zipf rank == item id order).
-  return static_cast<int64_t>(
-      rng.Zipf(catalog.items.size(), config.popularity_exponent));
+  return static_cast<int64_t>(SampleFromPrefix(zipf_prefix, rng));
 }
+
+// Collects GenerateDatasetTo's stream back into an in-RAM Dataset.
+class InMemorySink final : public DatasetSink {
+ public:
+  explicit InMemorySink(Dataset* dataset) : dataset_(dataset) {}
+
+  util::Status BeginDataset(const std::string& name, const Catalog& catalog,
+                            int64_t num_users) override {
+    dataset_->name = name;
+    dataset_->catalog = catalog;
+    dataset_->sequences.reserve(static_cast<size_t>(num_users));
+    return util::Status::Ok();
+  }
+
+  util::Status AddUser(int64_t user,
+                       const std::vector<int64_t>& items) override {
+    UserSequence sequence;
+    sequence.user = user;
+    sequence.items = items;
+    dataset_->sequences.push_back(std::move(sequence));
+    return util::Status::Ok();
+  }
+
+  util::Status Finish() override { return util::Status::Ok(); }
+
+ private:
+  Dataset* dataset_;
+};
 
 }  // namespace
 
@@ -106,15 +145,23 @@ DatasetStats ComputeStats(const Dataset& dataset) {
 }
 
 Dataset GenerateDataset(const GeneratorConfig& config) {
+  Dataset dataset;
+  InMemorySink sink(&dataset);
+  const util::Status status = GenerateDatasetTo(config, sink);
+  DELREC_CHECK(status.ok()) << "in-RAM generation cannot fail: "
+                            << status.ToString();
+  return dataset;
+}
+
+util::Status GenerateDatasetTo(const GeneratorConfig& config,
+                               DatasetSink& sink) {
   DELREC_CHECK_GT(config.num_items, 0);
   DELREC_CHECK_GT(config.num_users, 0);
   DELREC_CHECK_LE(config.num_genres, kMaxGenres);
   DELREC_CHECK_GE(config.num_genres, 2);
   util::Rng rng(config.seed);
 
-  Dataset dataset;
-  dataset.name = config.name;
-  Catalog& catalog = dataset.catalog;
+  Catalog catalog;
   catalog.num_genres = config.num_genres;
   for (int g = 0; g < config.num_genres; ++g) {
     catalog.genre_names.push_back(kGenreNames[g]);
@@ -168,10 +215,36 @@ Dataset GenerateDataset(const GeneratorConfig& config) {
     }
   }
 
+  DELREC_RETURN_IF_ERROR(
+      sink.BeginDataset(config.name, catalog, config.num_users));
+
+  // Sampling tables: inclusive prefix sums, accumulated in the same
+  // left-to-right order the linear scans summed in, so totals (and therefore
+  // every draw) are bitwise unchanged.
+  std::vector<std::vector<double>> genre_prefix(config.num_genres);
+  for (int g = 0; g < config.num_genres; ++g) {
+    const auto& pool = by_genre[g];
+    auto& prefix = genre_prefix[g];
+    prefix.resize(pool.size() + 1);
+    prefix[0] = 0.0;
+    for (size_t i = 0; i < pool.size(); ++i) {
+      prefix[i + 1] =
+          prefix[i] + static_cast<double>(catalog.items[pool[i]].popularity);
+    }
+  }
+  std::vector<double> zipf_prefix(config.num_items + 1);
+  zipf_prefix[0] = 0.0;
+  for (std::size_t i = 1; i <= static_cast<std::size_t>(config.num_items);
+       ++i) {
+    zipf_prefix[i] =
+        zipf_prefix[i - 1] + 1.0 / std::pow(i, config.popularity_exponent);
+  }
+
   // Users: genre-preference Markov process with drift.
+  std::vector<int64_t> events;
+  events.reserve(static_cast<size_t>(config.max_sequence_length));
   for (int64_t u = 0; u < config.num_users; ++u) {
-    UserSequence sequence;
-    sequence.user = u;
+    events.clear();
     int preferred_genre =
         static_cast<int>(rng.UniformUint64(config.num_genres));
     // Sequence length: clamped geometric-like around the mean.
@@ -186,14 +259,15 @@ Dataset GenerateDataset(const GeneratorConfig& config) {
         // Drift to a neighbouring genre (preferences evolve gradually).
         preferred_genre = (preferred_genre + 1) % config.num_genres;
       }
-      const int64_t item = SampleNextItem(catalog, last_item, preferred_genre,
-                                          by_genre, config, rng);
-      sequence.items.push_back(item);
+      const int64_t item =
+          SampleNextItem(catalog, last_item, preferred_genre, by_genre,
+                         genre_prefix, zipf_prefix, config, rng);
+      events.push_back(item);
       last_item = item;
     }
-    dataset.sequences.push_back(std::move(sequence));
+    DELREC_RETURN_IF_ERROR(sink.AddUser(u, events));
   }
-  return dataset;
+  return sink.Finish();
 }
 
 GeneratorConfig MovieLens100KConfig() {

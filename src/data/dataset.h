@@ -2,10 +2,13 @@
 #define DELREC_DATA_DATASET_H_
 
 #include <cstdint>
+#include <span>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "util/rng.h"
+#include "util/status.h"
 
 namespace delrec::data {
 
@@ -19,22 +22,64 @@ struct Item {
   float popularity = 1.0f;  // Base sampling weight (Zipf-distributed).
 };
 
-/// The item universe of a dataset.
-struct Catalog {
+/// Read-only item-universe interface. Two implementations exist: the in-RAM
+/// `Catalog` below and the mmap-backed `MappedCatalog` (data/columnar.h),
+/// and every consumer (prompt building, vocab, baselines, serving) programs
+/// against this so a million-item catalog never has to be materialized.
+///
+/// `title()` and `genre_name()` return views into storage owned by the
+/// implementation: they stay valid exactly as long as the view object does.
+/// Callers that outlive the view (serve snapshots, token caches) must copy.
+class CatalogView {
+ public:
+  virtual ~CatalogView() = default;
+
+  virtual int64_t item_count() const = 0;
+  virtual int genre_count() const = 0;
+  virtual std::string_view genre_name(int genre) const = 0;
+  virtual std::string_view title(int64_t item) const = 0;
+  virtual int genre(int64_t item) const = 0;
+  virtual float popularity(int64_t item) const = 0;
+  /// Primary "sequel" link (the franchise successor — also what the
+  /// world-knowledge corpus teaches the LLM).
+  virtual int64_t sequel_of(int64_t item) const = 0;
+  /// Full successor distribution, weighted by kSuccessorWeights;
+  /// successors_of(i)[0] == sequel_of(i).
+  virtual std::span<const int64_t> successors_of(int64_t item) const = 0;
+
+  static constexpr double kSuccessorWeights[3] = {0.55, 0.25, 0.20};
+};
+
+/// The in-RAM item universe of a dataset. Public members are the primary
+/// representation (the generator and tests build them directly); the
+/// CatalogView overrides adapt them for streaming-agnostic consumers.
+struct Catalog : public CatalogView {
   std::vector<Item> items;
   int num_genres = 0;
   std::vector<std::string> genre_names;
-  /// Primary "sequel" link per item (the franchise successor — also what
-  /// the world-knowledge corpus teaches the LLM).
+  /// Primary "sequel" link per item.
   std::vector<int64_t> sequel;
   /// Full successor distribution per item: real transitions are multimodal,
   /// so the Markov step samples among 3 same-genre successors with weights
   /// kSuccessorWeights (successors[i][0] == sequel[i]).
   std::vector<std::vector<int64_t>> successors;
 
-  static constexpr double kSuccessorWeights[3] = {0.55, 0.25, 0.20};
-
   int64_t size() const { return static_cast<int64_t>(items.size()); }
+
+  int64_t item_count() const override { return size(); }
+  int genre_count() const override { return num_genres; }
+  std::string_view genre_name(int g) const override { return genre_names[g]; }
+  std::string_view title(int64_t item) const override {
+    return items[item].title;
+  }
+  int genre(int64_t item) const override { return items[item].genre; }
+  float popularity(int64_t item) const override {
+    return items[item].popularity;
+  }
+  int64_t sequel_of(int64_t item) const override { return sequel[item]; }
+  std::span<const int64_t> successors_of(int64_t item) const override {
+    return successors[item];
+  }
 };
 
 /// One user's chronological interaction history.
@@ -79,9 +124,33 @@ struct GeneratorConfig {
   uint64_t seed = 1;
 };
 
+/// Receives one generated dataset, piece by piece, in a fixed order:
+/// BeginDataset once, AddUser once per user in ascending user order, Finish
+/// once. Item columns are bounded by num_items and arrive fully built; only
+/// the per-user event log streams, which is what lets a disk-backed sink
+/// (data::CatalogFileWriter) write 1M+ user catalogs in bounded memory.
+class DatasetSink {
+ public:
+  virtual ~DatasetSink() = default;
+
+  virtual util::Status BeginDataset(const std::string& name,
+                                    const Catalog& catalog,
+                                    int64_t num_users) = 0;
+  virtual util::Status AddUser(int64_t user,
+                               const std::vector<int64_t>& items) = 0;
+  virtual util::Status Finish() = 0;
+};
+
 /// Synthesizes a dataset from the latent user/item process described in
 /// DESIGN.md §2. Deterministic given config.seed.
 Dataset GenerateDataset(const GeneratorConfig& config);
+
+/// Core of GenerateDataset: streams the same deterministic process into
+/// `sink`. In-RAM and direct-to-disk generation share this path, so for a
+/// given config they are bit-identical by construction. Holds O(num_items)
+/// memory regardless of num_users.
+util::Status GenerateDatasetTo(const GeneratorConfig& config,
+                               DatasetSink& sink);
 
 /// Paper-preset configs (scaled to CPU budget; relative size and sparsity
 /// ordering of Table I preserved: H&K > Beauty > Steam > ML-100K; KuaiRec

@@ -1,0 +1,226 @@
+#include "data/event_stream.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/check.h"
+#include "util/failpoint.h"
+#include "util/serialize.h"
+#include "util/threadpool.h"
+
+namespace delrec::data {
+namespace {
+
+constexpr uint64_t kFnvSeed = 1469598103934665603ULL;
+
+// Uniform reservoir (algorithm R) that remembers arrival order so the final
+// sample can be restored to stream order. cap <= 0 keeps everything.
+class Reservoir {
+ public:
+  Reservoir(int64_t cap, util::Rng rng) : cap_(cap), rng_(std::move(rng)) {}
+
+  void Offer(const Example& example) {
+    const int64_t arrival = seen_++;
+    if (cap_ <= 0 || static_cast<int64_t>(slots_.size()) < cap_) {
+      slots_.emplace_back(arrival, example);
+      return;
+    }
+    const uint64_t j =
+        rng_.UniformUint64(static_cast<uint64_t>(arrival) + 1);
+    if (j < static_cast<uint64_t>(cap_)) {
+      slots_[j] = {arrival, example};
+    }
+  }
+
+  std::vector<Example> TakeInStreamOrder() {
+    std::sort(slots_.begin(), slots_.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    std::vector<Example> out;
+    out.reserve(slots_.size());
+    for (auto& [arrival, example] : slots_) out.push_back(std::move(example));
+    slots_.clear();
+    return out;
+  }
+
+ private:
+  int64_t cap_ = 0;
+  util::Rng rng_;
+  int64_t seen_ = 0;
+  std::vector<std::pair<int64_t, Example>> slots_;
+};
+
+}  // namespace
+
+EventStream::EventStream(const MappedCatalog& catalog)
+    : EventStream(catalog, 0, catalog.user_count()) {}
+
+EventStream::EventStream(const Dataset& dataset)
+    : EventStream(dataset, 0, static_cast<int64_t>(dataset.sequences.size())) {
+}
+
+EventStream::EventStream(const MappedCatalog& catalog, int64_t begin,
+                         int64_t end)
+    : mapped_(&catalog),
+      begin_(begin),
+      end_(end),
+      next_(begin),
+      released_through_(begin) {
+  DELREC_CHECK_GE(begin, 0);
+  DELREC_CHECK_LE(begin, end);
+  DELREC_CHECK_LE(end, catalog.user_count());
+}
+
+EventStream::EventStream(const Dataset& dataset, int64_t begin, int64_t end)
+    : dataset_(&dataset),
+      begin_(begin),
+      end_(end),
+      next_(begin),
+      released_through_(begin) {
+  DELREC_CHECK_GE(begin, 0);
+  DELREC_CHECK_LE(begin, end);
+  DELREC_CHECK_LE(end, static_cast<int64_t>(dataset.sequences.size()));
+}
+
+int64_t EventStream::item_count() const {
+  return mapped_ != nullptr ? mapped_->item_count() : dataset_->catalog.size();
+}
+
+void EventStream::Reset() {
+  next_ = begin_;
+  released_through_ = begin_;
+  status_ = util::Status::Ok();
+}
+
+void EventStream::MaybeReleasePages() {
+  if (mapped_ == nullptr) return;
+  if (next_ - released_through_ >= kReleaseEveryUsers || next_ >= end_) {
+    mapped_->ReleaseEvents(released_through_, next_);
+    released_through_ = next_;
+  }
+}
+
+bool EventStream::Next(UserRun* run) {
+  if (!status_.ok() || next_ >= end_) return false;
+  util::Failpoints& failpoints = util::Failpoints::Instance();
+  status_ = failpoints.Check("data.stream.read");
+  if (!status_.ok()) return false;
+  const int64_t index = next_++;
+  run->user_index = index;
+  if (mapped_ != nullptr) {
+    run->user = mapped_->user_id(index);
+    status_ = mapped_->DecodeRun(index, &run->items);
+    if (!status_.ok()) return false;
+    MaybeReleasePages();
+  } else {
+    const UserSequence& sequence =
+        dataset_->sequences[static_cast<size_t>(index)];
+    run->user = sequence.user;
+    run->items = sequence.items;
+  }
+  if (!run->items.empty() &&
+      failpoints.ShouldCorrupt("data.stream.read.corrupt")) {
+    // Simulate a decode of rotted bytes: an id outside the item universe.
+    run->items[run->items.size() / 2] = item_count() + 1;
+  }
+  const int64_t items = item_count();
+  for (int64_t item : run->items) {
+    if (item < 0 || item >= items) {
+      status_ = util::Status::DataLoss(
+          "corrupt event run for stored user " + std::to_string(index) +
+          ": item " + std::to_string(item) + " outside catalog of " +
+          std::to_string(items) + " items");
+      return false;
+    }
+  }
+  return true;
+}
+
+util::StatusOr<Splits> SampleSplitsFromStream(
+    EventStream& stream, const StreamSampleOptions& options) {
+  DELREC_CHECK_GT(options.history_length, 0);
+  DELREC_CHECK_GT(options.train_fraction, 0.0);
+  DELREC_CHECK_LE(options.train_fraction + options.validation_fraction, 1.0);
+  // Independent per-split generators: capping one split never shifts the
+  // draws of another.
+  util::Rng base(options.seed);
+  Reservoir train(options.max_train, base.Fork());
+  Reservoir validation(options.max_validation, base.Fork());
+  Reservoir test(options.max_test, base.Fork());
+
+  UserRun run;
+  Example example;
+  while (stream.Next(&run)) {
+    const int64_t length = static_cast<int64_t>(run.items.size());
+    for (int64_t t = 1; t < length; ++t) {
+      example.user = run.user;
+      const int64_t start = std::max<int64_t>(0, t - options.history_length);
+      example.history.assign(run.items.begin() + start,
+                             run.items.begin() + t);
+      example.target = run.items[t];
+      // Chronological 8:1:1 routing — identical to MakeSplits.
+      const double fraction =
+          static_cast<double>(t + 1) / static_cast<double>(length);
+      if (fraction <= options.train_fraction) {
+        train.Offer(example);
+      } else if (fraction <=
+                 options.train_fraction + options.validation_fraction) {
+        validation.Offer(example);
+      } else {
+        test.Offer(example);
+      }
+    }
+  }
+  DELREC_RETURN_IF_ERROR(stream.status());
+
+  Splits splits;
+  splits.train = train.TakeInStreamOrder();
+  splits.validation = validation.TakeInStreamOrder();
+  splits.test = test.TakeInStreamOrder();
+  return splits;
+}
+
+util::StatusOr<EventScanResult> ScanEvents(const MappedCatalog& catalog,
+                                           int threads, int shard_count) {
+  DELREC_CHECK_GT(shard_count, 0);
+  const int64_t users = catalog.user_count();
+  std::vector<uint64_t> shard_checksum(shard_count, kFnvSeed);
+  std::vector<int64_t> shard_events(shard_count, 0);
+  std::vector<util::Status> shard_status(shard_count);
+  // Shard boundaries depend only on shard_count; threads pick up whole
+  // shards by static partition and results merge in shard order below, so
+  // the checksum is invariant to `threads`.
+  util::ParallelForThreads(
+      threads, shard_count, [&](int64_t begin, int64_t end, int) {
+        UserRun run;
+        for (int64_t s = begin; s < end; ++s) {
+          const int64_t user_begin = users * s / shard_count;
+          const int64_t user_end = users * (s + 1) / shard_count;
+          EventStream stream(catalog, user_begin, user_end);
+          uint64_t hash = kFnvSeed;
+          int64_t count = 0;
+          while (stream.Next(&run)) {
+            hash = util::Fnv1a(&run.user, sizeof(run.user), hash);
+            hash = util::Fnv1a(run.items.data(),
+                               run.items.size() * sizeof(int64_t), hash);
+            count += static_cast<int64_t>(run.items.size());
+          }
+          shard_status[s] = stream.status();
+          shard_checksum[s] = hash;
+          shard_events[s] = count;
+          // Keep the scan's working set to one shard of pages.
+          catalog.ReleaseEvents(user_begin, user_end);
+        }
+      });
+  EventScanResult result;
+  result.users = users;
+  uint64_t combined = kFnvSeed;
+  for (int s = 0; s < shard_count; ++s) {
+    DELREC_RETURN_IF_ERROR(shard_status[s]);
+    combined = util::Fnv1a(&shard_checksum[s], sizeof(uint64_t), combined);
+    result.events += shard_events[s];
+  }
+  result.checksum = combined;
+  return result;
+}
+
+}  // namespace delrec::data

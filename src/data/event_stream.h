@@ -1,0 +1,121 @@
+#ifndef DELREC_DATA_EVENT_STREAM_H_
+#define DELREC_DATA_EVENT_STREAM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "data/columnar.h"
+#include "data/dataset.h"
+#include "data/split.h"
+#include "util/status.h"
+
+namespace delrec::data {
+
+/// One decoded user run yielded by an EventStream.
+struct UserRun {
+  int64_t user = 0;        // External user id.
+  int64_t user_index = 0;  // Position in stored user order.
+  std::vector<int64_t> items;  // Oldest first.
+};
+
+/// Sequential cursor over a contiguous range of stored users, backed either
+/// by a MappedCatalog (out-of-core) or an in-RAM Dataset. Both backends
+/// yield identical runs in identical order, which is what makes every
+/// stream-fed computation (split sampling, training, eval) bit-identical
+/// across storage modes by construction.
+///
+/// Iterator determinism contract: runs arrive in ascending user_index order
+/// within [begin, end); a sharded consumer partitions users into fixed
+/// ranges independent of thread count and merges per-shard results in shard
+/// order, so results never depend on scheduling (see ScanEvents).
+///
+/// Failpoints: `data.stream.read` (fail mode) makes Next() stop with
+/// kUnavailable; `data.stream.read.corrupt` (corrupt mode) injects an
+/// out-of-range decoded item, which Next() converts into kDataLoss — the
+/// same typed error a corrupted event run produces.
+///
+/// Errors are sticky: after Next() returns false, status() distinguishes
+/// clean exhaustion (OK) from failure.
+class EventStream {
+ public:
+  /// Streams all users of a mapped catalog / in-RAM dataset.
+  explicit EventStream(const MappedCatalog& catalog);
+  explicit EventStream(const Dataset& dataset);
+  /// Streams stored users [begin, end) (a shard).
+  EventStream(const MappedCatalog& catalog, int64_t begin, int64_t end);
+  EventStream(const Dataset& dataset, int64_t begin, int64_t end);
+
+  /// Advances to the next user run. Returns false at the end of the range or
+  /// on error (check status()).
+  bool Next(UserRun* run);
+
+  const util::Status& status() const { return status_; }
+  int64_t user_count() const { return end_ - begin_; }
+
+  /// Rewinds to the start of the range and clears any sticky error.
+  void Reset();
+
+ private:
+  // Mapped streams drop event-log pages behind the cursor every this many
+  // users (and at exhaustion), so a full pass over an N-byte catalog keeps
+  // only a page-window resident — the property bench_datalane's peak-RSS
+  // gate measures. madvise only affects residency, never content, so this
+  // is invisible to the determinism contract.
+  static constexpr int64_t kReleaseEveryUsers = 4096;
+
+  int64_t item_count() const;
+  void MaybeReleasePages();
+
+  const MappedCatalog* mapped_ = nullptr;
+  const Dataset* dataset_ = nullptr;
+  int64_t begin_ = 0;
+  int64_t end_ = 0;
+  int64_t next_ = 0;
+  int64_t released_through_ = 0;
+  util::Status status_;
+};
+
+/// Options for SampleSplitsFromStream. A max of 0 keeps every example (the
+/// exact MakeSplits routing); a positive max reservoir-samples that split
+/// down to the cap in one pass, holding O(max · history) memory however
+/// large the stream is.
+struct StreamSampleOptions {
+  int64_t history_length = 10;
+  double train_fraction = 0.8;
+  double validation_fraction = 0.1;
+  int64_t max_train = 0;
+  int64_t max_validation = 0;
+  int64_t max_test = 0;
+  uint64_t seed = 1234;  // Drives the per-split reservoirs only.
+};
+
+/// Builds train/validation/test examples from a stream in one bounded-memory
+/// pass. Example construction and chronological split routing match
+/// MakeSplits exactly; capped splits are uniform reservoir samples restored
+/// to stream order. Deterministic given (stream contents, options) — and
+/// therefore identical for in-RAM and mapped backends of the same dataset.
+util::StatusOr<Splits> SampleSplitsFromStream(
+    EventStream& stream, const StreamSampleOptions& options);
+
+/// Result of a full sharded scan of the event log.
+struct EventScanResult {
+  int64_t users = 0;
+  int64_t events = 0;
+  /// FNV-1a over (user id, decoded items) per shard, combined in shard
+  /// order: invariant to the thread count that performed the scan.
+  uint64_t checksum = 0;
+};
+
+/// Decodes every user run shard-parallel and folds a content checksum.
+/// Shards are fixed ranges of stored users (shard_count of them) assigned to
+/// threads by static partition; per-shard checksums are combined serially in
+/// shard order, so the result is bit-identical for any `threads`. The
+/// streaming-throughput probe of bench_datalane and the cheapest way to
+/// verify two catalogs hold the same event log.
+util::StatusOr<EventScanResult> ScanEvents(const MappedCatalog& catalog,
+                                           int threads,
+                                           int shard_count = 32);
+
+}  // namespace delrec::data
+
+#endif  // DELREC_DATA_EVENT_STREAM_H_

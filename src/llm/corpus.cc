@@ -16,48 +16,46 @@ void AppendText(const Vocab& vocab, const std::string& text,
 }  // namespace
 
 std::vector<std::vector<int64_t>> BuildWorldKnowledgeCorpus(
-    const data::Catalog& catalog, const Vocab& vocab,
+    const data::CatalogView& catalog, const Vocab& vocab,
     int64_t sentences_per_item, util::Rng& rng) {
   DELREC_CHECK_GT(sentences_per_item, 0);
-  std::vector<std::vector<int64_t>> by_genre(catalog.num_genres);
   // Genre pools as flat vectors of item ids.
-  std::vector<std::vector<int64_t>> genre_items(catalog.num_genres);
-  for (const data::Item& item : catalog.items) {
-    genre_items[item.genre].push_back(item.id);
+  std::vector<std::vector<int64_t>> genre_items(catalog.genre_count());
+  for (int64_t item = 0; item < catalog.item_count(); ++item) {
+    genre_items[catalog.genre(item)].push_back(item);
   }
 
   std::vector<std::vector<int64_t>> corpus;
-  corpus.reserve(catalog.items.size() * (sentences_per_item + 1));
-  for (const data::Item& item : catalog.items) {
-    const std::string& genre = catalog.genre_names[item.genre];
+  corpus.reserve(catalog.item_count() * (sentences_per_item + 1));
+  for (int64_t item = 0; item < catalog.item_count(); ++item) {
+    const std::string title(catalog.title(item));
+    const std::string genre(catalog.genre_name(catalog.genre(item)));
+    const std::string sequel_title(catalog.title(catalog.sequel_of(item)));
     for (int64_t s = 0; s < sentences_per_item; ++s) {
       std::vector<int64_t> sentence = {Vocab::kCls};
       const int variant = static_cast<int>(rng.UniformUint64(4));
-      const auto& pool = genre_items[item.genre];
+      const auto& pool = genre_items[catalog.genre(item)];
       const int64_t other = pool[rng.UniformUint64(pool.size())];
       switch (variant) {
         case 0:
-          AppendText(vocab, item.title + " is a " + genre + " item",
-                     sentence);
+          AppendText(vocab, title + " is a " + genre + " item", sentence);
           break;
         case 1:
           AppendText(vocab,
-                     "fans of " + item.title + " also enjoy " +
-                         catalog.items[other].title,
+                     "fans of " + title + " also enjoy " +
+                         std::string(catalog.title(other)),
                      sentence);
           break;
         case 2:
           AppendText(vocab,
-                     genre + " items include " + item.title + " and " +
-                         catalog.items[other].title,
+                     genre + " items include " + title + " and " +
+                         std::string(catalog.title(other)),
                      sentence);
           break;
         default:
           // Franchise knowledge ("the sequel of A is B") — the kind of
           // item-succession fact a web-pretrained LLM genuinely knows.
-          AppendText(vocab,
-                     "after " + item.title + " fans watch " +
-                         catalog.items[catalog.sequel[item.id]].title,
+          AppendText(vocab, "after " + title + " fans watch " + sequel_title,
                      sentence);
           break;
       }
@@ -67,9 +65,7 @@ std::vector<std::vector<int64_t>> BuildWorldKnowledgeCorpus(
     // One guaranteed succession fact per item so the association is always
     // in the pretrained weights.
     std::vector<int64_t> sequel_sentence = {Vocab::kCls};
-    AppendText(vocab,
-               "after " + item.title + " fans watch " +
-                   catalog.items[catalog.sequel[item.id]].title,
+    AppendText(vocab, "after " + title + " fans watch " + sequel_title,
                sequel_sentence);
     sequel_sentence.push_back(Vocab::kSep);
     corpus.push_back(std::move(sequel_sentence));
@@ -78,7 +74,7 @@ std::vector<std::vector<int64_t>> BuildWorldKnowledgeCorpus(
 }
 
 std::vector<std::vector<int64_t>> BuildInteractionFormatCorpus(
-    const data::Catalog& catalog, const Vocab& vocab,
+    const data::CatalogView& catalog, const Vocab& vocab,
     const std::vector<data::Example>& train_examples, int64_t window,
     int64_t max_sentences, util::Rng& rng) {
   DELREC_CHECK_GT(window, 0);
@@ -97,11 +93,12 @@ std::vector<std::vector<int64_t>> BuildInteractionFormatCorpus(
     const int64_t start = std::max<int64_t>(
         0, static_cast<int64_t>(example.history.size()) - window);
     for (size_t i = start; i < example.history.size(); ++i) {
-      AppendText(vocab, catalog.items[example.history[i]].title, sentence);
+      AppendText(vocab, std::string(catalog.title(example.history[i])),
+                 sentence);
       sentence.push_back(Vocab::kSep);
     }
     AppendText(vocab, "the user will watch next", sentence);
-    AppendText(vocab, catalog.items[example.target].title, sentence);
+    AppendText(vocab, std::string(catalog.title(example.target)), sentence);
     sentence.push_back(Vocab::kSep);
     corpus.push_back(std::move(sentence));
   }

@@ -23,7 +23,7 @@ namespace delrec::llm {
 ///   "[CLS] fans of <title_a> also enjoy <title_b> [SEP]"   (same genre)
 ///   "[CLS] <genre> items include <title_a> and <title_b> [SEP]"
 std::vector<std::vector<int64_t>> BuildWorldKnowledgeCorpus(
-    const data::Catalog& catalog, const Vocab& vocab,
+    const data::CatalogView& catalog, const Vocab& vocab,
     int64_t sentences_per_item, util::Rng& rng);
 
 /// Instruction-format pretraining sentences built from *training* user
@@ -35,7 +35,7 @@ std::vector<std::vector<int64_t>> BuildWorldKnowledgeCorpus(
 /// still comes from fine-tuning. `max_sentences` caps corpus size;
 /// `window` limits shown history length.
 std::vector<std::vector<int64_t>> BuildInteractionFormatCorpus(
-    const data::Catalog& catalog, const Vocab& vocab,
+    const data::CatalogView& catalog, const Vocab& vocab,
     const std::vector<data::Example>& train_examples, int64_t window,
     int64_t max_sentences, util::Rng& rng);
 

@@ -74,7 +74,8 @@ int64_t Prompt::length() const {
   return total;
 }
 
-PromptBuilder::PromptBuilder(const data::Catalog* catalog, const Vocab* vocab)
+PromptBuilder::PromptBuilder(const data::CatalogView* catalog,
+                             const Vocab* vocab)
     : catalog_(catalog), vocab_(vocab) {
   DELREC_CHECK(catalog != nullptr);
   DELREC_CHECK(vocab != nullptr);
@@ -82,8 +83,8 @@ PromptBuilder::PromptBuilder(const data::Catalog* catalog, const Vocab* vocab)
 
 std::vector<int64_t> PromptBuilder::TitleTokens(int64_t item) const {
   DELREC_CHECK_GE(item, 0);
-  DELREC_CHECK_LT(item, catalog_->size());
-  return vocab_->Encode(catalog_->items[item].title);
+  DELREC_CHECK_LT(item, catalog_->item_count());
+  return vocab_->Encode(catalog_->title(item));
 }
 
 Prompt PromptBuilder::BuildRecommendation(

@@ -29,8 +29,10 @@ struct Prompt {
 /// (paradigm-1 baselines) and injected embeddings (paradigm-2 baselines).
 class PromptBuilder {
  public:
-  /// `catalog` and `vocab` must outlive the builder.
-  PromptBuilder(const data::Catalog* catalog, const Vocab* vocab);
+  /// `catalog` and `vocab` must outlive the builder. Works for in-RAM
+  /// catalogs and mmap-backed ones (MappedCatalog) alike — titles are read
+  /// through the string_view interface and tokenized without copies.
+  PromptBuilder(const data::CatalogView* catalog, const Vocab* vocab);
 
   /// Stage-2 / recommendation prompt (Fig. 6):
   ///   [CLS] the user watched: <history titles> [SEP]
@@ -74,7 +76,7 @@ class PromptBuilder {
   const Vocab& vocab() const { return *vocab_; }
 
  private:
-  const data::Catalog* catalog_;
+  const data::CatalogView* catalog_;
   const Vocab* vocab_;
 };
 

@@ -7,23 +7,24 @@
 
 namespace delrec::llm {
 
-Verbalizer::Verbalizer(const data::Catalog& catalog, const Vocab& vocab)
+Verbalizer::Verbalizer(const data::CatalogView& catalog, const Vocab& vocab)
     : vocab_size_(vocab.size()) {
-  title_tokens_.reserve(catalog.items.size());
+  title_tokens_.reserve(catalog.item_count());
   std::vector<int64_t> document_frequency(vocab.size(), 0);
-  for (const data::Item& item : catalog.items) {
-    std::vector<int64_t> tokens = vocab.Encode(item.title);
-    DELREC_CHECK(!tokens.empty()) << "empty title tokens for " << item.title;
+  for (int64_t item = 0; item < catalog.item_count(); ++item) {
+    const std::string_view title = catalog.title(item);
+    std::vector<int64_t> tokens = vocab.Encode(title);
+    DELREC_CHECK(!tokens.empty()) << "empty title tokens for " << title;
     for (int64_t token : tokens) {
       DELREC_CHECK_NE(token, Vocab::kUnk)
-          << "title word missing from vocab: " << item.title;
+          << "title word missing from vocab: " << title;
       ++document_frequency[token];
     }
     title_tokens_.push_back(std::move(tokens));
   }
   // IDF weights: rare title tokens identify an item far better than genre
   // words shared across a whole category, so they dominate the item score.
-  const double n = static_cast<double>(catalog.items.size());
+  const double n = static_cast<double>(catalog.item_count());
   token_weights_.assign(vocab.size(), 0.0f);
   for (int64_t t = 0; t < vocab.size(); ++t) {
     if (document_frequency[t] > 0) {

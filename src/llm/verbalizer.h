@@ -18,7 +18,7 @@ namespace delrec::llm {
 /// and inference (ranking).
 class Verbalizer {
  public:
-  Verbalizer(const data::Catalog& catalog, const Vocab& vocab);
+  Verbalizer(const data::CatalogView& catalog, const Vocab& vocab);
 
   /// Title token ids of one item (no specials).
   const std::vector<int64_t>& TitleTokens(int64_t item) const;

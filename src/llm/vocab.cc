@@ -35,7 +35,7 @@ Vocab::Vocab() {
   }
 }
 
-int64_t Vocab::AddWord(const std::string& word) {
+int64_t Vocab::AddWord(std::string_view word) {
   const std::string key = util::ToLower(word);
   DELREC_CHECK(!key.empty());
   auto it = index_.find(key);
@@ -46,7 +46,7 @@ int64_t Vocab::AddWord(const std::string& word) {
   return id;
 }
 
-int64_t Vocab::Lookup(const std::string& word) const {
+int64_t Vocab::Lookup(std::string_view word) const {
   auto it = index_.find(util::ToLower(word));
   return it == index_.end() ? kUnk : it->second;
 }
@@ -57,7 +57,7 @@ std::string Vocab::WordOf(int64_t id) const {
   return words_[id];
 }
 
-std::vector<int64_t> Vocab::Encode(const std::string& text) const {
+std::vector<int64_t> Vocab::Encode(std::string_view text) const {
   std::vector<int64_t> ids;
   for (const std::string& word : util::Split(text, ' ')) {
     ids.push_back(Lookup(word));
@@ -65,12 +65,14 @@ std::vector<int64_t> Vocab::Encode(const std::string& text) const {
   return ids;
 }
 
-Vocab Vocab::BuildFromCatalog(const data::Catalog& catalog) {
+Vocab Vocab::BuildFromCatalog(const data::CatalogView& catalog) {
   Vocab vocab;
   for (const char* word : kInstructionWords) vocab.AddWord(word);
-  for (const std::string& genre : catalog.genre_names) vocab.AddWord(genre);
-  for (const data::Item& item : catalog.items) {
-    for (const std::string& word : util::Split(item.title, ' ')) {
+  for (int g = 0; g < catalog.genre_count(); ++g) {
+    vocab.AddWord(catalog.genre_name(g));
+  }
+  for (int64_t item = 0; item < catalog.item_count(); ++item) {
+    for (const std::string& word : util::Split(catalog.title(item), ' ')) {
       vocab.AddWord(word);
     }
   }

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
@@ -25,10 +26,10 @@ class Vocab {
 
   /// Adds a word if absent; returns its id either way. Words are stored
   /// lower-cased.
-  int64_t AddWord(const std::string& word);
+  int64_t AddWord(std::string_view word);
 
   /// Id of a word, or kUnk if unknown.
-  int64_t Lookup(const std::string& word) const;
+  int64_t Lookup(std::string_view word) const;
 
   /// Inverse lookup (specials render as "[PAD]" etc.).
   std::string WordOf(int64_t id) const;
@@ -36,11 +37,13 @@ class Vocab {
   int64_t size() const { return static_cast<int64_t>(words_.size()); }
 
   /// Tokenizes free text: lower-cases, splits on whitespace, maps words.
-  std::vector<int64_t> Encode(const std::string& text) const;
+  /// Takes a view, so mmap-backed titles tokenize without a copy.
+  std::vector<int64_t> Encode(std::string_view text) const;
 
   /// Builds the vocabulary for a catalog: all title words plus the fixed
   /// instruction vocabulary used by the prompt templates (PromptBuilder).
-  static Vocab BuildFromCatalog(const data::Catalog& catalog);
+  /// Works for in-RAM and mmap-backed catalogs alike.
+  static Vocab BuildFromCatalog(const data::CatalogView& catalog);
 
  private:
   std::vector<std::string> words_;

@@ -58,7 +58,7 @@ class EngineSnapshot : public Scorer {
   /// of the stage-2 prompt and must be the trained backbone DELRec
   /// distilled from (it is consulted read-only).
   struct Sources {
-    const data::Catalog* catalog = nullptr;
+    const data::CatalogView* catalog = nullptr;
     const llm::Vocab* vocab = nullptr;
     const srmodels::SequentialRecommender* sr_model = nullptr;
   };

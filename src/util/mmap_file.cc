@@ -1,0 +1,103 @@
+#include "util/mmap_file.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "util/failpoint.h"
+
+namespace delrec::util {
+
+StatusOr<MemoryMappedFile> MemoryMappedFile::Open(const std::string& path) {
+  DELREC_RETURN_IF_ERROR(Failpoints::Instance().Check("data.mmap.open"));
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    if (errno == ENOENT) return Status::NotFound("no such file: " + path);
+    return Status::Unavailable("cannot open for mapping: " + path + ": " +
+                               std::strerror(errno));
+  }
+  struct stat info;
+  if (::fstat(fd, &info) != 0) {
+    ::close(fd);
+    return Status::Unavailable("cannot stat: " + path);
+  }
+  MemoryMappedFile file;
+  file.path_ = path;
+  file.size_ = static_cast<uint64_t>(info.st_size);
+  if (file.size_ > 0) {
+    void* mapping =
+        ::mmap(nullptr, file.size_, PROT_READ, MAP_PRIVATE, fd, 0);
+    if (mapping == MAP_FAILED) {
+      ::close(fd);
+      return Status::Unavailable("mmap failed: " + path + ": " +
+                                 std::strerror(errno));
+    }
+    file.data_ = static_cast<const unsigned char*>(mapping);
+  }
+  // The mapping keeps its own reference to the file; the descriptor is no
+  // longer needed.
+  ::close(fd);
+  return file;
+}
+
+MemoryMappedFile::~MemoryMappedFile() {
+  if (data_ != nullptr) {
+    ::munmap(const_cast<unsigned char*>(data_), size_);
+  }
+}
+
+MemoryMappedFile::MemoryMappedFile(MemoryMappedFile&& other) noexcept
+    : data_(other.data_), size_(other.size_), path_(std::move(other.path_)) {
+  other.data_ = nullptr;
+  other.size_ = 0;
+}
+
+MemoryMappedFile& MemoryMappedFile::operator=(
+    MemoryMappedFile&& other) noexcept {
+  if (this != &other) {
+    if (data_ != nullptr) {
+      ::munmap(const_cast<unsigned char*>(data_), size_);
+    }
+    data_ = other.data_;
+    size_ = other.size_;
+    path_ = std::move(other.path_);
+    other.data_ = nullptr;
+    other.size_ = 0;
+  }
+  return *this;
+}
+
+StatusOr<const unsigned char*> MemoryMappedFile::View(uint64_t offset,
+                                                      uint64_t length) const {
+  // Overflow-safe: offset + length could wrap, so compare via subtraction.
+  if (offset > size_ || length > size_ - offset) {
+    return Status::DataLoss("mapped range [" + std::to_string(offset) + ", +" +
+                            std::to_string(length) + ") past end of " + path_ +
+                            " (" + std::to_string(size_) + " bytes)");
+  }
+  return data_ + offset;
+}
+
+void MemoryMappedFile::AdviseSequential() const {
+  if (data_ == nullptr) return;
+  ::madvise(const_cast<unsigned char*>(data_), size_, MADV_SEQUENTIAL);
+}
+
+void MemoryMappedFile::AdviseDontNeed(uint64_t offset, uint64_t length) const {
+  if (data_ == nullptr) return;
+  if (offset > size_ || length > size_ - offset) return;
+  const uint64_t page = static_cast<uint64_t>(::sysconf(_SC_PAGESIZE));
+  // Shrink to the pages fully inside the range so neighbours stay resident.
+  const uint64_t begin = (offset + page - 1) / page * page;
+  const uint64_t end = (offset + length) / page * page;
+  if (end <= begin) return;
+  ::madvise(const_cast<unsigned char*>(data_) + begin, end - begin,
+            MADV_DONTNEED);
+}
+
+}  // namespace delrec::util

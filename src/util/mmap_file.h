@@ -1,0 +1,63 @@
+#ifndef DELREC_UTIL_MMAP_FILE_H_
+#define DELREC_UTIL_MMAP_FILE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "util/status.h"
+
+namespace delrec::util {
+
+/// Read-only memory-mapped file: the zero-copy substrate of the on-disk data
+/// plane (data/columnar.h). The mapping is private and read-only; all
+/// accessors are bounds-checked and return typed errors instead of touching
+/// memory past the file, so a truncated file can never fault — callers see
+/// kDataLoss from View() (or from their own length validation) instead.
+///
+/// Out-of-core discipline: resident pages of a mapping count toward the
+/// process RSS once touched. Sequential consumers (checksum verification,
+/// EventStream scans) call Advise*() to release consumed windows so peak RSS
+/// stays bounded by the window size, not the file size. Both advise calls are
+/// best-effort performance hints — correctness never depends on them.
+class MemoryMappedFile {
+ public:
+  /// Maps `path` read-only. NotFound when the file does not exist,
+  /// kUnavailable on transient open/map failures (and from the
+  /// `data.mmap.open` failpoint). Empty files map successfully with
+  /// size() == 0.
+  static StatusOr<MemoryMappedFile> Open(const std::string& path);
+
+  MemoryMappedFile() = default;
+  ~MemoryMappedFile();
+  MemoryMappedFile(MemoryMappedFile&& other) noexcept;
+  MemoryMappedFile& operator=(MemoryMappedFile&& other) noexcept;
+  MemoryMappedFile(const MemoryMappedFile&) = delete;
+  MemoryMappedFile& operator=(const MemoryMappedFile&) = delete;
+
+  const unsigned char* data() const { return data_; }
+  uint64_t size() const { return size_; }
+  const std::string& path() const { return path_; }
+  bool mapped() const { return data_ != nullptr || size_ == 0; }
+
+  /// Pointer to `length` bytes at `offset`, or kDataLoss when the range runs
+  /// past the end of the file (the truncation signature).
+  StatusOr<const unsigned char*> View(uint64_t offset, uint64_t length) const;
+
+  /// Declares the access pattern sequential (readahead hint).
+  void AdviseSequential() const;
+
+  /// Releases the resident pages fully covered by [offset, offset+length):
+  /// the range is shrunk to page boundaries and MADV_DONTNEED'd. Re-reading
+  /// released pages refaults them transparently.
+  void AdviseDontNeed(uint64_t offset, uint64_t length) const;
+
+ private:
+  const unsigned char* data_ = nullptr;
+  uint64_t size_ = 0;
+  std::string path_;
+};
+
+}  // namespace delrec::util
+
+#endif  // DELREC_UTIL_MMAP_FILE_H_

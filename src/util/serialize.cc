@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <cstring>
 
+#include "util/check.h"
 #include "util/failpoint.h"
 
 namespace delrec::util {
@@ -42,6 +43,110 @@ uint64_t Fnv1a(const void* data, size_t size, uint64_t seed) {
   return hash;
 }
 
+StatusOr<AtomicFileWriter> AtomicFileWriter::Create(
+    const std::string& path, const std::string& failpoint_prefix) {
+  DELREC_RETURN_IF_ERROR(
+      Failpoints::Instance().Check(failpoint_prefix + ".open"));
+  AtomicFileWriter writer;
+  writer.path_ = path;
+  writer.tmp_path_ = path + ".tmp";
+  writer.failpoint_prefix_ = failpoint_prefix;
+  writer.file_ = std::fopen(writer.tmp_path_.c_str(), "wb");
+  if (writer.file_ == nullptr) {
+    return Status::Unavailable("cannot open for writing: " + writer.tmp_path_);
+  }
+  return writer;
+}
+
+AtomicFileWriter::AtomicFileWriter(AtomicFileWriter&& other) noexcept
+    : file_(other.file_),
+      path_(std::move(other.path_)),
+      tmp_path_(std::move(other.tmp_path_)),
+      failpoint_prefix_(std::move(other.failpoint_prefix_)),
+      offset_(other.offset_),
+      failed_(other.failed_) {
+  other.file_ = nullptr;
+}
+
+AtomicFileWriter& AtomicFileWriter::operator=(
+    AtomicFileWriter&& other) noexcept {
+  if (this != &other) {
+    Abort();
+    file_ = other.file_;
+    path_ = std::move(other.path_);
+    tmp_path_ = std::move(other.tmp_path_);
+    failpoint_prefix_ = std::move(other.failpoint_prefix_);
+    offset_ = other.offset_;
+    failed_ = other.failed_;
+    other.file_ = nullptr;
+  }
+  return *this;
+}
+
+AtomicFileWriter::~AtomicFileWriter() { Abort(); }
+
+void AtomicFileWriter::Abort() {
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    std::remove(tmp_path_.c_str());
+    file_ = nullptr;
+  }
+}
+
+Status AtomicFileWriter::Append(const void* bytes, uint64_t size) {
+  DELREC_CHECK(file_ != nullptr) << "Append on a committed/moved-from writer";
+  if (size == 0) return Status::Ok();  // fwrite(nullptr, ...) is UB.
+  if (!failed_) {
+    // Latch the injected failure: one armed count dooms this whole write
+    // attempt (further appends skip the registry, so a `fail:N` spec fails N
+    // write attempts, not N buffers).
+    failed_ = !Failpoints::Instance().Check(failpoint_prefix_).ok();
+  }
+  const bool written =
+      !failed_ && std::fwrite(bytes, 1, size, file_) == size;
+  if (!written) {
+    Abort();
+    return Status::Unavailable("short write: " + tmp_path_);
+  }
+  offset_ += size;
+  return Status::Ok();
+}
+
+Status AtomicFileWriter::PatchAt(uint64_t patch_offset, const void* bytes,
+                                 uint64_t size) {
+  DELREC_CHECK(file_ != nullptr) << "PatchAt on a committed/moved-from writer";
+  DELREC_CHECK_LE(patch_offset + size, offset_) << "patch past appended bytes";
+  bool ok = std::fseek(file_, static_cast<long>(patch_offset), SEEK_SET) == 0;
+  ok = ok && std::fwrite(bytes, 1, size, file_) == size;
+  ok = ok && std::fseek(file_, static_cast<long>(offset_), SEEK_SET) == 0;
+  if (!ok) {
+    Abort();
+    return Status::Unavailable("short patch write: " + tmp_path_);
+  }
+  return Status::Ok();
+}
+
+Status AtomicFileWriter::Commit() {
+  DELREC_CHECK(file_ != nullptr) << "Commit on a committed/moved-from writer";
+  bool ok = std::fflush(file_) == 0;
+  ok = ok && ::fsync(::fileno(file_)) == 0;
+  const bool closed = std::fclose(file_) == 0;
+  file_ = nullptr;
+  if (!ok || !closed) {
+    std::remove(tmp_path_.c_str());
+    return Status::Unavailable("short write: " + tmp_path_);
+  }
+  // Firing here simulates a crash between write and commit: the temp file
+  // exists and is durable, but `path_` still holds the previous version.
+  DELREC_RETURN_IF_ERROR(
+      Failpoints::Instance().Check(failpoint_prefix_ + ".rename"));
+  if (std::rename(tmp_path_.c_str(), path_.c_str()) != 0) {
+    std::remove(tmp_path_.c_str());
+    return Status::Unavailable("cannot commit: " + tmp_path_ + " -> " + path_);
+  }
+  return Status::Ok();
+}
+
 void BlobFile::Put(const std::string& name, std::vector<float> values) {
   for (auto& [existing_name, existing_values] : blobs_) {
     if (existing_name == name) {
@@ -75,7 +180,6 @@ std::vector<std::string> BlobFile::Names() const {
 
 Status BlobFile::WriteTo(const std::string& path) const {
   Failpoints& failpoints = Failpoints::Instance();
-  DELREC_RETURN_IF_ERROR(failpoints.Check("blobfile.write.open"));
 
   std::vector<unsigned char> payload;
   Append(payload, static_cast<uint64_t>(blobs_.size()));
@@ -95,36 +199,15 @@ Status BlobFile::WriteTo(const std::string& path) const {
     payload[payload.size() / 2] ^= 0x5a;
   }
 
-  // Write-to-temp + fsync + rename: a crash at any point leaves either the
-  // old file or the new file at `path`, never a partial mix.
-  const std::string tmp_path = path + ".tmp";
-  FILE* file = std::fopen(tmp_path.c_str(), "wb");
-  if (file == nullptr) {
-    return Status::Unavailable("cannot open for writing: " + tmp_path);
-  }
-  bool ok = failpoints.Check("blobfile.write").ok();
-  ok = ok && std::fwrite(kMagic, 1, sizeof(kMagic), file) == sizeof(kMagic);
-  ok = ok && std::fwrite(&kVersion, sizeof(kVersion), 1, file) == 1;
+  DELREC_ASSIGN_OR_RETURN(AtomicFileWriter writer,
+                          AtomicFileWriter::Create(path, "blobfile.write"));
+  DELREC_RETURN_IF_ERROR(writer.Append(kMagic, sizeof(kMagic)));
+  DELREC_RETURN_IF_ERROR(writer.Append(&kVersion, sizeof(kVersion)));
   const uint64_t payload_size = payload.size();
-  ok = ok && std::fwrite(&payload_size, sizeof(payload_size), 1, file) == 1;
-  ok = ok &&
-       std::fwrite(payload.data(), 1, payload.size(), file) == payload.size();
-  ok = ok && std::fwrite(&digest, sizeof(digest), 1, file) == 1;
-  ok = ok && std::fflush(file) == 0;
-  ok = ok && ::fsync(::fileno(file)) == 0;
-  const bool closed = std::fclose(file) == 0;
-  if (!ok || !closed) {
-    std::remove(tmp_path.c_str());
-    return Status::Unavailable("short write: " + tmp_path);
-  }
-  // Firing here simulates a crash between write and commit: the temp file
-  // exists but `path` still holds the previous checkpoint.
-  DELREC_RETURN_IF_ERROR(failpoints.Check("blobfile.write.rename"));
-  if (std::rename(tmp_path.c_str(), path.c_str()) != 0) {
-    std::remove(tmp_path.c_str());
-    return Status::Unavailable("cannot commit: " + tmp_path + " -> " + path);
-  }
-  return Status::Ok();
+  DELREC_RETURN_IF_ERROR(writer.Append(&payload_size, sizeof(payload_size)));
+  DELREC_RETURN_IF_ERROR(writer.Append(payload.data(), payload.size()));
+  DELREC_RETURN_IF_ERROR(writer.Append(&digest, sizeof(digest)));
+  return writer.Commit();
 }
 
 StatusOr<BlobFile> BlobFile::ReadFrom(const std::string& path) {

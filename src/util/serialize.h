@@ -2,12 +2,69 @@
 #define DELREC_UTIL_SERIALIZE_H_
 
 #include <cstdint>
+#include <cstdio>
 #include <string>
 #include <vector>
 
 #include "util/status.h"
 
 namespace delrec::util {
+
+/// Crash-safe streaming file writer: bytes go to `path + ".tmp"`, and
+/// Commit() fsyncs then renames over `path`, so a crash at any point leaves
+/// either the previous file or the complete new file — never a partial mix.
+/// This is the single write path for every durable artifact (BlobFile
+/// checkpoints, columnar catalogs); unlike BlobFile's original in-memory
+/// assembly it streams, so writers of multi-hundred-MB files never hold
+/// their payload in RAM.
+///
+/// Fault injection: `failpoint_prefix + ".open"` fails Create,
+/// `failpoint_prefix` fails the next Append (the writer then stays failed —
+/// one consumed count per doomed write attempt, like the historical
+/// whole-file check), and `failpoint_prefix + ".rename"` fails Commit after
+/// the temp file is durable. All failures remove the temp file and return
+/// kUnavailable (retryable); the rename failpoint leaves the durable temp
+/// file in place, exactly like a crash between write and commit.
+class AtomicFileWriter {
+ public:
+  static StatusOr<AtomicFileWriter> Create(const std::string& path,
+                                           const std::string& failpoint_prefix);
+
+  AtomicFileWriter(AtomicFileWriter&& other) noexcept;
+  AtomicFileWriter& operator=(AtomicFileWriter&& other) noexcept;
+  AtomicFileWriter(const AtomicFileWriter&) = delete;
+  AtomicFileWriter& operator=(const AtomicFileWriter&) = delete;
+  /// Uncommitted writers clean up their temp file.
+  ~AtomicFileWriter();
+
+  /// Appends raw bytes at the current offset.
+  Status Append(const void* bytes, uint64_t size);
+
+  /// Bytes appended so far (the offset the next Append writes at).
+  uint64_t offset() const { return offset_; }
+
+  /// Overwrites `size` bytes at `patch_offset` (which must already have been
+  /// appended), leaving the append position unchanged. Used to back-patch
+  /// headers whose fields (directory offset, checksums) are only known once
+  /// the streamed sections are on disk.
+  Status PatchAt(uint64_t patch_offset, const void* bytes, uint64_t size);
+
+  /// Flushes, fsyncs, closes and renames the temp file over `path`. The
+  /// writer is consumed: further Append/Commit calls are invalid.
+  Status Commit();
+
+ private:
+  AtomicFileWriter() = default;
+
+  void Abort();
+
+  std::FILE* file_ = nullptr;
+  std::string path_;
+  std::string tmp_path_;
+  std::string failpoint_prefix_;
+  uint64_t offset_ = 0;
+  bool failed_ = false;
+};
 
 /// Minimal tagged binary container for model checkpoints: a magic header, a
 /// format version, and named float blobs. Written/read atomically from a

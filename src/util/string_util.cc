@@ -5,7 +5,7 @@
 
 namespace delrec::util {
 
-std::vector<std::string> Split(const std::string& text, char delimiter) {
+std::vector<std::string> Split(std::string_view text, char delimiter) {
   std::vector<std::string> pieces;
   std::string current;
   for (char c : text) {
@@ -30,8 +30,8 @@ std::string Join(const std::vector<std::string>& pieces,
   return out;
 }
 
-std::string ToLower(const std::string& text) {
-  std::string out = text;
+std::string ToLower(std::string_view text) {
+  std::string out(text);
   for (char& c : out) c = static_cast<char>(std::tolower(c));
   return out;
 }

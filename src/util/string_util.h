@@ -2,19 +2,21 @@
 #define DELREC_UTIL_STRING_UTIL_H_
 
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace delrec::util {
 
-/// Splits `text` on `delimiter`, dropping empty pieces.
-std::vector<std::string> Split(const std::string& text, char delimiter);
+/// Splits `text` on `delimiter`, dropping empty pieces. Takes a view so
+/// mmap-backed titles (data/columnar.h) split without an up-front copy.
+std::vector<std::string> Split(std::string_view text, char delimiter);
 
 /// Joins pieces with `separator`.
 std::string Join(const std::vector<std::string>& pieces,
                  const std::string& separator);
 
 /// ASCII lower-casing (titles/tokens are ASCII in this project).
-std::string ToLower(const std::string& text);
+std::string ToLower(std::string_view text);
 
 /// Formats a double with fixed precision (paper tables use 4 decimals).
 std::string FormatFixed(double value, int digits);

@@ -1,0 +1,592 @@
+// Format conformance, corruption-chaos, and determinism suite for the
+// columnar catalog data plane (DESIGN.md §14). Covers: golden round-trips
+// (write → mmap → bitwise compare against the in-RAM Catalog), superblock
+// endianness/version assertions against a committed golden blob, bit-flip
+// and truncation fuzzing over every byte of the file, the data-plane
+// failpoints, and the cross-backend determinism contract of EventStream.
+// Run with `ctest -L datalane`.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "data/columnar.h"
+#include "data/dataset.h"
+#include "data/event_stream.h"
+#include "data/split.h"
+#include "util/failpoint.h"
+#include "util/serialize.h"
+#include "util/status.h"
+
+#ifndef DELREC_TEST_DATA_DIR
+#define DELREC_TEST_DATA_DIR "."
+#endif
+
+namespace delrec::data {
+namespace {
+
+using util::Status;
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+std::string ReadAll(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+}
+
+void WriteAll(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+bool Exists(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return in.good();
+}
+
+// Hand-built fixed dataset — deliberately independent of the generator so
+// the committed golden blob only changes when the FORMAT changes, never when
+// generator internals do. Exercises empty runs, negative deltas (5 → 0),
+// repeated items, and multi-word titles.
+Dataset TinyDataset() {
+  Dataset dataset;
+  dataset.name = "tiny";
+  Catalog& catalog = dataset.catalog;
+  catalog.num_genres = 3;
+  catalog.genre_names = {"noir", "galactic", "pastoral"};
+  const char* kTitles[] = {"shadow alley",  "neon harbor",  "star relay",
+                           "comet freight", "quiet meadow", "orchard line"};
+  const int kGenres[] = {0, 0, 1, 1, 2, 2};
+  const float kPopularity[] = {1.5f, 0.75f, 2.25f, 0.5f, 1.0f, 3.0f};
+  for (int64_t i = 0; i < 6; ++i) {
+    Item item;
+    item.id = i;
+    item.title = kTitles[i];
+    item.genre = kGenres[i];
+    item.popularity = kPopularity[i];
+    catalog.items.push_back(std::move(item));
+  }
+  catalog.sequel = {1, 0, 3, 2, 5, 4};
+  for (int64_t i = 0; i < 6; ++i) {
+    catalog.successors.push_back(
+        {catalog.sequel[i], (i + 2) % 6, (i + 4) % 6});
+  }
+  dataset.sequences.push_back({7, {0, 1, 2, 3, 4, 5, 0, 1}});
+  dataset.sequences.push_back({11, {2, 3, 2, 3, 5}});
+  dataset.sequences.push_back({23, {}});  // Zero-length run.
+  dataset.sequences.push_back({42, {4, 5, 4, 5, 4, 5, 1, 0, 2, 3, 1}});
+  return dataset;
+}
+
+// A generated dataset big enough that streams cross section boundaries and
+// splits are non-trivial, small enough to fuzz quickly.
+Dataset SmallGenerated() {
+  GeneratorConfig config;
+  config.num_users = 60;
+  config.num_items = 50;
+  config.num_genres = 4;
+  config.seed = 321;
+  return GenerateDataset(config);
+}
+
+class DatalaneTest : public ::testing::Test {
+ protected:
+  void TearDown() override { util::Failpoints::Instance().Reset(); }
+};
+
+// ------------------------------------------------------------- conformance
+
+TEST_F(DatalaneTest, RoundTripPreservesEveryColumnBitwise) {
+  const Dataset dataset = SmallGenerated();
+  const std::string path = TempPath("roundtrip.cat");
+  ASSERT_TRUE(WriteCatalogFile(dataset, path).ok());
+  auto mapped_or = MappedCatalog::Open(path);
+  ASSERT_TRUE(mapped_or.ok()) << mapped_or.status().ToString();
+  const MappedCatalog& mapped = mapped_or.value();
+
+  EXPECT_EQ(mapped.name(), dataset.name);
+  ASSERT_EQ(mapped.item_count(), dataset.catalog.size());
+  ASSERT_EQ(mapped.genre_count(), dataset.catalog.num_genres);
+  for (int g = 0; g < mapped.genre_count(); ++g) {
+    EXPECT_EQ(mapped.genre_name(g), dataset.catalog.genre_names[g]);
+  }
+  for (int64_t i = 0; i < mapped.item_count(); ++i) {
+    const Item& item = dataset.catalog.items[i];
+    EXPECT_EQ(mapped.title(i), item.title);
+    EXPECT_EQ(mapped.genre(i), item.genre);
+    // Bitwise float equality — the format stores the exact f32 pattern.
+    uint32_t want, got;
+    std::memcpy(&want, &item.popularity, 4);
+    const float popularity = mapped.popularity(i);
+    std::memcpy(&got, &popularity, 4);
+    EXPECT_EQ(got, want) << "popularity bits of item " << i;
+    EXPECT_EQ(mapped.sequel_of(i), dataset.catalog.sequel[i]);
+    const auto successors = mapped.successors_of(i);
+    ASSERT_EQ(successors.size(), dataset.catalog.successors[i].size());
+    EXPECT_TRUE(std::equal(successors.begin(), successors.end(),
+                           dataset.catalog.successors[i].begin()));
+  }
+  ASSERT_EQ(mapped.user_count(),
+            static_cast<int64_t>(dataset.sequences.size()));
+  std::vector<int64_t> items;
+  for (int64_t u = 0; u < mapped.user_count(); ++u) {
+    EXPECT_EQ(mapped.user_id(u), dataset.sequences[u].user);
+    ASSERT_TRUE(mapped.DecodeRun(u, &items).ok());
+    EXPECT_EQ(items, dataset.sequences[u].items) << "run of stored user " << u;
+  }
+}
+
+TEST_F(DatalaneTest, MaterializeRebuildsTheExactCatalog) {
+  const Dataset dataset = SmallGenerated();
+  const std::string path = TempPath("materialize.cat");
+  ASSERT_TRUE(WriteCatalogFile(dataset, path).ok());
+  auto mapped = MappedCatalog::Open(path);
+  ASSERT_TRUE(mapped.ok());
+  const Catalog materialized = mapped.value().Materialize();
+  ASSERT_EQ(materialized.size(), dataset.catalog.size());
+  for (int64_t i = 0; i < materialized.size(); ++i) {
+    EXPECT_EQ(materialized.items[i].title, dataset.catalog.items[i].title);
+  }
+  EXPECT_EQ(materialized.genre_names, dataset.catalog.genre_names);
+  EXPECT_EQ(materialized.sequel, dataset.catalog.sequel);
+  EXPECT_EQ(materialized.successors, dataset.catalog.successors);
+}
+
+TEST_F(DatalaneTest, DirectGenerationIsBitIdenticalToWriteFromRam) {
+  GeneratorConfig config;
+  config.num_users = 40;
+  config.num_items = 30;
+  config.seed = 99;
+  const std::string from_ram = TempPath("from_ram.cat");
+  const std::string direct = TempPath("direct.cat");
+  ASSERT_TRUE(WriteCatalogFile(GenerateDataset(config), from_ram).ok());
+  ASSERT_TRUE(GenerateCatalogFile(config, direct).ok());
+  const std::string a = ReadAll(from_ram), b = ReadAll(direct);
+  ASSERT_FALSE(a.empty());
+  EXPECT_EQ(a, b) << "direct-to-disk generation must be bit-identical";
+  // The spill scratch file must not survive a successful write.
+  EXPECT_FALSE(Exists(direct + ".spill"));
+  EXPECT_FALSE(Exists(direct + ".tmp"));
+}
+
+TEST_F(DatalaneTest, SuperblockIsLittleEndianV1) {
+  const std::string path = TempPath("superblock.cat");
+  ASSERT_TRUE(WriteCatalogFile(TinyDataset(), path).ok());
+  const std::string bytes = ReadAll(path);
+  ASSERT_GE(bytes.size(), kCatalogSuperblockBytes);
+  EXPECT_EQ(bytes.compare(0, 8, kCatalogMagic, 8), 0);
+  uint32_t version, endian_tag;
+  std::memcpy(&version, bytes.data() + 8, 4);
+  std::memcpy(&endian_tag, bytes.data() + 12, 4);
+  // Asserting the raw byte pattern (not just the loaded u32) pins the
+  // on-disk format to little-endian: on a big-endian writer these would
+  // come back byte-swapped and the format would silently fork.
+  EXPECT_EQ(version, kCatalogVersion);
+  EXPECT_EQ(static_cast<unsigned char>(bytes[8]), 1);
+  EXPECT_EQ(static_cast<unsigned char>(bytes[9]), 0);
+  EXPECT_EQ(endian_tag, kCatalogEndianTag);
+  EXPECT_EQ(static_cast<unsigned char>(bytes[12]), 0x04);
+  EXPECT_EQ(static_cast<unsigned char>(bytes[15]), 0x01);
+  uint64_t num_items, num_users, num_events;
+  std::memcpy(&num_items, bytes.data() + 32, 8);
+  std::memcpy(&num_users, bytes.data() + 40, 8);
+  std::memcpy(&num_events, bytes.data() + 48, 8);
+  EXPECT_EQ(num_items, 6u);
+  EXPECT_EQ(num_users, 4u);
+  EXPECT_EQ(num_events, 8u + 5u + 0u + 11u);
+  uint64_t checksum;
+  std::memcpy(&checksum, bytes.data() + 56, 8);
+  EXPECT_EQ(checksum, util::Fnv1a(bytes.data(), 56));
+}
+
+// The committed golden blob freezes format v1. If this test fails, the
+// writer's byte layout changed: bump kCatalogVersion, keep the v1 reader,
+// and regenerate the golden (see tests/golden/README).
+TEST_F(DatalaneTest, CommittedGoldenBlobMatchesWriterOutput) {
+  const std::string golden_path =
+      std::string(DELREC_TEST_DATA_DIR) + "/datalane_catalog_v1.bin";
+  const std::string golden = ReadAll(golden_path);
+  ASSERT_FALSE(golden.empty()) << "missing golden blob: " << golden_path;
+  const std::string path = TempPath("golden_check.cat");
+  ASSERT_TRUE(WriteCatalogFile(TinyDataset(), path).ok());
+  EXPECT_EQ(ReadAll(path), golden)
+      << "on-disk format drifted from the committed v1 golden";
+  // And the committed bytes must still open and decode.
+  auto mapped = MappedCatalog::Open(golden_path);
+  ASSERT_TRUE(mapped.ok()) << mapped.status().ToString();
+  EXPECT_EQ(mapped.value().name(), "tiny");
+  EXPECT_EQ(mapped.value().item_count(), 6);
+  EXPECT_EQ(mapped.value().user_count(), 4);
+  EXPECT_EQ(mapped.value().title(4), "quiet meadow");
+  std::vector<int64_t> items;
+  ASSERT_TRUE(mapped.value().DecodeRun(3, &items).ok());
+  EXPECT_EQ(items, (std::vector<int64_t>{4, 5, 4, 5, 4, 5, 1, 0, 2, 3, 1}));
+}
+
+TEST_F(DatalaneTest, ForeignAndUnsupportedFilesAreInvalidArgument) {
+  const std::string path = TempPath("foreign.cat");
+  ASSERT_TRUE(WriteCatalogFile(TinyDataset(), path).ok());
+  std::string bytes = ReadAll(path);
+
+  // Patching a superblock field and re-stamping the checksum isolates the
+  // field check from the checksum check.
+  auto patched = [&](size_t offset, uint32_t value) {
+    std::string copy = bytes;
+    std::memcpy(copy.data() + offset, &value, 4);
+    const uint64_t checksum = util::Fnv1a(copy.data(), 56);
+    std::memcpy(copy.data() + 56, &checksum, 8);
+    return copy;
+  };
+  const std::string future = TempPath("future.cat");
+  WriteAll(future, patched(8, kCatalogVersion + 1));
+  EXPECT_EQ(MappedCatalog::Open(future).status().code(),
+            Status::Code::kInvalidArgument);
+
+  const std::string swapped = TempPath("swapped.cat");
+  WriteAll(swapped, patched(12, 0x04030201u));  // Big-endian writer's tag.
+  EXPECT_EQ(MappedCatalog::Open(swapped).status().code(),
+            Status::Code::kInvalidArgument);
+
+  const std::string not_ours = TempPath("not_ours.cat");
+  std::string foreign = bytes;
+  foreign[0] = 'X';
+  const uint64_t checksum = util::Fnv1a(foreign.data(), 56);
+  std::memcpy(foreign.data() + 56, &checksum, 8);
+  WriteAll(not_ours, foreign);
+  EXPECT_EQ(MappedCatalog::Open(not_ours).status().code(),
+            Status::Code::kInvalidArgument);
+
+  EXPECT_EQ(MappedCatalog::Open(TempPath("nonexistent.cat")).status().code(),
+            Status::Code::kNotFound);
+}
+
+// ---------------------------------------------------------- corruption fuzz
+
+// Reference decode of every run, for the "no silent wrong read" oracle.
+std::vector<std::vector<int64_t>> DecodeAll(const MappedCatalog& catalog,
+                                            Status* status) {
+  std::vector<std::vector<int64_t>> runs;
+  std::vector<int64_t> items;
+  for (int64_t u = 0; u < catalog.user_count(); ++u) {
+    *status = catalog.DecodeRun(u, &items);
+    if (!status->ok()) return runs;
+    runs.push_back(items);
+  }
+  *status = Status::Ok();
+  return runs;
+}
+
+// Every single-bit flip anywhere in the file must either fail Open() /
+// DecodeRun() with a typed error, or leave all decoded content exactly
+// intact (flips in alignment padding land there). A crash or a silently
+// different read is a suite failure.
+TEST_F(DatalaneTest, EveryBitFlipIsDetectedOrHarmless) {
+  const std::string path = TempPath("fuzz_base.cat");
+  ASSERT_TRUE(WriteCatalogFile(TinyDataset(), path).ok());
+  const std::string pristine = ReadAll(path);
+  auto reference_or = MappedCatalog::Open(path);
+  ASSERT_TRUE(reference_or.ok());
+  Status status;
+  const auto reference_runs = DecodeAll(reference_or.value(), &status);
+  ASSERT_TRUE(status.ok());
+  const Catalog reference_catalog = reference_or.value().Materialize();
+
+  const std::string mutant_path = TempPath("fuzz_mutant.cat");
+  int detected = 0, harmless = 0;
+  for (size_t byte = 0; byte < pristine.size(); ++byte) {
+    for (int bit = 0; bit < 8; bit += 3) {  // 3 of 8 bits: fast, dense.
+      std::string mutant = pristine;
+      mutant[byte] = static_cast<char>(mutant[byte] ^ (1 << bit));
+      WriteAll(mutant_path, mutant);
+      auto opened = MappedCatalog::Open(mutant_path);
+      if (!opened.ok()) {
+        EXPECT_TRUE(opened.status().code() == Status::Code::kDataLoss ||
+                    opened.status().code() == Status::Code::kInvalidArgument)
+            << "byte " << byte << " bit " << bit << ": "
+            << opened.status().ToString();
+        ++detected;
+        continue;
+      }
+      const auto runs = DecodeAll(opened.value(), &status);
+      if (!status.ok()) {
+        EXPECT_EQ(status.code(), Status::Code::kDataLoss)
+            << "byte " << byte << " bit " << bit;
+        ++detected;
+        continue;
+      }
+      // Opened and decoded: content must be byte-for-byte the original.
+      EXPECT_EQ(runs, reference_runs)
+          << "SILENT WRONG READ at byte " << byte << " bit " << bit;
+      const Catalog materialized = opened.value().Materialize();
+      EXPECT_EQ(materialized.sequel, reference_catalog.sequel)
+          << "byte " << byte << " bit " << bit;
+      for (int64_t i = 0; i < materialized.size(); ++i) {
+        EXPECT_EQ(materialized.items[i].title,
+                  reference_catalog.items[i].title)
+            << "byte " << byte << " bit " << bit;
+      }
+      ++harmless;
+    }
+  }
+  // Sanity on the oracle itself: most of the file is load-bearing.
+  EXPECT_GT(detected, harmless);
+}
+
+// Every possible truncation must be rejected with a typed error — the
+// directory lives at the end of the file precisely so no prefix can
+// masquerade as a complete catalog.
+TEST_F(DatalaneTest, EveryTruncationIsDataLoss) {
+  const std::string path = TempPath("trunc_base.cat");
+  ASSERT_TRUE(WriteCatalogFile(TinyDataset(), path).ok());
+  const std::string pristine = ReadAll(path);
+  const std::string truncated_path = TempPath("trunc_mutant.cat");
+  for (size_t length = 0; length < pristine.size(); ++length) {
+    WriteAll(truncated_path, pristine.substr(0, length));
+    const Status status = MappedCatalog::Open(truncated_path).status();
+    ASSERT_FALSE(status.ok()) << "truncation to " << length << " accepted";
+    EXPECT_TRUE(status.code() == Status::Code::kDataLoss ||
+                status.code() == Status::Code::kInvalidArgument)
+        << "truncation to " << length << ": " << status.ToString();
+  }
+  // Trailing garbage after a complete file: the directory offset no longer
+  // lines up with the file tail, so this too must be detected.
+  WriteAll(truncated_path, pristine + std::string(16, '\x7f'));
+  EXPECT_EQ(MappedCatalog::Open(truncated_path).status().code(),
+            Status::Code::kDataLoss);
+}
+
+// ------------------------------------------------------------- failpoints
+
+TEST_F(DatalaneTest, MmapOpenFailpointIsUnavailable) {
+  const std::string path = TempPath("fp_open.cat");
+  ASSERT_TRUE(WriteCatalogFile(TinyDataset(), path).ok());
+  util::Failpoints::Instance().Arm("data.mmap.open",
+                                   util::Failpoints::Mode::kFail, 1);
+  EXPECT_EQ(MappedCatalog::Open(path).status().code(),
+            Status::Code::kUnavailable);
+  EXPECT_TRUE(MappedCatalog::Open(path).ok());  // Disarmed after one firing.
+}
+
+TEST_F(DatalaneTest, CatalogWriteFailpointsLeaveNoFileBehind) {
+  const Dataset dataset = TinyDataset();
+  for (const char* point :
+       {"data.catalog.write.open", "data.catalog.write"}) {
+    const std::string path = TempPath(std::string("fp_write_") + point);
+    util::Failpoints::Instance().Arm(point, util::Failpoints::Mode::kFail, 1);
+    const Status status = WriteCatalogFile(dataset, path);
+    EXPECT_EQ(status.code(), Status::Code::kUnavailable) << point;
+    EXPECT_FALSE(Exists(path)) << point;
+    EXPECT_FALSE(Exists(path + ".tmp")) << point;
+    EXPECT_FALSE(Exists(path + ".spill")) << point;
+    util::Failpoints::Instance().Reset();
+  }
+}
+
+TEST_F(DatalaneTest, CommitRenameFailpointLeavesDurableTempOnly) {
+  const std::string path = TempPath("fp_rename.cat");
+  util::Failpoints::Instance().Arm("data.catalog.write.rename",
+                                   util::Failpoints::Mode::kFail, 1);
+  const Status status = WriteCatalogFile(TinyDataset(), path);
+  EXPECT_EQ(status.code(), Status::Code::kUnavailable);
+  EXPECT_FALSE(Exists(path));  // Never a half-visible catalog.
+  EXPECT_TRUE(Exists(path + ".tmp"));  // Crash-equivalent: durable temp.
+  std::remove((path + ".tmp").c_str());
+}
+
+TEST_F(DatalaneTest, StreamReadFailpointIsSticky) {
+  const std::string path = TempPath("fp_stream.cat");
+  ASSERT_TRUE(WriteCatalogFile(TinyDataset(), path).ok());
+  auto mapped = MappedCatalog::Open(path);
+  ASSERT_TRUE(mapped.ok());
+  EventStream stream(mapped.value());
+  UserRun run;
+  ASSERT_TRUE(stream.Next(&run));  // First run reads clean.
+  util::Failpoints::Instance().Arm("data.stream.read",
+                                   util::Failpoints::Mode::kFail, 1);
+  EXPECT_FALSE(stream.Next(&run));
+  EXPECT_EQ(stream.status().code(), Status::Code::kUnavailable);
+  EXPECT_FALSE(stream.Next(&run));  // Sticky even after the point disarms.
+  stream.Reset();
+  int64_t runs = 0;
+  while (stream.Next(&run)) ++runs;
+  EXPECT_TRUE(stream.status().ok());
+  EXPECT_EQ(runs, 4);
+}
+
+TEST_F(DatalaneTest, StreamCorruptFailpointIsDataLossOnBothBackends) {
+  const Dataset dataset = TinyDataset();
+  const std::string path = TempPath("fp_corrupt.cat");
+  ASSERT_TRUE(WriteCatalogFile(dataset, path).ok());
+  auto mapped = MappedCatalog::Open(path);
+  ASSERT_TRUE(mapped.ok());
+  // Same typed error whether the stream serves mmap pages or RAM.
+  {
+    util::Failpoints::Instance().Arm("data.stream.read.corrupt",
+                                     util::Failpoints::Mode::kCorrupt, 1);
+    EventStream stream(mapped.value());
+    UserRun run;
+    EXPECT_FALSE(stream.Next(&run));
+    EXPECT_EQ(stream.status().code(), Status::Code::kDataLoss);
+  }
+  {
+    util::Failpoints::Instance().Arm("data.stream.read.corrupt",
+                                     util::Failpoints::Mode::kCorrupt, 1);
+    EventStream stream(dataset);
+    UserRun run;
+    EXPECT_FALSE(stream.Next(&run));
+    EXPECT_EQ(stream.status().code(), Status::Code::kDataLoss);
+  }
+}
+
+TEST_F(DatalaneTest, SampleSplitsPropagatesStreamErrors) {
+  const std::string path = TempPath("fp_sample.cat");
+  ASSERT_TRUE(WriteCatalogFile(SmallGenerated(), path).ok());
+  auto mapped = MappedCatalog::Open(path);
+  ASSERT_TRUE(mapped.ok());
+  util::Failpoints::Instance().Arm("data.stream.read",
+                                   util::Failpoints::Mode::kFail, 1);
+  EventStream stream(mapped.value());
+  EXPECT_EQ(SampleSplitsFromStream(stream, StreamSampleOptions{})
+                .status()
+                .code(),
+            Status::Code::kUnavailable);
+}
+
+// ------------------------------------------------------------ determinism
+
+TEST_F(DatalaneTest, StreamsAreIdenticalAcrossBackends) {
+  const Dataset dataset = SmallGenerated();
+  const std::string path = TempPath("det_stream.cat");
+  ASSERT_TRUE(WriteCatalogFile(dataset, path).ok());
+  auto mapped = MappedCatalog::Open(path);
+  ASSERT_TRUE(mapped.ok());
+  EventStream from_disk(mapped.value());
+  EventStream from_ram(dataset);
+  UserRun a, b;
+  int64_t runs = 0;
+  while (true) {
+    const bool have_a = from_disk.Next(&a);
+    const bool have_b = from_ram.Next(&b);
+    ASSERT_EQ(have_a, have_b);
+    if (!have_a) break;
+    EXPECT_EQ(a.user, b.user);
+    EXPECT_EQ(a.user_index, b.user_index);
+    EXPECT_EQ(a.items, b.items);
+    ++runs;
+  }
+  EXPECT_TRUE(from_disk.status().ok());
+  EXPECT_TRUE(from_ram.status().ok());
+  EXPECT_EQ(runs, static_cast<int64_t>(dataset.sequences.size()));
+}
+
+TEST_F(DatalaneTest, ShardedStreamsComposeToTheFullStream) {
+  const Dataset dataset = SmallGenerated();
+  const std::string path = TempPath("det_shard.cat");
+  ASSERT_TRUE(WriteCatalogFile(dataset, path).ok());
+  auto mapped = MappedCatalog::Open(path);
+  ASSERT_TRUE(mapped.ok());
+  const int64_t users = mapped.value().user_count();
+  std::vector<UserRun> sharded;
+  for (int64_t shard = 0; shard < 7; ++shard) {
+    EventStream stream(mapped.value(), users * shard / 7,
+                       users * (shard + 1) / 7);
+    UserRun run;
+    while (stream.Next(&run)) sharded.push_back(run);
+    ASSERT_TRUE(stream.status().ok());
+  }
+  EventStream full(mapped.value());
+  UserRun run;
+  size_t i = 0;
+  while (full.Next(&run)) {
+    ASSERT_LT(i, sharded.size());
+    EXPECT_EQ(run.user, sharded[i].user);
+    EXPECT_EQ(run.items, sharded[i].items);
+    ++i;
+  }
+  EXPECT_EQ(i, sharded.size());
+}
+
+TEST_F(DatalaneTest, ScanChecksumIsThreadCountInvariant) {
+  const std::string path = TempPath("det_scan.cat");
+  ASSERT_TRUE(WriteCatalogFile(SmallGenerated(), path).ok());
+  auto mapped = MappedCatalog::Open(path);
+  ASSERT_TRUE(mapped.ok());
+  auto reference = ScanEvents(mapped.value(), 1);
+  ASSERT_TRUE(reference.ok()) << reference.status().ToString();
+  EXPECT_EQ(reference.value().users, mapped.value().user_count());
+  EXPECT_EQ(reference.value().events, mapped.value().event_count());
+  for (int threads : {2, 4, 7}) {
+    auto scan = ScanEvents(mapped.value(), threads);
+    ASSERT_TRUE(scan.ok());
+    EXPECT_EQ(scan.value().checksum, reference.value().checksum)
+        << "threads=" << threads;
+    EXPECT_EQ(scan.value().events, reference.value().events);
+  }
+}
+
+TEST_F(DatalaneTest, UncappedStreamSamplingEqualsMakeSplits) {
+  const Dataset dataset = SmallGenerated();
+  const std::string path = TempPath("det_splits.cat");
+  ASSERT_TRUE(WriteCatalogFile(dataset, path).ok());
+  auto mapped = MappedCatalog::Open(path);
+  ASSERT_TRUE(mapped.ok());
+  StreamSampleOptions options;  // Uncapped: exact MakeSplits routing.
+  EventStream stream(mapped.value());
+  auto sampled = SampleSplitsFromStream(stream, options);
+  ASSERT_TRUE(sampled.ok());
+  const Splits reference = MakeSplits(dataset, options.history_length);
+  auto same = [](const std::vector<Example>& a,
+                 const std::vector<Example>& b) {
+    if (a.size() != b.size()) return false;
+    for (size_t i = 0; i < a.size(); ++i) {
+      if (a[i].user != b[i].user || a[i].target != b[i].target ||
+          a[i].history != b[i].history) {
+        return false;
+      }
+    }
+    return true;
+  };
+  EXPECT_TRUE(same(sampled.value().train, reference.train));
+  EXPECT_TRUE(same(sampled.value().validation, reference.validation));
+  EXPECT_TRUE(same(sampled.value().test, reference.test));
+}
+
+TEST_F(DatalaneTest, CappedSamplingIsBackendInvariantAndBounded) {
+  const Dataset dataset = SmallGenerated();
+  const std::string path = TempPath("det_capped.cat");
+  ASSERT_TRUE(WriteCatalogFile(dataset, path).ok());
+  auto mapped = MappedCatalog::Open(path);
+  ASSERT_TRUE(mapped.ok());
+  StreamSampleOptions options;
+  options.max_train = 50;
+  options.max_validation = 10;
+  options.max_test = 10;
+  EventStream from_disk(mapped.value());
+  EventStream from_ram(dataset);
+  auto a = SampleSplitsFromStream(from_disk, options);
+  auto b = SampleSplitsFromStream(from_ram, options);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_LE(static_cast<int64_t>(a.value().train.size()), options.max_train);
+  ASSERT_EQ(a.value().train.size(), b.value().train.size());
+  for (size_t i = 0; i < a.value().train.size(); ++i) {
+    EXPECT_EQ(a.value().train[i].user, b.value().train[i].user);
+    EXPECT_EQ(a.value().train[i].target, b.value().train[i].target);
+    EXPECT_EQ(a.value().train[i].history, b.value().train[i].history);
+  }
+  // Reservoir output preserves stream (arrival) order.
+  for (size_t i = 1; i < a.value().train.size(); ++i) {
+    EXPECT_LE(a.value().train[i - 1].user, a.value().train[i].user);
+  }
+}
+
+}  // namespace
+}  // namespace delrec::data

@@ -13,7 +13,9 @@
 
 #include "core/delrec.h"
 #include "core/workbench.h"
+#include "data/columnar.h"
 #include "data/dataset.h"
+#include "data/event_stream.h"
 #include "data/split.h"
 #include "eval/protocol.h"
 #include "nn/gemm.h"
@@ -316,6 +318,104 @@ TEST_F(ParallelDeterminismTest, TrainResumableBitIdenticalAcrossThreads) {
     EXPECT_EQ(result.checkpoint_bytes, reference.checkpoint_bytes)
         << "threads=" << threads;
   }
+}
+
+// The out-of-core data plane (DESIGN.md §14) extends the §9 contract across
+// STORAGE modes: examples sampled from an mmap-backed catalog stream, and a
+// model reading titles through the mapped CatalogView, must drive training
+// and eval to byte-identical results versus the all-in-RAM path — at every
+// thread count. This is the gate that lets million-user catalogs train
+// without materializing, with zero reproducibility cost.
+TEST_F(ParallelDeterminismTest,
+       StreamingSplitsTrainAndEvalBitIdenticalToInRam) {
+  const std::string catalog_path =
+      ::testing::TempDir() + "/par_det_stream.cat";
+  std::remove(catalog_path.c_str());
+  ASSERT_TRUE(
+      data::WriteCatalogFile(workbench_->dataset(), catalog_path).ok());
+  auto mapped = data::MappedCatalog::Open(catalog_path);
+  ASSERT_TRUE(mapped.ok()) << mapped.status().ToString();
+
+  // Uncapped stream sampling routes exactly like MakeSplits, so the streamed
+  // splits must literally equal the workbench's in-RAM ones.
+  data::StreamSampleOptions options;
+  data::EventStream stream(mapped.value());
+  auto streamed = data::SampleSplitsFromStream(stream, options);
+  ASSERT_TRUE(streamed.ok()) << streamed.status().ToString();
+  ASSERT_EQ(streamed.value().train.size(),
+            workbench_->splits().train.size());
+  ASSERT_EQ(streamed.value().test.size(), workbench_->splits().test.size());
+  for (size_t i = 0; i < streamed.value().train.size(); ++i) {
+    ASSERT_EQ(streamed.value().train[i].history,
+              workbench_->splits().train[i].history);
+    ASSERT_EQ(streamed.value().train[i].target,
+              workbench_->splits().train[i].target);
+  }
+
+  // Eval: the streamed test split reproduces in-RAM HR/NDCG samples bitwise
+  // at every thread count.
+  auto scorer = [&](const data::Example& example,
+                    const std::vector<int64_t>& candidates) {
+    return sr_model_->ScoreCandidates(example.history, candidates);
+  };
+  eval::EvalConfig eval_config;
+  eval_config.max_examples = 30;
+  const auto in_ram_eval = eval::EvaluateCandidates(
+      workbench_->splits().test, workbench_->num_items(), scorer,
+      eval_config);
+  for (int threads : kThreadCounts) {
+    util::ScopedParallelism parallel(threads, /*min_work_per_dispatch=*/1);
+    eval::EvalConfig config = eval_config;
+    config.num_threads = threads;
+    const auto streamed_eval = eval::EvaluateCandidates(
+        streamed.value().test, workbench_->num_items(), scorer, config);
+    EXPECT_EQ(streamed_eval.hit_at_1_samples(),
+              in_ram_eval.hit_at_1_samples())
+        << "threads=" << threads;
+    EXPECT_EQ(streamed_eval.ndcg_at_10_samples(),
+              in_ram_eval.ndcg_at_10_samples())
+        << "threads=" << threads;
+  }
+
+  // Training: a resumable run whose catalog is the MAPPED view and whose
+  // examples came from the stream produces the same TrainState checkpoint
+  // bytes as the in-RAM reference, whatever the thread count.
+  auto read_file = [](const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    return buffer.str();
+  };
+  core::DelRecConfig config;
+  config.stage1_epochs = 1;
+  config.stage2_epochs = 1;
+  config.stage1_max_examples = 20;
+  config.stage2_max_examples = 20;
+  config.soft_prompt_count = 4;
+  auto run = [&](int threads, const data::CatalogView* catalog,
+                 const std::vector<data::Example>& train) {
+    util::ScopedParallelism parallel(threads);
+    const std::string path = ::testing::TempDir() + "/par_det_stream_" +
+                             std::to_string(threads) + ".ckpt";
+    std::remove(path.c_str());
+    auto llm = workbench_->MakePretrainedLlm(core::LlmSize::kBase);
+    core::DelRec model(catalog, &workbench_->vocab(), llm.get(), sr_model_,
+                       config);
+    const util::Status trained = model.TrainResumable(train, path);
+    DELREC_CHECK(trained.ok()) << trained.ToString();
+    std::string checkpoint = read_file(path);
+    std::remove(path.c_str());
+    return checkpoint;
+  };
+  const std::string reference = run(1, &workbench_->dataset().catalog,
+                                    workbench_->splits().train);
+  ASSERT_FALSE(reference.empty());
+  for (int threads : kThreadCounts) {
+    EXPECT_EQ(run(threads, &mapped.value(), streamed.value().train),
+              reference)
+        << "streaming checkpoint diverged at threads=" << threads;
+  }
+  std::remove(catalog_path.c_str());
 }
 
 }  // namespace
