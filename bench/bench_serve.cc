@@ -25,6 +25,10 @@
 //     QuantizeForInference. This is the committed shape for the int8
 //     tentpole's ≥2× serve-throughput floor, gated where the vpdpbusd tile
 //     dispatches (nn/gemm_int8.h).
+//  5. Prefix-KV-cached vs uncached snapshots across a prompt-shape sweep
+//     (three prefix:suffix ratios). Scores are asserted bit-identical;
+//     the long-prefix shape carries this PR's ≥1.5× cached-vs-uncached
+//     throughput floor and records engine prefix_tokens_skipped.
 // Wall-clock metrics are unstable (no baseline gating); the JSON record
 // exists for tracking, the floor asserts are the hard gates. Footprint
 // metrics are deterministic and baseline-gated.
@@ -203,11 +207,21 @@ void BenchInt8VsFp32(bench::BenchRecorder& recorder,
 
   // Acceptance floors: the quantized snapshot must shrink serve-path weight
   // bytes by ≥3× (the table and dense matrices go 4×; fp32 LN/bias/position
-  // state dilutes it). Throughput on this attention-dominated shape must
-  // not regress where the vpdpbusd tile dispatches (measured ~2× there —
-  // the 1.3 floor leaves headroom for a noisy shared host); the weaker
-  // tiles only have to keep the comparison recorded.
-  DELREC_CHECK_GE(fp32_bytes / int8_bytes, 3.0)
+  // state dilutes it). The ratio is taken with the prefix KV cache excluded:
+  // the cache is deliberately fp32 on both snapshots (identical absolute
+  // bytes each side), so including it would let a larger soft-prompt config
+  // dilute a gate that measures quantization packing. The full-footprint
+  // shrink is still recorded (stable) above. Throughput on this
+  // attention-dominated shape must not regress where the vpdpbusd tile
+  // dispatches (measured ~2× there — the 1.3 floor leaves headroom for a
+  // noisy shared host); the weaker tiles only have to keep the comparison
+  // recorded.
+  const serve::SnapshotFootprint fp32_parts = fp32_snapshot.MemoryFootprint();
+  const serve::SnapshotFootprint int8_parts = int8_snapshot.MemoryFootprint();
+  const double cache_free_shrink =
+      static_cast<double>(fp32_parts.total() - fp32_parts.prefix_cache_bytes) /
+      static_cast<double>(int8_parts.total() - int8_parts.prefix_cache_bytes);
+  DELREC_CHECK_GE(cache_free_shrink, 3.0)
       << "int8 snapshot footprint shrink below floor";
   if (nn::Int8KernelIsa() == "avxvnni") {
     DELREC_CHECK_GE(speedup, 1.3)
@@ -322,6 +336,135 @@ void BenchServeScaleInt8(bench::BenchRecorder& recorder) {
       << "serve-scale weight shrink below floor";
 }
 
+/// Section 5: the prefix KV cache (DESIGN.md §15) across three prompt
+/// shapes — prefix:suffix ratios from suffix-heavy to prefix-heavy, steered
+/// by soft_prompt_count (prefix length) and history_length (suffix length).
+/// Each shape freezes two snapshots of the same untrained model (wall-clock
+/// is weight-independent, like section 4) differing only in
+/// enable_prefix_cache, asserts their scores are bit-identical on the full
+/// request set, and times batched serving both ways. Counts (prefix length,
+/// engine tokens skipped) are deterministic and baseline-gated; timings are
+/// advisory except the long-prefix shape, which carries this PR's ≥1.5×
+/// cached-vs-uncached acceptance floor — that is the shape the cache exists
+/// for (a shared instruction+pattern-knowledge head dominating the prompt).
+void BenchPrefixCache(bench::BenchRecorder& recorder,
+                      bench::DatasetHarness& harness,
+                      const serve::EngineSnapshot::Sources& sources,
+                      const std::vector<serve::ScoreRequest>& requests) {
+  struct PrefixShape {
+    const char* name;
+    int64_t soft_prompts;  // Prefix driver: pattern-knowledge rows.
+    int64_t history;       // Suffix driver: items rendered per request.
+    bool gated;            // Carries the ≥1.5× acceptance floor.
+  };
+  const PrefixShape shapes[] = {
+      {"short", 4, 8, false},    // Suffix-heavy: cache saves little.
+      {"balanced", 16, 4, false},
+      {"long", 48, 1, true},     // Prefix-heavy: the cache's home turf.
+  };
+  auto llm = harness.workbench().MakePretrainedLlm(core::LlmSize::kBase);
+  constexpr int kPasses = 5;
+
+  for (const PrefixShape& shape : shapes) {
+    core::DelRecConfig config = harness.DelRecDefaults();
+    config.soft_prompt_count = shape.soft_prompts;
+    config.history_length = shape.history;
+    config.sr_hints_in_stage2 = false;
+    core::DelRec model(&harness.workbench().dataset().catalog,
+                       &harness.workbench().vocab(), llm.get(),
+                       harness.Backbone(srmodels::Backbone::kSasRec), config);
+    auto cached =
+        serve::EngineSnapshot::FromModel(model, *llm, sources);
+    DELREC_CHECK(cached.ok()) << cached.status().ToString();
+    serve::EngineSnapshot::BuildOptions off;
+    off.enable_prefix_cache = false;
+    auto uncached =
+        serve::EngineSnapshot::FromModel(model, *llm, sources, off);
+    DELREC_CHECK(uncached.ok()) << uncached.status().ToString();
+    const int64_t prefix_tokens = cached.value()->CachedPrefixLength();
+    DELREC_CHECK_GT(prefix_tokens, 0);
+    DELREC_CHECK_EQ(uncached.value()->CachedPrefixLength(), 0);
+
+    // The cache must be invisible in the output: bit-identical scores on
+    // the full request set before any timing is trusted.
+    DELREC_CHECK(cached.value()->ScoreBatch(requests) ==
+                 uncached.value()->ScoreBatch(requests))
+        << "cached scores diverged from uncached at shape " << shape.name;
+
+    auto timed_batched = [&](const serve::EngineSnapshot& snapshot) {
+      util::WallTimer timer;
+      for (size_t begin = 0; begin < requests.size();
+           begin += static_cast<size_t>(kBatchSize)) {
+        const size_t end = std::min(begin + static_cast<size_t>(kBatchSize),
+                                    requests.size());
+        snapshot.ScoreBatch(std::vector<serve::ScoreRequest>(
+            requests.begin() + begin, requests.begin() + end));
+      }
+      return timer.ElapsedSeconds();
+    };
+    timed_batched(*cached.value());  // Warm-up.
+    timed_batched(*uncached.value());
+    double cached_s = std::numeric_limits<double>::infinity();
+    double uncached_s = std::numeric_limits<double>::infinity();
+    for (int pass = 0; pass < kPasses; ++pass) {
+      uncached_s = std::min(uncached_s, timed_batched(*uncached.value()));
+      cached_s = std::min(cached_s, timed_batched(*cached.value()));
+    }
+
+    const double n = static_cast<double>(requests.size());
+    const double speedup = uncached_s / cached_s;
+    const std::string prefix = std::string("serve_prefix_") + shape.name;
+    recorder.Record(prefix + "_prefix_tokens",
+                    static_cast<double>(prefix_tokens), "tokens",
+                    bench::MetricKind::kCount, /*stable=*/true);
+    recorder.Record(prefix + "_uncached_rps", n / uncached_s, "requests/s",
+                    bench::MetricKind::kThroughput);
+    recorder.Record(prefix + "_cached_rps", n / cached_s, "requests/s",
+                    bench::MetricKind::kThroughput);
+    recorder.Record(prefix + "_cached_speedup", speedup, "x",
+                    bench::MetricKind::kRatio);
+    std::printf("[serve] prefix-cache(%s, prefix=%lld): cached %.1f req/s "
+                "vs uncached %.1f req/s (%.2fx)\n",
+                shape.name, static_cast<long long>(prefix_tokens),
+                n / cached_s, n / uncached_s, speedup);
+
+    if (!shape.gated) continue;
+
+    // End-to-end stat wiring at the gated shape: an engine pass over the
+    // cached snapshot must account prefix_tokens_skipped = scored × prefix
+    // length — deterministic, so it gates against the committed baseline.
+    serve::EngineOptions engine_options;
+    engine_options.max_batch_size = kBatchSize;
+    engine_options.batch_deadline_ms = 0.0;
+    serve::RecommendationEngine engine(cached.value().get(), engine_options);
+    for (const serve::ScoreRequest& request : requests) {
+      engine.ScoreCandidates(request.history, request.candidates);
+    }
+    engine.Shutdown();
+    const serve::RecommendationEngine::Stats stats = engine.GetStats();
+    DELREC_CHECK_EQ(stats.prefix_tokens_skipped,
+                    stats.scored * static_cast<uint64_t>(prefix_tokens));
+    recorder.Record("serve_prefix_tokens_skipped",
+                    static_cast<double>(stats.prefix_tokens_skipped),
+                    "tokens", bench::MetricKind::kCount, /*stable=*/true);
+    recorder.Record("serve_cached_speedup_vs_uncached", speedup, "x",
+                    bench::MetricKind::kRatio);
+
+    // The PR's acceptance floor: at the long-prefix serve shape the cached
+    // path must win ≥1.5× (measured well above that on the reference host —
+    // the uncached side re-encodes a 48-row soft block plus the instruction
+    // run per request, the cached side only each request's short tail). The
+    // scalar GEMM fallback reorganizes the same arithmetic without wider
+    // registers, so there it only has to not regress.
+    const bool scalar_isa =
+        nn::GemmKernelConfig().find("isa=scalar") != std::string::npos;
+    const double floor = scalar_isa ? 1.0 : 1.5;
+    DELREC_CHECK_GE(speedup, floor)
+        << "cached-vs-uncached serve speedup below floor (" << speedup
+        << " < " << floor << ") with kernel " << nn::GemmKernelConfig();
+  }
+}
+
 /// Section 2: concurrent clients against the micro-batching engine.
 void BenchEngineThroughput(bench::BenchRecorder& recorder,
                            const serve::EngineSnapshot& snapshot,
@@ -397,18 +540,25 @@ void ValidateEmittedJson(const std::string& path) {
   DELREC_CHECK(doc.Find("bench")->str() == "serve");
   const util::Json* metrics = doc.Find("metrics");
   bool has_rps = false, has_speedup = false, has_int8 = false,
-       has_scale = false;
+       has_scale = false, has_cached = false, has_skipped = false,
+       has_sweep = false;
   for (size_t i = 0; i < metrics->size(); ++i) {
     const std::string& name = metrics->at(i).Find("name")->str();
     has_rps = has_rps || name == "serve_engine_rps";
     has_speedup = has_speedup || name == "serve_batch_speedup_vs_single";
     has_int8 = has_int8 || name == "serve_int8_speedup_vs_fp32";
     has_scale = has_scale || name == "serve_scale_int8_speedup";
+    has_cached = has_cached || name == "serve_cached_speedup_vs_uncached";
+    has_skipped = has_skipped || name == "serve_prefix_tokens_skipped";
+    has_sweep = has_sweep || name == "serve_prefix_short_prefix_tokens";
   }
   DELREC_CHECK(has_rps) << "engine throughput missing from " << path;
   DELREC_CHECK(has_speedup) << "batched speedup missing from " << path;
   DELREC_CHECK(has_int8) << "int8 comparison missing from " << path;
   DELREC_CHECK(has_scale) << "serve-scale int8 section missing from " << path;
+  DELREC_CHECK(has_cached) << "prefix-cache comparison missing from " << path;
+  DELREC_CHECK(has_skipped) << "prefix_tokens_skipped missing from " << path;
+  DELREC_CHECK(has_sweep) << "prompt-shape sweep missing from " << path;
   std::printf("[serve] %s: schema valid (%zu metrics)\n", path.c_str(),
               metrics->size());
 }
@@ -462,6 +612,7 @@ int main() {
   BenchInt8VsFp32(recorder, *snapshot.value(), *int8_snapshot.value(),
                   requests);
   BenchServeScaleInt8(recorder);
+  BenchPrefixCache(recorder, harness, sources, requests);
   BenchEngineThroughput(recorder, *snapshot.value(), requests);
 
   const int rc = bench::FinishBench();

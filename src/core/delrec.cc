@@ -127,6 +127,13 @@ llm::Prompt BuildScoringPrompt(const DelRecConfig& config,
       ActiveHintTokens(config, builder, sr_model, window), nn::Tensor());
 }
 
+std::vector<llm::PromptPiece> BuildScoringPrefix(
+    const DelRecConfig& config, const llm::PromptBuilder& builder,
+    const nn::Tensor& soft_prompts) {
+  return builder.RecommendationPrefix(
+      ActiveSoftPrompts(config, soft_prompts));
+}
+
 }  // namespace inference
 
 std::vector<int64_t> DelRec::PromptCandidates(
@@ -236,8 +243,8 @@ util::Status DelRec::DistillPatternImpl(
           const int64_t label = history[history.size() - 2];
           llm::Prompt prompt = prompt_builder_.BuildTemporalAnalysis(
               history, config_.icl_alpha, {}, soft_prompts_);
-          nn::Tensor hidden =
-              llm_->Encode(prompt.pieces, config_.dropout, rng);
+          nn::Tensor hidden = llm_->Encode(prompt.pieces, config_.dropout,
+                                           rng, prompt.prefix_length);
           nn::Tensor logits = verbalizer_.AllItemLogits(
               llm_->LogitsAt(hidden, prompt.mask_position));
           ta_losses.push_back(nn::CrossEntropyWithLogits(logits, {label}));
@@ -250,8 +257,8 @@ util::Status DelRec::DistillPatternImpl(
           const int64_t label = top_h[0];
           llm::Prompt prompt = prompt_builder_.BuildPatternSimulating(
               history, top_h, {}, soft_prompts_, sr_name);
-          nn::Tensor hidden =
-              llm_->Encode(prompt.pieces, config_.dropout, rng);
+          nn::Tensor hidden = llm_->Encode(prompt.pieces, config_.dropout,
+                                           rng, prompt.prefix_length);
           nn::Tensor logits = verbalizer_.AllItemLogits(
               llm_->LogitsAt(hidden, prompt.mask_position));
           rps_losses.push_back(nn::CrossEntropyWithLogits(logits, {label}));
@@ -492,7 +499,8 @@ util::Status DelRec::FineTuneImpl(
         llm::Prompt prompt = prompt_builder_.BuildRecommendation(
             history, {}, ActiveSoftPrompts(), ActiveHintTokens(history),
             nn::Tensor());
-        nn::Tensor hidden = llm_->Encode(prompt.pieces, config_.dropout, rng);
+        nn::Tensor hidden = llm_->Encode(prompt.pieces, config_.dropout, rng,
+                                         prompt.prefix_length);
         // Full-catalog softmax supervision through the verbalizer — the
         // same full-ranking signal conventional SR models train with.
         nn::Tensor logits = verbalizer_.AllItemLogits(
@@ -645,7 +653,8 @@ std::vector<float> DelRec::ScoreCandidates(
   llm::Prompt prompt = inference::BuildScoringPrompt(
       config_, prompt_builder_, *sr_model_, soft_prompts_, example.history,
       candidates);
-  nn::Tensor hidden = llm_->Encode(prompt.pieces, 0.0f, scratch_rng_);
+  nn::Tensor hidden =
+      llm_->Encode(prompt.pieces, 0.0f, scratch_rng_, prompt.prefix_length);
   nn::Tensor token_logits = llm_->LogitsAt(hidden, prompt.mask_position);
   return verbalizer_.Scores(token_logits.data(), candidates);
 }

@@ -151,6 +151,14 @@ llm::Prompt BuildScoringPrompt(const DelRecConfig& config,
                                const std::vector<int64_t>& history,
                                const std::vector<int64_t>& candidates);
 
+/// The snapshot-constant head of every scoring prompt the config produces
+/// — identical to llm::PromptBuilder::Split(BuildScoringPrompt(...)).prefix
+/// for any request. A serve snapshot feeds this to TinyLm::BuildPrefixState
+/// once per publish (DESIGN.md §15).
+std::vector<llm::PromptPiece> BuildScoringPrefix(
+    const DelRecConfig& config, const llm::PromptBuilder& builder,
+    const nn::Tensor& soft_prompts);
+
 }  // namespace inference
 
 /// The DELRec framework: distills a conventional SR model's behaviour into

@@ -42,12 +42,28 @@ class PromptAssembler {
     length_ += rows.dim(0);
   }
 
+  /// Declares everything assembled so far as the frozen snapshot-constant
+  /// head (Prompt::prefix_length). Must precede the mask.
+  void MarkPrefixEnd() {
+    DELREC_CHECK_EQ(prefix_end_, 0) << "prompt prefix already marked";
+    DELREC_CHECK_EQ(mask_position_, -1) << "prefix cannot contain the mask";
+    prefix_end_ = length_;
+  }
+
   Prompt Finish() {
     AddSep();
     FlushTokens();
     DELREC_CHECK_GE(mask_position_, 0) << "prompt has no mask";
     prompt_.mask_position = mask_position_;
+    prompt_.prefix_length = prefix_end_;
     return std::move(prompt_);
+  }
+
+  /// The pieces assembled so far, without the Finish() trailer — used to
+  /// build a bare prefix (no mask requirement).
+  std::vector<PromptPiece> TakePieces() {
+    FlushTokens();
+    return std::move(prompt_.pieces);
   }
 
  private:
@@ -64,7 +80,24 @@ class PromptAssembler {
   std::vector<int64_t> current_tokens_;
   int64_t length_ = 0;
   int64_t mask_position_ = -1;
+  int64_t prefix_end_ = 0;
 };
+
+// The shared head of the recommendation template: the pattern-knowledge
+// soft block (snapshot-constant — the distilled rows are frozen into the
+// snapshot) then the instruction run, with the prefix boundary after it.
+// Every per-request piece (history, hints, candidates, mask) comes later,
+// so one cached PrefixState serves all requests.
+void AddRecommendationHead(PromptAssembler& assembler,
+                           const nn::Tensor& soft_prompts) {
+  if (soft_prompts.defined()) {
+    assembler.AddText("refer to pattern knowledge");
+    assembler.AddEmbeddings(soft_prompts);
+    assembler.AddSep();
+  }
+  assembler.AddText("the user watched these items in order");
+  assembler.MarkPrefixEnd();
+}
 
 }  // namespace
 
@@ -94,14 +127,9 @@ Prompt PromptBuilder::BuildRecommendation(
     const nn::Tensor& injected_embeddings) const {
   DELREC_CHECK(!history.empty());
   PromptAssembler assembler(*vocab_);
-  assembler.AddText("the user watched these items in order");
+  AddRecommendationHead(assembler, soft_prompts);
   for (int64_t item : history) {
     assembler.AddTokens(TitleTokens(item));
-    assembler.AddSep();
-  }
-  if (soft_prompts.defined()) {
-    assembler.AddText("refer to pattern knowledge");
-    assembler.AddEmbeddings(soft_prompts);
     assembler.AddSep();
   }
   if (!hint_tokens.empty()) {
@@ -134,8 +162,15 @@ Prompt PromptBuilder::BuildTemporalAnalysis(
   // least one unmasked item between α and the masked position n-2.
   alpha = std::clamp<int64_t>(alpha, 1, n - 3);
   PromptAssembler assembler(*vocab_);
-  // ICL example cut from the earlier part of the same sequence (§IV-B).
+  // Pattern-knowledge head first (prefix-cacheable), then the ICL example
+  // cut from the earlier part of the same sequence (§IV-B).
+  if (soft_prompts.defined()) {
+    assembler.AddText("refer to pattern knowledge");
+    assembler.AddEmbeddings(soft_prompts);
+    assembler.AddSep();
+  }
   assembler.AddText("example given");
+  assembler.MarkPrefixEnd();
   for (int64_t i = 0; i < alpha; ++i) {
     assembler.AddTokens(TitleTokens(sequence[i]));
     assembler.AddSep();
@@ -155,11 +190,6 @@ Prompt PromptBuilder::BuildTemporalAnalysis(
   assembler.AddText("was");
   assembler.AddMask();
   assembler.AddSep();
-  if (soft_prompts.defined()) {
-    assembler.AddText("refer to pattern knowledge");
-    assembler.AddEmbeddings(soft_prompts);
-    assembler.AddSep();
-  }
   if (!candidates.empty()) {
     assembler.AddText("candidates are");
     for (int64_t item : candidates) {
@@ -177,7 +207,7 @@ Prompt PromptBuilder::BuildPatternSimulating(
   DELREC_CHECK(!history.empty());
   DELREC_CHECK(!top_h.empty());
   PromptAssembler assembler(*vocab_);
-  assembler.AddText("the user watched these items in order");
+  AddRecommendationHead(assembler, soft_prompts);
   for (int64_t item : history) {
     assembler.AddTokens(TitleTokens(item));
     assembler.AddSep();
@@ -187,11 +217,6 @@ Prompt PromptBuilder::BuildPatternSimulating(
   assembler.AddText("the " + sr_model_name + " model recommends top items");
   for (int64_t item : top_h) {
     assembler.AddTokens(TitleTokens(item));
-    assembler.AddSep();
-  }
-  if (soft_prompts.defined()) {
-    assembler.AddText("refer to pattern knowledge");
-    assembler.AddEmbeddings(soft_prompts);
     assembler.AddSep();
   }
   if (!candidates.empty()) {
@@ -204,6 +229,47 @@ Prompt PromptBuilder::BuildPatternSimulating(
   assembler.AddText("the " + sr_model_name + " model predicts next");
   assembler.AddMask();
   return assembler.Finish();
+}
+
+std::vector<PromptPiece> PromptBuilder::RecommendationPrefix(
+    const nn::Tensor& soft_prompts) const {
+  PromptAssembler assembler(*vocab_);
+  AddRecommendationHead(assembler, soft_prompts);
+  return assembler.TakePieces();
+}
+
+SplitPrompt PromptBuilder::Split(const Prompt& prompt) {
+  DELREC_CHECK_GE(prompt.prefix_length, 0);
+  if (prompt.prefix_length > 0) {
+    DELREC_CHECK_GE(prompt.mask_position, prompt.prefix_length)
+        << "mask inside the frozen prefix";
+  }
+  SplitPrompt split;
+  int64_t remaining = prompt.prefix_length;
+  for (const PromptPiece& piece : prompt.pieces) {
+    if (remaining <= 0) {
+      split.suffix.push_back(piece);
+      continue;
+    }
+    const int64_t len = piece.length();
+    if (len <= remaining) {
+      split.prefix.push_back(piece);
+      remaining -= len;
+      continue;
+    }
+    // Boundary inside the piece: assembled prompts merge consecutive hard
+    // tokens, so the constant instruction run and the first per-request
+    // token share one piece — cut the token vector at the boundary.
+    DELREC_CHECK(piece.kind == PromptPiece::Kind::kTokens)
+        << "prefix boundary inside an embeddings piece";
+    split.prefix.push_back(PromptPiece::Tokens(std::vector<int64_t>(
+        piece.tokens.begin(), piece.tokens.begin() + remaining)));
+    split.suffix.push_back(PromptPiece::Tokens(std::vector<int64_t>(
+        piece.tokens.begin() + remaining, piece.tokens.end())));
+    remaining = 0;
+  }
+  DELREC_CHECK_EQ(remaining, 0) << "prefix longer than the prompt";
+  return split;
 }
 
 std::vector<int64_t> PromptBuilder::ManualConstructionTokens(

@@ -17,8 +17,24 @@ namespace delrec::llm {
 struct Prompt {
   std::vector<PromptPiece> pieces;
   int64_t mask_position = -1;
+  /// Length of the declared frozen head (SequenceSpan::prefix semantics):
+  /// the first `prefix_length` positions — [CLS], the pattern-knowledge
+  /// soft block, the leading instruction run — are identical for every
+  /// request built from the same config + soft prompts, and attend only
+  /// among themselves, which is what lets a snapshot cache their K/V once
+  /// (DESIGN.md §15). 0 means no declared prefix (full bidirectional).
+  int64_t prefix_length = 0;
 
   int64_t length() const;
+};
+
+/// A prompt cut at its declared prefix boundary: `prefix` holds the
+/// snapshot-constant head pieces, `suffix` the per-request tail.
+/// Concatenating prefix ++ suffix reproduces the original pieces token for
+/// token (pinned byte-for-byte by prompt_golden_test).
+struct SplitPrompt {
+  std::vector<PromptPiece> prefix;
+  std::vector<PromptPiece> suffix;
 };
 
 /// Builds the three prompt templates of DELRec (paper Figs. 4–6). All items
@@ -34,9 +50,11 @@ class PromptBuilder {
   /// through the string_view interface and tokenized without copies.
   PromptBuilder(const data::CatalogView* catalog, const Vocab* vocab);
 
-  /// Stage-2 / recommendation prompt (Fig. 6):
-  ///   [CLS] the user watched: <history titles> [SEP]
-  ///   reference pattern knowledge: <SOFT> [SEP]          (if soft defined)
+  /// Stage-2 / recommendation prompt (Fig. 6). The snapshot-constant head
+  /// leads so it can be served from a prefix KV cache:
+  ///   [CLS] reference pattern knowledge: <SOFT> [SEP]    (if soft defined)
+  ///   the user watched these items in order              ← prefix ends here
+  ///   <history titles> [SEP]
   ///   <hint tokens> [SEP]                                (if any)
   ///   <injected embedding rows> [SEP]                    (if defined)
   ///   candidates are: <candidate titles> [SEP]
@@ -64,6 +82,20 @@ class PromptBuilder {
                                 const std::vector<int64_t>& candidates,
                                 const nn::Tensor& soft_prompts,
                                 const std::string& sr_model_name) const;
+
+  /// The snapshot-constant head of BuildRecommendation — [CLS], the
+  /// optional pattern-knowledge soft block and the leading instruction run
+  /// — exactly the pieces Split(BuildRecommendation(...)).prefix yields for
+  /// any history/candidates built with the same soft prompts. This is what
+  /// a serve snapshot feeds TinyLm::BuildPrefixState.
+  std::vector<PromptPiece> RecommendationPrefix(
+      const nn::Tensor& soft_prompts) const;
+
+  /// Cuts `prompt` at its declared prefix_length, splitting a token piece
+  /// when the boundary lands inside one (the boundary never lands inside an
+  /// embeddings piece for prompts this builder produces). With a declared
+  /// prefix the [MASK] must sit in the suffix — checked here.
+  static SplitPrompt Split(const Prompt& prompt);
 
   /// "w MCP" ablation: a natural-language description of the conventional
   /// SR model's recommendation process, used in place of soft prompts.

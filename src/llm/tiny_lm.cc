@@ -93,7 +93,10 @@ TinyLmBlock::TinyLmBlock(const TinyLmConfig& config, util::Rng& rng)
 }
 
 nn::Tensor TinyLmBlock::Forward(const nn::Tensor& x, util::Rng& rng,
-                                float dropout) const {
+                                float dropout, int64_t prefix) const {
+  const int64_t t = x.dim(0);
+  DELREC_CHECK_GE(prefix, 0);
+  DELREC_CHECK_LE(prefix, t);
   nn::Tensor normed = ln_attention_.Forward(x);
   nn::Tensor q = lora_wq_ ? lora_wq_->Forward(normed) : wq_.Forward(normed);
   nn::Tensor k = wk_.Forward(normed);
@@ -105,10 +108,32 @@ nn::Tensor TinyLmBlock::Forward(const nn::Tensor& x, util::Rng& rng,
     nn::Tensor qh = nn::SliceCols(q, h * head_dim_, head_dim_);
     nn::Tensor kh = nn::SliceCols(k, h * head_dim_, head_dim_);
     nn::Tensor vh = nn::SliceCols(v, h * head_dim_, head_dim_);
-    nn::Tensor attention = nn::Softmax(
-        nn::MulScalar(nn::MatMul(qh, kh, false, true), scale));
-    attention = nn::Dropout(attention, dropout, rng, training());
-    heads.push_back(nn::MatMul(attention, vh));
+    if (prefix == 0 || prefix == t) {
+      // Full bidirectional (the historical path, op-for-op) — a prompt that
+      // is all prefix attends within itself, which is the same computation.
+      nn::Tensor attention = nn::Softmax(
+          nn::MulScalar(nn::MatMul(qh, kh, false, true), scale));
+      attention = nn::Dropout(attention, dropout, rng, training());
+      heads.push_back(nn::MatMul(attention, vh));
+      continue;
+    }
+    // Frozen-head boundary: prefix rows attend among themselves (their
+    // hidden states never read the suffix — what makes serve-time K/V
+    // caching exact), suffix rows attend over the whole sequence with the
+    // prefix keys first, matching the cached path's summation order.
+    nn::Tensor qp = nn::SliceRows(qh, 0, prefix);
+    nn::Tensor kp = nn::SliceRows(kh, 0, prefix);
+    nn::Tensor vp = nn::SliceRows(vh, 0, prefix);
+    nn::Tensor attn_p = nn::Softmax(
+        nn::MulScalar(nn::MatMul(qp, kp, false, true), scale));
+    attn_p = nn::Dropout(attn_p, dropout, rng, training());
+    nn::Tensor head_p = nn::MatMul(attn_p, vp);
+    nn::Tensor qs = nn::SliceRows(qh, prefix, t - prefix);
+    nn::Tensor attn_s = nn::Softmax(
+        nn::MulScalar(nn::MatMul(qs, kh, false, true), scale));
+    attn_s = nn::Dropout(attn_s, dropout, rng, training());
+    nn::Tensor head_s = nn::MatMul(attn_s, vh);
+    heads.push_back(nn::ConcatRows({head_p, head_s}));
   }
   nn::Tensor attended = wo_.Forward(nn::ConcatCols(heads));
   nn::Tensor residual = nn::Add(x, attended);
@@ -234,8 +259,8 @@ const float* BiasPtr(const nn::Linear& linear) {
 void TinyLmBlock::AttendSpans(const float* q, const float* k,
                               const float* vproj,
                               const std::vector<SequenceSpan>& spans,
-                              float* attended,
-                              util::ScopedArena& arena) const {
+                              float* attended, util::ScopedArena& arena,
+                              const BlockPrefixKv* prefix_kv) const {
   const int64_t d = num_heads_ * head_dim_;
   // Attention is the one non-row-local stage: run it per sequence (the
   // batch's attention matrix is block-diagonal) with exactly the shapes and
@@ -246,11 +271,24 @@ void TinyLmBlock::AttendSpans(const float* q, const float* k,
   // scratch is carved out up front because the arena is not thread-safe,
   // and ParallelFor degrades to serial inside pool workers, so the GEMMs
   // below never nest a dispatch.
+  //
+  // Three shapes share this loop. Legacy (no boundary): one t×t pass.
+  // Boundary in-span (span.prefix > 0): a p×p pass for the frozen head and
+  // an s×t pass for the suffix — rows of the same GEMMs the legacy pass
+  // runs, so unchanged rows stay bit-identical. Cached (prefix_kv): every
+  // span is a suffix; its keys/values are the cached prefix rows followed
+  // by the span's fresh rows, which is the identical s×(P+s) computation
+  // the boundary pass runs for its suffix rows.
   const float scale = 1.0f / std::sqrt(static_cast<float>(head_dim_));
+  const int64_t cached = prefix_kv != nullptr ? prefix_kv->length : 0;
   std::vector<float*> scratch(spans.size());
   for (size_t s = 0; s < spans.size(); ++s) {
     const int64_t t = spans[s].length;
-    scratch[s] = arena.Alloc(4 * t * head_dim_ + t * t);
+    const int64_t ctx = cached + t;
+    // q + head_out over the span's rows, k + v over the full context, and
+    // the span's attention logits (p·p + s·ctx ≤ t·ctx cells).
+    scratch[s] = arena.Alloc(2 * t * head_dim_ + 2 * ctx * head_dim_ +
+                             t * ctx);
   }
   util::ParallelFor(
       static_cast<int64_t>(spans.size()),
@@ -258,27 +296,52 @@ void TinyLmBlock::AttendSpans(const float* q, const float* k,
         for (int64_t s = begin; s < end; ++s) {
           const SequenceSpan& span = spans[s];
           const int64_t t = span.length;
+          const int64_t ctx = cached + t;
+          const int64_t p = cached > 0 ? int64_t{0} : span.prefix;
+          const int64_t suffix = t - p;
           float* qh = scratch[s];
-          float* kh = qh + t * head_dim_;
-          float* vh = kh + t * head_dim_;
-          float* head_out = vh + t * head_dim_;
-          float* logits = head_out + t * head_dim_;
+          float* head_out = qh + t * head_dim_;
+          float* kh = head_out + t * head_dim_;
+          float* vh = kh + ctx * head_dim_;
+          float* logits = vh + ctx * head_dim_;
           for (int64_t h = 0; h < num_heads_; ++h) {
+            for (int64_t i = 0; i < cached; ++i) {
+              const float* krow = prefix_kv->keys + i * d + h * head_dim_;
+              const float* vrow = prefix_kv->values + i * d + h * head_dim_;
+              std::copy(krow, krow + head_dim_, kh + i * head_dim_);
+              std::copy(vrow, vrow + head_dim_, vh + i * head_dim_);
+            }
             for (int64_t i = 0; i < t; ++i) {
               const float* qrow = q + (span.begin + i) * d + h * head_dim_;
               const float* krow = k + (span.begin + i) * d + h * head_dim_;
               const float* vrow =
                   vproj + (span.begin + i) * d + h * head_dim_;
               std::copy(qrow, qrow + head_dim_, qh + i * head_dim_);
-              std::copy(krow, krow + head_dim_, kh + i * head_dim_);
-              std::copy(vrow, vrow + head_dim_, vh + i * head_dim_);
+              std::copy(krow, krow + head_dim_,
+                        kh + (cached + i) * head_dim_);
+              std::copy(vrow, vrow + head_dim_,
+                        vh + (cached + i) * head_dim_);
             }
-            nn::GemmNT(qh, kh, logits, t, t, head_dim_, /*accumulate=*/false);
-            const int64_t cells = t * t;
-            for (int64_t i = 0; i < cells; ++i) logits[i] *= scale;
-            SoftmaxRowsInPlace(logits, t, t);
-            nn::GemmNN(logits, vh, head_out, t, head_dim_, t,
-                       /*accumulate=*/false);
+            if (p > 0) {
+              // Frozen head: rows [0, p) attend among themselves.
+              nn::GemmNT(qh, kh, logits, p, p, head_dim_,
+                         /*accumulate=*/false);
+              for (int64_t i = 0; i < p * p; ++i) logits[i] *= scale;
+              SoftmaxRowsInPlace(logits, p, p);
+              nn::GemmNN(logits, vh, head_out, p, head_dim_, p,
+                         /*accumulate=*/false);
+            }
+            if (suffix > 0) {
+              // Suffix rows attend over the full context (prefix keys
+              // first — the cached path reproduces this column order).
+              float* slogits = logits + p * p;
+              nn::GemmNT(qh + p * head_dim_, kh, slogits, suffix, ctx,
+                         head_dim_, /*accumulate=*/false);
+              for (int64_t i = 0; i < suffix * ctx; ++i) slogits[i] *= scale;
+              SoftmaxRowsInPlace(slogits, suffix, ctx);
+              nn::GemmNN(slogits, vh, head_out + p * head_dim_, suffix,
+                         head_dim_, ctx, /*accumulate=*/false);
+            }
             for (int64_t i = 0; i < t; ++i) {
               std::copy(head_out + i * head_dim_,
                         head_out + (i + 1) * head_dim_,
@@ -291,10 +354,13 @@ void TinyLmBlock::AttendSpans(const float* q, const float* k,
 
 void TinyLmBlock::ForwardBatchInference(const float* x, int64_t total,
                                         const std::vector<SequenceSpan>& spans,
-                                        float* out,
-                                        util::ScopedArena& arena) const {
+                                        float* out, util::ScopedArena& arena,
+                                        const BlockPrefixKv* prefix_kv,
+                                        float* capture_k,
+                                        float* capture_v) const {
   if (quant_) {
-    ForwardBatchInferenceQuant(x, total, spans, out, arena);
+    ForwardBatchInferenceQuant(x, total, spans, out, arena, prefix_kv,
+                               capture_k, capture_v);
     return;
   }
   const int64_t d = num_heads_ * head_dim_;
@@ -308,9 +374,11 @@ void TinyLmBlock::ForwardBatchInference(const float* x, int64_t total,
   float* vproj = arena.Alloc(total * d);
   wv_.ForwardInference(normed, total, vproj);
   if (lora_wv_) lora_wv_->AddDeltaInference(normed, total, vproj, arena);
+  if (capture_k != nullptr) std::copy(k, k + total * d, capture_k);
+  if (capture_v != nullptr) std::copy(vproj, vproj + total * d, capture_v);
 
   float* attended = arena.Alloc(total * d);
-  AttendSpans(q, k, vproj, spans, attended, arena);
+  AttendSpans(q, k, vproj, spans, attended, arena, prefix_kv);
 
   float* att_proj = arena.Alloc(total * d);
   wo_.ForwardInference(attended, total, att_proj);
@@ -332,7 +400,8 @@ void TinyLmBlock::ForwardBatchInference(const float* x, int64_t total,
 
 void TinyLmBlock::ForwardBatchInferenceQuant(
     const float* x, int64_t total, const std::vector<SequenceSpan>& spans,
-    float* out, util::ScopedArena& arena) const {
+    float* out, util::ScopedArena& arena, const BlockPrefixKv* prefix_kv,
+    float* capture_k, float* capture_v) const {
   // Same stage order as the fp32 path; every dense projection runs as an
   // int8 GEMM against the merged+quantized weights, with the activations
   // re-quantized per row at each projection input. LayerNorm, attention
@@ -358,9 +427,13 @@ void TinyLmBlock::ForwardBatchInferenceQuant(
   float* vproj = arena.Alloc(total * d);
   nn::Int8Gemm(act_q, act_s, quant_->wv, BiasPtr(wv_), vproj, total,
                /*accumulate=*/false);
+  // Captured K/V are the fp32 int8-GEMM outputs — exactly what a stacked
+  // forward would feed attention, since activation quantization is per-row.
+  if (capture_k != nullptr) std::copy(k, k + total * d, capture_k);
+  if (capture_v != nullptr) std::copy(vproj, vproj + total * d, capture_v);
 
   float* attended = arena.Alloc(total * d);
-  AttendSpans(q, k, vproj, spans, attended, arena);
+  AttendSpans(q, k, vproj, spans, attended, arena, prefix_kv);
 
   nn::QuantizeActivationRows(attended, total, d, act_q, act_s);
   float* att_proj = arena.Alloc(total * d);
@@ -490,7 +563,8 @@ TinyLm::TinyLm(const TinyLmConfig& config, uint64_t seed)
 }
 
 nn::Tensor TinyLm::Encode(const std::vector<PromptPiece>& pieces,
-                          float dropout, util::Rng& rng) const {
+                          float dropout, util::Rng& rng,
+                          int64_t prefix_length) const {
   DELREC_CHECK(!pieces.empty());
   const nn::Tensor table = EffectiveTokenTable();
   std::vector<nn::Tensor> rows;
@@ -509,11 +583,13 @@ nn::Tensor TinyLm::Encode(const std::vector<PromptPiece>& pieces,
   DELREC_CHECK_GT(total_length, 0);
   DELREC_CHECK_LE(total_length, config_.max_positions)
       << "prompt longer than max_positions";
+  DELREC_CHECK_GE(prefix_length, 0);
+  DELREC_CHECK_LE(prefix_length, total_length);
   nn::Tensor x = rows.size() == 1 ? rows[0] : nn::ConcatRows(rows);
   x = nn::Add(x, nn::SliceRows(position_table_, 0, total_length));
   x = nn::Dropout(x, dropout, rng, training());
   for (const auto& block : blocks_) {
-    x = block->Forward(x, rng, dropout);
+    x = block->Forward(x, rng, dropout, prefix_length);
   }
   return final_norm_.Forward(x);
 }
@@ -524,12 +600,53 @@ nn::Tensor TinyLm::LogitsAt(const nn::Tensor& hidden, int64_t position) const {
                      head_bias_);
 }
 
+void TinyLm::GatherPromptRows(
+    const std::vector<const std::vector<PromptPiece>*>& prompts,
+    const std::vector<SequenceSpan>& spans, const float* table,
+    int64_t position_offset, float* x) const {
+  const int64_t d = config_.model_dim;
+  const float* pos = position_table_.data().data() + position_offset * d;
+  for (size_t s = 0; s < prompts.size(); ++s) {
+    float* base = x + spans[s].begin * d;
+    int64_t row = 0;
+    for (const PromptPiece& piece : *prompts[s]) {
+      if (piece.kind == PromptPiece::Kind::kTokens) {
+        for (int64_t token : piece.tokens) {
+          DELREC_CHECK_GE(token, 0);
+          DELREC_CHECK_LT(token, config_.vocab_size);
+          if (table != nullptr) {
+            std::copy(table + token * d, table + (token + 1) * d,
+                      base + row * d);
+          } else {
+            quant_table_.DequantRow(token, base + row * d);
+          }
+          ++row;
+        }
+      } else {
+        DELREC_CHECK_EQ(piece.embeddings.dim(1), d);
+        const std::vector<float>& rows = piece.embeddings.data();
+        std::copy(rows.begin(), rows.end(), base + row * d);
+        row += piece.embeddings.dim(0);
+      }
+    }
+    // Positions restart at `position_offset` for every sequence, matching
+    // Encode()'s Add(x, SliceRows(position_table_, 0, T)) — suffix-only
+    // batches pass the prefix length so position rows line up with the
+    // full-prompt encode.
+    const int64_t cells = spans[s].length * d;
+    for (int64_t i = 0; i < cells; ++i) base[i] = base[i] + pos[i];
+  }
+}
+
 nn::Tensor TinyLm::EncodeBatch(
     const std::vector<const std::vector<PromptPiece>*>& prompts,
-    const nn::Tensor& effective_table,
-    std::vector<SequenceSpan>* spans) const {
+    const nn::Tensor& effective_table, std::vector<SequenceSpan>* spans,
+    const std::vector<int64_t>* prefix_lengths) const {
   DELREC_CHECK(!prompts.empty());
   DELREC_CHECK(spans != nullptr);
+  if (prefix_lengths != nullptr) {
+    DELREC_CHECK_EQ(prefix_lengths->size(), prompts.size());
+  }
   nn::NoGradGuard no_grad;
   // With a quantized token table the fp32 effective table is never built:
   // token rows are dequantized straight into the activation buffer.
@@ -547,7 +664,8 @@ nn::Tensor TinyLm::EncodeBatch(
   spans->clear();
   spans->reserve(prompts.size());
   int64_t total = 0;
-  for (const std::vector<PromptPiece>* pieces : prompts) {
+  for (size_t i = 0; i < prompts.size(); ++i) {
+    const std::vector<PromptPiece>* pieces = prompts[i];
     DELREC_CHECK(pieces != nullptr);
     DELREC_CHECK(!pieces->empty());
     int64_t length = 0;
@@ -555,45 +673,133 @@ nn::Tensor TinyLm::EncodeBatch(
     DELREC_CHECK_GT(length, 0);
     DELREC_CHECK_LE(length, config_.max_positions)
         << "prompt longer than max_positions";
+    const int64_t prefix =
+        prefix_lengths != nullptr ? (*prefix_lengths)[i] : int64_t{0};
+    DELREC_CHECK_GE(prefix, 0);
+    DELREC_CHECK_LE(prefix, length);
+    spans->push_back({total, length, prefix});
+    total += length;
+  }
+
+  util::ScopedArena arena;
+  float* x = arena.Alloc(total * d);
+  GatherPromptRows(prompts, *spans, tv, /*position_offset=*/0, x);
+
+  float* cur = x;
+  float* next = arena.Alloc(total * d);
+  for (const auto& block : blocks_) {
+    block->ForwardBatchInference(cur, total, *spans, next, arena);
+    std::swap(cur, next);
+  }
+  std::vector<float> out = util::BufferPool::Global().Acquire(total * d);
+  final_norm_.ForwardInference(cur, total, out.data());
+  return nn::Tensor::FromData({total, d}, std::move(out));
+}
+
+size_t TinyLm::PrefixState::MemoryBytes() const {
+  size_t bytes = hidden.size() * sizeof(float);
+  for (const auto& layer : keys) bytes += layer.size() * sizeof(float);
+  for (const auto& layer : values) bytes += layer.size() * sizeof(float);
+  return bytes;
+}
+
+TinyLm::PrefixState TinyLm::BuildPrefixState(
+    const std::vector<PromptPiece>& prefix_pieces,
+    const nn::Tensor& effective_table) const {
+  DELREC_CHECK(!prefix_pieces.empty());
+  nn::NoGradGuard no_grad;
+  nn::Tensor table;
+  const float* tv = nullptr;
+  if (!quant_table_.defined()) {
+    table = effective_table.defined() ? effective_table
+                                      : EffectiveTokenTable();
+    tv = table.data().data();
+  }
+  const int64_t d = config_.model_dim;
+  int64_t length = 0;
+  for (const PromptPiece& piece : prefix_pieces) length += piece.length();
+  DELREC_CHECK_GT(length, 0);
+  DELREC_CHECK_LE(length, config_.max_positions);
+
+  PrefixState state;
+  state.length = length;
+  state.keys.resize(blocks_.size());
+  state.values.resize(blocks_.size());
+
+  // One span, entirely frozen head: the attention this runs for rows
+  // [0, P) is exactly what a boundary-masked full forward computes for
+  // them, so the captured K/V are the cached-path ground truth.
+  const std::vector<SequenceSpan> spans = {{0, length, length}};
+  const std::vector<const std::vector<PromptPiece>*> prompts = {
+      &prefix_pieces};
+  util::ScopedArena arena;
+  float* x = arena.Alloc(length * d);
+  GatherPromptRows(prompts, spans, tv, /*position_offset=*/0, x);
+
+  float* cur = x;
+  float* next = arena.Alloc(length * d);
+  for (size_t b = 0; b < blocks_.size(); ++b) {
+    state.keys[b].resize(length * d);
+    state.values[b].resize(length * d);
+    blocks_[b]->ForwardBatchInference(cur, length, spans, next, arena,
+                                      /*prefix_kv=*/nullptr,
+                                      state.keys[b].data(),
+                                      state.values[b].data());
+    std::swap(cur, next);
+  }
+  state.hidden.resize(length * d);
+  final_norm_.ForwardInference(cur, length, state.hidden.data());
+  return state;
+}
+
+nn::Tensor TinyLm::EncodeBatchWithPrefix(
+    const PrefixState& prefix,
+    const std::vector<const std::vector<PromptPiece>*>& suffixes,
+    const nn::Tensor& effective_table,
+    std::vector<SequenceSpan>* spans) const {
+  DELREC_CHECK(prefix.defined());
+  DELREC_CHECK_EQ(prefix.keys.size(), blocks_.size());
+  DELREC_CHECK_EQ(prefix.values.size(), blocks_.size());
+  DELREC_CHECK(!suffixes.empty());
+  DELREC_CHECK(spans != nullptr);
+  nn::NoGradGuard no_grad;
+  nn::Tensor table;
+  const float* tv = nullptr;
+  if (!quant_table_.defined()) {
+    table = effective_table.defined() ? effective_table
+                                      : EffectiveTokenTable();
+    tv = table.data().data();
+  }
+  const int64_t d = config_.model_dim;
+
+  spans->clear();
+  spans->reserve(suffixes.size());
+  int64_t total = 0;
+  for (const std::vector<PromptPiece>* pieces : suffixes) {
+    DELREC_CHECK(pieces != nullptr);
+    DELREC_CHECK(!pieces->empty());
+    int64_t length = 0;
+    for (const PromptPiece& piece : *pieces) length += piece.length();
+    DELREC_CHECK_GT(length, 0);
+    DELREC_CHECK_LE(prefix.length + length, config_.max_positions)
+        << "prefix + suffix longer than max_positions";
     spans->push_back({total, length});
     total += length;
   }
 
   util::ScopedArena arena;
   float* x = arena.Alloc(total * d);
-  const float* pos = position_table_.data().data();
-  for (size_t s = 0; s < prompts.size(); ++s) {
-    float* base = x + (*spans)[s].begin * d;
-    int64_t row = 0;
-    for (const PromptPiece& piece : *prompts[s]) {
-      if (piece.kind == PromptPiece::Kind::kTokens) {
-        for (int64_t token : piece.tokens) {
-          DELREC_CHECK_GE(token, 0);
-          DELREC_CHECK_LT(token, config_.vocab_size);
-          if (tv != nullptr) {
-            std::copy(tv + token * d, tv + (token + 1) * d, base + row * d);
-          } else {
-            quant_table_.DequantRow(token, base + row * d);
-          }
-          ++row;
-        }
-      } else {
-        DELREC_CHECK_EQ(piece.embeddings.dim(1), d);
-        const std::vector<float>& rows = piece.embeddings.data();
-        std::copy(rows.begin(), rows.end(), base + row * d);
-        row += piece.embeddings.dim(0);
-      }
-    }
-    // Positions restart at zero for every sequence, matching Encode()'s
-    // Add(x, SliceRows(position_table_, 0, T)).
-    const int64_t cells = (*spans)[s].length * d;
-    for (int64_t i = 0; i < cells; ++i) base[i] = base[i] + pos[i];
-  }
+  GatherPromptRows(suffixes, *spans, tv,
+                   /*position_offset=*/prefix.length, x);
 
   float* cur = x;
   float* next = arena.Alloc(total * d);
-  for (const auto& block : blocks_) {
-    block->ForwardBatchInference(cur, total, *spans, next, arena);
+  for (size_t b = 0; b < blocks_.size(); ++b) {
+    BlockPrefixKv kv;
+    kv.keys = prefix.keys[b].data();
+    kv.values = prefix.values[b].data();
+    kv.length = prefix.length;
+    blocks_[b]->ForwardBatchInference(cur, total, *spans, next, arena, &kv);
     std::swap(cur, next);
   }
   std::vector<float> out = util::BufferPool::Global().Acquire(total * d);

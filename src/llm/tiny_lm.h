@@ -56,8 +56,28 @@ struct PromptPiece {
 /// Ragged concatenation (no padding) keeps every GEMM row a real row, which
 /// is what makes the batched path bit-identical to per-sequence forwards
 /// (each GEMM output row depends only on its own input row — nn/gemm.h).
+///
+/// `prefix` declares a frozen prompt head (PrefixLM-style boundary): rows
+/// [0, prefix) of the sequence attend only among themselves, while rows
+/// [prefix, length) attend over the whole sequence. prefix == 0 is full
+/// bidirectional attention (the historical behavior). The boundary is what
+/// makes the head's hidden states — and therefore its per-layer K/V rows —
+/// independent of the suffix, so a snapshot can precompute them once
+/// (TinyLm::PrefixState) and serve only the suffix, bit-identically.
 struct SequenceSpan {
   int64_t begin = 0;
+  int64_t length = 0;
+  int64_t prefix = 0;
+};
+
+/// One layer's cached attention K/V rows for a shared frozen prefix: when
+/// passed to ForwardBatchInference, every span is treated as the suffix of
+/// that prefix — its rows attend over `length` cached rows followed by their
+/// own span, in exactly that key order, which is the summation order the
+/// uncached boundary-masked forward uses too (hence bit-identical scores).
+struct BlockPrefixKv {
+  const float* keys = nullptr;    // (length, model_dim), row-major.
+  const float* values = nullptr;  // (length, model_dim), row-major.
   int64_t length = 0;
 };
 
@@ -67,17 +87,32 @@ class TinyLmBlock : public nn::Module {
  public:
   TinyLmBlock(const TinyLmConfig& config, util::Rng& rng);
 
-  nn::Tensor Forward(const nn::Tensor& x, util::Rng& rng,
-                     float dropout) const;
+  /// `prefix` applies the SequenceSpan frozen-head boundary on the autograd
+  /// path: rows [0, prefix) attend among themselves, rows [prefix, T) over
+  /// everything. prefix == 0 is the historical full-bidirectional forward
+  /// (identical op sequence, identical RNG draw order).
+  nn::Tensor Forward(const nn::Tensor& x, util::Rng& rng, float dropout,
+                     int64_t prefix = 0) const;
 
   /// Inference-only batched forward: `x` holds `total` row-concatenated
   /// hidden rows covering `spans`; writes the block output to `out` (same
   /// shape, must not alias x). Dense projections run as single stacked
   /// GEMMs; attention stays block-diagonal per span. Every row is
   /// bit-identical to Forward() run on that span alone (DESIGN.md §11).
+  ///
+  /// When `prefix_kv` is set, every span is the suffix of one shared frozen
+  /// prefix whose K/V rows were captured earlier: suffix rows attend over
+  /// cached-prefix-keys ++ fresh-span-keys (same summation order as the
+  /// uncached boundary-masked path, so bit-identical). `capture_k` /
+  /// `capture_v` (each total × model_dim) receive this block's post-adapter
+  /// (or post-int8-GEMM) K/V projections — the snapshot-build hook that
+  /// fills a TinyLm::PrefixState.
   void ForwardBatchInference(const float* x, int64_t total,
                              const std::vector<SequenceSpan>& spans,
-                             float* out, util::ScopedArena& arena) const;
+                             float* out, util::ScopedArena& arena,
+                             const BlockPrefixKv* prefix_kv = nullptr,
+                             float* capture_k = nullptr,
+                             float* capture_v = nullptr) const;
 
   /// Creates the adapters (rank, scale) if not present; returns them for
   /// optimizer registration. Adapter parameters are deliberately NOT part of
@@ -110,14 +145,19 @@ class TinyLmBlock : public nn::Module {
   /// batched paths: consumes the stacked q/k/v projections, writes the
   /// concatenated head outputs to `attended`. Arithmetic is identical to the
   /// historical inline loop (DESIGN.md §11) — the int8 path changes only how
-  /// q/k/v and the surrounding projections are produced.
+  /// q/k/v and the surrounding projections are produced. Honors each span's
+  /// frozen-prefix boundary, and with `prefix_kv` splices the shared cached
+  /// K/V rows ahead of every span's fresh rows.
   void AttendSpans(const float* q, const float* k, const float* vproj,
                    const std::vector<SequenceSpan>& spans, float* attended,
-                   util::ScopedArena& arena) const;
+                   util::ScopedArena& arena,
+                   const BlockPrefixKv* prefix_kv) const;
 
   void ForwardBatchInferenceQuant(const float* x, int64_t total,
                                   const std::vector<SequenceSpan>& spans,
-                                  float* out, util::ScopedArena& arena) const;
+                                  float* out, util::ScopedArena& arena,
+                                  const BlockPrefixKv* prefix_kv,
+                                  float* capture_k, float* capture_v) const;
   int64_t num_heads_;
   int64_t head_dim_;
   nn::LayerNorm ln_attention_;
@@ -145,8 +185,11 @@ class TinyLm : public nn::Module {
   const TinyLmConfig& config() const { return config_; }
 
   /// Runs the encoder over a composed prompt. Returns hidden states (T, D).
+  /// `prefix_length` > 0 freezes the prompt head (SequenceSpan::prefix
+  /// semantics) on every block — the model-level contract that lets serving
+  /// cache the head's K/V. 0 keeps full bidirectional attention.
   nn::Tensor Encode(const std::vector<PromptPiece>& pieces, float dropout,
-                    util::Rng& rng) const;
+                    util::Rng& rng, int64_t prefix_length = 0) const;
 
   /// LM-head logits at one position of an Encode() output: (1, vocab).
   nn::Tensor LogitsAt(const nn::Tensor& hidden, int64_t position) const;
@@ -159,8 +202,49 @@ class TinyLm : public nn::Module {
   /// precomputed MaterializeTokenTable() result (pass an undefined Tensor
   /// to recompute, as Encode does); `spans` receives each prompt's row
   /// range. No grad, no dropout, no RNG draws.
+  /// `prefix_lengths`, when non-null, gives each prompt's frozen-head length
+  /// (SequenceSpan::prefix); it must have one entry per prompt. This is the
+  /// uncached reference for the prefix-cache contract: EncodeBatchWithPrefix
+  /// suffix rows are bit-identical to the matching rows of this path.
   nn::Tensor EncodeBatch(
       const std::vector<const std::vector<PromptPiece>*>& prompts,
+      const nn::Tensor& effective_table, std::vector<SequenceSpan>* spans,
+      const std::vector<int64_t>* prefix_lengths = nullptr) const;
+
+  /// Precomputed shared-prefix state (DESIGN.md §15): per-layer attention
+  /// K/V rows plus the final hidden rows of a frozen prompt head, computed
+  /// once per snapshot and reused by every request that shares the head.
+  struct PrefixState {
+    int64_t length = 0;
+    std::vector<std::vector<float>> keys;    // Per layer, (length, D).
+    std::vector<std::vector<float>> values;  // Per layer, (length, D).
+    std::vector<float> hidden;               // (length, D), final-norm out.
+
+    bool defined() const { return length > 0; }
+    /// Bytes the cache holds resident (counted in snapshot footprints).
+    size_t MemoryBytes() const;
+  };
+
+  /// Runs the encoder once over the shared prefix (as its own frozen span)
+  /// and captures every block's K/V projections. The captured rows are
+  /// bit-identical to what a full boundary-masked forward computes for the
+  /// prefix rows, because prefix hidden states never read the suffix and
+  /// each GEMM output row depends only on its own input row. Honors the
+  /// int8 path when the model is quantized (per-row activation quantization
+  /// makes prefix rows quantize identically alone or stacked).
+  PrefixState BuildPrefixState(const std::vector<PromptPiece>& prefix_pieces,
+                               const nn::Tensor& effective_table) const;
+
+  /// Batched suffix-only encoder: each prompt holds only the per-request
+  /// suffix pieces; positions continue at `prefix.length` and attention
+  /// reads the cached prefix K/V. Row r is bit-identical to the matching
+  /// suffix row of EncodeBatch(prefix ++ suffix, prefix_lengths) at every
+  /// thread count and batch composition, fp32 and int8. Returns (Σs, D) —
+  /// suffix rows only, so callers index mask positions relative to the
+  /// suffix (absolute position − prefix.length).
+  nn::Tensor EncodeBatchWithPrefix(
+      const PrefixState& prefix,
+      const std::vector<const std::vector<PromptPiece>*>& suffixes,
       const nn::Tensor& effective_table,
       std::vector<SequenceSpan>* spans) const;
 
@@ -257,6 +341,14 @@ class TinyLm : public nn::Module {
 
   /// Token table with the low-rank delta applied (or the raw table).
   nn::Tensor EffectiveTokenTable() const;
+
+  /// Gathers prompt embeddings plus position rows (positions starting at
+  /// `position_offset`) into the stacked activation buffer `x`. `table` is
+  /// the fp32 effective table, or nullptr to dequantize from quant_table_.
+  void GatherPromptRows(
+      const std::vector<const std::vector<PromptPiece>*>& prompts,
+      const std::vector<SequenceSpan>& spans, const float* table,
+      int64_t position_offset, float* x) const;
 };
 
 }  // namespace delrec::llm

@@ -157,6 +157,7 @@ RecommendationEngine::Stats RecommendationEngine::GetStats() const {
   stats.scorer_failures = scorer_failures_;
   stats.swaps_observed = swaps_observed_;
   stats.snapshot_version = last_version_;
+  stats.prefix_tokens_skipped = prefix_tokens_skipped_;
   stats.queue_wait_histogram = queue_wait_histogram_;
   stats.queue_p50_ms = QueueWaitPercentileMs(queue_wait_histogram_, 0.50);
   stats.queue_p99_ms = QueueWaitPercentileMs(queue_wait_histogram_, 0.99);
@@ -285,6 +286,11 @@ void RecommendationEngine::DispatcherLoop() {
       std::lock_guard<std::mutex> stats_lock(mutex_);
       if (batch_status.ok()) {
         scored_requests_ += batch.size();
+        // Count against the scorer this batch actually ran on — a hot-swap
+        // can change the cached prefix length mid-stream.
+        prefix_tokens_skipped_ +=
+            batch.size() *
+            static_cast<uint64_t>(tagged.scorer->CachedPrefixLength());
       } else {
         scorer_failures_ += batch.size();
       }

@@ -132,6 +132,11 @@ class RecommendationEngine {
     // Hot-swap observability.
     uint64_t swaps_observed = 0;    // Version changes seen by the dispatcher.
     uint64_t snapshot_version = 0;  // Last version scored against.
+    // Prompt tokens served from the scorer's prefix KV cache instead of
+    // re-encoded (scored requests × Scorer::CachedPrefixLength, per the
+    // snapshot version each batch actually ran against). 0 for scorers
+    // without a cache.
+    uint64_t prefix_tokens_skipped = 0;
     // Queue-wait latency (arrival → dispatch) for dispatched requests.
     double queue_p50_ms = 0.0;
     double queue_p99_ms = 0.0;
@@ -177,6 +182,7 @@ class RecommendationEngine {
   uint64_t scorer_failures_ = 0;
   uint64_t swaps_observed_ = 0;
   uint64_t last_version_ = 0;
+  uint64_t prefix_tokens_skipped_ = 0;
   QueueWaitHistogram queue_wait_histogram_{};
 
   std::thread dispatcher_;  // Last member: starts in the ctor body.

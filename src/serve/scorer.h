@@ -48,6 +48,13 @@ class Scorer {
   /// with a genuinely batched path (EngineSnapshot) override it.
   virtual std::vector<std::vector<float>> ScoreBatch(
       const std::vector<ScoreRequest>& requests) const;
+
+  /// Prompt tokens per request this scorer serves from a precomputed prefix
+  /// KV cache instead of re-encoding (DESIGN.md §15). 0 — the default, and
+  /// the value for every non-cached scorer — feeds the engine's
+  /// prefix_tokens_skipped counter. Purely observational: scores are
+  /// bit-identical with or without the cache.
+  virtual int64_t CachedPrefixLength() const { return 0; }
 };
 
 /// Adapts a conventional sequential recommender. `model` must outlive the

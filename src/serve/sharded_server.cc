@@ -97,6 +97,7 @@ RecommendationEngine::Stats MergeStats(
     total.shed_shutdown += shard.shed_shutdown;
     total.scorer_failures += shard.scorer_failures;
     total.swaps_observed += shard.swaps_observed;
+    total.prefix_tokens_skipped += shard.prefix_tokens_skipped;
     total.snapshot_version =
         std::max(total.snapshot_version, shard.snapshot_version);
     for (int bucket = 0; bucket < RecommendationEngine::kQueueWaitBuckets;

@@ -115,6 +115,18 @@ util::StatusOr<std::unique_ptr<EngineSnapshot>> EngineSnapshot::FromBlobs(
   if (!snapshot->llm_->embedding_table_quantized()) {
     snapshot->effective_table_ = snapshot->llm_->MaterializeTokenTable();
   }
+  // Prefix KV cache (DESIGN.md §15), built last so it reads the final
+  // serving form of the weights (post-quantization, post-materialization):
+  // encode the snapshot-constant scoring-prompt head once, capture every
+  // block's K/V. FromModel rides this same path, so the
+  // byte-identical-construction contract covers the cache too.
+  if (options.enable_prefix_cache) {
+    const std::vector<llm::PromptPiece> prefix_pieces =
+        core::inference::BuildScoringPrefix(config, snapshot->prompt_builder_,
+                                            snapshot->soft_prompts_);
+    snapshot->prefix_state_ = snapshot->llm_->BuildPrefixState(
+        prefix_pieces, snapshot->effective_table_);
+  }
   return snapshot;
 }
 
@@ -123,13 +135,16 @@ std::string EngineSnapshot::name() const {
          (llm_->quantized() ? " int8" : "");
 }
 
-size_t EngineSnapshot::MemoryFootprintBytes() const {
-  size_t bytes = llm_->InferenceWeightBytes() +
-                 soft_prompts_.data().size() * sizeof(float);
+SnapshotFootprint EngineSnapshot::MemoryFootprint() const {
+  SnapshotFootprint footprint;
+  footprint.weight_bytes = llm_->InferenceWeightBytes();
+  footprint.soft_prompt_bytes = soft_prompts_.data().size() * sizeof(float);
   if (effective_table_.defined()) {
-    bytes += effective_table_.data().size() * sizeof(float);
+    footprint.token_table_bytes =
+        effective_table_.data().size() * sizeof(float);
   }
-  return bytes;
+  footprint.prefix_cache_bytes = prefix_state_.MemoryBytes();
+  return footprint;
 }
 
 namespace {
@@ -160,7 +175,11 @@ std::vector<float> EngineSnapshot::Score(const ScoreRequest& request) const {
   const llm::Prompt prompt = core::inference::BuildScoringPrompt(
       config_, prompt_builder_, *sources_.sr_model, soft_prompts_,
       request.history, request.candidates);
-  const nn::Tensor hidden = llm_->Encode(prompt.pieces, 0.0f, scratch_rng_);
+  // The boundary-masked full encode — the continuous cross-check that the
+  // cached ScoreBatch path below stays bit-identical to a full re-encode
+  // (serve_test pins Score ≡ ScoreBatch row at every batch composition).
+  const nn::Tensor hidden =
+      llm_->Encode(prompt.pieces, 0.0f, scratch_rng_, prompt.prefix_length);
   const nn::Tensor token_logits = llm_->LogitsAt(hidden, prompt.mask_position);
   return verbalizer_.Scores(token_logits.data(), request.candidates);
 }
@@ -186,17 +205,50 @@ std::vector<std::vector<float>> EngineSnapshot::ScoreBatch(
   // Each chunk owns its slice of `results`; the pool buffers behind the
   // forwards are mutex-guarded (util::BufferPool).
   std::vector<std::vector<float>> results(requests.size());
+  const bool cached = prefix_state_.defined();
+  // Suffix-only pieces (cached path): cut each prompt at its declared
+  // prefix boundary; the cached PrefixState stands in for the head. Kept
+  // alive outside the lambda since EncodeBatchWithPrefix reads pointers.
+  std::vector<llm::SplitPrompt> splits(cached ? requests.size() : 0);
+  if (cached) {
+    for (int64_t i = 0; i < n; ++i) {
+      // Every scoring prompt this config builds shares the one head the
+      // snapshot cached — a mismatch means the prompt templates and the
+      // cache drifted apart, which must never survive a publish.
+      DELREC_CHECK_EQ(prompts[i].prefix_length, prefix_state_.length);
+      splits[i] = llm::PromptBuilder::Split(prompts[i]);
+    }
+  }
   util::ParallelFor(n, [&](int64_t begin, int64_t end, int) {
     std::vector<const std::vector<llm::PromptPiece>*> pieces;
     pieces.reserve(end - begin);
-    for (int64_t i = begin; i < end; ++i) pieces.push_back(&prompts[i].pieces);
     std::vector<llm::SequenceSpan> spans;
-    const nn::Tensor hidden =
-        llm_->EncodeBatch(pieces, effective_table_, &spans);
+    nn::Tensor hidden;
     std::vector<int64_t> mask_rows;
     mask_rows.reserve(end - begin);
-    for (int64_t i = begin; i < end; ++i) {
-      mask_rows.push_back(spans[i - begin].begin + prompts[i].mask_position);
+    if (cached) {
+      for (int64_t i = begin; i < end; ++i) {
+        pieces.push_back(&splits[i].suffix);
+      }
+      hidden = llm_->EncodeBatchWithPrefix(prefix_state_, pieces,
+                                           effective_table_, &spans);
+      // Hidden rows cover only the suffix: re-anchor the mask index.
+      for (int64_t i = begin; i < end; ++i) {
+        mask_rows.push_back(spans[i - begin].begin + prompts[i].mask_position -
+                            prefix_state_.length);
+      }
+    } else {
+      std::vector<int64_t> prefix_lengths;
+      prefix_lengths.reserve(end - begin);
+      for (int64_t i = begin; i < end; ++i) {
+        pieces.push_back(&prompts[i].pieces);
+        prefix_lengths.push_back(prompts[i].prefix_length);
+      }
+      hidden = llm_->EncodeBatch(pieces, effective_table_, &spans,
+                                 &prefix_lengths);
+      for (int64_t i = begin; i < end; ++i) {
+        mask_rows.push_back(spans[i - begin].begin + prompts[i].mask_position);
+      }
     }
     const nn::Tensor logits =
         llm_->LogitsAtRows(hidden, mask_rows, effective_table_);

@@ -35,6 +35,27 @@ namespace delrec::serve {
 struct SnapshotBuildOptions {
   bool quantize_int8 = false;
   bool quantize_embedding_table = true;
+  /// Precomputes the shared prompt-prefix K/V cache (TinyLm::PrefixState)
+  /// at build time so ScoreBatch encodes only each request's suffix
+  /// (DESIGN.md §15). Scores are bit-identical either way — the cache is
+  /// exact, on the fp32 and int8 paths alike — so this is purely a
+  /// throughput/footprint trade. Off exists for the uncached baseline side
+  /// of bench_serve and for bit-identity tests.
+  bool enable_prefix_cache = true;
+};
+
+/// Where a snapshot's resident bytes live (asserted to sum to
+/// MemoryFootprintBytes in tests/serve_test.cc).
+struct SnapshotFootprint {
+  size_t weight_bytes = 0;        ///< TinyLm serving weights (fp32 or int8).
+  size_t soft_prompt_bytes = 0;   ///< Distilled soft-prompt rows.
+  size_t token_table_bytes = 0;   ///< Materialized fp32 effective table.
+  size_t prefix_cache_bytes = 0;  ///< PrefixState per-layer K/V + hidden.
+
+  size_t total() const {
+    return weight_bytes + soft_prompt_bytes + token_table_bytes +
+           prefix_cache_bytes;
+  }
 };
 
 /// An immutable, shareable inference artifact: the frozen TinyLm (base
@@ -103,10 +124,23 @@ class EngineSnapshot : public Scorer {
   bool quantized() const { return llm_->quantized(); }
 
   /// Bytes of model state one scoring call reads: the LLM's serving weights
-  /// (fp32 or packed int8), the soft prompts, and the materialized fp32
-  /// effective table when one is held. Reported by bench_serve so the ~4×
-  /// int8 weight shrink is a gated, visible number.
-  size_t MemoryFootprintBytes() const;
+  /// (fp32 or packed int8), the soft prompts, the materialized fp32
+  /// effective table when one is held, and the prefix KV cache when one was
+  /// built. Reported by bench_serve so the ~4× int8 weight shrink is a
+  /// gated, visible number.
+  size_t MemoryFootprintBytes() const { return MemoryFootprint().total(); }
+  /// The same bytes, broken down by where they live.
+  SnapshotFootprint MemoryFootprint() const;
+
+  /// Tokens of every request's prompt served from the prefix KV cache (0
+  /// when the cache is disabled) — the engine's prefix_tokens_skipped
+  /// counter multiplies this by requests scored.
+  int64_t CachedPrefixLength() const override {
+    return prefix_state_.length;
+  }
+  const llm::TinyLm::PrefixState& prefix_state() const {
+    return prefix_state_;
+  }
 
  private:
   EngineSnapshot(const core::DelRecConfig& config, const Sources& sources);
@@ -118,6 +152,13 @@ class EngineSnapshot : public Scorer {
   llm::PromptBuilder prompt_builder_;
   llm::Verbalizer verbalizer_;
   nn::Tensor effective_table_;  // MaterializeTokenTable(), shared by calls.
+  // Precomputed K/V of the snapshot-constant prompt head (empty when the
+  // cache is disabled). Built inside FromBlobs — after quantization, so the
+  // int8 path's cache comes from the int8 projections — and immutable after
+  // that, like everything else here: publishing a new snapshot is what
+  // invalidates it (the old PrefixState dies with the old snapshot's
+  // refcount, DESIGN.md §12/§15).
+  llm::TinyLm::PrefixState prefix_state_;
   // Handed to Encode() for its dropout parameter; inference never draws
   // from it (dropout 0, training off), so concurrent Score() calls are safe.
   mutable util::Rng scratch_rng_;

@@ -4,6 +4,8 @@
 #include <gtest/gtest.h>
 
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "data/dataset.h"
 #include "llm/prompt.h"
@@ -52,6 +54,39 @@ class PromptGoldenTest : public ::testing::Test {
     return out;
   }
 
+  // Renders a bare piece vector with the same conventions as Render().
+  std::string RenderPieces(const std::vector<PromptPiece>& pieces) const {
+    Prompt prompt;
+    prompt.pieces = pieces;
+    return Render(prompt);
+  }
+
+  // Flattens pieces to one comparable stream: token ids verbatim, each
+  // embedding row as its raw float values. Two piece vectors that flatten
+  // equal encode the exact same model input, regardless of how piece
+  // boundaries fall.
+  static std::pair<std::vector<int64_t>, std::vector<float>> Flatten(
+      const std::vector<PromptPiece>& pieces) {
+    std::vector<int64_t> tokens;
+    std::vector<float> floats;
+    for (const PromptPiece& piece : pieces) {
+      if (piece.kind == PromptPiece::Kind::kTokens) {
+        tokens.insert(tokens.end(), piece.tokens.begin(), piece.tokens.end());
+      } else {
+        tokens.push_back(-1);  // Embedding marker keeps order observable.
+        const auto& data = piece.embeddings.data();
+        floats.insert(floats.end(), data.begin(), data.end());
+      }
+    }
+    return {std::move(tokens), std::move(floats)};
+  }
+
+  static int64_t TotalLength(const std::vector<PromptPiece>& pieces) {
+    int64_t total = 0;
+    for (const PromptPiece& piece : pieces) total += piece.length();
+    return total;
+  }
+
   data::Catalog catalog_;
   Vocab vocab_;
 };
@@ -62,11 +97,16 @@ TEST_F(PromptGoldenTest, RecommendationTemplate) {
   nn::Tensor soft = nn::Tensor::Randn({2, 8}, rng, 0.02f);
   Prompt prompt = builder.BuildRecommendation({0, 1}, {}, soft, {},
                                               nn::Tensor());
+  // Pattern-knowledge head first: everything up to and including the
+  // instruction run is snapshot-constant, so it can be prefix-cached.
   EXPECT_EQ(Render(prompt),
-            "[CLS] the user watched these items in order "
+            "[CLS] refer to pattern knowledge <EMB:2> [SEP] "
+            "the user watched these items in order "
             "shadow alley 1 [SEP] stellar comet 2 [SEP] "
-            "refer to pattern knowledge <EMB:2> [SEP] "
             "the user will watch next [MASK] [SEP]");
+  // [CLS] + 4 instruction tokens + 2 soft rows + [SEP] + 7 instruction
+  // tokens = 15 frozen positions before the first per-request piece.
+  EXPECT_EQ(prompt.prefix_length, 15);
 }
 
 TEST_F(PromptGoldenTest, RecommendationWithHintAndCandidates) {
@@ -107,6 +147,58 @@ TEST_F(PromptGoldenTest, PatternSimulatingTemplate) {
             "the sasrec model recommends top items "
             "stellar comet 2 [SEP] smoky dossier 3 [SEP] "
             "the sasrec model predicts next [MASK] [SEP]");
+}
+
+// The prefix/suffix seam: Split() must cut exactly at prefix_length and
+// concatenating the halves must reproduce the original token/embedding
+// stream byte-for-byte — this is the contract EncodeBatchWithPrefix builds
+// on (DESIGN.md §15).
+TEST_F(PromptGoldenTest, SplitReproducesPromptByteForByte) {
+  PromptBuilder builder(&catalog_, &vocab_);
+  util::Rng rng(7);
+  nn::Tensor soft = nn::Tensor::Randn({3, 8}, rng, 0.02f);
+  const std::vector<int64_t> hint = vocab_.Encode("the user prefers noir");
+  const std::vector<Prompt> prompts = {
+      builder.BuildRecommendation({0, 1, 2}, {1, 3}, soft, hint,
+                                  nn::Tensor()),
+      builder.BuildRecommendation({3}, {}, nn::Tensor(), {}, nn::Tensor()),
+      builder.BuildPatternSimulating({0, 2}, {1}, {2, 3}, soft, "sasrec"),
+      builder.BuildTemporalAnalysis({0, 1, 2, 3, 0}, 2, {1, 2}, soft),
+  };
+  for (const Prompt& prompt : prompts) {
+    const SplitPrompt split = PromptBuilder::Split(prompt);
+    EXPECT_EQ(TotalLength(split.prefix), prompt.prefix_length);
+    EXPECT_EQ(TotalLength(split.suffix),
+              prompt.length() - prompt.prefix_length);
+    std::vector<PromptPiece> joined = split.prefix;
+    joined.insert(joined.end(), split.suffix.begin(), split.suffix.end());
+    EXPECT_EQ(Flatten(joined), Flatten(prompt.pieces));
+    EXPECT_EQ(RenderPieces(joined), Render(prompt));
+  }
+}
+
+// The golden prefix strings themselves, and the guarantee that the
+// snapshot-built prefix (RecommendationPrefix) is the same pieces Split()
+// recovers from any full recommendation prompt — so one cached PrefixState
+// serves every request.
+TEST_F(PromptGoldenTest, SplitPrefixMatchesRecommendationPrefix) {
+  PromptBuilder builder(&catalog_, &vocab_);
+  util::Rng rng(7);
+  nn::Tensor soft = nn::Tensor::Randn({2, 8}, rng, 0.02f);
+  const std::vector<PromptPiece> head = builder.RecommendationPrefix(soft);
+  EXPECT_EQ(RenderPieces(head),
+            "[CLS] refer to pattern knowledge <EMB:2> [SEP] "
+            "the user watched these items in order");
+  for (const std::vector<int64_t>& history :
+       std::vector<std::vector<int64_t>>{{0}, {1, 2, 3}, {3, 3, 3, 3}}) {
+    const Prompt prompt = builder.BuildRecommendation(history, {0, 2}, soft,
+                                                      {}, nn::Tensor());
+    const SplitPrompt split = PromptBuilder::Split(prompt);
+    EXPECT_EQ(Flatten(split.prefix), Flatten(head));
+  }
+  // Without soft prompts the head is just [CLS] + the instruction run.
+  EXPECT_EQ(RenderPieces(builder.RecommendationPrefix(nn::Tensor())),
+            "[CLS] the user watched these items in order");
 }
 
 TEST_F(PromptGoldenTest, MaskPositionPointsAtMask) {

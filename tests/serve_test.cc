@@ -102,8 +102,11 @@ class ServeTest : public ::testing::Test {
     return requests;
   }
 
-  static std::unique_ptr<serve::EngineSnapshot> Snapshot() {
-    auto snapshot = serve::EngineSnapshot::FromModel(*model_, *llm_, Sources());
+  static std::unique_ptr<serve::EngineSnapshot> Snapshot(
+      const serve::SnapshotBuildOptions& options =
+          serve::SnapshotBuildOptions()) {
+    auto snapshot =
+        serve::EngineSnapshot::FromModel(*model_, *llm_, Sources(), options);
     DELREC_CHECK(snapshot.ok()) << snapshot.status().ToString();
     return std::move(snapshot.value());
   }
@@ -169,6 +172,101 @@ TEST_F(ServeTest, ScoreBatchInvariantUnderBatchComposition) {
       }
     }
     EXPECT_EQ(batched, reference) << "batch_size=" << batch_size;
+  }
+}
+
+// The prefix KV cache is a pure throughput/footprint trade: a snapshot with
+// it disabled scores every request bit-identically (DESIGN.md §15).
+TEST_F(ServeTest, PrefixCacheOnAndOffScoreBitIdentical) {
+  serve::SnapshotBuildOptions uncached_options;
+  uncached_options.enable_prefix_cache = false;
+  for (const bool quantize : {false, true}) {
+    serve::SnapshotBuildOptions cached_options;
+    cached_options.quantize_int8 = quantize;
+    uncached_options.quantize_int8 = quantize;
+    const auto cached = Snapshot(cached_options);
+    const auto uncached = Snapshot(uncached_options);
+    EXPECT_GT(cached->CachedPrefixLength(), 0);
+    EXPECT_EQ(uncached->CachedPrefixLength(), 0);
+    const std::vector<serve::ScoreRequest> requests = MakeRequests(9);
+    EXPECT_EQ(cached->ScoreBatch(requests), uncached->ScoreBatch(requests))
+        << "quantize=" << quantize;
+    for (const serve::ScoreRequest& request : requests) {
+      EXPECT_EQ(cached->Score(request), uncached->Score(request));
+    }
+  }
+}
+
+TEST_F(ServeTest, FootprintBreakdownSumsToTotal) {
+  const auto cached = Snapshot();
+  const serve::SnapshotFootprint footprint = cached->MemoryFootprint();
+  EXPECT_GT(footprint.weight_bytes, 0u);
+  EXPECT_GT(footprint.soft_prompt_bytes, 0u);
+  EXPECT_GT(footprint.token_table_bytes, 0u);
+  EXPECT_GT(footprint.prefix_cache_bytes, 0u);
+  EXPECT_EQ(footprint.total(), footprint.weight_bytes +
+                                   footprint.soft_prompt_bytes +
+                                   footprint.token_table_bytes +
+                                   footprint.prefix_cache_bytes);
+  EXPECT_EQ(cached->MemoryFootprintBytes(), footprint.total());
+  EXPECT_EQ(footprint.prefix_cache_bytes,
+            cached->prefix_state().MemoryBytes());
+
+  // Disabling the cache removes exactly the prefix_cache_bytes component.
+  serve::SnapshotBuildOptions off;
+  off.enable_prefix_cache = false;
+  const auto uncached = Snapshot(off);
+  const serve::SnapshotFootprint base = uncached->MemoryFootprint();
+  EXPECT_EQ(base.prefix_cache_bytes, 0u);
+  EXPECT_EQ(base.weight_bytes, footprint.weight_bytes);
+  EXPECT_EQ(base.soft_prompt_bytes, footprint.soft_prompt_bytes);
+  EXPECT_EQ(base.token_table_bytes, footprint.token_table_bytes);
+  EXPECT_EQ(base.total() + footprint.prefix_cache_bytes, footprint.total());
+}
+
+// prefix_tokens_skipped accounting: scored requests × the prefix length of
+// the snapshot each batch actually ran against, summed across shards.
+TEST_F(ServeTest, EngineAndShardedStatsCountPrefixTokensSkipped) {
+  const auto snapshot = Snapshot();
+  const int64_t prefix = snapshot->CachedPrefixLength();
+  ASSERT_GT(prefix, 0);
+  const std::vector<serve::ScoreRequest> requests = MakeRequests(12);
+  {
+    serve::RecommendationEngine engine(snapshot.get(),
+                                       serve::EngineOptions());
+    for (const serve::ScoreRequest& request : requests) {
+      engine.ScoreCandidates(request.history, request.candidates);
+    }
+    engine.Shutdown();
+    const serve::RecommendationEngine::Stats stats = engine.GetStats();
+    EXPECT_EQ(stats.prefix_tokens_skipped,
+              stats.scored * static_cast<uint64_t>(prefix));
+    EXPECT_EQ(stats.scored, requests.size());
+  }
+  {
+    serve::ShardedServerOptions options;
+    options.num_shards = 3;
+    serve::ShardedServer server(
+        std::shared_ptr<const serve::Scorer>(snapshot.get(),
+                                             [](const serve::Scorer*) {}),
+        options);
+    uint64_t user = 0;
+    for (const serve::ScoreRequest& request : requests) {
+      server.Score(user++, request.history, request.candidates);
+    }
+    server.Shutdown();
+    const serve::RecommendationEngine::Stats total = server.TotalStats();
+    EXPECT_EQ(total.prefix_tokens_skipped,
+              total.scored * static_cast<uint64_t>(prefix));
+    EXPECT_EQ(total.scored, requests.size());
+  }
+  // An uncached scorer reports no skipped tokens.
+  {
+    const auto live = serve::MakeDelRecScorer(model_);
+    serve::RecommendationEngine engine(live.get(), serve::EngineOptions());
+    engine.ScoreCandidates(requests[0].history, requests[0].candidates);
+    engine.Shutdown();
+    EXPECT_EQ(engine.GetStats().prefix_tokens_skipped, 0u);
   }
 }
 
