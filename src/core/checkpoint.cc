@@ -13,6 +13,7 @@ constexpr char kLlmBlob[] = "llm_state";
 constexpr char kSoftBlob[] = "soft_prompts";
 constexpr char kEmbeddingABlob[] = "embedding_lora_a";
 constexpr char kEmbeddingBBlob[] = "embedding_lora_b";
+constexpr char kStudentBlob[] = "student";
 
 // TrainState blobs (absent in plain model checkpoints).
 constexpr char kStageBlob[] = "train_state/stage";
@@ -166,7 +167,30 @@ util::StatusOr<DelRecBlobs> ReadDelRecBlobs(const std::string& path) {
     DELREC_ASSIGN_OR_RETURN(blobs.embedding_lora_a, file.Get(kEmbeddingABlob));
     DELREC_ASSIGN_OR_RETURN(blobs.embedding_lora_b, file.Get(kEmbeddingBBlob));
   }
+  if (file.Contains(kStudentBlob)) {
+    DELREC_ASSIGN_OR_RETURN(blobs.student_blob, file.Get(kStudentBlob));
+  }
   return blobs;
+}
+
+util::Status SaveDelRecBlobs(const DelRecBlobs& blobs,
+                             const std::string& path) {
+  util::BlobFile file;
+  DelRecBlobs copy = blobs;
+  file.Put(kLlmBlob, std::move(copy.llm_state));
+  file.Put(kSoftBlob, std::move(copy.soft_prompts));
+  for (size_t i = 0; i < copy.adapter_states.size(); ++i) {
+    file.Put(AdapterBlobName(i), std::move(copy.adapter_states[i]));
+    file.Put(AdapterMaskBlobName(i), std::move(copy.adapter_masks[i]));
+  }
+  if (!copy.embedding_lora_a.empty()) {
+    file.Put(kEmbeddingABlob, std::move(copy.embedding_lora_a));
+    file.Put(kEmbeddingBBlob, std::move(copy.embedding_lora_b));
+  }
+  if (!copy.student_blob.empty()) {
+    file.Put(kStudentBlob, std::move(copy.student_blob));
+  }
+  return WriteWithRetry(file, path);
 }
 
 util::Status SaveDelRecCheckpoint(const DelRec& model, const llm::TinyLm& llm,

@@ -22,6 +22,11 @@ struct DelRecBlobs {
   std::vector<std::vector<float>> adapter_masks;   // 0/1 per direction.
   std::vector<float> embedding_lora_a;  // Empty when no embedding adapter.
   std::vector<float> embedding_lora_b;
+  /// Optional distilled student (srmodels::SerializeStudent format). Empty
+  /// when no student has been attached; when present, EngineSnapshot
+  /// deserializes it at build time so the teacher and its student travel —
+  /// and hot-swap — as one artifact (DESIGN.md §16).
+  std::vector<float> student_blob;
 };
 
 /// Extracts the blob set of a live (trained) system — the exact payload
@@ -32,6 +37,13 @@ DelRecBlobs ExtractDelRecBlobs(const DelRec& model, const llm::TinyLm& llm);
 /// SaveDelRecCheckpoint (or SaveTrainCheckpoint — TrainState blobs are
 /// ignored). NotFound/DataLoss mirror LoadDelRecCheckpoint's contract.
 util::StatusOr<DelRecBlobs> ReadDelRecBlobs(const std::string& path);
+
+/// Writes a blob set — as extracted, or augmented (e.g. with a distilled
+/// student attached to DelRecBlobs::student_blob) — to a checkpoint file
+/// ReadDelRecBlobs/LoadDelRecCheckpoint can consume. Same atomic-write and
+/// retry behavior as SaveDelRecCheckpoint.
+util::Status SaveDelRecBlobs(const DelRecBlobs& blobs,
+                             const std::string& path);
 
 /// Persists a trained DELRec system: the LLM base weights, the distilled
 /// soft prompts, the AdaLoRA adapter factors with their rank masks, and the

@@ -1,0 +1,168 @@
+#include "distill/export.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <utility>
+
+#include "data/split.h"
+#include "eval/topk.h"
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace delrec::distill {
+namespace {
+
+/// splitmix64 finalizer: decorrelates per-user RNG streams from the dense
+/// user_index space (same mixer the sharded server uses for routing).
+uint64_t MixIndex(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// An example whose pool has been built but not yet teacher-scored.
+struct PendingExample {
+  DistillExample example;  // teacher_items/weights filled after scoring.
+  std::vector<int64_t> pool;
+};
+
+/// Scores a chunk with the teacher and converts each pool into the top-k
+/// list + normalized softmax weights.
+void FinalizeChunk(const serve::Scorer& teacher,
+                   std::vector<PendingExample>* chunk,
+                   const TeacherExportOptions& options,
+                   std::vector<DistillExample>* out) {
+  if (chunk->empty()) return;
+  std::vector<serve::ScoreRequest> requests;
+  requests.reserve(chunk->size());
+  for (const PendingExample& pending : *chunk) {
+    serve::ScoreRequest request;
+    request.history = pending.example.history;
+    request.candidates = pending.pool;
+    requests.push_back(std::move(request));
+  }
+  const std::vector<std::vector<float>> scores = teacher.ScoreBatch(requests);
+  DELREC_CHECK_EQ(scores.size(), chunk->size());
+  for (size_t i = 0; i < chunk->size(); ++i) {
+    PendingExample& pending = (*chunk)[i];
+    const std::vector<int64_t> top =
+        eval::TopKByIds(scores[i], pending.pool, options.top_k);
+    pending.example.teacher_items.reserve(top.size());
+    std::vector<double> exps(top.size());
+    double max_score = -HUGE_VAL;
+    for (int64_t position : top) {
+      max_score = std::max(max_score,
+                           static_cast<double>(scores[i][position]));
+    }
+    double total = 0.0;
+    for (size_t j = 0; j < top.size(); ++j) {
+      const double z =
+          (static_cast<double>(scores[i][top[j]]) - max_score) /
+          static_cast<double>(options.temperature);
+      exps[j] = std::exp(z);
+      total += exps[j];
+    }
+    pending.example.teacher_weights.reserve(top.size());
+    for (size_t j = 0; j < top.size(); ++j) {
+      pending.example.teacher_items.push_back(pending.pool[top[j]]);
+      pending.example.teacher_weights.push_back(
+          static_cast<float>(exps[j] / total));
+    }
+    out->push_back(std::move(pending.example));
+  }
+  chunk->clear();
+}
+
+}  // namespace
+
+util::Status TeacherExportOptions::Validate() const {
+  if (top_k < 1) {
+    return util::Status::InvalidArgument(
+        "TeacherExportOptions.top_k must be >= 1, got " +
+        std::to_string(top_k));
+  }
+  if (candidate_pool < top_k) {
+    return util::Status::InvalidArgument(
+        "TeacherExportOptions.candidate_pool must be >= top_k");
+  }
+  if (history_length < 1) {
+    return util::Status::InvalidArgument(
+        "TeacherExportOptions.history_length must be >= 1");
+  }
+  if (!(train_fraction > 0.0 && train_fraction <= 1.0)) {
+    return util::Status::InvalidArgument(
+        "TeacherExportOptions.train_fraction must be in (0, 1]");
+  }
+  if (!(temperature > 0.0f)) {
+    return util::Status::InvalidArgument(
+        "TeacherExportOptions.temperature must be > 0");
+  }
+  if (batch_size < 1) {
+    return util::Status::InvalidArgument(
+        "TeacherExportOptions.batch_size must be >= 1");
+  }
+  if (max_users < 0) {
+    return util::Status::InvalidArgument(
+        "TeacherExportOptions.max_users must be >= 0");
+  }
+  return util::Status::Ok();
+}
+
+util::StatusOr<TeacherDataset> ExportTeacherLists(
+    const serve::Scorer& teacher, data::EventStream& stream,
+    int64_t num_items, const TeacherExportOptions& options) {
+  DELREC_RETURN_IF_ERROR(options.Validate());
+  if (num_items < options.candidate_pool) {
+    return util::Status::InvalidArgument(
+        "catalog of " + std::to_string(num_items) +
+        " items cannot fill a candidate pool of " +
+        std::to_string(options.candidate_pool));
+  }
+  TeacherDataset dataset;
+  dataset.top_k = options.top_k;
+  std::vector<PendingExample> chunk;
+  chunk.reserve(options.batch_size);
+  data::UserRun run;
+  while (stream.Next(&run)) {
+    if (options.max_users > 0 && dataset.users_seen >= options.max_users) {
+      break;
+    }
+    ++dataset.users_seen;
+    const int64_t n = static_cast<int64_t>(run.items.size());
+    // Supervise the last target inside the training region: with t targets
+    // (positions 1..n-1), the first round(train_fraction·t) are training
+    // targets, matching MakeSplits' chronological routing.
+    const int64_t train_targets = std::min<int64_t>(
+        n - 1, std::max<int64_t>(
+                   1, std::llround(options.train_fraction *
+                                   static_cast<double>(n - 1))));
+    if (n < 2) {
+      ++dataset.users_skipped;
+      continue;
+    }
+    const int64_t target_position = train_targets;  // items[pos] is target.
+    PendingExample pending;
+    pending.example.target = run.items[target_position];
+    const int64_t start =
+        std::max<int64_t>(0, target_position - options.history_length);
+    pending.example.history.assign(run.items.begin() + start,
+                                   run.items.begin() + target_position);
+    // Per-user forked pool RNG: the pool depends on (seed, user_index)
+    // only, never on chunking or scan order.
+    util::Rng pool_rng(options.seed ^ MixIndex(
+        static_cast<uint64_t>(run.user_index)));
+    pending.pool = data::SampleCandidates(
+        num_items, pending.example.target, options.candidate_pool, pool_rng);
+    chunk.push_back(std::move(pending));
+    if (static_cast<int64_t>(chunk.size()) >= options.batch_size) {
+      FinalizeChunk(teacher, &chunk, options, &dataset.examples);
+    }
+  }
+  DELREC_RETURN_IF_ERROR(stream.status());
+  FinalizeChunk(teacher, &chunk, options, &dataset.examples);
+  return dataset;
+}
+
+}  // namespace delrec::distill

@@ -1,0 +1,80 @@
+#ifndef DELREC_DISTILL_EXPORT_H_
+#define DELREC_DISTILL_EXPORT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "data/event_stream.h"
+#include "serve/scorer.h"
+#include "util/status.h"
+
+namespace delrec::distill {
+
+/// Knobs for exporting teacher supervision from a frozen serving snapshot.
+struct TeacherExportOptions {
+  /// Teacher list length per example: the k items the student is pulled
+  /// toward, with softmax importance weights ("Distillation Matters"-style
+  /// ranking distillation).
+  int64_t top_k = 8;
+  /// Candidate pool the teacher scores per example (target + pool-1
+  /// sampled negatives). The teacher is a candidate re-scorer, not a
+  /// full-catalog scorer, so supervision comes from pools, like serving.
+  int64_t candidate_pool = 30;
+  /// History window taken from the end of each user's training region.
+  int64_t history_length = 10;
+  /// Fraction of each user's timeline whose targets count as training —
+  /// the export supervises the *last training target* per user, so teacher
+  /// lists never peek at validation/test targets (matches the 8:1:1
+  /// chronological split convention of data::MakeSplits).
+  double train_fraction = 0.8;
+  /// Softmax temperature over teacher scores (higher = flatter weights).
+  float temperature = 1.0f;
+  /// Examples per teacher ScoreBatch call. Fixed chunking (independent of
+  /// thread count) plus the Scorer batch-invariance contract make the
+  /// export bit-identical for every parallelism setting.
+  int64_t batch_size = 32;
+  /// Stop after this many users (0 = stream everything).
+  int64_t max_users = 0;
+  /// Seeds the per-user candidate-pool RNG (forked per user_index, so pools
+  /// do not depend on chunk boundaries or arrival order).
+  uint64_t seed = 17;
+
+  /// InvalidArgument when a field is out of range.
+  util::Status Validate() const;
+};
+
+/// One unit of distillation supervision: the user's history, the held-out
+/// next item (ground truth for the auxiliary next-item loss), and the
+/// teacher's top-k of the candidate pool with normalized importance
+/// weights (best first, weights summing to 1).
+struct DistillExample {
+  std::vector<int64_t> history;
+  int64_t target = 0;
+  std::vector<int64_t> teacher_items;
+  std::vector<float> teacher_weights;
+};
+
+/// The exported supervision set plus provenance counters.
+struct TeacherDataset {
+  std::vector<DistillExample> examples;
+  int64_t top_k = 0;
+  int64_t users_seen = 0;      ///< User runs the stream yielded.
+  int64_t users_skipped = 0;   ///< Runs too short to form an example.
+};
+
+/// Streams user runs off `stream` (in-RAM or mmap-backed — the export is
+/// out-of-core by construction, holding only the current teacher chunk and
+/// the emitted examples) and scores each user's candidate pool with the
+/// frozen teacher. One example per qualifying user. Deterministic given
+/// (stream contents, options): candidate pools come from per-user forked
+/// RNGs and teacher chunks have fixed, thread-independent boundaries, so
+/// the result is bit-identical across thread counts and storage backends.
+/// `num_items` is the catalog size pools are sampled from. Returns the
+/// stream's sticky error if it fails mid-scan.
+util::StatusOr<TeacherDataset> ExportTeacherLists(
+    const serve::Scorer& teacher, data::EventStream& stream,
+    int64_t num_items, const TeacherExportOptions& options);
+
+}  // namespace delrec::distill
+
+#endif  // DELREC_DISTILL_EXPORT_H_

@@ -1,0 +1,171 @@
+#include "distill/trainer.h"
+
+#include <cstring>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "nn/module.h"
+#include "nn/ops.h"
+#include "nn/optimizer.h"
+#include "srmodels/trainer.h"
+#include "util/check.h"
+#include "util/retry.h"
+#include "util/rng.h"
+#include "util/serialize.h"
+
+namespace delrec::distill {
+namespace {
+
+constexpr char kStudentStateBlob[] = "student_state";
+constexpr char kOptimizerBlob[] = "optimizer_state";
+constexpr char kRngBlob[] = "rng_state";
+constexpr char kCursorBlob[] = "cursor";
+
+std::vector<float> PackWords(const std::vector<uint64_t>& words) {
+  std::vector<float> packed(words.size() * 2);
+  std::memcpy(packed.data(), words.data(), words.size() * sizeof(uint64_t));
+  return packed;
+}
+
+util::StatusOr<std::vector<uint64_t>> UnpackWords(
+    const std::vector<float>& packed) {
+  if (packed.size() % 2 != 0) {
+    return util::Status::DataLoss("odd packed-word blob length");
+  }
+  std::vector<uint64_t> words(packed.size() / 2);
+  std::memcpy(words.data(), packed.data(), words.size() * sizeof(uint64_t));
+  return words;
+}
+
+util::Status SaveCheckpoint(const std::string& path, const nn::Module& module,
+                            const nn::Optimizer& optimizer,
+                            const util::Rng& rng, int next_epoch) {
+  util::BlobFile file;
+  file.Put(kStudentStateBlob, module.StateDump());
+  file.Put(kOptimizerBlob, optimizer.StateDump());
+  file.Put(kRngBlob, PackWords(rng.StateDump()));
+  file.Put(kCursorBlob, {static_cast<float>(next_epoch)});
+  return util::Retry(util::RetryOptions(), [&] { return file.WriteTo(path); });
+}
+
+util::StatusOr<int> LoadCheckpoint(const std::string& path,
+                                   nn::Module& module,
+                                   nn::Optimizer& optimizer, util::Rng& rng) {
+  DELREC_ASSIGN_OR_RETURN(util::BlobFile file, util::BlobFile::ReadFrom(path));
+  DELREC_ASSIGN_OR_RETURN(std::vector<float> state,
+                          file.Get(kStudentStateBlob));
+  if (state.size() != module.StateDump().size()) {
+    return util::Status::InvalidArgument(
+        "distill checkpoint state size mismatch");
+  }
+  DELREC_ASSIGN_OR_RETURN(std::vector<float> optimizer_state,
+                          file.Get(kOptimizerBlob));
+  if (optimizer_state.size() != optimizer.StateDump().size()) {
+    return util::Status::InvalidArgument(
+        "distill checkpoint optimizer size mismatch");
+  }
+  DELREC_ASSIGN_OR_RETURN(std::vector<float> packed_rng, file.Get(kRngBlob));
+  DELREC_ASSIGN_OR_RETURN(std::vector<uint64_t> rng_words,
+                          UnpackWords(packed_rng));
+  DELREC_ASSIGN_OR_RETURN(std::vector<float> cursor, file.Get(kCursorBlob));
+  if (cursor.size() != 1 || cursor[0] < 0.0f) {
+    return util::Status::DataLoss("distill checkpoint cursor corrupt");
+  }
+  module.LoadState(state);
+  optimizer.LoadState(optimizer_state);
+  rng.LoadState(rng_words);
+  return static_cast<int>(cursor[0]);
+}
+
+}  // namespace
+
+util::StatusOr<DistillResult> DistillStudent(
+    srmodels::SequentialRecommender& student, const TeacherDataset& teacher,
+    const DistillTrainConfig& config) {
+  if (teacher.examples.empty()) {
+    return util::Status::InvalidArgument("empty teacher dataset");
+  }
+  auto* module = dynamic_cast<nn::Module*>(&student);
+  if (module == nullptr) {
+    return util::Status::InvalidArgument(
+        student.name() + " is not an nn::Module; cannot distill into it");
+  }
+  {
+    // Probe the gradient path once up front so an unsupported student fails
+    // with a Status instead of mid-epoch.
+    util::Rng probe_rng(config.base.seed);
+    nn::NoGradGuard no_grad;
+    if (!student
+             .TrainingLogits(teacher.examples[0].history, 0.0f, probe_rng)
+             .defined()) {
+      return util::Status::InvalidArgument(
+          student.name() + " has no TrainingLogits gradient path");
+    }
+  }
+  if (!(config.kd_weight >= 0.0f) || !(config.next_item_weight >= 0.0f) ||
+      config.kd_weight + config.next_item_weight <= 0.0f) {
+    return util::Status::InvalidArgument(
+        "distill loss weights must be non-negative and not both zero");
+  }
+
+  module->SetTraining(true);
+  util::Rng rng(config.base.seed);
+  nn::Adam optimizer(module->Parameters(), config.base.learning_rate);
+  srmodels::TrainLoopHooks hooks;
+  if (!config.checkpoint_path.empty() && config.resume) {
+    auto resumed = LoadCheckpoint(config.checkpoint_path, *module, optimizer,
+                                  rng);
+    if (resumed.ok()) {
+      hooks.start_epoch = resumed.value();
+    } else if (resumed.status().code() != util::Status::Code::kNotFound) {
+      module->SetTraining(false);
+      return resumed.status();
+    }
+  }
+  if (!config.checkpoint_path.empty()) {
+    hooks.epoch_end = [&](int epoch, float) {
+      return SaveCheckpoint(config.checkpoint_path, *module, optimizer, rng,
+                            epoch + 1);
+    };
+  }
+
+  const auto example_loss = [&](int64_t index) {
+    const DistillExample& example = teacher.examples[index];
+    nn::Tensor logits =
+        student.TrainingLogits(example.history, config.base.dropout, rng);
+    std::vector<nn::Tensor> terms;
+    if (config.kd_weight > 0.0f && !example.teacher_items.empty()) {
+      // Listwise KD: cross-entropy between the teacher's importance
+      // weights over its top-k list and the student's full softmax,
+      // -Σ_j w_j · log p(t_j). Gathering rows of the transposed
+      // log-softmax picks out the listed items differentiably.
+      nn::Tensor log_probs = nn::Transpose(nn::LogSoftmax(logits));  // (V,1)
+      nn::Tensor listed = nn::Rows(log_probs, example.teacher_items);
+      nn::Tensor weights = nn::Tensor::FromData(
+          {static_cast<int64_t>(example.teacher_weights.size()), 1},
+          example.teacher_weights);
+      terms.push_back(nn::MulScalar(nn::Sum(nn::Mul(listed, weights)),
+                                    -config.kd_weight));
+    }
+    if (config.next_item_weight > 0.0f) {
+      terms.push_back(
+          nn::MulScalar(nn::CrossEntropyWithLogits(logits, {example.target}),
+                        config.next_item_weight));
+    }
+    return nn::AddN(terms);
+  };
+
+  const auto loop_result = srmodels::RunTrainingLoop(
+      static_cast<int64_t>(teacher.examples.size()), config.base, optimizer,
+      module->Parameters(), rng, example_loss, "DistillStudent", hooks);
+  module->SetTraining(false);
+  DELREC_RETURN_IF_ERROR(loop_result.status());
+  DistillResult result;
+  result.final_loss = loop_result.value().final_loss;
+  result.anomalies_skipped = loop_result.value().anomalies_skipped;
+  result.epochs_run = config.base.epochs - hooks.start_epoch;
+  return result;
+}
+
+}  // namespace delrec::distill

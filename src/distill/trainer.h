@@ -1,0 +1,54 @@
+#ifndef DELREC_DISTILL_TRAINER_H_
+#define DELREC_DISTILL_TRAINER_H_
+
+#include <cstdint>
+#include <string>
+
+#include "distill/export.h"
+#include "srmodels/recommender.h"
+#include "util/status.h"
+
+namespace delrec::distill {
+
+/// Ranking-distillation training knobs. `base` carries the shared loop
+/// machinery (epochs, batching, learning rate, dropout, clipping, seed, the
+/// loss-anomaly guard) — the same knobs the backbone's own Train() uses.
+struct DistillTrainConfig {
+  srmodels::TrainConfig base;
+  /// Weight of the listwise KD term: -Σ_j w_j · log softmax(z)[t_j] over
+  /// the teacher's top-k list (w = exported importance weights).
+  float kd_weight = 1.0f;
+  /// Weight of the auxiliary next-item cross-entropy on the held-out
+  /// target, kept alongside KD so the student stays grounded in observed
+  /// behavior ("Distillation Matters" trains the same combination).
+  float next_item_weight = 0.5f;
+  /// Per-epoch resumable checkpoint (BlobFile: student state, optimizer
+  /// moments, RNG state, epoch cursor). Empty = no checkpointing.
+  std::string checkpoint_path;
+  /// Resume from `checkpoint_path` when the file exists. A resumed run is
+  /// bit-identical to the uninterrupted one (same contract as the DELRec
+  /// TrainState path). NotFound is a fresh start, not an error.
+  bool resume = false;
+};
+
+struct DistillResult {
+  float final_loss = 0.0f;        ///< Mean combined loss, last epoch run.
+  int64_t anomalies_skipped = 0;  ///< Batches the anomaly guard rejected.
+  int epochs_run = 0;             ///< Epochs executed in this call.
+};
+
+/// Fine-tunes `student` on teacher supervision with the combined
+/// KD-listwise + next-item loss, through the shared srmodels training loop
+/// (same shuffle stream, anomaly guard, `trainer.loss` failpoint, and
+/// gradient clipping as the backbone trainers). The student must be a
+/// factory backbone (an nn::Module with TrainingLogits); InvalidArgument
+/// otherwise. Training is single-threaded over the model and bit-identical
+/// across ambient thread counts; with checkpointing on, an interrupted run
+/// resumed from disk reproduces the uninterrupted parameters exactly.
+util::StatusOr<DistillResult> DistillStudent(
+    srmodels::SequentialRecommender& student, const TeacherDataset& teacher,
+    const DistillTrainConfig& config);
+
+}  // namespace delrec::distill
+
+#endif  // DELREC_DISTILL_TRAINER_H_

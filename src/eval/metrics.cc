@@ -1,7 +1,9 @@
 #include "eval/metrics.h"
 
+#include <algorithm>
 #include <cmath>
 
+#include "eval/topk.h"
 #include "util/check.h"
 
 namespace delrec::eval {
@@ -25,15 +27,14 @@ double NdcgAt(int64_t rank, int64_t k) {
 int64_t RankOfTarget(const std::vector<float>& scores, int64_t target_index) {
   DELREC_CHECK_GE(target_index, 0);
   DELREC_CHECK_LT(target_index, static_cast<int64_t>(scores.size()));
-  const float target_score = scores[target_index];
-  int64_t rank = 0;
-  for (int64_t i = 0; i < static_cast<int64_t>(scores.size()); ++i) {
-    if (i == target_index) continue;
-    if (scores[i] > target_score || (scores[i] == target_score && i < target_index)) {
-      ++rank;
-    }
-  }
-  return rank;
+  // The rank is the target's position in the shared TopK ordering, so
+  // evaluation agrees with every top-k selection in the repo by
+  // construction (same comparator, one implementation).
+  const std::vector<int64_t> order =
+      TopK(scores, static_cast<int64_t>(scores.size()));
+  const auto it = std::find(order.begin(), order.end(), target_index);
+  DELREC_CHECK(it != order.end());
+  return std::distance(order.begin(), it);
 }
 
 int64_t RankOfTarget(const std::vector<float>& scores,
@@ -42,17 +43,11 @@ int64_t RankOfTarget(const std::vector<float>& scores,
   DELREC_CHECK_EQ(scores.size(), item_ids.size());
   DELREC_CHECK_GE(target_index, 0);
   DELREC_CHECK_LT(target_index, static_cast<int64_t>(scores.size()));
-  const float target_score = scores[target_index];
-  const int64_t target_id = item_ids[target_index];
-  int64_t rank = 0;
-  for (int64_t i = 0; i < static_cast<int64_t>(scores.size()); ++i) {
-    if (i == target_index) continue;
-    if (scores[i] > target_score ||
-        (scores[i] == target_score && item_ids[i] < target_id)) {
-      ++rank;
-    }
-  }
-  return rank;
+  const std::vector<int64_t> order =
+      TopKByIds(scores, item_ids, static_cast<int64_t>(scores.size()));
+  const auto it = std::find(order.begin(), order.end(), target_index);
+  DELREC_CHECK(it != order.end());
+  return std::distance(order.begin(), it);
 }
 
 void MetricsAccumulator::Add(int64_t rank) {

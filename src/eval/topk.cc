@@ -1,0 +1,41 @@
+#include "eval/topk.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/check.h"
+
+namespace delrec::eval {
+
+std::vector<int64_t> TopK(const std::vector<float>& scores, int64_t k) {
+  std::vector<int64_t> order(scores.size());
+  std::iota(order.begin(), order.end(), 0);
+  k = std::min<int64_t>(k, static_cast<int64_t>(order.size()));
+  k = std::max<int64_t>(k, 0);
+  std::partial_sort(order.begin(), order.begin() + k, order.end(),
+                    [&](int64_t a, int64_t b) {
+                      if (scores[a] != scores[b]) return scores[a] > scores[b];
+                      return a < b;
+                    });
+  order.resize(k);
+  return order;
+}
+
+std::vector<int64_t> TopKByIds(const std::vector<float>& scores,
+                               const std::vector<int64_t>& item_ids,
+                               int64_t k) {
+  DELREC_CHECK_EQ(scores.size(), item_ids.size());
+  std::vector<int64_t> order(scores.size());
+  std::iota(order.begin(), order.end(), 0);
+  k = std::min<int64_t>(k, static_cast<int64_t>(order.size()));
+  k = std::max<int64_t>(k, 0);
+  std::partial_sort(order.begin(), order.begin() + k, order.end(),
+                    [&](int64_t a, int64_t b) {
+                      if (scores[a] != scores[b]) return scores[a] > scores[b];
+                      return item_ids[a] < item_ids[b];
+                    });
+  order.resize(k);
+  return order;
+}
+
+}  // namespace delrec::eval

@@ -158,6 +158,7 @@ RecommendationEngine::Stats RecommendationEngine::GetStats() const {
   stats.swaps_observed = swaps_observed_;
   stats.snapshot_version = last_version_;
   stats.prefix_tokens_skipped = prefix_tokens_skipped_;
+  stats.prefix_tokens_by_version = prefix_tokens_by_version_;
   stats.queue_wait_histogram = queue_wait_histogram_;
   stats.queue_p50_ms = QueueWaitPercentileMs(queue_wait_histogram_, 0.50);
   stats.queue_p99_ms = QueueWaitPercentileMs(queue_wait_histogram_, 0.99);
@@ -287,10 +288,14 @@ void RecommendationEngine::DispatcherLoop() {
       if (batch_status.ok()) {
         scored_requests_ += batch.size();
         // Count against the scorer this batch actually ran on — a hot-swap
-        // can change the cached prefix length mid-stream.
-        prefix_tokens_skipped_ +=
+        // can change the cached prefix length mid-stream — and attribute
+        // the tokens to its version so mixed-version windows stay auditable
+        // (Stats::prefix_tokens_by_version).
+        const uint64_t skipped =
             batch.size() *
             static_cast<uint64_t>(tagged.scorer->CachedPrefixLength());
+        prefix_tokens_skipped_ += skipped;
+        prefix_tokens_by_version_[tagged.version] += skipped;
       } else {
         scorer_failures_ += batch.size();
       }

@@ -7,6 +7,7 @@
 #include <cstdint>
 #include <deque>
 #include <future>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <thread>
@@ -137,6 +138,14 @@ class RecommendationEngine {
     // snapshot version each batch actually ran against). 0 for scorers
     // without a cache.
     uint64_t prefix_tokens_skipped = 0;
+    // The same tokens attributed to the snapshot version whose cache served
+    // them. A hot swap can change CachedPrefixLength mid-stream, so the flat
+    // counter alone cannot say which artifact did the skipping; this map
+    // can. Keys are every version that scored at least one batch (entries
+    // may be 0 for cacheless versions); values always sum to
+    // prefix_tokens_skipped — MergeStats preserves both properties across
+    // shards.
+    std::map<uint64_t, uint64_t> prefix_tokens_by_version;
     // Queue-wait latency (arrival → dispatch) for dispatched requests.
     double queue_p50_ms = 0.0;
     double queue_p99_ms = 0.0;
@@ -183,6 +192,7 @@ class RecommendationEngine {
   uint64_t swaps_observed_ = 0;
   uint64_t last_version_ = 0;
   uint64_t prefix_tokens_skipped_ = 0;
+  std::map<uint64_t, uint64_t> prefix_tokens_by_version_;
   QueueWaitHistogram queue_wait_histogram_{};
 
   std::thread dispatcher_;  // Last member: starts in the ctor body.

@@ -43,8 +43,32 @@ class SequentialScorer : public Scorer {
     return model_->ScoreCandidatesBatch(histories, candidates);
   }
 
+  ScorerCapabilities Capabilities() const override {
+    return {/*full_catalog=*/true, model_->item_count()};
+  }
+
+  std::vector<float> ScoreCatalog(
+      const std::vector<int64_t>& history) const override {
+    return model_->ScoreAllItems(history);
+  }
+
  private:
   const srmodels::SequentialRecommender* model_;
+};
+
+/// SequentialScorer that owns its model: the deserialized-student backend.
+class StudentScorer : public SequentialScorer {
+ public:
+  explicit StudentScorer(srmodels::LoadedStudent student)
+      : SequentialScorer(student.model.get()),
+        student_(std::move(student)) {}
+
+  std::string name() const override {
+    return "student(" + student_.model->name() + ")";
+  }
+
+ private:
+  srmodels::LoadedStudent student_;
 };
 
 class BaselineScorer : public Scorer {
@@ -92,9 +116,21 @@ std::vector<std::vector<float>> Scorer::ScoreBatch(
   return results;
 }
 
+std::vector<float> Scorer::ScoreCatalog(
+    const std::vector<int64_t>& history) const {
+  DELREC_CHECK(false) << name()
+                      << " does not declare full-catalog capability";
+  return {};
+}
+
 std::unique_ptr<Scorer> MakeSequentialScorer(
     const srmodels::SequentialRecommender* model) {
   return std::make_unique<SequentialScorer>(model);
+}
+
+std::unique_ptr<Scorer> MakeStudentScorer(srmodels::LoadedStudent student) {
+  DELREC_CHECK(student.model != nullptr);
+  return std::make_unique<StudentScorer>(std::move(student));
 }
 
 std::unique_ptr<Scorer> MakeBaselineScorer(

@@ -8,6 +8,7 @@
 
 #include "baselines/common.h"
 #include "core/delrec.h"
+#include "srmodels/factory.h"
 #include "srmodels/recommender.h"
 
 namespace delrec::serve {
@@ -26,10 +27,26 @@ struct ScoreRequest {
   double deadline_ms = 0.0;
 };
 
+/// What a backend can do beyond the base candidate-scoring contract
+/// (DESIGN.md §16). Every Scorer can re-score an explicit candidate list;
+/// only some — the conventional SR backbones and the distilled student —
+/// can also score the entire catalog in one call, which is what a two-tier
+/// retriever needs. Declared rather than probed so composition failures
+/// (e.g. a candidate-only backend as the retriever tier) are
+/// InvalidArgument at build time, not CHECK-fails under traffic.
+struct ScorerCapabilities {
+  /// ScoreCatalog() is implemented: one score per catalog item.
+  bool full_catalog = false;
+  /// Items ScoreCatalog() covers (0 when full_catalog is false).
+  int64_t catalog_size = 0;
+};
+
 /// The unified serving interface every recommender in this repo sits
 /// behind: DELRec itself (live or as a frozen EngineSnapshot), the four
-/// baselines/ LLM paradigms, and the conventional srmodels/ backbones. A
-/// RecommendationEngine owns one Scorer and drives it from its dispatcher.
+/// baselines/ LLM paradigms, the conventional srmodels/ backbones, the
+/// distilled student, and the two-tier composition of a retriever with a
+/// re-ranker. A RecommendationEngine owns one Scorer and drives it from
+/// its dispatcher.
 ///
 /// Contract: Score()/ScoreBatch() must be const-thread-safe (inference
 /// mutates no observable state), and ScoreBatch row i must be bit-identical
@@ -49,6 +66,17 @@ class Scorer {
   virtual std::vector<std::vector<float>> ScoreBatch(
       const std::vector<ScoreRequest>& requests) const;
 
+  /// What this backend declares it can do. The default is the minimum
+  /// every Scorer satisfies: candidate re-scoring only.
+  virtual ScorerCapabilities Capabilities() const { return {}; }
+
+  /// Scores every catalog item for one history (index = item id). Only
+  /// valid on backends whose Capabilities().full_catalog is true; the
+  /// default CHECK-fails. Same determinism and thread-safety contract as
+  /// Score().
+  virtual std::vector<float> ScoreCatalog(
+      const std::vector<int64_t>& history) const;
+
   /// Prompt tokens per request this scorer serves from a precomputed prefix
   /// KV cache instead of re-encoding (DESIGN.md §15). 0 — the default, and
   /// the value for every non-cached scorer — feeds the engine's
@@ -58,9 +86,18 @@ class Scorer {
 };
 
 /// Adapts a conventional sequential recommender. `model` must outlive the
-/// scorer and be trained.
+/// scorer and be trained. Declares full-catalog capability (ScoreCatalog =
+/// the model's ScoreAllItems), so these adapters can serve as the
+/// retriever tier of a TwoTierScorer.
 std::unique_ptr<Scorer> MakeSequentialScorer(
     const srmodels::SequentialRecommender* model);
+
+/// The third backend family: a distilled student (srmodels::LoadedStudent,
+/// typically deserialized from a snapshot's student blob) owned by the
+/// scorer itself. Full-catalog capable, like MakeSequentialScorer, but
+/// self-contained — the artifact travels with the scorer, which is what
+/// lets a two-tier snapshot hot-swap as one version.
+std::unique_ptr<Scorer> MakeStudentScorer(srmodels::LoadedStudent student);
 
 /// Adapts any baselines/ LlmRecommender (all four paradigms implement that
 /// interface). `model` must outlive the scorer and be trained.

@@ -98,6 +98,14 @@ RecommendationEngine::Stats MergeStats(
     total.scorer_failures += shard.scorer_failures;
     total.swaps_observed += shard.swaps_observed;
     total.prefix_tokens_skipped += shard.prefix_tokens_skipped;
+    // Merge the per-version attribution by key, never by position: shards
+    // observe hot swaps at different times, so the same window can hold
+    // shards on different versions, and a positional merge would fold
+    // version A's tokens into version B's. Key-wise summing keeps the
+    // invariant that the map's values sum to prefix_tokens_skipped.
+    for (const auto& [version, skipped] : shard.prefix_tokens_by_version) {
+      total.prefix_tokens_by_version[version] += skipped;
+    }
     total.snapshot_version =
         std::max(total.snapshot_version, shard.snapshot_version);
     for (int bucket = 0; bucket < RecommendationEngine::kQueueWaitBuckets;

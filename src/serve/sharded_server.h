@@ -75,7 +75,12 @@ class ShardedServer {
   RecommendationEngine::Stats ShardStats(int shard) const;
   /// Aggregate across shards: counts summed, queue-wait histograms merged
   /// (percentiles recomputed from the merged histogram), snapshot_version =
-  /// max observed.
+  /// max observed. prefix_tokens_skipped is summed AND carried through the
+  /// per-version map: because shards observe a hot swap at batch
+  /// granularity, a mixed-version window has different shards skipping
+  /// different per-request token counts, so the merged
+  /// prefix_tokens_by_version sums entries by version key — the flat total
+  /// equals the map's value sum both per shard and after the merge.
   RecommendationEngine::Stats TotalStats() const;
 
   /// Stops accepting requests on every shard and drains them. Idempotent.

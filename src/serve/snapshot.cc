@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "nn/lora.h"
+#include "nn/module.h"
 #include "util/check.h"
 #include "util/failpoint.h"
 #include "util/threadpool.h"
@@ -127,7 +128,24 @@ util::StatusOr<std::unique_ptr<EngineSnapshot>> EngineSnapshot::FromBlobs(
     snapshot->prefix_state_ = snapshot->llm_->BuildPrefixState(
         prefix_pieces, snapshot->effective_table_);
   }
+  // Embedded distilled student (optional, DESIGN.md §16): deserialize the
+  // blob into a frozen inference model. It rides the same artifact as the
+  // teacher, so a two-tier publish swaps both tiers in one version flip.
+  if (!blobs.student_blob.empty()) {
+    DELREC_ASSIGN_OR_RETURN(snapshot->student_,
+                            srmodels::DeserializeStudent(blobs.student_blob));
+    if (auto* module = dynamic_cast<nn::Module*>(snapshot->student_.model.get())) {
+      module->SetTraining(false);
+      module->SetRequiresGrad(false);
+    }
+  }
   return snapshot;
+}
+
+const srmodels::SequentialRecommender* EngineSnapshot::student() const {
+  DELREC_CHECK(student_.model != nullptr)
+      << "snapshot embeds no student blob";
+  return student_.model.get();
 }
 
 std::string EngineSnapshot::name() const {
@@ -144,6 +162,10 @@ SnapshotFootprint EngineSnapshot::MemoryFootprint() const {
         effective_table_.data().size() * sizeof(float);
   }
   footprint.prefix_cache_bytes = prefix_state_.MemoryBytes();
+  if (student_.model != nullptr) {
+    footprint.student_bytes =
+        static_cast<size_t>(student_.model->ParameterCount()) * sizeof(float);
+  }
   return footprint;
 }
 

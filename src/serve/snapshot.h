@@ -16,6 +16,7 @@
 #include "llm/vocab.h"
 #include "nn/tensor.h"
 #include "serve/scorer.h"
+#include "srmodels/factory.h"
 #include "srmodels/recommender.h"
 #include "util/rng.h"
 #include "util/status.h"
@@ -51,10 +52,11 @@ struct SnapshotFootprint {
   size_t soft_prompt_bytes = 0;   ///< Distilled soft-prompt rows.
   size_t token_table_bytes = 0;   ///< Materialized fp32 effective table.
   size_t prefix_cache_bytes = 0;  ///< PrefixState per-layer K/V + hidden.
+  size_t student_bytes = 0;       ///< Embedded distilled student (0 if none).
 
   size_t total() const {
     return weight_bytes + soft_prompt_bytes + token_table_bytes +
-           prefix_cache_bytes;
+           prefix_cache_bytes + student_bytes;
   }
 };
 
@@ -142,6 +144,17 @@ class EngineSnapshot : public Scorer {
     return prefix_state_;
   }
 
+  /// Whether the checkpoint this snapshot was built from embedded a
+  /// distilled student blob (DelRecBlobs::student_blob). When true, the
+  /// snapshot carries the deserialized student alongside the teacher so
+  /// MakeSnapshotTwoTier can publish both tiers as one atomic version.
+  bool has_student() const { return student_.model != nullptr; }
+  /// The embedded student (frozen, inference-only). CHECK-fails when
+  /// has_student() is false.
+  const srmodels::SequentialRecommender* student() const;
+  /// The student's declared architecture (valid only when has_student()).
+  const srmodels::StudentSpec& student_spec() const { return student_.spec; }
+
  private:
   EngineSnapshot(const core::DelRecConfig& config, const Sources& sources);
 
@@ -159,6 +172,10 @@ class EngineSnapshot : public Scorer {
   // invalidates it (the old PrefixState dies with the old snapshot's
   // refcount, DESIGN.md §12/§15).
   llm::TinyLm::PrefixState prefix_state_;
+  // Deserialized DelRecBlobs::student_blob (model == nullptr when the
+  // checkpoint carried none). Owned and frozen like everything else here;
+  // lives and dies with the snapshot so two-tier publishes are atomic.
+  srmodels::LoadedStudent student_;
   // Handed to Encode() for its dropout parameter; inference never draws
   // from it (dropout 0, training off), so concurrent Score() calls are safe.
   mutable util::Rng scratch_rng_;

@@ -31,6 +31,7 @@ class Bert4Rec : public nn::Module, public SequentialRecommender {
   int64_t ParameterCount() const override {
     return nn::Module::ParameterCount();
   }
+  int64_t item_count() const override { return num_items_; }
 
   /// Overwrites item embedding rows with external vectors (one per item,
   /// width == embedding_dim). The LLM2BERT4Rec initialization hook.

@@ -86,6 +86,13 @@ nn::Tensor Caser::UserVector(const std::vector<int64_t>& history,
   return nn::Relu(fc_->Forward(concatenated));  // (1, D)
 }
 
+nn::Tensor Caser::TrainingLogits(const std::vector<int64_t>& history,
+                                 float dropout, util::Rng& rng) const {
+  nn::Tensor user = UserVector(history, dropout, rng);
+  return nn::AddBias(
+      nn::MatMul(user, output_embedding_.table(), false, true), item_bias_);
+}
+
 util::Status Caser::Train(const std::vector<data::Example>& examples,
                           const TrainConfig& config) {
   SetTraining(true);
@@ -94,11 +101,9 @@ util::Status Caser::Train(const std::vector<data::Example>& examples,
   const auto loop_result = RunTrainingLoop(
       examples, config, optimizer, Parameters(), rng,
       [&](const data::Example& example) {
-        nn::Tensor user = UserVector(example.history, config.dropout, rng);
-        nn::Tensor logits = nn::AddBias(
-            nn::MatMul(user, output_embedding_.table(), false, true),
-            item_bias_);
-        return nn::CrossEntropyWithLogits(logits, {example.target});
+        return nn::CrossEntropyWithLogits(
+            TrainingLogits(example.history, config.dropout, rng),
+            {example.target});
       },
       "Caser");
   SetTraining(false);
@@ -108,10 +113,7 @@ util::Status Caser::Train(const std::vector<data::Example>& examples,
 std::vector<float> Caser::ScoreAllItems(
     const std::vector<int64_t>& history) const {
   nn::NoGradGuard no_grad;
-  nn::Tensor user = UserVector(history, 0.0f, scratch_rng_);
-  nn::Tensor logits = nn::AddBias(
-      nn::MatMul(user, output_embedding_.table(), false, true), item_bias_);
-  return logits.data();
+  return TrainingLogits(history, 0.0f, scratch_rng_).data();
 }
 
 std::vector<float> Caser::EncodeHistory(

@@ -29,9 +29,12 @@ class Caser : public nn::Module, public SequentialRecommender {
                      const TrainConfig& config) override;
   std::vector<float> ScoreAllItems(
       const std::vector<int64_t>& history) const override;
+  nn::Tensor TrainingLogits(const std::vector<int64_t>& history,
+                            float dropout, util::Rng& rng) const override;
   int64_t ParameterCount() const override {
     return nn::Module::ParameterCount();
   }
+  int64_t item_count() const override { return num_items_; }
 
   std::vector<float> EncodeHistory(
       const std::vector<int64_t>& history) const override;

@@ -1,11 +1,42 @@
 #include "srmodels/factory.h"
 
+#include <cstring>
+#include <utility>
+
+#include "nn/module.h"
 #include "srmodels/caser.h"
 #include "srmodels/gru4rec.h"
 #include "srmodels/sasrec.h"
 #include "util/check.h"
 
 namespace delrec::srmodels {
+namespace {
+
+// Student blob layout (format 1): kStudentFormatVersion, backbone id, then
+// four uint64 fields each memcpy'd across two floats (bit patterns survive
+// BlobFile round-trips, which store raw float bytes), then the state dump.
+constexpr float kStudentFormatVersion = 1.0f;
+constexpr size_t kStudentHeaderFloats = 10;
+
+void AppendU64(uint64_t word, std::vector<float>* out) {
+  float lo = 0.0f;
+  float hi = 0.0f;
+  std::memcpy(&lo, &word, sizeof(lo));
+  std::memcpy(&hi, reinterpret_cast<const char*>(&word) + sizeof(lo),
+              sizeof(hi));
+  out->push_back(lo);
+  out->push_back(hi);
+}
+
+uint64_t ReadU64(const std::vector<float>& blob, size_t index) {
+  uint64_t word = 0;
+  std::memcpy(&word, &blob[index], sizeof(float));
+  std::memcpy(reinterpret_cast<char*>(&word) + sizeof(float),
+              &blob[index + 1], sizeof(float));
+  return word;
+}
+
+}  // namespace
 
 std::string BackboneName(Backbone backbone) {
   switch (backbone) {
@@ -63,6 +94,75 @@ TrainConfig BackboneTrainConfig(Backbone backbone) {
       break;
   }
   return config;
+}
+
+std::vector<float> SerializeStudent(const StudentSpec& spec,
+                                    const SequentialRecommender& model) {
+  const auto* module = dynamic_cast<const nn::Module*>(&model);
+  DELREC_CHECK(module != nullptr)
+      << model.name() << " is not an nn::Module; cannot serialize";
+  std::vector<float> state = module->StateDump();
+  std::vector<float> blob;
+  blob.reserve(kStudentHeaderFloats + state.size());
+  blob.push_back(kStudentFormatVersion);
+  blob.push_back(static_cast<float>(static_cast<int>(spec.backbone)));
+  AppendU64(static_cast<uint64_t>(spec.num_items), &blob);
+  AppendU64(static_cast<uint64_t>(spec.history_length), &blob);
+  AppendU64(spec.seed, &blob);
+  AppendU64(static_cast<uint64_t>(state.size()), &blob);
+  blob.insert(blob.end(), state.begin(), state.end());
+  return blob;
+}
+
+util::StatusOr<LoadedStudent> DeserializeStudent(
+    const std::vector<float>& blob) {
+  if (blob.size() < kStudentHeaderFloats) {
+    return util::Status::InvalidArgument(
+        "student blob too short for a header: " +
+        std::to_string(blob.size()) + " floats");
+  }
+  if (blob[0] != kStudentFormatVersion) {
+    return util::Status::InvalidArgument(
+        "unknown student blob format version " + std::to_string(blob[0]));
+  }
+  const int backbone_id = static_cast<int>(blob[1]);
+  if (backbone_id < static_cast<int>(Backbone::kGru4Rec) ||
+      backbone_id > static_cast<int>(Backbone::kSasRec)) {
+    return util::Status::InvalidArgument("unknown student backbone id " +
+                                         std::to_string(backbone_id));
+  }
+  LoadedStudent student;
+  student.spec.backbone = static_cast<Backbone>(backbone_id);
+  student.spec.num_items = static_cast<int64_t>(ReadU64(blob, 2));
+  student.spec.history_length = static_cast<int64_t>(ReadU64(blob, 4));
+  student.spec.seed = ReadU64(blob, 6);
+  const uint64_t state_size = ReadU64(blob, 8);
+  if (student.spec.num_items < 1 || student.spec.history_length < 1) {
+    return util::Status::InvalidArgument(
+        "student blob header has non-positive dimensions");
+  }
+  if (blob.size() != kStudentHeaderFloats + state_size) {
+    return util::Status::InvalidArgument(
+        "student blob holds " +
+        std::to_string(blob.size() - kStudentHeaderFloats) +
+        " state floats, header says " + std::to_string(state_size));
+  }
+  student.model =
+      MakeBackbone(student.spec.backbone, student.spec.num_items,
+                   student.spec.history_length, student.spec.seed);
+  auto* module = dynamic_cast<nn::Module*>(student.model.get());
+  DELREC_CHECK(module != nullptr);
+  if (static_cast<uint64_t>(module->StateDump().size()) != state_size) {
+    return util::Status::InvalidArgument(
+        "student state size mismatch: blob has " +
+        std::to_string(state_size) + " floats, " +
+        BackboneName(student.spec.backbone) + " with " +
+        std::to_string(student.spec.num_items) + " items expects " +
+        std::to_string(module->StateDump().size()));
+  }
+  module->LoadState(std::vector<float>(blob.begin() + kStudentHeaderFloats,
+                                       blob.end()));
+  return student;
 }
 
 }  // namespace delrec::srmodels

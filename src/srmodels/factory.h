@@ -1,10 +1,13 @@
 #ifndef DELREC_SRMODELS_FACTORY_H_
 #define DELREC_SRMODELS_FACTORY_H_
 
+#include <cstdint>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "srmodels/recommender.h"
+#include "util/status.h"
 
 namespace delrec::srmodels {
 
@@ -25,6 +28,39 @@ std::unique_ptr<SequentialRecommender> MakeBackbone(Backbone backbone,
 /// lr 1e-3 dropout 0.5. Dropout is halved here because the synthetic
 /// datasets are far smaller than the originals.
 TrainConfig BackboneTrainConfig(Backbone backbone);
+
+/// Everything MakeBackbone needs to reconstruct a student architecture.
+struct StudentSpec {
+  Backbone backbone = Backbone::kGru4Rec;
+  int64_t num_items = 0;
+  int64_t history_length = 0;
+  uint64_t seed = 0;
+};
+
+/// A student restored from a blob: the spec it was built with plus the live
+/// model, parameters bit-identical to the serialized state.
+struct LoadedStudent {
+  StudentSpec spec;
+  std::unique_ptr<SequentialRecommender> model;
+};
+
+/// Serializes a factory-built student to one float blob: a self-describing
+/// header (format version, backbone, dimensions, seed — integers stored as
+/// raw uint64 bit patterns across float pairs, so they survive any value
+/// range) followed by the model's nn::Module::StateDump(). The blob is the
+/// unit snapshots embed (core::DelRecBlobs::student_blob) and checkpoints
+/// round-trip bit-identically; the layout is pinned by the committed golden
+/// in tests/golden/. `model` must be the live model MakeBackbone(spec) built.
+std::vector<float> SerializeStudent(const StudentSpec& spec,
+                                    const SequentialRecommender& model);
+
+/// Inverse of SerializeStudent: rebuilds the architecture via MakeBackbone
+/// and restores its parameters. InvalidArgument on an unknown version,
+/// unknown backbone, or a state length that mismatches the spec's
+/// architecture. Scoring the result is bit-identical to scoring the model
+/// that was serialized.
+util::StatusOr<LoadedStudent> DeserializeStudent(
+    const std::vector<float>& blob);
 
 }  // namespace delrec::srmodels
 

@@ -1,5 +1,7 @@
 #include "srmodels/gru4rec.h"
 
+#include <map>
+
 #include "nn/ops.h"
 #include "nn/optimizer.h"
 #include "srmodels/trainer.h"
@@ -31,6 +33,13 @@ nn::Tensor Gru4Rec::HiddenForHistory(const std::vector<int64_t>& history,
   return hidden;  // (1, D)
 }
 
+nn::Tensor Gru4Rec::TrainingLogits(const std::vector<int64_t>& history,
+                                   float dropout, util::Rng& rng) const {
+  nn::Tensor hidden = HiddenForHistory(history, dropout, rng);
+  return nn::AddBias(
+      nn::MatMul(hidden, item_embedding_.table(), false, true), item_bias_);
+}
+
 util::Status Gru4Rec::Train(const std::vector<data::Example>& examples,
                             const TrainConfig& config) {
   SetTraining(true);
@@ -40,12 +49,9 @@ util::Status Gru4Rec::Train(const std::vector<data::Example>& examples,
   const auto loop_result = RunTrainingLoop(
       examples, config, optimizer, Parameters(), rng,
       [&](const data::Example& example) {
-        nn::Tensor hidden =
-            HiddenForHistory(example.history, config.dropout, rng);
-        nn::Tensor logits = nn::AddBias(
-            nn::MatMul(hidden, item_embedding_.table(), false, true),
-            item_bias_);
-        return nn::CrossEntropyWithLogits(logits, {example.target});
+        return nn::CrossEntropyWithLogits(
+            TrainingLogits(example.history, config.dropout, rng),
+            {example.target});
       },
       "GRU4Rec");
   SetTraining(false);
@@ -55,10 +61,48 @@ util::Status Gru4Rec::Train(const std::vector<data::Example>& examples,
 std::vector<float> Gru4Rec::ScoreAllItems(
     const std::vector<int64_t>& history) const {
   nn::NoGradGuard no_grad;
-  nn::Tensor hidden = HiddenForHistory(history, 0.0f, scratch_rng_);
-  nn::Tensor logits = nn::AddBias(
-      nn::MatMul(hidden, item_embedding_.table(), false, true), item_bias_);
-  return logits.data();
+  return TrainingLogits(history, 0.0f, scratch_rng_).data();
+}
+
+std::vector<std::vector<float>> Gru4Rec::ScoreCandidatesBatch(
+    const std::vector<std::vector<int64_t>>& histories,
+    const std::vector<std::vector<int64_t>>& candidates) const {
+  DELREC_CHECK_EQ(histories.size(), candidates.size());
+  nn::NoGradGuard no_grad;
+  std::vector<std::vector<float>> out(histories.size());
+  // Rows of equal history length share every timestep, so the recurrence
+  // runs once per group at (B, D) instead of B times at (1, D). std::map
+  // keeps group order deterministic; submission order is kept within each
+  // group.
+  std::map<size_t, std::vector<size_t>> by_length;
+  for (size_t i = 0; i < histories.size(); ++i) {
+    DELREC_CHECK(!histories[i].empty());
+    by_length[histories[i].size()].push_back(i);
+  }
+  std::vector<int64_t> step;
+  for (const auto& [length, rows] : by_length) {
+    const int64_t batch = static_cast<int64_t>(rows.size());
+    nn::Tensor hidden = nn::Tensor::Zeros({batch, embedding_dim_});
+    step.resize(rows.size());
+    for (size_t t = 0; t < length; ++t) {
+      for (size_t b = 0; b < rows.size(); ++b) step[b] = histories[rows[b]][t];
+      hidden = cell_.Forward(item_embedding_.Forward(step), hidden);
+    }
+    const nn::Tensor logits = nn::AddBias(
+        nn::MatMul(hidden, item_embedding_.table(), false, true), item_bias_);
+    const std::vector<float>& flat = logits.data();
+    for (size_t b = 0; b < rows.size(); ++b) {
+      const std::vector<int64_t>& wanted = candidates[rows[b]];
+      std::vector<float>& row = out[rows[b]];
+      row.reserve(wanted.size());
+      for (int64_t candidate : wanted) {
+        DELREC_CHECK_GE(candidate, 0);
+        DELREC_CHECK_LT(candidate, num_items_);
+        row.push_back(flat[static_cast<size_t>(b) * num_items_ + candidate]);
+      }
+    }
+  }
+  return out;
 }
 
 std::vector<float> Gru4Rec::EncodeHistory(

@@ -24,9 +24,19 @@ class Gru4Rec : public nn::Module, public SequentialRecommender {
                      const TrainConfig& config) override;
   std::vector<float> ScoreAllItems(
       const std::vector<int64_t>& history) const override;
+  /// Batched inference: equal-length histories step through the cell in
+  /// lockstep as one (B, D) recurrence, amortizing per-step dispatch across
+  /// the batch — the serve tier's retriever fast path. Rows stay
+  /// bit-identical to the per-sequence path (the GEMMs are row-stable).
+  std::vector<std::vector<float>> ScoreCandidatesBatch(
+      const std::vector<std::vector<int64_t>>& histories,
+      const std::vector<std::vector<int64_t>>& candidates) const override;
+  nn::Tensor TrainingLogits(const std::vector<int64_t>& history,
+                            float dropout, util::Rng& rng) const override;
   int64_t ParameterCount() const override {
     return nn::Module::ParameterCount();
   }
+  int64_t item_count() const override { return num_items_; }
 
   /// Final hidden state for a history (used by LLaRA-style baselines that
   /// inject conventional-SR representations into LLMs).

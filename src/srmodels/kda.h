@@ -33,6 +33,7 @@ class Kda : public nn::Module, public SequentialRecommender {
   int64_t ParameterCount() const override {
     return nn::Module::ParameterCount();
   }
+  int64_t item_count() const override { return num_items_; }
 
   /// Adds fixed (non-trainable) latent-relation vectors that are blended
   /// into the relation factors p/q — the hook LRD uses to inject relations

@@ -1,8 +1,8 @@
 #include "srmodels/recommender.h"
 
 #include <algorithm>
-#include <numeric>
 
+#include "eval/topk.h"
 #include "util/check.h"
 #include "util/threadpool.h"
 
@@ -43,16 +43,9 @@ std::vector<int64_t> SequentialRecommender::TopK(
 
 std::vector<int64_t> TopKFromScores(const std::vector<float>& scores,
                                     int64_t k) {
-  std::vector<int64_t> order(scores.size());
-  std::iota(order.begin(), order.end(), 0);
-  k = std::min<int64_t>(k, static_cast<int64_t>(order.size()));
-  std::partial_sort(order.begin(), order.begin() + k, order.end(),
-                    [&](int64_t a, int64_t b) {
-                      if (scores[a] != scores[b]) return scores[a] > scores[b];
-                      return a < b;
-                    });
-  order.resize(k);
-  return order;
+  // Full-catalog scores are indexed by item id, so positional tie-breaking
+  // is id tie-breaking; the shared helper keeps this ordering in one place.
+  return eval::TopK(scores, k);
 }
 
 }  // namespace delrec::srmodels

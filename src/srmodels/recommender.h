@@ -7,6 +7,8 @@
 
 #include "data/split.h"
 #include "nn/anomaly.h"
+#include "nn/tensor.h"
+#include "util/rng.h"
 #include "util/status.h"
 
 namespace delrec::srmodels {
@@ -54,12 +56,15 @@ class SequentialRecommender {
       const std::vector<int64_t>& history,
       const std::vector<int64_t>& candidates) const;
 
-  /// Scores many (history, candidates) pairs, fanning the per-sequence
-  /// forward passes across the util::ParallelConfig thread budget. Output
-  /// row i is bit-identical to ScoreCandidates(histories[i], candidates[i])
-  /// for every thread count. Requires scoring to be const-thread-safe,
-  /// which all bundled models satisfy (inference mutates no model state).
-  std::vector<std::vector<float>> ScoreCandidatesBatch(
+  /// Scores many (history, candidates) pairs. The default fans the
+  /// per-sequence forward passes across the util::ParallelConfig thread
+  /// budget; models may override with a genuinely batched forward (GRU4Rec
+  /// steps equal-length histories through the cell as one (B, D) sweep).
+  /// Either way, output row i is bit-identical to
+  /// ScoreCandidates(histories[i], candidates[i]) for every thread count.
+  /// Requires scoring to be const-thread-safe, which all bundled models
+  /// satisfy (inference mutates no model state).
+  virtual std::vector<std::vector<float>> ScoreCandidatesBatch(
       const std::vector<std::vector<int64_t>>& histories,
       const std::vector<std::vector<int64_t>>& candidates) const;
 
@@ -69,6 +74,27 @@ class SequentialRecommender {
 
   /// Number of trainable scalars (RQ5 reporting).
   virtual int64_t ParameterCount() const = 0;
+
+  /// Catalog size this model scores over — the length of ScoreAllItems()'s
+  /// result. 0 when unknown (no bundled model returns 0; the default exists
+  /// only so external implementations keep compiling).
+  virtual int64_t item_count() const { return 0; }
+
+  /// Differentiable all-item logits for one history, shaped (1, item_count):
+  /// the tensor whose values ScoreAllItems() reads out. This is the training
+  /// seam shared by the model's own next-item loss and the ranking
+  /// distillation trainer (src/distill/), which adds a listwise KD term over
+  /// the same logits. `rng` drives dropout; pass the training-loop RNG during
+  /// training and anything with dropout 0 for inference. Models without a
+  /// gradient path (PopRec) return an undefined tensor, which the distill
+  /// trainer rejects with InvalidArgument.
+  virtual nn::Tensor TrainingLogits(const std::vector<int64_t>& history,
+                                    float dropout, util::Rng& rng) const {
+    (void)history;
+    (void)dropout;
+    (void)rng;
+    return {};
+  }
 
   /// Dense history representation (for embedding-injection baselines like
   /// LLaRA). Empty when the model has no such representation.
@@ -85,6 +111,7 @@ class SequentialRecommender {
 };
 
 /// Ranks item ids by descending score, best first, truncated to k.
+/// Delegates to eval::TopK — the repo's single top-k ordering.
 std::vector<int64_t> TopKFromScores(const std::vector<float>& scores,
                                     int64_t k);
 

@@ -50,6 +50,13 @@ nn::Tensor SasRec::LastHidden(const std::vector<int64_t>& history,
   return nn::SliceRows(x, length - 1, 1);  // (1, D)
 }
 
+nn::Tensor SasRec::TrainingLogits(const std::vector<int64_t>& history,
+                                  float dropout, util::Rng& rng) const {
+  nn::Tensor hidden = LastHidden(history, dropout, rng);
+  return nn::AddBias(
+      nn::MatMul(hidden, item_embedding_.table(), false, true), item_bias_);
+}
+
 util::Status SasRec::Train(const std::vector<data::Example>& examples,
                            const TrainConfig& config) {
   SetTraining(true);
@@ -58,12 +65,9 @@ util::Status SasRec::Train(const std::vector<data::Example>& examples,
   const auto loop_result = RunTrainingLoop(
       examples, config, optimizer, Parameters(), rng,
       [&](const data::Example& example) {
-        nn::Tensor hidden =
-            LastHidden(example.history, config.dropout, rng);
-        nn::Tensor logits = nn::AddBias(
-            nn::MatMul(hidden, item_embedding_.table(), false, true),
-            item_bias_);
-        return nn::CrossEntropyWithLogits(logits, {example.target});
+        return nn::CrossEntropyWithLogits(
+            TrainingLogits(example.history, config.dropout, rng),
+            {example.target});
       },
       "SASRec");
   SetTraining(false);
@@ -73,10 +77,7 @@ util::Status SasRec::Train(const std::vector<data::Example>& examples,
 std::vector<float> SasRec::ScoreAllItems(
     const std::vector<int64_t>& history) const {
   nn::NoGradGuard no_grad;
-  nn::Tensor hidden = LastHidden(history, 0.0f, scratch_rng_);
-  nn::Tensor logits = nn::AddBias(
-      nn::MatMul(hidden, item_embedding_.table(), false, true), item_bias_);
-  return logits.data();
+  return TrainingLogits(history, 0.0f, scratch_rng_).data();
 }
 
 std::vector<float> SasRec::EncodeHistory(

@@ -23,6 +23,9 @@ class PopRec : public SequentialRecommender {
   std::vector<float> ScoreAllItems(
       const std::vector<int64_t>& history) const override;
   int64_t ParameterCount() const override { return 0; }
+  int64_t item_count() const override {
+    return static_cast<int64_t>(counts_.size());
+  }
 
  private:
   std::vector<float> counts_;
@@ -42,6 +45,7 @@ class Fmc : public nn::Module, public SequentialRecommender {
   int64_t ParameterCount() const override {
     return nn::Module::ParameterCount();
   }
+  int64_t item_count() const override { return num_items_; }
 
  private:
   int64_t num_items_;

@@ -17,10 +17,22 @@ util::StatusOr<TrainLoopResult> RunTrainingLoop(
     util::Rng& rng,
     const std::function<nn::Tensor(const data::Example&)>& example_loss,
     const char* model_name, const TrainLoopHooks& hooks) {
-  DELREC_CHECK(!examples.empty()) << model_name << ": no training examples";
+  return RunTrainingLoop(
+      static_cast<int64_t>(examples.size()), config, optimizer,
+      clip_parameters, rng,
+      [&](int64_t index) { return example_loss(examples[index]); },
+      model_name, hooks);
+}
+
+util::StatusOr<TrainLoopResult> RunTrainingLoop(
+    int64_t example_count, const TrainConfig& config, nn::Optimizer& optimizer,
+    const std::vector<nn::Tensor>& clip_parameters, util::Rng& rng,
+    const std::function<nn::Tensor(int64_t)>& example_loss,
+    const char* model_name, const TrainLoopHooks& hooks) {
+  DELREC_CHECK(example_count > 0) << model_name << ": no training examples";
   nn::LossAnomalyGuard guard(
       nn::LossAnomalyGuard::FromConfig(config.anomaly_guard));
-  std::vector<int64_t> order(examples.size());
+  std::vector<int64_t> order(example_count);
   TrainLoopResult result;
   for (int epoch = hooks.start_epoch; epoch < config.epochs; ++epoch) {
     // The order is re-derived from the identity each epoch so the epoch's
@@ -37,7 +49,7 @@ util::StatusOr<TrainLoopResult> RunTrainingLoop(
       std::vector<nn::Tensor> losses;
       losses.reserve(end - start);
       for (size_t i = start; i < end; ++i) {
-        losses.push_back(example_loss(examples[order[i]]));
+        losses.push_back(example_loss(order[i]));
       }
       nn::Tensor batch_loss = nn::MulScalar(
           nn::AddN(losses), 1.0f / static_cast<float>(losses.size()));

@@ -45,6 +45,18 @@ util::StatusOr<TrainLoopResult> RunTrainingLoop(
     const std::function<nn::Tensor(const data::Example&)>& example_loss,
     const char* model_name, const TrainLoopHooks& hooks = {});
 
+/// Index-based variant: the loop shuffles [0, example_count) and asks
+/// `example_loss` for the loss of example i. Same shuffle stream, batching,
+/// anomaly guard, and failpoints as the data::Example overload (which
+/// delegates here), so trainers over other example types — the distillation
+/// trainer's weighted teacher lists — share the loop and its determinism
+/// and resume contracts verbatim.
+util::StatusOr<TrainLoopResult> RunTrainingLoop(
+    int64_t example_count, const TrainConfig& config, nn::Optimizer& optimizer,
+    const std::vector<nn::Tensor>& clip_parameters, util::Rng& rng,
+    const std::function<nn::Tensor(int64_t)>& example_loss,
+    const char* model_name, const TrainLoopHooks& hooks = {});
+
 }  // namespace delrec::srmodels
 
 #endif  // DELREC_SRMODELS_TRAINER_H_

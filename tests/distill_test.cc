@@ -1,0 +1,452 @@
+// The distillation layer (DESIGN.md §16): teacher-list export off an
+// EventStream and the ranking-distillation trainer. Pins the contracts the
+// two-tier serving path leans on — export bit-identity across thread
+// counts and storage chunking, training bit-identity across thread counts,
+// checkpoint-resume bit-identity, and the shared loss-anomaly guard /
+// `trainer.loss` failpoint. Run with `ctest -L distill`.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+#include "data/event_stream.h"
+#include "distill/export.h"
+#include "distill/trainer.h"
+#include "nn/module.h"
+#include "serve/scorer.h"
+#include "srmodels/factory.h"
+#include "srmodels/simple.h"
+#include "util/failpoint.h"
+#include "util/status.h"
+#include "util/threadpool.h"
+
+namespace delrec {
+namespace {
+
+using util::Status;
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+/// Deterministic stand-in teacher: score is a fixed hash of
+/// (history tail, candidate), so exported lists depend only on the export
+/// inputs — any nondeterminism a test observes is the exporter's.
+class HashTeacher : public serve::Scorer {
+ public:
+  std::string name() const override { return "hash-teacher"; }
+
+  std::vector<float> Score(
+      const serve::ScoreRequest& request) const override {
+    const int64_t tail = request.history.empty() ? -1 : request.history.back();
+    std::vector<float> scores;
+    scores.reserve(request.candidates.size());
+    for (int64_t candidate : request.candidates) {
+      scores.push_back(
+          0.01f * static_cast<float>((candidate * 37 + tail * 11) % 101));
+    }
+    return scores;
+  }
+};
+
+data::Dataset SmallDataset() {
+  data::GeneratorConfig config;
+  config.num_users = 40;
+  config.num_items = 30;
+  config.num_genres = 3;
+  config.seed = 77;
+  return data::GenerateDataset(config);
+}
+
+distill::TeacherExportOptions SmallExportOptions() {
+  distill::TeacherExportOptions options;
+  options.top_k = 4;
+  options.candidate_pool = 12;
+  options.history_length = 6;
+  options.batch_size = 8;
+  return options;
+}
+
+distill::TeacherDataset ExportSmall(const data::Dataset& dataset,
+                                    const distill::TeacherExportOptions&
+                                        options) {
+  HashTeacher teacher;
+  data::EventStream stream(dataset);
+  auto exported = distill::ExportTeacherLists(
+      teacher, stream, dataset.catalog.size(), options);
+  EXPECT_TRUE(exported.ok()) << exported.status().ToString();
+  return std::move(exported.value());
+}
+
+bool SameExamples(const distill::TeacherDataset& a,
+                  const distill::TeacherDataset& b) {
+  if (a.examples.size() != b.examples.size()) return false;
+  for (size_t i = 0; i < a.examples.size(); ++i) {
+    const distill::DistillExample& x = a.examples[i];
+    const distill::DistillExample& y = b.examples[i];
+    // Weights compared bitwise (operator== on float vectors), not within
+    // tolerance: the export contract is bit-identity.
+    if (x.history != y.history || x.target != y.target ||
+        x.teacher_items != y.teacher_items ||
+        x.teacher_weights != y.teacher_weights) {
+      return false;
+    }
+  }
+  return true;
+}
+
+class DistillTest : public ::testing::Test {
+ protected:
+  void TearDown() override { util::Failpoints::Instance().Reset(); }
+};
+
+// ------------------------------------------------------------------ export
+
+TEST_F(DistillTest, ExportOptionValidation) {
+  HashTeacher teacher;
+  const data::Dataset dataset = SmallDataset();
+  auto expect_invalid = [&](const distill::TeacherExportOptions& options) {
+    data::EventStream stream(dataset);
+    EXPECT_EQ(distill::ExportTeacherLists(teacher, stream,
+                                          dataset.catalog.size(), options)
+                  .status()
+                  .code(),
+              Status::Code::kInvalidArgument);
+  };
+  distill::TeacherExportOptions options = SmallExportOptions();
+  options.top_k = 0;
+  expect_invalid(options);
+  options = SmallExportOptions();
+  options.candidate_pool = options.top_k - 1;
+  expect_invalid(options);
+  options = SmallExportOptions();
+  options.train_fraction = 0.0;
+  expect_invalid(options);
+  options = SmallExportOptions();
+  options.temperature = 0.0f;
+  expect_invalid(options);
+  options = SmallExportOptions();
+  options.candidate_pool = dataset.catalog.size() + 1;  // Pool > catalog.
+  expect_invalid(options);
+}
+
+TEST_F(DistillTest, ExportedListsAreWellFormed) {
+  const data::Dataset dataset = SmallDataset();
+  const distill::TeacherExportOptions options = SmallExportOptions();
+  const distill::TeacherDataset exported = ExportSmall(dataset, options);
+
+  EXPECT_EQ(exported.top_k, options.top_k);
+  EXPECT_EQ(exported.users_seen,
+            static_cast<int64_t>(dataset.sequences.size()));
+  EXPECT_EQ(exported.users_seen,
+            static_cast<int64_t>(exported.examples.size()) +
+                exported.users_skipped);
+  ASSERT_FALSE(exported.examples.empty());
+
+  HashTeacher teacher;
+  for (const distill::DistillExample& example : exported.examples) {
+    ASSERT_EQ(example.teacher_items.size(),
+              static_cast<size_t>(options.top_k));
+    ASSERT_EQ(example.teacher_weights.size(),
+              static_cast<size_t>(options.top_k));
+    EXPECT_FALSE(example.history.empty());
+    EXPECT_LE(static_cast<int64_t>(example.history.size()),
+              options.history_length);
+    // Weights: normalized, descending (best-first list), all positive.
+    double total = 0.0;
+    for (size_t j = 0; j < example.teacher_weights.size(); ++j) {
+      EXPECT_GT(example.teacher_weights[j], 0.0f);
+      if (j > 0) {
+        EXPECT_GE(example.teacher_weights[j - 1], example.teacher_weights[j]);
+      }
+      total += example.teacher_weights[j];
+    }
+    EXPECT_NEAR(total, 1.0, 1e-5);
+    // The list is the teacher's own descending ordering of those items.
+    serve::ScoreRequest request;
+    request.history = example.history;
+    request.candidates = example.teacher_items;
+    const std::vector<float> scores = teacher.Score(request);
+    for (size_t j = 1; j < scores.size(); ++j) {
+      EXPECT_GE(scores[j - 1], scores[j]);
+    }
+  }
+}
+
+TEST_F(DistillTest, ExportTargetsStayInsideTrainingRegion) {
+  const data::Dataset dataset = SmallDataset();
+  const distill::TeacherExportOptions options = SmallExportOptions();
+  const distill::TeacherDataset exported = ExportSmall(dataset, options);
+
+  // Reconstruct each example's source run by matching (history, target)
+  // against the exporter's documented rule.
+  size_t example_index = 0;
+  for (const data::UserSequence& sequence : dataset.sequences) {
+    const int64_t n = static_cast<int64_t>(sequence.items.size());
+    if (n < 2) continue;
+    ASSERT_LT(example_index, exported.examples.size());
+    const distill::DistillExample& example = exported.examples[example_index];
+    const int64_t train_targets = std::min<int64_t>(
+        n - 1,
+        std::max<int64_t>(
+            1, std::llround(options.train_fraction *
+                            static_cast<double>(n - 1))));
+    EXPECT_EQ(example.target, sequence.items[train_targets]);
+    const int64_t start =
+        std::max<int64_t>(0, train_targets - options.history_length);
+    EXPECT_EQ(example.history,
+              std::vector<int64_t>(sequence.items.begin() + start,
+                                   sequence.items.begin() + train_targets));
+    ++example_index;
+  }
+  EXPECT_EQ(example_index, exported.examples.size());
+}
+
+// The export determinism contract: thread count, chunk size, and max_users
+// truncation point must not change a single exported bit.
+TEST_F(DistillTest, ExportIsBitIdenticalAcrossThreadsAndChunking) {
+  const data::Dataset dataset = SmallDataset();
+  const distill::TeacherExportOptions options = SmallExportOptions();
+
+  distill::TeacherDataset serial;
+  {
+    util::ScopedParallelism one(1);
+    serial = ExportSmall(dataset, options);
+  }
+  {
+    util::ScopedParallelism four(4);
+    const distill::TeacherDataset threaded = ExportSmall(dataset, options);
+    EXPECT_TRUE(SameExamples(serial, threaded))
+        << "export changed with the thread count";
+  }
+  distill::TeacherExportOptions rechunked = options;
+  rechunked.batch_size = 3;  // Chunk boundaries move; results must not.
+  EXPECT_TRUE(SameExamples(serial, ExportSmall(dataset, rechunked)))
+      << "export changed with teacher chunking";
+
+  // A truncated export is a prefix of the full one (per-user RNGs are
+  // forked, so later users never perturb earlier pools).
+  distill::TeacherExportOptions truncated = options;
+  truncated.max_users = 10;
+  const distill::TeacherDataset head = ExportSmall(dataset, truncated);
+  EXPECT_EQ(head.users_seen, 10);
+  ASSERT_LE(head.examples.size(), serial.examples.size());
+  for (size_t i = 0; i < head.examples.size(); ++i) {
+    EXPECT_EQ(head.examples[i].history, serial.examples[i].history);
+    EXPECT_EQ(head.examples[i].teacher_items, serial.examples[i].teacher_items);
+    EXPECT_EQ(head.examples[i].teacher_weights,
+              serial.examples[i].teacher_weights);
+  }
+}
+
+TEST_F(DistillTest, ShortRunsAreSkippedNotExported) {
+  // Hand-built log: one 1-event run (no target exists) among real runs.
+  data::Dataset dataset;
+  for (int64_t id = 0; id < 30; ++id) {
+    dataset.catalog.items.push_back({id, "item", 0, 1.0f});
+  }
+  dataset.sequences.push_back({7, {0, 1, 2, 3, 4, 5}});
+  dataset.sequences.push_back({8, {9}});
+  dataset.sequences.push_back({9, {4, 5, 6, 7}});
+  HashTeacher teacher;
+  data::EventStream stream(dataset);
+  auto exported = distill::ExportTeacherLists(teacher, stream,
+                                              /*num_items=*/30,
+                                              SmallExportOptions());
+  ASSERT_TRUE(exported.ok()) << exported.status().ToString();
+  EXPECT_EQ(exported.value().users_seen, 3);
+  EXPECT_EQ(exported.value().users_skipped, 1);
+  ASSERT_EQ(exported.value().examples.size(), 2u);
+  EXPECT_EQ(exported.value().examples[0].target, 4);  // round(0.8·5) = 4.
+  EXPECT_EQ(exported.value().examples[1].target, 6);  // round(0.8·3) = 2.
+}
+
+TEST_F(DistillTest, ExportPropagatesStreamFailure) {
+  HashTeacher teacher;
+  const data::Dataset dataset = SmallDataset();
+  util::Failpoints::Instance().Arm("data.stream.read",
+                                   util::Failpoints::Mode::kFail, 100);
+  data::EventStream stream(dataset);
+  const Status status =
+      distill::ExportTeacherLists(teacher, stream, dataset.catalog.size(),
+                                  SmallExportOptions())
+          .status();
+  EXPECT_FALSE(status.ok());
+}
+
+// ----------------------------------------------------------------- trainer
+
+distill::DistillTrainConfig SmallTrainConfig() {
+  distill::DistillTrainConfig config;
+  config.base = srmodels::BackboneTrainConfig(srmodels::Backbone::kGru4Rec);
+  config.base.epochs = 2;
+  config.base.history_length = 6;
+  config.base.verbose = false;
+  return config;
+}
+
+std::unique_ptr<srmodels::SequentialRecommender> FreshStudent(
+    const data::Dataset& dataset) {
+  return srmodels::MakeBackbone(srmodels::Backbone::kGru4Rec,
+                                dataset.catalog.size(),
+                                /*history_length=*/6, /*seed=*/5);
+}
+
+std::vector<float> StateOf(const srmodels::SequentialRecommender& student) {
+  const auto* module = dynamic_cast<const nn::Module*>(&student);
+  EXPECT_NE(module, nullptr);
+  return module->StateDump();
+}
+
+TEST_F(DistillTest, TrainerRejectsUnsupportedInputs) {
+  const data::Dataset dataset = SmallDataset();
+  const distill::TeacherDataset exported =
+      ExportSmall(dataset, SmallExportOptions());
+  auto student = FreshStudent(dataset);
+
+  // Empty supervision.
+  EXPECT_EQ(distill::DistillStudent(*student, distill::TeacherDataset{},
+                                    SmallTrainConfig())
+                .status()
+                .code(),
+            Status::Code::kInvalidArgument);
+  // A student with no gradient path (PopRec counts, not an nn::Module).
+  srmodels::PopRec poprec(dataset.catalog.size());
+  EXPECT_EQ(distill::DistillStudent(poprec, exported, SmallTrainConfig())
+                .status()
+                .code(),
+            Status::Code::kInvalidArgument);
+  // Degenerate loss weights.
+  distill::DistillTrainConfig zeroed = SmallTrainConfig();
+  zeroed.kd_weight = 0.0f;
+  zeroed.next_item_weight = 0.0f;
+  EXPECT_EQ(distill::DistillStudent(*student, exported, zeroed)
+                .status()
+                .code(),
+            Status::Code::kInvalidArgument);
+}
+
+TEST_F(DistillTest, TrainingRunsAndMovesParameters) {
+  const data::Dataset dataset = SmallDataset();
+  const distill::TeacherDataset exported =
+      ExportSmall(dataset, SmallExportOptions());
+  auto student = FreshStudent(dataset);
+  const std::vector<float> before = StateOf(*student);
+
+  auto result =
+      distill::DistillStudent(*student, exported, SmallTrainConfig());
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result.value().epochs_run, 2);
+  EXPECT_TRUE(std::isfinite(result.value().final_loss));
+  EXPECT_NE(StateOf(*student), before) << "training moved nothing";
+}
+
+// Training determinism: the distilled parameters are bit-identical at every
+// ambient thread count (the trainer is single-threaded over the model; the
+// thread budget only fans kernels whose results are contract-identical).
+TEST_F(DistillTest, TrainingIsBitIdenticalAcrossThreadCounts) {
+  const data::Dataset dataset = SmallDataset();
+  const distill::TeacherDataset exported =
+      ExportSmall(dataset, SmallExportOptions());
+
+  std::vector<float> serial_state;
+  {
+    util::ScopedParallelism one(1);
+    auto student = FreshStudent(dataset);
+    ASSERT_TRUE(
+        distill::DistillStudent(*student, exported, SmallTrainConfig()).ok());
+    serial_state = StateOf(*student);
+  }
+  {
+    util::ScopedParallelism four(4);
+    auto student = FreshStudent(dataset);
+    ASSERT_TRUE(
+        distill::DistillStudent(*student, exported, SmallTrainConfig()).ok());
+    EXPECT_EQ(StateOf(*student), serial_state)
+        << "distillation drifted with the thread count";
+  }
+}
+
+// The resume contract: interrupt after epoch 1, restore from the on-disk
+// checkpoint into a fresh model, finish — parameters bit-identical to the
+// uninterrupted run.
+TEST_F(DistillTest, CheckpointResumeIsBitIdentical) {
+  const data::Dataset dataset = SmallDataset();
+  const distill::TeacherDataset exported =
+      ExportSmall(dataset, SmallExportOptions());
+
+  distill::DistillTrainConfig full = SmallTrainConfig();
+  full.base.epochs = 3;
+  auto uninterrupted = FreshStudent(dataset);
+  ASSERT_TRUE(distill::DistillStudent(*uninterrupted, exported, full).ok());
+
+  const std::string path = TempPath("distill_resume.ckpt");
+  std::remove(path.c_str());
+  distill::DistillTrainConfig first_leg = full;
+  first_leg.base.epochs = 1;  // "Interrupt" after the first epoch's save.
+  first_leg.checkpoint_path = path;
+  auto interrupted = FreshStudent(dataset);
+  ASSERT_TRUE(
+      distill::DistillStudent(*interrupted, exported, first_leg).ok());
+
+  distill::DistillTrainConfig second_leg = full;
+  second_leg.checkpoint_path = path;
+  second_leg.resume = true;
+  auto resumed = FreshStudent(dataset);  // Cold model; state comes from disk.
+  auto result = distill::DistillStudent(*resumed, exported, second_leg);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result.value().epochs_run, 2) << "resume re-ran finished epochs";
+  EXPECT_EQ(StateOf(*resumed), StateOf(*uninterrupted))
+      << "resumed run diverged from the uninterrupted one";
+
+  // resume=false ignores the file and starts over.
+  distill::DistillTrainConfig no_resume = full;
+  no_resume.checkpoint_path = path;
+  auto fresh = FreshStudent(dataset);
+  auto fresh_result = distill::DistillStudent(*fresh, exported, no_resume);
+  ASSERT_TRUE(fresh_result.ok());
+  EXPECT_EQ(fresh_result.value().epochs_run, 3);
+  EXPECT_EQ(StateOf(*fresh), StateOf(*uninterrupted));
+}
+
+TEST_F(DistillTest, ResumeWithMissingCheckpointIsAFreshStart) {
+  const data::Dataset dataset = SmallDataset();
+  const distill::TeacherDataset exported =
+      ExportSmall(dataset, SmallExportOptions());
+  distill::DistillTrainConfig config = SmallTrainConfig();
+  config.checkpoint_path = TempPath("distill_never_written.ckpt");
+  std::remove(config.checkpoint_path.c_str());
+  config.resume = true;
+  auto student = FreshStudent(dataset);
+  auto result = distill::DistillStudent(*student, exported, config);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result.value().epochs_run, config.base.epochs);
+}
+
+// The shared trainer.loss failpoint reaches the distill loop: corrupted
+// batches are skipped by the anomaly guard, training still completes, and
+// the skips are reported.
+TEST_F(DistillTest, AnomalyGuardSkipsCorruptedBatches) {
+  const data::Dataset dataset = SmallDataset();
+  const distill::TeacherDataset exported =
+      ExportSmall(dataset, SmallExportOptions());
+  auto student = FreshStudent(dataset);
+  // Count 2 keeps corrupted batches well under the guard's
+  // max_consecutive abort threshold while still exercising the skip path.
+  util::Failpoints::Instance().Arm("trainer.loss",
+                                   util::Failpoints::Mode::kCorrupt, 2);
+  auto result =
+      distill::DistillStudent(*student, exported, SmallTrainConfig());
+  util::Failpoints::Instance().Reset();
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_GT(result.value().anomalies_skipped, 0)
+      << "failpoint armed but no batch was ever skipped";
+}
+
+}  // namespace
+}  // namespace delrec

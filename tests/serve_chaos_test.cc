@@ -11,6 +11,7 @@
 // ServeTest-side fixtures; here the same failpoint drives the fakes.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
@@ -27,6 +28,8 @@
 #include "serve/scorer.h"
 #include "serve/sharded_server.h"
 #include "serve/snapshot_handle.h"
+#include "serve/two_tier.h"
+#include "util/check.h"
 #include "util/failpoint.h"
 #include "util/status.h"
 
@@ -110,6 +113,44 @@ class GatedScorer : public serve::Scorer {
   mutable std::condition_variable gate_cv_;
   mutable int entered_ = 0;
   mutable bool open_ = false;
+};
+
+/// FakeScorer with full-catalog capability, so it can serve as the
+/// retriever tier of a two-tier composition under chaos load.
+class FakeCatalogScorer : public FakeScorer {
+ public:
+  FakeCatalogScorer(float bias, int64_t catalog_size)
+      : FakeScorer(bias), catalog_size_(catalog_size) {}
+
+  serve::ScorerCapabilities Capabilities() const override {
+    return {/*full_catalog=*/true, catalog_size_};
+  }
+
+  std::vector<float> ScoreCatalog(
+      const std::vector<int64_t>& history) const override {
+    serve::ScoreRequest request;
+    request.history = history;
+    for (int64_t item = 0; item < catalog_size_; ++item) {
+      request.candidates.push_back(item);
+    }
+    return Score(request);
+  }
+
+ private:
+  int64_t catalog_size_;
+};
+
+/// FakeScorer that reports a prefix KV cache of `prefix_length` tokens per
+/// request — drives the engine's per-version prefix_tokens accounting.
+class PrefixFakeScorer : public FakeScorer {
+ public:
+  PrefixFakeScorer(float bias, int64_t prefix_length)
+      : FakeScorer(bias), prefix_length_(prefix_length) {}
+
+  int64_t CachedPrefixLength() const override { return prefix_length_; }
+
+ private:
+  int64_t prefix_length_;
 };
 
 class AlwaysThrowScorer : public serve::Scorer {
@@ -484,6 +525,177 @@ TEST_F(ServeChaosTest, SwapUnderLoadNeverTearsAVersion) {
   const serve::RecommendationEngine::Stats stats = engine.GetStats();
   EXPECT_EQ(stats.snapshot_version, 7u);
   EXPECT_GE(stats.swaps_observed, 1u);
+}
+
+/// Builds a two-tier fake artifact (full-catalog retriever -> re-ranker)
+/// whose tiers share one bias, so each published version is recomputable.
+std::shared_ptr<const serve::Scorer> MakeFakeTwoTier(float bias,
+                                                     int64_t catalog_size) {
+  serve::TwoTierOptions options;
+  options.rerank_top_h = 3;
+  auto two_tier = serve::MakeTwoTierScorer(
+      std::make_shared<FakeCatalogScorer>(bias, catalog_size),
+      std::make_shared<FakeScorer>(bias + 100.0f), options);
+  DELREC_CHECK(two_tier.ok()) << two_tier.status().ToString();
+  return std::shared_ptr<const serve::Scorer>(std::move(two_tier.value()));
+}
+
+// The ISSUE's chaos acceptance for two-tier artifacts: composed scorers
+// hot-swap through the sharded server under concurrent load and injected
+// faults exactly like single-model snapshots — every future resolves, ok
+// responses are bit-identical to the two-tier version they are tagged
+// with (both tiers from the same publish, never mixed), and explicit-pool
+// and full-catalog requests both survive the swaps.
+TEST_F(ServeChaosTest, TwoTierSwapUnderChaosEveryResponseVersionConsistent) {
+  constexpr int kClients = 6;
+  constexpr int kRequestsPerClient = 30;
+  constexpr int64_t kCatalog = 32;
+
+  std::map<uint64_t, std::shared_ptr<const serve::Scorer>> versions;
+  versions[1] = MakeFakeTwoTier(1.0f, kCatalog);
+
+  serve::ShardedServerOptions options;
+  options.num_shards = 3;
+  options.engine.max_batch_size = 4;
+  options.engine.batch_deadline_ms = 0.2;
+  options.engine.max_queue_depth = 256;
+  serve::ShardedServer server(versions[1], options);
+
+  // Faults fire inside the fake tiers (both consult the same failpoint the
+  // real snapshot scorer uses), mid-composition included.
+  util::Failpoints::Instance().Arm("serve.scorer.score",
+                                   util::Failpoints::Mode::kFail, 20);
+
+  std::vector<std::vector<std::future<serve::ScoreResponse>>> futures(
+      kClients);
+  std::vector<std::vector<serve::ScoreRequest>> sent(kClients);
+  std::vector<std::thread> clients;
+  std::atomic<int> started{0};
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      started.fetch_add(1);
+      for (int i = 0; i < kRequestsPerClient; ++i) {
+        serve::ScoreRequest request;
+        if (i % 5 == 4) {
+          // Full-catalog request: the retriever tier pre-ranks everything.
+          request.history = {c % 13, (c * 3 + i) % 13};
+        } else {
+          request = MakeRequest(c * 1000 + i);
+          for (int64_t& candidate : request.candidates) {
+            candidate %= kCatalog;  // Keep pools inside the fake catalog.
+          }
+          // TwoTier's id-tie-break ordering needs distinct pool ids.
+          std::sort(request.candidates.begin(), request.candidates.end());
+          request.candidates.erase(std::unique(request.candidates.begin(),
+                                               request.candidates.end()),
+                                   request.candidates.end());
+        }
+        sent[c].push_back(request);
+        futures[c].push_back(
+            server.ScoreAsync(/*user_id=*/c * 7919 + i, std::move(request)));
+        if (i % 8 == 0) std::this_thread::yield();
+      }
+    });
+  }
+  while (started.load() < kClients) std::this_thread::yield();
+  for (int s = 0; s < 3; ++s) {
+    auto next = MakeFakeTwoTier(5.0f + static_cast<float>(s), kCatalog);
+    versions[server.PublishSnapshot(next)] = next;
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  for (std::thread& client : clients) client.join();
+
+  // Disarm before recomputing expectations through the same fake tiers.
+  util::Failpoints::Instance().Reset();
+  uint64_t ok_count = 0, failed = 0;
+  for (int c = 0; c < kClients; ++c) {
+    for (int i = 0; i < kRequestsPerClient; ++i) {
+      serve::ScoreResponse response = futures[c][i].get();
+      if (response.status.ok()) {
+        ++ok_count;
+        const auto version = versions.find(response.snapshot_version);
+        ASSERT_NE(version, versions.end())
+            << "response tagged with unpublished version "
+            << response.snapshot_version;
+        EXPECT_EQ(response.scores, version->second->Score(sent[c][i]))
+            << "client=" << c << " i=" << i
+            << " version=" << response.snapshot_version;
+      } else {
+        ++failed;
+        const Status::Code code = response.status.code();
+        EXPECT_TRUE(code == Status::Code::kInternal ||
+                    code == Status::Code::kUnavailable ||
+                    code == Status::Code::kDeadlineExceeded)
+            << response.status.ToString();
+      }
+    }
+  }
+  EXPECT_EQ(ok_count + failed, uint64_t{kClients * kRequestsPerClient});
+
+  // Still serving the last two-tier version after the chaos.
+  serve::ScoreResponse probe = server.Score(/*user_id=*/3, {1, 2}, {4, 7, 9});
+  ASSERT_TRUE(probe.status.ok()) << probe.status.ToString();
+  EXPECT_EQ(probe.snapshot_version, 4u);
+}
+
+// Per-version prefix-token attribution (the satellite riding on the prefix
+// KV cache counter): across a hot swap between scorers with different
+// cached-prefix lengths, TotalStats' prefix_tokens_by_version keys every
+// scored version, charges each version scored-requests x its own prefix
+// length, and its values sum to the flat prefix_tokens_skipped — per shard
+// and after the key-wise merge.
+TEST_F(ServeChaosTest, PrefixTokensByVersionSumAcrossSwaps) {
+  constexpr int64_t kPrefixV1 = 3;
+  constexpr int64_t kPrefixV2 = 5;
+  constexpr int kRequestsPerVersion = 20;
+
+  serve::ShardedServerOptions options;
+  options.num_shards = 2;
+  options.engine.max_batch_size = 4;
+  options.engine.batch_deadline_ms = 0.0;
+  serve::ShardedServer server(
+      std::make_shared<PrefixFakeScorer>(1.0f, kPrefixV1), options);
+
+  // Blocking calls: each request's batch forms after the previous response,
+  // so every request before the publish scores on v1 and every one after
+  // scores on v2 — the per-version expectation is exact.
+  for (int i = 0; i < kRequestsPerVersion; ++i) {
+    serve::ScoreResponse response =
+        server.Score(/*user_id=*/i, {1, 2}, {3, 4, 5});
+    ASSERT_TRUE(response.status.ok()) << response.status.ToString();
+    ASSERT_EQ(response.snapshot_version, 1u);
+  }
+  ASSERT_EQ(
+      server.PublishSnapshot(
+          std::make_shared<PrefixFakeScorer>(2.0f, kPrefixV2)),
+      2u);
+  for (int i = 0; i < kRequestsPerVersion; ++i) {
+    serve::ScoreResponse response =
+        server.Score(/*user_id=*/i, {1, 2}, {3, 4, 5});
+    ASSERT_TRUE(response.status.ok()) << response.status.ToString();
+    ASSERT_EQ(response.snapshot_version, 2u);
+  }
+
+  // Per shard: the map's values sum to the shard's flat counter.
+  for (int shard = 0; shard < server.num_shards(); ++shard) {
+    const serve::RecommendationEngine::Stats stats = server.ShardStats(shard);
+    uint64_t sum = 0;
+    for (const auto& [version, skipped] : stats.prefix_tokens_by_version) {
+      EXPECT_TRUE(version == 1u || version == 2u);
+      sum += skipped;
+    }
+    EXPECT_EQ(sum, stats.prefix_tokens_skipped);
+  }
+
+  // Merged: both versions attributed, each charged its own prefix length.
+  const serve::RecommendationEngine::Stats total = server.TotalStats();
+  ASSERT_EQ(total.prefix_tokens_by_version.size(), 2u);
+  EXPECT_EQ(total.prefix_tokens_by_version.at(1),
+            uint64_t{kRequestsPerVersion * kPrefixV1});
+  EXPECT_EQ(total.prefix_tokens_by_version.at(2),
+            uint64_t{kRequestsPerVersion * kPrefixV2});
+  EXPECT_EQ(total.prefix_tokens_skipped,
+            uint64_t{kRequestsPerVersion * (kPrefixV1 + kPrefixV2)});
 }
 
 }  // namespace

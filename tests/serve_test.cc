@@ -15,6 +15,7 @@
 
 #include "baselines/zero_shot.h"
 #include "core/checkpoint.h"
+#include "eval/topk.h"
 #include "core/delrec.h"
 #include "core/workbench.h"
 #include "data/dataset.h"
@@ -24,6 +25,7 @@
 #include "serve/sharded_server.h"
 #include "serve/snapshot.h"
 #include "serve/snapshot_handle.h"
+#include "serve/two_tier.h"
 #include "srmodels/factory.h"
 #include "util/check.h"
 #include "util/rng.h"
@@ -465,6 +467,138 @@ TEST_F(ServeTest, FromBlobsRejectsArchitectureMismatch) {
         truncated, llm_->config(), model_->config(), Sources());
     EXPECT_FALSE(bad_adapter.ok());
   }
+}
+
+/// The student spec matching sr_model_'s construction in SetUpTestSuite.
+srmodels::StudentSpec FixtureStudentSpec(int64_t num_items) {
+  srmodels::StudentSpec spec;
+  spec.backbone = srmodels::Backbone::kSasRec;
+  spec.num_items = num_items;
+  spec.history_length = 10;
+  spec.seed = 5;
+  return spec;
+}
+
+// A student blob attached to the checkpoint travels into the snapshot:
+// persists through SaveDelRecBlobs/ReadDelRecBlobs byte-for-byte, the
+// deserialized student scores bit-identically to the model it was
+// serialized from, and the footprint accounts for it.
+TEST_F(ServeTest, SnapshotEmbedsStudentBlob) {
+  core::DelRecBlobs blobs = core::ExtractDelRecBlobs(*model_, *llm_);
+  const srmodels::StudentSpec spec =
+      FixtureStudentSpec(workbench_->num_items());
+  blobs.student_blob = srmodels::SerializeStudent(spec, *sr_model_);
+
+  // Checkpoint round trip preserves the blob bit-for-bit.
+  const std::string path = ::testing::TempDir() + "/student_checkpoint.bin";
+  ASSERT_TRUE(core::SaveDelRecBlobs(blobs, path).ok());
+  auto reread = core::ReadDelRecBlobs(path);
+  ASSERT_TRUE(reread.ok()) << reread.status().ToString();
+  EXPECT_EQ(reread.value().student_blob, blobs.student_blob);
+  std::remove(path.c_str());
+
+  auto built = serve::EngineSnapshot::FromBlobs(blobs, llm_->config(),
+                                                model_->config(), Sources());
+  ASSERT_TRUE(built.ok()) << built.status().ToString();
+  const std::unique_ptr<serve::EngineSnapshot> snapshot =
+      std::move(built.value());
+  ASSERT_TRUE(snapshot->has_student());
+  EXPECT_EQ(snapshot->student_spec().backbone, spec.backbone);
+  EXPECT_EQ(snapshot->student_spec().num_items, spec.num_items);
+  EXPECT_EQ(snapshot->student_spec().history_length, spec.history_length);
+  EXPECT_EQ(snapshot->student_spec().seed, spec.seed);
+
+  // The embedded student is the serialized model, scores and all.
+  for (const serve::ScoreRequest& request : MakeRequests(4)) {
+    EXPECT_EQ(
+        snapshot->student()->ScoreCandidates(request.history,
+                                             request.candidates),
+        sr_model_->ScoreCandidates(request.history, request.candidates));
+    EXPECT_EQ(snapshot->student()->ScoreAllItems(request.history),
+              sr_model_->ScoreAllItems(request.history));
+  }
+
+  // Footprint: the student's bytes are visible and the parts still sum.
+  const serve::SnapshotFootprint footprint = snapshot->MemoryFootprint();
+  EXPECT_GT(footprint.student_bytes, 0u);
+  EXPECT_EQ(snapshot->MemoryFootprintBytes(), footprint.total());
+
+  // A studentless snapshot reports so.
+  core::DelRecBlobs bare = core::ExtractDelRecBlobs(*model_, *llm_);
+  auto plain = serve::EngineSnapshot::FromBlobs(bare, llm_->config(),
+                                                model_->config(), Sources());
+  ASSERT_TRUE(plain.ok());
+  EXPECT_FALSE(plain.value()->has_student());
+  EXPECT_EQ(plain.value()->MemoryFootprint().student_bytes, 0u);
+}
+
+TEST_F(ServeTest, SnapshotRejectsCorruptStudentBlob) {
+  core::DelRecBlobs blobs = core::ExtractDelRecBlobs(*model_, *llm_);
+  blobs.student_blob = srmodels::SerializeStudent(
+      FixtureStudentSpec(workbench_->num_items()), *sr_model_);
+  blobs.student_blob.pop_back();  // State length no longer matches the spec.
+  EXPECT_FALSE(serve::EngineSnapshot::FromBlobs(blobs, llm_->config(),
+                                                model_->config(), Sources())
+                   .ok());
+}
+
+// MakeSnapshotTwoTier on the real stack: the ISSUE's central equivalence —
+// two-tier scoring is bit-identical to the teacher re-ranking the
+// student's top-h directly.
+TEST_F(ServeTest, SnapshotTwoTierMatchesTeacherOnStudentTopH) {
+  core::DelRecBlobs blobs = core::ExtractDelRecBlobs(*model_, *llm_);
+  blobs.student_blob = srmodels::SerializeStudent(
+      FixtureStudentSpec(workbench_->num_items()), *sr_model_);
+  auto built = serve::EngineSnapshot::FromBlobs(blobs, llm_->config(),
+                                                model_->config(), Sources());
+  ASSERT_TRUE(built.ok()) << built.status().ToString();
+  const std::shared_ptr<const serve::EngineSnapshot> snapshot =
+      std::move(built.value());
+
+  serve::TwoTierOptions options;
+  options.rerank_top_h = 4;
+  auto made = serve::MakeSnapshotTwoTier(snapshot, options);
+  ASSERT_TRUE(made.ok()) << made.status().ToString();
+  const std::shared_ptr<const serve::Scorer> two_tier = made.value();
+
+  for (const serve::ScoreRequest& request : MakeRequests(5)) {
+    const std::vector<float> composed = two_tier->Score(request);
+    ASSERT_EQ(composed.size(), request.candidates.size());
+    // By hand: student pre-ranks the pool, teacher re-scores its top-h.
+    const std::vector<float> pre =
+        snapshot->student()->ScoreCandidates(request.history,
+                                             request.candidates);
+    const std::vector<int64_t> order = eval::TopKByIds(
+        pre, request.candidates, static_cast<int64_t>(pre.size()));
+    serve::ScoreRequest head_request;
+    head_request.history = request.history;
+    for (int64_t j = 0; j < options.rerank_top_h; ++j) {
+      head_request.candidates.push_back(request.candidates[order[j]]);
+    }
+    const std::vector<float> direct = snapshot->Score(head_request);
+    for (int64_t j = 0; j < options.rerank_top_h; ++j) {
+      EXPECT_EQ(composed[order[j]], direct[j]);
+    }
+    // Tail strictly below the head, in student order.
+    float head_min = direct[0];
+    for (float score : direct) head_min = std::min(head_min, score);
+    for (size_t j = options.rerank_top_h; j < order.size(); ++j) {
+      EXPECT_LT(composed[order[j]], head_min);
+    }
+  }
+
+  // The studentless artifact cannot compose.
+  core::DelRecBlobs bare = core::ExtractDelRecBlobs(*model_, *llm_);
+  auto plain = serve::EngineSnapshot::FromBlobs(bare, llm_->config(),
+                                                model_->config(), Sources());
+  ASSERT_TRUE(plain.ok());
+  EXPECT_EQ(serve::MakeSnapshotTwoTier(
+                std::shared_ptr<const serve::EngineSnapshot>(
+                    std::move(plain.value())),
+                options)
+                .status()
+                .code(),
+            util::Status::Code::kInvalidArgument);
 }
 
 }  // namespace

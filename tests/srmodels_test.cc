@@ -1,10 +1,16 @@
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
 #include <memory>
+#include <string>
+#include <vector>
 
 #include "data/dataset.h"
 #include "data/split.h"
 #include "eval/protocol.h"
+#include "nn/module.h"
 #include "srmodels/bert4rec.h"
 #include "srmodels/caser.h"
 #include "srmodels/factory.h"
@@ -14,6 +20,11 @@
 #include "srmodels/simple.h"
 #include "util/failpoint.h"
 #include "util/status.h"
+#include "util/threadpool.h"
+
+#ifndef DELREC_TEST_DATA_DIR
+#define DELREC_TEST_DATA_DIR "."
+#endif
 
 namespace delrec::srmodels {
 namespace {
@@ -190,6 +201,155 @@ TEST(FactoryTest, MakesAllBackbones) {
     EXPECT_GT(model->ParameterCount(), 0);
     EXPECT_EQ(model->ScoreAllItems({0, 1, 2}).size(), 50u);
   }
+}
+
+// The student checkpoint contract behind two-tier serving: every registered
+// backbone saves/restores bit-identically through the factory blob path.
+TEST_F(SrModelsTest, FactoryBlobRoundTripIsBitIdentical) {
+  for (Backbone backbone :
+       {Backbone::kGru4Rec, Backbone::kCaser, Backbone::kSasRec}) {
+    StudentSpec spec;
+    spec.backbone = backbone;
+    spec.num_items = dataset_->catalog.size();
+    spec.history_length = 10;
+    spec.seed = 11;
+    auto model = MakeBackbone(backbone, spec.num_items, spec.history_length,
+                              spec.seed);
+    TrainConfig config = BackboneTrainConfig(backbone);
+    config.epochs = 1;  // Trained state, so the round trip is non-trivial.
+    ASSERT_TRUE(model->Train(splits_->train, config).ok());
+
+    const std::vector<float> blob = SerializeStudent(spec, *model);
+    auto loaded = DeserializeStudent(blob);
+    ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+    EXPECT_EQ(loaded.value().spec.backbone, spec.backbone);
+    EXPECT_EQ(loaded.value().spec.num_items, spec.num_items);
+    EXPECT_EQ(loaded.value().spec.history_length, spec.history_length);
+    EXPECT_EQ(loaded.value().spec.seed, spec.seed);
+
+    const auto* original = dynamic_cast<const nn::Module*>(model.get());
+    const auto* restored =
+        dynamic_cast<const nn::Module*>(loaded.value().model.get());
+    ASSERT_NE(original, nullptr);
+    ASSERT_NE(restored, nullptr);
+    EXPECT_EQ(restored->StateDump(), original->StateDump())
+        << BackboneName(backbone) << " state drifted through the blob";
+    EXPECT_EQ(loaded.value().model->ScoreAllItems({1, 2, 3}),
+              model->ScoreAllItems({1, 2, 3}));
+    EXPECT_EQ(loaded.value().model->ScoreCandidates({4, 5}, {0, 7, 3}),
+              model->ScoreCandidates({4, 5}, {0, 7, 3}));
+
+    // Serializing the restored model reproduces the blob byte-for-byte.
+    EXPECT_EQ(SerializeStudent(loaded.value().spec, *loaded.value().model),
+              blob);
+  }
+}
+
+// GRU4Rec overrides ScoreCandidatesBatch with a lockstep (B, D) recurrence
+// over equal-length groups — the two-tier retriever's fast path. The
+// interface contract (recommender.h) still demands every row bit-identical
+// to the per-sequence path, at every thread count, including ragged batches
+// that exercise the length grouping.
+TEST_F(SrModelsTest, Gru4RecBatchedSweepIsBitIdenticalToPerRow) {
+  Gru4Rec model(dataset_->catalog.size(), 16, /*seed=*/13);
+  TrainConfig config = BackboneTrainConfig(Backbone::kGru4Rec);
+  config.epochs = 1;
+  ASSERT_TRUE(model.Train(splits_->train, config).ok());
+
+  std::vector<std::vector<int64_t>> histories;
+  std::vector<std::vector<int64_t>> candidates;
+  for (size_t i = 0; i < std::min<size_t>(24, splits_->test.size()); ++i) {
+    std::vector<int64_t> history = splits_->test[i].history;
+    // Ragged lengths: truncate to 1..full so several groups form.
+    history.resize(1 + i % history.size());
+    histories.push_back(std::move(history));
+    candidates.push_back({splits_->test[i].target, 0, 3,
+                          static_cast<int64_t>(i) %
+                              dataset_->catalog.size()});
+  }
+  std::vector<std::vector<float>> reference;
+  for (size_t i = 0; i < histories.size(); ++i) {
+    reference.push_back(model.ScoreCandidates(histories[i], candidates[i]));
+  }
+  for (int threads : {1, 4}) {
+    util::ScopedParallelism parallel(threads, /*min_work_per_dispatch=*/1);
+    EXPECT_EQ(model.ScoreCandidatesBatch(histories, candidates), reference)
+        << "threads=" << threads;
+  }
+}
+
+TEST(FactoryTest, DeserializeRejectsMalformedBlobs) {
+  StudentSpec spec;
+  spec.backbone = Backbone::kGru4Rec;
+  spec.num_items = 20;
+  spec.history_length = 6;
+  spec.seed = 3;
+  auto model = MakeBackbone(spec.backbone, spec.num_items,
+                            spec.history_length, spec.seed);
+  const std::vector<float> blob = SerializeStudent(spec, *model);
+
+  EXPECT_EQ(DeserializeStudent({}).status().code(),
+            util::Status::Code::kInvalidArgument);
+
+  std::vector<float> wrong_version = blob;
+  wrong_version[0] = 2.0f;
+  EXPECT_EQ(DeserializeStudent(wrong_version).status().code(),
+            util::Status::Code::kInvalidArgument);
+
+  std::vector<float> wrong_backbone = blob;
+  wrong_backbone[1] = 9.0f;
+  EXPECT_EQ(DeserializeStudent(wrong_backbone).status().code(),
+            util::Status::Code::kInvalidArgument);
+
+  std::vector<float> truncated = blob;
+  truncated.pop_back();  // State length no longer matches the architecture.
+  EXPECT_EQ(DeserializeStudent(truncated).status().code(),
+            util::Status::Code::kInvalidArgument);
+}
+
+// The committed golden freezes student blob format v1 (header layout, u64
+// packing, state order). A freshly built tiny GRU4Rec is deterministic from
+// its seed, so the serialized bytes must match the golden exactly. If the
+// format legitimately changes: bump kStudentFormatVersion, keep the old
+// reader working, commit a new golden, and update this test (see
+// tests/golden/README.md). Regenerate with DELREC_REGEN_GOLDEN=1 after an
+// intentional version bump.
+TEST(FactoryTest, CommittedGoldenStudentBlobPinsFormat) {
+  StudentSpec spec;
+  spec.backbone = Backbone::kGru4Rec;
+  spec.num_items = 6;
+  spec.history_length = 4;
+  spec.seed = 9;
+  auto model = MakeBackbone(spec.backbone, spec.num_items,
+                            spec.history_length, spec.seed);
+  const std::vector<float> blob = SerializeStudent(spec, *model);
+  const std::string golden_path =
+      std::string(DELREC_TEST_DATA_DIR) + "/student_blob_v1.bin";
+
+  if (std::getenv("DELREC_REGEN_GOLDEN") != nullptr) {
+    std::ofstream out(golden_path, std::ios::binary | std::ios::trunc);
+    out.write(reinterpret_cast<const char*>(blob.data()),
+              static_cast<std::streamsize>(blob.size() * sizeof(float)));
+    ASSERT_TRUE(out.good());
+    GTEST_SKIP() << "regenerated " << golden_path;
+  }
+
+  std::ifstream in(golden_path, std::ios::binary);
+  ASSERT_TRUE(in.good()) << "missing golden " << golden_path;
+  const std::string bytes((std::istreambuf_iterator<char>(in)),
+                          std::istreambuf_iterator<char>());
+  ASSERT_EQ(bytes.size(), blob.size() * sizeof(float))
+      << "student blob size changed; format drift";
+  EXPECT_EQ(std::memcmp(bytes.data(), blob.data(), bytes.size()), 0)
+      << "student blob bytes changed; format drift";
+
+  // And the golden still deserializes to a working model.
+  std::vector<float> from_golden(bytes.size() / sizeof(float));
+  std::memcpy(from_golden.data(), bytes.data(), bytes.size());
+  auto loaded = DeserializeStudent(from_golden);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded.value().model->ScoreAllItems({0, 1}),
+            model->ScoreAllItems({0, 1}));
 }
 
 TEST(FactoryTest, KdaRelationInjection) {
